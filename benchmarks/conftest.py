@@ -1,0 +1,101 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every figure and table of the paper's evaluation section has one benchmark
+module here (see DESIGN.md section 4 for the index).  Each benchmark
+
+* regenerates the experiment on scaled-down synthetic data and scaled-down
+  core counts (documented in EXPERIMENTS.md),
+* prints the same rows/series the paper reports (visible with ``pytest -s``),
+* writes the table to ``benchmarks/results/<name>.txt`` so results survive the
+  run, and
+* asserts the qualitative *shape* of the paper's result (who wins, direction
+  of the effect), never absolute seconds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.pgas.cost_model import EDISON_LIKE
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scaled-down concurrency sweep standing in for the paper's 480..15,360 cores.
+CORE_SWEEP = [4, 8, 16, 32, 64]
+
+#: Machine model used by all distributed-memory benchmarks (8 ranks per node
+#: keeps several nodes in play even at the scaled-down rank counts).
+BENCH_MACHINE = EDISON_LIKE.with_cores_per_node(8)
+
+
+def write_report(name: str, lines: list[str]) -> None:
+    """Print a benchmark report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def format_table(headers: list[str], rows: list[list]) -> list[str]:
+    """Fixed-width text table (the benchmarks' equivalent of the paper's plots)."""
+    str_rows = [[f"{value:.4g}" if isinstance(value, float) else str(value)
+                 for value in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(headers[i]) for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Scaled-down data sets (the paper's human / wheat / E. coli equivalents).
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def human_like_dataset():
+    """Scaled-down human-like data set (Figs 1, 8, 9, 10; Tables I, II)."""
+    spec = GenomeSpec(name="human-like", genome_length=60_000, n_contigs=150,
+                      repeat_fraction=0.05, repeat_unit_length=300,
+                      min_contig_length=200)
+    reads = ReadSetSpec(coverage=3.0, read_length=100, error_rate=0.005)
+    return make_dataset(spec, reads, seed=101)
+
+
+@pytest.fixture(scope="session")
+def wheat_like_dataset():
+    """Scaled-down wheat-like data set: larger and more repetitive (Fig 1)."""
+    spec = GenomeSpec(name="wheat-like", genome_length=100_000, n_contigs=250,
+                      repeat_fraction=0.20, repeat_unit_length=400,
+                      min_contig_length=200)
+    reads = ReadSetSpec(coverage=2.0, read_length=100, error_rate=0.005)
+    return make_dataset(spec, reads, seed=102)
+
+
+@pytest.fixture(scope="session")
+def ecoli_like_dataset():
+    """Scaled-down E. coli-like single-chromosome data set (Fig 11)."""
+    spec = GenomeSpec(name="ecoli-like", genome_length=60_000, n_contigs=1,
+                      repeat_fraction=0.01, min_contig_length=500)
+    reads = ReadSetSpec(coverage=2.0, read_length=100, error_rate=0.005)
+    return make_dataset(spec, reads, seed=103)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> AlignerConfig:
+    """Aligner configuration used by the distributed benchmarks.
+
+    k = 31 stands in for the paper's k = 51 at the scaled-down genome size;
+    seed_stride = 2 halves the query-seed extraction work without changing
+    which reads align (EXPERIMENTS.md discusses the substitution).
+    """
+    return AlignerConfig(seed_length=31, fragment_length=2000,
+                         aggregation_buffer_size=64,
+                         seed_cache_bytes_per_node=2 * 1024 * 1024,
+                         target_cache_bytes_per_node=1 * 1024 * 1024,
+                         seed_stride=2)

@@ -1,0 +1,150 @@
+"""Ablation of the design parameters DESIGN.md calls out.
+
+Not a figure in the paper, but the paper's text motivates each knob:
+
+* the aggregation buffer size S trades memory for an S-fold message reduction
+  (section III-A);
+* the software cache capacity trades memory for data reuse (section III-B);
+* the max-alignments-per-seed threshold trades sensitivity for speed
+  (section IV-C);
+* target fragmentation raises the fraction of single-copy-seed fragments and
+  with it the reach of the exact-match optimization (section IV-A).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+
+from conftest import BENCH_MACHINE, format_table, write_report
+
+N_RANKS = 16
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_aggregation_buffer_size(benchmark, human_like_dataset, bench_config):
+    genome, _ = human_like_dataset
+    sweep = [1, 8, 64, 512]
+
+    def experiment():
+        results = {}
+        for buffer_size in sweep:
+            config = bench_config.with_(aggregation_buffer_size=buffer_size)
+            report = MerAligner(config).run(genome.contigs, [], n_ranks=N_RANKS,
+                                            machine=BENCH_MACHINE)
+            results[buffer_size] = (report.index_construction_time,
+                                    report.total_stats.messages)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[s, seconds, messages] for s, (seconds, messages) in results.items()]
+    lines = ["Ablation: aggregation buffer size S vs seed index construction",
+             "(S=1 degenerates to per-seed transfers; the paper uses S=1000)", ""]
+    lines += format_table(["S", "construction seconds", "messages"], rows)
+    write_report("ablation_buffer_size", lines)
+
+    times = [results[s][0] for s in sweep]
+    messages = [results[s][1] for s in sweep]
+    # Larger S -> fewer messages and no slower construction.
+    assert messages[0] > messages[-1]
+    assert times[0] > times[-1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cache_capacity(benchmark, human_like_dataset, bench_config):
+    genome, reads = human_like_dataset
+    subset = reads[: len(reads) // 2]
+    sweep = [0, 64 * 1024, 2 * 1024 * 1024]
+
+    def experiment():
+        results = {}
+        for capacity in sweep:
+            config = bench_config.with_(seed_cache_bytes_per_node=capacity,
+                                        target_cache_bytes_per_node=capacity,
+                                        use_seed_index_cache=capacity > 0,
+                                        use_target_cache=capacity > 0)
+            report = MerAligner(config).run(genome.contigs, subset, n_ranks=N_RANKS,
+                                            machine=BENCH_MACHINE)
+            comm = report.seed_lookup_comm_time + report.target_fetch_comm_time
+            hit_rate = 0.0
+            if "target" in report.cache_stats:
+                hit_rate = report.cache_stats["target"].hit_rate
+            results[capacity] = (comm, hit_rate)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [[capacity, comm, hit_rate] for capacity, (comm, hit_rate) in results.items()]
+    lines = ["Ablation: per-node cache capacity vs aligning-phase communication", ""]
+    lines += format_table(["capacity (bytes/node)", "comm seconds", "target hit rate"],
+                          rows)
+    write_report("ablation_cache_capacity", lines)
+
+    comms = [results[c][0] for c in sweep]
+    assert comms[-1] < comms[0]
+    assert results[sweep[-1]][1] > 0.5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_max_alignments_per_seed(benchmark, wheat_like_dataset, bench_config):
+    genome, reads = wheat_like_dataset
+    subset = reads[: len(reads) // 2]
+    sweep = [1, 4, 16, 0]   # 0 = unlimited
+
+    def experiment():
+        results = {}
+        for threshold in sweep:
+            config = bench_config.with_(max_alignments_per_seed=threshold)
+            report = MerAligner(config).run(genome.contigs, subset, n_ranks=N_RANKS,
+                                            machine=BENCH_MACHINE)
+            results[threshold] = (report.counters.sw_calls,
+                                  report.counters.alignments_reported,
+                                  report.alignment_time)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [["unlimited" if t == 0 else t, *results[t]] for t in sweep]
+    lines = ["Ablation: max alignments per seed (sensitivity vs speed, repetitive "
+             "wheat-like data)", ""]
+    lines += format_table(["threshold", "SW calls", "alignments reported",
+                           "aligning seconds"], rows)
+    write_report("ablation_max_alignments", lines)
+
+    # Tighter threshold -> no more SW calls / alignments than the unlimited run.
+    assert results[1][0] <= results[0][0]
+    assert results[1][1] <= results[0][1]
+    assert results[4][0] <= results[0][0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_target_fragmentation(benchmark, human_like_dataset, bench_config):
+    genome, reads = human_like_dataset
+    subset = reads[: len(reads) // 2]
+
+    def experiment():
+        fragmented = MerAligner(bench_config.with_(fragment_targets=True,
+                                                   fragment_length=1000)).run(
+            genome.contigs, subset, n_ranks=N_RANKS, machine=BENCH_MACHINE)
+        whole = MerAligner(bench_config.with_(fragment_targets=False)).run(
+            genome.contigs, subset, n_ranks=N_RANKS, machine=BENCH_MACHINE)
+        return fragmented, whole
+
+    fragmented, whole = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        ["fragmented (1000 bp)", fragmented.single_copy_fragment_fraction,
+         fragmented.counters.exact_fraction, fragmented.counters.aligned_fraction],
+        ["whole contigs", whole.single_copy_fragment_fraction,
+         whole.counters.exact_fraction, whole.counters.aligned_fraction],
+    ]
+    lines = ["Ablation: target fragmentation (section IV-A)", ""]
+    lines += format_table(["targets", "single-copy fraction", "exact-path fraction",
+                           "aligned fraction"], rows)
+    write_report("ablation_fragmentation", lines)
+
+    # Fragmentation increases single-copy coverage and never hurts recall.
+    assert (fragmented.single_copy_fragment_fraction
+            >= whole.single_copy_fragment_fraction)
+    assert (fragmented.counters.exact_fraction
+            >= whole.counters.exact_fraction - 0.02)
+    assert (fragmented.counters.aligned_fraction
+            >= whole.counters.aligned_fraction - 0.02)

@@ -1,0 +1,85 @@
+"""Figure 10: impact of the exact-match optimization on the aligning phase.
+
+Paper result: the Lemma 1 fast path (single seed lookup + memcmp, no
+Smith-Waterman) speeds the aligning phase up 2.8x / 3.4x / 3.1x at 480 /
+1,920 / 7,680 cores, cutting both computation (2.48x) and communication
+(2.82x); about 59% of aligned reads take the fast path; the optimized aligning
+phase scales near-linearly (15.9x for a 16x core increase).
+
+Reproduction: the aligning phase is run with the optimization on and off at
+three scaled core counts, reporting the computation / communication split and
+the fraction of reads resolved exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+
+from conftest import BENCH_MACHINE, format_table, write_report
+
+CORE_POINTS = [4, 16, 64]
+
+
+def align_phase_profile(dataset, config, cores):
+    genome, reads = dataset
+    report = MerAligner(config).run(genome.contigs, reads, n_ranks=cores,
+                                    machine=BENCH_MACHINE)
+    trace = report.phase("align_reads")
+    return {
+        "elapsed": trace.elapsed,
+        "compute": trace.total_compute,
+        "comm": trace.total_comm,
+        "exact_fraction": report.counters.exact_fraction,
+        "sw_calls": report.counters.sw_calls,
+        "lookups": report.counters.seed_lookups,
+    }
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_exact_match_optimization(benchmark, human_like_dataset, bench_config):
+    def experiment():
+        results = {}
+        for cores in CORE_POINTS:
+            with_opt = align_phase_profile(human_like_dataset, bench_config, cores)
+            without_opt = align_phase_profile(
+                human_like_dataset,
+                bench_config.with_(use_exact_match_optimization=False), cores)
+            results[cores] = (without_opt, with_opt)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for cores, (without_opt, with_opt) in results.items():
+        rows.append([cores,
+                     without_opt["comm"], without_opt["compute"],
+                     with_opt["comm"], with_opt["compute"],
+                     without_opt["elapsed"] / max(with_opt["elapsed"], 1e-12)])
+    lines = ["Figure 10: aligning phase with and without the exact-match optimization",
+             "(summed per-rank modelled seconds; paper reports 2.8x / 3.4x / 3.1x)", ""]
+    lines += format_table(["cores", "comm w/o", "compute w/o", "comm w/",
+                           "compute w/", "improvement"], rows)
+    exact_fraction = results[CORE_POINTS[0]][1]["exact_fraction"]
+    lines += ["", f"fraction of aligned reads taking the exact-match fast path: "
+                  f"{exact_fraction:.2f} (paper: ~0.59)"]
+    optimized = {cores: with_opt["elapsed"] for cores, (_, with_opt) in results.items()}
+    scaling = optimized[CORE_POINTS[0]] / optimized[CORE_POINTS[-1]]
+    lines += [f"optimized aligning-phase speedup {CORE_POINTS[0]}->{CORE_POINTS[-1]} "
+              f"ranks: {scaling:.1f}x for a {CORE_POINTS[-1] // CORE_POINTS[0]}x core "
+              "increase (paper: 15.9x for 16x)"]
+    write_report("fig10_exact_match", lines)
+
+    for cores, (without_opt, with_opt) in results.items():
+        # Both communication and computation drop, hence the phase is faster.
+        assert with_opt["comm"] < without_opt["comm"]
+        assert with_opt["compute"] < without_opt["compute"]
+        assert with_opt["elapsed"] < without_opt["elapsed"]
+        assert with_opt["sw_calls"] < without_opt["sw_calls"]
+        assert with_opt["lookups"] < without_opt["lookups"]
+    # A substantial fraction of reads takes the fast path.
+    assert exact_fraction > 0.3
+    # The optimized aligning phase strong-scales (granularity of the scaled
+    # data set caps efficiency below the paper's 15.9x-for-16x).
+    assert scaling > 4.0

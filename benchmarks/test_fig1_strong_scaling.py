@@ -1,0 +1,81 @@
+"""Figure 1: end-to-end strong scaling of merAligner (human + wheat) with
+BWA-mem / Bowtie2 (under pMap) single points.
+
+Paper result: near-ideal strong scaling from 480 to 15,360 cores (22x speedup,
+0.7 parallel efficiency for human, 0.78 for wheat, with a super-linear region
+for wheat), while the pMap-driven baselines sit an order of magnitude above
+the merAligner curve at the same concurrency.
+
+Reproduction: the same pipeline runs on scaled-down synthetic genomes over a
+scaled-down core sweep (4..64 simulated ranks); times are modelled seconds
+from the PGAS cost model.  We assert the *shape*: monotone scaling, parallel
+efficiency at the largest scale within the paper's ballpark, and both
+baselines slower end-to-end than merAligner at the top concurrency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bowtie_like import BowtieLikeAligner
+from repro.baselines.bwa_like import BwaLikeAligner
+from repro.baselines.pmap import PMapFramework
+from repro.core.pipeline import MerAligner
+from repro.model.scaling import ScalingSeries
+
+from conftest import BENCH_MACHINE, CORE_SWEEP, format_table, write_report
+
+
+def run_scaling(dataset, config, core_counts):
+    genome, reads = dataset
+    series = ScalingSeries(genome.spec.name)
+    for cores in core_counts:
+        report = MerAligner(config).run(genome.contigs, reads, n_ranks=cores,
+                                        machine=BENCH_MACHINE)
+        series.add(cores, report.total_time)
+    return series
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_strong_scaling(benchmark, human_like_dataset, wheat_like_dataset,
+                             bench_config):
+    def experiment():
+        human = run_scaling(human_like_dataset, bench_config, CORE_SWEEP)
+        wheat = run_scaling(wheat_like_dataset, bench_config, CORE_SWEEP)
+        # Baseline single points at the largest concurrency (as in Fig 1).
+        genome, reads = human_like_dataset
+        bwa = PMapFramework(lambda: BwaLikeAligner(seed_length=31),
+                            n_instances=CORE_SWEEP[-1]).run(genome.contigs, reads)
+        bowtie = PMapFramework(lambda: BowtieLikeAligner(),
+                               n_instances=CORE_SWEEP[-1]).run(genome.contigs, reads)
+        return human, wheat, bwa, bowtie
+
+    human, wheat, bwa, bowtie = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for label, series in (("merAligner-human", human), ("merAligner-wheat", wheat)):
+        for row in series.rows():
+            rows.append([label, row["cores"], row["seconds"], row["ideal_seconds"],
+                         row["speedup"], row["efficiency"]])
+    rows.append(["BWAmem-human (pMap)", CORE_SWEEP[-1], bwa.total_time, "-", "-", "-"])
+    rows.append(["Bowtie2-human (pMap)", CORE_SWEEP[-1], bowtie.total_time, "-", "-", "-"])
+    lines = ["Figure 1: end-to-end strong scaling (modelled seconds)",
+             f"core sweep {CORE_SWEEP} stands in for the paper's 480..15,360", ""]
+    lines += format_table(["series", "cores", "seconds", "ideal", "speedup", "efficiency"],
+                          rows)
+    lines += ["", f"human efficiency at {CORE_SWEEP[-1]} ranks: "
+                  f"{human.efficiency_at(len(CORE_SWEEP) - 1):.2f} (paper: 0.70)",
+              f"wheat efficiency at {CORE_SWEEP[-1]} ranks: "
+              f"{wheat.efficiency_at(len(CORE_SWEEP) - 1):.2f} (paper: 0.78)"]
+    write_report("fig1_strong_scaling", lines)
+
+    # Shape assertions.
+    for series in (human, wheat):
+        assert all(earlier > later * 0.95
+                   for earlier, later in zip(series.times, series.times[1:])), \
+            "end-to-end time must drop (or stay flat) as cores increase"
+        assert series.efficiency_at(len(CORE_SWEEP) - 1) > 0.4
+    # Baselines are dominated by their serial index build at high concurrency.
+    assert bwa.total_time > human.times[-1]
+    assert bowtie.total_time > human.times[-1]
+    assert bowtie.index_construction_time > bwa.index_construction_time

@@ -1,0 +1,55 @@
+"""Figure 7: probability of a seed being reused on a node vs core count.
+
+Paper result: with d=100, L=100, k=51 (f=50) and ppn=24 the reuse probability
+is essentially 1 at small scale and decays toward ~0.08 at 14,400 cores --
+the analysis that explains why the seed-index cache helps mostly at small
+concurrency (Fig 9).
+
+Reproduction: the closed form 1-(1-1/m)^(f-1) evaluated at the paper's exact
+parameters, cross-validated by Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.cache_reuse import (
+    expected_seed_frequency,
+    reuse_probability_curve,
+    simulate_seed_reuse,
+)
+
+from conftest import format_table, write_report
+
+PAPER_CORES = [480, 960, 1920, 2400, 4800, 7200, 9600, 12000, 14400]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_seed_reuse_probability(benchmark):
+    def experiment():
+        frequency = expected_seed_frequency(depth=100, read_length=100, seed_length=51)
+        curve = reuse_probability_curve(PAPER_CORES, depth=100, read_length=100,
+                                        seed_length=51, cores_per_node=24)
+        simulated = {cores: simulate_seed_reuse(int(frequency), max(1, cores // 24),
+                                                n_trials=4000, seed=cores)
+                     for cores in PAPER_CORES}
+        return frequency, curve, simulated
+
+    frequency, curve, simulated = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = [[cores, probability, simulated[cores]] for cores, probability in curve]
+    lines = ["Figure 7: probability of a seed being reused on the same node",
+             f"d=100 L=100 k=51 -> f={frequency:.0f}, ppn=24 (paper parameters)", ""]
+    lines += format_table(["cores", "P(reuse) analytic", "P(reuse) Monte-Carlo"], rows)
+    write_report("fig7_cache_probability", lines)
+
+    analytic = dict(curve)
+    assert frequency == pytest.approx(50.0)
+    # Shape: monotone decreasing, ~1 at small scale, small at 14K cores.
+    values = [analytic[c] for c in PAPER_CORES]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert analytic[480] > 0.9
+    assert analytic[14400] < 0.15
+    # Monte-Carlo agrees with the closed form.
+    for cores in PAPER_CORES:
+        assert simulated[cores] == pytest.approx(analytic[cores], abs=0.05)

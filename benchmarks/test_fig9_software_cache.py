@@ -1,0 +1,83 @@
+"""Figure 9: impact of software caching on communication during the aligning
+phase.
+
+Paper result: the target cache essentially eliminates target-fetch
+communication at every concurrency; the seed-index cache helps mostly at small
+concurrency (~35% lookup-time reduction at 480 cores); overall communication
+drops 2.3x / 1.7x / 1.8x at 480 / 1,920 / 7,680 cores.
+
+Reproduction: the aligning phase is run with caches on and off at three scaled
+core counts; communication time is split into seed lookups and target fetches
+exactly as the paper's stacked bars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+
+from conftest import BENCH_MACHINE, format_table, write_report
+
+# Smallest point already spans two nodes (ppn = 8) so that off-node traffic
+# exists at every concurrency, as in the paper's 480-core baseline.
+CORE_POINTS = [16, 32, 64]
+
+
+def comm_breakdown(dataset, config, cores):
+    genome, reads = dataset
+    report = MerAligner(config).run(genome.contigs, reads, n_ranks=cores,
+                                    machine=BENCH_MACHINE)
+    return {
+        "seed_lookup": report.seed_lookup_comm_time,
+        "target_fetch": report.target_fetch_comm_time,
+        "total": report.seed_lookup_comm_time + report.target_fetch_comm_time,
+        "report": report,
+    }
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_software_cache(benchmark, human_like_dataset, bench_config):
+    def experiment():
+        results = {}
+        for cores in CORE_POINTS:
+            cached = comm_breakdown(human_like_dataset, bench_config, cores)
+            uncached = comm_breakdown(
+                human_like_dataset,
+                bench_config.with_(use_seed_index_cache=False, use_target_cache=False),
+                cores)
+            results[cores] = (uncached, cached)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    for cores, (uncached, cached) in results.items():
+        rows.append([cores,
+                     uncached["seed_lookup"], uncached["target_fetch"],
+                     cached["seed_lookup"], cached["target_fetch"],
+                     uncached["total"] / max(cached["total"], 1e-12)])
+    lines = ["Figure 9: aligning-phase communication with and without software caches",
+             "(summed per-rank modelled seconds; paper reports 2.3x / 1.7x / 1.8x)", ""]
+    lines += format_table(["cores", "lookup no-cache", "fetch no-cache",
+                           "lookup w/ cache", "fetch w/ cache", "improvement"], rows)
+    hit_rates = {cores: cached["report"].cache_stats["target"].hit_rate
+                 for cores, (_, cached) in results.items()}
+    lines += ["", "target-cache hit rate per concurrency: "
+              + ", ".join(f"{c}: {hit_rates[c]:.2f}" for c in CORE_POINTS)]
+    write_report("fig9_software_cache", lines)
+
+    for cores, (uncached, cached) in results.items():
+        # Overall communication drops.
+        assert cached["total"] < uncached["total"]
+        # The target cache is effective at all concurrencies (the paper's
+        # target cache "essentially obviates" target communication; here a
+        # share of fetches is already on-node, so the gain is bounded but
+        # still a large fraction of the remote fetch traffic).
+        assert cached["target_fetch"] < 0.8 * uncached["target_fetch"]
+    # The seed-index cache helps most at the smallest concurrency (Fig 7 logic).
+    small_gain = (results[CORE_POINTS[0]][0]["seed_lookup"]
+                  / max(results[CORE_POINTS[0]][1]["seed_lookup"], 1e-12))
+    large_gain = (results[CORE_POINTS[-1]][0]["seed_lookup"]
+                  / max(results[CORE_POINTS[-1]][1]["seed_lookup"], 1e-12))
+    assert small_gain >= large_gain * 0.8

@@ -1,0 +1,101 @@
+"""Wall-clock micro-benchmarks of the computational kernels (pytest-benchmark).
+
+Unlike the figure/table harnesses (which report *modelled* seconds from the
+PGAS cost model), these measure real Python execution time of the hot kernels:
+the 2-bit codec, seed extraction, djb2 hashing, the vectorised Smith-Waterman,
+the FM-index backward search, and the SeqDB reader.  They guard against
+performance regressions in the library itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alignment.smith_waterman import smith_waterman
+from repro.alignment.striped import striped_smith_waterman
+from repro.baselines.fmindex import FMIndex
+from repro.dna.compression import pack_sequence, unpack_sequence
+from repro.dna.kmer import djb2_hash, extract_kmers
+from repro.dna.sequence import random_dna
+from repro.io.seqdb import SeqDbReader, records_to_seqdb
+from repro.dna.synthetic import ReadRecord
+
+
+@pytest.fixture(scope="module")
+def sequence_10k():
+    return random_dna(10_000, rng=np.random.default_rng(1))
+
+
+@pytest.fixture(scope="module")
+def read_100():
+    return random_dna(100, rng=np.random.default_rng(2))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_pack_sequence(benchmark, sequence_10k):
+    packed = benchmark(pack_sequence, sequence_10k)
+    assert packed.size == (len(sequence_10k) + 3) // 4
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_unpack_sequence(benchmark, sequence_10k):
+    packed = pack_sequence(sequence_10k)
+    result = benchmark(unpack_sequence, packed, len(sequence_10k))
+    assert result == sequence_10k
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_seed_extraction(benchmark, sequence_10k):
+    result = benchmark(lambda: list(extract_kmers(sequence_10k, 31)))
+    assert len(result) == len(sequence_10k) - 30
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_djb2_hash(benchmark, read_100):
+    value = benchmark(djb2_hash, read_100[:51])
+    assert value > 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_striped_smith_waterman(benchmark, read_100, sequence_10k):
+    target_window = sequence_10k[:150]
+    result = benchmark(striped_smith_waterman, read_100, target_window)
+    assert result.cells == 100 * 150
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_scalar_smith_waterman(benchmark, read_100, sequence_10k):
+    target_window = sequence_10k[:150]
+    result = benchmark(smith_waterman, read_100, target_window, traceback=False)
+    assert result.score >= 0
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_fmindex_build(benchmark, sequence_10k):
+    index = benchmark(FMIndex, sequence_10k[:4000])
+    assert index.count(sequence_10k[100:120]) >= 1
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_fmindex_backward_search(benchmark, sequence_10k):
+    index = FMIndex(sequence_10k)
+    pattern = sequence_10k[500:531]
+    count = benchmark(index.count, pattern)
+    assert count >= 1
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_bench_seqdb_read_partition(benchmark, tmp_path_factory):
+    rng = np.random.default_rng(3)
+    reads = [ReadRecord(name=f"r{i}", sequence=random_dna(100, rng=rng),
+                        quality="I" * 100) for i in range(500)]
+    path = tmp_path_factory.mktemp("seqdb") / "bench.seqdb"
+    records_to_seqdb(path, reads)
+
+    def read_one_partition():
+        with SeqDbReader(path) as reader:
+            return reader.read_partition(0, 4)
+
+    records = benchmark(read_one_partition)
+    assert len(records) == 125

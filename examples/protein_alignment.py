@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Protein alignment with the alphabet-generic extension.
+
+The paper's conclusion notes that the merAligner framework extends beyond DNA:
+"one can also use the same methods to align protein sequences (strings of 20
+characters) against protein datasets".  This example exercises that extension:
+a BLOSUM62-scored seed-and-extend aligner over the amino-acid alphabet, using
+the same vectorised affine-gap kernel as the DNA pipeline.
+
+Run with::
+
+    python examples/protein_alignment.py
+"""
+
+from __future__ import annotations
+
+from repro.alignment.generic import local_align
+from repro.alignment.protein import ProteinSeedIndexAligner, blosum62
+
+# A tiny synthetic protein "database": three unrelated sequences plus one that
+# shares a domain with the first.
+TARGETS = {
+    "kinase_A":   "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ",
+    "capsid_B":   "MSDNGPQNQRNAPRITFGGPSDSTGSNQNGERSGARSKQRRPQGLPNNTASWFTALTQHGKEDLKF",
+    "chimera_AB": "MAHHHHHHVGTGSNQNGERSGARSKQRRPQGLPNNTASMKTAYIAKQRQISFVKSHFSRQLEERLG",
+    "membrane_C": "MLLAVLYCLLWSFQTSAGHFPRACVSSKNLMEKECCPPWSGDRSPCGQLSGRGSCQNILLSNAPLGPQ",
+}
+
+QUERIES = {
+    # an exact fragment of kinase_A
+    "frag_kinase": "AKQRQISFVKSHFSRQLEERLGLIEV",
+    # the same fragment with two conservative substitutions (I->L, V->I)
+    "homolog":     "AKQRQLSFVKSHFSRQLEERLGLIEI",
+    # unrelated sequence
+    "random":      "WWWPPPGGGWWWPPPGGGWWW",
+}
+
+
+def main() -> None:
+    matrix = blosum62()
+    aligner = ProteinSeedIndexAligner(seed_length=4, matrix=matrix, min_score=25)
+    names = list(TARGETS)
+    n_seeds = aligner.build_index([TARGETS[name] for name in names])
+    print(f"indexed {len(TARGETS)} protein targets, {n_seeds} seeds of length "
+          f"{aligner.seed_length}\n")
+
+    for query_name, query in QUERIES.items():
+        hits = aligner.align(query_name, query)
+        print(f"query {query_name!r} ({len(query)} aa): {len(hits)} hit(s)")
+        for hit in hits:
+            print(f"    {names[hit.target_id]:<12} score {hit.score:>4} "
+                  f"(ends at query {hit.query_end}, target {hit.target_end})")
+        if not hits:
+            print("    no hits above the score threshold")
+        print()
+
+    # Direct use of the generic kernel: BLOSUM62 rewards conservative
+    # substitutions, so the homolog scores close to the exact fragment.
+    exact = local_align(QUERIES["frag_kinase"], TARGETS["kinase_A"], matrix)
+    homolog = local_align(QUERIES["homolog"], TARGETS["kinase_A"], matrix)
+    print("generic kernel scores against kinase_A:")
+    print(f"  exact fragment  : {exact.score}")
+    print(f"  2-substitution homolog: {homolog.score} "
+          f"({homolog.score / exact.score:.0%} of the exact score)")
+
+
+if __name__ == "__main__":
+    main()

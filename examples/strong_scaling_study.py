@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: reproduce the shape of the paper's Figure 1.
+
+Runs the end-to-end aligner on the same data set at increasing simulated core
+counts, prints the scaling table (seconds, speedup, parallel efficiency,
+ideal curve) and compares against a pMap-driven BWA-mem-like baseline whose
+index construction is serial.
+
+Run with::
+
+    python examples/strong_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro import AlignerConfig, EDISON_LIKE, MerAligner, ReadSetSpec, make_dataset
+from repro.baselines import BwaLikeAligner, PMapFramework
+from repro.dna import GenomeSpec
+from repro.model.scaling import ScalingSeries
+
+CORE_SWEEP = [4, 8, 16, 32, 64]
+
+
+def main() -> None:
+    genome_spec = GenomeSpec(name="scaling-demo", genome_length=50_000,
+                             n_contigs=120, repeat_fraction=0.05,
+                             min_contig_length=200)
+    read_spec = ReadSetSpec(coverage=3.0, read_length=100, error_rate=0.005)
+    genome, reads = make_dataset(genome_spec, read_spec, seed=11)
+    machine = EDISON_LIKE.with_cores_per_node(8)
+    config = AlignerConfig(seed_length=31, fragment_length=2000,
+                           aggregation_buffer_size=100, seed_stride=2)
+
+    series = ScalingSeries("merAligner")
+    index_times = {}
+    for cores in CORE_SWEEP:
+        report = MerAligner(config).run(genome.contigs, reads, n_ranks=cores,
+                                        machine=machine)
+        series.add(cores, report.total_time)
+        index_times[cores] = report.index_construction_time
+
+    print("merAligner strong scaling (modelled seconds)")
+    print(f"{'cores':>6} {'seconds':>12} {'ideal':>12} {'speedup':>9} "
+          f"{'efficiency':>11} {'index build':>12}")
+    for row in series.rows():
+        cores = int(row["cores"])
+        print(f"{cores:>6} {row['seconds']:>12.5f} {row['ideal_seconds']:>12.5f} "
+              f"{row['speedup']:>9.2f} {row['efficiency']:>11.2f} "
+              f"{index_times[cores]:>12.5f}")
+
+    # Baseline: serial index construction under a pMap-style driver.
+    pmap = PMapFramework(lambda: BwaLikeAligner(seed_length=31),
+                         n_instances=CORE_SWEEP[-1])
+    baseline = pmap.run(genome.contigs, reads)
+    print("\npMap + BWA-mem-like baseline at the same concurrency:")
+    print(f"  serial index construction : {baseline.index_construction_time:.5f} s")
+    print(f"  parallel mapping          : {baseline.mapping_time:.5f} s")
+    print(f"  total                     : {baseline.total_time:.5f} s "
+          f"({baseline.total_time / series.times[-1]:.1f}x slower than merAligner)")
+
+
+if __name__ == "__main__":
+    main()

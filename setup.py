@@ -1,0 +1,10 @@
+"""Thin setuptools shim.
+
+The canonical project metadata lives in pyproject.toml; this file exists so
+that offline environments without the `wheel` package can still do a legacy
+editable install (``pip install -e . --no-use-pep517 --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""merAligner reproduction: a fully parallel seed-and-extend sequence aligner.
+
+This package reimplements, in Python on a simulated PGAS runtime, the system
+described in *merAligner: A Fully Parallel Sequence Aligner* (Georganas et
+al., IPDPS 2015): a distributed-memory short-read aligner whose every phase --
+parallel I/O, distributed seed index construction with aggregating stores,
+software-cached one-sided lookups, exact-match fast path, load balancing by
+random permutation, and SIMD-style Smith-Waterman extension -- is parallel.
+
+Quickstart::
+
+    from repro import MerAligner, AlignerConfig, make_dataset, HUMAN_LIKE, ReadSetSpec
+
+    genome, reads = make_dataset(HUMAN_LIKE.scaled(0.05), ReadSetSpec(coverage=4), seed=1)
+    aligner = MerAligner(AlignerConfig(seed_length=31))
+    report = aligner.run(genome.contigs, reads, n_ranks=8)
+    print(report.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every figure and table.
+"""
+
+from repro.core import AlignerConfig, AlignerReport, MerAligner
+from repro.core.stats import AlignmentCounters
+from repro.dna import (
+    GenomeSpec,
+    ReadSetSpec,
+    ReadRecord,
+    SyntheticGenome,
+    make_dataset,
+    ECOLI_LIKE,
+    HUMAN_LIKE,
+    WHEAT_LIKE,
+)
+from repro.pgas import EDISON_LIKE, LAPTOP_LIKE, MachineModel, PgasRuntime
+from repro.baselines import BwaLikeAligner, BowtieLikeAligner, PMapFramework
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MerAligner",
+    "AlignerConfig",
+    "AlignerReport",
+    "AlignmentCounters",
+    "GenomeSpec",
+    "ReadSetSpec",
+    "ReadRecord",
+    "SyntheticGenome",
+    "make_dataset",
+    "ECOLI_LIKE",
+    "HUMAN_LIKE",
+    "WHEAT_LIKE",
+    "EDISON_LIKE",
+    "LAPTOP_LIKE",
+    "MachineModel",
+    "PgasRuntime",
+    "BwaLikeAligner",
+    "BowtieLikeAligner",
+    "PMapFramework",
+    "__version__",
+]

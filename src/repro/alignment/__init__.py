@@ -1,0 +1,38 @@
+"""Alignment kernels: Smith-Waterman (scalar and vectorised), seed extension,
+exact matching, and alignment result records.
+
+The paper delegates local alignment to the SSW library (a SIMD striped
+Smith-Waterman).  Here :mod:`repro.alignment.smith_waterman` is the scalar
+reference implementation with full traceback, and
+:mod:`repro.alignment.striped` is a numpy-vectorised affine-gap implementation
+(the Python analogue of SIMD lanes) used on the hot path.
+:mod:`repro.alignment.extend` implements seed extension around a seed hit, and
+:mod:`repro.alignment.exact` the memcmp fast path of the exact-match
+optimization (section IV-A).
+"""
+
+from repro.alignment.scoring import ScoringScheme, DEFAULT_SCORING
+from repro.alignment.result import Alignment, CigarOp, cigar_to_string, alignment_identity
+from repro.alignment.smith_waterman import smith_waterman, sw_score_matrix
+from repro.alignment.striped import striped_smith_waterman, StripedResult
+from repro.alignment.banded import banded_smith_waterman
+from repro.alignment.extend import extend_seed_hit, SeedHit
+from repro.alignment.exact import exact_match_at, try_exact_match
+
+__all__ = [
+    "ScoringScheme",
+    "DEFAULT_SCORING",
+    "Alignment",
+    "CigarOp",
+    "cigar_to_string",
+    "alignment_identity",
+    "smith_waterman",
+    "sw_score_matrix",
+    "striped_smith_waterman",
+    "StripedResult",
+    "banded_smith_waterman",
+    "extend_seed_hit",
+    "SeedHit",
+    "exact_match_at",
+    "try_exact_match",
+]

@@ -1,0 +1,58 @@
+"""The exact-match fast path (paper section IV-A).
+
+When Lemma 1 applies (all seeds of the candidate target are single-copy and
+the query matches the target over its full length), the alignment can be
+resolved by a plain string comparison at the position implied by the seed
+offsets -- no Smith-Waterman, no further seed lookups.
+"""
+
+from __future__ import annotations
+
+from repro.alignment.result import Alignment, CigarOp
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+
+
+def exact_match_at(query: str, target: str, target_start: int) -> bool:
+    """memcmp analogue: does *query* match *target* exactly at *target_start*?
+
+    Positions outside the target (negative start or overhang past the end)
+    count as a mismatch, mirroring the bounds check the C code performs before
+    its ``memcmp``.
+    """
+    if target_start < 0 or target_start + len(query) > len(target):
+        return False
+    return target[target_start:target_start + len(query)] == query
+
+
+def try_exact_match(query_name: str, query: str, target_id: int, target: str,
+                    seed_offset_in_query: int, seed_offset_in_target: int,
+                    strand: str = "+",
+                    scoring: ScoringScheme = DEFAULT_SCORING) -> Alignment | None:
+    """Attempt the exact-match fast path for one seed hit.
+
+    The seed occurs at ``seed_offset_in_query`` in the query and at
+    ``seed_offset_in_target`` in the target, so an exact end-to-end match can
+    only start at ``seed_offset_in_target - seed_offset_in_query``.
+
+    Returns:
+        A full-length :class:`Alignment` with ``is_exact=True`` when the query
+        matches the target there, otherwise None (the caller falls back to
+        Smith-Waterman extension).
+    """
+    start = seed_offset_in_target - seed_offset_in_query
+    if not exact_match_at(query, target, start):
+        return None
+    length = len(query)
+    return Alignment(
+        query_name=query_name,
+        target_id=target_id,
+        score=scoring.max_score(length),
+        query_start=0,
+        query_end=length,
+        target_start=start,
+        target_end=start + length,
+        strand=strand,
+        cigar=[(length, CigarOp.MATCH)],
+        is_exact=True,
+        identity=1.0,
+    )

@@ -1,0 +1,121 @@
+"""Seed extension: turn a seed hit into a local alignment.
+
+Given a seed shared by the query and a candidate target (Algorithm 1, line
+12), merAligner runs Smith-Waterman on the query against the target.  Running
+the DP against the *whole* target would be wasteful: the seed pins the
+diagonal, so we extract a target window just large enough to contain any
+alignment of the query around that diagonal (plus padding for gaps) and align
+against the window, then shift coordinates back to the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alignment.result import Alignment
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.alignment.smith_waterman import smith_waterman
+from repro.alignment.striped import striped_smith_waterman
+
+
+@dataclass(frozen=True)
+class SeedHit:
+    """A candidate query-to-target placement produced by a seed index lookup.
+
+    Attributes:
+        target_id: identifier of the candidate target.
+        target_offset: offset of the seed within the target.
+        query_offset: offset of the seed within the query.
+        seed_length: k.
+        strand: orientation of the query relative to the target.
+    """
+
+    target_id: int
+    target_offset: int
+    query_offset: int
+    seed_length: int
+    strand: str = "+"
+
+    def __post_init__(self) -> None:
+        if self.seed_length <= 0:
+            raise ValueError("seed_length must be positive")
+        if self.target_offset < 0 or self.query_offset < 0:
+            raise ValueError("offsets must be non-negative")
+        if self.strand not in ("+", "-"):
+            raise ValueError("strand must be '+' or '-'")
+
+    @property
+    def expected_target_start(self) -> int:
+        """Target position where an end-to-end match of the query would start."""
+        return self.target_offset - self.query_offset
+
+
+def extend_seed_hit(query_name: str, query: str, target: str, hit: SeedHit,
+                    scoring: ScoringScheme = DEFAULT_SCORING,
+                    window_padding: int = 16,
+                    detailed: bool = False) -> tuple[Alignment, int]:
+    """Extend one seed hit with Smith-Waterman.
+
+    Args:
+        query_name: read name propagated into the result.
+        query: read sequence (already reverse-complemented when ``hit.strand``
+            is '-', matching how the pipeline canonicalises orientation).
+        target: the full candidate target sequence (or a cached copy).
+        hit: the seed placement.
+        scoring: affine-gap scoring scheme.
+        window_padding: extra target bases kept on each side of the expected
+            footprint to absorb indels.
+        detailed: when True, the scalar traceback kernel is used and the
+            result carries a CIGAR and identity; otherwise the vectorised
+            score-only kernel is used (the pipeline's hot path).
+
+    Returns:
+        ``(alignment, dp_cells)`` where *dp_cells* is the number of DP cells
+        evaluated (used to charge Smith-Waterman CPU time in the cost model).
+    """
+    window_start = max(0, hit.expected_target_start - window_padding)
+    window_end = min(len(target), hit.expected_target_start + len(query) + window_padding)
+    window = target[window_start:window_end]
+    if not window:
+        empty = Alignment(query_name=query_name, target_id=hit.target_id, score=0,
+                          query_start=0, query_end=0, target_start=0, target_end=0,
+                          strand=hit.strand)
+        return empty, 0
+    if detailed:
+        result = smith_waterman(query, window, scoring=scoring, traceback=True)
+        cells = len(query) * len(window)
+        identity = 0.0
+        if result.aligned_query:
+            same = sum(1 for a, b in zip(result.aligned_query, result.aligned_target)
+                       if a == b and a != "-")
+            identity = same / len(result.aligned_query)
+        alignment = Alignment(
+            query_name=query_name,
+            target_id=hit.target_id,
+            score=result.score,
+            query_start=result.query_start,
+            query_end=result.query_end,
+            target_start=window_start + result.target_start,
+            target_end=window_start + result.target_end,
+            strand=hit.strand,
+            cigar=result.cigar,
+            is_exact=False,
+            identity=identity,
+        )
+        return alignment, cells
+    striped = striped_smith_waterman(query, window, scoring=scoring, locate_start=True)
+    q_start = striped.query_start if striped.has_start else striped.query_end
+    t_start = striped.target_start if striped.has_start else striped.target_end
+    alignment = Alignment(
+        query_name=query_name,
+        target_id=hit.target_id,
+        score=striped.score,
+        query_start=q_start,
+        query_end=striped.query_end,
+        target_start=window_start + t_start,
+        target_end=window_start + striped.target_end,
+        strand=hit.strand,
+        is_exact=False,
+        identity=0.0,
+    )
+    return alignment, striped.cells

@@ -1,0 +1,163 @@
+"""Alphabet-generic local alignment (the paper's extension path).
+
+The conclusions of the paper note that "any seed-and-extend algorithm could be
+implemented with minor changes to the underlying protocols, including
+protein-DNA and protein-protein alignments".  This module provides the
+alphabet-generic pieces that make that claim concrete:
+
+* :class:`Alphabet` -- an arbitrary residue alphabet with encode/decode;
+* :class:`SubstitutionMatrix` -- a full substitution matrix (rather than the
+  match/mismatch scores DNA uses) with affine gap penalties;
+* :func:`local_align_codes` -- the same vectorised affine-gap Smith-Waterman
+  sweep as :mod:`repro.alignment.striped`, parameterised by a substitution
+  matrix over integer residue codes.
+
+:mod:`repro.alignment.protein` builds BLOSUM62 and a protein seed-and-extend
+aligner on top of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Alphabet:
+    """A residue alphabet with a fixed symbol order."""
+
+    def __init__(self, symbols: str) -> None:
+        if len(set(symbols)) != len(symbols):
+            raise ValueError("alphabet symbols must be unique")
+        if not symbols:
+            raise ValueError("alphabet must not be empty")
+        self.symbols = symbols
+        self._index = {ch: i for i, ch in enumerate(symbols)}
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def encode(self, sequence: str) -> np.ndarray:
+        """Encode a sequence into integer codes; raises on foreign symbols."""
+        try:
+            return np.array([self._index[ch] for ch in sequence], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"symbol {exc.args[0]!r} not in alphabet") from None
+
+    def decode(self, codes: np.ndarray) -> str:
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.symbols)):
+            raise ValueError("code outside alphabet range")
+        return "".join(self.symbols[int(code)] for code in codes)
+
+    def is_valid(self, sequence: str) -> bool:
+        return all(ch in self._index for ch in sequence)
+
+
+#: The DNA alphabet in the package's canonical order.
+DNA_ALPHABET = Alphabet("ACGT")
+
+#: The 20 standard amino acids (alphabetical one-letter codes).
+PROTEIN_ALPHABET = Alphabet("ARNDCQEGHILKMFPSTWYV")
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A substitution matrix over an alphabet, with affine gap penalties.
+
+    Attributes:
+        alphabet: the residue alphabet the matrix is indexed by.
+        scores: square integer matrix, ``scores[i, j]`` = score of aligning
+            symbol i against symbol j.
+        gap_open: positive penalty for opening a gap.
+        gap_extend: positive penalty for extending a gap.
+    """
+
+    alphabet: Alphabet
+    scores: np.ndarray
+    gap_open: int = 11
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        n = len(self.alphabet)
+        if self.scores.shape != (n, n):
+            raise ValueError("substitution matrix shape must match the alphabet")
+        if self.gap_open < self.gap_extend or self.gap_extend <= 0:
+            raise ValueError("require gap_open >= gap_extend > 0")
+
+    def score(self, a: str, b: str) -> int:
+        """Score of aligning symbol *a* against symbol *b*."""
+        ia = self.alphabet.encode(a)[0]
+        ib = self.alphabet.encode(b)[0]
+        return int(self.scores[ia, ib])
+
+    @classmethod
+    def match_mismatch(cls, alphabet: Alphabet, match: int, mismatch: int,
+                       gap_open: int, gap_extend: int) -> "SubstitutionMatrix":
+        """Build a simple +match/-mismatch matrix (what DNA scoring uses)."""
+        n = len(alphabet)
+        scores = np.full((n, n), -abs(mismatch), dtype=np.int64)
+        np.fill_diagonal(scores, abs(match))
+        return cls(alphabet=alphabet, scores=scores, gap_open=gap_open,
+                   gap_extend=gap_extend)
+
+
+@dataclass(frozen=True)
+class GenericAlignmentResult:
+    """Score and end coordinates of a generic local alignment."""
+
+    score: int
+    query_end: int
+    target_end: int
+    cells: int
+
+
+def local_align_codes(query_codes: np.ndarray, target_codes: np.ndarray,
+                      matrix: SubstitutionMatrix) -> GenericAlignmentResult:
+    """Vectorised affine-gap local alignment over pre-encoded sequences.
+
+    Identical recurrence to :func:`repro.alignment.striped.striped_smith_waterman`
+    (prefix-max scan for the in-row gap dependency, exact for
+    ``gap_open >= gap_extend``), but scored by an arbitrary substitution
+    matrix so it works for proteins or any other alphabet.
+    """
+    query_codes = np.asarray(query_codes, dtype=np.int64)
+    target_codes = np.asarray(target_codes, dtype=np.int64)
+    n = int(query_codes.size)
+    m = int(target_codes.size)
+    if n == 0 or m == 0:
+        return GenericAlignmentResult(score=0, query_end=0, target_end=0, cells=0)
+    go, ge = matrix.gap_open, matrix.gap_extend
+    scores = matrix.scores
+    H_prev = np.zeros(n + 1, dtype=np.int64)
+    F = np.full(n + 1, -(10 ** 9), dtype=np.int64)
+    lane = np.arange(n, dtype=np.int64)
+    best, best_q, best_t = 0, 0, 0
+    for t_index, t_code in enumerate(target_codes):
+        profile = scores[t_code][query_codes]
+        diag = H_prev[:-1] + profile
+        F[1:] = np.maximum(F[1:] - ge, H_prev[1:] - go)
+        H0 = np.maximum(0, np.maximum(diag, F[1:]))
+        running = np.maximum.accumulate(H0 + ge * lane)
+        E = np.empty(n, dtype=np.int64)
+        E[0] = -(10 ** 9)
+        if n > 1:
+            E[1:] = running[:-1] - go - ge * (lane[1:] - 1)
+        H_row = np.maximum(H0, E)
+        row_best_idx = int(np.argmax(H_row))
+        row_best = int(H_row[row_best_idx])
+        if row_best > best:
+            best, best_q, best_t = row_best, row_best_idx + 1, t_index + 1
+        H_prev = np.concatenate(([0], H_row))
+    return GenericAlignmentResult(score=best, query_end=best_q, target_end=best_t,
+                                  cells=n * m)
+
+
+def local_align(query: str, target: str,
+                matrix: SubstitutionMatrix) -> GenericAlignmentResult:
+    """Convenience wrapper of :func:`local_align_codes` for string inputs."""
+    return local_align_codes(matrix.alphabet.encode(query),
+                             matrix.alphabet.encode(target), matrix)

@@ -1,0 +1,151 @@
+"""Protein alignment support (the paper's stated extension).
+
+The conclusion of the paper claims the framework extends beyond DNA: "one can
+also use the same methods to align protein sequences (strings of 20
+characters) against protein datasets".  This module makes that claim
+executable:
+
+* BLOSUM62 as a :class:`~repro.alignment.generic.SubstitutionMatrix`;
+* :class:`ProteinSeedIndexAligner` -- the same seed-and-extend structure as
+  merAligner (seed index over target k-mers, lookup, vectorised affine-gap
+  extension), over the amino-acid alphabet.  It runs in-process (a dictionary
+  seed index) because the point here is alphabet generality, not distribution;
+  dropping the distributed seed index of :mod:`repro.core` underneath it would
+  be mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alignment.generic import (
+    GenericAlignmentResult,
+    PROTEIN_ALPHABET,
+    SubstitutionMatrix,
+    local_align,
+)
+
+# BLOSUM62 in the ARNDCQEGHILKMFPSTWYV order (20x20, symmetric).
+_BLOSUM62_ROWS = """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4
+"""
+
+
+def blosum62(gap_open: int = 11, gap_extend: int = 1) -> SubstitutionMatrix:
+    """The BLOSUM62 substitution matrix with the usual affine gap penalties."""
+    rows = [list(map(int, line.split()))
+            for line in _BLOSUM62_ROWS.strip().splitlines()]
+    scores = np.array(rows, dtype=np.int64)
+    if scores.shape != (20, 20) or not np.array_equal(scores, scores.T):
+        raise AssertionError("BLOSUM62 table must be a symmetric 20x20 matrix")
+    return SubstitutionMatrix(alphabet=PROTEIN_ALPHABET, scores=scores,
+                              gap_open=gap_open, gap_extend=gap_extend)
+
+
+@dataclass
+class ProteinHit:
+    """One protein query-to-target local alignment."""
+
+    query_name: str
+    target_id: int
+    score: int
+    query_end: int
+    target_end: int
+
+
+@dataclass
+class ProteinSeedIndexAligner:
+    """Seed-and-extend alignment of protein queries against protein targets.
+
+    The structure mirrors merAligner exactly: target k-mers (seeds) are
+    indexed, query seeds are looked up, and each candidate target is extended
+    with the vectorised affine-gap kernel -- only the alphabet and the scoring
+    matrix differ.
+
+    Attributes:
+        seed_length: protein seed length (proteins use short seeds, 3-6).
+        matrix: substitution matrix (BLOSUM62 by default).
+        min_score: alignments scoring below this are not reported.
+        max_candidates_per_seed: cap on candidate targets per seed (the same
+            sensitivity/speed knob as section IV-C).
+    """
+
+    seed_length: int = 4
+    matrix: SubstitutionMatrix = field(default_factory=blosum62)
+    min_score: int = 20
+    max_candidates_per_seed: int = 32
+    _targets: list[str] = field(default_factory=list)
+    _index: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seed_length <= 0:
+            raise ValueError("seed_length must be positive")
+        if self.max_candidates_per_seed <= 0:
+            raise ValueError("max_candidates_per_seed must be positive")
+
+    # -- index construction -----------------------------------------------------
+
+    def build_index(self, targets: list[str]) -> int:
+        """Index every seed of every target; returns the number of seeds stored."""
+        alphabet = self.matrix.alphabet
+        self._targets = list(targets)
+        self._index = {}
+        stored = 0
+        for target_id, target in enumerate(targets):
+            if not alphabet.is_valid(target):
+                raise ValueError(f"target {target_id} contains non-protein symbols")
+            for offset in range(len(target) - self.seed_length + 1):
+                seed = target[offset:offset + self.seed_length]
+                self._index.setdefault(seed, []).append((target_id, offset))
+                stored += 1
+        return stored
+
+    @property
+    def n_seeds(self) -> int:
+        return sum(len(v) for v in self._index.values())
+
+    # -- alignment -----------------------------------------------------------------
+
+    def align(self, query_name: str, query: str) -> list[ProteinHit]:
+        """Align one protein query; returns hits sorted by decreasing score."""
+        if not self._targets:
+            raise RuntimeError("build_index must be called before align")
+        if not self.matrix.alphabet.is_valid(query):
+            raise ValueError("query contains non-protein symbols")
+        candidates: set[int] = set()
+        for offset in range(max(0, len(query) - self.seed_length + 1)):
+            seed = query[offset:offset + self.seed_length]
+            placements = self._index.get(seed, [])[: self.max_candidates_per_seed]
+            candidates.update(target_id for target_id, _ in placements)
+        hits: list[ProteinHit] = []
+        for target_id in sorted(candidates):
+            result: GenericAlignmentResult = local_align(
+                query, self._targets[target_id], self.matrix)
+            if result.score >= self.min_score:
+                hits.append(ProteinHit(query_name=query_name, target_id=target_id,
+                                       score=result.score,
+                                       query_end=result.query_end,
+                                       target_end=result.target_end))
+        hits.sort(key=lambda hit: hit.score, reverse=True)
+        return hits

@@ -1,0 +1,102 @@
+"""Alignment result records (SAM-flavoured).
+
+merAligner reports, for each read, the targets it aligns to, the coordinates
+of the local alignment, its score and whether it was resolved by the
+exact-match fast path.  The scaffolding step of Meraculous consumes exactly
+this information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class CigarOp(str, Enum):
+    """CIGAR operation codes (the subset a local DNA aligner emits)."""
+
+    MATCH = "M"      # alignment match or mismatch
+    INSERTION = "I"  # base present in the query but not the target
+    DELETION = "D"   # base present in the target but not the query
+    SOFTCLIP = "S"   # query bases outside the local alignment
+
+
+def cigar_to_string(cigar: list[tuple[int, CigarOp]]) -> str:
+    """Render a run-length CIGAR list as the usual compact string."""
+    return "".join(f"{length}{op.value}" for length, op in cigar)
+
+
+def alignment_identity(aligned_query: str, aligned_target: str) -> float:
+    """Fraction of identical columns between two gapped alignment strings."""
+    if len(aligned_query) != len(aligned_target):
+        raise ValueError("aligned strings must have equal length")
+    if not aligned_query:
+        return 0.0
+    same = sum(1 for a, b in zip(aligned_query, aligned_target) if a == b and a != "-")
+    return same / len(aligned_query)
+
+
+@dataclass
+class Alignment:
+    """One local alignment of a query against a target.
+
+    Attributes:
+        query_name: read name.
+        target_id: index of the target (contig) aligned to.
+        score: local alignment score under the scoring scheme used.
+        query_start / query_end: half-open interval of the query covered.
+        target_start / target_end: half-open interval of the target covered.
+        strand: '+' if the query aligned forward, '-' if reverse-complemented.
+        cigar: run-length CIGAR (may be empty when only the score was needed).
+        is_exact: True when the exact-match fast path produced the alignment.
+        identity: fraction of identical columns (1.0 for exact matches).
+    """
+
+    query_name: str
+    target_id: int
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+    strand: str = "+"
+    cigar: list[tuple[int, CigarOp]] = field(default_factory=list)
+    is_exact: bool = False
+    identity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.query_end < self.query_start:
+            raise ValueError("query_end must be >= query_start")
+        if self.target_end < self.target_start:
+            raise ValueError("target_end must be >= target_start")
+        if self.strand not in ("+", "-"):
+            raise ValueError("strand must be '+' or '-'")
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def target_span(self) -> int:
+        return self.target_end - self.target_start
+
+    @property
+    def cigar_string(self) -> str:
+        return cigar_to_string(self.cigar)
+
+    def to_sam_fields(self, target_name: str | None = None) -> list[str]:
+        """Render the alignment as the core columns of a SAM record."""
+        flag = 0 if self.strand == "+" else 16
+        return [
+            self.query_name,
+            str(flag),
+            target_name if target_name is not None else f"target{self.target_id}",
+            str(self.target_start + 1),           # SAM is 1-based
+            "60" if self.is_exact else "30",       # mapping quality proxy
+            self.cigar_string or f"{self.query_span}M",
+            "*", "0", "0", "*", "*",
+            f"AS:i:{self.score}",
+        ]
+
+    def to_sam_line(self, target_name: str | None = None) -> str:
+        return "\t".join(self.to_sam_fields(target_name))

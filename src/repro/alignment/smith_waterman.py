@@ -1,0 +1,153 @@
+"""Scalar Smith-Waterman-Gotoh local alignment with traceback.
+
+This is the reference implementation: exact affine-gap local alignment with
+full traceback, used for small problems, for producing CIGARs, and as the
+oracle the vectorised kernels are tested against.  The hot path of the
+pipeline uses :mod:`repro.alignment.striped` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.alignment.result import CigarOp
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+@dataclass
+class LocalAlignmentResult:
+    """Outcome of one local alignment (coordinates are half-open, 0-based)."""
+
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+    cigar: list[tuple[int, CigarOp]] = field(default_factory=list)
+    aligned_query: str = ""
+    aligned_target: str = ""
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def target_span(self) -> int:
+        return self.target_end - self.target_start
+
+
+def sw_score_matrix(query: str, target: str,
+                    scoring: ScoringScheme = DEFAULT_SCORING) -> np.ndarray:
+    """Return the full (len(query)+1) x (len(target)+1) H matrix.
+
+    Exposed for tests and teaching; quadratic memory, do not use on long
+    targets.
+    """
+    n, m = len(query), len(target)
+    H = np.zeros((n + 1, m + 1), dtype=np.int64)
+    E = np.full((n + 1, m + 1), np.iinfo(np.int64).min // 4, dtype=np.int64)
+    F = np.full((n + 1, m + 1), np.iinfo(np.int64).min // 4, dtype=np.int64)
+    go, ge = scoring.gap_open, scoring.gap_extend
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            E[i, j] = max(E[i, j - 1] - ge, H[i, j - 1] - go)
+            F[i, j] = max(F[i - 1, j] - ge, H[i - 1, j] - go)
+            diag = H[i - 1, j - 1] + scoring.score_pair(query[i - 1], target[j - 1])
+            H[i, j] = max(0, diag, E[i, j], F[i, j])
+    return H
+
+
+def smith_waterman(query: str, target: str,
+                   scoring: ScoringScheme = DEFAULT_SCORING,
+                   traceback: bool = True) -> LocalAlignmentResult:
+    """Affine-gap local alignment of *query* against *target*.
+
+    Returns the best-scoring local alignment; ties are broken toward the
+    smallest target/query end coordinates.  With ``traceback=False`` only the
+    score and end coordinates are computed (the start coordinates are then
+    reported equal to the ends).
+    """
+    n, m = len(query), len(target)
+    if n == 0 or m == 0:
+        return LocalAlignmentResult(0, 0, 0, 0, 0)
+    go, ge = scoring.gap_open, scoring.gap_extend
+    neg = -(10 ** 9)
+    H = [[0] * (m + 1) for _ in range(n + 1)]
+    E = [[neg] * (m + 1) for _ in range(n + 1)]
+    F = [[neg] * (m + 1) for _ in range(n + 1)]
+    pointer = [[_STOP] * (m + 1) for _ in range(n + 1)] if traceback else None
+    best_score, best_i, best_j = 0, 0, 0
+    for i in range(1, n + 1):
+        qbase = query[i - 1]
+        Hi, Hi1 = H[i], H[i - 1]
+        Ei, Fi, Fi1 = E[i], F[i], F[i - 1]
+        for j in range(1, m + 1):
+            Ei[j] = max(Ei[j - 1] - ge, Hi[j - 1] - go)
+            Fi[j] = max(Fi1[j] - ge, Hi1[j] - go)
+            diag = Hi1[j - 1] + (scoring.match if qbase == target[j - 1]
+                                 else -scoring.mismatch)
+            score = max(0, diag, Ei[j], Fi[j])
+            Hi[j] = score
+            if traceback:
+                if score == 0:
+                    pointer[i][j] = _STOP
+                elif score == diag:
+                    pointer[i][j] = _DIAG
+                elif score == Fi[j]:
+                    pointer[i][j] = _UP
+                else:
+                    pointer[i][j] = _LEFT
+            if score > best_score:
+                best_score, best_i, best_j = score, i, j
+    if not traceback or best_score == 0:
+        return LocalAlignmentResult(best_score, best_i, best_i, best_j, best_j)
+    return _traceback(query, target, pointer, best_score, best_i, best_j)
+
+
+def _traceback(query: str, target: str, pointer: list[list[int]],
+               best_score: int, best_i: int, best_j: int) -> LocalAlignmentResult:
+    aligned_q: list[str] = []
+    aligned_t: list[str] = []
+    ops: list[CigarOp] = []
+    i, j = best_i, best_j
+    while i > 0 and j > 0 and pointer[i][j] != _STOP:
+        direction = pointer[i][j]
+        if direction == _DIAG:
+            aligned_q.append(query[i - 1])
+            aligned_t.append(target[j - 1])
+            ops.append(CigarOp.MATCH)
+            i -= 1
+            j -= 1
+        elif direction == _UP:
+            aligned_q.append(query[i - 1])
+            aligned_t.append("-")
+            ops.append(CigarOp.INSERTION)
+            i -= 1
+        else:  # _LEFT
+            aligned_q.append("-")
+            aligned_t.append(target[j - 1])
+            ops.append(CigarOp.DELETION)
+            j -= 1
+    aligned_q.reverse()
+    aligned_t.reverse()
+    ops.reverse()
+    cigar: list[tuple[int, CigarOp]] = []
+    for op in ops:
+        if cigar and cigar[-1][1] == op:
+            cigar[-1] = (cigar[-1][0] + 1, op)
+        else:
+            cigar.append((1, op))
+    return LocalAlignmentResult(
+        score=best_score,
+        query_start=i,
+        query_end=best_i,
+        target_start=j,
+        target_end=best_j,
+        cigar=cigar,
+        aligned_query="".join(aligned_q),
+        aligned_target="".join(aligned_t),
+    )

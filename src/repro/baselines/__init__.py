@@ -1,0 +1,35 @@
+"""Baseline aligners and the pMap-style parallel driver.
+
+The paper compares merAligner against BWA-mem and Bowtie2 executed under the
+pMap framework (Table II, Fig 1 single points, Fig 11).  Those tools are
+FM-index (BWT) based aligners whose *index construction is serial* and whose
+index is *replicated* in every instance's memory -- the structural properties
+the comparison is about.  This package rebuilds that structure from scratch:
+
+* :mod:`repro.baselines.fmindex` -- suffix array, Burrows-Wheeler transform
+  and an FM-index with backward search and sampled-SA locate.
+* :mod:`repro.baselines.bwa_like` -- a BWA-mem-flavoured seed-and-extend
+  aligner over the FM-index (long exact seeds, SW extension).
+* :mod:`repro.baselines.bowtie_like` -- a Bowtie2-flavoured aligner (short
+  fixed-length seeds, capped per-seed hits, "--very-fast" style policy).
+* :mod:`repro.baselines.pmap` -- the pMap driver: serial index build, serial
+  master-based read partitioning, embarrassingly parallel mapping.
+"""
+
+from repro.baselines.fmindex import suffix_array, bwt_from_suffix_array, FMIndex
+from repro.baselines.base import BaselineAligner, BaselineCostModel
+from repro.baselines.bwa_like import BwaLikeAligner
+from repro.baselines.bowtie_like import BowtieLikeAligner
+from repro.baselines.pmap import PMapFramework, PMapReport
+
+__all__ = [
+    "suffix_array",
+    "bwt_from_suffix_array",
+    "FMIndex",
+    "BaselineAligner",
+    "BaselineCostModel",
+    "BwaLikeAligner",
+    "BowtieLikeAligner",
+    "PMapFramework",
+    "PMapReport",
+]

@@ -1,0 +1,164 @@
+"""Shared machinery of the FM-index baseline aligners.
+
+The baselines exist to reproduce the *structural* comparison of the paper:
+serial index construction + per-instance index replication (BWA-mem, Bowtie2
+under pMap) versus merAligner's fully parallel construction + distributed
+index.  Each baseline therefore tracks, in modelled seconds consistent with
+the merAligner cost model, how long its serial index build takes and how long
+mapping each read takes, so the pMap driver can assemble Table II / Fig 1 /
+Fig 11 style numbers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.alignment.extend import SeedHit, extend_seed_hit
+from repro.alignment.result import Alignment
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.baselines.fmindex import FMIndex, SEPARATOR
+from repro.dna.sequence import reverse_complement
+from repro.dna.synthetic import ReadRecord
+
+
+@dataclass(frozen=True)
+class BaselineCostModel:
+    """Per-operation modelled CPU costs of the baseline aligners (seconds).
+
+    The index-construction constants are calibrated so that the *ratio*
+    between serial index build and parallel mapping resembles Table II; tests
+    only rely on orderings, never on absolute values.
+    """
+
+    index_build_per_char: float = 1.5e-6
+    index_load_per_byte: float = 4.0e-10
+    fm_step: float = 1.2e-7
+    locate_step: float = 2.5e-7
+    sw_cell: float = 2.0e-9
+    read_partition_per_byte: float = 2.0e-9
+
+
+class BaselineAligner:
+    """Base class: FM-index construction plus seed-and-extend mapping."""
+
+    #: Human-readable tool name (overridden by subclasses).
+    name = "fm-baseline"
+
+    def __init__(self, seed_length: int = 51,
+                 seed_stride: int | None = None,
+                 max_hits_per_seed: int = 16,
+                 min_alignment_score: int = 20,
+                 scoring: ScoringScheme = DEFAULT_SCORING,
+                 costs: BaselineCostModel | None = None) -> None:
+        if seed_length <= 0:
+            raise ValueError("seed_length must be positive")
+        self.seed_length = seed_length
+        self.seed_stride = seed_stride or max(1, seed_length // 2)
+        self.max_hits_per_seed = max_hits_per_seed
+        self.min_alignment_score = min_alignment_score
+        self.scoring = scoring
+        self.costs = costs or BaselineCostModel()
+        self.index: FMIndex | None = None
+        self._targets: list[str] = []
+        self._boundaries: list[int] = []
+        self.index_build_seconds = 0.0
+        self.mapping_seconds = 0.0
+        self.reads_processed = 0
+        self.reads_aligned = 0
+
+    # -- index construction (serial) ----------------------------------------------
+
+    def build_index(self, targets: list[str]) -> float:
+        """Build the FM-index of the concatenated targets (serial).
+
+        Returns the modelled construction time in seconds.
+        """
+        self._targets = list(targets)
+        self._boundaries = []
+        offset = 0
+        pieces: list[str] = []
+        for target in targets:
+            self._boundaries.append(offset)
+            pieces.append(target)
+            offset += len(target) + 1
+        concatenated = SEPARATOR.join(pieces) if pieces else ""
+        self.index = FMIndex(concatenated) if concatenated else None
+        total_chars = sum(len(t) for t in targets)
+        self.index_build_seconds = self.costs.index_build_per_char * total_chars * self._index_cost_factor()
+        return self.index_build_seconds
+
+    def _index_cost_factor(self) -> float:
+        """Relative index-construction cost of this tool (1.0 = BWA-like)."""
+        return 1.0
+
+    @property
+    def index_nbytes(self) -> int:
+        """Size of the index each pMap instance must hold in memory."""
+        return self.index.index_nbytes if self.index is not None else 0
+
+    def _concat_to_target(self, position: int) -> tuple[int, int]:
+        """Map a concatenated-text position to ``(target_id, offset)``."""
+        target_id = bisect.bisect_right(self._boundaries, position) - 1
+        return target_id, position - self._boundaries[target_id]
+
+    # -- seeding policy (overridden by subclasses) ----------------------------------
+
+    def seed_offsets(self, read_length: int) -> list[int]:
+        """Query offsets at which seeds are extracted."""
+        if read_length < self.seed_length:
+            return []
+        return list(range(0, read_length - self.seed_length + 1, self.seed_stride))
+
+    # -- mapping --------------------------------------------------------------------
+
+    def align_read(self, read: ReadRecord) -> tuple[list[Alignment], float]:
+        """Map one read; returns its alignments and the modelled seconds spent."""
+        if self.index is None:
+            raise RuntimeError("build_index must be called before align_read")
+        self.reads_processed += 1
+        seconds = 0.0
+        alignments: list[Alignment] = []
+        seen: set[tuple[str, int, int]] = set()
+        for strand in ("+", "-"):
+            sequence = read.sequence if strand == "+" else reverse_complement(read.sequence)
+            for query_offset in self.seed_offsets(len(sequence)):
+                seed = sequence[query_offset:query_offset + self.seed_length]
+                seconds += self.costs.fm_step * len(seed)
+                positions = self.index.locate(seed, limit=self.max_hits_per_seed)
+                seconds += self.costs.locate_step * max(1, len(positions)) * self.index.sa_sample_rate
+                for position in positions:
+                    target_id, target_offset = self._concat_to_target(position)
+                    key = (strand, target_id, target_offset - query_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    target = self._targets[target_id]
+                    hit = SeedHit(target_id=target_id, target_offset=target_offset,
+                                  query_offset=query_offset,
+                                  seed_length=self.seed_length, strand=strand)
+                    alignment, cells = extend_seed_hit(read.name, sequence, target, hit,
+                                                       scoring=self.scoring)
+                    seconds += self.costs.sw_cell * cells
+                    if alignment.score >= self.min_alignment_score:
+                        alignments.append(alignment)
+        if alignments:
+            self.reads_aligned += 1
+        self.mapping_seconds += seconds
+        return alignments, seconds
+
+    def map_reads(self, reads: list[ReadRecord]) -> tuple[list[Alignment], list[float]]:
+        """Map a list of reads; returns all alignments and per-read modelled times."""
+        all_alignments: list[Alignment] = []
+        per_read_seconds: list[float] = []
+        for read in reads:
+            alignments, seconds = self.align_read(read)
+            all_alignments.extend(alignments)
+            per_read_seconds.append(seconds)
+        return all_alignments, per_read_seconds
+
+    @property
+    def aligned_fraction(self) -> float:
+        if self.reads_processed == 0:
+            return 0.0
+        return self.reads_aligned / self.reads_processed

@@ -1,0 +1,35 @@
+"""A Bowtie2-flavoured baseline aligner.
+
+Bowtie2 seeds with short fixed-length substrings (at most 31 bases -- the
+paper sets the maximum, 31, with ``--very-fast``) taken at a coarse stride,
+caps the number of hits it will extend per seed, and extends with SIMD
+Smith-Waterman.  Its FFM-index construction (bowtie2-build) is roughly twice
+as slow as BWA's in the paper's Table II, which the cost factor reflects.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineAligner, BaselineCostModel
+
+
+class BowtieLikeAligner(BaselineAligner):
+    """Bowtie2 stand-in: short seeds, coarse stride, tight hit cap."""
+
+    name = "bowtie2-like"
+
+    #: Bowtie2's maximum seed length.
+    MAX_SEED_LENGTH = 31
+
+    def __init__(self, seed_length: int = 31, very_fast: bool = True, **kwargs) -> None:
+        seed_length = min(seed_length, self.MAX_SEED_LENGTH)
+        # --very-fast: fewer seed extractions per read, fewer extensions.
+        kwargs.setdefault("seed_stride", 22 if very_fast else 10)
+        kwargs.setdefault("max_hits_per_seed", 8 if very_fast else 20)
+        kwargs.setdefault("costs", BaselineCostModel(index_build_per_char=3.0e-6))
+        super().__init__(seed_length=seed_length, **kwargs)
+        self.very_fast = very_fast
+
+    def _index_cost_factor(self) -> float:
+        # bowtie2-build is roughly 2x slower than bwa index on the same input
+        # (Table II: 10,916 s vs 5,384 s on the human contig set).
+        return 2.0

@@ -1,0 +1,151 @@
+"""Suffix array, BWT and FM-index (the substrate of the baseline aligners).
+
+BWA and Bowtie2 are FM-index based: the reference is indexed once (serially)
+by building its suffix array and Burrows-Wheeler transform, after which exact
+occurrences of any pattern are found with backward search in time proportional
+to the pattern length, and located through a sampled suffix array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Sentinel terminating the indexed text (lexicographically smallest).
+SENTINEL = "$"
+#: Separator placed between concatenated target sequences.
+SEPARATOR = "#"
+
+
+def suffix_array(text: str) -> np.ndarray:
+    """Suffix array of *text* by prefix doubling (O(n log^2 n), numpy-vectorised).
+
+    The caller is expected to have appended a unique smallest sentinel; the
+    function itself works for any string.
+    """
+    n = len(text)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    rank = np.frombuffer(text.encode("ascii"), dtype=np.uint8).astype(np.int64)
+    sa = np.argsort(rank, kind="stable").astype(np.int64)
+    k = 1
+    while True:
+        indices = np.arange(n, dtype=np.int64)
+        second = np.full(n, -1, dtype=np.int64)
+        valid = indices + k < n
+        second[valid] = rank[indices[valid] + k]
+        sa = np.lexsort((second, rank)).astype(np.int64)
+        pairs = np.stack([rank[sa], second[sa]], axis=1)
+        changed = np.ones(n, dtype=bool)
+        changed[1:] = np.any(pairs[1:] != pairs[:-1], axis=1)
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[sa] = np.cumsum(changed) - 1
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            return sa
+        k *= 2
+
+
+def bwt_from_suffix_array(text: str, sa: np.ndarray) -> str:
+    """Burrows-Wheeler transform of *text* given its suffix array."""
+    if len(text) != len(sa):
+        raise ValueError("suffix array length must match text length")
+    chars = [text[i - 1] if i > 0 else text[-1] for i in sa]
+    return "".join(chars)
+
+
+class FMIndex:
+    """FM-index over one text with backward search and sampled-SA locate."""
+
+    def __init__(self, text: str, sa_sample_rate: int = 8) -> None:
+        if SENTINEL in text:
+            raise ValueError("text must not contain the sentinel character")
+        if sa_sample_rate <= 0:
+            raise ValueError("sa_sample_rate must be positive")
+        self.text_length = len(text)
+        indexed = text + SENTINEL
+        self._sa = suffix_array(indexed)
+        self._bwt = bwt_from_suffix_array(indexed, self._sa)
+        self.sa_sample_rate = sa_sample_rate
+
+        # Alphabet, C array (number of characters strictly smaller), Occ table.
+        self.alphabet = sorted(set(indexed))
+        self._char_to_idx = {ch: i for i, ch in enumerate(self.alphabet)}
+        bwt_codes = np.array([self._char_to_idx[ch] for ch in self._bwt], dtype=np.int64)
+        counts = np.bincount(bwt_codes, minlength=len(self.alphabet))
+        self._C = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        one_hot = np.zeros((len(indexed), len(self.alphabet)), dtype=np.int32)
+        one_hot[np.arange(len(indexed)), bwt_codes] = 1
+        # occ[i, c] = number of occurrences of c in bwt[:i]
+        self._occ = np.vstack([np.zeros((1, len(self.alphabet)), dtype=np.int64),
+                               np.cumsum(one_hot, axis=0, dtype=np.int64)])
+        # Sampled suffix array for locate().
+        mask = self._sa % sa_sample_rate == 0
+        self._sampled_positions = np.flatnonzero(mask)
+        self._sampled_values = self._sa[mask]
+        self._sampled_lookup = {int(pos): int(val)
+                                for pos, val in zip(self._sampled_positions,
+                                                    self._sampled_values)}
+
+    # -- core operations -----------------------------------------------------------
+
+    def occ(self, char: str, index: int) -> int:
+        """Occurrences of *char* in ``bwt[:index]``."""
+        code = self._char_to_idx.get(char)
+        if code is None:
+            return 0
+        return int(self._occ[index, code])
+
+    def lf(self, index: int) -> int:
+        """Last-to-first mapping of BWT row *index*."""
+        char = self._bwt[index]
+        code = self._char_to_idx[char]
+        return int(self._C[code]) + self.occ(char, index)
+
+    def backward_search(self, pattern: str) -> tuple[int, int]:
+        """Return the half-open SA interval ``[lo, hi)`` of *pattern*.
+
+        An empty pattern matches everywhere; a pattern containing characters
+        absent from the text returns an empty interval.
+        """
+        lo, hi = 0, len(self._bwt)
+        for char in reversed(pattern):
+            code = self._char_to_idx.get(char)
+            if code is None:
+                return 0, 0
+            lo = int(self._C[code]) + int(self._occ[lo, code])
+            hi = int(self._C[code]) + int(self._occ[hi, code])
+            if lo >= hi:
+                return 0, 0
+        return lo, hi
+
+    def count(self, pattern: str) -> int:
+        """Number of occurrences of *pattern* in the text."""
+        lo, hi = self.backward_search(pattern)
+        return hi - lo
+
+    def locate(self, pattern: str, limit: int | None = None) -> list[int]:
+        """Text positions of *pattern* occurrences (unsorted order).
+
+        Positions are recovered by LF-stepping from each SA row to the nearest
+        sampled entry.  *limit* caps the number of positions returned.
+        """
+        lo, hi = self.backward_search(pattern)
+        positions: list[int] = []
+        for row in range(lo, hi):
+            if limit is not None and len(positions) >= limit:
+                break
+            steps = 0
+            current = row
+            while current not in self._sampled_lookup:
+                current = self.lf(current)
+                steps += 1
+            positions.append((self._sampled_lookup[current] + steps) % len(self._bwt))
+        return positions
+
+    # -- memory accounting (pMap needs the replicated index size) --------------------
+
+    @property
+    def index_nbytes(self) -> int:
+        """Approximate resident size of the index (what pMap replicates per instance)."""
+        return int(self._occ.nbytes + self._sampled_values.nbytes
+                   + self._sampled_positions.nbytes + len(self._bwt))

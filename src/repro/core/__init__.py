@@ -1,0 +1,41 @@
+"""merAligner core: the paper's primary contribution.
+
+* :mod:`repro.core.config` -- :class:`AlignerConfig`, every tuning knob the
+  paper describes (seed length, aggregation buffer size S, cache sizes, the
+  exact-match optimization, target fragmentation, load balancing, the
+  max-alignments-per-seed threshold).
+* :mod:`repro.core.target_store` -- distributed storage of target sequences
+  and their fragmentation into subsequences with disjoint seed sets.
+* :mod:`repro.core.seed_index` -- the distributed seed index built with (or
+  without) aggregating stores, including single-copy-seed marking.
+* :mod:`repro.core.load_balance` -- random permutation of the query file.
+* :mod:`repro.core.pipeline` -- :class:`MerAligner`, the end-to-end parallel
+  aligner (Algorithm 1 plus sections III-V).
+* :mod:`repro.core.stats` -- :class:`AlignerReport`, per-phase timings,
+  counters and communication statistics.
+"""
+
+from repro.core.config import AlignerConfig
+from repro.core.stats import AlignerReport, AlignmentCounters
+from repro.core.target_store import TargetStore, FragmentRecord, fragment_target
+from repro.core.seed_index import SeedIndex
+from repro.core.load_balance import permute_reads, chunk_for_rank, imbalance
+from repro.core.evaluation import EvaluationResult, evaluate_alignments, compare_aligners
+from repro.core.pipeline import MerAligner
+
+__all__ = [
+    "AlignerConfig",
+    "AlignerReport",
+    "AlignmentCounters",
+    "TargetStore",
+    "FragmentRecord",
+    "fragment_target",
+    "SeedIndex",
+    "permute_reads",
+    "chunk_for_rank",
+    "imbalance",
+    "EvaluationResult",
+    "evaluate_alignments",
+    "compare_aligners",
+    "MerAligner",
+]

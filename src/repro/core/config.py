@@ -1,0 +1,111 @@
+"""Configuration of the merAligner pipeline.
+
+Every optimization the paper evaluates can be switched on and off
+independently, which is how the Figs 8-10 and Table I ablations are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+
+
+@dataclass(frozen=True)
+class AlignerConfig:
+    """All tuning knobs of the parallel aligner.
+
+    Attributes:
+        seed_length: seed (k-mer) length; the paper uses 51 for human/wheat
+            and 19 for the single-node E. coli study.
+        use_aggregating_stores: build the seed index with the aggregating
+            stores optimization (section III-A) instead of fine-grained
+            remote insertions.
+        aggregation_buffer_size: S, the per-destination buffer size; the paper
+            uses S = 1000.
+        use_seed_index_cache: enable the per-node software cache of remote
+            seed index entries (section III-B).
+        use_target_cache: enable the per-node software cache of remote target
+            sequences.
+        seed_cache_bytes_per_node: capacity of the seed index cache (the paper
+            dedicates 16 GB/node; scaled down here with the data).
+        target_cache_bytes_per_node: capacity of the target cache (6 GB/node
+            in the paper).
+        use_exact_match_optimization: enable the Lemma 1 single-lookup fast
+            path (section IV-A).
+        fragment_targets: fragment long targets into subsequences with
+            disjoint seed sets to increase single-copy-seed coverage.
+        fragment_length: fragment length in bases (must exceed seed_length).
+        permute_reads: randomly permute the query file before partitioning it
+            (the Theorem 1 load-balancing scheme).
+        permutation_seed: RNG seed of the permutation (for reproducibility).
+        max_alignments_per_seed: threshold on candidate targets per seed; 0
+            means unlimited (section IV-C).
+        try_reverse_complement: also search the reverse-complemented read.
+        seed_stride: distance between consecutive query seed extractions
+            during the full (non-exact) search; 1 reproduces the paper's
+            every-seed behaviour.
+        window_padding: extra target bases on each side of the expected
+            footprint given to Smith-Waterman.
+        min_alignment_score: alignments scoring below this are discarded.
+        detailed_alignments: compute CIGARs/identity with the traceback kernel
+            (slower); the default reports scores and coordinates only.
+        scoring: affine-gap scoring scheme.
+    """
+
+    seed_length: int = 51
+    use_aggregating_stores: bool = True
+    aggregation_buffer_size: int = 1000
+    use_seed_index_cache: bool = True
+    use_target_cache: bool = True
+    seed_cache_bytes_per_node: int = 4 * 1024 * 1024
+    target_cache_bytes_per_node: int = 2 * 1024 * 1024
+    use_exact_match_optimization: bool = True
+    fragment_targets: bool = True
+    fragment_length: int = 2000
+    permute_reads: bool = True
+    permutation_seed: int = 0xBEEF
+    max_alignments_per_seed: int = 8
+    try_reverse_complement: bool = True
+    seed_stride: int = 1
+    window_padding: int = 16
+    min_alignment_score: int = 20
+    detailed_alignments: bool = False
+    scoring: ScoringScheme = field(default_factory=lambda: DEFAULT_SCORING)
+
+    def __post_init__(self) -> None:
+        if self.seed_length <= 0:
+            raise ValueError("seed_length must be positive")
+        if self.aggregation_buffer_size <= 0:
+            raise ValueError("aggregation_buffer_size must be positive")
+        if self.fragment_targets and self.fragment_length <= self.seed_length:
+            raise ValueError("fragment_length must exceed seed_length")
+        if self.seed_stride <= 0:
+            raise ValueError("seed_stride must be positive")
+        if self.max_alignments_per_seed < 0:
+            raise ValueError("max_alignments_per_seed must be non-negative")
+        if self.seed_cache_bytes_per_node < 0 or self.target_cache_bytes_per_node < 0:
+            raise ValueError("cache capacities must be non-negative")
+        if self.window_padding < 0:
+            raise ValueError("window_padding must be non-negative")
+
+    # -- convenience constructors used by benchmarks ---------------------------
+
+    def without_optimizations(self) -> "AlignerConfig":
+        """The paper's baseline: no aggregating stores, no caches, no exact path."""
+        return replace(self,
+                       use_aggregating_stores=False,
+                       use_seed_index_cache=False,
+                       use_target_cache=False,
+                       use_exact_match_optimization=False,
+                       permute_reads=False)
+
+    def with_(self, **kwargs) -> "AlignerConfig":
+        """Return a copy with the given fields replaced (keyword style)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def for_small_genome(cls, seed_length: int = 19, **kwargs) -> "AlignerConfig":
+        """Config matching the single-node E. coli study (Fig 11): k = 19."""
+        return cls(seed_length=seed_length, fragment_length=max(500, seed_length * 10),
+                   **kwargs)

@@ -1,0 +1,57 @@
+"""Load balancing by random permutation of the query file (section IV-B).
+
+Reads differ widely in processing cost: a read that matches a single target
+exactly costs one lookup and a memcmp, while a read hitting many candidates
+costs many lookups and Smith-Waterman executions.  Randomly permuting the
+reads before block-partitioning them over the ranks bounds, with high
+probability, the imbalance of "slow" reads by ``2 * sqrt(2 * h * p * log p)``
+(Theorem 1, balls-into-bins).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def permute_reads(reads: Sequence[T], seed: int = 0) -> list[T]:
+    """Return the reads in a uniformly random order (Fisher-Yates via numpy).
+
+    The permutation is a pure reordering: the multiset of reads is unchanged
+    (property tests rely on this).
+    """
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(reads))
+    return [reads[i] for i in order]
+
+
+def chunk_for_rank(reads: Sequence[T], rank: int, n_ranks: int) -> list[T]:
+    """The contiguous chunk of ``len(reads)/p`` reads assigned to *rank*."""
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    if not 0 <= rank < n_ranks:
+        raise IndexError("rank out of range")
+    base, extra = divmod(len(reads), n_ranks)
+    start = rank * base + min(rank, extra)
+    count = base + (1 if rank < extra else 0)
+    return list(reads[start:start + count])
+
+
+def imbalance(per_rank_loads: Sequence[float]) -> float:
+    """Distance of the maximum load from the average load (Theorem 1 metric)."""
+    if not per_rank_loads:
+        return 0.0
+    loads = np.asarray(per_rank_loads, dtype=float)
+    return float(loads.max() - loads.mean())
+
+
+def theoretical_imbalance_bound(h: int, p: int) -> float:
+    """Theorem 1 bound on the imbalance of *h* slow reads over *p* ranks."""
+    if h < 0 or p <= 0:
+        raise ValueError("h must be non-negative and p positive")
+    if h == 0 or p == 1:
+        return 0.0
+    return 2.0 * np.sqrt(2.0 * h / p * np.log(p))

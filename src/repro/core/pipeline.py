@@ -1,0 +1,354 @@
+"""The end-to-end parallel aligner (Algorithm 1 with all optimizations).
+
+:class:`MerAligner` orchestrates the SPMD phases of the paper:
+
+1. ``read_targets`` -- every rank reads its block of the target (contig) set
+   in parallel, fragments long targets (section IV-A) and stores the packed
+   fragments in its shared segment.
+2. ``extract_and_store_seeds`` -- every rank extracts the seeds of its own
+   fragments and routes each entry to the owning rank, either through the
+   aggregating-stores buffers or with fine-grained remote stores.
+3. ``drain_stacks`` -- (aggregating stores only) every rank drains its
+   local-shared stack into its local buckets; no locks, no communication.
+4. ``mark_single_copy`` -- every rank scans its partition of the index and
+   clears the single-copy flag of fragments that own duplicated seeds.
+5. ``read_queries`` -- every rank reads its chunk of the (optionally
+   randomly permuted) read set in parallel.
+6. ``align_reads`` -- seed-and-extend with the exact-match fast path,
+   per-node software caches and the max-alignments-per-seed threshold.
+
+The result is an :class:`~repro.core.stats.AlignerReport` carrying the
+alignments, per-phase modelled timings, communication statistics and event
+counters -- everything the paper's figures and tables are built from.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.alignment.exact import exact_match_at
+from repro.alignment.extend import SeedHit, extend_seed_hit
+from repro.alignment.result import Alignment, CigarOp
+from repro.core.config import AlignerConfig
+from repro.core.load_balance import chunk_for_rank, permute_reads
+from repro.core.seed_index import SeedIndex
+from repro.core.stats import AlignerReport, AlignmentCounters
+from repro.core.target_store import TargetStore, fragment_target
+from repro.dna.sequence import reverse_complement
+from repro.dna.synthetic import ReadRecord
+from repro.hashtable.cache import SoftwareCache
+from repro.io.fasta import FastaRecord, read_fasta
+from repro.io.fastq import FastqRecord, read_fastq
+from repro.io.seqdb import SeqDbReader
+from repro.pgas.cost_model import EDISON_LIKE, MachineModel
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.runtime import PgasRuntime, RankContext
+
+
+def _normalize_targets(targets) -> list[str]:
+    """Accept a FASTA path, FastaRecords, or plain sequences."""
+    if isinstance(targets, (str, Path)):
+        return [record.sequence for record in read_fasta(targets)]
+    normalized: list[str] = []
+    for item in targets:
+        if isinstance(item, FastaRecord):
+            normalized.append(item.sequence)
+        elif isinstance(item, str):
+            normalized.append(item)
+        else:
+            raise TypeError(f"unsupported target type: {type(item)!r}")
+    return normalized
+
+
+def _normalize_reads(reads) -> list[ReadRecord]:
+    """Accept a SeqDB/FASTQ path, FastqRecords, or ReadRecords."""
+    if isinstance(reads, (str, Path)):
+        path = Path(reads)
+        if path.suffix in (".seqdb", ".sqdb", ".db"):
+            with SeqDbReader(path) as reader:
+                return [rec.to_read() for rec in reader.read_range(0, len(reader))]
+        return [rec.to_read() for rec in read_fastq(path)]
+    normalized: list[ReadRecord] = []
+    for item in reads:
+        if isinstance(item, ReadRecord):
+            normalized.append(item)
+        elif isinstance(item, FastqRecord):
+            normalized.append(item.to_read())
+        else:
+            raise TypeError(f"unsupported read type: {type(item)!r}")
+    return normalized
+
+
+class MerAligner:
+    """The fully parallel seed-and-extend aligner."""
+
+    def __init__(self, config: AlignerConfig | None = None) -> None:
+        self.config = config or AlignerConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, targets, reads, n_ranks: int = 4,
+            machine: MachineModel = EDISON_LIKE) -> AlignerReport:
+        """Align *reads* against *targets* on a fresh simulated machine.
+
+        Args:
+            targets: FASTA path, list of :class:`FastaRecord`, or sequences.
+            reads: SeqDB/FASTQ path, list of :class:`FastqRecord`, or
+                :class:`ReadRecord` objects.
+            n_ranks: number of simulated ranks (cores).
+            machine: machine model used for cost accounting.
+
+        Returns:
+            The :class:`AlignerReport` of the run.
+        """
+        runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
+        return self.run_on_runtime(runtime, targets, reads)
+
+    def run_on_runtime(self, runtime: PgasRuntime, targets, reads) -> AlignerReport:
+        """Align on an existing runtime (lets callers share a machine model)."""
+        config = self.config
+        target_seqs = _normalize_targets(targets)
+        read_records = _normalize_reads(reads)
+        if config.permute_reads:
+            read_records = permute_reads(read_records, seed=config.permutation_seed)
+
+        target_store = TargetStore(runtime)
+        seed_index = SeedIndex(runtime, config)
+        seed_cache = (SoftwareCache(runtime, config.seed_cache_bytes_per_node,
+                                    name="seed_index")
+                      if config.use_seed_index_cache else None)
+        target_cache = (SoftwareCache(runtime, config.target_cache_bytes_per_node,
+                                      name="target")
+                        if config.use_target_cache else None)
+
+        def spmd(ctx: RankContext):
+            return (yield from self._rank_program(
+                ctx, target_seqs, read_records, target_store, seed_index,
+                seed_cache, target_cache))
+
+        result = runtime.run_spmd(spmd)
+
+        counters = AlignmentCounters()
+        alignments: list[Alignment] = []
+        for rank_alignments, rank_counters in result.results:
+            alignments.extend(rank_alignments)
+            counters = counters.merge(rank_counters)
+
+        cache_stats = {}
+        if seed_cache is not None:
+            cache_stats["seed_index"] = seed_cache.total_stats()
+        if target_cache is not None:
+            cache_stats["target"] = target_cache.total_stats()
+
+        return AlignerReport(
+            n_ranks=runtime.n_ranks,
+            config_summary={
+                "seed_length": config.seed_length,
+                "aggregating_stores": config.use_aggregating_stores,
+                "seed_index_cache": config.use_seed_index_cache,
+                "target_cache": config.use_target_cache,
+                "exact_match_optimization": config.use_exact_match_optimization,
+                "permute_reads": config.permute_reads,
+                "max_alignments_per_seed": config.max_alignments_per_seed,
+            },
+            alignments=alignments,
+            counters=counters,
+            phases=result.phases,
+            per_rank_stats=result.per_rank_stats,
+            seed_index_keys=seed_index.n_keys,
+            seed_index_values=seed_index.n_values,
+            single_copy_fragment_fraction=target_store.single_copy_fraction(),
+            cache_stats=cache_stats,
+        )
+
+    # -- the per-rank SPMD program -------------------------------------------------
+
+    def _rank_program(self, ctx: RankContext, target_seqs: list[str],
+                      read_records: list[ReadRecord], target_store: TargetStore,
+                      seed_index: SeedIndex,
+                      seed_cache: SoftwareCache | None,
+                      target_cache: SoftwareCache | None):
+        config = self.config
+
+        # Phase 1: parallel read + fragmentation + storage of targets.
+        my_target_ids = list(range(len(target_seqs)))[ctx.my_slice(len(target_seqs))]
+        my_fragments: list[tuple[GlobalPointer, int]] = []
+        fragment_counter = 0
+        for target_id in my_target_ids:
+            sequence = target_seqs[target_id]
+            ctx.charge_io_bytes(len(sequence), category="io:targets")
+            if config.fragment_targets:
+                pieces = fragment_target(target_id, sequence,
+                                         config.fragment_length, config.seed_length)
+            else:
+                pieces = [(0, sequence)] if sequence else []
+            for parent_offset, piece in pieces:
+                fragment_id = ctx.me * (1 << 40) + fragment_counter
+                fragment_counter += 1
+                record = target_store.store_fragment(ctx, fragment_id, target_id,
+                                                     parent_offset, piece)
+                pointer = GlobalPointer(owner=ctx.me, segment=TargetStore.SEGMENT,
+                                        key=fragment_id, nbytes=record.nbytes)
+                my_fragments.append((pointer, fragment_id))
+        yield "read_targets"
+
+        # Phase 2: extract seeds from local fragments and route them.
+        segment = ctx.heap.segment(ctx.me, TargetStore.SEGMENT)
+        for pointer, fragment_id in my_fragments:
+            seed_index.add_fragment_seeds(ctx, segment[fragment_id], pointer)
+        seed_index.flush(ctx)
+        yield "extract_and_store_seeds"
+
+        # Phase 3: drain local-shared stacks (aggregating stores only).
+        seed_index.drain(ctx)
+        yield "drain_stacks"
+
+        # Phase 4: single-copy-seed marking for the exact-match optimization.
+        if config.use_exact_match_optimization:
+            seed_index.mark_single_copy_flags(ctx, target_store)
+        yield "mark_single_copy"
+
+        # Phase 5: parallel read of the (optionally permuted) query chunk.
+        my_reads = chunk_for_rank(read_records, ctx.me, ctx.n_ranks)
+        read_bytes = sum(len(r.sequence) // 4 + len(r.quality) + len(r.name)
+                         for r in my_reads)
+        ctx.charge_io_bytes(read_bytes, category="io:queries")
+        yield "read_queries"
+
+        # Phase 6: the aligning phase.
+        counters = AlignmentCounters()
+        alignments: list[Alignment] = []
+        for read in my_reads:
+            alignments.extend(
+                self._align_read(ctx, read, seed_index, target_store,
+                                 seed_cache, target_cache, counters))
+        yield "align_reads"
+        return alignments, counters
+
+    # -- aligning one read ------------------------------------------------------------
+
+    def _orientations(self, sequence: str) -> list[tuple[str, str]]:
+        orientations = [("+", sequence)]
+        if self.config.try_reverse_complement:
+            orientations.append(("-", reverse_complement(sequence)))
+        return orientations
+
+    def _align_read(self, ctx: RankContext, read: ReadRecord,
+                    seed_index: SeedIndex, target_store: TargetStore,
+                    seed_cache: SoftwareCache | None,
+                    target_cache: SoftwareCache | None,
+                    counters: AlignmentCounters) -> list[Alignment]:
+        config = self.config
+        k = config.seed_length
+        counters.reads_processed += 1
+        if len(read.sequence) < k:
+            return []
+
+        orientations = self._orientations(read.sequence)
+
+        # Exact-match fast path (section IV-A): one lookup, one memcmp.
+        if config.use_exact_match_optimization:
+            exact = self._try_exact_path(ctx, read, orientations, seed_index,
+                                         target_store, seed_cache, target_cache,
+                                         counters)
+            if exact is not None:
+                counters.reads_aligned += 1
+                counters.exact_path_hits += 1
+                counters.alignments_reported += 1
+                return [exact]
+
+        # Full seed-and-extend path.
+        candidates = self._collect_candidates(ctx, orientations, seed_index,
+                                              seed_cache, counters)
+        alignments: list[Alignment] = []
+        for (strand, _fragment_key), (placement, query_offset) in candidates.items():
+            fragment = target_store.fetch(ctx, placement.fragment, cache=target_cache)
+            counters.candidates_examined += 1
+            oriented = orientations[0][1] if strand == "+" else orientations[1][1]
+            hit = SeedHit(target_id=fragment.parent_target_id,
+                          target_offset=placement.offset,
+                          query_offset=query_offset,
+                          seed_length=k, strand=strand)
+            alignment, cells = extend_seed_hit(
+                read.name, oriented, fragment.sequence(), hit,
+                scoring=config.scoring,
+                window_padding=config.window_padding,
+                detailed=config.detailed_alignments)
+            counters.sw_calls += 1
+            counters.sw_cells += cells
+            ctx.charge_op("sw_cell", cells)
+            if alignment.score >= config.min_alignment_score:
+                alignment.target_start += fragment.parent_offset
+                alignment.target_end += fragment.parent_offset
+                alignments.append(alignment)
+        if alignments:
+            counters.reads_aligned += 1
+        counters.alignments_reported += len(alignments)
+        return alignments
+
+    def _try_exact_path(self, ctx: RankContext, read: ReadRecord,
+                        orientations: list[tuple[str, str]],
+                        seed_index: SeedIndex, target_store: TargetStore,
+                        seed_cache: SoftwareCache | None,
+                        target_cache: SoftwareCache | None,
+                        counters: AlignmentCounters) -> Alignment | None:
+        config = self.config
+        k = config.seed_length
+        for strand, oriented in orientations:
+            first_seed = oriented[:k]
+            entry = seed_index.lookup(ctx, first_seed, cache=seed_cache)
+            counters.seed_lookups += 1
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            placement = entry.values[0]
+            fragment = target_store.fetch(ctx, placement.fragment, cache=target_cache)
+            if not fragment.single_copy_seeds:
+                continue
+            start = placement.offset  # the first query seed starts the query
+            ctx.charge_op("memcmp_byte", len(oriented))
+            if exact_match_at(oriented, fragment.sequence(), start):
+                length = len(oriented)
+                return Alignment(
+                    query_name=read.name,
+                    target_id=fragment.parent_target_id,
+                    score=config.scoring.max_score(length),
+                    query_start=0,
+                    query_end=length,
+                    target_start=fragment.parent_offset + start,
+                    target_end=fragment.parent_offset + start + length,
+                    strand=strand,
+                    cigar=[(length, CigarOp.MATCH)],
+                    is_exact=True,
+                    identity=1.0,
+                )
+        return None
+
+    def _collect_candidates(self, ctx: RankContext,
+                            orientations: list[tuple[str, str]],
+                            seed_index: SeedIndex,
+                            seed_cache: SoftwareCache | None,
+                            counters: AlignmentCounters):
+        """Look up query seeds and collect unique (strand, fragment) candidates."""
+        config = self.config
+        k = config.seed_length
+        candidates: dict[tuple[str, tuple[int, object]], tuple] = {}
+        for strand, oriented in orientations:
+            for query_offset in range(0, len(oriented) - k + 1, config.seed_stride):
+                kmer = oriented[query_offset:query_offset + k]
+                entry = seed_index.lookup(ctx, kmer, cache=seed_cache)
+                counters.seed_lookups += 1
+                if entry is None or not entry.values:
+                    continue
+                counters.seed_lookup_hits += 1
+                values = entry.values
+                limit = config.max_alignments_per_seed
+                if limit and len(values) > limit:
+                    counters.candidates_skipped_threshold += len(values) - limit
+                    values = values[:limit]
+                for placement in values:
+                    fragment_key = (placement.fragment.owner, placement.fragment.key)
+                    key = (strand, fragment_key)
+                    if key not in candidates:
+                        candidates[key] = (placement, query_offset)
+        return candidates

@@ -1,0 +1,136 @@
+"""The distributed seed index (Algorithm 1 line 6 + sections III-A and IV-A).
+
+The seed index maps every seed (k-mer) extracted from the target fragments to
+the list of ``(fragment pointer, offset)`` placements of that seed, and keeps
+an occurrence count per seed.  It is built collectively: every rank extracts
+the seeds of its own fragments and routes each entry to the rank that owns the
+seed (djb2 hash), either
+
+* with the **aggregating stores** optimization -- per-destination buffers of
+  size S flushed by one-sided aggregate transfers into remote local-shared
+  stacks, drained locally after a barrier (lock-free); or
+* **directly** -- one fine-grained remote store (plus a lock) per seed, the
+  paper's unoptimized baseline.
+
+After construction, every rank scans its local partition and clears the
+``single_copy_seeds`` flag of every fragment that contributed a seed seen
+more than once anywhere (section IV-A), enabling the exact-match fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import AlignerConfig
+from repro.core.target_store import FragmentRecord, TargetStore
+from repro.dna.kmer import kmer_positions
+from repro.hashtable.aggregating import AggregatingStoreBuffer
+from repro.hashtable.cache import SoftwareCache
+from repro.hashtable.distributed import DistributedHashTable
+from repro.hashtable.local_table import BucketEntry
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.runtime import PgasRuntime, RankContext
+
+
+@dataclass(frozen=True)
+class SeedPlacement:
+    """One placement of a seed: which fragment and at what offset."""
+
+    fragment: GlobalPointer
+    offset: int
+
+
+class SeedIndex:
+    """Distributed seed index over a :class:`PgasRuntime`."""
+
+    def __init__(self, runtime: PgasRuntime, config: AlignerConfig,
+                 buckets_per_rank: int = 4096) -> None:
+        self.runtime = runtime
+        self.config = config
+        self.table = DistributedHashTable(runtime, segment="seed_index",
+                                          buckets_per_rank=buckets_per_rank)
+        if config.use_aggregating_stores:
+            AggregatingStoreBuffer.allocate_stacks(runtime)
+        self._aggregators: dict[int, AggregatingStoreBuffer] = {}
+
+    # -- construction (called from inside SPMD phases) --------------------------
+
+    def aggregator_for(self, ctx: RankContext) -> AggregatingStoreBuffer:
+        """The per-rank aggregating-store machinery (created lazily)."""
+        if ctx.me not in self._aggregators:
+            self._aggregators[ctx.me] = AggregatingStoreBuffer(
+                ctx, self.table, buffer_size=self.config.aggregation_buffer_size)
+        return self._aggregators[ctx.me]
+
+    def add_fragment_seeds(self, ctx: RankContext, fragment: FragmentRecord,
+                           pointer: GlobalPointer) -> int:
+        """Extract and route all seeds of one fragment (construction phase).
+
+        Returns the number of seeds extracted.
+        """
+        k = self.config.seed_length
+        sequence = fragment.sequence()
+        n_seeds = 0
+        use_agg = self.config.use_aggregating_stores
+        aggregator = self.aggregator_for(ctx) if use_agg else None
+        for kmer, offset in kmer_positions(sequence, k):
+            ctx.charge_op("seed_extract")
+            placement = SeedPlacement(fragment=pointer, offset=offset)
+            if use_agg:
+                aggregator.add(kmer, placement)
+            else:
+                self.table.insert_direct(ctx, kmer, placement)
+            n_seeds += 1
+        return n_seeds
+
+    def flush(self, ctx: RankContext) -> None:
+        """Flush any partially filled aggregation buffers (end of extraction)."""
+        if self.config.use_aggregating_stores:
+            self.aggregator_for(ctx).flush_all()
+
+    def drain(self, ctx: RankContext) -> int:
+        """Drain this rank's local-shared stack into its local buckets."""
+        if not self.config.use_aggregating_stores:
+            return 0
+        return self.aggregator_for(ctx).drain_local_stack()
+
+    def mark_single_copy_flags(self, ctx: RankContext, store: TargetStore) -> int:
+        """Clear single-copy flags of fragments owning locally counted duplicates.
+
+        Purely local scan of this rank's partition plus one small remote put
+        per affected fragment.  Returns the number of duplicate seeds found.
+        """
+        duplicates = 0
+        for entry in self.table.local_store(ctx.me).entries():
+            ctx.charge_op("lookup")
+            if entry.count > 1:
+                duplicates += 1
+                for placement in entry.values:
+                    store.mark_not_single_copy(ctx, placement.fragment)
+        return duplicates
+
+    # -- lookup (aligning phase) --------------------------------------------------
+
+    def lookup(self, ctx: RankContext, kmer: str,
+               cache: SoftwareCache | None = None) -> BucketEntry | None:
+        """One-sided seed lookup, optionally through the per-node seed cache."""
+        return self.table.lookup(ctx, kmer, cache=cache, category="dht:lookup")
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def n_keys(self) -> int:
+        return self.table.n_keys
+
+    @property
+    def n_values(self) -> int:
+        return self.table.n_values
+
+    def keys_per_rank(self) -> list[int]:
+        return self.table.keys_per_rank()
+
+    def count_of(self, kmer: str) -> int:
+        """Occurrence count of a seed, bypassing cost accounting (tests only)."""
+        owner = self.table.owner_of(kmer)
+        entry = self.table.local_store(owner).lookup(kmer)
+        return 0 if entry is None else entry.count

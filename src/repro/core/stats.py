@@ -1,0 +1,184 @@
+"""Counters, per-phase timings and the end-to-end report of one aligner run.
+
+The report exposes exactly the quantities the paper's evaluation section
+plots: end-to-end time and parallel efficiency (Fig 1), seed index
+construction time (Fig 8), communication during the aligning phase split into
+seed lookups and target fetches (Fig 9), computation vs communication of the
+aligning phase (Fig 10), min/max/avg computation and total alignment time per
+rank (Table I), and the index-construction/mapping split (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alignment.result import Alignment
+from repro.pgas.cost_model import CommStats
+from repro.pgas.trace import PhaseTrace
+
+
+@dataclass
+class AlignmentCounters:
+    """Event counters accumulated by one rank during the aligning phase."""
+
+    reads_processed: int = 0
+    reads_aligned: int = 0
+    exact_path_hits: int = 0
+    seed_lookups: int = 0
+    seed_lookup_hits: int = 0
+    sw_calls: int = 0
+    sw_cells: int = 0
+    candidates_examined: int = 0
+    candidates_skipped_threshold: int = 0
+    alignments_reported: int = 0
+
+    def merge(self, other: "AlignmentCounters") -> "AlignmentCounters":
+        return AlignmentCounters(
+            reads_processed=self.reads_processed + other.reads_processed,
+            reads_aligned=self.reads_aligned + other.reads_aligned,
+            exact_path_hits=self.exact_path_hits + other.exact_path_hits,
+            seed_lookups=self.seed_lookups + other.seed_lookups,
+            seed_lookup_hits=self.seed_lookup_hits + other.seed_lookup_hits,
+            sw_calls=self.sw_calls + other.sw_calls,
+            sw_cells=self.sw_cells + other.sw_cells,
+            candidates_examined=self.candidates_examined + other.candidates_examined,
+            candidates_skipped_threshold=(self.candidates_skipped_threshold
+                                          + other.candidates_skipped_threshold),
+            alignments_reported=self.alignments_reported + other.alignments_reported,
+        )
+
+    @property
+    def aligned_fraction(self) -> float:
+        """Fraction of processed reads with at least one reported alignment."""
+        if self.reads_processed == 0:
+            return 0.0
+        return self.reads_aligned / self.reads_processed
+
+    @property
+    def exact_fraction(self) -> float:
+        """Fraction of aligned reads resolved by the exact-match fast path."""
+        if self.reads_aligned == 0:
+            return 0.0
+        return self.exact_path_hits / self.reads_aligned
+
+
+# Phase names used by the pipeline; stats helpers group them.
+IO_PHASES = ("read_targets", "read_queries")
+INDEX_PHASES = ("extract_and_store_seeds", "drain_stacks", "mark_single_copy")
+ALIGN_PHASES = ("align_reads",)
+
+
+@dataclass
+class AlignerReport:
+    """Everything produced by one end-to-end run of :class:`MerAligner`."""
+
+    n_ranks: int
+    config_summary: dict = field(default_factory=dict)
+    alignments: list[Alignment] = field(default_factory=list)
+    counters: AlignmentCounters = field(default_factory=AlignmentCounters)
+    phases: list[PhaseTrace] = field(default_factory=list)
+    per_rank_stats: list[CommStats] = field(default_factory=list)
+    seed_index_keys: int = 0
+    seed_index_values: int = 0
+    single_copy_fragment_fraction: float = 0.0
+    cache_stats: dict = field(default_factory=dict)
+
+    # -- time roll-ups ----------------------------------------------------------
+
+    def _phase_time(self, names: tuple[str, ...]) -> float:
+        return sum(phase.elapsed for phase in self.phases if phase.name in names)
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end modelled wall time."""
+        return sum(phase.elapsed for phase in self.phases)
+
+    @property
+    def io_time(self) -> float:
+        return self._phase_time(IO_PHASES)
+
+    @property
+    def index_construction_time(self) -> float:
+        """Distributed seed index construction time (Fig 8 quantity)."""
+        return self._phase_time(INDEX_PHASES)
+
+    @property
+    def alignment_time(self) -> float:
+        """Aligning-phase wall time (Fig 10 / Table II 'mapping time')."""
+        return self._phase_time(ALIGN_PHASES)
+
+    def phase(self, name: str) -> PhaseTrace:
+        for trace in self.phases:
+            if trace.name == name:
+                return trace
+        raise KeyError(f"no phase named {name!r}")
+
+    # -- communication roll-ups --------------------------------------------------
+
+    @property
+    def total_stats(self) -> CommStats:
+        return CommStats.aggregate(self.per_rank_stats)
+
+    def category_time(self, prefix: str) -> float:
+        """Summed per-category modelled time across ranks (e.g. 'dht:lookup')."""
+        total = 0.0
+        for stats in self.per_rank_stats:
+            for category, seconds in stats.time_by_category.items():
+                if category.startswith(prefix):
+                    total += seconds
+        return total
+
+    @property
+    def seed_lookup_comm_time(self) -> float:
+        """Communication time spent on seed index lookups (Fig 9 red bars)."""
+        return self.category_time("dht:lookup") + self.category_time("cache:seed_index")
+
+    @property
+    def target_fetch_comm_time(self) -> float:
+        """Communication time spent fetching targets (Fig 9 blue bars)."""
+        return self.category_time("target:fetch") + self.category_time("cache:target")
+
+    @property
+    def alignment_phase_compute(self) -> float:
+        """Summed per-rank computation time of the aligning phase."""
+        try:
+            return self.phase("align_reads").total_compute
+        except KeyError:
+            return 0.0
+
+    @property
+    def alignment_phase_comm(self) -> float:
+        """Summed per-rank communication time of the aligning phase."""
+        try:
+            return self.phase("align_reads").total_comm
+        except KeyError:
+            return 0.0
+
+    # -- Table I style summaries ---------------------------------------------------
+
+    def load_balance_summary(self) -> dict[str, float]:
+        """Min/max/avg computation and total time of the aligning phase."""
+        trace = self.phase("align_reads")
+        return {
+            "compute_min": trace.min_compute,
+            "compute_max": trace.max_compute,
+            "compute_avg": trace.avg_compute,
+            "total_min": trace.min_total,
+            "total_max": trace.max_total,
+            "total_avg": trace.avg_total,
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary used by benchmarks and examples for printing."""
+        return {
+            "n_ranks": float(self.n_ranks),
+            "total_time": self.total_time,
+            "io_time": self.io_time,
+            "index_construction_time": self.index_construction_time,
+            "alignment_time": self.alignment_time,
+            "reads_processed": float(self.counters.reads_processed),
+            "aligned_fraction": self.counters.aligned_fraction,
+            "exact_fraction": self.counters.exact_fraction,
+            "sw_calls": float(self.counters.sw_calls),
+            "seed_lookups": float(self.counters.seed_lookups),
+        }

@@ -1,0 +1,193 @@
+"""Distributed storage and fragmentation of target sequences.
+
+Target (contig) sequences are read by the ranks in parallel and stored in the
+shared address space so that any rank can fetch any target (Algorithm 1, line
+4).  Section IV-A additionally fragments long targets into subsequences with
+*disjoint seed sets* (consecutive fragments overlap by ``k - 1`` bases) so
+that a single repeated seed does not disqualify a whole contig from the
+exact-match optimization; each fragment carries its own
+``single_copy_seeds`` flag and remembers its parent contig and offset so
+alignments are reported in contig coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dna.compression import PackedSequence
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.runtime import PgasRuntime, RankContext
+
+
+@dataclass
+class FragmentRecord:
+    """One fragment of a target stored in some rank's shared segment.
+
+    Attributes:
+        fragment_id: globally unique fragment identifier.
+        parent_target_id: index of the contig the fragment came from.
+        parent_offset: offset of the fragment's first base in the contig.
+        packed: 2-bit packed fragment sequence.
+        single_copy_seeds: True while every seed of the fragment is believed
+            to occur exactly once across all targets (section IV-A); flipped
+            to False during seed-index construction when a duplicate seed is
+            discovered.
+    """
+
+    fragment_id: int
+    parent_target_id: int
+    parent_offset: int
+    packed: PackedSequence
+    single_copy_seeds: bool = True
+
+    @property
+    def length(self) -> int:
+        return self.packed.length
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of the fragment (compressed sequence plus metadata)."""
+        return self.packed.nbytes + 32
+
+    def sequence(self) -> str:
+        return self.packed.to_string()
+
+
+def fragment_target(target_id: int, sequence: str, fragment_length: int,
+                    seed_length: int) -> list[tuple[int, str]]:
+    """Cut one target into overlapping fragments with disjoint seed sets.
+
+    Consecutive fragments overlap by ``seed_length - 1`` bases so that every
+    seed of the original target belongs to exactly one fragment and no seed is
+    lost or duplicated.  Returns ``[(parent_offset, fragment_sequence), ...]``.
+
+    A target no longer than *fragment_length* is returned unfragmented.
+    """
+    if fragment_length <= seed_length:
+        raise ValueError("fragment_length must exceed seed_length")
+    if not sequence:
+        return []
+    if len(sequence) <= fragment_length:
+        return [(0, sequence)]
+    step = fragment_length - (seed_length - 1)
+    fragments: list[tuple[int, str]] = []
+    start = 0
+    while start < len(sequence):
+        stop = min(len(sequence), start + fragment_length)
+        fragments.append((start, sequence[start:stop]))
+        if stop == len(sequence):
+            break
+        start += step
+    return fragments
+
+
+@dataclass
+class TargetDirectoryEntry:
+    """Lightweight description of a fragment kept in the global directory."""
+
+    pointer: GlobalPointer
+    parent_target_id: int
+    parent_offset: int
+    length: int
+
+
+class TargetStore:
+    """Per-rank shared storage of target fragments plus a global directory.
+
+    The directory (fragment id -> :class:`TargetDirectoryEntry`) is replicated
+    on the driver for bookkeeping; the aligner itself never scans it -- seed
+    index entries carry the fragment's :class:`GlobalPointer` directly, as in
+    the paper where hash-table values are pointers to target sequences.
+    """
+
+    SEGMENT = "fragments"
+
+    def __init__(self, runtime: PgasRuntime) -> None:
+        self.runtime = runtime
+        runtime.heap.alloc_all(self.SEGMENT, lambda rank: dict())
+        self.directory: dict[int, TargetDirectoryEntry] = {}
+        self._next_fragment_id: list[int] = [0]
+
+    # -- storing (called by the owning rank during the read_targets phase) -----
+
+    def store_fragment(self, ctx: RankContext, fragment_id: int, target_id: int,
+                       parent_offset: int, sequence: str) -> FragmentRecord:
+        """Pack and store one fragment in the calling rank's shared segment."""
+        packed = PackedSequence.from_string(sequence)
+        record = FragmentRecord(fragment_id=fragment_id,
+                                parent_target_id=target_id,
+                                parent_offset=parent_offset,
+                                packed=packed)
+        segment = ctx.heap.segment(ctx.me, self.SEGMENT)
+        segment[fragment_id] = record
+        ctx.charge_op("base_copy", len(sequence))
+        pointer = GlobalPointer(owner=ctx.me, segment=self.SEGMENT,
+                                key=fragment_id, nbytes=record.nbytes)
+        self.directory[fragment_id] = TargetDirectoryEntry(
+            pointer=pointer, parent_target_id=target_id,
+            parent_offset=parent_offset, length=record.length)
+        return record
+
+    def allocate_fragment_ids(self, count: int, rank: int, n_ranks: int,
+                              n_targets_hint: int = 1 << 20) -> list[int]:
+        """Deterministic, collision-free fragment id block for one rank.
+
+        Ids are ``rank * stride + i`` with a stride large enough that ranks
+        never collide; determinism keeps the cooperative and threaded
+        executors in agreement.
+        """
+        stride = max(n_targets_hint, 1 << 20)
+        base = rank * stride
+        return [base + i for i in range(count)]
+
+    # -- fetching (alignment phase) ---------------------------------------------
+
+    def fetch(self, ctx: RankContext, pointer: GlobalPointer,
+              cache=None) -> FragmentRecord:
+        """Fetch a fragment through its global pointer, optionally via the
+        per-node target cache.
+
+        The full compressed fragment is charged on a miss; a cache hit is an
+        on-node access.
+        """
+        if pointer.owner == ctx.me:
+            ctx.charge_get(pointer.owner, 0, category="target:fetch")
+            return ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
+        if cache is not None:
+            hit, cached = cache.get(ctx, ("target", pointer.key))
+            if hit:
+                return cached
+        record: FragmentRecord = ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
+        ctx.charge_get(pointer.owner, record.nbytes, category="target:fetch")
+        if cache is not None:
+            cache.put(ctx, ("target", pointer.key), record, record.nbytes)
+        return record
+
+    def mark_not_single_copy(self, ctx: RankContext, pointer: GlobalPointer) -> None:
+        """Clear a fragment's single-copy-seeds flag (one small remote put)."""
+        record: FragmentRecord = ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
+        if record.single_copy_seeds:
+            record.single_copy_seeds = False
+            ctx.charge_put(pointer.owner, 1, category="target:flag")
+
+    # -- driver-side inspection ----------------------------------------------------
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.directory)
+
+    def fragments_on_rank(self, rank: int) -> list[FragmentRecord]:
+        return list(self.runtime.heap.segment(rank, self.SEGMENT).values())
+
+    def all_fragments(self) -> list[FragmentRecord]:
+        records: list[FragmentRecord] = []
+        for rank in range(self.runtime.n_ranks):
+            records.extend(self.fragments_on_rank(rank))
+        return records
+
+    def single_copy_fraction(self) -> float:
+        """Fraction of fragments whose seeds are all single-copy."""
+        fragments = self.all_fragments()
+        if not fragments:
+            return 0.0
+        return sum(1 for f in fragments if f.single_copy_seeds) / len(fragments)

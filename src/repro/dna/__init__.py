@@ -1,0 +1,94 @@
+"""DNA substrate: sequences, 2-bit compression, k-mer/seed extraction, synthetic data.
+
+This subpackage provides everything merAligner needs to represent and
+manipulate DNA sequences:
+
+* :mod:`repro.dna.sequence` -- validation, reverse complement, ASCII/numeric
+  conversions used throughout the library.
+* :mod:`repro.dna.compression` -- the 2-bit packed representation the paper
+  uses to cut memory footprint and communication volume by 4x.
+* :mod:`repro.dna.kmer` -- seed (k-mer) extraction from targets and queries,
+  the djb2 hash used for the seed -> processor map, and canonicalisation.
+* :mod:`repro.dna.synthetic` -- synthetic genome / contig / read generators
+  standing in for the paper's human, wheat and E. coli production data sets.
+* :mod:`repro.dna.errors` -- the sequencing-error model applied to reads.
+"""
+
+from repro.dna.sequence import (
+    ALPHABET,
+    BASE_TO_CODE,
+    CODE_TO_BASE,
+    complement,
+    is_valid_dna,
+    random_dna,
+    reverse_complement,
+    sequence_to_codes,
+    codes_to_sequence,
+)
+from repro.dna.compression import (
+    PackedSequence,
+    pack_sequence,
+    unpack_sequence,
+    packed_nbytes,
+)
+from repro.dna.kmer import (
+    Seed,
+    djb2_hash,
+    canonical_kmer,
+    extract_kmers,
+    extract_seeds,
+    kmer_positions,
+    count_kmers,
+)
+from repro.dna.errors import ReadErrorModel, apply_substitutions
+from repro.dna.synthetic import (
+    ReadRecord,
+    SyntheticGenome,
+    GenomeSpec,
+    ReadSetSpec,
+    random_genome,
+    genome_with_repeats,
+    derive_contigs,
+    sample_reads,
+    make_dataset,
+    ECOLI_LIKE,
+    HUMAN_LIKE,
+    WHEAT_LIKE,
+)
+
+__all__ = [
+    "ALPHABET",
+    "BASE_TO_CODE",
+    "CODE_TO_BASE",
+    "complement",
+    "is_valid_dna",
+    "random_dna",
+    "reverse_complement",
+    "sequence_to_codes",
+    "codes_to_sequence",
+    "PackedSequence",
+    "pack_sequence",
+    "unpack_sequence",
+    "packed_nbytes",
+    "Seed",
+    "djb2_hash",
+    "canonical_kmer",
+    "extract_kmers",
+    "extract_seeds",
+    "kmer_positions",
+    "count_kmers",
+    "ReadErrorModel",
+    "apply_substitutions",
+    "ReadRecord",
+    "SyntheticGenome",
+    "GenomeSpec",
+    "ReadSetSpec",
+    "random_genome",
+    "genome_with_repeats",
+    "derive_contigs",
+    "sample_reads",
+    "make_dataset",
+    "ECOLI_LIKE",
+    "HUMAN_LIKE",
+    "WHEAT_LIKE",
+]

@@ -1,0 +1,105 @@
+"""2-bit DNA compression (paper section V-C).
+
+merAligner packs DNA into 2 bits per base, reducing the memory footprint and
+the bytes moved by communication events by 4x.  :class:`PackedSequence` is the
+unit stored in the simulated PGAS shared heap and transferred by the target
+fetch path, so the communication-volume accounting in the cost model sees the
+compressed size exactly as the real system would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dna.sequence import codes_to_sequence, sequence_to_codes
+
+_BASES_PER_BYTE = 4
+
+
+def packed_nbytes(n_bases: int) -> int:
+    """Return the number of bytes needed to store *n_bases* at 2 bits/base."""
+    if n_bases < 0:
+        raise ValueError("n_bases must be non-negative")
+    return (n_bases + _BASES_PER_BYTE - 1) // _BASES_PER_BYTE
+
+
+def pack_sequence(sequence: str) -> np.ndarray:
+    """Pack a DNA string into a ``uint8`` array at 2 bits per base.
+
+    Base ``i`` occupies bits ``2*(i % 4) .. 2*(i % 4)+1`` of byte ``i // 4``
+    (little-endian within the byte).  The length is *not* stored; callers keep
+    it alongside (see :class:`PackedSequence`).
+    """
+    codes = sequence_to_codes(sequence)
+    n = codes.size
+    padded = np.zeros(packed_nbytes(n) * _BASES_PER_BYTE, dtype=np.uint8)
+    padded[:n] = codes
+    lanes = padded.reshape(-1, _BASES_PER_BYTE)
+    packed = (lanes[:, 0]
+              | (lanes[:, 1] << 2)
+              | (lanes[:, 2] << 4)
+              | (lanes[:, 3] << 6))
+    return packed.astype(np.uint8)
+
+
+def unpack_sequence(packed: np.ndarray, length: int) -> str:
+    """Unpack a 2-bit packed array produced by :func:`pack_sequence`.
+
+    Args:
+        packed: the packed byte array.
+        length: number of bases originally packed (to drop padding).
+    """
+    packed = np.asarray(packed, dtype=np.uint8)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if packed.size * _BASES_PER_BYTE < length:
+        raise ValueError("packed buffer too short for requested length")
+    codes = np.empty((packed.size, _BASES_PER_BYTE), dtype=np.uint8)
+    codes[:, 0] = packed & 0x3
+    codes[:, 1] = (packed >> 2) & 0x3
+    codes[:, 2] = (packed >> 4) & 0x3
+    codes[:, 3] = (packed >> 6) & 0x3
+    return codes_to_sequence(codes.reshape(-1)[:length])
+
+
+@dataclass(frozen=True)
+class PackedSequence:
+    """A 2-bit packed DNA sequence with its length.
+
+    Attributes:
+        data: packed byte buffer (read-only by convention).
+        length: number of bases encoded.
+    """
+
+    data: np.ndarray
+    length: int
+
+    @classmethod
+    def from_string(cls, sequence: str) -> "PackedSequence":
+        """Pack *sequence* into a :class:`PackedSequence`."""
+        return cls(data=pack_sequence(sequence), length=len(sequence))
+
+    def to_string(self) -> str:
+        """Unpack back to the original DNA string."""
+        return unpack_sequence(self.data, self.length)
+
+    @property
+    def nbytes(self) -> int:
+        """Compressed size in bytes (what a remote fetch would transfer)."""
+        return int(self.data.size)
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return self.length
+
+    def slice(self, start: int, stop: int) -> str:
+        """Return the unpacked substring ``[start, stop)``.
+
+        The whole buffer is unpacked and sliced; this mirrors fetching a
+        target then extracting the aligned window, which is how merAligner
+        uses target sequences after a (cached) fetch.
+        """
+        if start < 0 or stop > self.length or start > stop:
+            raise IndexError("slice out of bounds")
+        return self.to_string()[start:stop]

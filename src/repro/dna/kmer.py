@@ -1,0 +1,93 @@
+"""Seed (k-mer) extraction and hashing (paper sections II-A and VI-C.1).
+
+A *seed* is a length-k substring of a target or query sequence.  Every target
+of length L contributes exactly ``L - k + 1`` seeds.  Seeds are mapped to the
+owning processor with the djb2 hash, which the paper credits for the near
+perfect balance of distinct seeds across processors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dna.sequence import reverse_complement
+
+
+@dataclass(frozen=True)
+class Seed:
+    """A seed extracted from a target sequence.
+
+    Attributes:
+        kmer: the seed string of length k.
+        target_id: identifier of the target sequence it came from.
+        offset: 0-based offset of the seed's first base within the target.
+    """
+
+    kmer: str
+    target_id: int
+    offset: int
+
+
+def djb2_hash(key: str) -> int:
+    """The djb2 string hash used for the seed -> processor map.
+
+    Returns an unsigned 64-bit value.  The paper reports that djb2 yields an
+    almost perfectly balanced assignment of distinct seeds to processors.
+    """
+    h = 5381
+    for ch in key:
+        h = ((h << 5) + h + ord(ch)) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def canonical_kmer(kmer: str) -> str:
+    """Return the lexicographically smaller of *kmer* and its reverse complement.
+
+    Canonicalisation lets one index entry serve both strands.
+    """
+    rc = reverse_complement(kmer)
+    return kmer if kmer <= rc else rc
+
+
+def extract_kmers(sequence: str, k: int) -> Iterator[str]:
+    """Yield every k-mer of *sequence* in order of appearance.
+
+    A sequence shorter than *k* yields nothing.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for i in range(len(sequence) - k + 1):
+        yield sequence[i:i + k]
+
+
+def kmer_positions(sequence: str, k: int) -> Iterator[tuple[str, int]]:
+    """Yield ``(kmer, offset)`` pairs for every k-mer of *sequence*."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for i in range(len(sequence) - k + 1):
+        yield sequence[i:i + k], i
+
+
+def extract_seeds(target_id: int, sequence: str, k: int) -> list[Seed]:
+    """Extract all :class:`Seed` records from one target sequence.
+
+    This is the per-processor EXTRACTSEEDS step of Algorithm 1: the caller is
+    expected to invoke it for every target sequence it owns.
+    """
+    return [Seed(kmer=kmer, target_id=target_id, offset=off)
+            for kmer, off in kmer_positions(sequence, k)]
+
+
+def count_kmers(sequences: list[str] | tuple[str, ...], k: int) -> Counter:
+    """Count occurrences of every k-mer across *sequences*.
+
+    Used by tests and by the single-copy-seed analysis to cross-check the
+    occurrence counts accumulated inside the distributed seed index.
+    """
+    counts: Counter = Counter()
+    for seq in sequences:
+        for kmer in extract_kmers(seq, k):
+            counts[kmer] += 1
+    return counts

@@ -1,0 +1,96 @@
+"""Basic DNA sequence utilities.
+
+Sequences are plain Python ``str`` objects over the alphabet ``ACGT`` at the
+public API surface.  Hot paths (compression, vectorised Smith-Waterman)
+convert to numpy ``uint8`` code arrays via :func:`sequence_to_codes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The DNA alphabet in the canonical code order (A=0, C=1, G=2, T=3).
+ALPHABET = "ACGT"
+
+#: Mapping from base character to its 2-bit code.
+BASE_TO_CODE = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+#: Mapping from 2-bit code back to base character.
+CODE_TO_BASE = {0: "A", 1: "C", 2: "G", 3: "T"}
+
+_COMPLEMENT = str.maketrans("ACGTacgtN", "TGCAtgcaN")
+
+# ASCII -> code lookup table (255 marks invalid characters).
+_ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _base, _code in BASE_TO_CODE.items():
+    _ASCII_TO_CODE[ord(_base)] = _code
+    _ASCII_TO_CODE[ord(_base.lower())] = _code
+
+_CODE_TO_ASCII = np.frombuffer(ALPHABET.encode("ascii"), dtype=np.uint8).copy()
+
+
+def is_valid_dna(sequence: str) -> bool:
+    """Return True if *sequence* consists only of upper-case ``ACGT`` bases.
+
+    Empty sequences are considered valid (they contain no invalid base).
+    """
+    return all(base in BASE_TO_CODE for base in sequence)
+
+
+def complement(sequence: str) -> str:
+    """Return the base-wise complement of *sequence* (A<->T, C<->G)."""
+    return sequence.translate(_COMPLEMENT)
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of *sequence*.
+
+    This is the sequence of the opposite strand read 5'->3'; aligners use it
+    to map reads sampled from the reverse strand.
+    """
+    return sequence.translate(_COMPLEMENT)[::-1]
+
+
+def sequence_to_codes(sequence: str) -> np.ndarray:
+    """Convert a DNA string to a ``uint8`` array of 2-bit codes (A=0..T=3).
+
+    Raises:
+        ValueError: if the sequence contains a character outside ``ACGTacgt``.
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    codes = _ASCII_TO_CODE[raw]
+    if codes.size and codes.max() == 255:
+        bad = sequence[int(np.argmax(codes == 255))]
+        raise ValueError(f"invalid DNA base {bad!r} in sequence")
+    return codes
+
+
+def codes_to_sequence(codes: np.ndarray) -> str:
+    """Convert a ``uint8`` code array (values 0..3) back to a DNA string."""
+    codes = np.asarray(codes, dtype=np.uint8)
+    if codes.size and codes.max() > 3:
+        raise ValueError("code array contains values outside 0..3")
+    return _CODE_TO_ASCII[codes].tobytes().decode("ascii")
+
+
+def random_dna(length: int, rng: np.random.Generator | None = None,
+               gc_content: float = 0.5) -> str:
+    """Generate a uniformly random DNA string of *length* bases.
+
+    Args:
+        length: number of bases to generate.
+        rng: numpy random generator; a fresh default generator is used when
+            omitted (non-reproducible).
+        gc_content: probability mass assigned to G+C combined; A/T and G/C are
+            each split evenly.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError("gc_content must be within [0, 1]")
+    if rng is None:
+        rng = np.random.default_rng()
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    codes = rng.choice(4, size=length, p=[at, gc, gc, at]).astype(np.uint8)
+    return codes_to_sequence(codes)

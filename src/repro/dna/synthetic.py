@@ -1,0 +1,345 @@
+"""Synthetic genomes, contigs and read sets.
+
+The paper evaluates merAligner on production data sets (2.5 billion human
+reads, 2.3 billion wheat reads, an E. coli K-12 library) that are not
+available here.  This module generates laptop-scale synthetic equivalents that
+preserve the properties the aligner's behaviour actually depends on:
+
+* coverage depth ``d`` and read length ``L`` (they set the seed reuse factor
+  ``f = d * (1 - (k - 1) / L)`` from section III-B),
+* repeat content (it determines how many targets fail the single-copy-seed
+  test that gates the exact-match optimization),
+* contig length distribution (targets much longer than reads drive target
+  cache reuse),
+* read ordering (grouped-by-region vs randomly permuted, which is the
+  Table I load-balancing experiment),
+* paired-end structure and strand of origin.
+
+Every read records its ground-truth origin so integration tests can assert
+that the aligner recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.dna.errors import ReadErrorModel
+from repro.dna.sequence import random_dna, reverse_complement
+from repro.dna.kmer import count_kmers
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """A synthetic read with its ground-truth origin.
+
+    Attributes:
+        name: unique read name (FASTQ-style).
+        sequence: the read bases (possibly with substitution errors).
+        quality: per-base quality string of the same length.
+        contig_id: index of the contig the read was sampled from, or -1 if the
+            read was sampled from a genome region not covered by any contig.
+        position: 0-based offset of the read start within the contig
+            (coordinates of the forward strand), -1 when ``contig_id`` is -1.
+        strand: ``+`` if sampled from the forward strand, ``-`` otherwise.
+        n_errors: number of substituted bases.
+        mate_of: name of the paired mate, or empty string for unpaired reads.
+    """
+
+    name: str
+    sequence: str
+    quality: str
+    contig_id: int = -1
+    position: int = -1
+    strand: str = "+"
+    n_errors: int = 0
+    mate_of: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) != len(self.quality):
+            raise ValueError("sequence and quality must have equal length")
+        if self.strand not in ("+", "-"):
+            raise ValueError("strand must be '+' or '-'")
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the read contains no sequencing errors."""
+        return self.n_errors == 0
+
+
+@dataclass(frozen=True)
+class GenomeSpec:
+    """Parameters of a synthetic genome and its assembly contigs.
+
+    Attributes:
+        name: human-readable data-set name.
+        genome_length: total genome length in bases.
+        repeat_fraction: fraction of the genome covered by copies of repeat
+            units (repeats defeat the single-copy-seed property).
+        repeat_unit_length: length of each repeat unit.
+        n_contigs: number of assembly contigs derived from the genome.
+        min_contig_length: shortest contig to emit.
+        gc_content: GC fraction of the random background.
+    """
+
+    name: str
+    genome_length: int
+    repeat_fraction: float = 0.05
+    repeat_unit_length: int = 400
+    n_contigs: int = 32
+    min_contig_length: int = 200
+    gc_content: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.genome_length <= 0:
+            raise ValueError("genome_length must be positive")
+        if not 0.0 <= self.repeat_fraction < 1.0:
+            raise ValueError("repeat_fraction must be in [0, 1)")
+        if self.n_contigs <= 0:
+            raise ValueError("n_contigs must be positive")
+
+    def scaled(self, factor: float) -> "GenomeSpec":
+        """Return a copy with the genome length scaled by *factor*."""
+        return replace(self, genome_length=max(1, int(self.genome_length * factor)))
+
+
+@dataclass(frozen=True)
+class ReadSetSpec:
+    """Parameters of a synthetic read set.
+
+    Attributes:
+        coverage: sequencing depth d (mean number of reads covering a base).
+        read_length: read length L in bases.
+        error_rate: per-base substitution probability.
+        paired: whether to emit paired-end reads.
+        insert_size: mean outer distance between paired reads.
+        insert_sd: standard deviation of the insert size.
+        reverse_strand_fraction: fraction of reads sampled from the reverse
+            strand.
+        grouped: if True, reads are emitted grouped by genome region (the
+            pathological ordering of Table I); if False they are emitted in
+            random order (the paper's load-balancing fix).
+    """
+
+    coverage: float = 10.0
+    read_length: int = 100
+    error_rate: float = 0.005
+    paired: bool = False
+    insert_size: int = 240
+    insert_sd: int = 20
+    reverse_strand_fraction: float = 0.5
+    grouped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.coverage <= 0:
+            raise ValueError("coverage must be positive")
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if not 0.0 <= self.reverse_strand_fraction <= 1.0:
+            raise ValueError("reverse_strand_fraction must be in [0, 1]")
+
+    def n_reads_for(self, genome_length: int) -> int:
+        """Number of reads needed to reach ``coverage`` over *genome_length*."""
+        return max(1, int(round(self.coverage * genome_length / self.read_length)))
+
+
+@dataclass
+class SyntheticGenome:
+    """A synthetic genome together with its derived assembly contigs."""
+
+    spec: GenomeSpec
+    genome: str
+    contigs: list[str]
+    contig_offsets: list[int] = field(default_factory=list)
+
+    @property
+    def n_contigs(self) -> int:
+        return len(self.contigs)
+
+    def unique_seed_fraction(self, k: int) -> float:
+        """Fraction of contig k-mers that occur exactly once across contigs."""
+        counts = count_kmers(self.contigs, k)
+        if not counts:
+            return 0.0
+        unique = sum(1 for c in counts.values() if c == 1)
+        return unique / len(counts)
+
+
+def random_genome(length: int, rng: np.random.Generator,
+                  gc_content: float = 0.5) -> str:
+    """Generate a random genome of *length* bases."""
+    return random_dna(length, rng=rng, gc_content=gc_content)
+
+
+def genome_with_repeats(length: int, rng: np.random.Generator,
+                        repeat_fraction: float = 0.05,
+                        repeat_unit_length: int = 400,
+                        gc_content: float = 0.5) -> str:
+    """Generate a genome with interspersed exact repeat copies.
+
+    A single repeat unit is generated and pasted over random positions until
+    roughly ``repeat_fraction`` of the genome is covered by repeat copies,
+    mimicking the repetitive structure that makes wheat a grand-challenge
+    genome and that defeats the single-copy-seed property for some targets.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1)")
+    background = list(random_dna(length, rng=rng, gc_content=gc_content))
+    if repeat_fraction > 0.0 and repeat_unit_length < length:
+        unit = random_dna(repeat_unit_length, rng=rng, gc_content=gc_content)
+        n_copies = max(2, int(repeat_fraction * length / repeat_unit_length))
+        for _ in range(n_copies):
+            start = int(rng.integers(0, length - repeat_unit_length + 1))
+            background[start:start + repeat_unit_length] = unit
+    return "".join(background)
+
+
+def derive_contigs(genome: str, n_contigs: int, rng: np.random.Generator,
+                   min_contig_length: int = 200,
+                   gap_fraction: float = 0.02) -> tuple[list[str], list[int]]:
+    """Split a genome into Meraculous-style contigs.
+
+    The genome is cut at ``n_contigs - 1`` random positions; a small fraction
+    of bases around each cut is dropped to model the inter-contig gaps that
+    the scaffolding step (the consumer of merAligner's output) later closes.
+
+    Returns:
+        ``(contigs, offsets)`` where ``offsets[i]`` is the genome coordinate
+        of the first base of ``contigs[i]``.
+    """
+    if n_contigs <= 0:
+        raise ValueError("n_contigs must be positive")
+    if not genome:
+        return [], []
+    if n_contigs == 1:
+        return [genome], [0]
+    length = len(genome)
+    # Choose distinct interior cut points, then drop a small gap at each cut.
+    n_cuts = min(n_contigs - 1, max(0, length // max(1, min_contig_length) - 1))
+    if n_cuts <= 0:
+        return [genome], [0]
+    cuts = sorted(int(c) for c in
+                  rng.choice(np.arange(min_contig_length, length - min_contig_length),
+                             size=n_cuts, replace=False))
+    gap = max(0, int(gap_fraction * length / max(1, n_cuts)) // 2)
+    bounds = [0] + cuts + [length]
+    contigs: list[str] = []
+    offsets: list[int] = []
+    for i in range(len(bounds) - 1):
+        start = bounds[i] + (gap if i > 0 else 0)
+        stop = bounds[i + 1] - (gap if i + 1 < len(bounds) - 1 else 0)
+        if stop - start >= min_contig_length:
+            contigs.append(genome[start:stop])
+            offsets.append(start)
+    if not contigs:
+        return [genome], [0]
+    return contigs, offsets
+
+
+def _locate_in_contig(genome_pos: int, read_len: int,
+                      contig_offsets: list[int], contigs: list[str]) -> tuple[int, int]:
+    """Map a genome coordinate to ``(contig_id, contig_position)``.
+
+    Returns ``(-1, -1)`` if the read does not fall entirely inside one contig.
+    """
+    for cid, (off, contig) in enumerate(zip(contig_offsets, contigs)):
+        if off <= genome_pos and genome_pos + read_len <= off + len(contig):
+            return cid, genome_pos - off
+    return -1, -1
+
+
+def sample_reads(synthetic: SyntheticGenome, spec: ReadSetSpec,
+                 rng: np.random.Generator,
+                 error_model: ReadErrorModel | None = None) -> list[ReadRecord]:
+    """Sample a read set from a synthetic genome.
+
+    Reads are sampled uniformly from the genome (not only from contigs), so a
+    fraction of reads does not map to any target -- the situation the paper
+    identifies as the source of computational load imbalance in Table I.
+    """
+    if error_model is None:
+        error_model = ReadErrorModel(substitution_rate=spec.error_rate)
+    genome = synthetic.genome
+    L = spec.read_length
+    if L > len(genome):
+        raise ValueError("read_length exceeds genome length")
+    n_reads = spec.n_reads_for(len(genome))
+    starts = rng.integers(0, len(genome) - L + 1, size=n_reads)
+    if spec.grouped:
+        starts = np.sort(starts)
+    reads: list[ReadRecord] = []
+    for i, start in enumerate(starts):
+        start = int(start)
+        fragment = genome[start:start + L]
+        strand = "-" if rng.random() < spec.reverse_strand_fraction else "+"
+        oriented = reverse_complement(fragment) if strand == "-" else fragment
+        mutated, qual = error_model.corrupt(oriented, rng)
+        n_errors = sum(1 for a, b in zip(oriented, mutated) if a != b)
+        cid, cpos = _locate_in_contig(start, L, synthetic.contig_offsets,
+                                      synthetic.contigs)
+        reads.append(ReadRecord(
+            name=f"{synthetic.spec.name}:read{i:07d}",
+            sequence=mutated,
+            quality=qual,
+            contig_id=cid,
+            position=cpos,
+            strand=strand,
+            n_errors=n_errors,
+        ))
+    if spec.paired:
+        reads = _pair_reads(reads)
+    return reads
+
+
+def _pair_reads(reads: list[ReadRecord]) -> list[ReadRecord]:
+    """Mark consecutive reads as mates of each other (paired-end library)."""
+    paired: list[ReadRecord] = []
+    for i in range(0, len(reads) - 1, 2):
+        first, second = reads[i], reads[i + 1]
+        paired.append(replace(first, name=first.name + "/1", mate_of=second.name + "/2"))
+        paired.append(replace(second, name=second.name + "/2", mate_of=first.name + "/1"))
+    if len(reads) % 2 == 1:
+        paired.append(reads[-1])
+    return paired
+
+
+def make_dataset(genome_spec: GenomeSpec, read_spec: ReadSetSpec,
+                 seed: int = 0) -> tuple[SyntheticGenome, list[ReadRecord]]:
+    """Generate a full (genome, contigs, reads) data set from specs.
+
+    This is the one-call entry point used by examples, tests and benchmarks.
+    """
+    rng = np.random.default_rng(seed)
+    genome = genome_with_repeats(
+        genome_spec.genome_length, rng,
+        repeat_fraction=genome_spec.repeat_fraction,
+        repeat_unit_length=genome_spec.repeat_unit_length,
+        gc_content=genome_spec.gc_content,
+    )
+    contigs, offsets = derive_contigs(
+        genome, genome_spec.n_contigs, rng,
+        min_contig_length=genome_spec.min_contig_length,
+    )
+    synthetic = SyntheticGenome(spec=genome_spec, genome=genome,
+                                contigs=contigs, contig_offsets=offsets)
+    reads = sample_reads(synthetic, read_spec, rng)
+    return synthetic, reads
+
+
+#: Scaled-down stand-in for the 4.64 Mbp E. coli K-12 MG1655 data set (Fig 11).
+ECOLI_LIKE = GenomeSpec(name="ecoli-like", genome_length=200_000,
+                        repeat_fraction=0.01, repeat_unit_length=300,
+                        n_contigs=1, min_contig_length=200)
+
+#: Scaled-down stand-in for the human NA12878 data set (Figs 1, 8, 9, 10; Tables I, II).
+HUMAN_LIKE = GenomeSpec(name="human-like", genome_length=400_000,
+                        repeat_fraction=0.05, repeat_unit_length=400,
+                        n_contigs=64, min_contig_length=300)
+
+#: Scaled-down stand-in for the grand-challenge hexaploid wheat data set (Fig 1).
+WHEAT_LIKE = GenomeSpec(name="wheat-like", genome_length=800_000,
+                        repeat_fraction=0.20, repeat_unit_length=500,
+                        n_contigs=128, min_contig_length=300)

@@ -1,0 +1,32 @@
+"""Distributed hash table, aggregating stores, and software caches.
+
+This package implements the data-structure contributions of the paper's
+section III:
+
+* :mod:`repro.hashtable.local_table` -- the per-rank bucket store that backs
+  one partition of the distributed table.
+* :mod:`repro.hashtable.distributed` -- the distributed hash table proper
+  (seed index substrate): key ownership via djb2, one-sided lookups, and the
+  *unoptimized* fine-grained insertion path used as the Fig 8 baseline.
+* :mod:`repro.hashtable.aggregating` -- the "aggregating stores" construction
+  optimization: per-destination buffers of size S flushed with aggregate
+  one-sided transfers into remote local-shared stacks reserved by
+  ``atomic_fetchadd``, then drained locally without locks.
+* :mod:`repro.hashtable.cache` -- per-node software caches for remote seed
+  index entries and remote target sequences (section III-B).
+"""
+
+from repro.hashtable.local_table import LocalBucketStore, BucketEntry
+from repro.hashtable.distributed import DistributedHashTable
+from repro.hashtable.aggregating import AggregatingStoreBuffer, LocalSharedStack
+from repro.hashtable.cache import SoftwareCache, CacheStats
+
+__all__ = [
+    "LocalBucketStore",
+    "BucketEntry",
+    "DistributedHashTable",
+    "AggregatingStoreBuffer",
+    "LocalSharedStack",
+    "SoftwareCache",
+    "CacheStats",
+]

@@ -1,0 +1,153 @@
+"""The "aggregating stores" construction optimization (paper section III-A).
+
+Instead of one fine-grained remote access (plus a lock) per seed, every rank
+keeps a small local buffer per destination rank.  When the buffer for rank *j*
+reaches S entries, the rank (a) reserves S slots in *j*'s pre-allocated
+*local-shared stack* with a single global ``atomic_fetchadd`` on *j*'s
+``stack_ptr``, and (b) copies the S entries with one aggregate one-sided
+transfer.  After a barrier, every rank drains its own stack into its local
+buckets -- purely local work, hence the table is lock-free.
+
+The optimization trades an ``S * (n - 1)`` per-rank memory increase for an
+S-fold reduction in both messages and atomics, which is the effect Figure 8
+measures (4-5x faster construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.hashtable.distributed import DistributedHashTable
+from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
+from repro.pgas.shared import SharedArray
+
+
+@dataclass
+class LocalSharedStack:
+    """The pre-allocated landing area for aggregate transfers to one rank."""
+
+    entries: list[Any]
+    capacity: int
+
+    @classmethod
+    def with_capacity(cls, capacity: int) -> "LocalSharedStack":
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        return cls(entries=[None] * capacity, capacity=capacity)
+
+    def ensure_capacity(self, needed: int) -> None:
+        """Grow the landing area if a reservation exceeds the pre-allocation.
+
+        The original implementation sizes the stack from the known seed count;
+        we grow on demand so tests can use tiny initial capacities.
+        """
+        if needed > len(self.entries):
+            self.entries.extend([None] * (needed - len(self.entries)))
+            self.capacity = len(self.entries)
+
+
+class AggregatingStoreBuffer:
+    """Per-rank machinery of the aggregating-stores insertion path."""
+
+    STACK_SEGMENT = "agg_stack"
+    PTR_SEGMENT = "agg_stack_ptr"
+
+    def __init__(self, ctx: RankContext, table: DistributedHashTable,
+                 buffer_size: int = 1000) -> None:
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        self.ctx = ctx
+        self.table = table
+        self.buffer_size = buffer_size
+        self._buffers: dict[int, list[tuple[Hashable, Any]]] = {}
+        self.flushes = 0
+        self.entries_added = 0
+
+    # -- collective setup -------------------------------------------------------
+
+    @classmethod
+    def allocate_stacks(cls, runtime: PgasRuntime,
+                        capacity_per_rank: int = 1024) -> None:
+        """Allocate the local-shared stack and its ``stack_ptr`` on every rank.
+
+        Must be called once (collectively, by the driver) before any rank
+        starts adding entries.
+        """
+        runtime.heap.alloc_all(
+            cls.STACK_SEGMENT,
+            lambda rank: LocalSharedStack.with_capacity(capacity_per_rank))
+        runtime.heap.alloc_all(cls.PTR_SEGMENT, lambda rank: SharedArray(1))
+
+    @classmethod
+    def stacks_allocated(cls, runtime: PgasRuntime) -> bool:
+        return runtime.heap.has_segment(0, cls.STACK_SEGMENT)
+
+    # -- producing side ----------------------------------------------------------
+
+    def add(self, key: Hashable, value: Any) -> None:
+        """Route one entry toward its owner, flushing the buffer when full."""
+        ctx = self.ctx
+        owner = self.table.owner_of(key)
+        ctx.charge_op("seed_hash")
+        buffer = self._buffers.setdefault(owner, [])
+        buffer.append((key, value))
+        self.entries_added += 1
+        if len(buffer) >= self.buffer_size:
+            self._flush_owner(owner)
+
+    def _flush_owner(self, owner: int) -> None:
+        ctx = self.ctx
+        buffer = self._buffers.get(owner, [])
+        if not buffer:
+            return
+        count = len(buffer)
+        # (a)+(b): atomically reserve `count` slots in the owner's stack.
+        position = ctx.fetch_add(owner, self.PTR_SEGMENT, 0, count,
+                                 category="agg:fetch_add")
+        stack: LocalSharedStack = ctx.heap.segment(owner, self.STACK_SEGMENT)
+        stack.ensure_capacity(position + count)
+        # (c): one aggregate one-sided transfer for the whole buffer.
+        nbytes = estimate_nbytes(buffer)
+        ctx.charge_put(owner, nbytes, category="agg:aggregate_put")
+        stack.entries[position:position + count] = buffer
+        self._buffers[owner] = []
+        self.flushes += 1
+
+    def flush_all(self) -> None:
+        """Flush every non-empty destination buffer (end of the extraction loop)."""
+        for owner in sorted(self._buffers):
+            self._flush_owner(owner)
+
+    # -- consuming side ----------------------------------------------------------
+
+    def drain_local_stack(self) -> int:
+        """Insert every entry parked in this rank's own stack into its buckets.
+
+        Purely local: no communication, no locks.  Returns the number of
+        entries inserted.
+        """
+        ctx = self.ctx
+        stack: LocalSharedStack = ctx.heap.segment(ctx.me, self.STACK_SEGMENT)
+        ptr: SharedArray = ctx.heap.segment(ctx.me, self.PTR_SEGMENT)
+        n_entries = int(ptr[0])
+        inserted = 0
+        for slot in range(n_entries):
+            item = stack.entries[slot]
+            if item is None:
+                continue
+            key, value = item
+            self.table.insert_local(ctx, key, value)
+            inserted += 1
+        return inserted
+
+    # -- inspection ---------------------------------------------------------------
+
+    def pending_entries(self) -> int:
+        """Entries buffered locally and not yet flushed."""
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    @property
+    def buffers_in_use(self) -> int:
+        """Number of destination ranks with a non-empty local buffer."""
+        return sum(1 for buffer in self._buffers.values() if buffer)

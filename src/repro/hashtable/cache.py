@@ -1,0 +1,146 @@
+"""Per-node software caches (paper section III-B).
+
+A node dedicates part of its shared memory to caching (a) remote entries of
+the distributed seed index and (b) remote target sequences.  Any rank on the
+node can hit the cache, turning an expensive off-node get into a cheap
+on-node access.  Capacity is managed in bytes with LRU eviction, matching the
+paper's "dedicate a fraction of the node's memory, trade memory for reuse".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.pgas.runtime import PgasRuntime, RankContext
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one node-level cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_cached: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            bytes_cached=self.bytes_cached + other.bytes_cached,
+        )
+
+
+class _NodeCache:
+    """LRU byte-bounded cache shared by the ranks of one node."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self.used_bytes = 0
+        self.stats = CacheStats()
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        if key in self.entries:
+            value, _ = self.entries[key]
+            self.entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            return
+        if key in self.entries:
+            _, old_bytes = self.entries.pop(key)
+            self.used_bytes -= old_bytes
+        while self.used_bytes + nbytes > self.capacity_bytes and self.entries:
+            _, (_, evicted_bytes) = self.entries.popitem(last=False)
+            self.used_bytes -= evicted_bytes
+            self.stats.evictions += 1
+        self.entries[key] = (value, nbytes)
+        self.used_bytes += nbytes
+        self.stats.insertions += 1
+        self.stats.bytes_cached = self.used_bytes
+
+
+class SoftwareCache:
+    """A family of per-node caches addressed through a rank context.
+
+    One :class:`SoftwareCache` instance represents one *kind* of cache (the
+    paper has two: the seed-index cache and the target cache); internally it
+    keeps an independent LRU store per node.
+    """
+
+    def __init__(self, runtime: PgasRuntime, capacity_bytes_per_node: int,
+                 name: str = "cache") -> None:
+        if capacity_bytes_per_node < 0:
+            raise ValueError("capacity must be non-negative")
+        self.runtime = runtime
+        self.name = name
+        self.capacity_bytes_per_node = capacity_bytes_per_node
+        n_nodes = runtime.machine.n_nodes(runtime.n_ranks)
+        self._node_caches = [_NodeCache(capacity_bytes_per_node) for _ in range(n_nodes)]
+
+    def _cache_for(self, ctx: RankContext) -> _NodeCache:
+        return self._node_caches[ctx.node]
+
+    def get(self, ctx: RankContext, key: Hashable) -> tuple[bool, Any]:
+        """Look *key* up in the caller's node cache.
+
+        A hit charges an on-node access (much cheaper than off-node); a miss
+        charges nothing (the caller will pay for the remote fetch and then
+        :meth:`put` the result).
+        Returns ``(hit, value)``.
+        """
+        cache = self._cache_for(ctx)
+        hit, value = cache.get(key)
+        if hit:
+            # Served from the node's shared memory.
+            seconds = ctx.machine.transfer_time(
+                8, same_rank=False, same_node=True, n_nodes=ctx.n_nodes)
+            ctx.clock.charge_comm(seconds)
+            ctx.stats.comm_time += seconds
+            ctx.stats.on_node_ops += 1
+            ctx.stats.record(f"cache:{self.name}:hit", seconds)
+        return hit, value
+
+    def put(self, ctx: RankContext, key: Hashable, value: Any, nbytes: int) -> None:
+        """Insert a freshly fetched object into the caller's node cache."""
+        ctx.charge_op("base_copy", max(1, nbytes))
+        self._cache_for(ctx).put(key, value, nbytes)
+
+    # -- inspection -------------------------------------------------------------
+
+    def node_stats(self, node: int) -> CacheStats:
+        """Statistics of one node's cache."""
+        return self._node_caches[node].stats
+
+    def total_stats(self) -> CacheStats:
+        """Aggregated statistics across all nodes."""
+        total = CacheStats()
+        for cache in self._node_caches:
+            total = total.merge(cache.stats)
+        return total
+
+    def clear(self) -> None:
+        """Drop all cached entries on every node (statistics are kept)."""
+        for cache in self._node_caches:
+            cache.entries.clear()
+            cache.used_bytes = 0

@@ -1,0 +1,143 @@
+"""The distributed hash table (seed index substrate).
+
+Keys are assigned to owning ranks by hashing (djb2 by default, section
+VI-C.1), each rank holding a :class:`~repro.hashtable.local_table.LocalBucketStore`
+in its shared segment.  Two insertion paths are provided:
+
+* :meth:`DistributedHashTable.insert_direct` -- the straightforward algorithm
+  the paper uses as its baseline: every seed triggers a fine-grained remote
+  access plus a lock-protecting atomic on the destination bucket.
+* the aggregating-stores path in :mod:`repro.hashtable.aggregating`, which
+  batches S entries per destination into one aggregate transfer and needs no
+  locks at all.
+
+Lookups are one-sided gets from the owner's partition, optionally served by a
+per-node :class:`~repro.hashtable.cache.SoftwareCache`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.dna.kmer import djb2_hash
+from repro.hashtable.cache import SoftwareCache
+from repro.hashtable.local_table import BucketEntry, LocalBucketStore
+from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
+
+
+class DistributedHashTable:
+    """A hash table partitioned across the ranks of a :class:`PgasRuntime`."""
+
+    def __init__(self, runtime: PgasRuntime, *, segment: str = "dht",
+                 buckets_per_rank: int = 4096,
+                 hash_fn: Callable[[Any], int] | None = None) -> None:
+        self.runtime = runtime
+        self.segment = segment
+        self.hash_fn = hash_fn or (lambda key: djb2_hash(str(key)))
+        self._stores: list[LocalBucketStore] = runtime.heap.alloc_all(
+            segment, lambda rank: LocalBucketStore(buckets_per_rank))
+
+    # -- ownership -------------------------------------------------------------
+
+    def owner_of(self, key: Hashable) -> int:
+        """Rank that owns *key* (djb2 hash modulo the number of ranks)."""
+        return self.hash_fn(key) % self.runtime.n_ranks
+
+    def local_store(self, rank: int) -> LocalBucketStore:
+        """The local partition owned by *rank* (no communication charged)."""
+        return self._stores[rank]
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert_direct(self, ctx: RankContext, key: Hashable, value: Any) -> None:
+        """Unoptimized insertion: one fine-grained remote store per entry.
+
+        The paper's baseline pays, per entry, a remote access to the owning
+        bucket plus a lock acquisition to keep the bucket consistent; we model
+        the lock as a remote atomic.
+        """
+        owner = self.owner_of(key)
+        ctx.charge_op("seed_hash")
+        nbytes = estimate_nbytes(key) + estimate_nbytes(value)
+        # Lock / unlock of the destination bucket (modelled as one atomic).
+        same_node = ctx.same_node(owner)
+        lock_time = ctx.machine.atomic_time(same_rank=(owner == ctx.me),
+                                            same_node=same_node)
+        ctx.clock.charge_comm(lock_time)
+        ctx.stats.comm_time += lock_time
+        ctx.stats.atomics += 1
+        ctx.stats.record("dht:lock", lock_time)
+        ctx.charge_put(owner, nbytes, category="dht:insert_direct")
+        ctx.charge_op("bucket_insert")
+        self._stores[owner].insert(key, value)
+
+    def insert_local(self, ctx: RankContext, key: Hashable, value: Any) -> None:
+        """Insert an entry the caller already owns (no communication).
+
+        Used when draining the local-shared stack of the aggregating-stores
+        path: by construction ``owner_of(key) == ctx.me``.
+        """
+        owner = self.owner_of(key)
+        if owner != ctx.me:
+            raise ValueError(
+                f"insert_local called on rank {ctx.me} for key owned by rank {owner}")
+        ctx.charge_op("bucket_insert")
+        self._stores[ctx.me].insert(key, value)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, ctx: RankContext, key: Hashable,
+               cache: SoftwareCache | None = None,
+               category: str = "dht:lookup") -> BucketEntry | None:
+        """One-sided lookup of *key*, optionally through a per-node cache.
+
+        Returns the :class:`BucketEntry` (values + occurrence count) or None.
+        The entry fetched over the wire is charged at its estimated size; a
+        cache hit is charged as an on-node access instead.
+        """
+        owner = self.owner_of(key)
+        ctx.charge_op("seed_hash")
+        ctx.charge_op("lookup")
+        if owner == ctx.me:
+            ctx.charge_get(owner, 0, category=category)
+            return self._stores[owner].lookup(key)
+        if cache is not None:
+            hit, cached = cache.get(ctx, ("dht", key))
+            if hit:
+                return cached
+        entry = self._stores[owner].lookup(key)
+        nbytes = estimate_nbytes(entry) if entry is not None else 8
+        ctx.charge_get(owner, nbytes, category=category)
+        if cache is not None:
+            cache.put(ctx, ("dht", key), entry, nbytes)
+        return entry
+
+    def count(self, ctx: RankContext, key: Hashable,
+              cache: SoftwareCache | None = None) -> int:
+        """Occurrence count of *key* across the whole table."""
+        entry = self.lookup(ctx, key, cache=cache, category="dht:count")
+        return 0 if entry is None else entry.count
+
+    # -- whole-table views (driver/test helpers, not cost-metered) -------------
+
+    @property
+    def n_keys(self) -> int:
+        """Total number of distinct keys across all partitions."""
+        return sum(store.n_keys for store in self._stores)
+
+    @property
+    def n_values(self) -> int:
+        """Total number of stored values across all partitions."""
+        return sum(store.n_values for store in self._stores)
+
+    def keys_per_rank(self) -> list[int]:
+        """Distinct-key counts per rank, used to verify djb2 load balance."""
+        return [store.n_keys for store in self._stores]
+
+    def as_dict(self) -> dict[Hashable, list[Any]]:
+        """Flatten the whole table into a plain dict (testing helper)."""
+        result: dict[Hashable, list[Any]] = {}
+        for store in self._stores:
+            for entry in store.entries():
+                result.setdefault(entry.key, []).extend(entry.values)
+        return result

@@ -1,0 +1,101 @@
+"""The per-rank local bucket store backing one partition of the seed index.
+
+Each rank of the distributed hash table owns an array of buckets.  A bucket
+holds the entries whose key hashes into it (separate chaining).  Besides the
+values, every key carries an occurrence *count*, which is what the exact-match
+optimization (section IV-A) reads to decide whether a target's seeds are all
+single-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+
+@dataclass
+class BucketEntry:
+    """One key of the local store: its values and occurrence count."""
+
+    key: Hashable
+    values: list[Any] = field(default_factory=list)
+    count: int = 0
+
+
+class LocalBucketStore:
+    """A chained-bucket hash table owned by a single rank.
+
+    The number of buckets is fixed at construction, as in the original UPC
+    implementation where the bucket array is a one-time shared allocation.
+    """
+
+    def __init__(self, n_buckets: int = 1024) -> None:
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self._n_buckets = n_buckets
+        self._buckets: list[dict[Hashable, BucketEntry]] = [dict() for _ in range(n_buckets)]
+        self._n_keys = 0
+        self._n_values = 0
+
+    @property
+    def n_buckets(self) -> int:
+        return self._n_buckets
+
+    @property
+    def n_keys(self) -> int:
+        """Number of distinct keys stored."""
+        return self._n_keys
+
+    @property
+    def n_values(self) -> int:
+        """Total number of values stored across all keys."""
+        return self._n_values
+
+    def bucket_index(self, key: Hashable) -> int:
+        """Bucket that *key* lives in."""
+        return hash(key) % self._n_buckets
+
+    def insert(self, key: Hashable, value: Any) -> BucketEntry:
+        """Append *value* to *key*'s entry, creating the entry if needed."""
+        bucket = self._buckets[self.bucket_index(key)]
+        entry = bucket.get(key)
+        if entry is None:
+            entry = BucketEntry(key=key)
+            bucket[key] = entry
+            self._n_keys += 1
+        entry.values.append(value)
+        entry.count += 1
+        self._n_values += 1
+        return entry
+
+    def lookup(self, key: Hashable) -> BucketEntry | None:
+        """Return the entry for *key*, or None if absent."""
+        return self._buckets[self.bucket_index(key)].get(key)
+
+    def count(self, key: Hashable) -> int:
+        """Occurrence count of *key* (0 when absent)."""
+        entry = self.lookup(key)
+        return 0 if entry is None else entry.count
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        return self._n_keys
+
+    def entries(self) -> Iterator[BucketEntry]:
+        """Iterate every entry in bucket order (local, communication-free)."""
+        for bucket in self._buckets:
+            yield from bucket.values()
+
+    def keys(self) -> Iterator[Hashable]:
+        for entry in self.entries():
+            yield entry.key
+
+    def load_factor(self) -> float:
+        """Average number of distinct keys per bucket."""
+        return self._n_keys / self._n_buckets
+
+    def max_bucket_size(self) -> int:
+        """Largest number of distinct keys in any one bucket."""
+        return max((len(bucket) for bucket in self._buckets), default=0)

@@ -1,0 +1,34 @@
+"""I/O substrate: FASTA/FASTQ text formats, the SeqDB-like binary container,
+record partitioning for parallel reads, and SAM-style output.
+
+The paper replaces FASTQ with SeqDB (a binary HDF5 container) so that every
+rank can read its own slice of the input in parallel (section V-A).  HDF5 is
+not part of this reproduction's dependency set, so :mod:`repro.io.seqdb`
+implements an indexed, seekable binary container with 2-bit packed sequences
+that supports the same access pattern: any rank can read any contiguous range
+of records without scanning the whole file.
+"""
+
+from repro.io.fasta import read_fasta, write_fasta, FastaRecord
+from repro.io.fastq import read_fastq, write_fastq, FastqRecord
+from repro.io.seqdb import SeqDbWriter, SeqDbReader, fastq_to_seqdb, records_to_seqdb
+from repro.io.partition import block_partition, cyclic_partition, partition_records
+from repro.io.sam import write_sam, sam_header
+
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "FastaRecord",
+    "read_fastq",
+    "write_fastq",
+    "FastqRecord",
+    "SeqDbWriter",
+    "SeqDbReader",
+    "fastq_to_seqdb",
+    "records_to_seqdb",
+    "block_partition",
+    "cyclic_partition",
+    "partition_records",
+    "write_sam",
+    "sam_header",
+]

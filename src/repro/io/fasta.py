@@ -1,0 +1,66 @@
+"""FASTA reading and writing (target/contig sequences)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: a name and its sequence."""
+
+    name: str
+    sequence: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FASTA record name must be non-empty")
+
+
+def read_fasta(path: str | Path) -> list[FastaRecord]:
+    """Parse a FASTA file into a list of records.
+
+    Multi-line sequences are concatenated; blank lines are ignored.  Raises
+    ``ValueError`` on malformed input (sequence data before the first header).
+    """
+    records: list[FastaRecord] = []
+    name: str | None = None
+    chunks: list[str] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw_line in handle:
+            line = raw_line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name is not None:
+                    records.append(FastaRecord(name=name, sequence="".join(chunks)))
+                name = line[1:].split()[0] if len(line) > 1 else ""
+                if not name:
+                    raise ValueError("FASTA header with empty name")
+                chunks = []
+            else:
+                if name is None:
+                    raise ValueError("sequence data before the first FASTA header")
+                chunks.append(line.upper())
+    if name is not None:
+        records.append(FastaRecord(name=name, sequence="".join(chunks)))
+    return records
+
+
+def write_fasta(path: str | Path, records: list[FastaRecord] | list[tuple[str, str]],
+                line_width: int = 80) -> None:
+    """Write records to a FASTA file, wrapping sequences at *line_width*."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            if isinstance(record, FastaRecord):
+                name, seq = record.name, record.sequence
+            else:
+                name, seq = record
+            handle.write(f">{name}\n")
+            for start in range(0, len(seq), line_width):
+                handle.write(seq[start:start + line_width] + "\n")
+            if not seq:
+                handle.write("\n")

@@ -1,0 +1,73 @@
+"""FASTQ reading and writing (short-read query sequences).
+
+FASTQ is the standard text format for short reads; the paper converts it once
+to SeqDB for scalable parallel reads.  This module provides the text side of
+that conversion and a way to round-trip the synthetic
+:class:`repro.dna.synthetic.ReadRecord` data through files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dna.synthetic import ReadRecord
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record: name, sequence and per-base quality string."""
+
+    name: str
+    sequence: str
+    quality: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("FASTQ record name must be non-empty")
+        if len(self.sequence) != len(self.quality):
+            raise ValueError("sequence and quality must have the same length")
+
+    @classmethod
+    def from_read(cls, read: ReadRecord) -> "FastqRecord":
+        return cls(name=read.name, sequence=read.sequence, quality=read.quality)
+
+    def to_read(self) -> ReadRecord:
+        """Convert to a :class:`ReadRecord` (origin information is unknown)."""
+        return ReadRecord(name=self.name, sequence=self.sequence, quality=self.quality)
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Parse a FASTQ file (4 lines per record).
+
+    Raises ``ValueError`` for truncated files or malformed separators.
+    """
+    records: list[FastqRecord] = []
+    with open(path, "r", encoding="ascii") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    if len(lines) % 4 not in (0,):
+        # allow a single trailing blank line
+        while lines and not lines[-1]:
+            lines.pop()
+        if len(lines) % 4 != 0:
+            raise ValueError("truncated FASTQ file (record count not a multiple of 4 lines)")
+    for index in range(0, len(lines), 4):
+        header, sequence, separator, quality = lines[index:index + 4]
+        if not header.startswith("@"):
+            raise ValueError(f"malformed FASTQ header at line {index + 1}: {header!r}")
+        if not separator.startswith("+"):
+            raise ValueError(f"malformed FASTQ separator at line {index + 3}: {separator!r}")
+        records.append(FastqRecord(name=header[1:].split()[0],
+                                   sequence=sequence.upper(),
+                                   quality=quality))
+    return records
+
+
+def write_fastq(path: str | Path,
+                records: list[FastqRecord] | list[ReadRecord]) -> None:
+    """Write FASTQ records (accepts :class:`ReadRecord` objects directly)."""
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            if isinstance(record, ReadRecord):
+                record = FastqRecord.from_read(record)
+            handle.write(f"@{record.name}\n{record.sequence}\n+\n{record.quality}\n")

@@ -1,0 +1,49 @@
+"""Partitioning of records across ranks.
+
+merAligner block-partitions both the target and the query files so every rank
+reads a disjoint contiguous slice in parallel.  The pMap baseline instead has
+a master process carve the reads and *send* each slice to its worker, which is
+one of the serial bottlenecks Table II exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def block_partition(n_items: int, n_parts: int, part: int) -> tuple[int, int]:
+    """Contiguous block partition: return ``(start, count)`` for *part*.
+
+    Remainder items are spread one-per-part over the lowest-numbered parts, so
+    block sizes differ by at most one.
+    """
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    if not 0 <= part < n_parts:
+        raise IndexError(f"part {part} out of range [0, {n_parts})")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    base, extra = divmod(n_items, n_parts)
+    start = part * base + min(part, extra)
+    count = base + (1 if part < extra else 0)
+    return start, count
+
+
+def cyclic_partition(n_items: int, n_parts: int, part: int) -> list[int]:
+    """Round-robin partition: the indices assigned to *part*."""
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    if not 0 <= part < n_parts:
+        raise IndexError(f"part {part} out of range [0, {n_parts})")
+    return list(range(part, n_items, n_parts))
+
+
+def partition_records(records: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split *records* into ``n_parts`` contiguous blocks (list of lists)."""
+    result: list[list[T]] = []
+    for part in range(n_parts):
+        start, count = block_partition(len(records), n_parts, part)
+        result.append(list(records[start:start + count]))
+    return result

@@ -1,0 +1,43 @@
+"""SAM-style output of alignments.
+
+merAligner's output feeds the Meraculous scaffolder; we emit a SAM-flavoured
+text file so downstream tooling (and humans) can inspect the alignments
+produced by examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.alignment.result import Alignment
+
+
+def sam_header(target_names: Sequence[str], target_lengths: Sequence[int],
+               program: str = "merAligner-repro") -> list[str]:
+    """Build the @HD/@SQ/@PG header lines for a SAM file."""
+    if len(target_names) != len(target_lengths):
+        raise ValueError("target_names and target_lengths must have equal length")
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for name, length in zip(target_names, target_lengths):
+        if length < 0:
+            raise ValueError("target lengths must be non-negative")
+        lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+    lines.append(f"@PG\tID:{program}\tPN:{program}")
+    return lines
+
+
+def write_sam(path: str | Path, alignments: Sequence[Alignment],
+              target_names: Sequence[str], target_lengths: Sequence[int]) -> int:
+    """Write alignments as a SAM file; returns the number of records written."""
+    lines = sam_header(target_names, target_lengths)
+    written = 0
+    for alignment in alignments:
+        if 0 <= alignment.target_id < len(target_names):
+            name = target_names[alignment.target_id]
+        else:
+            name = f"target{alignment.target_id}"
+        lines.append(alignment.to_sam_line(name))
+        written += 1
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+    return written

@@ -1,0 +1,41 @@
+"""Analytic models from the paper's theory sections.
+
+* :mod:`repro.model.cache_reuse` -- the bins-and-balls probability that a seed
+  is reused on a node (section III-B, Figure 7).
+* :mod:`repro.model.load_imbalance` -- the Theorem 1 balls-into-bins bound on
+  the imbalance of "slow" reads after random permutation (section IV-B).
+* :mod:`repro.model.scaling` -- strong-scaling bookkeeping (speedup, parallel
+  efficiency, ideal curves) used by the Fig 1 / Fig 8 / Fig 10 harnesses.
+"""
+
+from repro.model.cache_reuse import (
+    expected_seed_frequency,
+    seed_reuse_probability,
+    reuse_probability_curve,
+    simulate_seed_reuse,
+)
+from repro.model.load_imbalance import (
+    imbalance_bound,
+    max_load_bound,
+    simulate_balls_into_bins,
+)
+from repro.model.scaling import (
+    speedup,
+    parallel_efficiency,
+    ideal_times,
+    ScalingSeries,
+)
+
+__all__ = [
+    "expected_seed_frequency",
+    "seed_reuse_probability",
+    "reuse_probability_curve",
+    "simulate_seed_reuse",
+    "imbalance_bound",
+    "max_load_bound",
+    "simulate_balls_into_bins",
+    "speedup",
+    "parallel_efficiency",
+    "ideal_times",
+    "ScalingSeries",
+]

@@ -1,0 +1,74 @@
+"""Seed-reuse probability model (paper section III-B, Figure 7).
+
+A genome sampled at depth *d* with reads of length *L* contains each seed of
+length *k* about ``f = d * (1 - (k - 1) / L)`` times in the read set.  If the
+reads are spread uniformly at random over ``m = p / ppn`` nodes, the
+probability that a seed looked up on a node is looked up again on the *same*
+node (so the second lookup hits the seed-index cache) is the bins-and-balls
+quantity ``1 - (1 - 1/m)^(f-1)``.  Figure 7 plots this for d=100, L=100, k=51,
+f=50, ppn=24.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expected_seed_frequency(depth: float, read_length: int, seed_length: int) -> float:
+    """Expected number of occurrences of a genomic seed in the read set.
+
+    ``f = d * (1 - (k - 1) / L)`` -- the mean of the Poisson distribution of
+    seed frequencies cited in the paper.
+    """
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    if read_length <= 0 or seed_length <= 0:
+        raise ValueError("read_length and seed_length must be positive")
+    if seed_length > read_length:
+        raise ValueError("seed_length cannot exceed read_length")
+    return depth * (1.0 - (seed_length - 1) / read_length)
+
+
+def seed_reuse_probability(frequency: float, n_cores: int, cores_per_node: int) -> float:
+    """Probability that at least one other occurrence of a seed lands on the
+    same node -- i.e. that an infinite seed-index cache would see a hit.
+
+    ``1 - (1 - 1/m)^(f - 1)`` with ``m = ceil(p / ppn)`` nodes.
+    """
+    if n_cores <= 0 or cores_per_node <= 0:
+        raise ValueError("core counts must be positive")
+    if frequency < 1:
+        return 0.0
+    nodes = max(1, int(np.ceil(n_cores / cores_per_node)))
+    if nodes == 1:
+        return 1.0
+    return float(1.0 - (1.0 - 1.0 / nodes) ** (frequency - 1.0))
+
+
+def reuse_probability_curve(core_counts, depth: float = 100.0,
+                            read_length: int = 100, seed_length: int = 51,
+                            cores_per_node: int = 24) -> list[tuple[int, float]]:
+    """The Figure 7 curve: reuse probability as a function of core count."""
+    frequency = expected_seed_frequency(depth, read_length, seed_length)
+    return [(int(p), seed_reuse_probability(frequency, int(p), cores_per_node))
+            for p in core_counts]
+
+
+def simulate_seed_reuse(frequency: int, n_nodes: int, n_trials: int = 2000,
+                        seed: int = 0) -> float:
+    """Monte-Carlo estimate of the reuse probability (validates the closed form).
+
+    Tosses ``frequency - 1`` other occurrences into *n_nodes* bins and counts
+    the fraction of trials in which node 0 receives at least one.
+    """
+    if frequency < 1 or n_nodes <= 0:
+        raise ValueError("frequency must be >= 1 and n_nodes positive")
+    if n_nodes == 1:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(n_trials):
+        bins = rng.integers(0, n_nodes, size=frequency - 1)
+        if np.any(bins == 0):
+            hits += 1
+    return hits / n_trials

@@ -1,0 +1,85 @@
+"""Strong-scaling bookkeeping (speedup, efficiency, ideal curves).
+
+Used by the Fig 1 / Fig 8 / Fig 10 harnesses to report parallel efficiency the
+way the paper quotes it (e.g. "0.7 parallel efficiency at 15,360 cores for the
+human data set, relative to the 480-core run").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def speedup(base_time: float, time: float) -> float:
+    """Speedup of *time* relative to *base_time* (both positive)."""
+    if base_time <= 0 or time <= 0:
+        raise ValueError("times must be positive")
+    return base_time / time
+
+
+def parallel_efficiency(base_cores: int, base_time: float,
+                        cores: int, time: float) -> float:
+    """Strong-scaling parallel efficiency relative to the base configuration."""
+    if base_cores <= 0 or cores <= 0:
+        raise ValueError("core counts must be positive")
+    return speedup(base_time, time) / (cores / base_cores)
+
+
+def ideal_times(base_cores: int, base_time: float, core_counts) -> list[float]:
+    """The ideal (linear) strong-scaling curve anchored at the base point."""
+    if base_cores <= 0 or base_time <= 0:
+        raise ValueError("base configuration must be positive")
+    return [base_time * base_cores / c for c in core_counts]
+
+
+@dataclass
+class ScalingSeries:
+    """A labelled series of (cores, seconds) strong-scaling measurements."""
+
+    label: str
+    core_counts: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def add(self, cores: int, seconds: float) -> None:
+        if cores <= 0 or seconds <= 0:
+            raise ValueError("cores and seconds must be positive")
+        self.core_counts.append(cores)
+        self.times.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self.core_counts)
+
+    @property
+    def base_cores(self) -> int:
+        if not self.core_counts:
+            raise ValueError("empty series")
+        return self.core_counts[0]
+
+    @property
+    def base_time(self) -> float:
+        if not self.times:
+            raise ValueError("empty series")
+        return self.times[0]
+
+    def efficiency_at(self, index: int) -> float:
+        """Parallel efficiency of the *index*-th point relative to the first."""
+        return parallel_efficiency(self.base_cores, self.base_time,
+                                   self.core_counts[index], self.times[index])
+
+    def ideal(self) -> list[float]:
+        """Ideal scaling curve anchored at the first measurement."""
+        return ideal_times(self.base_cores, self.base_time, self.core_counts)
+
+    def rows(self) -> list[dict[str, float]]:
+        """Tabular view: cores, seconds, speedup, efficiency, ideal seconds."""
+        ideal = self.ideal()
+        table = []
+        for i, (cores, seconds) in enumerate(zip(self.core_counts, self.times)):
+            table.append({
+                "cores": cores,
+                "seconds": seconds,
+                "speedup": speedup(self.base_time, seconds),
+                "efficiency": self.efficiency_at(i),
+                "ideal_seconds": ideal[i],
+            })
+        return table

@@ -1,0 +1,65 @@
+"""Simulated PGAS (UPC-like) runtime.
+
+merAligner is written in UPC and relies on a partitioned global address space:
+every rank owns a slice of shared memory that any other rank can read or
+write with one-sided operations, plus global atomics (``atomic_fetchadd``)
+and barriers.  Real UPC/GASNet (or MPI one-sided) is not available in this
+offline environment, so this subpackage provides a *deterministic simulated*
+PGAS runtime:
+
+* ranks are cooperatively scheduled inside one Python process (SPMD functions
+  are plain functions, or generator functions where each ``yield`` is a
+  barrier);
+* the global address space is real data (a :class:`~repro.pgas.shared.SharedHeap`
+  of per-rank segments), so algorithms run unchanged and produce real results;
+* every remote access is metered by a :class:`~repro.pgas.cost_model.MachineModel`
+  (latency, bandwidth, per-message overhead, on-node vs off-node, congestion),
+  accumulating both :class:`~repro.pgas.cost_model.CommStats` counters and a
+  per-rank virtual clock, which is what the performance figures report;
+* an optional :class:`~repro.pgas.executor.ThreadedExecutor` runs ranks on
+  real threads for wall-clock parallelism on a single node.
+
+See DESIGN.md section 5 for the execution model and the substitution
+rationale.
+"""
+
+from repro.pgas.cost_model import (
+    MachineModel,
+    CommStats,
+    ComputeCosts,
+    EDISON_LIKE,
+    LAPTOP_LIKE,
+)
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.shared import SharedHeap, SharedArray
+from repro.pgas.trace import PhaseTrace, TimeBreakdown, VirtualClock
+from repro.pgas.runtime import PgasRuntime, RankContext, SpmdResult
+from repro.pgas.collectives import (
+    allreduce,
+    broadcast,
+    gather,
+    exchange_counts,
+)
+from repro.pgas.executor import ThreadedExecutor
+
+__all__ = [
+    "MachineModel",
+    "CommStats",
+    "ComputeCosts",
+    "EDISON_LIKE",
+    "LAPTOP_LIKE",
+    "GlobalPointer",
+    "SharedHeap",
+    "SharedArray",
+    "PhaseTrace",
+    "TimeBreakdown",
+    "VirtualClock",
+    "PgasRuntime",
+    "RankContext",
+    "SpmdResult",
+    "allreduce",
+    "broadcast",
+    "gather",
+    "exchange_counts",
+    "ThreadedExecutor",
+]

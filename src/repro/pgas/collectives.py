@@ -1,0 +1,95 @@
+"""Collective operations over the simulated ranks.
+
+merAligner itself needs very few collectives (barriers dominate), but the
+pipeline driver uses reductions to aggregate per-rank statistics (number of
+aligned reads, exact-match counts) and the pMap baseline uses a broadcast-like
+read-partitioning step.  These helpers operate *between* SPMD phases on lists
+of per-rank values, charging every participating rank a tree-structured
+latency/bandwidth cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.pgas.runtime import RankContext, estimate_nbytes
+
+
+def _tree_depth(n: int) -> int:
+    """Depth of a binomial reduction/broadcast tree over *n* ranks."""
+    if n <= 1:
+        return 1
+    return max(1, (n - 1).bit_length())
+
+
+def _charge_collective(contexts: Sequence[RankContext], nbytes: int,
+                       category: str) -> None:
+    depth = _tree_depth(len(contexts))
+    for ctx in contexts:
+        machine = ctx.machine
+        seconds = depth * (machine.off_node_latency + machine.message_overhead
+                           + nbytes / machine.bandwidth)
+        ctx.clock.charge_comm(seconds)
+        ctx.stats.comm_time += seconds
+        ctx.stats.record(category, seconds)
+
+
+def allreduce(contexts: Sequence[RankContext], values: Sequence[Any],
+              op: Callable[[Any, Any], Any] = lambda a, b: a + b) -> Any:
+    """Reduce per-rank *values* with *op* and return the single result.
+
+    Every rank is charged a log(p)-deep tree of messages carrying a value of
+    the reduced item's size, like an ``upc_all_reduce``.
+    """
+    if len(values) != len(contexts):
+        raise ValueError("one value per rank is required")
+    if not values:
+        raise ValueError("allreduce of zero ranks")
+    result = values[0]
+    for value in values[1:]:
+        result = op(result, value)
+    _charge_collective(contexts, estimate_nbytes(result), "collective:allreduce")
+    return result
+
+
+def broadcast(contexts: Sequence[RankContext], value: Any, root: int = 0) -> list[Any]:
+    """Broadcast *value* from *root* to every rank; returns one copy per rank."""
+    if not 0 <= root < len(contexts):
+        raise IndexError("root rank out of range")
+    _charge_collective(contexts, estimate_nbytes(value), "collective:broadcast")
+    return [value for _ in contexts]
+
+
+def gather(contexts: Sequence[RankContext], values: Sequence[Any],
+           root: int = 0) -> list[Any]:
+    """Gather per-rank *values* at *root* (returned as a list ordered by rank)."""
+    if len(values) != len(contexts):
+        raise ValueError("one value per rank is required")
+    if not 0 <= root < len(contexts):
+        raise IndexError("root rank out of range")
+    total_bytes = sum(estimate_nbytes(v) for v in values)
+    # The root pays for receiving everything; non-roots pay for one send.
+    for rank, ctx in enumerate(contexts):
+        nbytes = total_bytes if rank == root else estimate_nbytes(values[rank])
+        seconds = (ctx.machine.off_node_latency + ctx.machine.message_overhead
+                   + nbytes / ctx.machine.bandwidth)
+        ctx.clock.charge_comm(seconds)
+        ctx.stats.comm_time += seconds
+        ctx.stats.record("collective:gather", seconds)
+    return list(values)
+
+
+def exchange_counts(contexts: Sequence[RankContext],
+                    counts: Sequence[Sequence[int]]) -> list[list[int]]:
+    """All-to-all exchange of per-destination counts.
+
+    ``counts[i][j]`` is the number of items rank *i* sends to rank *j*; the
+    return value is transposed so ``result[j][i]`` is what rank *j* receives
+    from rank *i*.  Used by the pFANGS-style comparison and by tests of the
+    aggregation machinery.
+    """
+    p = len(contexts)
+    if len(counts) != p or any(len(row) != p for row in counts):
+        raise ValueError("counts must be a p x p matrix")
+    _charge_collective(contexts, 8 * p, "collective:alltoall")
+    return [[counts[i][j] for i in range(p)] for j in range(p)]

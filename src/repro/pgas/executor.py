@@ -1,0 +1,70 @@
+"""Real-thread SPMD execution.
+
+The cooperative driver in :mod:`repro.pgas.runtime` is deterministic and is
+what the benchmarks use.  :class:`ThreadedExecutor` runs the *same* SPMD
+functions on real OS threads with a real barrier, which serves two purposes:
+
+* it demonstrates that the one-sided algorithms are safe under genuine
+  concurrency (the atomics really are atomic, the lock-free construction
+  really needs no bucket locks), which tests exercise;
+* it gives examples a way to overlap the pure-Python bookkeeping of multiple
+  ranks (the GIL prevents CPU-bound speedups, but numpy-heavy kernels release
+  the GIL).
+
+Functions run under the executor receive the same :class:`RankContext` API and
+may call ``ctx.barrier()`` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.pgas.runtime import PgasRuntime
+
+
+class ThreadedExecutor:
+    """Runs an SPMD function on one real thread per rank."""
+
+    def __init__(self, runtime: PgasRuntime) -> None:
+        self.runtime = runtime
+
+    def run(self, fn: Callable[..., Any], *args: Any,
+            timeout: float | None = 120.0) -> list[Any]:
+        """Execute ``fn(ctx, *args)`` concurrently on every rank.
+
+        Returns the per-rank results in rank order.  Any exception raised by a
+        rank is re-raised in the caller after all threads have stopped.
+        """
+        n = self.runtime.n_ranks
+        barrier = threading.Barrier(n)
+        results: list[Any] = [None] * n
+        errors: list[BaseException | None] = [None] * n
+
+        def _worker(rank: int) -> None:
+            ctx = self.runtime.contexts[rank]
+            ctx._barrier_impl = barrier.wait
+            try:
+                results[rank] = fn(ctx, *args)
+            except BaseException as exc:  # noqa: BLE001 - propagated to caller
+                errors[rank] = exc
+                # Break the barrier so no other rank deadlocks waiting for us.
+                barrier.abort()
+            finally:
+                ctx._barrier_impl = None
+
+        threads = [threading.Thread(target=_worker, args=(rank,), daemon=True)
+                   for rank in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout)
+        for thread in threads:
+            if thread.is_alive():
+                raise TimeoutError("SPMD rank did not finish within the timeout")
+        for error in errors:
+            if isinstance(error, threading.BrokenBarrierError):
+                continue
+            if error is not None:
+                raise error
+        return results

@@ -1,0 +1,42 @@
+"""Global pointers into the partitioned global address space.
+
+A UPC global pointer is (thread affinity, local address).  Here the "local
+address" is a ``(segment name, key)`` pair inside the owning rank's shared
+segment; see :class:`repro.pgas.shared.SharedHeap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class GlobalPointer:
+    """A pointer to an object living in some rank's shared segment.
+
+    Attributes:
+        owner: rank that has affinity to the object.
+        segment: name of the shared segment (e.g. ``"targets"``).
+        key: key of the object within the segment (e.g. a target id).
+        nbytes: size hint used by the cost model when the object is fetched.
+    """
+
+    owner: int
+    segment: str
+    key: Hashable
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.owner < 0:
+            raise ValueError("owner rank must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    def with_size(self, nbytes: int) -> "GlobalPointer":
+        """Return a copy of the pointer with an updated size hint."""
+        return GlobalPointer(self.owner, self.segment, self.key, nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GlobalPointer(owner={self.owner}, segment={self.segment!r}, "
+                f"key={self.key!r}, nbytes={self.nbytes})")

@@ -1,0 +1,408 @@
+"""The SPMD runtime: rank contexts, one-sided communication, barriers.
+
+Execution model
+---------------
+
+``PgasRuntime.run_spmd(fn, ...)`` runs ``fn(ctx, ...)`` once per rank.  If
+``fn`` is a *generator function*, every ``yield`` is a barrier: the runtime
+advances all ranks one phase at a time, snapshots their virtual clocks, and
+synchronises them to the slowest rank -- exactly what a UPC ``upc_barrier``
+does to wall time.  A plain (non-generator) function is a single phase.
+
+Ranks are executed cooperatively (one after another within a phase) inside the
+calling process, which is deterministic and safe because merAligner only uses
+*one-sided* operations inside a phase: a rank never blocks waiting for another
+rank except at barriers.  The optional
+:class:`repro.pgas.executor.ThreadedExecutor` provides real thread-parallel
+execution of the same SPMD functions.
+
+Every remote access performed through :class:`RankContext` updates both the
+rank's :class:`~repro.pgas.cost_model.CommStats` counters and its
+:class:`~repro.pgas.trace.VirtualClock` using the
+:class:`~repro.pgas.cost_model.MachineModel`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.pgas.cost_model import CommStats, EDISON_LIKE, MachineModel
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.shared import SharedArray, SharedHeap
+from repro.pgas.trace import PhaseTrace, TimeBreakdown, VirtualClock
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Best-effort estimate of the wire size of *value*.
+
+    Strings and bytes count their length, numpy arrays their buffer size,
+    packed sequences their compressed size, containers the sum of their
+    elements plus a small per-element header.  Anything else is charged a
+    fixed 16 bytes (a pointer plus metadata).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (int, float, np.integer, np.floating, bool)):
+        return 8
+    nbytes_attr = getattr(value, "nbytes", None)
+    if isinstance(nbytes_attr, (int, np.integer)):
+        return int(nbytes_attr)
+    if isinstance(value, (list, tuple, set)):
+        return sum(estimate_nbytes(item) for item in value) + 8 * len(value)
+    if isinstance(value, dict):
+        return sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items())
+    return 16
+
+
+class RankContext:
+    """The per-rank handle algorithms use to touch the global address space."""
+
+    def __init__(self, runtime: "PgasRuntime", rank: int) -> None:
+        self._runtime = runtime
+        self.me = rank
+        self.n_ranks = runtime.n_ranks
+        self.machine = runtime.machine
+        self.heap = runtime.heap
+        self.stats = CommStats()
+        self.clock = VirtualClock()
+        self.node = runtime.machine.node_of(rank)
+        self._n_nodes = runtime.machine.n_nodes(runtime.n_ranks)
+        # Set by ThreadedExecutor when ranks run on real threads; the
+        # cooperative driver uses generator yields as barriers instead.
+        self._barrier_impl: Callable[[], None] | None = None
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes occupied by the job."""
+        return self._n_nodes
+
+    def node_of(self, rank: int) -> int:
+        """Node hosting *rank*."""
+        return self.machine.node_of(rank)
+
+    def same_node(self, rank: int) -> bool:
+        """True if *rank* is placed on the same node as this rank."""
+        return self.node_of(rank) == self.node
+
+    def ranks_on_my_node(self) -> list[int]:
+        """All ranks co-located on this rank's node."""
+        return [r for r in range(self.n_ranks) if self.node_of(r) == self.node]
+
+    # -- cost charging --------------------------------------------------------
+
+    def charge_op(self, op: str, count: float = 1.0) -> None:
+        """Charge *count* occurrences of a named CPU operation."""
+        cost = getattr(self.machine.compute, op)
+        seconds = cost * count
+        self.clock.charge_compute(seconds)
+        self.stats.compute_time += seconds
+        self.stats.record(f"compute:{op}", seconds)
+
+    def charge_compute_seconds(self, seconds: float, category: str = "compute") -> None:
+        """Charge raw compute seconds (used by calibrated kernels)."""
+        self.clock.charge_compute(seconds)
+        self.stats.compute_time += seconds
+        self.stats.record(category, seconds)
+
+    def charge_io_bytes(self, nbytes: int, category: str = "io") -> None:
+        """Charge parallel-file-system I/O time for *nbytes*."""
+        seconds = self.machine.compute.io_byte * nbytes
+        self.clock.charge_io(seconds)
+        self.stats.io_time += seconds
+        self.stats.record(category, seconds)
+
+    def _charge_transfer(self, owner: int, nbytes: int, category: str,
+                         is_put: bool) -> None:
+        same_rank = owner == self.me
+        same_node = self.same_node(owner)
+        seconds = self.machine.transfer_time(
+            nbytes, same_rank=same_rank, same_node=same_node, n_nodes=self._n_nodes)
+        self.clock.charge_comm(seconds)
+        self.stats.comm_time += seconds
+        self.stats.record(category, seconds)
+        if same_rank:
+            self.stats.local_ops += 1
+        elif same_node:
+            self.stats.on_node_ops += 1
+        else:
+            self.stats.off_node_ops += 1
+        if is_put:
+            self.stats.puts += 1
+            self.stats.bytes_put += nbytes
+        else:
+            self.stats.gets += 1
+            self.stats.bytes_get += nbytes
+
+    def charge_get(self, owner: int, nbytes: int, category: str = "get") -> None:
+        """Charge a one-sided get of *nbytes* from *owner* without data movement."""
+        self._charge_transfer(owner, nbytes, category, is_put=False)
+
+    def charge_put(self, owner: int, nbytes: int, category: str = "put") -> None:
+        """Charge a one-sided put of *nbytes* to *owner* without data movement."""
+        self._charge_transfer(owner, nbytes, category, is_put=True)
+
+    # -- shared-memory operations ---------------------------------------------
+
+    def alloc(self, segment: str, obj: Any) -> Any:
+        """Allocate a named segment in this rank's shared memory."""
+        return self.heap.alloc(self.me, segment, obj)
+
+    def put(self, owner: int, segment: str, key: Hashable, value: Any,
+            nbytes: int | None = None, category: str = "put") -> GlobalPointer:
+        """One-sided store of *value* into ``owner.segment[key]``.
+
+        Returns a :class:`GlobalPointer` to the stored object.
+        """
+        if nbytes is None:
+            nbytes = estimate_nbytes(value)
+        self._charge_transfer(owner, nbytes, category, is_put=True)
+        seg = self.heap.segment(owner, segment)
+        seg[key] = value
+        return GlobalPointer(owner=owner, segment=segment, key=key, nbytes=nbytes)
+
+    def get(self, owner: int, segment: str, key: Hashable,
+            nbytes: int | None = None, category: str = "get",
+            default: Any = None, missing_ok: bool = False) -> Any:
+        """One-sided load of ``owner.segment[key]``.
+
+        When *nbytes* is omitted, the fetched object's estimated size is
+        charged (the realistic behaviour: you pay for what comes over the
+        wire).  With ``missing_ok=True`` a missing key returns *default*
+        instead of raising; the lookup latency is still charged.
+        """
+        seg = self.heap.segment(owner, segment)
+        if isinstance(seg, dict) and key not in seg:
+            if not missing_ok:
+                raise KeyError(f"key {key!r} missing in segment {segment!r} on rank {owner}")
+            value = default
+        else:
+            value = seg[key]
+        if nbytes is None:
+            nbytes = estimate_nbytes(value)
+        self._charge_transfer(owner, nbytes, category, is_put=False)
+        return value
+
+    def get_ptr(self, ptr: GlobalPointer, category: str = "get") -> Any:
+        """Dereference a global pointer with cost accounting."""
+        return self.get(ptr.owner, ptr.segment, ptr.key,
+                        nbytes=ptr.nbytes or None, category=category)
+
+    def fetch_add(self, owner: int, segment: str, index: int, amount: int = 1,
+                  category: str = "atomic") -> int:
+        """Global ``atomic_fetchadd`` on a :class:`SharedArray` slot.
+
+        Returns the value *before* the addition, like UPC's
+        ``bupc_atomicI64_fetchadd_strict``.
+        """
+        array = self.heap.segment(owner, segment)
+        if not isinstance(array, SharedArray):
+            raise TypeError(f"segment {segment!r} on rank {owner} is not a SharedArray")
+        same_rank = owner == self.me
+        same_node = self.same_node(owner)
+        seconds = self.machine.atomic_time(same_rank=same_rank, same_node=same_node)
+        self.clock.charge_comm(seconds)
+        self.stats.comm_time += seconds
+        self.stats.atomics += 1
+        self.stats.record(category, seconds)
+        if same_rank:
+            self.stats.local_ops += 1
+        elif same_node:
+            self.stats.on_node_ops += 1
+        else:
+            self.stats.off_node_ops += 1
+        with self._runtime.atomic_lock:
+            previous = int(array[index])
+            array[index] = previous + amount
+        return previous
+
+    def barrier(self) -> None:
+        """Synchronise with all other ranks.
+
+        Only available under :class:`repro.pgas.executor.ThreadedExecutor`;
+        cooperative SPMD functions express barriers with ``yield`` instead.
+        """
+        if self._barrier_impl is None:
+            raise RuntimeError(
+                "barrier() requires the ThreadedExecutor; in cooperative "
+                "run_spmd() use a generator function and 'yield' at barriers")
+        self._barrier_impl()
+
+    # -- work partitioning helpers --------------------------------------------
+
+    def my_slice(self, n_items: int) -> slice:
+        """Contiguous block of ``n_items`` owned by this rank (block partition)."""
+        base, extra = divmod(n_items, self.n_ranks)
+        start = self.me * base + min(self.me, extra)
+        stop = start + base + (1 if self.me < extra else 0)
+        return slice(start, stop)
+
+    def my_items(self, items: list) -> list:
+        """The block-partitioned share of *items* owned by this rank."""
+        return items[self.my_slice(len(items))]
+
+
+@dataclass
+class SpmdResult:
+    """Result of one :meth:`PgasRuntime.run_spmd` invocation."""
+
+    results: list[Any]
+    phases: list[PhaseTrace] = field(default_factory=list)
+    per_rank_stats: list[CommStats] = field(default_factory=list)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.results)
+
+    @property
+    def elapsed(self) -> float:
+        """End-to-end modelled wall time (sum of phase elapsed times)."""
+        return sum(phase.elapsed for phase in self.phases)
+
+    @property
+    def total_stats(self) -> CommStats:
+        """Job-wide aggregated communication statistics."""
+        return CommStats.aggregate(self.per_rank_stats)
+
+    def phase(self, name: str) -> PhaseTrace:
+        """Return the single phase called *name* (raises if absent/ambiguous)."""
+        matches = [p for p in self.phases if p.name == name]
+        if not matches:
+            raise KeyError(f"no phase named {name!r}")
+        if len(matches) > 1:
+            raise KeyError(f"multiple phases named {name!r}; use phases list directly")
+        return matches[0]
+
+    def phase_elapsed(self, name: str) -> float:
+        """Summed elapsed time of all phases with the given name."""
+        total = 0.0
+        found = False
+        for p in self.phases:
+            if p.name == name:
+                total += p.elapsed
+                found = True
+        if not found:
+            raise KeyError(f"no phase named {name!r}")
+        return total
+
+
+class PgasRuntime:
+    """A simulated PGAS machine: shared heap + rank contexts + SPMD driver."""
+
+    def __init__(self, n_ranks: int, machine: MachineModel = EDISON_LIKE) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.heap = SharedHeap(n_ranks)
+        self.atomic_lock = threading.Lock()
+        self.contexts = [RankContext(self, rank) for rank in range(n_ranks)]
+        self.phases: list[PhaseTrace] = []
+
+    @property
+    def n_nodes(self) -> int:
+        return self.machine.n_nodes(self.n_ranks)
+
+    def context(self, rank: int) -> RankContext:
+        """The persistent context of *rank* (state survives across run_spmd calls)."""
+        return self.contexts[rank]
+
+    def _barrier(self) -> None:
+        """Synchronise all virtual clocks to the slowest rank."""
+        latest = max(ctx.clock.now for ctx in self.contexts)
+        barrier_cost = self.machine.barrier_time(self.n_ranks)
+        for ctx in self.contexts:
+            ctx.clock.advance_to(latest)
+            ctx.clock.charge_comm(barrier_cost)
+            ctx.stats.comm_time += barrier_cost
+            ctx.stats.barriers += 1
+
+    def _record_phase(self, name: str, before: list[TimeBreakdown]) -> PhaseTrace:
+        per_rank = [ctx.clock.snapshot() - prev for ctx, prev in zip(self.contexts, before)]
+        trace = PhaseTrace(name=name, per_rank=per_rank)
+        self.phases.append(trace)
+        return trace
+
+    def run_spmd(self, fn: Callable[..., Any], *args: Any,
+                 phase_name: str | None = None) -> SpmdResult:
+        """Run ``fn(ctx, *args)`` on every rank.
+
+        If *fn* is a generator function, every ``yield`` acts as a barrier and
+        may yield a string naming the phase that just completed; the final
+        ``return`` value is the rank's result.  A plain function is one phase
+        named *phase_name* (default: the function name).
+        """
+        phases_before = len(self.phases)
+        if inspect.isgeneratorfunction(fn):
+            results = self._run_generators(fn, args)
+        else:
+            name = phase_name or getattr(fn, "__name__", "phase")
+            before = [ctx.clock.snapshot() for ctx in self.contexts]
+            results = [fn(ctx, *args) for ctx in self.contexts]
+            self._record_phase(name, before)
+            self._barrier()
+        return SpmdResult(
+            results=results,
+            phases=self.phases[phases_before:],
+            per_rank_stats=[ctx.stats for ctx in self.contexts],
+        )
+
+    def _run_generators(self, fn: Callable[..., Any], args: tuple) -> list[Any]:
+        generators = [fn(ctx, *args) for ctx in self.contexts]
+        results: list[Any] = [None] * self.n_ranks
+        live = [True] * self.n_ranks
+        round_index = 0
+        while any(live):
+            before = [ctx.clock.snapshot() for ctx in self.contexts]
+            labels: list[str] = []
+            for rank, gen in enumerate(generators):
+                if not live[rank]:
+                    continue
+                try:
+                    label = next(gen)
+                    if isinstance(label, str):
+                        labels.append(label)
+                except StopIteration as stop:
+                    results[rank] = stop.value
+                    live[rank] = False
+            finished_idle = (not any(live) and not labels
+                             and all(ctx.clock.snapshot().total == prev.total
+                                     for ctx, prev in zip(self.contexts, before)))
+            if finished_idle:
+                # The generators only had a bare `return` left after their
+                # final labelled yield; do not record an empty trailing phase.
+                break
+            name = labels[0] if labels else f"phase{round_index}"
+            self._record_phase(name, before)
+            self._barrier()
+            round_index += 1
+        return results
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Total modelled wall time accumulated so far (max over ranks)."""
+        return max((ctx.clock.now for ctx in self.contexts), default=0.0)
+
+    @property
+    def total_stats(self) -> CommStats:
+        """Aggregated communication statistics over all ranks."""
+        return CommStats.aggregate([ctx.stats for ctx in self.contexts])
+
+    def phase(self, name: str) -> PhaseTrace:
+        """Return the first recorded phase with the given name."""
+        for trace in self.phases:
+            if trace.name == name:
+                return trace
+        raise KeyError(f"no phase named {name!r}")

@@ -1,0 +1,125 @@
+"""The shared (global) address space of the simulated PGAS runtime.
+
+Every rank owns a set of named *segments*.  A segment is a key/value store
+(dictionary semantics) or a fixed-size numeric array (:class:`SharedArray`).
+Any rank may read or write any segment, but only accesses performed through a
+:class:`repro.pgas.runtime.RankContext` are charged by the cost model, so all
+algorithm code is expected to go through the context's ``put``/``get``/
+``fetch_add`` methods rather than touching the heap directly (direct access is
+reserved for test assertions and post-run inspection).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.pgas.gptr import GlobalPointer
+
+
+class SharedArray:
+    """A fixed-size numeric array living in one rank's shared segment.
+
+    Used for the ``stack_ptr`` counters and local-shared stacks of the
+    aggregating-stores optimization and for any other flat numeric state.
+    """
+
+    def __init__(self, size: int, dtype: str = "int64", fill: float = 0) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._data = np.full(size, fill, dtype=dtype)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying numpy array (direct access is not cost-metered)."""
+        return self._data
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def __getitem__(self, index: int | slice) -> Any:
+        return self._data[index]
+
+    def __setitem__(self, index: int | slice, value: Any) -> None:
+        self._data[index] = value
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+
+class SharedHeap:
+    """Per-rank shared segments making up the global address space."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self._n_ranks = n_ranks
+        self._segments: list[dict[str, Any]] = [dict() for _ in range(n_ranks)]
+
+    @property
+    def n_ranks(self) -> int:
+        return self._n_ranks
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._n_ranks:
+            raise IndexError(f"rank {rank} out of range [0, {self._n_ranks})")
+
+    def alloc(self, rank: int, segment: str, obj: Any) -> Any:
+        """Allocate a named segment in *rank*'s shared memory.
+
+        Re-allocating an existing segment name raises, mirroring the fact that
+        UPC shared allocations are collective one-time events.
+        """
+        self._check_rank(rank)
+        if segment in self._segments[rank]:
+            raise KeyError(f"segment {segment!r} already allocated on rank {rank}")
+        self._segments[rank][segment] = obj
+        return obj
+
+    def alloc_all(self, segment: str, factory) -> list[Any]:
+        """Allocate *segment* on every rank using ``factory(rank)``."""
+        return [self.alloc(rank, segment, factory(rank)) for rank in range(self._n_ranks)]
+
+    def free(self, rank: int, segment: str) -> None:
+        """Free a named segment (used by tests exercising re-allocation)."""
+        self._check_rank(rank)
+        self._segments[rank].pop(segment, None)
+
+    def segment(self, rank: int, segment: str) -> Any:
+        """Return the object backing ``segment`` on *rank*."""
+        self._check_rank(rank)
+        try:
+            return self._segments[rank][segment]
+        except KeyError:
+            raise KeyError(f"segment {segment!r} not allocated on rank {rank}") from None
+
+    def has_segment(self, rank: int, segment: str) -> bool:
+        self._check_rank(rank)
+        return segment in self._segments[rank]
+
+    def segments_named(self, segment: str) -> list[Any]:
+        """Return the per-rank objects backing *segment* on every rank."""
+        return [self.segment(rank, segment) for rank in range(self._n_ranks)]
+
+    # -- key/value access helpers (dictionary-style segments) ---------------
+
+    def read(self, ptr: GlobalPointer) -> Any:
+        """Dereference a global pointer (no cost accounting)."""
+        seg = self.segment(ptr.owner, ptr.segment)
+        if isinstance(seg, dict):
+            return seg[ptr.key]
+        return seg[ptr.key]
+
+    def write(self, ptr: GlobalPointer, value: Any) -> None:
+        """Store through a global pointer (no cost accounting)."""
+        seg = self.segment(ptr.owner, ptr.segment)
+        seg[ptr.key] = value
+
+    def keys(self, rank: int, segment: str) -> Iterable[Hashable]:
+        """Iterate the keys of a dictionary-style segment."""
+        seg = self.segment(rank, segment)
+        if not isinstance(seg, dict):
+            raise TypeError(f"segment {segment!r} on rank {rank} is not key/value")
+        return seg.keys()

@@ -1,0 +1,142 @@
+"""Virtual clocks and per-phase time traces.
+
+The performance figures of the paper report, per phase, computation and
+communication time (Figs 8-10, Table I) and end-to-end time (Fig 1, Table II).
+Each simulated rank carries a :class:`VirtualClock`; the runtime snapshots the
+clocks at every barrier to produce a :class:`PhaseTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeBreakdown:
+    """Compute / communication / IO split of a span of virtual time."""
+
+    compute: float = 0.0
+    comm: float = 0.0
+    io: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.io
+
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(self.compute + other.compute,
+                             self.comm + other.comm,
+                             self.io + other.io)
+
+    def __sub__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(self.compute - other.compute,
+                             self.comm - other.comm,
+                             self.io - other.io)
+
+
+class VirtualClock:
+    """Accumulates modelled seconds for one simulated rank."""
+
+    def __init__(self) -> None:
+        self.compute = 0.0
+        self.comm = 0.0
+        self.io = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the rank."""
+        return self.compute + self.comm + self.io
+
+    def charge_compute(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.compute += seconds
+
+    def charge_comm(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.comm += seconds
+
+    def charge_io(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.io += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp* (barrier wait time).
+
+        Wait time is attributed to communication, matching how the paper's
+        timers attribute time spent idling at synchronisation points.
+        """
+        gap = timestamp - self.now
+        if gap > 0:
+            self.comm += gap
+
+    def snapshot(self) -> TimeBreakdown:
+        return TimeBreakdown(compute=self.compute, comm=self.comm, io=self.io)
+
+
+@dataclass
+class PhaseTrace:
+    """Per-rank time breakdown of one phase (span between barriers)."""
+
+    name: str
+    per_rank: list[TimeBreakdown] = field(default_factory=list)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.per_rank)
+
+    @property
+    def elapsed(self) -> float:
+        """Phase wall time: the slowest rank's total."""
+        return max((b.total for b in self.per_rank), default=0.0)
+
+    @property
+    def max_compute(self) -> float:
+        return max((b.compute for b in self.per_rank), default=0.0)
+
+    @property
+    def min_compute(self) -> float:
+        return min((b.compute for b in self.per_rank), default=0.0)
+
+    @property
+    def avg_compute(self) -> float:
+        if not self.per_rank:
+            return 0.0
+        return sum(b.compute for b in self.per_rank) / len(self.per_rank)
+
+    @property
+    def max_total(self) -> float:
+        return self.elapsed
+
+    @property
+    def min_total(self) -> float:
+        return min((b.total for b in self.per_rank), default=0.0)
+
+    @property
+    def avg_total(self) -> float:
+        if not self.per_rank:
+            return 0.0
+        return sum(b.total for b in self.per_rank) / len(self.per_rank)
+
+    @property
+    def total_comm(self) -> float:
+        """Sum of communication time across ranks (Fig 9 style aggregate)."""
+        return sum(b.comm for b in self.per_rank)
+
+    @property
+    def total_compute(self) -> float:
+        return sum(b.compute for b in self.per_rank)
+
+    def summary(self) -> dict[str, float]:
+        """A small dictionary of the statistics the paper tables report."""
+        return {
+            "elapsed": self.elapsed,
+            "max_compute": self.max_compute,
+            "min_compute": self.min_compute,
+            "avg_compute": self.avg_compute,
+            "max_total": self.max_total,
+            "min_total": self.min_total,
+            "avg_total": self.avg_total,
+        }

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset():
+    """A small synthetic genome with contigs and error-carrying reads."""
+    spec = GenomeSpec(name="test", genome_length=8000, n_contigs=4,
+                      repeat_fraction=0.02, repeat_unit_length=150,
+                      min_contig_length=200)
+    read_spec = ReadSetSpec(coverage=3.0, read_length=70, error_rate=0.01)
+    return make_dataset(spec, read_spec, seed=7)
+
+
+@pytest.fixture
+def perfect_dataset():
+    """A small synthetic genome with error-free reads (for recall tests)."""
+    spec = GenomeSpec(name="perfect", genome_length=6000, n_contigs=3,
+                      repeat_fraction=0.0, min_contig_length=200)
+    read_spec = ReadSetSpec(coverage=2.0, read_length=60, error_rate=0.0,
+                            reverse_strand_fraction=0.5)
+    return make_dataset(spec, read_spec, seed=11)
+
+
+@pytest.fixture
+def small_config() -> AlignerConfig:
+    """An aligner configuration sized for the small test datasets."""
+    return AlignerConfig(seed_length=21, fragment_length=600,
+                         seed_cache_bytes_per_node=256 * 1024,
+                         target_cache_bytes_per_node=256 * 1024)
+
+
+@pytest.fixture
+def runtime4() -> PgasRuntime:
+    """A 4-rank simulated PGAS runtime on the Edison-like machine."""
+    return PgasRuntime(n_ranks=4, machine=EDISON_LIKE)
+
+
+@pytest.fixture
+def runtime2() -> PgasRuntime:
+    """A 2-rank runtime (for tests that need multiple nodes, see ppn below)."""
+    return PgasRuntime(n_ranks=2, machine=EDISON_LIKE.with_cores_per_node(1))

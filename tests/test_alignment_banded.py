@@ -1,0 +1,61 @@
+"""Tests for banded Smith-Waterman."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.banded import banded_smith_waterman
+from repro.alignment.smith_waterman import smith_waterman
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=30)
+
+
+class TestBandedSmithWaterman:
+    def test_identical_sequences_full_band(self):
+        seq = "ACGTACGTAC"
+        result = banded_smith_waterman(seq, seq, bandwidth=len(seq))
+        assert result.score == smith_waterman(seq, seq).score
+
+    def test_wide_band_equals_unbanded(self):
+        query, target = "ACGTAACGGT", "ACGTTTACGGTAC"
+        full = smith_waterman(query, target, traceback=False).score
+        banded = banded_smith_waterman(query, target,
+                                       bandwidth=max(len(query), len(target))).score
+        assert banded == full
+
+    def test_band_never_exceeds_full_score(self):
+        query, target = "ACGTACGTAC", "TTACGTACGTACTT"
+        full = smith_waterman(query, target, traceback=False).score
+        for bandwidth in (0, 1, 2, 4, 8):
+            banded = banded_smith_waterman(query, target, diagonal=2,
+                                           bandwidth=bandwidth).score
+            assert banded <= full
+
+    def test_diagonal_hint_recovers_shifted_match(self):
+        query = "ACGTACGT"
+        target = "TTTT" + query + "GG"
+        narrow_wrong = banded_smith_waterman(query, target, diagonal=0, bandwidth=1)
+        narrow_right = banded_smith_waterman(query, target, diagonal=4, bandwidth=1)
+        assert narrow_right.score > narrow_wrong.score
+        assert narrow_right.score == smith_waterman(query, target).score
+
+    def test_empty_inputs(self):
+        assert banded_smith_waterman("", "ACGT").score == 0
+        assert banded_smith_waterman("ACGT", "").score == 0
+
+    def test_negative_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            banded_smith_waterman("ACGT", "ACGT", bandwidth=-1)
+
+    @given(dna, dna, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_banded_bounded_by_full_property(self, query, target, bandwidth):
+        full = smith_waterman(query, target, traceback=False).score
+        banded = banded_smith_waterman(query, target, bandwidth=bandwidth).score
+        assert 0 <= banded <= full
+
+    @given(dna)
+    @settings(max_examples=40)
+    def test_self_alignment_with_full_band(self, seq):
+        result = banded_smith_waterman(seq, seq, bandwidth=max(1, len(seq)))
+        assert result.score == smith_waterman(seq, seq, traceback=False).score

@@ -1,0 +1,152 @@
+"""Tests for seed extension, the exact-match fast path, and result records."""
+
+import pytest
+
+from repro.alignment.exact import exact_match_at, try_exact_match
+from repro.alignment.extend import SeedHit, extend_seed_hit
+from repro.alignment.result import (
+    Alignment,
+    CigarOp,
+    alignment_identity,
+    cigar_to_string,
+)
+from repro.alignment.scoring import DEFAULT_SCORING
+from repro.dna.sequence import random_dna
+
+
+class TestExactMatch:
+    def test_exact_match_at_true(self):
+        assert exact_match_at("CGTA", "AACGTAAA", 2)
+
+    def test_exact_match_at_false(self):
+        assert not exact_match_at("CGTA", "AACGTAAA", 1)
+
+    def test_out_of_bounds(self):
+        assert not exact_match_at("CGTA", "AACG", 2)
+        assert not exact_match_at("CGTA", "AACGTAAA", -1)
+
+    def test_try_exact_match_success(self):
+        target = "TTTACGTACGTTT"
+        query = "ACGTACG"
+        # seed "CGTA" is at query offset 1 and target offset 4
+        alignment = try_exact_match("read1", query, 3, target,
+                                    seed_offset_in_query=1,
+                                    seed_offset_in_target=4)
+        assert alignment is not None
+        assert alignment.is_exact
+        assert alignment.target_start == 3
+        assert alignment.target_end == 3 + len(query)
+        assert alignment.score == DEFAULT_SCORING.max_score(len(query))
+        assert alignment.identity == 1.0
+        assert alignment.cigar == [(len(query), CigarOp.MATCH)]
+
+    def test_try_exact_match_failure_returns_none(self):
+        target = "TTTACGTACGTTT"
+        assert try_exact_match("r", "ACGAACG", 0, target, 1, 4) is None
+
+    def test_try_exact_match_at_boundary(self):
+        target = "ACGTACGT"
+        assert try_exact_match("r", "ACGT", 0, target, 0, 0) is not None
+        assert try_exact_match("r", "ACGT", 0, target, 0, 4) is not None
+        # would overhang the end
+        assert try_exact_match("r", "ACGTA", 0, target, 0, 4) is None
+
+
+class TestSeedHit:
+    def test_expected_target_start(self):
+        hit = SeedHit(target_id=0, target_offset=10, query_offset=3, seed_length=5)
+        assert hit.expected_target_start == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeedHit(target_id=0, target_offset=0, query_offset=0, seed_length=0)
+        with pytest.raises(ValueError):
+            SeedHit(target_id=0, target_offset=-1, query_offset=0, seed_length=3)
+        with pytest.raises(ValueError):
+            SeedHit(target_id=0, target_offset=0, query_offset=0, seed_length=3,
+                    strand="?")
+
+
+class TestExtendSeedHit:
+    def test_perfect_read_recovers_position(self, rng):
+        target = random_dna(300, rng=rng)
+        start = 100
+        query = target[start:start + 60]
+        hit = SeedHit(target_id=5, target_offset=start + 10, query_offset=10,
+                      seed_length=21)
+        alignment, cells = extend_seed_hit("read", query, target, hit)
+        assert cells > 0
+        assert alignment.target_id == 5
+        assert alignment.score == DEFAULT_SCORING.max_score(len(query))
+        assert alignment.target_start == start
+        assert alignment.target_end == start + len(query)
+
+    def test_detailed_mode_produces_cigar_and_identity(self, rng):
+        target = random_dna(200, rng=rng)
+        query = target[50:110]
+        hit = SeedHit(target_id=0, target_offset=50, query_offset=0, seed_length=21)
+        alignment, _ = extend_seed_hit("read", query, target, hit, detailed=True)
+        assert alignment.cigar_string == f"{len(query)}M"
+        assert alignment.identity == pytest.approx(1.0)
+
+    def test_read_with_mismatch_still_aligns(self, rng):
+        target = random_dna(200, rng=rng)
+        fragment = target[60:120]
+        query = fragment[:30] + ("A" if fragment[30] != "A" else "C") + fragment[31:]
+        hit = SeedHit(target_id=0, target_offset=60, query_offset=0, seed_length=20)
+        alignment, _ = extend_seed_hit("read", query, target, hit)
+        assert alignment.score > DEFAULT_SCORING.max_score(len(query) // 2)
+
+    def test_window_at_target_edge(self, rng):
+        target = random_dna(80, rng=rng)
+        query = target[:40]
+        hit = SeedHit(target_id=0, target_offset=0, query_offset=0, seed_length=15)
+        alignment, _ = extend_seed_hit("read", query, target, hit)
+        assert alignment.target_start == 0
+
+    def test_empty_window(self):
+        hit = SeedHit(target_id=0, target_offset=0, query_offset=0, seed_length=3)
+        alignment, cells = extend_seed_hit("read", "ACGT", "", hit)
+        assert alignment.score == 0
+        assert cells == 0
+
+
+class TestAlignmentRecord:
+    def test_spans(self):
+        alignment = Alignment(query_name="q", target_id=1, score=10,
+                              query_start=2, query_end=12,
+                              target_start=100, target_end=110)
+        assert alignment.query_span == 10
+        assert alignment.target_span == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Alignment(query_name="q", target_id=0, score=0, query_start=5,
+                      query_end=2, target_start=0, target_end=0)
+        with pytest.raises(ValueError):
+            Alignment(query_name="q", target_id=0, score=0, query_start=0,
+                      query_end=0, target_start=0, target_end=0, strand="x")
+
+    def test_cigar_string(self):
+        assert cigar_to_string([(5, CigarOp.MATCH), (2, CigarOp.INSERTION)]) == "5M2I"
+
+    def test_identity_helper(self):
+        assert alignment_identity("ACGT", "ACGT") == 1.0
+        assert alignment_identity("ACGT", "ACGA") == 0.75
+        assert alignment_identity("", "") == 0.0
+        with pytest.raises(ValueError):
+            alignment_identity("AC", "A")
+
+    def test_sam_line(self):
+        alignment = Alignment(query_name="q1", target_id=0, score=20,
+                              query_start=0, query_end=10,
+                              target_start=5, target_end=15, strand="-",
+                              cigar=[(10, CigarOp.MATCH)], is_exact=True)
+        fields = alignment.to_sam_fields("contig1")
+        assert fields[0] == "q1"
+        assert fields[1] == "16"           # reverse strand flag
+        assert fields[2] == "contig1"
+        assert fields[3] == "6"            # 1-based position
+        assert fields[5] == "10M"
+        assert fields[-1] == "AS:i:20"
+        assert "\t".join(fields) == alignment.to_sam_line("contig1")

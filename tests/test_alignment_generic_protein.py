@@ -1,0 +1,182 @@
+"""Tests for alphabet-generic alignment and the protein extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.generic import (
+    Alphabet,
+    DNA_ALPHABET,
+    PROTEIN_ALPHABET,
+    SubstitutionMatrix,
+    local_align,
+)
+from repro.alignment.protein import ProteinSeedIndexAligner, blosum62
+from repro.alignment.scoring import ScoringScheme
+from repro.alignment.smith_waterman import smith_waterman
+
+protein_strings = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=40)
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+class TestAlphabet:
+    def test_encode_decode_round_trip(self):
+        seq = "MKTAYIAKQR"
+        assert PROTEIN_ALPHABET.decode(PROTEIN_ALPHABET.encode(seq)) == seq
+
+    def test_foreign_symbol_raises(self):
+        with pytest.raises(ValueError):
+            PROTEIN_ALPHABET.encode("MKTB*")
+        with pytest.raises(ValueError):
+            DNA_ALPHABET.encode("ACGN")
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            DNA_ALPHABET.decode(np.array([0, 9]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Alphabet("AAB")
+        with pytest.raises(ValueError):
+            Alphabet("")
+        assert len(PROTEIN_ALPHABET) == 20
+        assert "A" in DNA_ALPHABET and "N" not in DNA_ALPHABET
+
+    def test_is_valid(self):
+        assert PROTEIN_ALPHABET.is_valid("MKWY")
+        assert not PROTEIN_ALPHABET.is_valid("MKX")
+
+
+class TestSubstitutionMatrix:
+    def test_match_mismatch_factory(self):
+        matrix = SubstitutionMatrix.match_mismatch(DNA_ALPHABET, 2, 3, 5, 2)
+        assert matrix.score("A", "A") == 2
+        assert matrix.score("A", "C") == -3
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SubstitutionMatrix(alphabet=DNA_ALPHABET,
+                               scores=np.zeros((3, 3), dtype=np.int64))
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            SubstitutionMatrix.match_mismatch(DNA_ALPHABET, 1, 1, 1, 2)
+
+    def test_blosum62_properties(self):
+        matrix = blosum62()
+        assert matrix.scores.shape == (20, 20)
+        assert np.array_equal(matrix.scores, matrix.scores.T)
+        assert matrix.score("W", "W") == 11
+        assert matrix.score("A", "A") == 4
+        assert matrix.score("C", "E") == -4
+        assert matrix.score("I", "L") == 2
+
+
+class TestGenericLocalAlignment:
+    def test_matches_dna_kernel(self):
+        """With a match/mismatch matrix the generic kernel must equal the DNA one."""
+        scheme = ScoringScheme(match=2, mismatch=3, gap_open=5, gap_extend=2)
+        matrix = SubstitutionMatrix.match_mismatch(DNA_ALPHABET, 2, 3, 5, 2)
+        cases = [("ACGTACGT", "ACGTTCGT"), ("CGTA", "AACGTAAA"),
+                 ("ACGTACGT", "ACGTGGACGT"), ("AAAA", "CCCC")]
+        for query, target in cases:
+            expected = smith_waterman(query, target, scoring=scheme,
+                                      traceback=False).score
+            assert local_align(query, target, matrix).score == expected
+
+    @given(dna_strings, dna_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dna_kernel_property(self, query, target):
+        scheme = ScoringScheme(match=2, mismatch=3, gap_open=5, gap_extend=2)
+        matrix = SubstitutionMatrix.match_mismatch(DNA_ALPHABET, 2, 3, 5, 2)
+        expected = smith_waterman(query, target, scoring=scheme, traceback=False).score
+        assert local_align(query, target, matrix).score == expected
+
+    def test_protein_self_alignment_score(self):
+        matrix = blosum62()
+        seq = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"
+        result = local_align(seq, seq, matrix)
+        expected = sum(matrix.score(ch, ch) for ch in seq)
+        assert result.score == expected
+        assert result.query_end == len(seq)
+
+    def test_protein_conservative_substitution_scores_higher(self):
+        matrix = blosum62()
+        base = "MKWVLLLW"
+        conservative = "MKWILLLW"   # V->I is a positive BLOSUM62 substitution
+        radical = "MKWPLLLW"        # V->P is negative
+        assert (local_align(base, conservative, matrix).score
+                > local_align(base, radical, matrix).score)
+
+    def test_empty_inputs(self):
+        matrix = blosum62()
+        assert local_align("", "MKW", matrix).score == 0
+        assert local_align("MKW", "", matrix).score == 0
+
+    @given(protein_strings)
+    @settings(max_examples=30, deadline=None)
+    def test_protein_self_alignment_property(self, seq):
+        matrix = blosum62()
+        result = local_align(seq, seq, matrix)
+        assert result.score == sum(matrix.score(ch, ch) for ch in seq)
+
+
+class TestProteinSeedIndexAligner:
+    TARGETS = [
+        "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ",
+        "MSDNGPQNQRNAPRITFGGPSDSTGSNQNGERSGARSKQRRPQGLPNNTASWFTALTQHGKEDLKF",
+        "MAHHHHHHVGTGSNQNGERSGARSKQRRPQGLPNNTASMKTAYIAKQRQISFVKSHFSRQLEERLG",
+    ]
+
+    def test_query_finds_its_source(self):
+        aligner = ProteinSeedIndexAligner(seed_length=4)
+        aligner.build_index(self.TARGETS)
+        query = self.TARGETS[0][10:40]
+        hits = aligner.align("q1", query)
+        assert hits
+        assert hits[0].target_id in (0, 2)   # target 2 shares the region
+        assert hits[0].score >= 4 * len(query) * 0.5
+
+    def test_shared_region_hits_both_targets(self):
+        aligner = ProteinSeedIndexAligner(seed_length=4)
+        aligner.build_index(self.TARGETS)
+        query = "GSNQNGERSGARSKQRRPQGLPNNTAS"   # present in targets 1 and 2
+        hit_targets = {hit.target_id for hit in aligner.align("q", query)}
+        assert {1, 2} <= hit_targets
+
+    def test_hits_sorted_by_score(self):
+        aligner = ProteinSeedIndexAligner(seed_length=4)
+        aligner.build_index(self.TARGETS)
+        hits = aligner.align("q", self.TARGETS[2][:35])
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_hits_for_unrelated_query(self):
+        aligner = ProteinSeedIndexAligner(seed_length=5, min_score=30)
+        aligner.build_index(self.TARGETS)
+        assert aligner.align("q", "WWWWWCCCCCWWWWW") == []
+
+    def test_align_before_index_raises(self):
+        with pytest.raises(RuntimeError):
+            ProteinSeedIndexAligner().align("q", "MKTAY")
+
+    def test_invalid_sequences_raise(self):
+        aligner = ProteinSeedIndexAligner()
+        with pytest.raises(ValueError):
+            aligner.build_index(["MKT*Z"])
+        aligner.build_index(self.TARGETS)
+        with pytest.raises(ValueError):
+            aligner.align("q", "MKTA1")
+
+    def test_seed_count(self):
+        aligner = ProteinSeedIndexAligner(seed_length=4)
+        stored = aligner.build_index(self.TARGETS)
+        expected = sum(len(t) - 4 + 1 for t in self.TARGETS)
+        assert stored == expected == aligner.n_seeds
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ProteinSeedIndexAligner(seed_length=0)
+        with pytest.raises(ValueError):
+            ProteinSeedIndexAligner(max_candidates_per_seed=0)

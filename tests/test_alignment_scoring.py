@@ -1,0 +1,48 @@
+"""Tests for scoring schemes."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+
+
+class TestScoringScheme:
+    def test_defaults_match_ssw(self):
+        assert DEFAULT_SCORING.match == 2
+        assert DEFAULT_SCORING.mismatch == 3
+        assert DEFAULT_SCORING.gap_open == 5
+        assert DEFAULT_SCORING.gap_extend == 2
+
+    def test_score_pair(self):
+        assert DEFAULT_SCORING.score_pair("A", "A") == 2
+        assert DEFAULT_SCORING.score_pair("A", "C") == -3
+
+    def test_substitution_matrix(self):
+        matrix = DEFAULT_SCORING.substitution_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.all(np.diag(matrix) == 2)
+        off_diag = matrix[~np.eye(4, dtype=bool)]
+        assert np.all(off_diag == -3)
+
+    def test_profile_shape_and_values(self):
+        profile = DEFAULT_SCORING.profile("ACGT")
+        assert profile.shape == (4, 4)
+        # profile[code, j]: aligning target base `code` with query[j]
+        assert profile[0, 0] == 2      # A vs A
+        assert profile[1, 0] == -3     # C vs A
+
+    def test_max_score(self):
+        assert DEFAULT_SCORING.max_score(100) == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(match=0)
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch=-1)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_open=1, gap_extend=2)
+
+    def test_custom_scheme(self):
+        scheme = ScoringScheme(match=1, mismatch=1, gap_open=2, gap_extend=1)
+        assert scheme.score_pair("G", "G") == 1
+        assert scheme.max_score(10) == 10

@@ -1,0 +1,147 @@
+"""Tests for scalar and striped (vectorised) Smith-Waterman."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.result import CigarOp
+from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
+from repro.alignment.smith_waterman import smith_waterman, sw_score_matrix
+from repro.alignment.striped import striped_smith_waterman
+from repro.dna.sequence import random_dna
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestScalarSmithWaterman:
+    def test_identical_sequences(self):
+        seq = "ACGTACGTGG"
+        result = smith_waterman(seq, seq)
+        assert result.score == DEFAULT_SCORING.max_score(len(seq))
+        assert result.query_start == 0 and result.query_end == len(seq)
+        assert result.target_start == 0 and result.target_end == len(seq)
+        assert result.cigar == [(len(seq), CigarOp.MATCH)]
+
+    def test_substring_match(self):
+        result = smith_waterman("CGTA", "AACGTAAA")
+        assert result.score == DEFAULT_SCORING.max_score(4)
+        assert result.target_start == 2
+        assert result.target_end == 6
+
+    def test_no_similarity(self):
+        result = smith_waterman("AAAA", "CCCC")
+        assert result.score == 0
+
+    def test_empty_inputs(self):
+        assert smith_waterman("", "ACGT").score == 0
+        assert smith_waterman("ACGT", "").score == 0
+
+    def test_single_mismatch_local(self):
+        # Local alignment may clip around the mismatch or absorb it.
+        result = smith_waterman("ACGTACGT", "ACGTTCGT")
+        assert result.score >= 2 * 4  # at least one exact half
+
+    def test_gap_alignment(self):
+        query = "ACGTACGT"
+        target = "ACGTGGACGT"  # 2-base insertion in the target
+        result = smith_waterman(query, target)
+        ops = {op for _, op in result.cigar}
+        assert result.score > 0
+        # Either it aligns across the gap (deletion op) or clips to one side.
+        assert CigarOp.MATCH in ops
+
+    def test_aligned_strings_consistent_with_cigar(self):
+        result = smith_waterman("ACGTAACGT", "ACGTTTACGT")
+        assert len(result.aligned_query) == len(result.aligned_target)
+        cigar_span = sum(length for length, _ in result.cigar)
+        assert cigar_span == len(result.aligned_query)
+
+    def test_traceback_false_gives_score_only(self):
+        result = smith_waterman("ACGT", "ACGT", traceback=False)
+        assert result.score == 8
+        assert result.cigar == []
+
+    def test_score_matrix_shape_and_max(self):
+        H = sw_score_matrix("ACG", "ACGT")
+        assert H.shape == (4, 5)
+        assert H.max() == smith_waterman("ACG", "ACGT").score
+
+    @given(dna_nonempty)
+    @settings(max_examples=40)
+    def test_self_alignment_is_perfect(self, seq):
+        result = smith_waterman(seq, seq)
+        assert result.score == DEFAULT_SCORING.max_score(len(seq))
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_score_symmetry(self, a, b):
+        assert smith_waterman(a, b).score == smith_waterman(b, a).score
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_score_nonnegative_and_bounded(self, a, b):
+        score = smith_waterman(a, b, traceback=False).score
+        assert 0 <= score <= DEFAULT_SCORING.match * min(len(a), len(b))
+
+
+class TestStripedSmithWaterman:
+    def test_matches_scalar_on_examples(self):
+        cases = [
+            ("ACGTACGT", "ACGTACGT"),
+            ("ACGTACGT", "ACGTTCGT"),
+            ("CGTA", "AACGTAAA"),
+            ("ACGTACGT", "ACGTGGACGT"),
+            ("AAAA", "CCCC"),
+            ("GATTACA", "GCATGCG"),
+        ]
+        for query, target in cases:
+            scalar = smith_waterman(query, target, traceback=False).score
+            striped = striped_smith_waterman(query, target).score
+            assert striped == scalar, (query, target)
+
+    def test_empty_inputs(self):
+        assert striped_smith_waterman("", "ACGT").score == 0
+        assert striped_smith_waterman("ACGT", "").score == 0
+
+    def test_end_positions_identify_match(self):
+        result = striped_smith_waterman("CGTA", "AACGTAAA")
+        assert result.query_end == 4
+        assert result.target_end == 6
+
+    def test_locate_start(self):
+        result = striped_smith_waterman("CGTA", "AACGTAAA", locate_start=True)
+        assert result.has_start
+        assert result.query_start == 0
+        assert result.target_start == 2
+
+    def test_cells_counted(self):
+        result = striped_smith_waterman("ACGT", "ACGTACGT")
+        assert result.cells == 4 * 8
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_striped_equals_scalar_property(self, query, target):
+        scalar = smith_waterman(query, target, traceback=False).score
+        striped = striped_smith_waterman(query, target).score
+        assert striped == scalar
+
+    @given(dna_nonempty, dna_nonempty)
+    @settings(max_examples=30, deadline=None)
+    def test_striped_start_consistent(self, query, target):
+        result = striped_smith_waterman(query, target, locate_start=True)
+        if result.score > 0 and result.has_start:
+            assert 0 <= result.query_start < result.query_end <= len(query)
+            assert 0 <= result.target_start < result.target_end <= len(target)
+
+    def test_alternative_scoring(self):
+        scheme = ScoringScheme(match=1, mismatch=1, gap_open=3, gap_extend=1)
+        query, target = "ACGGTACGT", "ACGTTTACGGT"
+        assert (striped_smith_waterman(query, target, scoring=scheme).score
+                == smith_waterman(query, target, scoring=scheme, traceback=False).score)
+
+    def test_long_random_sequences_match_scalar(self, rng):
+        query = random_dna(60, rng=rng)
+        target = random_dna(120, rng=rng)
+        assert (striped_smith_waterman(query, target).score
+                == smith_waterman(query, target, traceback=False).score)

@@ -1,0 +1,139 @@
+"""Tests for the BWA-like / Bowtie2-like baseline aligners and pMap driver."""
+
+import pytest
+
+from repro.baselines.base import BaselineAligner, BaselineCostModel
+from repro.baselines.bowtie_like import BowtieLikeAligner
+from repro.baselines.bwa_like import BwaLikeAligner
+from repro.baselines.pmap import PMapFramework
+from repro.dna.sequence import reverse_complement
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, ReadRecord, make_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = GenomeSpec(name="bl", genome_length=6000, n_contigs=3,
+                      repeat_fraction=0.0, min_contig_length=200)
+    return make_dataset(spec, ReadSetSpec(coverage=1.5, read_length=60,
+                                          error_rate=0.005), seed=21)
+
+
+class TestBaselineAligner:
+    def test_build_index_required(self):
+        aligner = BwaLikeAligner(seed_length=21)
+        read = ReadRecord(name="r", sequence="ACGT" * 10, quality="I" * 40)
+        with pytest.raises(RuntimeError):
+            aligner.align_read(read)
+
+    def test_index_build_time_scales_with_input(self):
+        small = BwaLikeAligner(seed_length=21)
+        large = BwaLikeAligner(seed_length=21)
+        t_small = small.build_index(["ACGT" * 100])
+        t_large = large.build_index(["ACGT" * 1000])
+        assert t_large > t_small
+
+    def test_perfect_read_aligns_to_origin(self, dataset):
+        genome, _ = dataset
+        aligner = BwaLikeAligner(seed_length=21)
+        aligner.build_index(genome.contigs)
+        contig_id = 0
+        read_seq = genome.contigs[contig_id][50:110]
+        read = ReadRecord(name="q", sequence=read_seq, quality="I" * 60)
+        alignments, seconds = aligner.align_read(read)
+        assert seconds > 0
+        hits = [a for a in alignments if a.target_id == contig_id
+                and a.target_start == 50]
+        assert hits
+        assert hits[0].score == 120  # perfect 60bp match at +2/match
+
+    def test_reverse_strand_read_aligns(self, dataset):
+        genome, _ = dataset
+        aligner = BwaLikeAligner(seed_length=21)
+        aligner.build_index(genome.contigs)
+        fragment = genome.contigs[1][100:160]
+        read = ReadRecord(name="rc", sequence=reverse_complement(fragment),
+                          quality="I" * 60)
+        alignments, _ = aligner.align_read(read)
+        assert any(a.target_id == 1 and a.strand == "-" for a in alignments)
+
+    def test_aligned_fraction_tracking(self, dataset):
+        genome, reads = dataset
+        aligner = BwaLikeAligner(seed_length=21)
+        aligner.build_index(genome.contigs)
+        aligner.map_reads(reads[:60])
+        assert aligner.reads_processed == 60
+        assert 0.5 < aligner.aligned_fraction <= 1.0
+
+    def test_invalid_seed_length(self):
+        with pytest.raises(ValueError):
+            BwaLikeAligner(seed_length=0)
+
+    def test_seed_offsets_policy(self):
+        bwa = BwaLikeAligner(seed_length=20)
+        bowtie = BowtieLikeAligner()
+        assert bwa.seed_offsets(10) == []
+        assert len(bowtie.seed_offsets(100)) <= len(bwa.seed_offsets(100)) + 5
+
+    def test_bowtie_seed_length_capped(self):
+        aligner = BowtieLikeAligner(seed_length=51)
+        assert aligner.seed_length == BowtieLikeAligner.MAX_SEED_LENGTH
+
+    def test_bowtie_index_slower_than_bwa(self, dataset):
+        genome, _ = dataset
+        bwa = BwaLikeAligner(seed_length=21)
+        bowtie = BowtieLikeAligner()
+        assert bowtie.build_index(genome.contigs) > bwa.build_index(genome.contigs)
+
+
+class TestPMapFramework:
+    def test_report_fields(self, dataset):
+        genome, reads = dataset
+        pmap = PMapFramework(lambda: BwaLikeAligner(seed_length=21), n_instances=4)
+        report = pmap.run(genome.contigs, reads[:40])
+        assert report.tool_name == "bwa-mem-like"
+        assert report.index_construction_time > 0
+        assert report.read_partition_time > 0
+        assert report.reads_processed == 40
+        assert len(report.per_read_seconds) == 40
+        assert 0 < report.aligned_fraction <= 1.0
+        assert report.total_time > report.mapping_time
+        assert report.total_time_with_partitioning > report.total_time
+
+    def test_mapping_time_decreases_with_instances(self, dataset):
+        genome, reads = dataset
+        pmap = PMapFramework(lambda: BwaLikeAligner(seed_length=21), n_instances=2)
+        report = pmap.run(genome.contigs, reads[:60])
+        t1 = report.mapping_time_at(1)
+        t4 = report.mapping_time_at(4)
+        t16 = report.mapping_time_at(16)
+        assert t1 >= t4 >= t16
+        assert report.mapping_time == report.mapping_time_at(2)
+
+    def test_index_time_does_not_scale(self, dataset):
+        """The structural point of Table II: the index build is serial, so the
+        total time flattens out no matter how many instances map."""
+        genome, reads = dataset
+        pmap = PMapFramework(lambda: BwaLikeAligner(seed_length=21), n_instances=4)
+        report = pmap.run(genome.contigs, reads[:60])
+        assert report.total_time_at(1024) >= report.index_construction_time
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PMapFramework(BwaLikeAligner, n_instances=0)
+        with pytest.raises(ValueError):
+            PMapFramework(BwaLikeAligner, n_instances=1, instances_per_node=0)
+
+    def test_mapping_time_at_invalid(self, dataset):
+        genome, reads = dataset
+        report = PMapFramework(lambda: BwaLikeAligner(seed_length=21),
+                               n_instances=2).run(genome.contigs, reads[:10])
+        with pytest.raises(ValueError):
+            report.mapping_time_at(0)
+
+
+class TestCostModel:
+    def test_positive_costs(self):
+        costs = BaselineCostModel()
+        assert costs.index_build_per_char > 0
+        assert costs.fm_step > 0
+        assert costs.sw_cell > 0

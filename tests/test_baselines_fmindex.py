@@ -1,0 +1,136 @@
+"""Tests for the suffix array, BWT and FM-index substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fmindex import FMIndex, bwt_from_suffix_array, suffix_array
+from repro.dna.sequence import random_dna
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=80)
+dna_nonempty = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+def naive_suffix_array(text: str) -> list[int]:
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+def naive_count(text: str, pattern: str) -> int:
+    if not pattern:
+        return len(text) + 1
+    count = 0
+    for i in range(len(text) - len(pattern) + 1):
+        if text[i:i + len(pattern)] == pattern:
+            count += 1
+    return count
+
+
+class TestSuffixArray:
+    def test_known_example(self):
+        assert list(suffix_array("banana")) == naive_suffix_array("banana")
+
+    def test_empty_and_single(self):
+        assert list(suffix_array("")) == []
+        assert list(suffix_array("A")) == [0]
+
+    def test_repetitive_text(self):
+        text = "AAAAAA"
+        assert list(suffix_array(text)) == naive_suffix_array(text)
+
+    @given(dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_property(self, text):
+        assert list(suffix_array(text)) == naive_suffix_array(text)
+
+    def test_is_permutation(self, rng):
+        text = random_dna(500, rng=rng)
+        sa = suffix_array(text)
+        assert sorted(sa) == list(range(len(text)))
+
+
+class TestBwt:
+    def test_known_example(self):
+        text = "banana$"
+        sa = suffix_array(text)
+        assert bwt_from_suffix_array(text, sa) == "annb$aa"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bwt_from_suffix_array("abc", np.array([0]))
+
+    def test_bwt_is_permutation_of_text(self, rng):
+        text = random_dna(100, rng=rng) + "$"
+        bwt = bwt_from_suffix_array(text, suffix_array(text))
+        assert sorted(bwt) == sorted(text)
+
+
+class TestFMIndex:
+    def test_count_simple(self):
+        fm = FMIndex("ACGTACGTACGAAC")
+        assert fm.count("ACG") == 3
+        assert fm.count("ACGT") == 2
+        assert fm.count("TTTT") == 0
+        assert fm.count("") == len("ACGTACGTACGAAC") + 1
+
+    def test_locate_simple(self):
+        fm = FMIndex("ACGTACGTACGAAC")
+        assert sorted(fm.locate("ACG")) == [0, 4, 8]
+        assert sorted(fm.locate("AC")) == [0, 4, 8, 12]
+        assert fm.locate("GGG") == []
+
+    def test_locate_with_limit(self):
+        fm = FMIndex("ACACACACAC")
+        positions = fm.locate("AC", limit=2)
+        assert len(positions) == 2
+        assert all(fm_text[p:p + 2] == "AC" for fm_text, p in
+                   zip(["ACACACACAC"] * 2, positions))
+
+    def test_pattern_with_foreign_character(self):
+        fm = FMIndex("ACGTACGT")
+        assert fm.count("ACN") == 0
+        assert fm.locate("XYZ") == []
+
+    def test_sentinel_in_text_raises(self):
+        with pytest.raises(ValueError):
+            FMIndex("AC$GT")
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            FMIndex("ACGT", sa_sample_rate=0)
+
+    def test_sample_rates_agree(self, rng):
+        text = random_dna(300, rng=rng)
+        dense = FMIndex(text, sa_sample_rate=1)
+        sparse = FMIndex(text, sa_sample_rate=16)
+        for _ in range(10):
+            start = int(rng.integers(0, len(text) - 12))
+            pattern = text[start:start + 12]
+            assert sorted(dense.locate(pattern)) == sorted(sparse.locate(pattern))
+
+    def test_index_nbytes_positive(self):
+        assert FMIndex("ACGT" * 100).index_nbytes > 0
+
+    @given(dna_nonempty, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_naive_property(self, text, pattern_length):
+        fm = FMIndex(text)
+        pattern = text[:pattern_length]
+        assert fm.count(pattern) == naive_count(text, pattern)
+
+    @given(dna_nonempty)
+    @settings(max_examples=40, deadline=None)
+    def test_locate_positions_are_real_occurrences(self, text):
+        fm = FMIndex(text)
+        pattern = text[: min(4, len(text))]
+        for position in fm.locate(pattern):
+            assert text[position:position + len(pattern)] == pattern
+
+    def test_long_random_text(self, rng):
+        text = random_dna(2000, rng=rng)
+        fm = FMIndex(text)
+        for _ in range(20):
+            start = int(rng.integers(0, len(text) - 25))
+            pattern = text[start:start + 25]
+            assert fm.count(pattern) == naive_count(text, pattern)
+            assert start in fm.locate(pattern)

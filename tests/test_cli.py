@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io.fasta import read_fasta
+from repro.io.fastq import read_fastq
+
+
+@pytest.fixture
+def simulated_dir(tmp_path):
+    out = tmp_path / "data"
+    code = main(["simulate", "--output-dir", str(out),
+                 "--genome-length", "8000", "--n-contigs", "10",
+                 "--coverage", "2", "--read-length", "60", "--seed", "5"])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_fasta_and_fastq(self, simulated_dir):
+        contigs = read_fasta(simulated_dir / "contigs.fa")
+        reads = read_fastq(simulated_dir / "reads.fastq")
+        assert len(contigs) >= 2
+        assert len(reads) > 100
+        assert all(len(r.sequence) == 60 for r in reads[:10])
+
+    def test_seqdb_output(self, tmp_path):
+        out = tmp_path / "seqdb_data"
+        code = main(["simulate", "--output-dir", str(out),
+                     "--genome-length", "5000", "--n-contigs", "4",
+                     "--coverage", "1", "--read-length", "50",
+                     "--reads-format", "seqdb"])
+        assert code == 0
+        assert (out / "reads.seqdb").exists()
+        assert not (out / "reads.fastq").exists()
+
+    def test_deterministic_given_seed(self, tmp_path):
+        out1, out2 = tmp_path / "a", tmp_path / "b"
+        for out in (out1, out2):
+            main(["simulate", "--output-dir", str(out), "--genome-length", "4000",
+                  "--n-contigs", "4", "--coverage", "1", "--seed", "9"])
+        assert (out1 / "contigs.fa").read_text() == (out2 / "contigs.fa").read_text()
+
+
+class TestAlign:
+    def test_align_writes_sam(self, simulated_dir, tmp_path, capsys):
+        sam_path = tmp_path / "out.sam"
+        code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(sam_path),
+                     "--ranks", "4", "--seed-length", "21", "--seed-stride", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "aligned" in output
+        assert "phase breakdown" in output
+        lines = sam_path.read_text().splitlines()
+        assert lines[0].startswith("@HD")
+        body = [line for line in lines if not line.startswith("@")]
+        assert len(body) > 100
+
+    def test_align_with_optimizations_disabled(self, simulated_dir, tmp_path, capsys):
+        sam_path = tmp_path / "out_noopt.sam"
+        code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(sam_path),
+                     "--ranks", "2", "--seed-length", "21", "--seed-stride", "4",
+                     "--no-aggregating-stores", "--no-caches",
+                     "--no-exact-match", "--no-permute"])
+        assert code == 0
+        assert "exact-match fast path: 0.0%" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_prints_table(self, simulated_dir, capsys):
+        code = main(["compare", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--ranks", "4", "--seed-length", "21"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "merAligner" in output
+        assert "bwa-mem-like" in output
+        assert "bowtie2-like" in output
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_align_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["align", "--targets", "x.fa"])

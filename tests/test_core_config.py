@@ -1,0 +1,56 @@
+"""Tests for AlignerConfig."""
+
+import pytest
+
+from repro.core.config import AlignerConfig
+
+
+class TestAlignerConfig:
+    def test_defaults_match_paper(self):
+        config = AlignerConfig()
+        assert config.seed_length == 51
+        assert config.aggregation_buffer_size == 1000
+        assert config.use_aggregating_stores
+        assert config.use_exact_match_optimization
+        assert config.permute_reads
+
+    def test_without_optimizations(self):
+        baseline = AlignerConfig().without_optimizations()
+        assert not baseline.use_aggregating_stores
+        assert not baseline.use_seed_index_cache
+        assert not baseline.use_target_cache
+        assert not baseline.use_exact_match_optimization
+        assert not baseline.permute_reads
+        # untouched knobs survive
+        assert baseline.seed_length == 51
+
+    def test_with_override(self):
+        config = AlignerConfig().with_(seed_length=19, fragment_length=400)
+        assert config.seed_length == 19
+        assert AlignerConfig().seed_length == 51  # original frozen
+
+    def test_for_small_genome(self):
+        config = AlignerConfig.for_small_genome()
+        assert config.seed_length == 19
+        assert config.fragment_length > config.seed_length
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlignerConfig(seed_length=0)
+        with pytest.raises(ValueError):
+            AlignerConfig(aggregation_buffer_size=0)
+        with pytest.raises(ValueError):
+            AlignerConfig(seed_length=51, fragment_length=40)
+        with pytest.raises(ValueError):
+            AlignerConfig(seed_stride=0)
+        with pytest.raises(ValueError):
+            AlignerConfig(max_alignments_per_seed=-1)
+        with pytest.raises(ValueError):
+            AlignerConfig(seed_cache_bytes_per_node=-1)
+        with pytest.raises(ValueError):
+            AlignerConfig(window_padding=-1)
+
+    def test_frozen(self):
+        config = AlignerConfig()
+        with pytest.raises(AttributeError):
+            config.seed_length = 10

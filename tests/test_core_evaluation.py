@@ -1,0 +1,105 @@
+"""Tests for the ground-truth evaluation module."""
+
+import pytest
+
+from repro.alignment.result import Alignment
+from repro.core.config import AlignerConfig
+from repro.core.evaluation import compare_aligners, evaluate_alignments
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import ReadRecord
+
+
+def make_read(name, contig_id=0, position=10, strand="+"):
+    return ReadRecord(name=name, sequence="ACGT" * 5, quality="I" * 20,
+                      contig_id=contig_id, position=position, strand=strand)
+
+
+def make_alignment(name, target_id=0, start=10, strand="+"):
+    return Alignment(query_name=name, target_id=target_id, score=40,
+                     query_start=0, query_end=20,
+                     target_start=start, target_end=start + 20, strand=strand)
+
+
+class TestEvaluateAlignments:
+    def test_perfect_case(self):
+        reads = [make_read("r1"), make_read("r2", position=50)]
+        alignments = [make_alignment("r1"), make_alignment("r2", start=50)]
+        result = evaluate_alignments(reads, alignments)
+        assert result.aligned_fraction == 1.0
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+        assert result.strand_accuracy == 1.0
+
+    def test_tolerance_window(self):
+        reads = [make_read("r1", position=10)]
+        result = evaluate_alignments(reads, [make_alignment("r1", start=12)],
+                                     tolerance=3)
+        assert result.recall == 1.0
+        strict = evaluate_alignments(reads, [make_alignment("r1", start=12)],
+                                     tolerance=1)
+        assert strict.recall == 0.0
+
+    def test_wrong_contig_counts_as_miss(self):
+        reads = [make_read("r1", contig_id=0)]
+        result = evaluate_alignments(reads, [make_alignment("r1", target_id=5)])
+        assert result.aligned_fraction == 1.0
+        assert result.recall == 0.0
+        assert result.precision == 0.0
+
+    def test_wrong_strand_tracked_separately(self):
+        reads = [make_read("r1", strand="+")]
+        result = evaluate_alignments(reads, [make_alignment("r1", strand="-")])
+        assert result.recall == 1.0
+        assert result.strand_accuracy == 0.0
+
+    def test_gap_reads_excluded_from_recall(self):
+        reads = [make_read("r1", contig_id=-1, position=-1), make_read("r2")]
+        result = evaluate_alignments(reads, [make_alignment("r2")])
+        assert result.n_locatable == 1
+        assert result.recall == 1.0
+        assert result.aligned_fraction == 0.5
+
+    def test_no_alignments(self):
+        reads = [make_read("r1")]
+        result = evaluate_alignments(reads, [])
+        assert result.aligned_fraction == 0.0
+        assert result.recall == 0.0
+        assert result.precision == 0.0
+
+    def test_unknown_read_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_alignments([make_read("r1")], [make_alignment("ghost")])
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_alignments([], [], tolerance=-1)
+
+    def test_as_dict_keys(self):
+        result = evaluate_alignments([make_read("r1")], [make_alignment("r1")])
+        for key in ("aligned_fraction", "recall", "precision", "strand_accuracy"):
+            assert key in result.as_dict()
+
+    def test_empty_inputs(self):
+        result = evaluate_alignments([], [])
+        assert result.n_reads == 0
+        assert result.aligned_fraction == 0.0
+
+
+class TestCompareAligners:
+    def test_ordering_and_keys(self):
+        reads = [make_read("r1")]
+        results = compare_aligners(reads, {
+            "a": [make_alignment("r1")],
+            "b": [],
+        })
+        assert list(results) == ["a", "b"]
+        assert results["a"].recall == 1.0
+        assert results["b"].recall == 0.0
+
+    def test_pipeline_output_evaluates_cleanly(self, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        report = MerAligner(small_config).run(genome.contigs, reads, n_ranks=2)
+        result = evaluate_alignments(reads, report.alignments)
+        assert result.recall > 0.95
+        assert result.aligned_fraction > 0.9
+        assert result.strand_accuracy > 0.9

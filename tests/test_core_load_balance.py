@@ -1,0 +1,85 @@
+"""Tests for load balancing by random permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.load_balance import (
+    chunk_for_rank,
+    imbalance,
+    permute_reads,
+    theoretical_imbalance_bound,
+)
+
+
+class TestPermuteReads:
+    def test_is_a_permutation(self):
+        reads = [f"r{i}" for i in range(100)]
+        permuted = permute_reads(reads, seed=1)
+        assert sorted(permuted) == sorted(reads)
+        assert permuted != reads  # astronomically unlikely to be identity
+
+    def test_deterministic_given_seed(self):
+        reads = list(range(50))
+        assert permute_reads(reads, seed=7) == permute_reads(reads, seed=7)
+        assert permute_reads(reads, seed=7) != permute_reads(reads, seed=8)
+
+    def test_empty_and_singleton(self):
+        assert permute_reads([], seed=0) == []
+        assert permute_reads(["x"], seed=0) == ["x"]
+
+    @given(st.lists(st.integers(), max_size=60), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_multiset_preserved_property(self, reads, seed):
+        assert sorted(permute_reads(reads, seed=seed)) == sorted(reads)
+
+
+class TestChunkForRank:
+    def test_chunks_cover_everything(self):
+        reads = list(range(53))
+        chunks = [chunk_for_rank(reads, r, 7) for r in range(7)]
+        assert sum(chunks, []) == reads
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            chunk_for_rank([1], 0, 0)
+        with pytest.raises(IndexError):
+            chunk_for_rank([1], 2, 2)
+
+
+class TestImbalance:
+    def test_imbalance_metric(self):
+        assert imbalance([1.0, 1.0, 1.0]) == pytest.approx(0.0)
+        assert imbalance([1.0, 3.0, 2.0]) == pytest.approx(1.0)
+        assert imbalance([]) == 0.0
+
+    def test_bound_zero_cases(self):
+        assert theoretical_imbalance_bound(0, 8) == 0.0
+        assert theoretical_imbalance_bound(100, 1) == 0.0
+
+    def test_bound_errors(self):
+        with pytest.raises(ValueError):
+            theoretical_imbalance_bound(-1, 4)
+        with pytest.raises(ValueError):
+            theoretical_imbalance_bound(5, 0)
+
+    def test_random_permutation_respects_bound(self):
+        """Empirical check of the Theorem 1 behaviour: after random assignment
+        the observed slow-read imbalance stays within the analytic bound."""
+        rng = np.random.default_rng(0)
+        p = 16
+        h = 4000  # slow reads, h >> p log p
+        for trial in range(5):
+            assignment = rng.integers(0, p, size=h)
+            counts = np.bincount(assignment, minlength=p)
+            observed = counts.max() - h / p
+            assert observed <= theoretical_imbalance_bound(h, p)
+
+    def test_grouped_assignment_violates_balance(self):
+        """Without permutation, grouped slow reads can all land on one rank."""
+        p, h = 8, 800
+        # all slow reads in the first chunk -> one rank gets everything
+        per_rank = [h] + [0] * (p - 1)
+        assert imbalance(per_rank) > theoretical_imbalance_bound(h, p)

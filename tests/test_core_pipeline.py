@@ -1,0 +1,243 @@
+"""Integration tests for the end-to-end MerAligner pipeline."""
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.core.stats import AlignerReport
+from repro.dna.sequence import reverse_complement
+from repro.dna.synthetic import ReadRecord
+from repro.io.fasta import write_fasta
+from repro.io.fastq import write_fastq
+from repro.io.seqdb import records_to_seqdb
+from repro.pgas.cost_model import EDISON_LIKE
+
+
+def run_small(dataset, config, n_ranks=4):
+    genome, reads = dataset
+    aligner = MerAligner(config)
+    return genome, reads, aligner.run(genome.contigs, reads, n_ranks=n_ranks,
+                                      machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+class TestEndToEnd:
+    def test_report_structure(self, small_dataset, small_config):
+        _, reads, report = run_small(small_dataset, small_config)
+        assert isinstance(report, AlignerReport)
+        assert report.n_ranks == 4
+        assert report.counters.reads_processed == len(reads)
+        phase_names = [p.name for p in report.phases]
+        for expected in ("read_targets", "extract_and_store_seeds", "drain_stacks",
+                         "mark_single_copy", "read_queries", "align_reads"):
+            assert expected in phase_names
+        assert report.total_time > 0
+        assert report.alignment_time > 0
+        assert report.index_construction_time > 0
+
+    def test_high_aligned_fraction(self, small_dataset, small_config):
+        _, _, report = run_small(small_dataset, small_config)
+        # The paper reports 86-97% aligned; synthetic reads sampled from the
+        # genome (some fall in inter-contig gaps) should align at >= 80%.
+        assert report.counters.aligned_fraction > 0.8
+
+    def test_exact_path_used(self, small_dataset, small_config):
+        _, _, report = run_small(small_dataset, small_config)
+        assert report.counters.exact_path_hits > 0
+        assert 0.0 < report.counters.exact_fraction <= 1.0
+
+    def test_error_free_reads_all_align_to_their_origin(self, perfect_dataset,
+                                                        small_config):
+        genome, reads, report = run_small(perfect_dataset, small_config)
+        by_name = {}
+        for alignment in report.alignments:
+            by_name.setdefault(alignment.query_name, []).append(alignment)
+        checked = 0
+        for read in reads:
+            if read.contig_id < 0:
+                continue  # fell into an inter-contig gap
+            assert read.name in by_name, f"{read.name} not aligned"
+            # at least one alignment must hit the true origin
+            hits = [a for a in by_name[read.name]
+                    if a.target_id == read.contig_id
+                    and abs(a.target_start - read.position) <= 2]
+            assert hits, f"{read.name} missed its origin"
+            checked += 1
+        assert checked > 0
+
+    def test_exact_alignments_match_target_text(self, perfect_dataset, small_config):
+        genome, _, report = run_small(perfect_dataset, small_config)
+        exact = [a for a in report.alignments if a.is_exact]
+        assert exact
+        reads_by_name = {}
+        for alignment in exact[:50]:
+            contig = genome.contigs[alignment.target_id]
+            span = contig[alignment.target_start:alignment.target_end]
+            assert len(span) == alignment.query_span
+
+    def test_strand_recovery(self, perfect_dataset, small_config):
+        genome, reads, report = run_small(perfect_dataset, small_config)
+        truth = {r.name: r for r in reads}
+        correct, total = 0, 0
+        for alignment in report.alignments:
+            read = truth[alignment.query_name]
+            if read.contig_id < 0 or alignment.target_id != read.contig_id:
+                continue
+            total += 1
+            if alignment.strand == read.strand:
+                correct += 1
+        assert total > 0
+        assert correct / total > 0.9
+
+    def test_deterministic_given_config(self, small_dataset, small_config):
+        _, _, first = run_small(small_dataset, small_config)
+        _, _, second = run_small(small_dataset, small_config)
+        assert first.counters.reads_aligned == second.counters.reads_aligned
+        assert first.counters.sw_calls == second.counters.sw_calls
+        assert len(first.alignments) == len(second.alignments)
+
+    def test_results_independent_of_rank_count(self, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        reports = [MerAligner(small_config).run(genome.contigs, reads, n_ranks=n)
+                   for n in (1, 3, 5)]
+        aligned = {r.counters.reads_aligned for r in reports}
+        assert len(aligned) == 1
+        names = [sorted({a.query_name for a in r.alignments}) for r in reports]
+        assert names[0] == names[1] == names[2]
+
+
+class TestOptimizationToggles:
+    def test_without_optimizations_same_alignments(self, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        optimized = MerAligner(small_config).run(genome.contigs, reads, n_ranks=4)
+        baseline = MerAligner(small_config.without_optimizations()).run(
+            genome.contigs, reads, n_ranks=4)
+        assert (optimized.counters.reads_aligned == baseline.counters.reads_aligned)
+        assert baseline.counters.exact_path_hits == 0
+
+    def test_exact_opt_reduces_sw_calls_and_lookups(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        with_opt = MerAligner(small_config).run(genome.contigs, reads, n_ranks=4)
+        without = MerAligner(small_config.with_(use_exact_match_optimization=False)
+                             ).run(genome.contigs, reads, n_ranks=4)
+        assert with_opt.counters.sw_calls < without.counters.sw_calls
+        assert with_opt.counters.seed_lookups < without.counters.seed_lookups
+
+    def test_aggregating_stores_reduce_messages(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        few_reads = reads[:40]
+        with_agg = MerAligner(small_config.with_(aggregation_buffer_size=64)).run(
+            genome.contigs, few_reads, n_ranks=4)
+        without = MerAligner(small_config.with_(use_aggregating_stores=False)).run(
+            genome.contigs, few_reads, n_ranks=4)
+        assert (with_agg.total_stats.atomics < without.total_stats.atomics)
+
+    def test_caches_reduce_offnode_gets(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        machine = EDISON_LIKE.with_cores_per_node(2)
+        cached = MerAligner(small_config).run(genome.contigs, reads, n_ranks=4,
+                                              machine=machine)
+        uncached = MerAligner(small_config.with_(use_seed_index_cache=False,
+                                                 use_target_cache=False)).run(
+            genome.contigs, reads, n_ranks=4, machine=machine)
+        assert cached.total_stats.off_node_ops < uncached.total_stats.off_node_ops
+        assert cached.cache_stats["seed_index"].hits > 0
+
+    def test_max_alignments_threshold_limits_work(self, small_config):
+        # A highly repetitive target set: the same contig repeated many times.
+        contig = "ACGTTGCA" * 40
+        contigs = [contig] * 6
+        reads = [ReadRecord(name=f"r{i}", sequence=contig[:60], quality="I" * 60)
+                 for i in range(5)]
+        unlimited = MerAligner(small_config.with_(max_alignments_per_seed=0,
+                                                  use_exact_match_optimization=False,
+                                                  try_reverse_complement=False)).run(
+            contigs, reads, n_ranks=2)
+        limited = MerAligner(small_config.with_(max_alignments_per_seed=2,
+                                                use_exact_match_optimization=False,
+                                                try_reverse_complement=False)).run(
+            contigs, reads, n_ranks=2)
+        assert limited.counters.sw_calls <= unlimited.counters.sw_calls
+        assert limited.counters.candidates_skipped_threshold > 0
+
+    def test_load_balancing_reduces_compute_imbalance(self, small_config):
+        """The Table I scenario: reads grouped by genome region, where a whole
+        region has no covering contig (those reads skip Smith-Waterman and are
+        'fast'), creates compute imbalance that random permutation removes."""
+        from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset, sample_reads
+        import numpy as np
+        spec = GenomeSpec(name="lb", genome_length=12000, n_contigs=1,
+                          repeat_fraction=0.0)
+        genome, _ = make_dataset(spec, ReadSetSpec(coverage=1, read_length=60), seed=3)
+        # Only the first half of the genome is covered by a contig.
+        contigs = [genome.genome[:6000]]
+        rng = np.random.default_rng(5)
+        grouped_reads = sample_reads(genome, ReadSetSpec(coverage=2, read_length=60,
+                                                         grouped=True,
+                                                         error_rate=0.03), rng)
+        config = small_config.with_(use_exact_match_optimization=True)
+        permuted = MerAligner(config.with_(permute_reads=True)).run(
+            contigs, grouped_reads, n_ranks=8)
+        grouped = MerAligner(config.with_(permute_reads=False)).run(
+            contigs, grouped_reads, n_ranks=8)
+        perm_summary = permuted.load_balance_summary()
+        group_summary = grouped.load_balance_summary()
+        perm_spread = perm_summary["compute_max"] - perm_summary["compute_min"]
+        group_spread = group_summary["compute_max"] - group_summary["compute_min"]
+        assert perm_spread < group_spread
+
+
+class TestInputFormats:
+    def test_fasta_and_fastq_paths(self, tmp_path, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        fasta = tmp_path / "contigs.fa"
+        write_fasta(fasta, [(f"c{i}", seq) for i, seq in enumerate(genome.contigs)])
+        fastq = tmp_path / "reads.fastq"
+        write_fastq(fastq, reads[:50])
+        report = MerAligner(small_config).run(fasta, fastq, n_ranks=2)
+        assert report.counters.reads_processed == 50
+        assert report.counters.aligned_fraction > 0.7
+
+    def test_seqdb_path(self, tmp_path, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        seqdb = tmp_path / "reads.seqdb"
+        records_to_seqdb(seqdb, reads[:30])
+        report = MerAligner(small_config).run(genome.contigs, seqdb, n_ranks=2)
+        assert report.counters.reads_processed == 30
+
+    def test_invalid_inputs_raise(self, small_config):
+        with pytest.raises(TypeError):
+            MerAligner(small_config).run([123], [], n_ranks=1)
+        with pytest.raises(TypeError):
+            MerAligner(small_config).run(["ACGT" * 20], [42], n_ranks=1)
+
+
+class TestEdgeCases:
+    def test_reads_shorter_than_seed(self, small_config):
+        contigs = ["ACGT" * 50]
+        reads = [ReadRecord(name="short", sequence="ACGTAC", quality="IIIIII")]
+        report = MerAligner(small_config).run(contigs, reads, n_ranks=1)
+        assert report.counters.reads_processed == 1
+        assert report.counters.reads_aligned == 0
+
+    def test_empty_reads(self, small_config):
+        report = MerAligner(small_config).run(["ACGT" * 50], [], n_ranks=2)
+        assert report.counters.reads_processed == 0
+        assert report.alignments == []
+
+    def test_read_with_no_matching_seed(self, small_config):
+        contigs = ["A" * 200]
+        reads = [ReadRecord(name="alien", sequence="CGTACGTACGTACGTACGTACGTACG",
+                            quality="I" * 26)]
+        report = MerAligner(small_config).run(contigs, reads, n_ranks=1)
+        assert report.counters.reads_aligned == 0
+
+    def test_more_ranks_than_targets(self, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        report = MerAligner(small_config).run(genome.contigs, reads[:20], n_ranks=8)
+        assert report.counters.reads_processed == 20
+        assert report.counters.aligned_fraction > 0.5
+
+    def test_single_rank_run(self, perfect_dataset, small_config):
+        genome, reads = perfect_dataset
+        report = MerAligner(small_config).run(genome.contigs, reads[:20], n_ranks=1)
+        assert report.counters.reads_processed == 20

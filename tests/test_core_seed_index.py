@@ -1,0 +1,139 @@
+"""Tests for the distributed seed index construction and lookups."""
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.seed_index import SeedIndex
+from repro.core.target_store import TargetStore
+from repro.dna.kmer import count_kmers
+from repro.dna.sequence import random_dna
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.runtime import PgasRuntime
+
+
+def build_index(contigs, k=15, use_aggregating=True, n_ranks=4,
+                use_exact_opt=True):
+    """Build a seed index over `contigs` the way the pipeline does, but inline."""
+    runtime = PgasRuntime(n_ranks=n_ranks, machine=EDISON_LIKE.with_cores_per_node(2))
+    config = AlignerConfig(seed_length=k, fragment_length=10 ** 6,
+                           use_aggregating_stores=use_aggregating,
+                           aggregation_buffer_size=16,
+                           use_exact_match_optimization=use_exact_opt)
+    store = TargetStore(runtime)
+    index = SeedIndex(runtime, config, buckets_per_rank=128)
+    pointers = []
+    for target_id, contig in enumerate(contigs):
+        owner = target_id % n_ranks
+        ctx = runtime.contexts[owner]
+        record = store.store_fragment(ctx, target_id, target_id, 0, contig)
+        pointer = GlobalPointer(owner=owner, segment=TargetStore.SEGMENT,
+                                key=target_id, nbytes=record.nbytes)
+        pointers.append((ctx, record, pointer))
+    for ctx, record, pointer in pointers:
+        index.add_fragment_seeds(ctx, record, pointer)
+    for ctx in runtime.contexts:
+        index.flush(ctx)
+    for ctx in runtime.contexts:
+        index.drain(ctx)
+    if use_exact_opt:
+        for ctx in runtime.contexts:
+            index.mark_single_copy_flags(ctx, store)
+    return runtime, store, index
+
+
+class TestConstruction:
+    def test_all_seeds_indexed(self, rng):
+        contigs = [random_dna(300, rng=rng) for _ in range(4)]
+        k = 15
+        _, _, index = build_index(contigs, k=k)
+        expected = count_kmers(contigs, k)
+        assert index.n_keys == len(expected)
+        assert index.n_values == sum(expected.values())
+
+    def test_counts_match_reference(self, rng):
+        contigs = [random_dna(200, rng=rng) for _ in range(3)]
+        k = 9
+        _, _, index = build_index(contigs, k=k)
+        expected = count_kmers(contigs, k)
+        for kmer, count in list(expected.items())[:100]:
+            assert index.count_of(kmer) == count
+
+    def test_aggregating_and_direct_build_identical_index(self, rng):
+        contigs = [random_dna(250, rng=rng) for _ in range(3)]
+        k = 13
+        _, _, agg = build_index(contigs, k=k, use_aggregating=True)
+        _, _, direct = build_index(contigs, k=k, use_aggregating=False)
+        assert agg.n_keys == direct.n_keys
+        assert agg.n_values == direct.n_values
+        assert agg.keys_per_rank() == direct.keys_per_rank()
+
+    def test_aggregating_uses_fewer_messages(self, rng):
+        contigs = [random_dna(400, rng=rng) for _ in range(4)]
+        agg_runtime, _, _ = build_index(contigs, k=15, use_aggregating=True)
+        direct_runtime, _, _ = build_index(contigs, k=15, use_aggregating=False)
+        assert agg_runtime.total_stats.messages < direct_runtime.total_stats.messages / 3
+        assert agg_runtime.total_stats.atomics < direct_runtime.total_stats.atomics / 3
+
+    def test_keys_balanced_across_ranks(self, rng):
+        contigs = [random_dna(500, rng=rng) for _ in range(4)]
+        _, _, index = build_index(contigs, k=15)
+        per_rank = index.keys_per_rank()
+        assert min(per_rank) > 0
+        assert max(per_rank) < 1.5 * (sum(per_rank) / len(per_rank))
+
+
+class TestSingleCopyMarking:
+    def test_unique_contigs_stay_single_copy(self, rng):
+        contigs = [random_dna(200, rng=rng)]
+        _, store, _ = build_index(contigs, k=15)
+        assert store.single_copy_fraction() == 1.0
+
+    def test_duplicate_contigs_marked(self, rng):
+        contig = random_dna(120, rng=rng)
+        # identical contigs: every seed occurs twice, so none is single-copy
+        _, store, _ = build_index([contig, contig], k=15)
+        assert store.single_copy_fraction() == 0.0
+
+    def test_partial_duplication(self, rng):
+        shared = random_dna(80, rng=rng)
+        a = shared + random_dna(120, rng=rng)
+        b = shared + random_dna(120, rng=rng)
+        c = random_dna(200, rng=rng)
+        _, store, _ = build_index([a, b, c], k=15)
+        flags = {f.fragment_id: f.single_copy_seeds for f in store.all_fragments()}
+        assert flags[0] is False and flags[1] is False
+        assert flags[2] is True
+
+    def test_marking_skipped_when_disabled(self, rng):
+        contig = random_dna(120, rng=rng)
+        _, store, _ = build_index([contig, contig], k=15, use_exact_opt=False)
+        # mark_single_copy_flags never ran, flags keep their optimistic default
+        assert store.single_copy_fraction() == 1.0
+
+
+class TestLookup:
+    def test_lookup_finds_placements(self, rng):
+        contigs = [random_dna(150, rng=rng) for _ in range(2)]
+        runtime, _, index = build_index(contigs, k=11)
+        ctx = runtime.contexts[0]
+        kmer = contigs[1][20:31]
+        entry = index.lookup(ctx, kmer)
+        assert entry is not None
+        offsets = [p.offset for p in entry.values
+                   if p.fragment.key == 1]
+        assert 20 in offsets
+
+    def test_lookup_missing_seed(self, rng):
+        contigs = ["ACGT" * 50]
+        runtime, _, index = build_index(contigs, k=11)
+        entry = index.lookup(runtime.contexts[0], "T" * 11)
+        assert entry is None
+
+    def test_lookup_charges_communication(self, rng):
+        contigs = [random_dna(150, rng=rng)]
+        runtime, _, index = build_index(contigs, k=11)
+        ctx = runtime.contexts[1]
+        gets_before = ctx.stats.gets
+        index.lookup(ctx, contigs[0][:11])
+        assert ctx.stats.gets == gets_before + 1

@@ -1,0 +1,142 @@
+"""Tests for the distributed target store and target fragmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.target_store import TargetStore, fragment_target
+from repro.dna.kmer import extract_kmers
+from repro.dna.sequence import random_dna
+from repro.hashtable.cache import SoftwareCache
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+@pytest.fixture
+def runtime():
+    return PgasRuntime(n_ranks=4, machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+class TestFragmentTarget:
+    def test_short_target_unfragmented(self):
+        assert fragment_target(0, "ACGT" * 10, fragment_length=100, seed_length=5) == \
+            [(0, "ACGT" * 10)]
+
+    def test_empty_target(self):
+        assert fragment_target(0, "", 100, 5) == []
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            fragment_target(0, "ACGT", fragment_length=5, seed_length=5)
+
+    def test_fragments_cover_target(self, rng):
+        target = random_dna(1000, rng=rng)
+        fragments = fragment_target(0, target, fragment_length=200, seed_length=21)
+        assert fragments[0][0] == 0
+        assert fragments[-1][0] + len(fragments[-1][1]) == len(target)
+        for offset, piece in fragments:
+            assert target[offset:offset + len(piece)] == piece
+
+    def test_seed_sets_disjoint_and_complete(self, rng):
+        """Union of fragment seed multisets == target seed multiset (section IV-A)."""
+        k = 11
+        target = random_dna(600, rng=rng)
+        fragments = fragment_target(0, target, fragment_length=150, seed_length=k)
+        fragment_seeds = []
+        for offset, piece in fragments:
+            fragment_seeds.extend((offset + i, kmer)
+                                  for i, kmer in enumerate(extract_kmers(piece, k)))
+        target_seeds = [(i, kmer) for i, kmer in enumerate(extract_kmers(target, k))]
+        assert sorted(fragment_seeds) == sorted(target_seeds)
+
+    @given(st.integers(min_value=30, max_value=400),
+           st.integers(min_value=25, max_value=60),
+           st.integers(min_value=5, max_value=21))
+    @settings(max_examples=40, deadline=None)
+    def test_property_disjoint_complete(self, length, fragment_length, k):
+        if fragment_length <= k:
+            fragment_length = k + 1
+        import numpy as np
+        target = random_dna(length, rng=np.random.default_rng(length))
+        fragments = fragment_target(0, target, fragment_length, k)
+        positions = []
+        for offset, piece in fragments:
+            positions.extend(offset + i for i in range(max(0, len(piece) - k + 1)))
+        assert positions == list(range(max(0, len(target) - k + 1)))
+
+
+class TestTargetStore:
+    def test_store_and_fetch_local(self, runtime):
+        store = TargetStore(runtime)
+        ctx = runtime.contexts[1]
+        record = store.store_fragment(ctx, 10, target_id=3, parent_offset=0,
+                                      sequence="ACGTACGTAA")
+        pointer = store.directory[10].pointer
+        fetched = store.fetch(ctx, pointer)
+        assert fetched is record
+        assert fetched.sequence() == "ACGTACGTAA"
+        assert fetched.parent_target_id == 3
+
+    def test_fetch_remote_charges_offnode(self, runtime):
+        store = TargetStore(runtime)
+        owner_ctx = runtime.contexts[3]
+        store.store_fragment(owner_ctx, 1, 0, 0, "ACGT" * 50)
+        pointer = store.directory[1].pointer
+        reader = runtime.contexts[0]  # different node (ppn=2)
+        before = reader.stats.off_node_ops
+        store.fetch(reader, pointer)
+        assert reader.stats.off_node_ops == before + 1
+        assert reader.stats.bytes_get >= 50  # compressed fragment
+
+    def test_fetch_through_cache(self, runtime):
+        store = TargetStore(runtime)
+        owner_ctx = runtime.contexts[3]
+        store.store_fragment(owner_ctx, 1, 0, 0, "ACGT" * 50)
+        pointer = store.directory[1].pointer
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20, name="target")
+        reader = runtime.contexts[0]
+        store.fetch(reader, pointer, cache=cache)
+        off_after_miss = reader.stats.off_node_ops
+        store.fetch(reader, pointer, cache=cache)
+        assert reader.stats.off_node_ops == off_after_miss
+        assert cache.total_stats().hits == 1
+
+    def test_mark_not_single_copy(self, runtime):
+        store = TargetStore(runtime)
+        ctx = runtime.contexts[0]
+        record = store.store_fragment(ctx, 5, 0, 0, "ACGTACGT")
+        assert record.single_copy_seeds
+        pointer = store.directory[5].pointer
+        store.mark_not_single_copy(runtime.contexts[2], pointer)
+        assert not record.single_copy_seeds
+        # Marking twice is idempotent and does not charge a second put.
+        puts_before = runtime.contexts[2].stats.puts
+        store.mark_not_single_copy(runtime.contexts[2], pointer)
+        assert runtime.contexts[2].stats.puts == puts_before
+
+    def test_single_copy_fraction(self, runtime):
+        store = TargetStore(runtime)
+        ctx = runtime.contexts[0]
+        store.store_fragment(ctx, 1, 0, 0, "ACGTACGT")
+        store.store_fragment(ctx, 2, 1, 0, "GGGGCCCC")
+        assert store.single_copy_fraction() == 1.0
+        store.mark_not_single_copy(ctx, store.directory[2].pointer)
+        assert store.single_copy_fraction() == 0.5
+
+    def test_fragment_id_allocation_unique_across_ranks(self, runtime):
+        store = TargetStore(runtime)
+        ids_rank0 = store.allocate_fragment_ids(100, rank=0, n_ranks=4)
+        ids_rank3 = store.allocate_fragment_ids(100, rank=3, n_ranks=4)
+        assert not set(ids_rank0) & set(ids_rank3)
+
+    def test_fragments_on_rank_and_all(self, runtime):
+        store = TargetStore(runtime)
+        store.store_fragment(runtime.contexts[0], 1, 0, 0, "ACGT")
+        store.store_fragment(runtime.contexts[2], 2, 0, 0, "GGTT")
+        assert len(store.fragments_on_rank(0)) == 1
+        assert len(store.fragments_on_rank(1)) == 0
+        assert store.n_fragments == 2
+        assert len(store.all_fragments()) == 2
+
+    def test_empty_store_fraction(self, runtime):
+        assert TargetStore(runtime).single_copy_fraction() == 0.0

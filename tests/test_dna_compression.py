@@ -1,0 +1,90 @@
+"""Tests for the 2-bit DNA compression codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.compression import (
+    PackedSequence,
+    pack_sequence,
+    packed_nbytes,
+    unpack_sequence,
+)
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=300)
+
+
+class TestPackedNbytes:
+    def test_values(self):
+        assert packed_nbytes(0) == 0
+        assert packed_nbytes(1) == 1
+        assert packed_nbytes(4) == 1
+        assert packed_nbytes(5) == 2
+        assert packed_nbytes(100) == 25
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            packed_nbytes(-1)
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        seq = "ACGTACGTAC"
+        assert unpack_sequence(pack_sequence(seq), len(seq)) == seq
+
+    def test_empty(self):
+        assert unpack_sequence(pack_sequence(""), 0) == ""
+
+    def test_non_multiple_of_four(self):
+        for length in (1, 2, 3, 5, 7, 9):
+            seq = ("ACGT" * 3)[:length]
+            assert unpack_sequence(pack_sequence(seq), length) == seq
+
+    @given(dna_strings)
+    @settings(max_examples=60)
+    def test_round_trip_property(self, seq):
+        assert unpack_sequence(pack_sequence(seq), len(seq)) == seq
+
+    @given(dna_strings)
+    @settings(max_examples=60)
+    def test_compression_ratio_property(self, seq):
+        packed = pack_sequence(seq)
+        assert packed.size == packed_nbytes(len(seq))
+        # 4x compression (up to the trailing partial byte).
+        assert packed.size <= len(seq) // 4 + 1
+
+    def test_unpack_too_short_buffer_raises(self):
+        packed = pack_sequence("ACGT")
+        with pytest.raises(ValueError):
+            unpack_sequence(packed, 100)
+
+    def test_unpack_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            unpack_sequence(np.zeros(1, dtype=np.uint8), -1)
+
+
+class TestPackedSequence:
+    def test_from_string_and_back(self):
+        ps = PackedSequence.from_string("ACGGTTCA")
+        assert ps.to_string() == "ACGGTTCA"
+        assert len(ps) == 8
+        assert ps.nbytes == 2
+
+    def test_slice(self):
+        ps = PackedSequence.from_string("ACGGTTCAACGT")
+        assert ps.slice(2, 6) == "GGTT"
+        assert ps.slice(0, 12) == "ACGGTTCAACGT"
+
+    def test_slice_out_of_bounds(self):
+        ps = PackedSequence.from_string("ACGT")
+        with pytest.raises(IndexError):
+            ps.slice(2, 10)
+        with pytest.raises(IndexError):
+            ps.slice(-1, 2)
+        with pytest.raises(IndexError):
+            ps.slice(3, 2)
+
+    def test_nbytes_is_quarter(self):
+        ps = PackedSequence.from_string("A" * 100)
+        assert ps.nbytes == 25

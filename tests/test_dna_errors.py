@@ -1,0 +1,68 @@
+"""Tests for the read error model."""
+
+import numpy as np
+import pytest
+
+from repro.dna.errors import ReadErrorModel, apply_substitutions
+from repro.dna.sequence import is_valid_dna
+
+
+class TestApplySubstitutions:
+    def test_zero_rate_is_identity(self, rng):
+        seq = "ACGT" * 20
+        mutated, n = apply_substitutions(seq, 0.0, rng)
+        assert mutated == seq
+        assert n == 0
+
+    def test_full_rate_changes_every_base(self, rng):
+        seq = "ACGT" * 20
+        mutated, n = apply_substitutions(seq, 1.0, rng)
+        assert n == len(seq)
+        assert all(a != b for a, b in zip(seq, mutated))
+
+    def test_output_is_valid_dna(self, rng):
+        mutated, _ = apply_substitutions("ACGT" * 50, 0.3, rng)
+        assert is_valid_dna(mutated)
+
+    def test_error_count_matches_differences(self, rng):
+        seq = "ACGT" * 50
+        mutated, n = apply_substitutions(seq, 0.2, rng)
+        assert n == sum(1 for a, b in zip(seq, mutated) if a != b)
+
+    def test_empty_sequence(self, rng):
+        assert apply_substitutions("", 0.5, rng) == ("", 0)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            apply_substitutions("ACGT", 1.5, rng)
+
+    def test_rate_statistics(self):
+        rng = np.random.default_rng(0)
+        seq = "ACGT" * 2500
+        _, n = apply_substitutions(seq, 0.1, rng)
+        assert 0.05 * len(seq) < n < 0.15 * len(seq)
+
+
+class TestReadErrorModel:
+    def test_corrupt_marks_qualities(self, rng):
+        model = ReadErrorModel(substitution_rate=0.5)
+        seq = "ACGT" * 25
+        mutated, qual = model.corrupt(seq, rng)
+        assert len(mutated) == len(qual) == len(seq)
+        for original, new, q in zip(seq, mutated, qual):
+            assert q == (model.quality_high if original == new else model.quality_low)
+
+    def test_error_free_factory(self, rng):
+        model = ReadErrorModel.error_free()
+        seq = "ACGTACGT"
+        mutated, qual = model.corrupt(seq, rng)
+        assert mutated == seq
+        assert qual == model.quality_high * len(seq)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            ReadErrorModel(substitution_rate=-0.1)
+
+    def test_invalid_quality_chars_raise(self):
+        with pytest.raises(ValueError):
+            ReadErrorModel(quality_high="II")

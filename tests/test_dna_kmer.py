@@ -1,0 +1,118 @@
+"""Tests for seed (k-mer) extraction and hashing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.kmer import (
+    Seed,
+    canonical_kmer,
+    count_kmers,
+    djb2_hash,
+    extract_kmers,
+    extract_seeds,
+    kmer_positions,
+)
+from repro.dna.sequence import reverse_complement
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=120)
+
+
+class TestDjb2:
+    def test_deterministic(self):
+        assert djb2_hash("ACGT") == djb2_hash("ACGT")
+
+    def test_different_keys_differ(self):
+        assert djb2_hash("ACGT") != djb2_hash("ACGA")
+
+    def test_unsigned_64bit(self):
+        value = djb2_hash("ACGT" * 40)
+        assert 0 <= value < 2 ** 64
+
+    def test_empty_string(self):
+        assert djb2_hash("") == 5381
+
+    def test_balance_over_ranks(self):
+        # djb2 should spread distinct seeds roughly evenly over ranks
+        # (the property the paper credits for its load balance).
+        from repro.dna.sequence import random_dna
+        import numpy as np
+        seq = random_dna(5000, rng=np.random.default_rng(3))
+        kmers = set(extract_kmers(seq, 15))
+        n_ranks = 8
+        counts = [0] * n_ranks
+        for kmer in kmers:
+            counts[djb2_hash(kmer) % n_ranks] += 1
+        assert max(counts) < 1.3 * (len(kmers) / n_ranks)
+
+
+class TestCanonical:
+    def test_canonical_is_min(self):
+        kmer = "TTTA"
+        assert canonical_kmer(kmer) == min(kmer, reverse_complement(kmer))
+
+    def test_canonical_idempotent(self):
+        assert canonical_kmer(canonical_kmer("GGCA")) == canonical_kmer("GGCA")
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_canonical_same_for_both_strands(self, kmer):
+        assert canonical_kmer(kmer) == canonical_kmer(reverse_complement(kmer))
+
+
+class TestExtraction:
+    def test_count(self):
+        seq = "ACGTACGT"
+        assert len(list(extract_kmers(seq, 3))) == len(seq) - 3 + 1
+
+    def test_exact_kmers(self):
+        assert list(extract_kmers("ACGTA", 4)) == ["ACGT", "CGTA"]
+
+    def test_sequence_shorter_than_k(self):
+        assert list(extract_kmers("ACG", 5)) == []
+
+    def test_k_equals_length(self):
+        assert list(extract_kmers("ACGT", 4)) == ["ACGT"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            list(extract_kmers("ACGT", 0))
+
+    def test_positions(self):
+        pairs = list(kmer_positions("ACGTA", 3))
+        assert pairs == [("ACG", 0), ("CGT", 1), ("GTA", 2)]
+
+    @given(dna_strings, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60)
+    def test_kmer_count_property(self, seq, k):
+        kmers = list(extract_kmers(seq, k))
+        assert len(kmers) == max(0, len(seq) - k + 1)
+        assert all(len(kmer) == k for kmer in kmers)
+
+    @given(dna_strings, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40)
+    def test_positions_consistent_property(self, seq, k):
+        for kmer, offset in kmer_positions(seq, k):
+            assert seq[offset:offset + k] == kmer
+
+
+class TestSeeds:
+    def test_extract_seeds_records(self):
+        seeds = extract_seeds(7, "ACGTA", 3)
+        assert seeds == [Seed("ACG", 7, 0), Seed("CGT", 7, 1), Seed("GTA", 7, 2)]
+
+    def test_extract_seeds_empty(self):
+        assert extract_seeds(0, "AC", 3) == []
+
+
+class TestCountKmers:
+    def test_counts_across_sequences(self):
+        counts = count_kmers(["ACGT", "ACGA"], 3)
+        assert counts["ACG"] == 2
+        assert counts["CGT"] == 1
+        assert counts["CGA"] == 1
+
+    def test_total_count(self):
+        seqs = ["ACGTACG", "TTTT"]
+        counts = count_kmers(seqs, 3)
+        assert sum(counts.values()) == sum(max(0, len(s) - 2) for s in seqs)

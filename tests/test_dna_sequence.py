@@ -1,0 +1,113 @@
+"""Tests for repro.dna.sequence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.sequence import (
+    ALPHABET,
+    codes_to_sequence,
+    complement,
+    is_valid_dna,
+    random_dna,
+    reverse_complement,
+    sequence_to_codes,
+)
+
+dna_strings = st.text(alphabet="ACGT", min_size=0, max_size=200)
+
+
+class TestValidation:
+    def test_valid_sequences(self):
+        assert is_valid_dna("ACGT")
+        assert is_valid_dna("")
+        assert is_valid_dna("AAAA")
+
+    def test_invalid_characters(self):
+        assert not is_valid_dna("ACGN")
+        assert not is_valid_dna("acgt")  # lower case is not canonical
+        assert not is_valid_dna("ACG T")
+
+    def test_alphabet_order(self):
+        assert ALPHABET == "ACGT"
+
+
+class TestComplement:
+    def test_complement_basic(self):
+        assert complement("ACGT") == "TGCA"
+
+    def test_reverse_complement_basic(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AAAC") == "GTTT"
+        assert reverse_complement("") == ""
+
+    def test_reverse_complement_involution(self):
+        seq = "ACGGTTACGATCG"
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    @given(dna_strings)
+    @settings(max_examples=50)
+    def test_reverse_complement_involution_property(self, seq):
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    @given(dna_strings)
+    @settings(max_examples=50)
+    def test_reverse_complement_length_preserved(self, seq):
+        assert len(reverse_complement(seq)) == len(seq)
+
+
+class TestCodes:
+    def test_round_trip(self):
+        seq = "ACGTTGCA"
+        assert codes_to_sequence(sequence_to_codes(seq)) == seq
+
+    def test_code_values(self):
+        codes = sequence_to_codes("ACGT")
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert list(sequence_to_codes("acgt")) == [0, 1, 2, 3]
+
+    def test_invalid_base_raises(self):
+        with pytest.raises(ValueError, match="invalid DNA base"):
+            sequence_to_codes("ACGN")
+
+    def test_codes_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            codes_to_sequence(np.array([0, 5], dtype=np.uint8))
+
+    def test_empty(self):
+        assert codes_to_sequence(sequence_to_codes("")) == ""
+
+    @given(dna_strings)
+    @settings(max_examples=50)
+    def test_round_trip_property(self, seq):
+        assert codes_to_sequence(sequence_to_codes(seq)) == seq
+
+
+class TestRandomDna:
+    def test_length(self, rng):
+        assert len(random_dna(100, rng=rng)) == 100
+        assert random_dna(0, rng=rng) == ""
+
+    def test_only_valid_bases(self, rng):
+        assert is_valid_dna(random_dna(500, rng=rng))
+
+    def test_gc_content_bias(self, rng):
+        seq = random_dna(20000, rng=rng, gc_content=0.8)
+        gc = sum(1 for b in seq if b in "GC") / len(seq)
+        assert 0.7 < gc < 0.9
+
+    def test_reproducible(self):
+        a = random_dna(50, rng=np.random.default_rng(1))
+        b = random_dna(50, rng=np.random.default_rng(1))
+        assert a == b
+
+    def test_negative_length_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_dna(-1, rng=rng)
+
+    def test_bad_gc_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_dna(10, rng=rng, gc_content=1.5)

@@ -1,0 +1,175 @@
+"""Tests for the synthetic genome / contig / read generators."""
+
+import numpy as np
+import pytest
+
+from repro.dna.kmer import count_kmers
+from repro.dna.sequence import is_valid_dna, reverse_complement
+from repro.dna.synthetic import (
+    ECOLI_LIKE,
+    HUMAN_LIKE,
+    WHEAT_LIKE,
+    GenomeSpec,
+    ReadRecord,
+    ReadSetSpec,
+    derive_contigs,
+    genome_with_repeats,
+    make_dataset,
+    random_genome,
+    sample_reads,
+)
+
+
+class TestSpecs:
+    def test_presets_are_valid(self):
+        for spec in (ECOLI_LIKE, HUMAN_LIKE, WHEAT_LIKE):
+            assert spec.genome_length > 0
+            assert spec.n_contigs >= 1
+
+    def test_scaled(self):
+        scaled = HUMAN_LIKE.scaled(0.1)
+        assert scaled.genome_length == int(HUMAN_LIKE.genome_length * 0.1)
+        assert scaled.name == HUMAN_LIKE.name
+
+    def test_invalid_genome_spec(self):
+        with pytest.raises(ValueError):
+            GenomeSpec(name="bad", genome_length=0)
+        with pytest.raises(ValueError):
+            GenomeSpec(name="bad", genome_length=100, repeat_fraction=1.0)
+
+    def test_invalid_read_spec(self):
+        with pytest.raises(ValueError):
+            ReadSetSpec(coverage=0)
+        with pytest.raises(ValueError):
+            ReadSetSpec(read_length=0)
+
+    def test_n_reads_for_coverage(self):
+        spec = ReadSetSpec(coverage=10.0, read_length=100)
+        assert spec.n_reads_for(10_000) == 1000
+
+
+class TestGenomeGeneration:
+    def test_random_genome_length_and_alphabet(self, rng):
+        genome = random_genome(5000, rng)
+        assert len(genome) == 5000
+        assert is_valid_dna(genome)
+
+    def test_repeats_increase_duplicate_kmers(self):
+        rng1, rng2 = np.random.default_rng(5), np.random.default_rng(5)
+        plain = genome_with_repeats(20000, rng1, repeat_fraction=0.0)
+        repetitive = genome_with_repeats(20000, rng2, repeat_fraction=0.3,
+                                         repeat_unit_length=400)
+        k = 21
+        plain_dupes = sum(1 for c in count_kmers([plain], k).values() if c > 1)
+        rep_dupes = sum(1 for c in count_kmers([repetitive], k).values() if c > 1)
+        assert rep_dupes > plain_dupes
+
+    def test_invalid_repeat_fraction(self, rng):
+        with pytest.raises(ValueError):
+            genome_with_repeats(100, rng, repeat_fraction=1.0)
+
+
+class TestDeriveContigs:
+    def test_single_contig(self, rng):
+        contigs, offsets = derive_contigs("ACGT" * 100, 1, rng)
+        assert contigs == ["ACGT" * 100]
+        assert offsets == [0]
+
+    def test_contigs_are_substrings_at_offsets(self, rng):
+        genome = random_genome(20000, rng)
+        contigs, offsets = derive_contigs(genome, 8, rng, min_contig_length=300)
+        assert len(contigs) == len(offsets)
+        assert len(contigs) >= 2
+        for contig, offset in zip(contigs, offsets):
+            assert genome[offset:offset + len(contig)] == contig
+
+    def test_offsets_strictly_increasing(self, rng):
+        genome = random_genome(30000, rng)
+        _, offsets = derive_contigs(genome, 10, rng)
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+    def test_empty_genome(self, rng):
+        assert derive_contigs("", 4, rng) == ([], [])
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            derive_contigs("ACGT", 0, rng)
+
+
+class TestSampleReads:
+    def test_read_properties(self, small_dataset):
+        genome, reads = small_dataset
+        spec_length = 70
+        assert len(reads) > 0
+        for read in reads[:50]:
+            assert len(read.sequence) == spec_length
+            assert len(read.quality) == spec_length
+            assert read.strand in "+-"
+
+    def test_ground_truth_positions(self, perfect_dataset):
+        genome, reads = perfect_dataset
+        located = [r for r in reads if r.contig_id >= 0]
+        assert located, "some reads must land inside contigs"
+        for read in located[:100]:
+            contig = genome.contigs[read.contig_id]
+            fragment = contig[read.position:read.position + len(read.sequence)]
+            expected = fragment if read.strand == "+" else reverse_complement(fragment)
+            assert read.sequence == expected
+
+    def test_grouped_ordering_sorted_by_position(self, rng):
+        spec = GenomeSpec(name="g", genome_length=5000, n_contigs=1)
+        genome, _ = make_dataset(spec, ReadSetSpec(coverage=2, read_length=50), seed=3)
+        grouped = sample_reads(genome, ReadSetSpec(coverage=2, read_length=50,
+                                                   grouped=True,
+                                                   reverse_strand_fraction=0.0,
+                                                   error_rate=0.0), rng)
+        positions = [r.position for r in grouped if r.contig_id == 0]
+        assert positions == sorted(positions)
+
+    def test_paired_reads_reference_each_other(self, rng):
+        spec = GenomeSpec(name="p", genome_length=4000, n_contigs=1)
+        genome, _ = make_dataset(spec, ReadSetSpec(coverage=1, read_length=50), seed=4)
+        reads = sample_reads(genome, ReadSetSpec(coverage=1, read_length=50,
+                                                 paired=True), rng)
+        mates = {r.name: r for r in reads if r.mate_of}
+        assert mates
+        for read in mates.values():
+            assert read.mate_of in mates
+
+    def test_read_longer_than_genome_raises(self, rng):
+        spec = GenomeSpec(name="t", genome_length=30, n_contigs=1, min_contig_length=10)
+        genome, _ = make_dataset(spec, ReadSetSpec(coverage=1, read_length=20), seed=5)
+        with pytest.raises(ValueError):
+            sample_reads(genome, ReadSetSpec(coverage=1, read_length=100), rng)
+
+
+class TestReadRecord:
+    def test_mismatched_quality_raises(self):
+        with pytest.raises(ValueError):
+            ReadRecord(name="r", sequence="ACGT", quality="II")
+
+    def test_invalid_strand_raises(self):
+        with pytest.raises(ValueError):
+            ReadRecord(name="r", sequence="ACGT", quality="IIII", strand="x")
+
+    def test_is_exact(self):
+        read = ReadRecord(name="r", sequence="ACGT", quality="IIII", n_errors=0)
+        assert read.is_exact
+        read2 = ReadRecord(name="r", sequence="ACGT", quality="IIII", n_errors=2)
+        assert not read2.is_exact
+
+
+class TestMakeDataset:
+    def test_deterministic(self):
+        spec = GenomeSpec(name="d", genome_length=3000, n_contigs=2)
+        rs = ReadSetSpec(coverage=1, read_length=40)
+        g1, r1 = make_dataset(spec, rs, seed=9)
+        g2, r2 = make_dataset(spec, rs, seed=9)
+        assert g1.genome == g2.genome
+        assert [x.sequence for x in r1] == [x.sequence for x in r2]
+
+    def test_unique_seed_fraction_range(self, small_dataset):
+        genome, _ = small_dataset
+        frac = genome.unique_seed_fraction(21)
+        assert 0.0 < frac <= 1.0

@@ -1,0 +1,152 @@
+"""Tests for the aggregating-stores construction optimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashtable.aggregating import AggregatingStoreBuffer, LocalSharedStack
+from repro.hashtable.distributed import DistributedHashTable
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+def make_runtime(n_ranks=4):
+    return PgasRuntime(n_ranks=n_ranks, machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+def build_with_aggregation(pairs, n_ranks=4, buffer_size=8):
+    """Build a table with the aggregating-stores path; returns (runtime, table)."""
+    runtime = make_runtime(n_ranks)
+    table = DistributedHashTable(runtime, buckets_per_rank=64)
+    AggregatingStoreBuffer.allocate_stacks(runtime, capacity_per_rank=4)
+    aggregators = [AggregatingStoreBuffer(ctx, table, buffer_size=buffer_size)
+                   for ctx in runtime.contexts]
+    # Every rank adds its slice of the pairs (like seeds of its own targets).
+    for rank, ctx in enumerate(runtime.contexts):
+        for key, value in pairs[rank::n_ranks]:
+            aggregators[rank].add(key, value)
+    for aggregator in aggregators:
+        aggregator.flush_all()
+    # barrier, then every rank drains its own stack
+    for aggregator in aggregators:
+        aggregator.drain_local_stack()
+    return runtime, table, aggregators
+
+
+class TestLocalSharedStack:
+    def test_with_capacity(self):
+        stack = LocalSharedStack.with_capacity(5)
+        assert stack.capacity == 5
+        assert len(stack.entries) == 5
+
+    def test_ensure_capacity_grows(self):
+        stack = LocalSharedStack.with_capacity(2)
+        stack.ensure_capacity(10)
+        assert stack.capacity == 10
+        stack.ensure_capacity(4)  # never shrinks
+        assert stack.capacity == 10
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            LocalSharedStack.with_capacity(-1)
+
+
+class TestAggregatingStores:
+    def test_equivalent_to_direct_insertion(self):
+        pairs = [(f"K{i % 17}", i) for i in range(200)]
+        _, agg_table, _ = build_with_aggregation(pairs)
+
+        runtime = make_runtime()
+        direct_table = DistributedHashTable(runtime, buckets_per_rank=64)
+        for rank, ctx in enumerate(runtime.contexts):
+            for key, value in pairs[rank::4]:
+                direct_table.insert_direct(ctx, key, value)
+
+        agg = agg_table.as_dict()
+        direct = direct_table.as_dict()
+        assert set(agg) == set(direct)
+        for key in agg:
+            assert sorted(agg[key]) == sorted(direct[key])
+
+    def test_counts_preserved(self):
+        pairs = [("DUP", i) for i in range(10)] + [("UNIQ", 0)]
+        _, table, _ = build_with_aggregation(pairs, buffer_size=3)
+        owner = table.owner_of("DUP")
+        assert table.local_store(owner).count("DUP") == 10
+        assert table.local_store(table.owner_of("UNIQ")).count("UNIQ") == 1
+
+    def test_message_reduction_vs_direct(self):
+        pairs = [(f"K{i}", i) for i in range(400)]
+        agg_runtime, _, _ = build_with_aggregation(pairs, buffer_size=50)
+        agg_messages = agg_runtime.total_stats.messages
+
+        direct_runtime = make_runtime()
+        direct_table = DistributedHashTable(direct_runtime, buckets_per_rank=64)
+        for rank, ctx in enumerate(direct_runtime.contexts):
+            for key, value in pairs[rank::4]:
+                direct_table.insert_direct(ctx, key, value)
+        direct_messages = direct_runtime.total_stats.messages
+
+        # One aggregate transfer carries up to S entries: far fewer messages.
+        assert agg_messages < direct_messages / 4
+
+    def test_atomics_reduced_by_factor_s(self):
+        pairs = [(f"K{i}", i) for i in range(300)]
+        buffer_size = 30
+        agg_runtime, _, aggs = build_with_aggregation(pairs, buffer_size=buffer_size)
+        total_entries = sum(a.entries_added for a in aggs)
+        total_atomics = agg_runtime.total_stats.atomics
+        assert total_entries == 300
+        # one fetch-add per flush, each flush carries up to S entries
+        assert total_atomics <= (total_entries // buffer_size) + 4 * 4
+
+    def test_flush_on_full_buffer(self):
+        runtime = make_runtime(2)
+        table = DistributedHashTable(runtime, buckets_per_rank=16,
+                                     hash_fn=lambda key: 1)  # all keys to rank 1
+        AggregatingStoreBuffer.allocate_stacks(runtime, capacity_per_rank=2)
+        aggregator = AggregatingStoreBuffer(runtime.contexts[0], table, buffer_size=3)
+        aggregator.add("a", 1)
+        aggregator.add("b", 2)
+        assert aggregator.flushes == 0
+        assert aggregator.pending_entries() == 2
+        aggregator.add("c", 3)  # third entry fills the buffer
+        assert aggregator.flushes == 1
+        assert aggregator.pending_entries() == 0
+
+    def test_drain_requires_ownership_consistency(self):
+        # Entries drained locally must all be owned by the draining rank.
+        pairs = [(f"K{i}", i) for i in range(50)]
+        _, table, aggs = build_with_aggregation(pairs, buffer_size=5)
+        # draining again is a no-op for correctness (entries already inserted,
+        # but drain re-inserts; so check it *would* double -- therefore the
+        # pipeline only drains once per build).
+        assert table.n_values == 50
+
+    def test_stacks_allocated_flag(self):
+        runtime = make_runtime(2)
+        assert not AggregatingStoreBuffer.stacks_allocated(runtime)
+        AggregatingStoreBuffer.allocate_stacks(runtime)
+        assert AggregatingStoreBuffer.stacks_allocated(runtime)
+
+    def test_invalid_buffer_size(self):
+        runtime = make_runtime(2)
+        table = DistributedHashTable(runtime)
+        with pytest.raises(ValueError):
+            AggregatingStoreBuffer(runtime.contexts[0], table, buffer_size=0)
+
+    @given(st.lists(st.tuples(st.text(alphabet="ACGT", min_size=2, max_size=6),
+                              st.integers(0, 50)), max_size=80),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_property_equivalence_with_direct(self, pairs, buffer_size):
+        _, agg_table, _ = build_with_aggregation(pairs, n_ranks=3,
+                                                 buffer_size=buffer_size)
+        runtime = make_runtime(3)
+        direct_table = DistributedHashTable(runtime, buckets_per_rank=64)
+        for rank, ctx in enumerate(runtime.contexts):
+            for key, value in pairs[rank::3]:
+                direct_table.insert_direct(ctx, key, value)
+        agg = {k: sorted(v) for k, v in agg_table.as_dict().items()}
+        direct = {k: sorted(v) for k, v in direct_table.as_dict().items()}
+        assert agg == direct

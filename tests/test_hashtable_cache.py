@@ -1,0 +1,129 @@
+"""Tests for the per-node software caches."""
+
+import pytest
+
+from repro.hashtable.cache import CacheStats, SoftwareCache
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+@pytest.fixture
+def runtime():
+    # 4 ranks on 2 nodes.
+    return PgasRuntime(n_ranks=4, machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(hits=1, misses=2).merge(CacheStats(hits=3, evictions=1))
+        assert merged.hits == 4 and merged.misses == 2 and merged.evictions == 1
+
+
+class TestSoftwareCache:
+    def test_miss_then_hit(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        ctx = runtime.contexts[0]
+        hit, _ = cache.get(ctx, "k")
+        assert not hit
+        cache.put(ctx, "k", "value", 16)
+        hit, value = cache.get(ctx, "k")
+        assert hit and value == "value"
+
+    def test_hits_returns_identical_data(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        ctx = runtime.contexts[0]
+        payload = {"a": [1, 2, 3]}
+        cache.put(ctx, "k", payload, 32)
+        _, value = cache.get(ctx, "k")
+        assert value is payload
+
+    def test_per_node_isolation(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        ctx_node0 = runtime.contexts[0]
+        ctx_node1 = runtime.contexts[2]
+        cache.put(ctx_node0, "k", 1, 8)
+        hit_same_node, _ = cache.get(runtime.contexts[1], "k")
+        hit_other_node, _ = cache.get(ctx_node1, "k")
+        assert hit_same_node
+        assert not hit_other_node
+
+    def test_lru_eviction_by_bytes(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=100)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "a", "A", 60)
+        cache.put(ctx, "b", "B", 60)  # evicts "a"
+        assert cache.get(ctx, "a")[0] is False
+        assert cache.get(ctx, "b")[0] is True
+        assert cache.node_stats(0).evictions == 1
+
+    def test_lru_order_updated_on_hit(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=100)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "a", "A", 40)
+        cache.put(ctx, "b", "B", 40)
+        cache.get(ctx, "a")          # refresh "a"
+        cache.put(ctx, "c", "C", 40)  # should evict "b", not "a"
+        assert cache.get(ctx, "a")[0] is True
+        assert cache.get(ctx, "b")[0] is False
+
+    def test_object_larger_than_capacity_not_cached(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=10)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "big", "X", 100)
+        assert cache.get(ctx, "big")[0] is False
+
+    def test_zero_capacity_cache_never_hits(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=0)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "k", 1, 8)
+        assert cache.get(ctx, "k")[0] is False
+        assert cache.total_stats().hits == 0
+
+    def test_negative_capacity_raises(self, runtime):
+        with pytest.raises(ValueError):
+            SoftwareCache(runtime, capacity_bytes_per_node=-1)
+
+    def test_hit_charges_on_node_access(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "k", 1, 8)
+        comm_before = ctx.stats.comm_time
+        on_node_before = ctx.stats.on_node_ops
+        cache.get(ctx, "k")
+        assert ctx.stats.comm_time > comm_before
+        assert ctx.stats.on_node_ops == on_node_before + 1
+
+    def test_update_existing_key_replaces_bytes(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=100)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "k", "v1", 80)
+        cache.put(ctx, "k", "v2", 30)
+        assert cache.get(ctx, "k")[1] == "v2"
+        # There must be room left for another 60-byte object.
+        cache.put(ctx, "other", "o", 60)
+        assert cache.get(ctx, "other")[0] is True
+
+    def test_clear_keeps_statistics(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        ctx = runtime.contexts[0]
+        cache.put(ctx, "k", 1, 8)
+        cache.get(ctx, "k")
+        cache.clear()
+        assert cache.get(ctx, "k")[0] is False
+        assert cache.total_stats().hits == 1
+
+    def test_total_stats_aggregates_nodes(self, runtime):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1024)
+        cache.put(runtime.contexts[0], "a", 1, 8)
+        cache.put(runtime.contexts[2], "b", 2, 8)
+        cache.get(runtime.contexts[0], "a")
+        cache.get(runtime.contexts[2], "b")
+        total = cache.total_stats()
+        assert total.hits == 2
+        assert total.insertions == 2

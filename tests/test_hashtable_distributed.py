@@ -1,0 +1,137 @@
+"""Tests for the distributed hash table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashtable.cache import SoftwareCache
+from repro.hashtable.distributed import DistributedHashTable
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+@pytest.fixture
+def runtime():
+    return PgasRuntime(n_ranks=4, machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+@pytest.fixture
+def table(runtime):
+    return DistributedHashTable(runtime, buckets_per_rank=64)
+
+
+class TestOwnership:
+    def test_owner_in_range(self, table):
+        for key in ("AAA", "ACG", "TTT", "GAT"):
+            assert 0 <= table.owner_of(key) < 4
+
+    def test_owner_deterministic(self, table):
+        assert table.owner_of("ACGT") == table.owner_of("ACGT")
+
+    def test_custom_hash_fn(self, runtime):
+        table = DistributedHashTable(runtime, segment="custom",
+                                     hash_fn=lambda key: 3)
+        assert table.owner_of("anything") == 3
+
+
+class TestInsertLookup:
+    def test_direct_insert_and_lookup(self, runtime, table):
+        ctx = runtime.contexts[0]
+        table.insert_direct(ctx, "ACG", ("frag", 5))
+        entry = table.lookup(ctx, "ACG")
+        assert entry.values == [("frag", 5)]
+        assert entry.count == 1
+        assert table.count(ctx, "ACG") == 1
+
+    def test_lookup_missing(self, runtime, table):
+        assert table.lookup(runtime.contexts[1], "GGG") is None
+        assert table.count(runtime.contexts[1], "GGG") == 0
+
+    def test_insert_goes_to_owner_partition(self, runtime, table):
+        ctx = runtime.contexts[0]
+        table.insert_direct(ctx, "ACGTT", 1)
+        owner = table.owner_of("ACGTT")
+        assert table.local_store(owner).lookup("ACGTT") is not None
+        for rank in range(4):
+            if rank != owner:
+                assert table.local_store(rank).lookup("ACGTT") is None
+
+    def test_insert_local_requires_ownership(self, runtime, table):
+        key = "ACGTA"
+        owner = table.owner_of(key)
+        other = (owner + 1) % 4
+        table.insert_local(runtime.contexts[owner], key, 1)
+        with pytest.raises(ValueError):
+            table.insert_local(runtime.contexts[other], key, 2)
+
+    def test_direct_insert_charges_lock_and_put(self, runtime, table):
+        ctx = runtime.contexts[0]
+        table.insert_direct(ctx, "ACGAC", 1)
+        assert ctx.stats.atomics == 1
+        assert ctx.stats.puts == 1
+
+    def test_lookup_charges_get(self, runtime, table):
+        ctx = runtime.contexts[0]
+        table.insert_direct(ctx, "AAAAA", 1)
+        gets_before = ctx.stats.gets
+        table.lookup(ctx, "AAAAA")
+        assert ctx.stats.gets == gets_before + 1
+
+    @given(st.lists(st.tuples(st.text(alphabet="ACGT", min_size=3, max_size=8),
+                              st.integers(0, 100)), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_semantics(self, pairs):
+        runtime = PgasRuntime(n_ranks=3, machine=EDISON_LIKE)
+        table = DistributedHashTable(runtime, buckets_per_rank=32)
+        ctx = runtime.contexts[0]
+        reference: dict[str, list[int]] = {}
+        for key, value in pairs:
+            table.insert_direct(ctx, key, value)
+            reference.setdefault(key, []).append(value)
+        assert table.as_dict() == reference
+        assert table.n_keys == len(reference)
+        assert table.n_values == len(pairs)
+
+
+class TestCachedLookups:
+    def test_cache_hit_avoids_offnode_traffic(self, runtime, table):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20, name="seed")
+        writer = runtime.contexts[0]
+        # Find a key owned by a rank on the other node relative to rank 0.
+        from itertools import product
+        key = next("".join(bases) for bases in product("ACGT", repeat=4)
+                   if not writer.same_node(table.owner_of("".join(bases))))
+        table.insert_direct(writer, key, 42)
+        reader = runtime.contexts[1]  # same node as rank 0
+        off_before = reader.stats.off_node_ops
+        first = table.lookup(reader, key, cache=cache)
+        assert reader.stats.off_node_ops > off_before
+        off_after_miss = reader.stats.off_node_ops
+        second = table.lookup(reader, key, cache=cache)
+        assert second is first or second.values == first.values
+        assert reader.stats.off_node_ops == off_after_miss  # served by the cache
+        assert cache.total_stats().hits == 1
+
+    def test_local_lookup_bypasses_cache(self, runtime, table):
+        cache = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20)
+        key = "ACGTC"
+        owner = table.owner_of(key)
+        ctx = runtime.contexts[owner]
+        table.insert_direct(ctx, key, 1)
+        table.lookup(ctx, key, cache=cache)
+        assert cache.total_stats().lookups == 0
+
+
+class TestBalance:
+    def test_keys_spread_over_ranks(self, runtime, table):
+        ctx = runtime.contexts[0]
+        from repro.dna.sequence import random_dna
+        from repro.dna.kmer import extract_kmers
+        import numpy as np
+        seq = random_dna(3000, rng=np.random.default_rng(1))
+        for kmer in set(extract_kmers(seq, 12)):
+            table.insert_direct(ctx, kmer, 0)
+        per_rank = table.keys_per_rank()
+        assert sum(per_rank) == table.n_keys
+        assert min(per_rank) > 0
+        assert max(per_rank) < 1.5 * (table.n_keys / 4)

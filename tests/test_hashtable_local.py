@@ -1,0 +1,74 @@
+"""Tests for the per-rank local bucket store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashtable.local_table import BucketEntry, LocalBucketStore
+
+
+class TestLocalBucketStore:
+    def test_insert_and_lookup(self):
+        store = LocalBucketStore(16)
+        store.insert("AAA", ("t0", 0))
+        entry = store.lookup("AAA")
+        assert isinstance(entry, BucketEntry)
+        assert entry.values == [("t0", 0)]
+        assert entry.count == 1
+
+    def test_multiple_values_per_key(self):
+        store = LocalBucketStore(16)
+        store.insert("AAA", 1)
+        store.insert("AAA", 2)
+        entry = store.lookup("AAA")
+        assert entry.values == [1, 2]
+        assert entry.count == 2
+        assert store.n_keys == 1
+        assert store.n_values == 2
+
+    def test_missing_key(self):
+        store = LocalBucketStore(8)
+        assert store.lookup("nope") is None
+        assert store.count("nope") == 0
+        assert "nope" not in store
+
+    def test_contains_and_len(self):
+        store = LocalBucketStore(8)
+        store.insert("a", 1)
+        store.insert("b", 1)
+        assert "a" in store and "b" in store
+        assert len(store) == 2
+
+    def test_entries_iteration(self):
+        store = LocalBucketStore(4)
+        keys = {f"key{i}" for i in range(20)}
+        for key in keys:
+            store.insert(key, key)
+        assert {entry.key for entry in store.entries()} == keys
+        assert set(store.keys()) == keys
+
+    def test_load_factor_and_max_bucket(self):
+        store = LocalBucketStore(4)
+        for i in range(8):
+            store.insert(f"k{i}", i)
+        assert store.load_factor() == pytest.approx(2.0)
+        assert store.max_bucket_size() >= 2
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            LocalBucketStore(0)
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=1, max_size=8), max_size=80))
+    @settings(max_examples=40)
+    def test_matches_dict_semantics(self, keys):
+        store = LocalBucketStore(8)
+        reference: dict[str, list[int]] = {}
+        for i, key in enumerate(keys):
+            store.insert(key, i)
+            reference.setdefault(key, []).append(i)
+        assert store.n_keys == len(reference)
+        assert store.n_values == len(keys)
+        for key, values in reference.items():
+            entry = store.lookup(key)
+            assert entry.values == values
+            assert entry.count == len(values)

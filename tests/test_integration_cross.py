@@ -1,0 +1,121 @@
+"""Cross-system integration tests: merAligner vs baselines, SAM output,
+threaded execution of the pipeline's building blocks, and report roll-ups."""
+
+import pytest
+
+from repro.baselines.bwa_like import BwaLikeAligner
+from repro.baselines.pmap import PMapFramework
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.io.sam import write_sam
+from repro.pgas.cost_model import EDISON_LIKE
+
+
+@pytest.fixture(scope="module")
+def shared_dataset():
+    spec = GenomeSpec(name="cross", genome_length=8000, n_contigs=3,
+                      repeat_fraction=0.0, min_contig_length=300)
+    return make_dataset(spec, ReadSetSpec(coverage=1.5, read_length=60,
+                                          error_rate=0.0,
+                                          reverse_strand_fraction=0.3), seed=31)
+
+
+@pytest.fixture(scope="module")
+def mer_report(shared_dataset):
+    genome, reads = shared_dataset
+    config = AlignerConfig(seed_length=21, fragment_length=600)
+    return MerAligner(config).run(genome.contigs, reads, n_ranks=4)
+
+
+@pytest.fixture(scope="module")
+def pmap_report(shared_dataset):
+    genome, reads = shared_dataset
+    pmap = PMapFramework(lambda: BwaLikeAligner(seed_length=21), n_instances=4)
+    return pmap.run(genome.contigs, reads)
+
+
+class TestAlignerVsBaseline:
+    def test_aligned_fractions_comparable(self, mer_report, pmap_report):
+        """Both aligners should align nearly all error-free synthetic reads,
+        with merAligner at least matching the baseline (paper: 86.3% vs 83.8%)."""
+        assert mer_report.counters.aligned_fraction > 0.85
+        assert pmap_report.aligned_fraction > 0.80
+        assert (mer_report.counters.aligned_fraction
+                >= pmap_report.aligned_fraction - 0.05)
+
+    def test_agreement_on_read_placement(self, shared_dataset, mer_report, pmap_report):
+        """Reads aligned by both tools must agree on the target contig."""
+        mer_by_name = {}
+        for alignment in mer_report.alignments:
+            mer_by_name.setdefault(alignment.query_name, set()).add(alignment.target_id)
+        pmap_by_name = {}
+        for alignment in pmap_report.alignments:
+            pmap_by_name.setdefault(alignment.query_name, set()).add(alignment.target_id)
+        common = set(mer_by_name) & set(pmap_by_name)
+        assert len(common) > 50
+        agreements = sum(1 for name in common
+                         if mer_by_name[name] & pmap_by_name[name])
+        assert agreements / len(common) > 0.95
+
+    def test_parallel_index_beats_serial_at_scale(self, shared_dataset, mer_report,
+                                                  pmap_report):
+        """Table II structure: merAligner's index construction is parallel and
+        far cheaper than the baseline's serial build at equal concurrency."""
+        assert mer_report.index_construction_time < pmap_report.index_construction_time
+
+
+class TestSamOutput:
+    def test_write_pipeline_alignments_as_sam(self, tmp_path, shared_dataset, mer_report):
+        genome, _ = shared_dataset
+        names = [f"contig{i}" for i in range(len(genome.contigs))]
+        lengths = [len(c) for c in genome.contigs]
+        path = tmp_path / "out.sam"
+        written = write_sam(path, mer_report.alignments, names, lengths)
+        assert written == len(mer_report.alignments)
+        lines = path.read_text().splitlines()
+        header = [line for line in lines if line.startswith("@")]
+        body = [line for line in lines if not line.startswith("@")]
+        assert len(header) == len(genome.contigs) + 2
+        assert len(body) == written
+        for line in body[:20]:
+            fields = line.split("\t")
+            assert fields[2] in names
+            assert int(fields[3]) >= 1
+
+
+class TestReportRollups:
+    def test_summary_keys(self, mer_report):
+        summary = mer_report.summary()
+        for key in ("total_time", "index_construction_time", "alignment_time",
+                    "aligned_fraction", "exact_fraction", "sw_calls"):
+            assert key in summary
+
+    def test_phase_times_sum_to_total(self, mer_report):
+        total = sum(phase.elapsed for phase in mer_report.phases)
+        assert mer_report.total_time == pytest.approx(total)
+        assert mer_report.io_time + mer_report.index_construction_time + \
+            mer_report.alignment_time <= mer_report.total_time + 1e-9
+
+    def test_comm_category_rollups(self, mer_report):
+        assert mer_report.seed_lookup_comm_time > 0
+        assert mer_report.target_fetch_comm_time >= 0
+        assert mer_report.alignment_phase_comm > 0
+        assert mer_report.alignment_phase_compute > 0
+
+    def test_counters_consistency(self, mer_report):
+        counters = mer_report.counters
+        assert counters.reads_aligned <= counters.reads_processed
+        assert counters.exact_path_hits <= counters.reads_aligned
+        assert counters.seed_lookup_hits <= counters.seed_lookups
+        assert counters.alignments_reported == len(mer_report.alignments)
+        assert counters.sw_cells >= counters.sw_calls  # every call >= 1 cell
+
+    def test_config_summary_recorded(self, mer_report):
+        assert mer_report.config_summary["seed_length"] == 21
+        assert mer_report.config_summary["aggregating_stores"] is True
+
+    def test_load_balance_summary_ordering(self, mer_report):
+        summary = mer_report.load_balance_summary()
+        assert summary["compute_min"] <= summary["compute_avg"] <= summary["compute_max"]
+        assert summary["total_min"] <= summary["total_avg"] <= summary["total_max"]

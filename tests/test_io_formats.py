@@ -1,0 +1,163 @@
+"""Tests for FASTA / FASTQ / SAM text formats and record partitioning."""
+
+import pytest
+
+from repro.alignment.result import Alignment, CigarOp
+from repro.dna.synthetic import ReadRecord
+from repro.io.fasta import FastaRecord, read_fasta, write_fasta
+from repro.io.fastq import FastqRecord, read_fastq, write_fastq
+from repro.io.partition import block_partition, cyclic_partition, partition_records
+from repro.io.sam import sam_header, write_sam
+
+
+class TestFasta:
+    def test_round_trip(self, tmp_path):
+        records = [FastaRecord("contig1", "ACGT" * 30),
+                   FastaRecord("contig2", "GGCC" * 10)]
+        path = tmp_path / "targets.fa"
+        write_fasta(path, records, line_width=50)
+        loaded = read_fasta(path)
+        assert loaded == records
+
+    def test_round_trip_tuples(self, tmp_path):
+        path = tmp_path / "t.fa"
+        write_fasta(path, [("a", "ACGT"), ("b", "TTTT")])
+        assert [(r.name, r.sequence) for r in read_fasta(path)] == [
+            ("a", "ACGT"), ("b", "TTTT")]
+
+    def test_multiline_and_lowercase(self, tmp_path):
+        path = tmp_path / "t.fa"
+        path.write_text(">x desc here\nacgt\nACGT\n\n>y\nTT\n")
+        records = read_fasta(path)
+        assert records[0] == FastaRecord("x", "ACGTACGT")
+        assert records[1] == FastaRecord("y", "TT")
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>x\nACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_empty_name_raises(self, tmp_path):
+        path = tmp_path / "bad2.fa"
+        path.write_text(">\nACGT\n")
+        with pytest.raises(ValueError):
+            read_fasta(path)
+
+    def test_invalid_record(self):
+        with pytest.raises(ValueError):
+            FastaRecord("", "ACGT")
+
+    def test_invalid_line_width(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fa", [("a", "ACGT")], line_width=0)
+
+
+class TestFastq:
+    def test_round_trip(self, tmp_path):
+        records = [FastqRecord("r1", "ACGT", "IIII"),
+                   FastqRecord("r2", "GGTT", "##II")]
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, records)
+        assert read_fastq(path) == records
+
+    def test_write_read_records(self, tmp_path):
+        reads = [ReadRecord(name="r1", sequence="ACGT", quality="IIII")]
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, reads)
+        assert read_fastq(path)[0].sequence == "ACGT"
+
+    def test_truncated_raises(self, tmp_path):
+        path = tmp_path / "trunc.fastq"
+        path.write_text("@r1\nACGT\n+\n")
+        with pytest.raises(ValueError):
+            read_fastq(path)
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("r1\nACGT\n+\nIIII\n")
+        with pytest.raises(ValueError):
+            read_fastq(path)
+
+    def test_malformed_separator_raises(self, tmp_path):
+        path = tmp_path / "bad2.fastq"
+        path.write_text("@r1\nACGT\nX\nIIII\n")
+        with pytest.raises(ValueError):
+            read_fastq(path)
+
+    def test_quality_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FastqRecord("r", "ACGT", "II")
+
+    def test_to_read_round_trip(self):
+        record = FastqRecord("r", "ACGT", "IIII")
+        read = record.to_read()
+        assert FastqRecord.from_read(read) == record
+
+
+class TestPartition:
+    def test_block_partition_covers_everything(self):
+        n_items, n_parts = 23, 5
+        covered = []
+        for part in range(n_parts):
+            start, count = block_partition(n_items, n_parts, part)
+            covered.extend(range(start, start + count))
+        assert covered == list(range(n_items))
+
+    def test_block_sizes_differ_by_at_most_one(self):
+        sizes = [block_partition(100, 7, p)[1] for p in range(7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_block_partition_empty(self):
+        assert block_partition(0, 4, 2) == (0, 0)
+
+    def test_block_partition_errors(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0, 0)
+        with pytest.raises(IndexError):
+            block_partition(10, 4, 4)
+        with pytest.raises(ValueError):
+            block_partition(-1, 4, 0)
+
+    def test_cyclic_partition(self):
+        assert cyclic_partition(7, 3, 0) == [0, 3, 6]
+        assert cyclic_partition(7, 3, 2) == [2, 5]
+
+    def test_cyclic_partition_errors(self):
+        with pytest.raises(IndexError):
+            cyclic_partition(5, 2, 2)
+
+    def test_partition_records(self):
+        parts = partition_records(list(range(10)), 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert sum(parts, []) == list(range(10))
+
+
+class TestSam:
+    def test_header(self):
+        lines = sam_header(["c1", "c2"], [100, 200])
+        assert lines[0].startswith("@HD")
+        assert "@SQ\tSN:c1\tLN:100" in lines
+        assert lines[-1].startswith("@PG")
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            sam_header(["c1"], [100, 200])
+        with pytest.raises(ValueError):
+            sam_header(["c1"], [-5])
+
+    def test_write_sam(self, tmp_path):
+        alignments = [
+            Alignment(query_name="q1", target_id=0, score=10, query_start=0,
+                      query_end=5, target_start=3, target_end=8,
+                      cigar=[(5, CigarOp.MATCH)]),
+            Alignment(query_name="q2", target_id=99, score=4, query_start=0,
+                      query_end=2, target_start=0, target_end=2),
+        ]
+        path = tmp_path / "out.sam"
+        written = write_sam(path, alignments, ["c1"], [50])
+        assert written == 2
+        content = path.read_text().splitlines()
+        body = [line for line in content if not line.startswith("@")]
+        assert body[0].split("\t")[2] == "c1"
+        assert body[1].split("\t")[2] == "target99"  # unknown target id fallback

@@ -1,0 +1,169 @@
+"""Tests for the SeqDB-like binary read container."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dna.synthetic import ReadRecord
+from repro.io.fastq import FastqRecord, write_fastq
+from repro.io.seqdb import SeqDbReader, SeqDbWriter, fastq_to_seqdb, records_to_seqdb
+
+
+def make_reads(n, length=40):
+    return [ReadRecord(name=f"read{i}", sequence="ACGT" * (length // 4),
+                       quality="I" * length) for i in range(n)]
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        reads = make_reads(10)
+        path = tmp_path / "reads.seqdb"
+        stats = records_to_seqdb(path, reads)
+        assert stats.n_records == 10
+        with SeqDbReader(path) as reader:
+            assert len(reader) == 10
+            for i, read in enumerate(reads):
+                record = reader.read_record(i)
+                assert record.name == read.name
+                assert record.sequence == read.sequence
+                assert record.quality == read.quality
+
+    def test_without_quality(self, tmp_path):
+        path = tmp_path / "noq.seqdb"
+        records_to_seqdb(path, make_reads(3), store_quality=False)
+        with SeqDbReader(path) as reader:
+            assert not reader.has_quality
+            record = reader.read_record(0)
+            assert record.quality == "I" * len(record.sequence)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.seqdb"
+        records_to_seqdb(path, [])
+        with SeqDbReader(path) as reader:
+            assert len(reader) == 0
+            assert reader.read_range(0, 0) == []
+
+    def test_writer_context_manager_and_double_close(self, tmp_path):
+        path = tmp_path / "w.seqdb"
+        with SeqDbWriter(path) as writer:
+            writer.add("r", "ACGT", "IIII")
+            stats = writer.close()
+            assert writer.close().n_records == stats.n_records  # idempotent
+
+    def test_add_after_close_raises(self, tmp_path):
+        writer = SeqDbWriter(tmp_path / "x.seqdb")
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.add("r", "ACGT")
+
+    def test_quality_length_mismatch_raises(self, tmp_path):
+        with SeqDbWriter(tmp_path / "y.seqdb") as writer:
+            with pytest.raises(ValueError):
+                writer.add("r", "ACGT", "II")
+
+    @given(st.lists(st.tuples(st.text(alphabet="abcdef0123", min_size=1, max_size=12),
+                              st.text(alphabet="ACGT", min_size=0, max_size=90)),
+                    max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, tmp_path_factory, items):
+        path = tmp_path_factory.mktemp("seqdb") / "p.seqdb"
+        with SeqDbWriter(path) as writer:
+            for i, (name, seq) in enumerate(items):
+                writer.add(f"{name}{i}", seq)
+        with SeqDbReader(path) as reader:
+            assert len(reader) == len(items)
+            for i, (name, seq) in enumerate(items):
+                record = reader.read_record(i)
+                assert record.name == f"{name}{i}"
+                assert record.sequence == seq
+
+
+class TestRangesAndPartitions:
+    def test_read_range(self, tmp_path):
+        path = tmp_path / "r.seqdb"
+        records_to_seqdb(path, make_reads(20))
+        with SeqDbReader(path) as reader:
+            middle = reader.read_range(5, 7)
+            assert [r.name for r in middle] == [f"read{i}" for i in range(5, 12)]
+
+    def test_read_range_bounds(self, tmp_path):
+        path = tmp_path / "r2.seqdb"
+        records_to_seqdb(path, make_reads(5))
+        with SeqDbReader(path) as reader:
+            with pytest.raises(IndexError):
+                reader.read_range(3, 5)
+            with pytest.raises(ValueError):
+                reader.read_range(0, -1)
+            with pytest.raises(IndexError):
+                reader.read_record(99)
+
+    def test_partitions_cover_all_records_disjointly(self, tmp_path):
+        path = tmp_path / "p.seqdb"
+        records_to_seqdb(path, make_reads(23))
+        with SeqDbReader(path) as reader:
+            names = []
+            for rank in range(4):
+                names.extend(r.name for r in reader.read_partition(rank, 4))
+            assert names == [f"read{i}" for i in range(23)]
+
+    def test_partition_nbytes_positive(self, tmp_path):
+        path = tmp_path / "b.seqdb"
+        records_to_seqdb(path, make_reads(8))
+        with SeqDbReader(path) as reader:
+            total = sum(reader.partition_nbytes(rank, 2) for rank in range(2))
+            assert total == sum(reader.record_nbytes(i) for i in range(8))
+
+
+class TestCompressionAndConversion:
+    def test_smaller_than_fastq(self, tmp_path):
+        reads = make_reads(200, length=100)
+        fastq_path = tmp_path / "reads.fastq"
+        write_fastq(fastq_path, reads)
+        seqdb_path = tmp_path / "reads.seqdb"
+        stats = fastq_to_seqdb(fastq_path, seqdb_path)
+        fastq_bytes = fastq_path.stat().st_size
+        # The paper reports SeqDB files are 40-50% smaller than FASTQ.
+        assert stats.file_bytes < 0.75 * fastq_bytes
+        assert stats.sequence_bases == 200 * 100
+
+    def test_conversion_is_lossless(self, tmp_path):
+        reads = [FastqRecord("a", "ACGTAC", "IIHHII"), FastqRecord("b", "GG", "##")]
+        fastq_path = tmp_path / "x.fastq"
+        write_fastq(fastq_path, reads)
+        seqdb_path = tmp_path / "x.seqdb"
+        fastq_to_seqdb(fastq_path, seqdb_path)
+        with SeqDbReader(seqdb_path) as reader:
+            assert reader.read_range(0, 2) == reads
+
+
+class TestFailureInjection:
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "bad.seqdb"
+        path.write_bytes(b"SQ")
+        with pytest.raises(ValueError, match="truncated"):
+            SeqDbReader(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad2.seqdb"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="magic"):
+            SeqDbReader(path)
+
+    def test_truncated_index(self, tmp_path):
+        path = tmp_path / "bad3.seqdb"
+        records_to_seqdb(path, make_reads(4))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # chop off part of the index
+        with pytest.raises(ValueError, match="index"):
+            SeqDbReader(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad4.seqdb"
+        records_to_seqdb(path, make_reads(1))
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, 99)  # overwrite the version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            SeqDbReader(path)

@@ -1,0 +1,136 @@
+"""Tests for the analytic models (cache reuse, load imbalance, scaling)."""
+
+import pytest
+
+from repro.model.cache_reuse import (
+    expected_seed_frequency,
+    reuse_probability_curve,
+    seed_reuse_probability,
+    simulate_seed_reuse,
+)
+from repro.model.load_imbalance import (
+    imbalance_bound,
+    max_load_bound,
+    simulate_balls_into_bins,
+)
+from repro.model.scaling import (
+    ScalingSeries,
+    ideal_times,
+    parallel_efficiency,
+    speedup,
+)
+
+
+class TestCacheReuse:
+    def test_expected_frequency_paper_values(self):
+        # d=100, L=100, k=51 -> f = 100 * (1 - 50/100) = 50 (section III-B)
+        assert expected_seed_frequency(100, 100, 51) == pytest.approx(50.0)
+
+    def test_frequency_validation(self):
+        with pytest.raises(ValueError):
+            expected_seed_frequency(0, 100, 51)
+        with pytest.raises(ValueError):
+            expected_seed_frequency(10, 100, 101)
+
+    def test_probability_decreases_with_cores(self):
+        probabilities = [seed_reuse_probability(50, p, 24)
+                         for p in (240, 2400, 14400)]
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_probability_bounds(self):
+        assert seed_reuse_probability(50, 24, 24) == 1.0  # single node
+        assert seed_reuse_probability(1, 4800, 24) == 0.0  # no other occurrence
+        assert 0.0 <= seed_reuse_probability(50, 14400, 24) <= 1.0
+
+    def test_figure7_shape(self):
+        """Fig 7: near-certain reuse at small scale, substantially lower at 14K cores."""
+        curve = dict(reuse_probability_curve([480, 2400, 7200, 14400]))
+        assert curve[480] > 0.9
+        assert curve[14400] < 0.5
+        assert curve[480] > curve[2400] > curve[7200] > curve[14400]
+
+    def test_monte_carlo_agrees_with_closed_form(self):
+        for nodes in (5, 20, 100):
+            analytic = seed_reuse_probability(50, nodes * 24, 24)
+            simulated = simulate_seed_reuse(50, nodes, n_trials=3000, seed=1)
+            assert simulated == pytest.approx(analytic, abs=0.05)
+
+    def test_simulation_validation(self):
+        with pytest.raises(ValueError):
+            simulate_seed_reuse(0, 10)
+        assert simulate_seed_reuse(5, 1) == 1.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            seed_reuse_probability(50, 0, 24)
+
+
+class TestLoadImbalance:
+    def test_bound_zero_cases(self):
+        assert imbalance_bound(0, 10) == 0.0
+        assert imbalance_bound(100, 1) == 0.0
+
+    def test_bound_grows_with_h(self):
+        assert imbalance_bound(10_000, 16) > imbalance_bound(1_000, 16)
+
+    def test_max_load_bound(self):
+        assert max_load_bound(1000, 10) == pytest.approx(100 + imbalance_bound(1000, 10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imbalance_bound(-1, 10)
+        with pytest.raises(ValueError):
+            imbalance_bound(10, 0)
+        with pytest.raises(ValueError):
+            simulate_balls_into_bins(-1, 4)
+
+    def test_simulation_within_bound(self):
+        # h >> p log p regime of Theorem 1.
+        h, p = 20_000, 16
+        mean_imbalance, worst_imbalance = simulate_balls_into_bins(h, p, n_trials=100)
+        assert mean_imbalance <= imbalance_bound(h, p)
+        assert worst_imbalance <= imbalance_bound(h, p) * 1.5
+
+    def test_simulation_zero_balls(self):
+        assert simulate_balls_into_bins(0, 4) == (0.0, 0.0)
+
+
+class TestScaling:
+    def test_speedup_and_efficiency(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+        assert parallel_efficiency(480, 4147, 15360, 185) == pytest.approx(0.7, abs=0.01)
+
+    def test_ideal_times(self):
+        assert ideal_times(4, 100.0, [4, 8, 16]) == [100.0, 50.0, 25.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+        with pytest.raises(ValueError):
+            parallel_efficiency(0, 1, 2, 1)
+        with pytest.raises(ValueError):
+            ideal_times(4, 0, [4])
+
+    def test_scaling_series(self):
+        series = ScalingSeries("merAligner-human")
+        series.add(480, 4147)
+        series.add(960, 2177)
+        series.add(15360, 185)
+        assert len(series) == 3
+        assert series.base_cores == 480
+        assert series.efficiency_at(0) == pytest.approx(1.0)
+        assert series.efficiency_at(2) == pytest.approx(0.7, abs=0.01)
+        rows = series.rows()
+        assert rows[2]["speedup"] == pytest.approx(4147 / 185, rel=1e-6)
+        assert rows[1]["ideal_seconds"] == pytest.approx(4147 / 2)
+
+    def test_scaling_series_validation(self):
+        series = ScalingSeries("x")
+        with pytest.raises(ValueError):
+            series.add(0, 1.0)
+        with pytest.raises(ValueError):
+            _ = series.base_cores
+
+    def test_paper_headline_numbers(self):
+        """Fig 1 headline: 480 -> 15,360 cores gives a 22x speedup (0.7 eff)."""
+        assert speedup(4147, 185) == pytest.approx(22.4, abs=0.1)

@@ -1,0 +1,72 @@
+"""Tests for driver-level collectives."""
+
+import pytest
+
+from repro.pgas.collectives import allreduce, broadcast, exchange_counts, gather
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+
+@pytest.fixture
+def contexts():
+    runtime = PgasRuntime(n_ranks=4, machine=EDISON_LIKE.with_cores_per_node(2))
+    return runtime.contexts
+
+
+class TestAllreduce:
+    def test_sum(self, contexts):
+        assert allreduce(contexts, [1, 2, 3, 4]) == 10
+
+    def test_custom_op(self, contexts):
+        assert allreduce(contexts, [1, 5, 2, 4], op=max) == 5
+
+    def test_charges_every_rank(self, contexts):
+        before = [ctx.stats.comm_time for ctx in contexts]
+        allreduce(contexts, [1, 1, 1, 1])
+        for ctx, prior in zip(contexts, before):
+            assert ctx.stats.comm_time > prior
+
+    def test_wrong_length_raises(self, contexts):
+        with pytest.raises(ValueError):
+            allreduce(contexts, [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            allreduce([], [])
+
+
+class TestBroadcast:
+    def test_values(self, contexts):
+        assert broadcast(contexts, "payload", root=1) == ["payload"] * 4
+
+    def test_bad_root(self, contexts):
+        with pytest.raises(IndexError):
+            broadcast(contexts, 1, root=9)
+
+
+class TestGather:
+    def test_order_preserved(self, contexts):
+        assert gather(contexts, [10, 11, 12, 13], root=0) == [10, 11, 12, 13]
+
+    def test_root_pays_more(self, contexts):
+        before = [ctx.stats.comm_time for ctx in contexts]
+        gather(contexts, ["x" * 1000] * 4, root=2)
+        deltas = [ctx.stats.comm_time - b for ctx, b in zip(contexts, before)]
+        assert deltas[2] == max(deltas)
+
+    def test_wrong_length_raises(self, contexts):
+        with pytest.raises(ValueError):
+            gather(contexts, [1])
+
+
+class TestExchangeCounts:
+    def test_transpose(self, contexts):
+        counts = [[i * 10 + j for j in range(4)] for i in range(4)]
+        received = exchange_counts(contexts, counts)
+        for i in range(4):
+            for j in range(4):
+                assert received[j][i] == counts[i][j]
+
+    def test_bad_shape_raises(self, contexts):
+        with pytest.raises(ValueError):
+            exchange_counts(contexts, [[1, 2], [3, 4]])

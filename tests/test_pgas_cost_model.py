@@ -1,0 +1,120 @@
+"""Tests for the machine model and communication statistics."""
+
+import pytest
+
+from repro.pgas.cost_model import (
+    CommStats,
+    ComputeCosts,
+    EDISON_LIKE,
+    LAPTOP_LIKE,
+    MachineModel,
+)
+
+
+class TestMachineModel:
+    def test_node_mapping(self):
+        machine = MachineModel(cores_per_node=4)
+        assert machine.node_of(0) == 0
+        assert machine.node_of(3) == 0
+        assert machine.node_of(4) == 1
+        assert machine.n_nodes(8) == 2
+        assert machine.n_nodes(9) == 3
+
+    def test_transfer_time_ordering(self):
+        machine = EDISON_LIKE
+        local = machine.transfer_time(1000, same_rank=True, same_node=True)
+        on_node = machine.transfer_time(1000, same_rank=False, same_node=True)
+        off_node = machine.transfer_time(1000, same_rank=False, same_node=False,
+                                         n_nodes=10)
+        assert local < on_node < off_node
+
+    def test_transfer_time_monotone_in_bytes(self):
+        machine = EDISON_LIKE
+        small = machine.transfer_time(100, same_rank=False, same_node=False, n_nodes=4)
+        large = machine.transfer_time(100_000, same_rank=False, same_node=False, n_nodes=4)
+        assert large > small
+
+    def test_negative_bytes_raise(self):
+        with pytest.raises(ValueError):
+            EDISON_LIKE.transfer_time(-1, same_rank=True, same_node=True)
+
+    def test_congestion_decreases_with_nodes(self):
+        machine = EDISON_LIKE
+        assert machine.congestion_factor(2) > machine.congestion_factor(64)
+        assert machine.congestion_factor(10_000) == pytest.approx(1.0, abs=0.05)
+
+    def test_congestion_makes_offnode_transfers_cheaper_at_scale(self):
+        machine = EDISON_LIKE
+        few_nodes = machine.transfer_time(10_000, same_rank=False, same_node=False,
+                                          n_nodes=2)
+        many_nodes = machine.transfer_time(10_000, same_rank=False, same_node=False,
+                                           n_nodes=640)
+        assert many_nodes < few_nodes
+
+    def test_atomic_time_ordering(self):
+        machine = EDISON_LIKE
+        assert (machine.atomic_time(same_rank=True, same_node=True)
+                < machine.atomic_time(same_rank=False, same_node=True)
+                <= machine.atomic_time(same_rank=False, same_node=False))
+
+    def test_barrier_scales_with_log_ranks(self):
+        machine = EDISON_LIKE
+        assert machine.barrier_time(2) < machine.barrier_time(1024)
+
+    def test_with_cores_per_node(self):
+        machine = EDISON_LIKE.with_cores_per_node(4)
+        assert machine.cores_per_node == 4
+        assert EDISON_LIKE.cores_per_node == 24  # original untouched
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            MachineModel(cores_per_node=0)
+        with pytest.raises(ValueError):
+            MachineModel(bandwidth=0)
+
+    def test_presets_differ(self):
+        assert EDISON_LIKE.name != LAPTOP_LIKE.name
+        assert LAPTOP_LIKE.off_node_latency <= EDISON_LIKE.off_node_latency
+
+
+class TestComputeCosts:
+    def test_all_costs_positive(self):
+        costs = ComputeCosts()
+        for field_name in ("sw_cell", "seed_extract", "seed_hash", "bucket_insert",
+                           "lookup", "memcmp_byte", "base_copy", "io_byte"):
+            assert getattr(costs, field_name) > 0
+
+
+class TestCommStats:
+    def test_record_and_categories(self):
+        stats = CommStats()
+        stats.record("x", 1.0)
+        stats.record("x", 0.5)
+        stats.record("y", 2.0)
+        assert stats.time_by_category == {"x": 1.5, "y": 2.0}
+
+    def test_messages_property(self):
+        stats = CommStats(puts=2, gets=3, atomics=4)
+        assert stats.messages == 9
+
+    def test_total_time(self):
+        stats = CommStats(comm_time=1.0, compute_time=2.0, io_time=0.5)
+        assert stats.total_time == pytest.approx(3.5)
+
+    def test_merge(self):
+        a = CommStats(puts=1, bytes_put=10, comm_time=1.0)
+        a.record("cat", 1.0)
+        b = CommStats(puts=2, bytes_put=5, comm_time=0.5)
+        b.record("cat", 2.0)
+        merged = a.merge(b)
+        assert merged.puts == 3
+        assert merged.bytes_put == 15
+        assert merged.comm_time == pytest.approx(1.5)
+        assert merged.time_by_category["cat"] == pytest.approx(3.0)
+        # originals untouched
+        assert a.puts == 1 and b.puts == 2
+
+    def test_aggregate(self):
+        stats = [CommStats(gets=i) for i in range(5)]
+        assert CommStats.aggregate(stats).gets == 10
+        assert CommStats.aggregate([]).gets == 0

@@ -1,0 +1,61 @@
+"""Tests for the real-thread SPMD executor."""
+
+import pytest
+
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.executor import ThreadedExecutor
+from repro.pgas.runtime import PgasRuntime
+from repro.pgas.shared import SharedArray
+
+
+@pytest.fixture
+def runtime():
+    return PgasRuntime(n_ranks=4, machine=EDISON_LIKE.with_cores_per_node(2))
+
+
+class TestThreadedExecutor:
+    def test_results_in_rank_order(self, runtime):
+        executor = ThreadedExecutor(runtime)
+        results = executor.run(lambda ctx: ctx.me ** 2)
+        assert results == [0, 1, 4, 9]
+
+    def test_barrier_synchronises_threads(self, runtime):
+        runtime.heap.alloc_all("box", lambda rank: {})
+        executor = ThreadedExecutor(runtime)
+
+        def program(ctx):
+            ctx.put((ctx.me + 1) % ctx.n_ranks, "box", "v", ctx.me)
+            ctx.barrier()
+            return ctx.get(ctx.me, "box", "v")
+
+        results = executor.run(program)
+        assert results == [(r - 1) % 4 for r in range(4)]
+
+    def test_concurrent_fetch_add_is_atomic(self, runtime):
+        runtime.heap.alloc(0, "ctr", SharedArray(1))
+        executor = ThreadedExecutor(runtime)
+        increments_per_rank = 200
+
+        def program(ctx):
+            for _ in range(increments_per_rank):
+                ctx.fetch_add(0, "ctr", 0, 1)
+
+        executor.run(program)
+        assert runtime.heap.segment(0, "ctr")[0] == increments_per_rank * runtime.n_ranks
+
+    def test_exception_propagates(self, runtime):
+        executor = ThreadedExecutor(runtime)
+
+        def failing(ctx):
+            if ctx.me == 2:
+                raise ValueError("rank 2 exploded")
+            ctx.barrier()
+
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            executor.run(failing)
+
+    def test_barrier_unavailable_after_run(self, runtime):
+        executor = ThreadedExecutor(runtime)
+        executor.run(lambda ctx: None)
+        with pytest.raises(RuntimeError):
+            runtime.contexts[0].barrier()

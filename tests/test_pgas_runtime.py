@@ -1,0 +1,194 @@
+"""Tests for the SPMD runtime: rank contexts, one-sided ops, barriers, phases."""
+
+import numpy as np
+import pytest
+
+from repro.pgas.cost_model import EDISON_LIKE, MachineModel
+from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
+from repro.pgas.shared import SharedArray
+
+
+@pytest.fixture
+def runtime():
+    # 8 ranks over 2 nodes (ppn = 4) so that on-node / off-node paths differ.
+    return PgasRuntime(n_ranks=8, machine=EDISON_LIKE.with_cores_per_node(4))
+
+
+class TestEstimateNbytes:
+    def test_primitives(self):
+        assert estimate_nbytes(None) == 0
+        assert estimate_nbytes(3) == 8
+        assert estimate_nbytes(2.5) == 8
+        assert estimate_nbytes("ACGT") == 4
+        assert estimate_nbytes(b"12345") == 5
+
+    def test_numpy(self):
+        assert estimate_nbytes(np.zeros(10, dtype=np.int64)) == 80
+
+    def test_containers(self):
+        assert estimate_nbytes(["AC", "GT"]) == 2 + 2 + 16
+        assert estimate_nbytes({"k": "vv"}) == 1 + 2
+
+    def test_object_with_nbytes_attr(self):
+        class Blob:
+            nbytes = 123
+        assert estimate_nbytes(Blob()) == 123
+
+    def test_unknown_object(self):
+        assert estimate_nbytes(object()) == 16
+
+
+class TestTopology:
+    def test_nodes(self, runtime):
+        ctx0, ctx5 = runtime.contexts[0], runtime.contexts[5]
+        assert ctx0.node == 0
+        assert ctx5.node == 1
+        assert ctx0.same_node(1)
+        assert not ctx0.same_node(5)
+        assert ctx0.ranks_on_my_node() == [0, 1, 2, 3]
+        assert runtime.n_nodes == 2
+
+    def test_my_slice_partitions_everything(self, runtime):
+        n_items = 37
+        covered = []
+        for ctx in runtime.contexts:
+            block = ctx.my_slice(n_items)
+            covered.extend(range(n_items)[block])
+        assert covered == list(range(n_items))
+
+    def test_my_items(self, runtime):
+        items = list(range(10))
+        ctx = runtime.contexts[0]
+        assert ctx.my_items(items) == items[ctx.my_slice(10)]
+
+
+class TestOneSidedOps:
+    def test_put_get_roundtrip(self, runtime):
+        ctx0, ctx7 = runtime.contexts[0], runtime.contexts[7]
+        runtime.heap.alloc(7, "kv", {})
+        ptr = ctx0.put(7, "kv", "key", "HELLO")
+        assert ptr.owner == 7
+        assert ctx7.get(7, "kv", "key") == "HELLO"
+        assert ctx0.get_ptr(ptr) == "HELLO"
+
+    def test_get_missing_key(self, runtime):
+        runtime.heap.alloc(1, "kv", {})
+        ctx = runtime.contexts[0]
+        with pytest.raises(KeyError):
+            ctx.get(1, "kv", "absent")
+        assert ctx.get(1, "kv", "absent", missing_ok=True, default=5) == 5
+
+    def test_put_updates_stats_and_clock(self, runtime):
+        ctx = runtime.contexts[0]
+        runtime.heap.alloc(5, "kv", {})
+        before = ctx.clock.now
+        ctx.put(5, "kv", 1, "x" * 100)
+        assert ctx.stats.puts == 1
+        assert ctx.stats.bytes_put == 100
+        assert ctx.stats.off_node_ops == 1
+        assert ctx.clock.now > before
+
+    def test_local_vs_remote_cost(self, runtime):
+        ctx = runtime.contexts[0]
+        runtime.heap.alloc(0, "kv", {})
+        runtime.heap.alloc(4, "kv", {})
+        ctx.put(0, "kv", "a", "x" * 1000)
+        local_time = ctx.clock.comm
+        ctx.put(4, "kv", "b", "x" * 1000)
+        remote_time = ctx.clock.comm - local_time
+        assert remote_time > local_time
+
+    def test_fetch_add_semantics(self, runtime):
+        runtime.heap.alloc(3, "ctr", SharedArray(2))
+        ctx = runtime.contexts[0]
+        assert ctx.fetch_add(3, "ctr", 0, 5) == 0
+        assert ctx.fetch_add(3, "ctr", 0, 2) == 5
+        assert runtime.heap.segment(3, "ctr")[0] == 7
+        assert ctx.stats.atomics == 2
+
+    def test_fetch_add_on_non_array_raises(self, runtime):
+        runtime.heap.alloc(1, "kv", {})
+        with pytest.raises(TypeError):
+            runtime.contexts[0].fetch_add(1, "kv", 0)
+
+    def test_charge_op_and_io(self, runtime):
+        ctx = runtime.contexts[0]
+        ctx.charge_op("sw_cell", 1000)
+        assert ctx.stats.compute_time > 0
+        ctx.charge_io_bytes(10_000)
+        assert ctx.stats.io_time > 0
+        assert ctx.clock.now == pytest.approx(ctx.stats.total_time)
+
+    def test_barrier_without_executor_raises(self, runtime):
+        with pytest.raises(RuntimeError, match="ThreadedExecutor"):
+            runtime.contexts[0].barrier()
+
+
+class TestRunSpmd:
+    def test_plain_function(self, runtime):
+        result = runtime.run_spmd(lambda ctx: ctx.me * 2, phase_name="double")
+        assert result.results == [r * 2 for r in range(8)]
+        assert result.phases[0].name == "double"
+        assert result.n_ranks == 8
+
+    def test_generator_phases_and_barriers(self, runtime):
+        runtime.heap.alloc_all("box", lambda rank: {})
+
+        def program(ctx):
+            ctx.put((ctx.me + 1) % ctx.n_ranks, "box", "from", ctx.me)
+            yield "exchange"
+            # After the barrier every rank can read what its neighbour wrote.
+            value = ctx.get(ctx.me, "box", "from")
+            return value
+
+        result = runtime.run_spmd(program)
+        assert result.results == [(r - 1) % 8 for r in range(8)]
+        assert result.phases[0].name == "exchange"
+        assert len(result.phases) == 2  # exchange + final segment
+
+    def test_phase_elapsed_is_max_rank_time(self, runtime):
+        def skewed(ctx):
+            ctx.charge_compute_seconds(0.001 * (ctx.me + 1))
+            return ctx.me
+
+        result = runtime.run_spmd(skewed, phase_name="skewed")
+        phase = result.phase("skewed")
+        assert phase.elapsed == pytest.approx(phase.max_compute, rel=0.2)
+        assert phase.max_compute == pytest.approx(0.008, rel=1e-6)
+        assert phase.min_compute == pytest.approx(0.001, rel=1e-6)
+
+    def test_clocks_synchronised_after_barrier(self, runtime):
+        def skewed(ctx):
+            ctx.charge_compute_seconds(0.001 * (ctx.me + 1))
+            yield "work"
+            return ctx.clock.now
+
+        result = runtime.run_spmd(skewed)
+        # After the barrier all ranks' clocks are at the same point.
+        assert max(result.results) - min(result.results) < 1e-9
+
+    def test_elapsed_accumulates(self, runtime):
+        runtime.run_spmd(lambda ctx: ctx.charge_compute_seconds(0.01), phase_name="a")
+        first = runtime.elapsed
+        runtime.run_spmd(lambda ctx: ctx.charge_compute_seconds(0.01), phase_name="b")
+        assert runtime.elapsed > first
+        assert runtime.phase("a").name == "a"
+
+    def test_phase_lookup_errors(self, runtime):
+        result = runtime.run_spmd(lambda ctx: None, phase_name="only")
+        with pytest.raises(KeyError):
+            result.phase("missing")
+        assert result.phase_elapsed("only") >= 0.0
+
+    def test_total_stats_aggregates_ranks(self, runtime):
+        runtime.heap.alloc_all("kv", lambda rank: {})
+
+        def program(ctx):
+            ctx.put((ctx.me + 1) % ctx.n_ranks, "kv", "k", "v" * 10)
+
+        result = runtime.run_spmd(program, phase_name="puts")
+        assert result.total_stats.puts == 8
+
+    def test_invalid_runtime(self):
+        with pytest.raises(ValueError):
+            PgasRuntime(0)

@@ -1,0 +1,107 @@
+"""Tests for the shared heap, shared arrays and global pointers."""
+
+import pytest
+
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.shared import SharedArray, SharedHeap
+
+
+class TestGlobalPointer:
+    def test_fields(self):
+        ptr = GlobalPointer(owner=2, segment="targets", key=7, nbytes=100)
+        assert ptr.owner == 2 and ptr.segment == "targets"
+        assert ptr.key == 7 and ptr.nbytes == 100
+
+    def test_with_size(self):
+        ptr = GlobalPointer(owner=0, segment="s", key="k")
+        resized = ptr.with_size(64)
+        assert resized.nbytes == 64
+        assert ptr.nbytes == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GlobalPointer(owner=-1, segment="s", key="k")
+        with pytest.raises(ValueError):
+            GlobalPointer(owner=0, segment="s", key="k", nbytes=-1)
+
+    def test_hashable(self):
+        a = GlobalPointer(owner=0, segment="s", key=1)
+        b = GlobalPointer(owner=0, segment="s", key=1)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestSharedArray:
+    def test_basic(self):
+        array = SharedArray(4)
+        assert len(array) == 4
+        assert array[0] == 0
+        array[2] = 9
+        assert array[2] == 9
+
+    def test_fill_and_dtype(self):
+        array = SharedArray(3, dtype="float64", fill=1.5)
+        assert array[1] == pytest.approx(1.5)
+
+    def test_nbytes(self):
+        assert SharedArray(8, dtype="int64").nbytes == 64
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            SharedArray(-1)
+
+
+class TestSharedHeap:
+    def test_alloc_and_segment(self):
+        heap = SharedHeap(2)
+        obj = heap.alloc(0, "seg", {"a": 1})
+        assert heap.segment(0, "seg") is obj
+        assert heap.has_segment(0, "seg")
+        assert not heap.has_segment(1, "seg")
+
+    def test_double_alloc_raises(self):
+        heap = SharedHeap(1)
+        heap.alloc(0, "seg", {})
+        with pytest.raises(KeyError):
+            heap.alloc(0, "seg", {})
+
+    def test_alloc_all(self):
+        heap = SharedHeap(3)
+        objs = heap.alloc_all("seg", lambda rank: [rank])
+        assert objs == [[0], [1], [2]]
+        assert heap.segments_named("seg") == [[0], [1], [2]]
+
+    def test_missing_segment_raises(self):
+        heap = SharedHeap(1)
+        with pytest.raises(KeyError):
+            heap.segment(0, "nope")
+
+    def test_rank_out_of_range(self):
+        heap = SharedHeap(2)
+        with pytest.raises(IndexError):
+            heap.segment(5, "seg")
+
+    def test_read_write_through_pointer(self):
+        heap = SharedHeap(2)
+        heap.alloc(1, "kv", {})
+        ptr = GlobalPointer(owner=1, segment="kv", key="x")
+        heap.write(ptr, 42)
+        assert heap.read(ptr) == 42
+
+    def test_free_and_realloc(self):
+        heap = SharedHeap(1)
+        heap.alloc(0, "seg", {"v": 1})
+        heap.free(0, "seg")
+        assert not heap.has_segment(0, "seg")
+        heap.alloc(0, "seg", {"v": 2})
+        assert heap.segment(0, "seg")["v"] == 2
+
+    def test_keys_of_non_dict_segment_raises(self):
+        heap = SharedHeap(1)
+        heap.alloc(0, "arr", SharedArray(4))
+        with pytest.raises(TypeError):
+            heap.keys(0, "arr")
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            SharedHeap(0)

@@ -1,0 +1,91 @@
+"""Tests for virtual clocks, time breakdowns and phase traces."""
+
+import pytest
+
+from repro.pgas.trace import PhaseTrace, TimeBreakdown, VirtualClock
+
+
+class TestTimeBreakdown:
+    def test_total(self):
+        breakdown = TimeBreakdown(compute=1.0, comm=2.0, io=0.5)
+        assert breakdown.total == pytest.approx(3.5)
+        assert TimeBreakdown().total == 0.0
+
+    def test_add_and_sub(self):
+        a = TimeBreakdown(compute=1.0, comm=2.0, io=3.0)
+        b = TimeBreakdown(compute=0.5, comm=1.0, io=1.0)
+        total = a + b
+        assert (total.compute, total.comm, total.io) == (1.5, 3.0, 4.0)
+        delta = a - b
+        assert (delta.compute, delta.comm, delta.io) == (0.5, 1.0, 2.0)
+
+
+class TestVirtualClock:
+    def test_charges_accumulate(self):
+        clock = VirtualClock()
+        clock.charge_compute(1.0)
+        clock.charge_comm(2.0)
+        clock.charge_io(0.25)
+        assert clock.now == pytest.approx(3.25)
+        snapshot = clock.snapshot()
+        assert snapshot.compute == 1.0
+        assert snapshot.comm == 2.0
+        assert snapshot.io == 0.25
+
+    def test_negative_charge_raises(self):
+        clock = VirtualClock()
+        for method in (clock.charge_compute, clock.charge_comm, clock.charge_io):
+            with pytest.raises(ValueError):
+                method(-1.0)
+
+    def test_advance_to_attributes_wait_to_comm(self):
+        clock = VirtualClock()
+        clock.charge_compute(1.0)
+        clock.advance_to(4.0)
+        assert clock.now == pytest.approx(4.0)
+        assert clock.comm == pytest.approx(3.0)
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock()
+        clock.charge_compute(2.0)
+        clock.advance_to(1.0)
+        assert clock.now == pytest.approx(2.0)
+
+
+class TestPhaseTrace:
+    def make_trace(self):
+        return PhaseTrace(name="align", per_rank=[
+            TimeBreakdown(compute=1.0, comm=0.5),
+            TimeBreakdown(compute=3.0, comm=1.0),
+            TimeBreakdown(compute=2.0, comm=0.0),
+        ])
+
+    def test_elapsed_is_slowest_rank(self):
+        trace = self.make_trace()
+        assert trace.elapsed == pytest.approx(4.0)
+        assert trace.max_total == trace.elapsed
+        assert trace.min_total == pytest.approx(1.5)
+        assert trace.avg_total == pytest.approx((1.5 + 4.0 + 2.0) / 3)
+
+    def test_compute_statistics(self):
+        trace = self.make_trace()
+        assert trace.max_compute == 3.0
+        assert trace.min_compute == 1.0
+        assert trace.avg_compute == pytest.approx(2.0)
+
+    def test_aggregates(self):
+        trace = self.make_trace()
+        assert trace.total_compute == pytest.approx(6.0)
+        assert trace.total_comm == pytest.approx(1.5)
+        assert trace.n_ranks == 3
+
+    def test_empty_trace(self):
+        trace = PhaseTrace(name="empty")
+        assert trace.elapsed == 0.0
+        assert trace.avg_compute == 0.0
+        assert trace.min_total == 0.0
+
+    def test_summary_keys_consistent(self):
+        summary = self.make_trace().summary()
+        assert summary["elapsed"] == summary["max_total"]
+        assert summary["min_compute"] <= summary["avg_compute"] <= summary["max_compute"]
