@@ -14,9 +14,10 @@ optimization (section IV-A).
 from repro.alignment.scoring import ScoringScheme, DEFAULT_SCORING
 from repro.alignment.result import Alignment, CigarOp, cigar_to_string, alignment_identity
 from repro.alignment.smith_waterman import smith_waterman, sw_score_matrix
-from repro.alignment.striped import striped_smith_waterman, StripedResult
+from repro.alignment.striped import (striped_smith_waterman,
+                                     striped_smith_waterman_batch, StripedResult)
 from repro.alignment.banded import banded_smith_waterman
-from repro.alignment.extend import extend_seed_hit, SeedHit
+from repro.alignment.extend import extend_seed_hit, extend_batch, SeedHit
 from repro.alignment.exact import exact_match_at, try_exact_match
 
 __all__ = [
@@ -29,9 +30,11 @@ __all__ = [
     "smith_waterman",
     "sw_score_matrix",
     "striped_smith_waterman",
+    "striped_smith_waterman_batch",
     "StripedResult",
     "banded_smith_waterman",
     "extend_seed_hit",
+    "extend_batch",
     "SeedHit",
     "exact_match_at",
     "try_exact_match",

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from repro.alignment.result import Alignment
 from repro.alignment.scoring import DEFAULT_SCORING, ScoringScheme
 from repro.alignment.smith_waterman import smith_waterman
-from repro.alignment.striped import striped_smith_waterman
+from repro.alignment.striped import (StripedResult, striped_smith_waterman,
+                                     striped_smith_waterman_batch)
 
 
 @dataclass(frozen=True)
@@ -73,9 +74,7 @@ def extend_seed_hit(query_name: str, query: str, target: str, hit: SeedHit,
         ``(alignment, dp_cells)`` where *dp_cells* is the number of DP cells
         evaluated (used to charge Smith-Waterman CPU time in the cost model).
     """
-    window_start = max(0, hit.expected_target_start - window_padding)
-    window_end = min(len(target), hit.expected_target_start + len(query) + window_padding)
-    window = target[window_start:window_end]
+    window_start, window = _extension_window(query, target, hit, window_padding)
     if not window:
         empty = Alignment(query_name=query_name, target_id=hit.target_id, score=0,
                           query_start=0, query_end=0, target_start=0, target_end=0,
@@ -104,6 +103,20 @@ def extend_seed_hit(query_name: str, query: str, target: str, hit: SeedHit,
         )
         return alignment, cells
     striped = striped_smith_waterman(query, window, scoring=scoring, locate_start=True)
+    return _alignment_from_striped(query_name, hit, window_start, striped)
+
+
+def _extension_window(query: str, target: str, hit: SeedHit,
+                      window_padding: int) -> tuple[int, str]:
+    """Target window around the diagonal pinned by *hit*: ``(start, text)``."""
+    window_start = max(0, hit.expected_target_start - window_padding)
+    window_end = min(len(target), hit.expected_target_start + len(query) + window_padding)
+    return window_start, target[window_start:window_end]
+
+
+def _alignment_from_striped(query_name: str, hit: SeedHit, window_start: int,
+                            striped: StripedResult) -> tuple[Alignment, int]:
+    """Shift a striped-kernel result back into target coordinates."""
     q_start = striped.query_start if striped.has_start else striped.query_end
     t_start = striped.target_start if striped.has_start else striped.target_end
     alignment = Alignment(
@@ -119,3 +132,47 @@ def extend_seed_hit(query_name: str, query: str, target: str, hit: SeedHit,
         identity=0.0,
     )
     return alignment, striped.cells
+
+
+def extend_batch(jobs: list[tuple[str, str, str, SeedHit]],
+                 scoring: ScoringScheme = DEFAULT_SCORING,
+                 window_padding: int = 16,
+                 detailed: bool = False) -> list[tuple[Alignment, int]]:
+    """Extend a whole batch of seed hits; results in job order.
+
+    Each job is ``(query_name, query, target, hit)`` exactly as accepted by
+    :func:`extend_seed_hit`, and each result is the same ``(alignment,
+    dp_cells)`` pair that function returns.  In the default score-only mode
+    the extension windows are cut first and all same-shaped
+    ``(query, window)`` pairs are routed through the batched striped kernel
+    (:func:`~repro.alignment.striped.striped_smith_waterman_batch`) in one
+    sweep per shape group; the detailed (traceback) mode falls back to the
+    scalar kernel per job.
+    """
+    if detailed:
+        return [extend_seed_hit(query_name, query, target, hit, scoring=scoring,
+                                window_padding=window_padding, detailed=True)
+                for query_name, query, target, hit in jobs]
+    results: list[tuple[Alignment, int] | None] = [None] * len(jobs)
+    window_starts: list[int] = []
+    pairs: list[tuple[str, str]] = []
+    pair_jobs: list[int] = []
+    for index, (query_name, query, target, hit) in enumerate(jobs):
+        window_start, window = _extension_window(query, target, hit, window_padding)
+        if not window:
+            empty = Alignment(query_name=query_name, target_id=hit.target_id,
+                              score=0, query_start=0, query_end=0,
+                              target_start=0, target_end=0, strand=hit.strand)
+            results[index] = (empty, 0)
+            continue
+        window_starts.append(window_start)
+        pairs.append((query, window))
+        pair_jobs.append(index)
+    striped_results = striped_smith_waterman_batch(pairs, scoring=scoring,
+                                                   locate_start=True)
+    for window_start, striped, index in zip(window_starts, striped_results,
+                                            pair_jobs):
+        query_name, _query, _target, hit = jobs[index]
+        results[index] = _alignment_from_striped(query_name, hit, window_start,
+                                                 striped)
+    return results

@@ -84,6 +84,78 @@ def _sweep(query_codes: np.ndarray, target_codes: np.ndarray,
     return best, best_q, best_t
 
 
+def _sweep_batch(query_codes: np.ndarray, target_codes: np.ndarray,
+                 scoring: ScoringScheme) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the DP of :func:`_sweep` for a whole batch of same-shaped pairs.
+
+    ``query_codes`` is ``(B, n)`` and ``target_codes`` ``(B, m)``; the batch
+    dimension rides along as extra vector lanes, so one sweep of the target
+    length updates every alignment of the batch at once.  The arithmetic is
+    the same int64 elementwise maxima/prefix scans as the single-pair sweep,
+    so scores and end coordinates match it exactly (tests assert this).
+    Returns per-item ``(best score, best query row, best target col)`` arrays.
+    """
+    n_pairs, n = query_codes.shape
+    m = target_codes.shape[1]
+    go, ge = scoring.gap_open, scoring.gap_extend
+    profile = scoring.substitution_matrix()
+    H_prev = np.zeros((n_pairs, n + 1), dtype=np.int64)
+    F = np.full((n_pairs, n + 1), -(10 ** 9), dtype=np.int64)
+    best = np.zeros(n_pairs, dtype=np.int64)
+    best_q = np.zeros(n_pairs, dtype=np.int64)
+    best_t = np.zeros(n_pairs, dtype=np.int64)
+    lane = np.arange(n, dtype=np.int64)
+    rows = np.arange(n_pairs)
+    for t_index in range(m):
+        scores = profile[target_codes[:, t_index, None], query_codes]
+        diag = H_prev[:, :-1] + scores
+        F[:, 1:] = np.maximum(F[:, 1:] - ge, H_prev[:, 1:] - go)
+        H0 = np.maximum(0, np.maximum(diag, F[:, 1:]))
+        running = np.maximum.accumulate(H0 + ge * lane, axis=1)
+        E = np.empty((n_pairs, n), dtype=np.int64)
+        E[:, 0] = -(10 ** 9)
+        if n > 1:
+            E[:, 1:] = running[:, :-1] - go - ge * (lane[1:] - 1)
+        H_row = np.maximum(H0, E)
+        row_best_idx = np.argmax(H_row, axis=1)
+        row_best = H_row[rows, row_best_idx]
+        improved = row_best > best
+        best = np.where(improved, row_best, best)
+        best_q = np.where(improved, row_best_idx + 1, best_q)
+        best_t = np.where(improved, t_index + 1, best_t)
+        H_prev = np.concatenate(
+            (np.zeros((n_pairs, 1), dtype=np.int64), H_row), axis=1)
+    return best, best_q, best_t
+
+
+def _finish(query_codes: np.ndarray, target_codes: np.ndarray, score: int,
+            q_end: int, t_end: int, cells: int, scoring: ScoringScheme,
+            locate_start: bool) -> StripedResult:
+    """Turn a forward-sweep optimum into a :class:`StripedResult`.
+
+    Shared by the single-pair and batched entry points so both produce
+    identical results; the optional start-locating reverse pass runs per
+    pair (reversed prefixes have per-pair shapes).
+    """
+    if score == 0:
+        return StripedResult(score=0, query_end=0, target_end=0, cells=cells)
+    if not locate_start:
+        return StripedResult(score=score, query_end=q_end, target_end=t_end,
+                             cells=cells)
+    # The start of the optimal alignment ending at (q_end, t_end) is the end
+    # of the optimal alignment of the reversed prefixes.
+    rev_q = query_codes[:q_end][::-1]
+    rev_t = target_codes[:t_end][::-1]
+    rev_score, rev_q_end, rev_t_end = _sweep(rev_q, rev_t, scoring)
+    cells += int(rev_q.size) * int(rev_t.size)
+    q_start = q_end - rev_q_end
+    t_start = t_end - rev_t_end
+    if rev_score != score:  # pragma: no cover - defensive, should not happen
+        q_start, t_start = -1, -1
+    return StripedResult(score=score, query_end=q_end, target_end=t_end,
+                         query_start=q_start, target_start=t_start, cells=cells)
+
+
 def striped_smith_waterman(query: str, target: str,
                            scoring: ScoringScheme = DEFAULT_SCORING,
                            locate_start: bool = False) -> StripedResult:
@@ -106,21 +178,47 @@ def striped_smith_waterman(query: str, target: str,
     query_codes = sequence_to_codes(query)
     target_codes = sequence_to_codes(target)
     score, q_end, t_end = _sweep(query_codes, target_codes, scoring)
-    cells = len(query) * len(target)
-    if score == 0:
-        return StripedResult(score=0, query_end=0, target_end=0, cells=cells)
-    if not locate_start:
-        return StripedResult(score=score, query_end=q_end, target_end=t_end,
-                             cells=cells)
-    # The start of the optimal alignment ending at (q_end, t_end) is the end
-    # of the optimal alignment of the reversed prefixes.
-    rev_q = query_codes[:q_end][::-1]
-    rev_t = target_codes[:t_end][::-1]
-    rev_score, rev_q_end, rev_t_end = _sweep(rev_q, rev_t, scoring)
-    cells += int(rev_q.size) * int(rev_t.size)
-    q_start = q_end - rev_q_end
-    t_start = t_end - rev_t_end
-    if rev_score != score:  # pragma: no cover - defensive, should not happen
-        q_start, t_start = -1, -1
-    return StripedResult(score=score, query_end=q_end, target_end=t_end,
-                         query_start=q_start, target_start=t_start, cells=cells)
+    return _finish(query_codes, target_codes, score, q_end, t_end,
+                   len(query) * len(target), scoring, locate_start)
+
+
+def striped_smith_waterman_batch(pairs: list[tuple[str, str]],
+                                 scoring: ScoringScheme = DEFAULT_SCORING,
+                                 locate_start: bool = False) -> list[StripedResult]:
+    """Batched :func:`striped_smith_waterman` over ``(query, target)`` pairs.
+
+    Pairs sharing a ``(query length, target length)`` shape are stacked and
+    swept together by :func:`_sweep_batch`, turning the per-target-base Python
+    loop into one pass per *shape group* instead of one per pair -- the
+    windowed extension stage of the batched aligner produces many same-shaped
+    windows, which is where this pays off.  Results are returned in pair
+    order and are identical to calling the single-pair kernel per element.
+    """
+    results: list[StripedResult | None] = [None] * len(pairs)
+    codes: list[tuple[np.ndarray, np.ndarray] | None] = [None] * len(pairs)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, (query, target) in enumerate(pairs):
+        if not query or not target:
+            results[index] = StripedResult(score=0, query_end=0, target_end=0,
+                                           cells=0)
+            continue
+        codes[index] = (sequence_to_codes(query), sequence_to_codes(target))
+        groups.setdefault((len(query), len(target)), []).append(index)
+    for (n, m), members in groups.items():
+        if len(members) == 1:
+            index = members[0]
+            query_codes, target_codes = codes[index]
+            score, q_end, t_end = _sweep(query_codes, target_codes, scoring)
+            results[index] = _finish(query_codes, target_codes, score, q_end,
+                                     t_end, n * m, scoring, locate_start)
+            continue
+        stacked_q = np.stack([codes[index][0] for index in members])
+        stacked_t = np.stack([codes[index][1] for index in members])
+        best, best_q, best_t = _sweep_batch(stacked_q, stacked_t, scoring)
+        for position, index in enumerate(members):
+            query_codes, target_codes = codes[index]
+            results[index] = _finish(query_codes, target_codes,
+                                     int(best[position]), int(best_q[position]),
+                                     int(best_t[position]), n * m, scoring,
+                                     locate_start)
+    return results

@@ -75,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
     align.add_argument("--no-permute", action="store_true")
     align.add_argument("--max-alignments-per-seed", type=int, default=8)
     align.add_argument("--seed-stride", type=int, default=1)
+    align.add_argument("--bulk-lookups", action="store_true",
+                       help="batch the aligning phase: aggregated bulk seed "
+                            "lookups and fragment fetches over windows of reads")
+    align.add_argument("--lookup-batch-size", type=int, default=64,
+                       help="reads per bulk window (with --bulk-lookups)")
 
     compare = subparsers.add_parser(
         "compare", help="compare merAligner against the pMap-driven baselines")
@@ -97,6 +102,8 @@ def _config_from_args(args: argparse.Namespace) -> AlignerConfig:
         permute_reads=not args.no_permute,
         max_alignments_per_seed=args.max_alignments_per_seed,
         seed_stride=args.seed_stride,
+        use_bulk_lookups=getattr(args, "bulk_lookups", False),
+        lookup_batch_size=getattr(args, "lookup_batch_size", 64),
     )
 
 

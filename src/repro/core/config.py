@@ -33,6 +33,20 @@ class AlignerConfig:
             in the paper).
         use_exact_match_optimization: enable the Lemma 1 single-lookup fast
             path (section IV-A).
+        use_bulk_lookups: run the aligning phase through the batched
+            bulk-communication engine: reads are processed in windows of
+            ``lookup_batch_size``, all seed lookups of a window are issued as
+            one aggregated get per owning rank, candidate fragments are
+            deduplicated and bulk-fetched, and same-shaped extension windows
+            are swept together by the batched striped kernel.  Alignments are
+            identical to the fine-grained path, and with the exact-match fast
+            path off so is all cache traffic; with it on, the batched engine
+            probes both orientations up front (conditional lookups would
+            defeat aggregation), so lookup/byte counters in the report drift
+            slightly from the fine-grained run even though the reported
+            alignments stay identical.
+        lookup_batch_size: W, the number of reads per bulk window when
+            ``use_bulk_lookups`` is enabled.
         fragment_targets: fragment long targets into subsequences with
             disjoint seed sets to increase single-copy-seed coverage.
         fragment_length: fragment length in bases (must exceed seed_length).
@@ -61,6 +75,8 @@ class AlignerConfig:
     seed_cache_bytes_per_node: int = 4 * 1024 * 1024
     target_cache_bytes_per_node: int = 2 * 1024 * 1024
     use_exact_match_optimization: bool = True
+    use_bulk_lookups: bool = False
+    lookup_batch_size: int = 64
     fragment_targets: bool = True
     fragment_length: int = 2000
     permute_reads: bool = True
@@ -78,6 +94,8 @@ class AlignerConfig:
             raise ValueError("seed_length must be positive")
         if self.aggregation_buffer_size <= 0:
             raise ValueError("aggregation_buffer_size must be positive")
+        if self.lookup_batch_size <= 0:
+            raise ValueError("lookup_batch_size must be positive")
         if self.fragment_targets and self.fragment_length <= self.seed_length:
             raise ValueError("fragment_length must exceed seed_length")
         if self.seed_stride <= 0:

@@ -16,6 +16,12 @@
    randomly permuted) read set in parallel.
 6. ``align_reads`` -- seed-and-extend with the exact-match fast path,
    per-node software caches and the max-alignments-per-seed threshold.
+   With ``use_bulk_lookups`` the phase runs through the batched
+   bulk-communication engine instead: reads are processed in windows of
+   ``lookup_batch_size``, every window's seed lookups and (deduplicated)
+   fragment fetches are aggregated into one get per destination rank, and
+   same-shaped extension windows share one sweep of the batched striped
+   kernel.  Both modes report identical alignments.
 
 The result is an :class:`~repro.core.stats.AlignerReport` carrying the
 alignments, per-phase modelled timings, communication statistics and event
@@ -27,7 +33,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.alignment.exact import exact_match_at
-from repro.alignment.extend import SeedHit, extend_seed_hit
+from repro.alignment.extend import SeedHit, extend_batch, extend_seed_hit
 from repro.alignment.result import Alignment, CigarOp
 from repro.core.config import AlignerConfig
 from repro.core.load_balance import chunk_for_rank, permute_reads
@@ -150,6 +156,8 @@ class MerAligner:
                 "exact_match_optimization": config.use_exact_match_optimization,
                 "permute_reads": config.permute_reads,
                 "max_alignments_per_seed": config.max_alignments_per_seed,
+                "bulk_lookups": config.use_bulk_lookups,
+                "lookup_batch_size": config.lookup_batch_size,
             },
             alignments=alignments,
             counters=counters,
@@ -215,13 +223,22 @@ class MerAligner:
         ctx.charge_io_bytes(read_bytes, category="io:queries")
         yield "read_queries"
 
-        # Phase 6: the aligning phase.
+        # Phase 6: the aligning phase -- fine-grained (one message per seed
+        # lookup / fragment fetch) or windowed bulk batching over W reads.
         counters = AlignmentCounters()
         alignments: list[Alignment] = []
-        for read in my_reads:
-            alignments.extend(
-                self._align_read(ctx, read, seed_index, target_store,
-                                 seed_cache, target_cache, counters))
+        if config.use_bulk_lookups:
+            window = config.lookup_batch_size
+            for start in range(0, len(my_reads), window):
+                alignments.extend(
+                    self._align_batch(ctx, my_reads[start:start + window],
+                                      seed_index, target_store, seed_cache,
+                                      target_cache, counters))
+        else:
+            for read in my_reads:
+                alignments.extend(
+                    self._align_read(ctx, read, seed_index, target_store,
+                                     seed_cache, target_cache, counters))
         yield "align_reads"
         return alignments, counters
 
@@ -308,21 +325,27 @@ class MerAligner:
             start = placement.offset  # the first query seed starts the query
             ctx.charge_op("memcmp_byte", len(oriented))
             if exact_match_at(oriented, fragment.sequence(), start):
-                length = len(oriented)
-                return Alignment(
-                    query_name=read.name,
-                    target_id=fragment.parent_target_id,
-                    score=config.scoring.max_score(length),
-                    query_start=0,
-                    query_end=length,
-                    target_start=fragment.parent_offset + start,
-                    target_end=fragment.parent_offset + start + length,
-                    strand=strand,
-                    cigar=[(length, CigarOp.MATCH)],
-                    is_exact=True,
-                    identity=1.0,
-                )
+                return self._exact_alignment(read.name, strand, oriented,
+                                             fragment, start)
         return None
+
+    def _exact_alignment(self, query_name: str, strand: str, oriented: str,
+                         fragment, start: int) -> Alignment:
+        """The full-score alignment reported by the exact-match fast path."""
+        length = len(oriented)
+        return Alignment(
+            query_name=query_name,
+            target_id=fragment.parent_target_id,
+            score=self.config.scoring.max_score(length),
+            query_start=0,
+            query_end=length,
+            target_start=fragment.parent_offset + start,
+            target_end=fragment.parent_offset + start + length,
+            strand=strand,
+            cigar=[(length, CigarOp.MATCH)],
+            is_exact=True,
+            identity=1.0,
+        )
 
     def _collect_candidates(self, ctx: RankContext,
                             orientations: list[tuple[str, str]],
@@ -352,3 +375,180 @@ class MerAligner:
                     if key not in candidates:
                         candidates[key] = (placement, query_offset)
         return candidates
+
+    # -- aligning a window of reads through bulk operations ---------------------
+
+    def _align_batch(self, ctx: RankContext, reads: list[ReadRecord],
+                     seed_index: SeedIndex, target_store: TargetStore,
+                     seed_cache: SoftwareCache | None,
+                     target_cache: SoftwareCache | None,
+                     counters: AlignmentCounters) -> list[Alignment]:
+        """Align a window of W reads with bulk communication at every stage.
+
+        The stages mirror :meth:`_align_read` exactly -- same candidate dedupe
+        keys, same ``max_alignments_per_seed`` truncation order, same scoring
+        -- so the batched and fine-grained paths produce identical alignments;
+        only the message pattern differs (one aggregated get per destination
+        rank per stage instead of one message per seed/fragment).
+        """
+        config = self.config
+        k = config.seed_length
+        active: list[tuple[ReadRecord, list[tuple[str, str]]]] = []
+        for read in reads:
+            counters.reads_processed += 1
+            if len(read.sequence) >= k:
+                active.append((read, self._orientations(read.sequence)))
+        if not active:
+            return []
+
+        resolved: dict[int, Alignment] = {}
+        if config.use_exact_match_optimization:
+            resolved = self._exact_batch(ctx, active, seed_index, target_store,
+                                         seed_cache, target_cache, counters)
+
+        # Stage 1: every query seed of every unresolved read, one bulk lookup.
+        full_keys: list[str] = []
+        full_tags: list[tuple[int, str, int]] = []
+        for read_index, (read, orientations) in enumerate(active):
+            if read_index in resolved:
+                continue
+            for strand, oriented in orientations:
+                for query_offset in range(0, len(oriented) - k + 1,
+                                          config.seed_stride):
+                    full_keys.append(oriented[query_offset:query_offset + k])
+                    full_tags.append((read_index, strand, query_offset))
+        entries = seed_index.lookup_many(ctx, full_keys, cache=seed_cache)
+        counters.seed_lookups += len(full_keys)
+
+        # Stage 2: per-read candidate selection (same dedupe and truncation
+        # as _collect_candidates, applied to the bulk responses in order).
+        candidates_by_read: dict[int, dict[tuple[str, tuple[int, object]],
+                                           tuple]] = {}
+        limit = config.max_alignments_per_seed
+        for (read_index, strand, query_offset), entry in zip(full_tags, entries):
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            values = entry.values
+            if limit and len(values) > limit:
+                counters.candidates_skipped_threshold += len(values) - limit
+                values = values[:limit]
+            candidates = candidates_by_read.setdefault(read_index, {})
+            for placement in values:
+                fragment_key = (placement.fragment.owner, placement.fragment.key)
+                key = (strand, fragment_key)
+                if key not in candidates:
+                    candidates[key] = (placement, query_offset)
+
+        # Stage 3: deduplicated bulk fetch of every candidate fragment.
+        fetch_pointers = []
+        job_tags: list[tuple[int, str, object, int]] = []
+        for read_index in range(len(active)):
+            for (strand, _fragment_key), (placement, query_offset) in \
+                    candidates_by_read.get(read_index, {}).items():
+                fetch_pointers.append(placement.fragment)
+                job_tags.append((read_index, strand, placement, query_offset))
+        fragments = target_store.fetch_many(ctx, fetch_pointers,
+                                            cache=target_cache)
+        counters.candidates_examined += len(fetch_pointers)
+
+        # Stage 4: batched extension (same-shaped windows share one sweep).
+        jobs = []
+        for (read_index, strand, placement, query_offset), fragment in \
+                zip(job_tags, fragments):
+            read, orientations = active[read_index]
+            oriented = orientations[0][1] if strand == "+" else orientations[1][1]
+            hit = SeedHit(target_id=fragment.parent_target_id,
+                          target_offset=placement.offset,
+                          query_offset=query_offset,
+                          seed_length=k, strand=strand)
+            jobs.append((read.name, oriented, fragment.sequence(), hit))
+        extended = extend_batch(jobs, scoring=config.scoring,
+                                window_padding=config.window_padding,
+                                detailed=config.detailed_alignments)
+
+        per_read_alignments: dict[int, list[Alignment]] = {}
+        for (read_index, _strand, _placement, _query_offset), fragment, \
+                (alignment, cells) in zip(job_tags, fragments, extended):
+            counters.sw_calls += 1
+            counters.sw_cells += cells
+            ctx.charge_op("sw_cell", cells)
+            if alignment.score >= config.min_alignment_score:
+                alignment.target_start += fragment.parent_offset
+                alignment.target_end += fragment.parent_offset
+                per_read_alignments.setdefault(read_index, []).append(alignment)
+
+        # Reassemble in read order so output matches the fine-grained path.
+        results: list[Alignment] = []
+        for read_index in range(len(active)):
+            exact = resolved.get(read_index)
+            if exact is not None:
+                counters.reads_aligned += 1
+                counters.exact_path_hits += 1
+                counters.alignments_reported += 1
+                results.append(exact)
+                continue
+            alignments = per_read_alignments.get(read_index, [])
+            if alignments:
+                counters.reads_aligned += 1
+            counters.alignments_reported += len(alignments)
+            results.extend(alignments)
+        return results
+
+    def _exact_batch(self, ctx: RankContext,
+                     active: list[tuple[ReadRecord, list[tuple[str, str]]]],
+                     seed_index: SeedIndex, target_store: TargetStore,
+                     seed_cache: SoftwareCache | None,
+                     target_cache: SoftwareCache | None,
+                     counters: AlignmentCounters) -> dict[int, Alignment]:
+        """Bulk exact-match fast path over a window of reads.
+
+        Unlike the fine-grained path -- which probes the '+' orientation and
+        only falls back to '-' when it fails -- the batched engine looks up
+        the first seed of *both* orientations up front (conditional lookups
+        would defeat aggregation) and resolves reads afterwards in the same
+        '+'-before-'-' precedence, so the reported alignments are identical.
+        """
+        config = self.config
+        k = config.seed_length
+        exact_keys: list[str] = []
+        exact_tags: list[tuple[int, int]] = []
+        for read_index, (_read, orientations) in enumerate(active):
+            for strand_index, (_strand, oriented) in enumerate(orientations):
+                exact_keys.append(oriented[:k])
+                exact_tags.append((read_index, strand_index))
+        entries = seed_index.lookup_many(ctx, exact_keys, cache=seed_cache)
+        counters.seed_lookups += len(exact_keys)
+
+        fetch_pointers = []
+        fetch_tags: list[tuple[int, int, object]] = []
+        for (read_index, strand_index), entry in zip(exact_tags, entries):
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            placement = entry.values[0]
+            fetch_pointers.append(placement.fragment)
+            fetch_tags.append((read_index, strand_index, placement))
+        fragments = target_store.fetch_many(ctx, fetch_pointers,
+                                            cache=target_cache)
+        fetched: dict[tuple[int, int], tuple] = {}
+        for (read_index, strand_index, placement), fragment in \
+                zip(fetch_tags, fragments):
+            fetched[(read_index, strand_index)] = (placement, fragment)
+
+        resolved: dict[int, Alignment] = {}
+        for read_index, (read, orientations) in enumerate(active):
+            for strand_index, (strand, oriented) in enumerate(orientations):
+                candidate = fetched.get((read_index, strand_index))
+                if candidate is None:
+                    continue
+                placement, fragment = candidate
+                if not fragment.single_copy_seeds:
+                    continue
+                start = placement.offset
+                ctx.charge_op("memcmp_byte", len(oriented))
+                if exact_match_at(oriented, fragment.sequence(), start):
+                    resolved[read_index] = self._exact_alignment(
+                        read.name, strand, oriented, fragment, start)
+                    break
+        return resolved

@@ -116,6 +116,16 @@ class SeedIndex:
         """One-sided seed lookup, optionally through the per-node seed cache."""
         return self.table.lookup(ctx, kmer, cache=cache, category="dht:lookup")
 
+    def lookup_many(self, ctx: RankContext, kmers: list[str],
+                    cache: SoftwareCache | None = None) -> list[BucketEntry | None]:
+        """Batched seed lookup: one aggregated get per owning rank.
+
+        Entry *i* corresponds to ``kmers[i]``; cache semantics are identical
+        to issuing :meth:`lookup` per k-mer in order.
+        """
+        return self.table.lookup_many(ctx, kmers, cache=cache,
+                                      category="dht:lookup")
+
     # -- inspection ----------------------------------------------------------------
 
     @property

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.dna.compression import PackedSequence
 from repro.pgas.gptr import GlobalPointer
-from repro.pgas.runtime import PgasRuntime, RankContext
+from repro.pgas.runtime import BulkTransferPlan, PgasRuntime, RankContext
 
 
 @dataclass
@@ -162,6 +162,39 @@ class TargetStore:
         if cache is not None:
             cache.put(ctx, ("target", pointer.key), record, record.nbytes)
         return record
+
+    def fetch_many(self, ctx: RankContext, pointers: list[GlobalPointer],
+                   cache=None) -> list[FragmentRecord]:
+        """Batched fragment fetch; records returned in pointer order.
+
+        Equivalent to calling :meth:`fetch` per pointer -- locally owned
+        fragments are read in place and the per-node target cache is consulted
+        and filled in the same order, so cache hit/miss/eviction counts match
+        the fine-grained path -- but remote misses are charged as **one**
+        aggregated get per owning rank, and a fragment missed more than once
+        within a batch rides the aggregate transfer only once.
+        """
+        records: list[FragmentRecord] = []
+        plan = BulkTransferPlan()
+        for pointer in pointers:
+            if pointer.owner == ctx.me:
+                ctx.charge_get(pointer.owner, 0, category="target:fetch")
+                records.append(ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key])
+                continue
+            if cache is not None:
+                hit, cached = cache.get(ctx, ("target", pointer.key))
+                if hit:
+                    records.append(cached)
+                    continue
+            record: FragmentRecord = ctx.heap.segment(pointer.owner,
+                                                      self.SEGMENT)[pointer.key]
+            plan.add(pointer.owner, record.nbytes,
+                     dedupe_key=(pointer.owner, pointer.key))
+            if cache is not None:
+                cache.put(ctx, ("target", pointer.key), record, record.nbytes)
+            records.append(record)
+        plan.charge_gets(ctx, "target:fetch")
+        return records
 
     def mark_not_single_copy(self, ctx: RankContext, pointer: GlobalPointer) -> None:
         """Clear a fragment's single-copy-seeds flag (one small remote put)."""

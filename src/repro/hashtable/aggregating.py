@@ -107,9 +107,10 @@ class AggregatingStoreBuffer:
                                  category="agg:fetch_add")
         stack: LocalSharedStack = ctx.heap.segment(owner, self.STACK_SEGMENT)
         stack.ensure_capacity(position + count)
-        # (c): one aggregate one-sided transfer for the whole buffer.
+        # (c): one aggregate one-sided transfer for the whole buffer, charged
+        # through the same bulk primitive the query-side batching uses.
         nbytes = estimate_nbytes(buffer)
-        ctx.charge_put(owner, nbytes, category="agg:aggregate_put")
+        ctx.charge_bulk_put(owner, nbytes, count, category="agg:aggregate_put")
         stack.entries[position:position + count] = buffer
         self._buffers[owner] = []
         self.flushes += 1

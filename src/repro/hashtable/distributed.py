@@ -12,7 +12,10 @@ in its shared segment.  Two insertion paths are provided:
   locks at all.
 
 Lookups are one-sided gets from the owner's partition, optionally served by a
-per-node :class:`~repro.hashtable.cache.SoftwareCache`.
+per-node :class:`~repro.hashtable.cache.SoftwareCache`; the batched
+:meth:`DistributedHashTable.lookup_many` extends the same aggregation idea to
+the query side, issuing one aggregated get per owning rank for a whole batch
+of keys.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ from typing import Any, Callable, Hashable
 from repro.dna.kmer import djb2_hash
 from repro.hashtable.cache import SoftwareCache
 from repro.hashtable.local_table import BucketEntry, LocalBucketStore
-from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
+from repro.pgas.runtime import (BulkTransferPlan, PgasRuntime, RankContext,
+                                estimate_nbytes)
 
 
 class DistributedHashTable:
@@ -111,6 +115,43 @@ class DistributedHashTable:
         if cache is not None:
             cache.put(ctx, ("dht", key), entry, nbytes)
         return entry
+
+    def lookup_many(self, ctx: RankContext, keys: list[Hashable],
+                    cache: SoftwareCache | None = None,
+                    category: str = "dht:lookup") -> list["BucketEntry | None"]:
+        """Batched one-sided lookup of *keys*; entries returned in key order.
+
+        Logically equivalent to calling :meth:`lookup` once per key -- local
+        keys are probed in place, the per-node cache is consulted and filled
+        in exactly the same order (so hit/miss/eviction counts match the
+        fine-grained path) -- but all remote misses of the batch are fetched
+        with **one** aggregated get per owning rank instead of one message
+        per key.  A key that misses twice in one batch joins the aggregate
+        transfer only once.
+        """
+        entries: list[BucketEntry | None] = []
+        plan = BulkTransferPlan()
+        for key in keys:
+            owner = self.owner_of(key)
+            ctx.charge_op("seed_hash")
+            ctx.charge_op("lookup")
+            if owner == ctx.me:
+                ctx.charge_get(owner, 0, category=category)
+                entries.append(self._stores[owner].lookup(key))
+                continue
+            if cache is not None:
+                hit, cached = cache.get(ctx, ("dht", key))
+                if hit:
+                    entries.append(cached)
+                    continue
+            entry = self._stores[owner].lookup(key)
+            nbytes = estimate_nbytes(entry) if entry is not None else 8
+            plan.add(owner, nbytes, dedupe_key=(owner, key))
+            if cache is not None:
+                cache.put(ctx, ("dht", key), entry, nbytes)
+            entries.append(entry)
+        plan.charge_gets(ctx, category)
+        return entries
 
     def count(self, ctx: RankContext, key: Hashable,
               cache: SoftwareCache | None = None) -> int:

@@ -33,7 +33,8 @@ from repro.pgas.cost_model import (
 from repro.pgas.gptr import GlobalPointer
 from repro.pgas.shared import SharedHeap, SharedArray
 from repro.pgas.trace import PhaseTrace, TimeBreakdown, VirtualClock
-from repro.pgas.runtime import PgasRuntime, RankContext, SpmdResult
+from repro.pgas.runtime import (BulkTransferPlan, PgasRuntime, RankContext,
+                                SpmdResult)
 from repro.pgas.collectives import (
     allreduce,
     broadcast,
@@ -54,6 +55,7 @@ __all__ = [
     "PhaseTrace",
     "TimeBreakdown",
     "VirtualClock",
+    "BulkTransferPlan",
     "PgasRuntime",
     "RankContext",
     "SpmdResult",

@@ -121,6 +121,25 @@ class MachineModel:
         return (self.off_node_latency + self.message_overhead
                 + congest * nbytes / self.bandwidth)
 
+    def bulk_transfer_time(self, nbytes: int, n_items: int, *, same_rank: bool,
+                           same_node: bool, n_nodes: int = 1) -> float:
+        """Modelled time of one *aggregated* one-sided transfer.
+
+        A bulk operation moving *n_items* logically distinct objects totalling
+        *nbytes* to (or from) a single destination pays the latency and
+        injection overhead of **one** message plus the bandwidth cost of the
+        summed payload -- the same charging rule the aggregating-stores
+        construction path uses, now available to any caller.  A small
+        per-item packing cost (one header copy per item) keeps a bulk
+        transfer of n items slightly dearer than one monolithic transfer of
+        the same byte count, so batching never looks *better* than free.
+        """
+        if n_items < 0:
+            raise ValueError("n_items must be non-negative")
+        packing = self.compute.base_copy * 8 * n_items
+        return packing + self.transfer_time(nbytes, same_rank=same_rank,
+                                            same_node=same_node, n_nodes=n_nodes)
+
     def atomic_time(self, *, same_rank: bool, same_node: bool) -> float:
         """Modelled time of one global atomic operation."""
         if same_rank:
@@ -147,10 +166,16 @@ class CommStats:
 
     All ``*_time`` fields are modelled seconds from :class:`MachineModel`;
     counter fields are exact event counts, which is what most tests assert.
+    ``puts``/``gets`` count *messages*: an aggregated transfer that moves many
+    items to one destination counts once there, and is additionally tallied in
+    ``bulk_puts``/``bulk_gets`` with its item count in ``bulk_items``.
     """
 
     puts: int = 0
     gets: int = 0
+    bulk_puts: int = 0
+    bulk_gets: int = 0
+    bulk_items: int = 0
     atomics: int = 0
     barriers: int = 0
     bytes_put: int = 0
@@ -182,6 +207,9 @@ class CommStats:
         merged = CommStats(
             puts=self.puts + other.puts,
             gets=self.gets + other.gets,
+            bulk_puts=self.bulk_puts + other.bulk_puts,
+            bulk_gets=self.bulk_gets + other.bulk_gets,
+            bulk_items=self.bulk_items + other.bulk_items,
             atomics=self.atomics + other.atomics,
             barriers=self.barriers + other.barriers,
             bytes_put=self.bytes_put + other.bytes_put,
@@ -197,6 +225,41 @@ class CommStats:
             for key, value in src.items():
                 merged.time_by_category[key] = merged.time_by_category.get(key, 0.0) + value
         return merged
+
+    def copy(self) -> "CommStats":
+        """An independent snapshot of the current counters."""
+        return CommStats().merge(self)
+
+    def delta(self, baseline: "CommStats") -> "CommStats":
+        """Counters accumulated since *baseline* (element-wise difference).
+
+        Used by :meth:`~repro.pgas.runtime.PgasRuntime.run_spmd` to report
+        per-invocation statistics on a runtime whose rank contexts persist
+        across invocations.
+        """
+        diff = CommStats(
+            puts=self.puts - baseline.puts,
+            gets=self.gets - baseline.gets,
+            bulk_puts=self.bulk_puts - baseline.bulk_puts,
+            bulk_gets=self.bulk_gets - baseline.bulk_gets,
+            bulk_items=self.bulk_items - baseline.bulk_items,
+            atomics=self.atomics - baseline.atomics,
+            barriers=self.barriers - baseline.barriers,
+            bytes_put=self.bytes_put - baseline.bytes_put,
+            bytes_get=self.bytes_get - baseline.bytes_get,
+            local_ops=self.local_ops - baseline.local_ops,
+            on_node_ops=self.on_node_ops - baseline.on_node_ops,
+            off_node_ops=self.off_node_ops - baseline.off_node_ops,
+            comm_time=self.comm_time - baseline.comm_time,
+            compute_time=self.compute_time - baseline.compute_time,
+            io_time=self.io_time - baseline.io_time,
+        )
+        for category in set(self.time_by_category) | set(baseline.time_by_category):
+            seconds = (self.time_by_category.get(category, 0.0)
+                       - baseline.time_by_category.get(category, 0.0))
+            if seconds:
+                diff.time_by_category[category] = seconds
+        return diff
 
     @staticmethod
     def aggregate(stats: list["CommStats"]) -> "CommStats":

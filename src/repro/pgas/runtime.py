@@ -59,8 +59,51 @@ def estimate_nbytes(value: Any) -> int:
     if isinstance(value, (list, tuple, set)):
         return sum(estimate_nbytes(item) for item in value) + 8 * len(value)
     if isinstance(value, dict):
-        return sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items())
+        return (sum(estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items())
+                + 8 * len(value))
     return 16
+
+
+class BulkTransferPlan:
+    """Per-destination payload accumulator of one bulk operation.
+
+    Every layer that aggregates remote accesses -- :meth:`RankContext.get_many`,
+    the distributed hash table's ``lookup_many``, the target store's
+    ``fetch_many`` -- plans the same way: sum bytes and count items per
+    destination rank (optionally deduplicating repeated objects within the
+    batch), then charge **one** aggregated transfer per destination.  This
+    class is that plan, so the pattern exists once.
+    """
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, int] = {}
+        self._items: dict[int, int] = {}
+        self._seen: set[Hashable] = set()
+
+    def add(self, owner: int, nbytes: int, dedupe_key: Hashable = None) -> None:
+        """Plan one item of *nbytes* for *owner*.
+
+        When *dedupe_key* is given, an item whose key was already planned is
+        skipped: it rides the aggregate transfer of its first occurrence.
+        """
+        if dedupe_key is not None:
+            if dedupe_key in self._seen:
+                return
+            self._seen.add(dedupe_key)
+        self._bytes[owner] = self._bytes.get(owner, 0) + nbytes
+        self._items[owner] = self._items.get(owner, 0) + 1
+
+    def charge_gets(self, ctx: "RankContext", category: str) -> None:
+        """Charge one aggregated get per planned destination, in rank order."""
+        for owner in sorted(self._bytes):
+            ctx.charge_bulk_get(owner, self._bytes[owner], self._items[owner],
+                                category=category)
+
+    def charge_puts(self, ctx: "RankContext", category: str) -> None:
+        """Charge one aggregated put per planned destination, in rank order."""
+        for owner in sorted(self._bytes):
+            ctx.charge_bulk_put(owner, self._bytes[owner], self._items[owner],
+                                category=category)
 
 
 class RankContext:
@@ -123,11 +166,25 @@ class RankContext:
         self.stats.record(category, seconds)
 
     def _charge_transfer(self, owner: int, nbytes: int, category: str,
-                         is_put: bool) -> None:
+                         is_put: bool, n_items: int | None = None) -> None:
+        """Charge one one-sided transfer; *n_items* marks it as aggregated.
+
+        A plain transfer (``n_items is None``) is charged at
+        :meth:`MachineModel.transfer_time`; an aggregated one at
+        :meth:`MachineModel.bulk_transfer_time` and additionally tallied in
+        the ``bulk_*`` counters.  Either way it is one message: one latency,
+        one entry in ``puts``/``gets``, one locality counter.
+        """
         same_rank = owner == self.me
         same_node = self.same_node(owner)
-        seconds = self.machine.transfer_time(
-            nbytes, same_rank=same_rank, same_node=same_node, n_nodes=self._n_nodes)
+        if n_items is None:
+            seconds = self.machine.transfer_time(
+                nbytes, same_rank=same_rank, same_node=same_node,
+                n_nodes=self._n_nodes)
+        else:
+            seconds = self.machine.bulk_transfer_time(
+                nbytes, n_items, same_rank=same_rank, same_node=same_node,
+                n_nodes=self._n_nodes)
         self.clock.charge_comm(seconds)
         self.stats.comm_time += seconds
         self.stats.record(category, seconds)
@@ -137,6 +194,12 @@ class RankContext:
             self.stats.on_node_ops += 1
         else:
             self.stats.off_node_ops += 1
+        if n_items is not None:
+            self.stats.bulk_items += n_items
+            if is_put:
+                self.stats.bulk_puts += 1
+            else:
+                self.stats.bulk_gets += 1
         if is_put:
             self.stats.puts += 1
             self.stats.bytes_put += nbytes
@@ -151,6 +214,23 @@ class RankContext:
     def charge_put(self, owner: int, nbytes: int, category: str = "put") -> None:
         """Charge a one-sided put of *nbytes* to *owner* without data movement."""
         self._charge_transfer(owner, nbytes, category, is_put=True)
+
+    def charge_bulk_get(self, owner: int, nbytes: int, n_items: int,
+                        category: str = "bulk_get") -> None:
+        """Charge one aggregated get of *n_items* objects from *owner*.
+
+        One message-worth of latency plus the bandwidth of the summed payload
+        (see :meth:`MachineModel.bulk_transfer_time`); counted as a single
+        get in :class:`CommStats` with the item count in ``bulk_items``.
+        """
+        self._charge_transfer(owner, nbytes, category, is_put=False,
+                              n_items=n_items)
+
+    def charge_bulk_put(self, owner: int, nbytes: int, n_items: int,
+                        category: str = "bulk_put") -> None:
+        """Charge one aggregated put of *n_items* objects to *owner*."""
+        self._charge_transfer(owner, nbytes, category, is_put=True,
+                              n_items=n_items)
 
     # -- shared-memory operations ---------------------------------------------
 
@@ -197,6 +277,57 @@ class RankContext:
         """Dereference a global pointer with cost accounting."""
         return self.get(ptr.owner, ptr.segment, ptr.key,
                         nbytes=ptr.nbytes or None, category=category)
+
+    # -- bulk one-sided operations ---------------------------------------------
+
+    def get_many(self, requests: list[tuple[int, str, Hashable]],
+                 category: str = "bulk_get", default: Any = None,
+                 missing_ok: bool = False) -> list[Any]:
+        """One-sided bulk load of ``[(owner, segment, key), ...]``.
+
+        Requests are grouped by destination rank; each destination is charged
+        **one** aggregated get (one latency + the summed payload bandwidth)
+        instead of one message per key, mirroring the aggregating-stores
+        optimization on the load side.  A request repeated within the batch
+        rides the aggregate transfer once.  Values are returned in request
+        order.
+        """
+        values: list[Any] = [default] * len(requests)
+        plan = BulkTransferPlan()
+        for index, (owner, segment, key) in enumerate(requests):
+            seg = self.heap.segment(owner, segment)
+            if isinstance(seg, dict) and key not in seg:
+                if not missing_ok:
+                    raise KeyError(
+                        f"key {key!r} missing in segment {segment!r} on rank {owner}")
+                value = default
+            else:
+                value = seg[key]
+            values[index] = value
+            plan.add(owner, estimate_nbytes(value),
+                     dedupe_key=(owner, segment, key))
+        plan.charge_gets(self, category)
+        return values
+
+    def put_many(self, requests: list[tuple[int, str, Hashable, Any]],
+                 category: str = "bulk_put") -> list[GlobalPointer]:
+        """One-sided bulk store of ``[(owner, segment, key, value), ...]``.
+
+        Like :meth:`get_many` but for stores: one aggregated put per
+        destination rank.  Returns a :class:`GlobalPointer` per request, in
+        request order.
+        """
+        pointers: list[GlobalPointer] = []
+        plan = BulkTransferPlan()
+        for owner, segment, key, value in requests:
+            nbytes = estimate_nbytes(value)
+            seg = self.heap.segment(owner, segment)
+            seg[key] = value
+            pointers.append(GlobalPointer(owner=owner, segment=segment,
+                                          key=key, nbytes=nbytes))
+            plan.add(owner, nbytes)
+        plan.charge_puts(self, category)
+        return pointers
 
     def fetch_add(self, owner: int, segment: str, index: int, amount: int = 1,
                   category: str = "atomic") -> int:
@@ -341,8 +472,13 @@ class PgasRuntime:
         may yield a string naming the phase that just completed; the final
         ``return`` value is the rank's result.  A plain function is one phase
         named *phase_name* (default: the function name).
+
+        The returned :attr:`SpmdResult.per_rank_stats` covers *this invocation
+        only*: rank contexts persist across invocations, so their cumulative
+        counters are snapshotted before the run and the difference reported.
         """
         phases_before = len(self.phases)
+        stats_before = [ctx.stats.copy() for ctx in self.contexts]
         if inspect.isgeneratorfunction(fn):
             results = self._run_generators(fn, args)
         else:
@@ -354,7 +490,8 @@ class PgasRuntime:
         return SpmdResult(
             results=results,
             phases=self.phases[phases_before:],
-            per_rank_stats=[ctx.stats for ctx in self.contexts],
+            per_rank_stats=[ctx.stats.delta(prev)
+                            for ctx, prev in zip(self.contexts, stats_before)],
         )
 
     def _run_generators(self, fn: Callable[..., Any], args: tuple) -> list[Any]:

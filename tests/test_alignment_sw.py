@@ -1,6 +1,5 @@
 """Tests for scalar and striped (vectorised) Smith-Waterman."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

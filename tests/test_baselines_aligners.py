@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines.base import BaselineAligner, BaselineCostModel
+from repro.baselines.base import BaselineCostModel
 from repro.baselines.bowtie_like import BowtieLikeAligner
 from repro.baselines.bwa_like import BwaLikeAligner
 from repro.baselines.pmap import PMapFramework

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.alignment.result import Alignment
-from repro.core.config import AlignerConfig
 from repro.core.evaluation import compare_aligners, evaluate_alignments
 from repro.core.pipeline import MerAligner
 from repro.dna.synthetic import ReadRecord

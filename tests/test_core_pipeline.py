@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.core.config import AlignerConfig
 from repro.core.pipeline import MerAligner
 from repro.core.stats import AlignerReport
-from repro.dna.sequence import reverse_complement
 from repro.dna.synthetic import ReadRecord
 from repro.io.fasta import write_fasta
 from repro.io.fastq import write_fastq

@@ -1,6 +1,5 @@
 """Tests for the distributed seed index construction and lookups."""
 
-import pytest
 
 from repro.core.config import AlignerConfig
 from repro.core.seed_index import SeedIndex

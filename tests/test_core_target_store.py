@@ -101,6 +101,62 @@ class TestTargetStore:
         assert reader.stats.off_node_ops == off_after_miss
         assert cache.total_stats().hits == 1
 
+    def test_fetch_many_matches_fine_grained_records(self, runtime):
+        store = TargetStore(runtime)
+        for rank in range(4):
+            store.store_fragment(runtime.contexts[rank], rank, rank, 0,
+                                 "ACGT" * (10 + rank))
+        pointers = [store.directory[i].pointer for i in (3, 0, 2, 1, 3)]
+        reader = runtime.contexts[0]
+        records = store.fetch_many(reader, pointers)
+        fine = [store.fetch(runtime.contexts[1], p) for p in pointers]
+        assert [r.fragment_id for r in records] == [f.fragment_id for f in fine]
+        assert [r.sequence() for r in records] == [f.sequence() for f in fine]
+
+    def test_fetch_many_one_aggregate_per_remote_owner(self, runtime):
+        store = TargetStore(runtime)
+        for rank in range(4):
+            for i in range(3):
+                store.store_fragment(runtime.contexts[rank], rank * 10 + i,
+                                     0, 0, "ACGT" * 25)
+        reader = runtime.contexts[0]
+        pointers = [store.directory[rank * 10 + i].pointer
+                    for rank in range(4) for i in range(3)]
+        store.fetch_many(reader, pointers)
+        # 3 remote owners -> 3 aggregate gets; 3 local fragments -> 3 cheap
+        # 0-byte local gets (matching what the fine-grained path charges).
+        assert reader.stats.bulk_gets == 3
+        assert reader.stats.bulk_items == 9
+        assert reader.stats.gets == 3 + 3
+
+    def test_fetch_many_dedupes_repeated_fragments(self, runtime):
+        store = TargetStore(runtime)
+        store.store_fragment(runtime.contexts[3], 1, 0, 0, "ACGT" * 50)
+        pointer = store.directory[1].pointer
+        reader = runtime.contexts[0]
+        records = store.fetch_many(reader, [pointer] * 8)
+        assert len(records) == 8
+        assert reader.stats.bulk_items == 1
+        assert reader.stats.bytes_get == records[0].nbytes
+
+    def test_fetch_many_cache_counters_match_fine_grained(self, runtime):
+        store = TargetStore(runtime)
+        for i in range(6):
+            store.store_fragment(runtime.contexts[3], i, 0, 0, "ACGT" * (20 + i))
+        pointers = [store.directory[i].pointer for i in (0, 1, 2, 0, 3, 4, 5, 2)]
+        cache_a = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20)
+        cache_b = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20)
+        store.fetch_many(runtime.contexts[0], pointers, cache=cache_a)
+        for pointer in pointers:
+            store.fetch(runtime.contexts[0], pointer, cache=cache_b)
+        batched, fine = cache_a.total_stats(), cache_b.total_stats()
+        assert (batched.hits, batched.misses, batched.insertions) == \
+            (fine.hits, fine.misses, fine.insertions)
+
+    def test_fetch_many_empty(self, runtime):
+        store = TargetStore(runtime)
+        assert store.fetch_many(runtime.contexts[0], []) == []
+
     def test_mark_not_single_copy(self, runtime):
         store = TargetStore(runtime)
         ctx = runtime.contexts[0]

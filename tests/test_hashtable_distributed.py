@@ -122,6 +122,77 @@ class TestCachedLookups:
         assert cache.total_stats().lookups == 0
 
 
+class TestLookupMany:
+    def _fill(self, runtime, table, n=40):
+        writer = runtime.contexts[0]
+        keys = []
+        from itertools import product
+        for bases in product("ACGT", repeat=3):
+            keys.append("".join(bases))
+        keys = keys[:n]
+        for index, key in enumerate(keys):
+            table.insert_direct(writer, key, index)
+        return keys
+
+    def test_entries_match_fine_grained_lookup(self, runtime, table):
+        keys = self._fill(runtime, table)
+        probe = keys + ["GGGGG", keys[0], "TTTTT"]  # misses and a repeat
+        ctx = runtime.contexts[1]
+        batched = table.lookup_many(ctx, probe)
+        fine = [table.lookup(runtime.contexts[2], key) for key in probe]
+        assert len(batched) == len(probe)
+        for got, want in zip(batched, fine):
+            if want is None:
+                assert got is None
+            else:
+                assert got.key == want.key and got.values == want.values
+
+    def test_one_aggregate_get_per_remote_owner(self, runtime, table):
+        keys = self._fill(runtime, table)
+        ctx = runtime.contexts[1]
+        remote_owners = {table.owner_of(key) for key in keys} - {ctx.me}
+        local_keys = [key for key in keys if table.owner_of(key) == ctx.me]
+        ctx.stats.gets = 0
+        table.lookup_many(ctx, keys)
+        # One aggregate message per remote owner plus one 0-byte local get
+        # per locally owned key (same as the fine-grained path charges).
+        assert ctx.stats.gets == len(remote_owners) + len(local_keys)
+        assert ctx.stats.bulk_gets == len(remote_owners)
+
+    def test_duplicate_keys_ride_the_aggregate_once(self, runtime, table):
+        keys = self._fill(runtime, table)
+        remote = next(key for key in keys
+                      if table.owner_of(key) != runtime.contexts[1].me)
+        ctx = runtime.contexts[1]
+        table.lookup_many(ctx, [remote] * 10)
+        assert ctx.stats.bulk_gets == 1
+        assert ctx.stats.bulk_items == 1  # deduplicated within the batch
+
+    def test_cache_counters_match_fine_grained_order(self, runtime, table):
+        keys = self._fill(runtime, table)
+        probe = keys + keys[:10]  # second pass over a prefix -> cache hits
+        cache_a = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20)
+        cache_b = SoftwareCache(runtime, capacity_bytes_per_node=1 << 20)
+        table.lookup_many(runtime.contexts[1], probe, cache=cache_a)
+        for key in probe:
+            table.lookup(runtime.contexts[1], key, cache=cache_b)
+        batched, fine = cache_a.total_stats(), cache_b.total_stats()
+        assert (batched.hits, batched.misses, batched.insertions,
+                batched.evictions) == (fine.hits, fine.misses,
+                                       fine.insertions, fine.evictions)
+
+    def test_batched_lookup_cheaper_than_fine_grained(self, runtime, table):
+        keys = self._fill(runtime, table)
+        batched_ctx, fine_ctx = runtime.contexts[1], runtime.contexts[3]
+        table.lookup_many(batched_ctx, keys)
+        for key in keys:
+            table.lookup(fine_ctx, key)
+        assert batched_ctx.stats.comm_time < fine_ctx.stats.comm_time
+
+    def test_empty_batch(self, runtime, table):
+        assert table.lookup_many(runtime.contexts[0], []) == []
+
+
 class TestBalance:
     def test_keys_spread_over_ranks(self, runtime, table):
         ctx = runtime.contexts[0]

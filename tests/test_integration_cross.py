@@ -9,7 +9,6 @@ from repro.core.config import AlignerConfig
 from repro.core.pipeline import MerAligner
 from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
 from repro.io.sam import write_sam
-from repro.pgas.cost_model import EDISON_LIKE
 
 
 @pytest.fixture(scope="module")

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.pgas.cost_model import EDISON_LIKE, MachineModel
-from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime, estimate_nbytes
 from repro.pgas.shared import SharedArray
 
 
@@ -25,9 +25,25 @@ class TestEstimateNbytes:
     def test_numpy(self):
         assert estimate_nbytes(np.zeros(10, dtype=np.int64)) == 80
 
+    def test_strings_and_bytes(self):
+        assert estimate_nbytes("") == 0
+        assert estimate_nbytes("A" * 137) == 137
+        assert estimate_nbytes(bytearray(b"xyz")) == 3
+
     def test_containers(self):
         assert estimate_nbytes(["AC", "GT"]) == 2 + 2 + 16
-        assert estimate_nbytes({"k": "vv"}) == 1 + 2
+        assert estimate_nbytes(("AC", "GT")) == 2 + 2 + 16
+        assert estimate_nbytes({"AC"}) == 2 + 8
+        assert estimate_nbytes([]) == 0
+
+    def test_dict_charges_per_element_header_like_lists(self):
+        # One 8-byte header per entry, matching list/tuple/set accounting.
+        assert estimate_nbytes({"k": "vv"}) == 1 + 2 + 8
+        assert estimate_nbytes({}) == 0
+        assert estimate_nbytes({"a": "b", "cc": "dd"}) == (1 + 1) + (2 + 2) + 16
+
+    def test_nested_containers(self):
+        assert estimate_nbytes([["AC"], {"G": "T"}]) == (2 + 8) + (1 + 1 + 8) + 16
 
     def test_object_with_nbytes_attr(self):
         class Blob:
@@ -124,6 +140,83 @@ class TestOneSidedOps:
             runtime.contexts[0].barrier()
 
 
+class TestBulkOps:
+    def test_get_many_returns_values_in_request_order(self, runtime):
+        runtime.heap.alloc(5, "kv", {})
+        runtime.heap.alloc(6, "kv", {})
+        ctx5, ctx0 = runtime.contexts[5], runtime.contexts[0]
+        ctx5.put(5, "kv", "a", "AA")
+        ctx5.put(6, "kv", "b", "BBB")
+        ctx5.put(5, "kv", "c", "CCCC")
+        values = ctx0.get_many([(5, "kv", "a"), (6, "kv", "b"), (5, "kv", "c")])
+        assert values == ["AA", "BBB", "CCCC"]
+
+    def test_get_many_charges_one_message_per_destination(self, runtime):
+        runtime.heap.alloc(5, "kv", {})
+        runtime.heap.alloc(6, "kv", {})
+        writer = runtime.contexts[5]
+        for rank, key in ((5, "a"), (5, "b"), (6, "c"), (6, "d"), (6, "e")):
+            writer.put(rank, "kv", key, "x" * 100)
+        ctx = runtime.contexts[0]
+        ctx.get_many([(5, "kv", "a"), (5, "kv", "b"), (6, "kv", "c"),
+                      (6, "kv", "d"), (6, "kv", "e")])
+        assert ctx.stats.gets == 2  # one aggregate per owner, not 5
+        assert ctx.stats.bulk_gets == 2
+        assert ctx.stats.bulk_items == 5
+        assert ctx.stats.bytes_get == 500
+        assert ctx.stats.off_node_ops == 2
+
+    def test_get_many_cheaper_than_fine_grained_gets(self, runtime):
+        runtime.heap.alloc(7, "kv", {})
+        writer = runtime.contexts[7]
+        keys = [f"k{i}" for i in range(50)]
+        for key in keys:
+            writer.put(7, "kv", key, "x" * 64)
+        bulk_ctx, fine_ctx = runtime.contexts[0], runtime.contexts[1]
+        bulk_ctx.get_many([(7, "kv", key) for key in keys])
+        for key in keys:
+            fine_ctx.get(7, "kv", key)
+        assert bulk_ctx.stats.comm_time < fine_ctx.stats.comm_time
+        assert bulk_ctx.stats.bytes_get == fine_ctx.stats.bytes_get
+
+    def test_get_many_dedupes_repeated_requests(self, runtime):
+        runtime.heap.alloc(5, "kv", {})
+        writer = runtime.contexts[5]
+        writer.put(5, "kv", "a", "x" * 100)
+        ctx = runtime.contexts[0]
+        values = ctx.get_many([(5, "kv", "a")] * 6)
+        assert values == ["x" * 100] * 6
+        assert ctx.stats.bulk_items == 1
+        assert ctx.stats.bytes_get == 100
+
+    def test_get_many_missing_key(self, runtime):
+        runtime.heap.alloc(1, "kv", {})
+        ctx = runtime.contexts[0]
+        with pytest.raises(KeyError):
+            ctx.get_many([(1, "kv", "absent")])
+        assert ctx.get_many([(1, "kv", "absent")], missing_ok=True,
+                            default=7) == [7]
+
+    def test_put_many_stores_and_returns_pointers(self, runtime):
+        runtime.heap.alloc(4, "kv", {})
+        runtime.heap.alloc(5, "kv", {})
+        ctx = runtime.contexts[0]
+        pointers = ctx.put_many([(4, "kv", "a", "VV"), (5, "kv", "b", "WWW"),
+                                 (4, "kv", "c", "XXXX")])
+        assert [p.owner for p in pointers] == [4, 5, 4]
+        assert runtime.heap.segment(4, "kv")["a"] == "VV"
+        assert runtime.heap.segment(5, "kv")["b"] == "WWW"
+        assert ctx.stats.puts == 2  # one aggregate per destination
+        assert ctx.stats.bulk_puts == 2
+        assert ctx.stats.bytes_put == 2 + 3 + 4
+
+    def test_empty_bulk_requests(self, runtime):
+        ctx = runtime.contexts[0]
+        assert ctx.get_many([]) == []
+        assert ctx.put_many([]) == []
+        assert ctx.stats.messages == 0
+
+
 class TestRunSpmd:
     def test_plain_function(self, runtime):
         result = runtime.run_spmd(lambda ctx: ctx.me * 2, phase_name="double")
@@ -179,6 +272,36 @@ class TestRunSpmd:
         with pytest.raises(KeyError):
             result.phase("missing")
         assert result.phase_elapsed("only") >= 0.0
+
+    def test_per_rank_stats_are_per_invocation_deltas(self, runtime):
+        """Regression: run_spmd used to hand back the contexts' *cumulative*
+        CommStats, so a second invocation on the same runtime reported the
+        first invocation's traffic too."""
+        runtime.heap.alloc_all("kv", lambda rank: {})
+
+        def program(ctx):
+            ctx.put((ctx.me + 1) % ctx.n_ranks, "kv", "k", "v" * 10)
+
+        first = runtime.run_spmd(program, phase_name="first")
+        second = runtime.run_spmd(program, phase_name="second")
+        assert first.total_stats.puts == 8
+        assert second.total_stats.puts == 8  # not 16
+        assert second.total_stats.bytes_put == 80
+        assert second.per_rank_stats[0].puts == 1
+        # The runtime's cumulative view still covers both invocations.
+        assert runtime.total_stats.puts == 16
+
+    def test_per_rank_stats_category_times_are_deltas(self, runtime):
+        runtime.heap.alloc_all("kv", lambda rank: {})
+
+        def program(ctx):
+            ctx.put((ctx.me + 1) % ctx.n_ranks, "kv", "k", "v", category="probe")
+
+        first = runtime.run_spmd(program, phase_name="a")
+        second = runtime.run_spmd(program, phase_name="b")
+        first_probe = first.per_rank_stats[0].time_by_category["probe"]
+        second_probe = second.per_rank_stats[0].time_by_category["probe"]
+        assert second_probe == pytest.approx(first_probe)
 
     def test_total_stats_aggregates_ranks(self, runtime):
         runtime.heap.alloc_all("kv", lambda rank: {})
