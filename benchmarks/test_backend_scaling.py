@@ -1,0 +1,150 @@
+"""Backend scaling: measured wall-clock of the aligning phase per execution
+backend.
+
+Unlike the figure benchmarks (which report *modelled* seconds from the
+machine model -- identical on every backend by construction), this benchmark
+measures *host wall-clock* time: how long the cooperative in-process driver
+and the true multiprocess backend actually take to run the aligning phase on
+the machine executing the suite.
+
+The interesting quantity is the process-backend speedup over cooperative at
+4 ranks.  It is bounded by the physical core count: on a >= 4-core host the
+numpy-heavy Smith-Waterman sweeps of the four rank processes run on four
+cores and the target is >= 2x; on fewer cores the processes time-share and no
+parallel speedup is physically possible (the report records the host's core
+count next to the measurement so the number can be read in context).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.pgas.cost_model import LAPTOP_LIKE
+
+from conftest import format_table, write_report
+
+RANK_POINTS = [1, 2, 4]
+BACKENDS = ["cooperative", "process"]
+
+#: Single-node machine model: all ranks on one node, like the host really is.
+MACHINE = LAPTOP_LIKE
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def scaling_dataset():
+    """Compute-dense dataset: enough sequencing errors that most reads take
+    the full seed-and-extend path (real Smith-Waterman work per rank)."""
+    spec = GenomeSpec(name="scaling", genome_length=40_000, n_contigs=60,
+                      repeat_fraction=0.05, repeat_unit_length=250,
+                      min_contig_length=250)
+    reads = ReadSetSpec(coverage=3.0, read_length=100, error_rate=0.02)
+    return make_dataset(spec, reads, seed=202)
+
+
+@pytest.fixture(scope="module")
+def scaling_config():
+    """Bulk-batched engine: windows of reads per aggregated heap message,
+    which is the configuration that keeps the multiprocess backend's channel
+    traffic amortised (the fine-grained engine pays one message per lookup)."""
+    from repro.core.config import AlignerConfig
+    return AlignerConfig(seed_length=21, fragment_length=1500,
+                         seed_cache_bytes_per_node=4 * 1024 * 1024,
+                         target_cache_bytes_per_node=2 * 1024 * 1024,
+                         use_bulk_lookups=True, lookup_batch_size=256)
+
+
+def align_wall_seconds(report) -> float:
+    return report.phase("align_reads").wall_seconds
+
+
+@pytest.mark.benchmark(group="backend_scaling")
+def test_backend_scaling(benchmark, scaling_dataset, scaling_config):
+    genome, reads = scaling_dataset
+    cores = usable_cores()
+
+    def experiment():
+        results: dict[tuple[str, int], tuple[float, float]] = {}
+        signatures: dict[tuple[str, int], tuple] = {}
+        for backend in BACKENDS:
+            for ranks in RANK_POINTS:
+                start = time.perf_counter()
+                report = MerAligner(scaling_config).run(
+                    genome.contigs, reads, n_ranks=ranks, machine=MACHINE,
+                    backend=backend)
+                total = time.perf_counter() - start
+                results[(backend, ranks)] = (align_wall_seconds(report), total)
+                signatures[(backend, ranks)] = (
+                    report.counters.reads_aligned,
+                    report.counters.alignments_reported,
+                    tuple((a.query_name, a.target_id, a.score, a.target_start)
+                          for a in report.alignments[:50]))
+        return results, signatures
+
+    results, signatures = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    # Correctness on every host: all backends agree at every rank count.
+    for ranks in RANK_POINTS:
+        reference = signatures[("cooperative", ranks)]
+        for backend in BACKENDS:
+            assert signatures[(backend, ranks)] == reference, \
+                f"{backend} diverged at {ranks} ranks"
+
+    speedups = {ranks: results[("cooperative", ranks)][0]
+                / results[("process", ranks)][0]
+                for ranks in RANK_POINTS}
+    rows = []
+    for ranks in RANK_POINTS:
+        coop_align, coop_total = results[("cooperative", ranks)]
+        proc_align, proc_total = results[("process", ranks)]
+        rows.append([ranks, coop_align, proc_align, speedups[ranks],
+                     coop_total, proc_total])
+
+    lines = [
+        "Backend scaling: measured wall-clock of the aligning phase",
+        f"host: {cores} usable core(s); dataset: "
+        f"{len(genome.contigs)} contigs, {len(reads)} reads; "
+        "bulk-batched engine (window = "
+        f"{scaling_config.lookup_batch_size})", "",
+    ]
+    lines += format_table(
+        ["ranks", "cooperative align (s)", "process align (s)",
+         "process speedup", "coop total (s)", "process total (s)"], rows)
+    lines += [
+        "",
+        f"process-backend speedup over cooperative at 4 ranks "
+        f"(alignment phase): {speedups[4]:.2f}x",
+        "target: >= 2x on a >= 4-core host (the four rank processes run "
+        "Smith-Waterman on four cores; the cooperative driver is serial).",
+    ]
+    if cores < 4:
+        lines += [
+            f"NOTE: this host exposes only {cores} core(s), so the rank "
+            "processes time-share one CPU and no wall-clock speedup is "
+            "physically possible here; the measurement records the channel "
+            "overhead instead.  Re-run on >= 4 cores for the scaling result.",
+        ]
+    write_report("backend_scaling", lines)
+
+    # Shape assertions.  Cross-backend agreement is asserted above
+    # unconditionally.  The wall-clock target is asserted only when
+    # explicitly armed (the dedicated CI job sets REPRO_ASSERT_BACKEND_SCALING
+    # on a known >= 4-core runner): real wall-clock on a shared tier-1 runner
+    # is too noisy to gate every unrelated change on.
+    if os.environ.get("REPRO_ASSERT_BACKEND_SCALING") and cores >= 4:
+        assert speedups[4] >= 2.0, (
+            f"expected >= 2x at 4 ranks on a {cores}-core host, "
+            f"measured {speedups[4]:.2f}x")
+        # More ranks must help the process backend itself.
+        assert results[("process", 4)][0] < results[("process", 1)][0]

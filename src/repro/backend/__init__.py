@@ -1,0 +1,96 @@
+"""Pluggable execution backends for the SPMD runtime.
+
+A backend decides how the ranks of a :class:`~repro.pgas.runtime.PgasRuntime`
+execute an SPMD function; the runtime, the aligner pipeline and the CLI all
+select one by name through this registry:
+
+``cooperative``
+    The deterministic in-process driver (the default and the reference for
+    byte-identical alignments).
+``threaded``
+    One real OS thread per rank with a real barrier (absorbs the legacy
+    :class:`~repro.pgas.executor.ThreadedExecutor`).
+``process``
+    One forked OS process per rank; numeric heap segments live in
+    ``multiprocessing.shared_memory`` and object segments are served through
+    per-rank message channels, so numpy-heavy phases run in true parallel.
+
+``resolve_backend`` accepts a registered name or a ready
+:class:`~repro.backend.base.ExecutionBackend` instance; the environment
+variable ``REPRO_BACKEND`` supplies the default for the aligner pipeline and
+CLI (see :func:`default_backend_name`), which is how CI runs the whole suite
+under the process backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.backend.base import BackendUnavailableError, ExecutionBackend
+from repro.backend.cooperative import CooperativeBackend
+from repro.backend.process import ProcessBackend
+from repro.backend.threaded import ThreadedBackend
+
+_REGISTRY: dict[str, Callable[[], ExecutionBackend]] = {}
+_INSTANCES: dict[str, ExecutionBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    """Register a backend *factory* under *name* (last registration wins)."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Names of every registered backend, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """The (cached) backend instance registered under *name*."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown execution backend {name!r}; "
+                       f"available: {', '.join(available_backends())}") from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def resolve_backend(spec: "str | ExecutionBackend") -> ExecutionBackend:
+    """Resolve a backend name or pass an instance through."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        return get_backend(spec)
+    raise TypeError(f"backend must be a name or an ExecutionBackend, "
+                    f"got {type(spec).__name__}")
+
+
+def default_backend_name() -> str:
+    """Backend the aligner pipeline and CLI use when none is given.
+
+    Reads ``REPRO_BACKEND`` from the environment (so a whole test run can be
+    pointed at another backend) and falls back to ``cooperative``.
+    """
+    return os.environ.get("REPRO_BACKEND", "").strip() or "cooperative"
+
+
+register_backend("cooperative", CooperativeBackend)
+register_backend("threaded", ThreadedBackend)
+register_backend("process", ProcessBackend)
+
+__all__ = [
+    "BackendUnavailableError",
+    "CooperativeBackend",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "ThreadedBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,243 @@
+"""The execution-backend interface and the shared SPMD driving machinery.
+
+An :class:`ExecutionBackend` decides *how* the ranks of a
+:class:`~repro.pgas.runtime.PgasRuntime` execute an SPMD function -- one
+after another in the calling process (``cooperative``), on real OS threads
+(``threaded``) or on real OS processes with the heap served over shared
+memory and message channels (``process``).  Every backend presents the same
+contract to :meth:`~repro.pgas.runtime.PgasRuntime.run_spmd`:
+
+* the SPMD function runs once per rank against its persistent
+  :class:`~repro.pgas.runtime.RankContext`;
+* a generator function barriers at every ``yield`` (optionally labelling the
+  phase that just completed), a plain function is one phase;
+* after the run, the runtime's :class:`~repro.pgas.trace.PhaseTrace` list,
+  per-rank virtual clocks and :class:`~repro.pgas.cost_model.CommStats` look
+  exactly as if the deterministic cooperative driver had executed the ranks
+  (barrier wait time synchronised to the slowest rank, one barrier charge per
+  phase), so reports are comparable across backends;
+* each recorded phase additionally carries the *measured* wall-clock duration
+  (``PhaseTrace.wall_seconds``), which is where real backends show real
+  speedups.
+
+The helpers in this module -- :func:`drive_rank`,
+:func:`assemble_phase_specs`, :func:`replay_barriers`,
+:func:`raise_rank_failures` -- implement the parts every real-parallel
+backend shares: stepping a rank's generator between real barriers while
+snapshotting its virtual clock, reconstructing cooperative-equivalent phase
+traces from those snapshots, and turning per-rank failures into one
+descriptive exception instead of silently returning garbage.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.pgas.trace import PhaseTrace, TimeBreakdown
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a backend cannot run on this platform (e.g. no fork)."""
+
+
+class ExecutionBackend(ABC):
+    """Strategy object running one SPMD invocation on a runtime."""
+
+    #: Registry name of the backend (set by subclasses).
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, runtime, fn: Callable[..., Any], args: tuple,
+                phase_name: str | None = None) -> list[Any]:
+        """Run ``fn(ctx, *args)`` on every rank of *runtime*.
+
+        Returns per-rank results in rank order.  Implementations must append
+        the run's :class:`PhaseTrace` records to ``runtime.phases`` and leave
+        the rank contexts' clocks and stats updated with cooperative-
+        equivalent barrier accounting.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass
+class RankRun:
+    """Everything one rank's execution produced, for post-run assembly.
+
+    ``marks`` holds one entry per ``yield`` (barrier): the phase label, the
+    rank's cumulative virtual-clock snapshot, and the host wall-clock mark.
+    Snapshots are cumulative (they include state from earlier ``run_spmd``
+    invocations on the same runtime) so phase deltas are formed against
+    ``start_snapshot``.
+    """
+
+    result: Any = None
+    marks: list[tuple[str | None, TimeBreakdown, float]] = field(default_factory=list)
+    start_snapshot: TimeBreakdown = field(default_factory=TimeBreakdown)
+    start_wall: float = 0.0
+    final_snapshot: TimeBreakdown = field(default_factory=TimeBreakdown)
+    final_wall: float = 0.0
+    is_generator: bool = True
+
+
+@dataclass
+class RankFailure:
+    """One rank's failure, as collected by a real-parallel backend."""
+
+    rank: int
+    error: BaseException | None
+    traceback: str | None = None
+    is_barrier: bool = False
+
+
+def drive_rank(ctx, fn: Callable[..., Any], args: tuple,
+               barrier: Callable[[], None]) -> RankRun:
+    """Run one rank's SPMD function, calling *barrier* at every ``yield``.
+
+    This is the real-parallel equivalent of the cooperative generator driver:
+    the virtual clock is snapshotted immediately before each barrier so the
+    caller can reconstruct per-phase time breakdowns afterwards.
+    """
+    run = RankRun(start_snapshot=ctx.clock.snapshot(),
+                  start_wall=time.perf_counter())
+    if inspect.isgeneratorfunction(fn):
+        generator = fn(ctx, *args)
+        while True:
+            try:
+                label = next(generator)
+            except StopIteration as stop:
+                run.result = stop.value
+                break
+            run.marks.append((label if isinstance(label, str) else None,
+                              ctx.clock.snapshot(), time.perf_counter()))
+            barrier()
+    else:
+        run.is_generator = False
+        run.result = fn(ctx, *args)
+    run.final_snapshot = ctx.clock.snapshot()
+    run.final_wall = time.perf_counter()
+    return run
+
+
+def assemble_phase_specs(runs: list[RankRun], fallback_name: str
+                         ) -> list[tuple[str, list[TimeBreakdown], float]]:
+    """Turn per-rank :class:`RankRun` records into cooperative-style phases.
+
+    Returns ``[(name, per_rank_deltas, wall_seconds), ...]``, one entry per
+    barrier round plus -- exactly as the cooperative driver does -- a trailing
+    phase when any rank performed work after its final ``yield`` (always, for
+    plain functions, which are a single phase).
+    """
+    rounds = len(runs[0].marks)
+    if any(len(run.marks) != rounds for run in runs):
+        counts = [len(run.marks) for run in runs]
+        raise RuntimeError(
+            f"ranks reached different barrier counts {counts}: every rank "
+            "must yield the same number of times under a real-parallel backend")
+    specs: list[tuple[str, list[TimeBreakdown], float]] = []
+    prev_snaps = [run.start_snapshot for run in runs]
+    prev_walls = [run.start_wall for run in runs]
+    for index in range(rounds):
+        deltas = [run.marks[index][1] - prev
+                  for run, prev in zip(runs, prev_snaps)]
+        label = next((run.marks[index][0] for run in runs
+                      if run.marks[index][0] is not None), None)
+        wall = max(run.marks[index][2] - prev
+                   for run, prev in zip(runs, prev_walls))
+        specs.append((label or f"phase{index}", deltas, wall))
+        prev_snaps = [run.marks[index][1] for run in runs]
+        prev_walls = [run.marks[index][2] for run in runs]
+    trailing = [run.final_snapshot - prev for run, prev in zip(runs, prev_snaps)]
+    plain = not all(run.is_generator for run in runs)
+    if plain or any(delta.total > 0 for delta in trailing):
+        wall = max(run.final_wall - prev for run, prev in zip(runs, prev_walls))
+        name = fallback_name if plain and rounds == 0 else f"phase{rounds}"
+        specs.append((name, trailing, wall))
+    return specs
+
+
+def replay_barriers(runtime, runs: list[RankRun],
+                    specs: list[tuple[str, list[TimeBreakdown], float]]) -> None:
+    """Record *specs* as phases and apply cooperative barrier accounting.
+
+    The rank contexts must already carry the in-phase work (threads run on
+    them live; the process backend merges worker deltas first).  This adds
+    what the cooperative driver's ``_barrier`` would have added after every
+    phase: wait-to-the-slowest-rank time on the virtual clock, one barrier
+    charge in comm time, one barrier count.
+    """
+    n_barriers = len(specs)
+    barrier_cost = runtime.machine.barrier_time(runtime.n_ranks)
+    now = [run.start_snapshot.total for run in runs]
+    clock_adjustments = [0.0] * runtime.n_ranks
+    for name, deltas, wall in specs:
+        runtime.phases.append(PhaseTrace(name=name, per_rank=deltas,
+                                         wall_seconds=wall))
+        for rank in range(runtime.n_ranks):
+            now[rank] += deltas[rank].total
+        latest = max(now)
+        for rank in range(runtime.n_ranks):
+            clock_adjustments[rank] += (latest - now[rank]) + barrier_cost
+            now[rank] = latest + barrier_cost
+    for ctx, adjustment in zip(runtime.contexts, clock_adjustments):
+        if adjustment > 0:
+            ctx.clock.charge_comm(adjustment)
+        ctx.stats.comm_time += barrier_cost * n_barriers
+        ctx.stats.barriers += n_barriers
+
+
+def raise_rank_failures(failures: list[RankFailure], backend_name: str) -> None:
+    """Raise the most informative exception for a set of rank failures.
+
+    A genuine application error wins; if *every* failing rank only saw a
+    ``BrokenBarrierError`` (the symptom, not the cause -- e.g. a barrier-count
+    mismatch or a barrier timeout) a descriptive error is raised instead of
+    letting the caller receive a garbage all-``None`` result list.
+    """
+    if not failures:
+        return
+    real = [failure for failure in failures if not failure.is_barrier]
+    if real:
+        failure = real[0]
+        error = failure.error or RuntimeError(
+            f"rank {failure.rank} failed under the {backend_name} backend")
+        if failure.traceback and hasattr(error, "add_note"):
+            error.add_note(f"(rank {failure.rank} traceback under the "
+                           f"{backend_name} backend)\n{failure.traceback}")
+        raise error
+    broken = sorted(failure.rank for failure in failures)
+    raise RuntimeError(
+        f"ranks {broken} all failed with BrokenBarrierError under the "
+        f"{backend_name} backend and no originating error was captured. "
+        "This usually means a barrier-count mismatch (some rank finished "
+        "early or yielded a different number of times) or a rank deadlocked "
+        "past the barrier timeout.")
+
+
+def barrier_waiter(barrier, timeout: float | None) -> Callable[[], None]:
+    """A ``wait`` callable for a threading/multiprocessing barrier.
+
+    The timeout turns a deadlocked barrier (count mismatch, hung rank) into a
+    ``BrokenBarrierError`` so the run fails fast instead of hanging forever.
+    """
+    def wait() -> None:
+        barrier.wait(timeout=timeout)
+    return wait
+
+
+__all__ = [
+    "BackendUnavailableError",
+    "ExecutionBackend",
+    "RankFailure",
+    "RankRun",
+    "assemble_phase_specs",
+    "barrier_waiter",
+    "drive_rank",
+    "raise_rank_failures",
+    "replay_barriers",
+]

@@ -1,0 +1,34 @@
+"""The cooperative execution backend: the deterministic in-process driver.
+
+Ranks run one after another within each phase inside the calling process.
+This is safe because merAligner's SPMD functions only use one-sided
+operations between barriers, and it is the reference backend: the threaded
+and process backends are required to reproduce its alignments byte for byte.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Any, Callable
+
+from repro.backend.base import ExecutionBackend
+
+
+class CooperativeBackend(ExecutionBackend):
+    """Runs every rank cooperatively in the calling process."""
+
+    name = "cooperative"
+
+    def execute(self, runtime, fn: Callable[..., Any], args: tuple,
+                phase_name: str | None = None) -> list[Any]:
+        if inspect.isgeneratorfunction(fn):
+            return runtime._run_generators(fn, args)
+        name = phase_name or getattr(fn, "__name__", "phase")
+        wall_start = time.perf_counter()
+        before = [ctx.clock.snapshot() for ctx in runtime.contexts]
+        results = [fn(ctx, *args) for ctx in runtime.contexts]
+        runtime._record_phase(name, before,
+                              wall_seconds=time.perf_counter() - wall_start)
+        runtime._barrier()
+        return results

@@ -1,0 +1,548 @@
+"""The multiprocess execution backend: one OS process per rank.
+
+This is the backend that turns the modelled strong-scaling results into real
+wall-clock speedups: every rank is a forked OS process, so the numpy-heavy
+Smith-Waterman sweeps and bulk fetches of different ranks genuinely run in
+parallel on different cores (no GIL).
+
+Shared-heap architecture
+------------------------
+
+* **Numeric segments** (:class:`~repro.pgas.shared.SharedArray`) are promoted
+  into ``multiprocessing.shared_memory`` blocks before the workers fork, so
+  every process addresses the *same* physical pages; reads and writes are
+  direct loads/stores, and ``fetch_add`` round-trips through the heap server
+  for atomicity (it is modelled as a network atomic anyway).
+* **Object segments** (key/value stores, hash-table partitions, local-shared
+  stacks) stay authoritative in the driver process and are *served through
+  per-rank message channels*: each worker owns a duplex pipe to a heap-server
+  thread in the driver, over which it issues the same access verbs
+  (``load``/``store``/``apply``/...) the in-process
+  :class:`~repro.pgas.shared.SharedHeap` exposes.  Batched call sites
+  (``lookup_many``, ``fetch_many``, ``get_many``) collapse a whole window of
+  accesses into a single message, mirroring the paper's aggregation story.
+* Results, per-phase clock snapshots, communication statistics and registered
+  *gatherables* (e.g. software-cache statistics) ship back over the channel
+  when a rank finishes; the driver then replays cooperative barrier
+  accounting so reports are comparable across backends.
+
+Because the workers are forked, SPMD closures, read sets and index objects
+are inherited copy-on-write for free; only heap traffic crosses process
+boundaries.  The backend requires the ``fork`` start method (Linux/macOS
+CPython builds that support it) and fails with
+:class:`~repro.backend.base.BackendUnavailableError` elsewhere.
+
+Caveats (documented, by design): per-*node* software caches degrade to
+per-*rank* caches (each worker fills its own copy; statistics are gathered
+back, cached entries are not), and driver-side convenience mirrors such as
+``TargetStore.directory`` are not populated by worker writes -- everything
+the report reads goes through the authoritative heap and is exact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Any, Callable, Hashable
+
+from repro.backend.base import (BackendUnavailableError, ExecutionBackend,
+                                RankFailure, RankRun, assemble_phase_specs,
+                                barrier_waiter, drive_rank,
+                                raise_rank_failures, replay_barriers)
+from repro.pgas.shared import SharedArray, SharedHeap
+
+
+# ---------------------------------------------------------------------------
+# Worker-side heap client
+# ---------------------------------------------------------------------------
+
+class _KVProxy:
+    """Dictionary-style view of a remote key/value segment."""
+
+    __slots__ = ("_heap", "_rank", "_name")
+
+    def __init__(self, heap: "_WorkerHeap", rank: int, name: str) -> None:
+        self._heap = heap
+        self._rank = rank
+        self._name = name
+
+    def __getitem__(self, key: Hashable) -> Any:
+        return self._heap.load(self._rank, self._name, key)
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self._heap.store(self._rank, self._name, key, value)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._heap.contains(self._rank, self._name, key)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        return self._heap.load(self._rank, self._name, key, default=default,
+                               missing_ok=True)
+
+
+class _WorkerHeap:
+    """The worker process's view of the shared heap.
+
+    :class:`SharedArray` segments are served from the inherited (or attached)
+    shared-memory views; everything else is forwarded over the rank's message
+    channel to the heap server in the driver process.
+    """
+
+    def __init__(self, conn, inherited: SharedHeap) -> None:
+        self._conn = conn
+        self._n_ranks = inherited.n_ranks
+        self._arrays: dict[tuple[int, str], SharedArray] = {}
+        for rank, name, obj in inherited.iter_segments():
+            if isinstance(obj, SharedArray):
+                self._arrays[(rank, name)] = obj
+        self._attached_shm: list[shared_memory.SharedMemory] = []
+        self.lock = threading.Lock()  # API parity with SharedHeap
+
+    @property
+    def n_ranks(self) -> int:
+        return self._n_ranks
+
+    # -- channel ------------------------------------------------------------
+
+    def _rpc(self, *message: Any) -> Any:
+        self._conn.send(message)
+        status, payload = self._conn.recv()
+        if status == "err":
+            raise payload
+        return payload
+
+    # -- verb surface (mirrors SharedHeap) ----------------------------------
+
+    def load(self, owner: int, segment: str, key: Hashable,
+             default: Any = None, missing_ok: bool = False) -> Any:
+        array = self._arrays.get((owner, segment))
+        if array is not None:
+            return array[key]
+        return self._rpc("load", owner, segment, key, default, missing_ok)
+
+    def load_many(self, requests: list[tuple[int, str, Hashable]],
+                  default: Any = None, missing_ok: bool = False) -> list[Any]:
+        if any((owner, segment) in self._arrays for owner, segment, _ in requests):
+            return [self.load(owner, segment, key, default=default,
+                              missing_ok=missing_ok)
+                    for owner, segment, key in requests]
+        return self._rpc("load_many", requests, default, missing_ok)
+
+    def store(self, owner: int, segment: str, key: Hashable, value: Any) -> None:
+        array = self._arrays.get((owner, segment))
+        if array is not None:
+            array[key] = value
+            return
+        self._rpc("store", owner, segment, key, value)
+
+    def store_many(self, requests: list[tuple[int, str, Hashable, Any]]) -> None:
+        if any((owner, segment) in self._arrays for owner, segment, _, _ in requests):
+            for owner, segment, key, value in requests:
+                self.store(owner, segment, key, value)
+            return
+        self._rpc("store_many", requests)
+
+    def contains(self, owner: int, segment: str, key: Hashable) -> bool:
+        return self._rpc("contains", owner, segment, key)
+
+    def apply(self, owner: int, segment: str, fn: Callable[..., Any],
+              *args: Any) -> Any:
+        return self._rpc("apply", owner, segment, fn, args)
+
+    def apply_many(self, requests: list[tuple[int, str, Callable[..., Any], tuple]]
+                   ) -> list[Any]:
+        return self._rpc("apply_many", requests)
+
+    def fetch_add(self, owner: int, segment: str, index: int, amount: int = 1) -> int:
+        # Always via the server: atomicity across processes.
+        return self._rpc("fetch_add", owner, segment, index, amount)
+
+    def wire_nbytes(self, owner: int, segment: str, key: Hashable,
+                    value: Any) -> int:
+        from repro.pgas.runtime import estimate_nbytes
+        array = self._arrays.get((owner, segment))
+        if array is not None:
+            return array.index_nbytes(key)
+        return estimate_nbytes(value)
+
+    # -- segment addressing ---------------------------------------------------
+
+    def segment(self, rank: int, segment: str) -> Any:
+        array = self._arrays.get((rank, segment))
+        if array is not None:
+            return array
+        kind = self._rpc("kind", rank, segment)
+        if kind == "array":
+            return self._attach_array(rank, segment)
+        if kind == "kv":
+            return _KVProxy(self, rank, segment)
+        raise TypeError(
+            f"segment {segment!r} on rank {rank} holds a shared object that is "
+            "not directly addressable from a worker process; access it through "
+            "heap.apply(...)")
+
+    def _attach_array(self, rank: int, segment: str) -> SharedArray:
+        name, size, dtype = self._rpc("array_desc", rank, segment)
+        if name is None:
+            array = SharedArray(size, dtype=dtype)
+        else:
+            shm = shared_memory.SharedMemory(name=name)
+            self._attached_shm.append(shm)
+            array = SharedArray.from_buffer(size, dtype, shm.buf)
+        self._arrays[(rank, segment)] = array
+        return array
+
+    # -- allocation -----------------------------------------------------------
+
+    def alloc(self, rank: int, segment: str, obj: Any) -> Any:
+        if isinstance(obj, SharedArray):
+            self._rpc("alloc_array", rank, segment, len(obj), obj.dtype_name,
+                      obj.data.copy())
+            return self._attach_array(rank, segment)
+        kind = self._rpc("alloc", rank, segment, obj)
+        if kind == "kv":
+            return _KVProxy(self, rank, segment)
+        return obj
+
+    def alloc_all(self, segment: str, factory) -> list[Any]:
+        return [self.alloc(rank, segment, factory(rank))
+                for rank in range(self._n_ranks)]
+
+    def has_segment(self, rank: int, segment: str) -> bool:
+        if any(key == (rank, segment) for key in self._arrays):
+            return True
+        return self._rpc("has_segment", rank, segment)
+
+    def segments_named(self, segment: str) -> list[Any]:
+        return [self.segment(rank, segment) for rank in range(self._n_ranks)]
+
+    # -- GlobalPointer helpers (API parity) -----------------------------------
+
+    def read(self, ptr) -> Any:
+        return self.load(ptr.owner, ptr.segment, ptr.key)
+
+    def write(self, ptr, value: Any) -> None:
+        self.store(ptr.owner, ptr.segment, ptr.key, value)
+
+
+# ---------------------------------------------------------------------------
+# Driver-side heap server
+# ---------------------------------------------------------------------------
+
+class _HeapServer:
+    """Serves the authoritative heap to worker processes, one thread per rank."""
+
+    def __init__(self, heap: SharedHeap,
+                 shm_registry: dict[tuple[int, str], shared_memory.SharedMemory],
+                 promoted: list[tuple[SharedArray, shared_memory.SharedMemory]]) -> None:
+        self.heap = heap
+        self.shm_registry = shm_registry
+        self.promoted = promoted
+        self._alloc_lock = threading.Lock()
+
+    def dispatch(self, message: tuple) -> Any:
+        op = message[0]
+        heap = self.heap
+        if op == "load":
+            _, owner, segment, key, default, missing_ok = message
+            return heap.load(owner, segment, key, default=default,
+                             missing_ok=missing_ok)
+        if op == "load_many":
+            _, requests, default, missing_ok = message
+            return heap.load_many(requests, default=default, missing_ok=missing_ok)
+        if op == "store":
+            _, owner, segment, key, value = message
+            return heap.store(owner, segment, key, value)
+        if op == "store_many":
+            return heap.store_many(message[1])
+        if op == "contains":
+            _, owner, segment, key = message
+            return heap.contains(owner, segment, key)
+        if op == "apply":
+            _, owner, segment, fn, args = message
+            return heap.apply(owner, segment, fn, *args)
+        if op == "apply_many":
+            return heap.apply_many(message[1])
+        if op == "fetch_add":
+            _, owner, segment, index, amount = message
+            return heap.fetch_add(owner, segment, index, amount)
+        if op == "kind":
+            _, rank, segment = message
+            return _segment_kind(heap.segment(rank, segment))
+        if op == "array_desc":
+            _, rank, segment = message
+            array = heap.segment(rank, segment)
+            if not isinstance(array, SharedArray):
+                raise TypeError(f"segment {segment!r} on rank {rank} is not a "
+                                "SharedArray")
+            shm = self.shm_registry.get((rank, segment))
+            return (shm.name if shm is not None else None, len(array),
+                    array.dtype_name)
+        if op == "alloc":
+            _, rank, segment, obj = message
+            with self._alloc_lock:
+                heap.alloc(rank, segment, obj)
+            return _segment_kind(obj)
+        if op == "alloc_array":
+            _, rank, segment, size, dtype, initial = message
+            array = SharedArray(size, dtype=dtype)
+            if initial is not None and size:
+                array.data[:] = initial
+            with self._alloc_lock:
+                if array.nbytes > 0:
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=array.nbytes)
+                    array.rebind(shm.buf)
+                    self.shm_registry[(rank, segment)] = shm
+                    self.promoted.append((array, shm))
+                heap.alloc(rank, segment, array)
+            return None
+        if op == "has_segment":
+            _, rank, segment = message
+            return heap.has_segment(rank, segment)
+        raise ValueError(f"unknown heap-server operation {op!r}")
+
+    def serve(self, rank: int, conn, outcomes: list, failures: list[RankFailure],
+              failures_lock: threading.Lock) -> None:
+        """Serve one rank's channel until it reports done (or dies)."""
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                if outcomes[rank] is None:
+                    with failures_lock:
+                        failures.append(RankFailure(
+                            rank=rank,
+                            error=RuntimeError(
+                                f"rank {rank} worker process exited without "
+                                "reporting a result")))
+                return
+            op = message[0]
+            if op == "done":
+                outcomes[rank] = message[1]
+                return
+            if op == "rank_error":
+                _, error, tb, is_barrier = message
+                with failures_lock:
+                    failures.append(RankFailure(rank=rank, error=error,
+                                                traceback=tb,
+                                                is_barrier=is_barrier))
+                return
+            try:
+                reply = ("ok", self.dispatch(message))
+            except BaseException as exc:  # noqa: BLE001 - shipped to worker
+                reply = ("err", exc)
+            try:
+                conn.send(reply)
+            except Exception:
+                # Unpicklable payload or broken pipe: degrade gracefully.
+                try:
+                    conn.send(("err", RuntimeError(
+                        f"heap server could not ship the reply for {op!r}")))
+                except Exception:
+                    return
+
+
+def _segment_kind(obj: Any) -> str:
+    if isinstance(obj, SharedArray):
+        return "array"
+    if isinstance(obj, dict):
+        return "kv"
+    return "object"
+
+
+# ---------------------------------------------------------------------------
+# Worker process entry point
+# ---------------------------------------------------------------------------
+
+def _worker_main(rank: int, conn, barrier, runtime, fn, args) -> None:
+    """Body of one forked rank process (fork start method: nothing pickles)."""
+    try:
+        client = _WorkerHeap(conn, runtime.heap)
+        runtime.heap = client
+        ctx = runtime.contexts[rank]
+        ctx.heap = client
+        wait = barrier_waiter(barrier, None)
+        ctx._barrier_impl = wait
+        stats_before = ctx.stats.copy()
+        gather_before = {name: obj.gather_state()
+                         for name, obj in runtime.gatherables.items()}
+        run = drive_rank(ctx, fn, args, wait)
+        payload = {
+            "result": run.result,
+            "marks": run.marks,
+            "start_snapshot": run.start_snapshot,
+            "start_wall": run.start_wall,
+            "final_snapshot": run.final_snapshot,
+            "final_wall": run.final_wall,
+            "is_generator": run.is_generator,
+            "stats_delta": ctx.stats.delta(stats_before),
+            "gather": {name: (gather_before[name], obj.gather_state())
+                       for name, obj in runtime.gatherables.items()},
+        }
+        conn.send(("done", payload))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the driver
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        is_barrier = isinstance(exc, threading.BrokenBarrierError)
+        tb = traceback.format_exc()
+        try:
+            conn.send(("rank_error", exc, tb, is_barrier))
+        except Exception:
+            try:
+                conn.send(("rank_error", RuntimeError(f"{type(exc).__name__}: {exc}"),
+                           tb, is_barrier))
+            except Exception:
+                pass
+    finally:
+        try:
+            conn.close()
+        finally:
+            # Skip inherited atexit machinery (pytest capture, coverage, ...):
+            # everything worth flushing went over the pipe.
+            os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+def _promote_arrays(heap: SharedHeap,
+                    registry: dict[tuple[int, str], shared_memory.SharedMemory]
+                    ) -> list[tuple[SharedArray, shared_memory.SharedMemory]]:
+    """Rebind every SharedArray segment onto multiprocessing shared memory."""
+    promoted: list[tuple[SharedArray, shared_memory.SharedMemory]] = []
+    for rank, name, obj in heap.iter_segments():
+        if isinstance(obj, SharedArray) and obj.nbytes > 0:
+            shm = shared_memory.SharedMemory(create=True, size=obj.nbytes)
+            obj.rebind(shm.buf)
+            registry[(rank, name)] = shm
+            promoted.append((obj, shm))
+    return promoted
+
+
+def _demote_arrays(promoted: list[tuple[SharedArray, shared_memory.SharedMemory]]
+                   ) -> None:
+    """Copy promoted arrays back to private memory and release the blocks."""
+    for array, shm in promoted:
+        try:
+            array.unbind()
+        finally:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, BufferError):  # pragma: no cover
+                pass
+
+
+class ProcessBackend(ExecutionBackend):
+    """Runs an SPMD function on one forked OS process per rank."""
+
+    name = "process"
+
+    def __init__(self, timeout: float | None = 600.0,
+                 barrier_timeout: float | None = 120.0) -> None:
+        self.timeout = timeout
+        self.barrier_timeout = barrier_timeout
+
+    def execute(self, runtime, fn: Callable[..., Any], args: tuple,
+                phase_name: str | None = None) -> list[Any]:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise BackendUnavailableError(
+                "the process backend requires the 'fork' start method, which "
+                "this platform does not provide")
+        mp_ctx = multiprocessing.get_context("fork")
+        n = runtime.n_ranks
+        shm_registry: dict[tuple[int, str], shared_memory.SharedMemory] = {}
+        promoted = _promote_arrays(runtime.heap, shm_registry)
+        outcomes: list[dict | None] = [None] * n
+        failures: list[RankFailure] = []
+        failures_lock = threading.Lock()
+        processes: list[Any] = []
+        parent_conns: list[Any] = []
+        try:
+            barrier = mp_ctx.Barrier(n, timeout=self.barrier_timeout)
+            pipes = [mp_ctx.Pipe() for _ in range(n)]
+            for rank in range(n):
+                processes.append(mp_ctx.Process(
+                    target=_worker_main,
+                    args=(rank, pipes[rank][1], barrier, runtime, fn, args),
+                    daemon=True))
+            for process in processes:
+                process.start()
+            for parent_conn, child_conn in pipes:
+                child_conn.close()
+                parent_conns.append(parent_conn)
+            server = _HeapServer(runtime.heap, shm_registry, promoted)
+            threads = [threading.Thread(
+                target=server.serve,
+                args=(rank, parent_conns[rank], outcomes, failures, failures_lock),
+                daemon=True) for rank in range(n)]
+            for thread in threads:
+                thread.start()
+            deadline = (time.monotonic() + self.timeout
+                        if self.timeout is not None else None)
+            for thread in threads:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                thread.join(timeout=remaining)
+            if any(thread.is_alive() for thread in threads):
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+                raise TimeoutError(
+                    f"SPMD rank did not finish within the {self.name} backend "
+                    f"timeout ({self.timeout}s)")
+            for process in processes:
+                process.join(timeout=10.0)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            for conn in parent_conns:
+                conn.close()
+            _demote_arrays(promoted)
+        raise_rank_failures(failures, self.name)
+        missing = [rank for rank, outcome in enumerate(outcomes)
+                   if outcome is None]
+        if missing:
+            raise RuntimeError(
+                f"ranks {missing} exited without reporting a result under the "
+                f"{self.name} backend")
+        return self._merge(runtime, fn, outcomes, phase_name)
+
+    def _merge(self, runtime, fn, outcomes: list[dict],
+               phase_name: str | None) -> list[Any]:
+        """Fold worker results, clocks, stats and gatherables into the driver."""
+        runs: list[RankRun] = []
+        for rank, outcome in enumerate(outcomes):
+            ctx = runtime.contexts[rank]
+            work = outcome["final_snapshot"] - outcome["start_snapshot"]
+            ctx.clock.charge_compute(work.compute)
+            ctx.clock.charge_comm(work.comm)
+            ctx.clock.charge_io(work.io)
+            ctx.stats = ctx.stats.merge(outcome["stats_delta"])
+            runs.append(RankRun(
+                result=outcome["result"], marks=outcome["marks"],
+                start_snapshot=outcome["start_snapshot"],
+                start_wall=outcome["start_wall"],
+                final_snapshot=outcome["final_snapshot"],
+                final_wall=outcome["final_wall"],
+                is_generator=outcome["is_generator"]))
+        fallback = phase_name or getattr(fn, "__name__", "phase")
+        specs = assemble_phase_specs(runs, fallback)
+        replay_barriers(runtime, runs, specs)
+        for name, obj in runtime.gatherables.items():
+            pairs = [outcome["gather"][name] for outcome in outcomes
+                     if name in outcome["gather"]]
+            if pairs:
+                obj.absorb_states(pairs)
+        return [run.result for run in runs]

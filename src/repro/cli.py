@@ -24,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.backend import available_backends, default_backend_name
 from repro.baselines.bowtie_like import BowtieLikeAligner
 from repro.baselines.bwa_like import BwaLikeAligner
 from repro.baselines.pmap import PMapFramework
@@ -80,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "lookups and fragment fetches over windows of reads")
     align.add_argument("--lookup-batch-size", type=int, default=64,
                        help="reads per bulk window (with --bulk-lookups)")
+    align.add_argument("--backend",
+                       choices=sorted(available_backends()),
+                       default=None,
+                       help="execution backend: cooperative (deterministic "
+                            "in-process driver, the default), threaded (one "
+                            "OS thread per rank), or process (one OS process "
+                            "per rank with a shared-memory heap); every "
+                            "backend writes byte-identical SAM output. "
+                            "Defaults to $REPRO_BACKEND or cooperative.")
 
     compare = subparsers.add_parser(
         "compare", help="compare merAligner against the pMap-driven baselines")
@@ -131,12 +141,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_align(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    backend = args.backend or default_backend_name()
     report = MerAligner(config).run(args.targets, args.reads, n_ranks=args.ranks,
-                                    machine=EDISON_LIKE)
+                                    machine=EDISON_LIKE, backend=backend)
     contigs = read_fasta(args.targets)
     write_sam(args.output, report.alignments,
               [record.name for record in contigs],
               [len(record.sequence) for record in contigs])
+    print(f"backend: {backend} ({args.ranks} ranks)")
     print(f"aligned {report.counters.reads_aligned} / "
           f"{report.counters.reads_processed} reads "
           f"({report.counters.aligned_fraction:.1%})")

@@ -94,7 +94,8 @@ class MerAligner:
     # -- public API -------------------------------------------------------------
 
     def run(self, targets, reads, n_ranks: int = 4,
-            machine: MachineModel = EDISON_LIKE) -> AlignerReport:
+            machine: MachineModel = EDISON_LIKE,
+            backend: str | None = None) -> AlignerReport:
         """Align *reads* against *targets* on a fresh simulated machine.
 
         Args:
@@ -103,15 +104,22 @@ class MerAligner:
                 :class:`ReadRecord` objects.
             n_ranks: number of simulated ranks (cores).
             machine: machine model used for cost accounting.
+            backend: execution backend name (``cooperative``, ``threaded``,
+                ``process``); ``None`` uses the ``REPRO_BACKEND`` environment
+                variable, falling back to ``cooperative``.  Every backend
+                reports byte-identical alignments.
 
         Returns:
             The :class:`AlignerReport` of the run.
         """
         runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
-        return self.run_on_runtime(runtime, targets, reads)
+        return self.run_on_runtime(runtime, targets, reads, backend=backend)
 
-    def run_on_runtime(self, runtime: PgasRuntime, targets, reads) -> AlignerReport:
+    def run_on_runtime(self, runtime: PgasRuntime, targets, reads,
+                       backend: str | None = None) -> AlignerReport:
         """Align on an existing runtime (lets callers share a machine model)."""
+        from repro.backend import default_backend_name
+        backend = backend or default_backend_name()
         config = self.config
         target_seqs = _normalize_targets(targets)
         read_records = _normalize_reads(reads)
@@ -132,7 +140,7 @@ class MerAligner:
                 ctx, target_seqs, read_records, target_store, seed_index,
                 seed_cache, target_cache))
 
-        result = runtime.run_spmd(spmd)
+        result = runtime.run_spmd(spmd, backend=backend)
 
         counters = AlignmentCounters()
         alignments: list[Alignment] = []
@@ -158,6 +166,7 @@ class MerAligner:
                 "max_alignments_per_seed": config.max_alignments_per_seed,
                 "bulk_lookups": config.use_bulk_lookups,
                 "lookup_batch_size": config.lookup_batch_size,
+                "backend": result.backend,
             },
             alignments=alignments,
             counters=counters,
@@ -180,7 +189,7 @@ class MerAligner:
 
         # Phase 1: parallel read + fragmentation + storage of targets.
         my_target_ids = list(range(len(target_seqs)))[ctx.my_slice(len(target_seqs))]
-        my_fragments: list[tuple[GlobalPointer, int]] = []
+        my_fragments: list[tuple[GlobalPointer, object]] = []
         fragment_counter = 0
         for target_id in my_target_ids:
             sequence = target_seqs[target_id]
@@ -197,13 +206,14 @@ class MerAligner:
                                                      parent_offset, piece)
                 pointer = GlobalPointer(owner=ctx.me, segment=TargetStore.SEGMENT,
                                         key=fragment_id, nbytes=record.nbytes)
-                my_fragments.append((pointer, fragment_id))
+                my_fragments.append((pointer, record))
         yield "read_targets"
 
-        # Phase 2: extract seeds from local fragments and route them.
-        segment = ctx.heap.segment(ctx.me, TargetStore.SEGMENT)
-        for pointer, fragment_id in my_fragments:
-            seed_index.add_fragment_seeds(ctx, segment[fragment_id], pointer)
+        # Phase 2: extract seeds from this rank's own fragments (retained from
+        # phase 1 -- rereading the local segment would be uncharged anyway)
+        # and route them to their owners.
+        for pointer, record in my_fragments:
+            seed_index.add_fragment_seeds(ctx, record, pointer)
         seed_index.flush(ctx)
         yield "extract_and_store_seeds"
 

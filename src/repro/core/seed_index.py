@@ -40,6 +40,18 @@ class SeedPlacement:
     offset: int
 
 
+def _scan_duplicates(store) -> tuple[int, list[list[SeedPlacement]]]:
+    """Heap-apply body of the single-copy scan: runs where the partition
+    lives and returns (number of entries scanned, values of duplicated seeds)."""
+    n_entries = 0
+    duplicate_values: list[list[SeedPlacement]] = []
+    for entry in store.entries():
+        n_entries += 1
+        if entry.count > 1:
+            duplicate_values.append(list(entry.values))
+    return n_entries, duplicate_values
+
+
 class SeedIndex:
     """Distributed seed index over a :class:`PgasRuntime`."""
 
@@ -100,13 +112,15 @@ class SeedIndex:
         Purely local scan of this rank's partition plus one small remote put
         per affected fragment.  Returns the number of duplicate seeds found.
         """
+        n_entries, duplicate_values = ctx.heap.apply(
+            ctx.me, self.table.segment, _scan_duplicates)
+        if n_entries:
+            ctx.charge_op("lookup", n_entries)
         duplicates = 0
-        for entry in self.table.local_store(ctx.me).entries():
-            ctx.charge_op("lookup")
-            if entry.count > 1:
-                duplicates += 1
-                for placement in entry.values:
-                    store.mark_not_single_copy(ctx, placement.fragment)
+        for values in duplicate_values:
+            duplicates += 1
+            for placement in values:
+                store.mark_not_single_copy(ctx, placement.fragment)
         return duplicates
 
     # -- lookup (aligning phase) --------------------------------------------------

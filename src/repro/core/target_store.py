@@ -81,6 +81,16 @@ def fragment_target(target_id: int, sequence: str, fragment_length: int,
     return fragments
 
 
+def _clear_single_copy(segment: dict, key) -> bool:
+    """Heap-apply body of the single-copy flag flip: runs where the fragment
+    lives, returns True when the flag actually changed."""
+    record: FragmentRecord = segment[key]
+    if record.single_copy_seeds:
+        record.single_copy_seeds = False
+        return True
+    return False
+
+
 @dataclass
 class TargetDirectoryEntry:
     """Lightweight description of a fragment kept in the global directory."""
@@ -118,8 +128,7 @@ class TargetStore:
                                 parent_target_id=target_id,
                                 parent_offset=parent_offset,
                                 packed=packed)
-        segment = ctx.heap.segment(ctx.me, self.SEGMENT)
-        segment[fragment_id] = record
+        ctx.heap.store(ctx.me, self.SEGMENT, fragment_id, record)
         ctx.charge_op("base_copy", len(sequence))
         pointer = GlobalPointer(owner=ctx.me, segment=self.SEGMENT,
                                 key=fragment_id, nbytes=record.nbytes)
@@ -152,12 +161,13 @@ class TargetStore:
         """
         if pointer.owner == ctx.me:
             ctx.charge_get(pointer.owner, 0, category="target:fetch")
-            return ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
+            return ctx.heap.load(pointer.owner, self.SEGMENT, pointer.key)
         if cache is not None:
             hit, cached = cache.get(ctx, ("target", pointer.key))
             if hit:
                 return cached
-        record: FragmentRecord = ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
+        record: FragmentRecord = ctx.heap.load(pointer.owner, self.SEGMENT,
+                                               pointer.key)
         ctx.charge_get(pointer.owner, record.nbytes, category="target:fetch")
         if cache is not None:
             cache.put(ctx, ("target", pointer.key), record, record.nbytes)
@@ -172,22 +182,25 @@ class TargetStore:
         and filled in the same order, so cache hit/miss/eviction counts match
         the fine-grained path -- but remote misses are charged as **one**
         aggregated get per owning rank, and a fragment missed more than once
-        within a batch rides the aggregate transfer only once.
+        within a batch rides the aggregate transfer only once.  The whole
+        batch is prefetched with a single heap message (skipping fragments
+        the cache can serve), which keeps the bulk engine fast on the
+        multiprocess backend without perturbing the accounting loop.
         """
+        prefetched = self._prefetch(ctx, pointers, cache)
         records: list[FragmentRecord] = []
         plan = BulkTransferPlan()
         for pointer in pointers:
             if pointer.owner == ctx.me:
                 ctx.charge_get(pointer.owner, 0, category="target:fetch")
-                records.append(ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key])
+                records.append(self._read(ctx, prefetched, pointer))
                 continue
             if cache is not None:
                 hit, cached = cache.get(ctx, ("target", pointer.key))
                 if hit:
                     records.append(cached)
                     continue
-            record: FragmentRecord = ctx.heap.segment(pointer.owner,
-                                                      self.SEGMENT)[pointer.key]
+            record: FragmentRecord = self._read(ctx, prefetched, pointer)
             plan.add(pointer.owner, record.nbytes,
                      dedupe_key=(pointer.owner, pointer.key))
             if cache is not None:
@@ -196,11 +209,37 @@ class TargetStore:
         plan.charge_gets(ctx, "target:fetch")
         return records
 
+    def _prefetch(self, ctx: RankContext, pointers: list[GlobalPointer],
+                  cache) -> dict:
+        """One heap message reading every fragment the cache cannot serve."""
+        wanted: list[tuple[int, str, object]] = []
+        seen: set = set()
+        for pointer in pointers:
+            address = (pointer.owner, pointer.key)
+            if address in seen:
+                continue
+            seen.add(address)
+            if (pointer.owner != ctx.me and cache is not None
+                    and cache.peek(ctx, ("target", pointer.key))):
+                continue
+            wanted.append((pointer.owner, self.SEGMENT, pointer.key))
+        values = ctx.heap.load_many(wanted)
+        return {(owner, key): value
+                for (owner, _segment, key), value in zip(wanted, values)}
+
+    def _read(self, ctx: RankContext, prefetched: dict,
+              pointer: GlobalPointer) -> FragmentRecord:
+        record = prefetched.get((pointer.owner, pointer.key))
+        if record is None:
+            # Rare: peeked as cached but evicted within the batch.
+            record = ctx.heap.load(pointer.owner, self.SEGMENT, pointer.key)
+        return record
+
     def mark_not_single_copy(self, ctx: RankContext, pointer: GlobalPointer) -> None:
         """Clear a fragment's single-copy-seeds flag (one small remote put)."""
-        record: FragmentRecord = ctx.heap.segment(pointer.owner, self.SEGMENT)[pointer.key]
-        if record.single_copy_seeds:
-            record.single_copy_seeds = False
+        changed = ctx.heap.apply(pointer.owner, self.SEGMENT,
+                                 _clear_single_copy, pointer.key)
+        if changed:
             ctx.charge_put(pointer.owner, 1, category="target:flag")
 
     # -- driver-side inspection ----------------------------------------------------

@@ -18,9 +18,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.hashtable.distributed import DistributedHashTable
+from repro.hashtable.distributed import (DistributedHashTable,
+                                         _store_insert_batch)
 from repro.pgas.runtime import PgasRuntime, RankContext, estimate_nbytes
 from repro.pgas.shared import SharedArray
+
+
+def _stack_write(stack: "LocalSharedStack", position: int,
+                 items: list) -> None:
+    """Heap-apply body of one aggregate transfer landing in a remote stack."""
+    stack.ensure_capacity(position + len(items))
+    stack.entries[position:position + len(items)] = items
+
+
+def _stack_read(stack: "LocalSharedStack", count: int) -> list:
+    """Heap-apply body of the drain phase reading this rank's own stack."""
+    return stack.entries[:count]
 
 
 @dataclass
@@ -60,7 +73,10 @@ class AggregatingStoreBuffer:
         self.ctx = ctx
         self.table = table
         self.buffer_size = buffer_size
-        self._buffers: dict[int, list[tuple[Hashable, Any]]] = {}
+        # Buffered as (key, value, tag): the tag is the producer's arrival
+        # order, carried along so the owner's drain can insert entries in a
+        # canonical order on every execution backend.
+        self._buffers: dict[int, list[tuple[Hashable, Any, Any]]] = {}
         self.flushes = 0
         self.entries_added = 0
 
@@ -91,7 +107,7 @@ class AggregatingStoreBuffer:
         owner = self.table.owner_of(key)
         ctx.charge_op("seed_hash")
         buffer = self._buffers.setdefault(owner, [])
-        buffer.append((key, value))
+        buffer.append((key, value, self.table.insert_tag(ctx.me)))
         self.entries_added += 1
         if len(buffer) >= self.buffer_size:
             self._flush_owner(owner)
@@ -105,13 +121,13 @@ class AggregatingStoreBuffer:
         # (a)+(b): atomically reserve `count` slots in the owner's stack.
         position = ctx.fetch_add(owner, self.PTR_SEGMENT, 0, count,
                                  category="agg:fetch_add")
-        stack: LocalSharedStack = ctx.heap.segment(owner, self.STACK_SEGMENT)
-        stack.ensure_capacity(position + count)
         # (c): one aggregate one-sided transfer for the whole buffer, charged
-        # through the same bulk primitive the query-side batching uses.
-        nbytes = estimate_nbytes(buffer)
+        # through the same bulk primitive the query-side batching uses.  The
+        # wire size counts the (key, value) payload only -- the arrival-order
+        # tags are bookkeeping, not data the original implementation moves.
+        nbytes = estimate_nbytes([(key, value) for key, value, _tag in buffer])
         ctx.charge_bulk_put(owner, nbytes, count, category="agg:aggregate_put")
-        stack.entries[position:position + count] = buffer
+        ctx.heap.apply(owner, self.STACK_SEGMENT, _stack_write, position, buffer)
         self._buffers[owner] = []
         self.flushes += 1
 
@@ -129,18 +145,28 @@ class AggregatingStoreBuffer:
         entries inserted.
         """
         ctx = self.ctx
-        stack: LocalSharedStack = ctx.heap.segment(ctx.me, self.STACK_SEGMENT)
         ptr: SharedArray = ctx.heap.segment(ctx.me, self.PTR_SEGMENT)
         n_entries = int(ptr[0])
-        inserted = 0
-        for slot in range(n_entries):
-            item = stack.entries[slot]
+        items = ctx.heap.apply(ctx.me, self.STACK_SEGMENT, _stack_read,
+                               n_entries)
+        batch: list[tuple[Hashable, Any, Any]] = []
+        for item in items:
             if item is None:
                 continue
-            key, value = item
-            self.table.insert_local(ctx, key, value)
-            inserted += 1
-        return inserted
+            key, value, tag = item
+            owner = self.table.owner_of(key)
+            if owner != ctx.me:
+                raise ValueError(
+                    f"drain on rank {ctx.me} found an entry owned by rank {owner}")
+            ctx.charge_op("bucket_insert")
+            batch.append((key, value, tag))
+        if batch:
+            # One message inserts the whole drained stack into the local
+            # buckets (purely local under the cooperative driver; a single
+            # channel round-trip under the multiprocess backend).
+            ctx.heap.apply(ctx.me, self.table.segment, _store_insert_batch,
+                           batch)
+        return len(batch)
 
     # -- inspection ---------------------------------------------------------------
 

@@ -9,8 +9,9 @@ paper's "dedicate a fraction of the node's memory, trade memory for reuse".
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Hashable
 
 from repro.pgas.runtime import PgasRuntime, RankContext
@@ -45,6 +46,16 @@ class CacheStats:
             bytes_cached=self.bytes_cached + other.bytes_cached,
         )
 
+    def delta(self, baseline: "CacheStats") -> "CacheStats":
+        """Counters accumulated since *baseline* (element-wise difference)."""
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            insertions=self.insertions - baseline.insertions,
+            evictions=self.evictions - baseline.evictions,
+            bytes_cached=self.bytes_cached - baseline.bytes_cached,
+        )
+
 
 class _NodeCache:
     """LRU byte-bounded cache shared by the ranks of one node."""
@@ -54,30 +65,39 @@ class _NodeCache:
         self.entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
         self.used_bytes = 0
         self.stats = CacheStats()
+        # Ranks of one node share this cache; under the threaded backend they
+        # are real threads, so the LRU structure needs a lock.
+        self._lock = threading.Lock()
+
+    def peek(self, key: Hashable) -> bool:
+        """True if *key* is cached; no statistics, no LRU movement."""
+        return key in self.entries
 
     def get(self, key: Hashable) -> tuple[bool, Any]:
-        if key in self.entries:
-            value, _ = self.entries[key]
-            self.entries.move_to_end(key)
-            self.stats.hits += 1
-            return True, value
-        self.stats.misses += 1
-        return False, None
+        with self._lock:
+            if key in self.entries:
+                value, _ = self.entries[key]
+                self.entries.move_to_end(key)
+                self.stats.hits += 1
+                return True, value
+            self.stats.misses += 1
+            return False, None
 
     def put(self, key: Hashable, value: Any, nbytes: int) -> None:
         if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
             return
-        if key in self.entries:
-            _, old_bytes = self.entries.pop(key)
-            self.used_bytes -= old_bytes
-        while self.used_bytes + nbytes > self.capacity_bytes and self.entries:
-            _, (_, evicted_bytes) = self.entries.popitem(last=False)
-            self.used_bytes -= evicted_bytes
-            self.stats.evictions += 1
-        self.entries[key] = (value, nbytes)
-        self.used_bytes += nbytes
-        self.stats.insertions += 1
-        self.stats.bytes_cached = self.used_bytes
+        with self._lock:
+            if key in self.entries:
+                _, old_bytes = self.entries.pop(key)
+                self.used_bytes -= old_bytes
+            while self.used_bytes + nbytes > self.capacity_bytes and self.entries:
+                _, (_, evicted_bytes) = self.entries.popitem(last=False)
+                self.used_bytes -= evicted_bytes
+                self.stats.evictions += 1
+            self.entries[key] = (value, nbytes)
+            self.used_bytes += nbytes
+            self.stats.insertions += 1
+            self.stats.bytes_cached = self.used_bytes
 
 
 class SoftwareCache:
@@ -97,9 +117,36 @@ class SoftwareCache:
         self.capacity_bytes_per_node = capacity_bytes_per_node
         n_nodes = runtime.machine.n_nodes(runtime.n_ranks)
         self._node_caches = [_NodeCache(capacity_bytes_per_node) for _ in range(n_nodes)]
+        # Under the multiprocess backend every worker fills its own (forked)
+        # copy of the cache; registering as a gatherable ships the statistics
+        # back to the driver so reports look the same on every backend.
+        runtime.register_gatherable(f"cache:{name}", self)
 
     def _cache_for(self, ctx: RankContext) -> _NodeCache:
         return self._node_caches[ctx.node]
+
+    def peek(self, ctx: RankContext, key: Hashable) -> bool:
+        """Presence probe with no statistics and no LRU effect.
+
+        Used by batched call sites to decide what to prefetch without
+        perturbing the hit/miss accounting of the subsequent real lookups.
+        """
+        return self._cache_for(ctx).peek(key)
+
+    # -- gatherable protocol (multiprocess backend) --------------------------
+
+    def gather_state(self) -> list[CacheStats]:
+        """Snapshot of the per-node statistics (picklable)."""
+        return [replace(cache.stats) for cache in self._node_caches]
+
+    def absorb_states(self, pairs: list[tuple[list[CacheStats],
+                                              list[CacheStats]]]) -> None:
+        """Merge workers' ``(before, after)`` statistic snapshots into this
+        (driver-side) cache; cached entries themselves stay with the workers."""
+        for before, after in pairs:
+            for node, (prev, curr) in enumerate(zip(before, after)):
+                cache = self._node_caches[node]
+                cache.stats = cache.stats.merge(curr.delta(prev))
 
     def get(self, ctx: RankContext, key: Hashable) -> tuple[bool, Any]:
         """Look *key* up in the caller's node cache.

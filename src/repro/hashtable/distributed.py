@@ -11,11 +11,19 @@ in its shared segment.  Two insertion paths are provided:
   batches S entries per destination into one aggregate transfer and needs no
   locks at all.
 
+All partition access goes through the shared heap's ``apply`` verb (a probe
+or insert executed where the partition lives), so the same code runs on the
+cooperative, threaded and multiprocess execution backends; inserts carry
+``(source_rank, sequence)`` tags that pin a canonical value order in each
+bucket entry, making the built table -- and therefore the reported
+alignments -- identical on every backend regardless of arrival interleaving.
+
 Lookups are one-sided gets from the owner's partition, optionally served by a
 per-node :class:`~repro.hashtable.cache.SoftwareCache`; the batched
 :meth:`DistributedHashTable.lookup_many` extends the same aggregation idea to
 the query side, issuing one aggregated get per owning rank for a whole batch
-of keys.
+of keys (and, under the multiprocess backend, a single prefetch message for
+the whole batch).
 """
 
 from __future__ import annotations
@@ -28,6 +36,33 @@ from repro.hashtable.local_table import BucketEntry, LocalBucketStore
 from repro.pgas.runtime import (BulkTransferPlan, PgasRuntime, RankContext,
                                 estimate_nbytes)
 
+_MISSING = object()
+
+
+def _store_lookup(store: LocalBucketStore, key: Hashable) -> BucketEntry | None:
+    """Heap-apply probe of one key in a partition."""
+    return store.lookup(key)
+
+
+def _store_lookup_many(store: LocalBucketStore,
+                       keys: list[Hashable]) -> list[BucketEntry | None]:
+    """Heap-apply probe of a batch of keys in one partition."""
+    return [store.lookup(key) for key in keys]
+
+
+def _store_insert(store: LocalBucketStore, key: Hashable, value: Any,
+                  tag: Any) -> None:
+    """Heap-apply tagged insert into a partition (returns nothing on purpose:
+    the entry object stays with its owner)."""
+    store.insert(key, value, tag=tag)
+
+
+def _store_insert_batch(store: LocalBucketStore,
+                        items: list[tuple[Hashable, Any, Any]]) -> None:
+    """Heap-apply batch of tagged inserts (one message for a whole drain)."""
+    for key, value, tag in items:
+        store.insert(key, value, tag=tag)
+
 
 class DistributedHashTable:
     """A hash table partitioned across the ranks of a :class:`PgasRuntime`."""
@@ -38,8 +73,11 @@ class DistributedHashTable:
         self.runtime = runtime
         self.segment = segment
         self.hash_fn = hash_fn or (lambda key: djb2_hash(str(key)))
-        self._stores: list[LocalBucketStore] = runtime.heap.alloc_all(
+        runtime.heap.alloc_all(
             segment, lambda rank: LocalBucketStore(buckets_per_rank))
+        # Per-source-rank insert sequence numbers feeding the canonical value
+        # order; forked workers inherit (and advance) their own rank's counter.
+        self._insert_seq: dict[int, int] = {}
 
     # -- ownership -------------------------------------------------------------
 
@@ -48,8 +86,14 @@ class DistributedHashTable:
         return self.hash_fn(key) % self.runtime.n_ranks
 
     def local_store(self, rank: int) -> LocalBucketStore:
-        """The local partition owned by *rank* (no communication charged)."""
-        return self._stores[rank]
+        """The local partition owned by *rank* (driver-side inspection)."""
+        return self.runtime.heap.segment(rank, self.segment)
+
+    def insert_tag(self, rank: int) -> tuple[int, int]:
+        """Next arrival-order tag for an insert originating on *rank*."""
+        sequence = self._insert_seq.get(rank, 0)
+        self._insert_seq[rank] = sequence + 1
+        return (rank, sequence)
 
     # -- insertion -------------------------------------------------------------
 
@@ -58,7 +102,8 @@ class DistributedHashTable:
 
         The paper's baseline pays, per entry, a remote access to the owning
         bucket plus a lock acquisition to keep the bucket consistent; we model
-        the lock as a remote atomic.
+        the lock as a remote atomic (and the heap's apply verb really does
+        serialise the insert, so the path is safe under concurrent backends).
         """
         owner = self.owner_of(key)
         ctx.charge_op("seed_hash")
@@ -73,20 +118,24 @@ class DistributedHashTable:
         ctx.stats.record("dht:lock", lock_time)
         ctx.charge_put(owner, nbytes, category="dht:insert_direct")
         ctx.charge_op("bucket_insert")
-        self._stores[owner].insert(key, value)
+        ctx.heap.apply(owner, self.segment, _store_insert, key, value,
+                       self.insert_tag(ctx.me))
 
-    def insert_local(self, ctx: RankContext, key: Hashable, value: Any) -> None:
+    def insert_local(self, ctx: RankContext, key: Hashable, value: Any,
+                     tag: Any = None) -> None:
         """Insert an entry the caller already owns (no communication).
 
         Used when draining the local-shared stack of the aggregating-stores
-        path: by construction ``owner_of(key) == ctx.me``.
+        path: by construction ``owner_of(key) == ctx.me``.  *tag* carries the
+        producer's arrival-order token so drained entries land in canonical
+        order.
         """
         owner = self.owner_of(key)
         if owner != ctx.me:
             raise ValueError(
                 f"insert_local called on rank {ctx.me} for key owned by rank {owner}")
         ctx.charge_op("bucket_insert")
-        self._stores[ctx.me].insert(key, value)
+        ctx.heap.apply(ctx.me, self.segment, _store_insert, key, value, tag)
 
     # -- lookup ----------------------------------------------------------------
 
@@ -104,12 +153,12 @@ class DistributedHashTable:
         ctx.charge_op("lookup")
         if owner == ctx.me:
             ctx.charge_get(owner, 0, category=category)
-            return self._stores[owner].lookup(key)
+            return ctx.heap.apply(owner, self.segment, _store_lookup, key)
         if cache is not None:
             hit, cached = cache.get(ctx, ("dht", key))
             if hit:
                 return cached
-        entry = self._stores[owner].lookup(key)
+        entry = ctx.heap.apply(owner, self.segment, _store_lookup, key)
         nbytes = estimate_nbytes(entry) if entry is not None else 8
         ctx.charge_get(owner, nbytes, category=category)
         if cache is not None:
@@ -128,7 +177,14 @@ class DistributedHashTable:
         with **one** aggregated get per owning rank instead of one message
         per key.  A key that misses twice in one batch joins the aggregate
         transfer only once.
+
+        The whole batch is prefetched with a single heap message (probing the
+        keys the cache cannot possibly serve), which is what keeps the bulk
+        engine fast on the multiprocess backend; the per-key accounting loop
+        below is unchanged, so the cost model and cache statistics cannot
+        drift from the fine-grained path.
         """
+        prefetched = self._prefetch(ctx, keys, cache)
         entries: list[BucketEntry | None] = []
         plan = BulkTransferPlan()
         for key in keys:
@@ -137,14 +193,14 @@ class DistributedHashTable:
             ctx.charge_op("lookup")
             if owner == ctx.me:
                 ctx.charge_get(owner, 0, category=category)
-                entries.append(self._stores[owner].lookup(key))
+                entries.append(self._probe(ctx, prefetched, owner, key))
                 continue
             if cache is not None:
                 hit, cached = cache.get(ctx, ("dht", key))
                 if hit:
                     entries.append(cached)
                     continue
-            entry = self._stores[owner].lookup(key)
+            entry = self._probe(ctx, prefetched, owner, key)
             nbytes = estimate_nbytes(entry) if entry is not None else 8
             plan.add(owner, nbytes, dedupe_key=(owner, key))
             if cache is not None:
@@ -152,6 +208,38 @@ class DistributedHashTable:
             entries.append(entry)
         plan.charge_gets(ctx, category)
         return entries
+
+    def _prefetch(self, ctx: RankContext, keys: list[Hashable],
+                  cache: SoftwareCache | None) -> dict:
+        """One heap message probing every key the cache cannot serve."""
+        wanted: dict[int, list[Hashable]] = {}
+        seen: set = set()
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            owner = self.owner_of(key)
+            if (owner != ctx.me and cache is not None
+                    and cache.peek(ctx, ("dht", key))):
+                continue
+            wanted.setdefault(owner, []).append(key)
+        requests = [(owner, self.segment, _store_lookup_many, (owner_keys,))
+                    for owner, owner_keys in sorted(wanted.items())]
+        responses = ctx.heap.apply_many(requests)
+        prefetched: dict = {}
+        for (owner, owner_keys), owner_entries in zip(sorted(wanted.items()),
+                                                      responses):
+            for key, entry in zip(owner_keys, owner_entries):
+                prefetched[(owner, key)] = entry
+        return prefetched
+
+    def _probe(self, ctx: RankContext, prefetched: dict, owner: int,
+               key: Hashable) -> BucketEntry | None:
+        entry = prefetched.get((owner, key), _MISSING)
+        if entry is _MISSING:
+            # Rare: the key was peeked as cached but evicted inside the batch.
+            entry = ctx.heap.apply(owner, self.segment, _store_lookup, key)
+        return entry
 
     def count(self, ctx: RankContext, key: Hashable,
               cache: SoftwareCache | None = None) -> int:
@@ -161,24 +249,27 @@ class DistributedHashTable:
 
     # -- whole-table views (driver/test helpers, not cost-metered) -------------
 
+    def _stores(self) -> list[LocalBucketStore]:
+        return self.runtime.heap.segments_named(self.segment)
+
     @property
     def n_keys(self) -> int:
         """Total number of distinct keys across all partitions."""
-        return sum(store.n_keys for store in self._stores)
+        return sum(store.n_keys for store in self._stores())
 
     @property
     def n_values(self) -> int:
         """Total number of stored values across all partitions."""
-        return sum(store.n_values for store in self._stores)
+        return sum(store.n_values for store in self._stores())
 
     def keys_per_rank(self) -> list[int]:
         """Distinct-key counts per rank, used to verify djb2 load balance."""
-        return [store.n_keys for store in self._stores]
+        return [store.n_keys for store in self._stores()]
 
     def as_dict(self) -> dict[Hashable, list[Any]]:
         """Flatten the whole table into a plain dict (testing helper)."""
         result: dict[Hashable, list[Any]] = {}
-        for store in self._stores:
+        for store in self._stores():
             for entry in store.entries():
                 result.setdefault(entry.key, []).extend(entry.values)
         return result

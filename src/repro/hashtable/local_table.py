@@ -9,17 +9,27 @@ single-copy.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
 
 @dataclass
 class BucketEntry:
-    """One key of the local store: its values and occurrence count."""
+    """One key of the local store: its values and occurrence count.
+
+    ``tags`` mirrors ``values``: the arrival-order tag each value was
+    inserted with (``None`` for untagged inserts).  Tags keep the value list
+    in a canonical global order even when inserts arrive concurrently from
+    several ranks, which is what lets every execution backend report
+    byte-identical alignments (the aligner truncates and indexes value lists,
+    so their order matters).
+    """
 
     key: Hashable
     values: list[Any] = field(default_factory=list)
     count: int = 0
+    tags: list[Any] = field(default_factory=list)
 
 
 class LocalBucketStore:
@@ -55,15 +65,37 @@ class LocalBucketStore:
         """Bucket that *key* lives in."""
         return hash(key) % self._n_buckets
 
-    def insert(self, key: Hashable, value: Any) -> BucketEntry:
-        """Append *value* to *key*'s entry, creating the entry if needed."""
+    def insert(self, key: Hashable, value: Any,
+               tag: Any = None) -> BucketEntry:
+        """Add *value* to *key*'s entry, creating the entry if needed.
+
+        With a *tag* (any totally ordered token, e.g. ``(source_rank, seq)``)
+        the value is kept in tag order within the entry, so the final value
+        list is independent of the physical arrival order -- cooperative
+        execution produces already-sorted tags and keeps its historical
+        append order, while concurrent backends converge to the same list.
+        Untagged inserts append (legacy behaviour).
+        """
         bucket = self._buckets[self.bucket_index(key)]
         entry = bucket.get(key)
         if entry is None:
             entry = BucketEntry(key=key)
             bucket[key] = entry
             self._n_keys += 1
-        entry.values.append(value)
+        tags = entry.tags
+        if tag is None or not tags or tags[-1] is None or not tag < tags[-1]:
+            entry.values.append(value)
+            tags.append(tag)
+        elif None in tags:
+            # Mixed legacy (untagged) and tagged inserts on one key: tags are
+            # not totally ordered, so fall back to arrival order rather than
+            # crash comparing None against a tag.
+            entry.values.append(value)
+            tags.append(tag)
+        else:
+            position = bisect.bisect_right(tags, tag)
+            entry.values.insert(position, value)
+            tags.insert(position, tag)
         entry.count += 1
         self._n_values += 1
         return entry

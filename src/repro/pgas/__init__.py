@@ -16,8 +16,10 @@ PGAS runtime:
   (latency, bandwidth, per-message overhead, on-node vs off-node, congestion),
   accumulating both :class:`~repro.pgas.cost_model.CommStats` counters and a
   per-rank virtual clock, which is what the performance figures report;
-* an optional :class:`~repro.pgas.executor.ThreadedExecutor` runs ranks on
-  real threads for wall-clock parallelism on a single node.
+* how ranks execute is pluggable (:mod:`repro.backend`): the default
+  cooperative driver, one OS thread per rank (``threaded``, with the legacy
+  :class:`~repro.pgas.executor.ThreadedExecutor` as a shim), or one OS
+  process per rank (``process``) for real wall-clock parallelism.
 
 See DESIGN.md section 5 for the execution model and the substitution
 rationale.

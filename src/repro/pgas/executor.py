@@ -1,23 +1,20 @@
-"""Real-thread SPMD execution.
+"""Real-thread SPMD execution (legacy shim).
 
-The cooperative driver in :mod:`repro.pgas.runtime` is deterministic and is
-what the benchmarks use.  :class:`ThreadedExecutor` runs the *same* SPMD
-functions on real OS threads with a real barrier, which serves two purposes:
+The thread-per-rank machinery now lives in the execution-backend subsystem
+(:class:`repro.backend.threaded.ThreadedBackend`); :class:`ThreadedExecutor`
+is kept as a thin adapter for callers that treat it as a pure concurrency
+harness: same :class:`~repro.pgas.runtime.RankContext` API, ``ctx.barrier()``
+works, per-rank results in rank order, no phase traces recorded.
 
-* it demonstrates that the one-sided algorithms are safe under genuine
-  concurrency (the atomics really are atomic, the lock-free construction
-  really needs no bucket locks), which tests exercise;
-* it gives examples a way to overlap the pure-Python bookkeeping of multiple
-  ranks (the GIL prevents CPU-bound speedups, but numpy-heavy kernels release
-  the GIL).
-
-Functions run under the executor receive the same :class:`RankContext` API and
-may call ``ctx.barrier()`` directly.
+One behavioural fix over the original executor rides along: a run in which
+every failing rank only saw a ``BrokenBarrierError`` (e.g. a genuine
+barrier-count mismatch between ranks, or a rank hung past the barrier
+timeout) now raises a descriptive error instead of silently returning an
+all-``None`` result list.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
 from repro.pgas.runtime import PgasRuntime
@@ -34,37 +31,12 @@ class ThreadedExecutor:
         """Execute ``fn(ctx, *args)`` concurrently on every rank.
 
         Returns the per-rank results in rank order.  Any exception raised by a
-        rank is re-raised in the caller after all threads have stopped.
+        rank is re-raised in the caller after all threads have stopped; if the
+        only failures are broken barriers, a descriptive error is raised.
         """
-        n = self.runtime.n_ranks
-        barrier = threading.Barrier(n)
-        results: list[Any] = [None] * n
-        errors: list[BaseException | None] = [None] * n
-
-        def _worker(rank: int) -> None:
-            ctx = self.runtime.contexts[rank]
-            ctx._barrier_impl = barrier.wait
-            try:
-                results[rank] = fn(ctx, *args)
-            except BaseException as exc:  # noqa: BLE001 - propagated to caller
-                errors[rank] = exc
-                # Break the barrier so no other rank deadlocks waiting for us.
-                barrier.abort()
-            finally:
-                ctx._barrier_impl = None
-
-        threads = [threading.Thread(target=_worker, args=(rank,), daemon=True)
-                   for rank in range(n)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=timeout)
-        for thread in threads:
-            if thread.is_alive():
-                raise TimeoutError("SPMD rank did not finish within the timeout")
-        for error in errors:
-            if isinstance(error, threading.BrokenBarrierError):
-                continue
-            if error is not None:
-                raise error
-        return results
+        from repro.backend.threaded import ThreadedBackend
+        # Barriers break strictly before the join deadline so a barrier-count
+        # mismatch surfaces as the descriptive error, not a bare timeout.
+        join_timeout = None if timeout is None else timeout + 10.0
+        backend = ThreadedBackend(timeout=join_timeout, barrier_timeout=timeout)
+        return backend.run_plain(self.runtime, fn, args)

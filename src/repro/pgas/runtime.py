@@ -9,12 +9,15 @@ advances all ranks one phase at a time, snapshots their virtual clocks, and
 synchronises them to the slowest rank -- exactly what a UPC ``upc_barrier``
 does to wall time.  A plain (non-generator) function is a single phase.
 
-Ranks are executed cooperatively (one after another within a phase) inside the
-calling process, which is deterministic and safe because merAligner only uses
-*one-sided* operations inside a phase: a rank never blocks waiting for another
-rank except at barriers.  The optional
-:class:`repro.pgas.executor.ThreadedExecutor` provides real thread-parallel
-execution of the same SPMD functions.
+How the ranks actually execute is delegated to a pluggable *execution
+backend* (see :mod:`repro.backend`): the default ``cooperative`` backend runs
+ranks one after another within a phase inside the calling process, which is
+deterministic and safe because merAligner only uses *one-sided* operations
+inside a phase -- a rank never blocks waiting for another rank except at
+barriers.  The ``threaded`` backend runs the same SPMD functions on one real
+OS thread per rank, and the ``process`` backend on one OS process per rank
+with the heap served over shared memory and message channels.  All backends
+produce the same alignments; ``run_spmd(fn, backend="...")`` selects one.
 
 Every remote access performed through :class:`RankContext` updates both the
 rank's :class:`~repro.pgas.cost_model.CommStats` counters and its
@@ -24,8 +27,7 @@ rank's :class:`~repro.pgas.cost_model.CommStats` counters and its
 
 from __future__ import annotations
 
-import inspect
-import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
@@ -33,7 +35,7 @@ import numpy as np
 
 from repro.pgas.cost_model import CommStats, EDISON_LIKE, MachineModel
 from repro.pgas.gptr import GlobalPointer
-from repro.pgas.shared import SharedArray, SharedHeap
+from repro.pgas.shared import SharedHeap
 from repro.pgas.trace import PhaseTrace, TimeBreakdown, VirtualClock
 
 
@@ -242,13 +244,16 @@ class RankContext:
             nbytes: int | None = None, category: str = "put") -> GlobalPointer:
         """One-sided store of *value* into ``owner.segment[key]``.
 
-        Returns a :class:`GlobalPointer` to the stored object.
+        When *nbytes* is omitted the wire size is derived from what the write
+        actually moves: the value's estimated size for key/value segments,
+        the indexed extent for :class:`SharedArray` segments (so a slice
+        assignment is charged for its full width, not for the scalar being
+        broadcast).  Returns a :class:`GlobalPointer` to the stored object.
         """
         if nbytes is None:
-            nbytes = estimate_nbytes(value)
+            nbytes = self.heap.wire_nbytes(owner, segment, key, value)
         self._charge_transfer(owner, nbytes, category, is_put=True)
-        seg = self.heap.segment(owner, segment)
-        seg[key] = value
+        self.heap.store(owner, segment, key, value)
         return GlobalPointer(owner=owner, segment=segment, key=key, nbytes=nbytes)
 
     def get(self, owner: int, segment: str, key: Hashable,
@@ -256,20 +261,16 @@ class RankContext:
             default: Any = None, missing_ok: bool = False) -> Any:
         """One-sided load of ``owner.segment[key]``.
 
-        When *nbytes* is omitted, the fetched object's estimated size is
-        charged (the realistic behaviour: you pay for what comes over the
-        wire).  With ``missing_ok=True`` a missing key returns *default*
-        instead of raising; the lookup latency is still charged.
+        When *nbytes* is omitted, the fetched object's wire size is charged
+        (the realistic behaviour: you pay for what comes over the wire; for
+        :class:`SharedArray` segments that is the indexed extent).  With
+        ``missing_ok=True`` a missing key returns *default* instead of
+        raising; the lookup latency is still charged.
         """
-        seg = self.heap.segment(owner, segment)
-        if isinstance(seg, dict) and key not in seg:
-            if not missing_ok:
-                raise KeyError(f"key {key!r} missing in segment {segment!r} on rank {owner}")
-            value = default
-        else:
-            value = seg[key]
+        value = self.heap.load(owner, segment, key, default=default,
+                               missing_ok=missing_ok)
         if nbytes is None:
-            nbytes = estimate_nbytes(value)
+            nbytes = self.heap.wire_nbytes(owner, segment, key, value)
         self._charge_transfer(owner, nbytes, category, is_put=False)
         return value
 
@@ -292,19 +293,11 @@ class RankContext:
         rides the aggregate transfer once.  Values are returned in request
         order.
         """
-        values: list[Any] = [default] * len(requests)
+        values = self.heap.load_many(requests, default=default,
+                                     missing_ok=missing_ok)
         plan = BulkTransferPlan()
-        for index, (owner, segment, key) in enumerate(requests):
-            seg = self.heap.segment(owner, segment)
-            if isinstance(seg, dict) and key not in seg:
-                if not missing_ok:
-                    raise KeyError(
-                        f"key {key!r} missing in segment {segment!r} on rank {owner}")
-                value = default
-            else:
-                value = seg[key]
-            values[index] = value
-            plan.add(owner, estimate_nbytes(value),
+        for (owner, segment, key), value in zip(requests, values):
+            plan.add(owner, self.heap.wire_nbytes(owner, segment, key, value),
                      dedupe_key=(owner, segment, key))
         plan.charge_gets(self, category)
         return values
@@ -320,12 +313,11 @@ class RankContext:
         pointers: list[GlobalPointer] = []
         plan = BulkTransferPlan()
         for owner, segment, key, value in requests:
-            nbytes = estimate_nbytes(value)
-            seg = self.heap.segment(owner, segment)
-            seg[key] = value
+            nbytes = self.heap.wire_nbytes(owner, segment, key, value)
             pointers.append(GlobalPointer(owner=owner, segment=segment,
                                           key=key, nbytes=nbytes))
             plan.add(owner, nbytes)
+        self.heap.store_many(requests)
         plan.charge_puts(self, category)
         return pointers
 
@@ -336,9 +328,6 @@ class RankContext:
         Returns the value *before* the addition, like UPC's
         ``bupc_atomicI64_fetchadd_strict``.
         """
-        array = self.heap.segment(owner, segment)
-        if not isinstance(array, SharedArray):
-            raise TypeError(f"segment {segment!r} on rank {owner} is not a SharedArray")
         same_rank = owner == self.me
         same_node = self.same_node(owner)
         seconds = self.machine.atomic_time(same_rank=same_rank, same_node=same_node)
@@ -352,21 +341,20 @@ class RankContext:
             self.stats.on_node_ops += 1
         else:
             self.stats.off_node_ops += 1
-        with self._runtime.atomic_lock:
-            previous = int(array[index])
-            array[index] = previous + amount
-        return previous
+        return self.heap.fetch_add(owner, segment, index, amount)
 
     def barrier(self) -> None:
         """Synchronise with all other ranks.
 
-        Only available under :class:`repro.pgas.executor.ThreadedExecutor`;
+        Only available under a real-parallel execution backend (threaded or
+        process, including the legacy :class:`repro.pgas.executor.ThreadedExecutor`);
         cooperative SPMD functions express barriers with ``yield`` instead.
         """
         if self._barrier_impl is None:
             raise RuntimeError(
-                "barrier() requires the ThreadedExecutor; in cooperative "
-                "run_spmd() use a generator function and 'yield' at barriers")
+                "barrier() requires the ThreadedExecutor or another real-parallel "
+                "backend; in cooperative run_spmd() use a generator function "
+                "and 'yield' at barriers")
         self._barrier_impl()
 
     # -- work partitioning helpers --------------------------------------------
@@ -390,6 +378,7 @@ class SpmdResult:
     results: list[Any]
     phases: list[PhaseTrace] = field(default_factory=list)
     per_rank_stats: list[CommStats] = field(default_factory=list)
+    backend: str = "cooperative"
 
     @property
     def n_ranks(self) -> int:
@@ -399,6 +388,11 @@ class SpmdResult:
     def elapsed(self) -> float:
         """End-to-end modelled wall time (sum of phase elapsed times)."""
         return sum(phase.elapsed for phase in self.phases)
+
+    @property
+    def wall_elapsed(self) -> float:
+        """Measured host wall-clock seconds spent inside the recorded phases."""
+        return sum(phase.wall_seconds for phase in self.phases)
 
     @property
     def total_stats(self) -> CommStats:
@@ -430,15 +424,39 @@ class SpmdResult:
 class PgasRuntime:
     """A simulated PGAS machine: shared heap + rank contexts + SPMD driver."""
 
-    def __init__(self, n_ranks: int, machine: MachineModel = EDISON_LIKE) -> None:
+    def __init__(self, n_ranks: int, machine: MachineModel = EDISON_LIKE,
+                 backend: str = "cooperative") -> None:
         if n_ranks <= 0:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = n_ranks
         self.machine = machine
         self.heap = SharedHeap(n_ranks)
-        self.atomic_lock = threading.Lock()
+        self.default_backend = backend
         self.contexts = [RankContext(self, rank) for rank in range(n_ranks)]
         self.phases: list[PhaseTrace] = []
+        # Objects with rank-private state a multiprocess run must report back
+        # (e.g. the per-node software caches): name -> gatherable.  See
+        # repro.backend.process for the gather/absorb protocol.
+        self.gatherables: dict[str, Any] = {}
+
+    @property
+    def atomic_lock(self):
+        """The heap's atomic lock (kept for backwards compatibility)."""
+        return self.heap.lock
+
+    def register_gatherable(self, name: str, obj: Any) -> str:
+        """Register an object whose rank-private state the process backend
+        gathers back to the driver after a run.
+
+        The object must implement ``gather_state()`` (returning a picklable
+        snapshot) and ``absorb_states(pairs)`` (merging a list of
+        ``(before, after)`` snapshot pairs into itself).  Names identify one
+        live object each; re-registering a name replaces the previous object,
+        so repeated runs on a shared runtime (which build fresh caches every
+        time) do not accumulate dead gatherables.
+        """
+        self.gatherables[name] = obj
+        return name
 
     @property
     def n_nodes(self) -> int:
@@ -458,14 +476,16 @@ class PgasRuntime:
             ctx.stats.comm_time += barrier_cost
             ctx.stats.barriers += 1
 
-    def _record_phase(self, name: str, before: list[TimeBreakdown]) -> PhaseTrace:
+    def _record_phase(self, name: str, before: list[TimeBreakdown],
+                      wall_seconds: float = 0.0) -> PhaseTrace:
         per_rank = [ctx.clock.snapshot() - prev for ctx, prev in zip(self.contexts, before)]
-        trace = PhaseTrace(name=name, per_rank=per_rank)
+        trace = PhaseTrace(name=name, per_rank=per_rank, wall_seconds=wall_seconds)
         self.phases.append(trace)
         return trace
 
     def run_spmd(self, fn: Callable[..., Any], *args: Any,
-                 phase_name: str | None = None) -> SpmdResult:
+                 phase_name: str | None = None,
+                 backend: Any = None) -> SpmdResult:
         """Run ``fn(ctx, *args)`` on every rank.
 
         If *fn* is a generator function, every ``yield`` acts as a barrier and
@@ -473,33 +493,38 @@ class PgasRuntime:
         ``return`` value is the rank's result.  A plain function is one phase
         named *phase_name* (default: the function name).
 
+        *backend* selects the execution backend -- a registered name
+        (``"cooperative"``, ``"threaded"``, ``"process"``) or an
+        :class:`~repro.backend.base.ExecutionBackend` instance; ``None`` uses
+        the runtime's default.  All backends report through the same phase
+        traces and communication statistics.
+
         The returned :attr:`SpmdResult.per_rank_stats` covers *this invocation
         only*: rank contexts persist across invocations, so their cumulative
         counters are snapshotted before the run and the difference reported.
         """
+        from repro.backend import resolve_backend
+        impl = resolve_backend(backend if backend is not None
+                               else self.default_backend)
         phases_before = len(self.phases)
         stats_before = [ctx.stats.copy() for ctx in self.contexts]
-        if inspect.isgeneratorfunction(fn):
-            results = self._run_generators(fn, args)
-        else:
-            name = phase_name or getattr(fn, "__name__", "phase")
-            before = [ctx.clock.snapshot() for ctx in self.contexts]
-            results = [fn(ctx, *args) for ctx in self.contexts]
-            self._record_phase(name, before)
-            self._barrier()
+        results = impl.execute(self, fn, args, phase_name=phase_name)
         return SpmdResult(
             results=results,
             phases=self.phases[phases_before:],
             per_rank_stats=[ctx.stats.delta(prev)
                             for ctx, prev in zip(self.contexts, stats_before)],
+            backend=impl.name,
         )
 
     def _run_generators(self, fn: Callable[..., Any], args: tuple) -> list[Any]:
+        """The cooperative generator driver (used by the cooperative backend)."""
         generators = [fn(ctx, *args) for ctx in self.contexts]
         results: list[Any] = [None] * self.n_ranks
         live = [True] * self.n_ranks
         round_index = 0
         while any(live):
+            wall_start = time.perf_counter()
             before = [ctx.clock.snapshot() for ctx in self.contexts]
             labels: list[str] = []
             for rank, gen in enumerate(generators):
@@ -520,7 +545,8 @@ class PgasRuntime:
                 # final labelled yield; do not record an empty trailing phase.
                 break
             name = labels[0] if labels else f"phase{round_index}"
-            self._record_phase(name, before)
+            self._record_phase(name, before,
+                               wall_seconds=time.perf_counter() - wall_start)
             self._barrier()
             round_index += 1
         return results

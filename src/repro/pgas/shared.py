@@ -1,21 +1,39 @@
 """The shared (global) address space of the simulated PGAS runtime.
 
 Every rank owns a set of named *segments*.  A segment is a key/value store
-(dictionary semantics) or a fixed-size numeric array (:class:`SharedArray`).
-Any rank may read or write any segment, but only accesses performed through a
+(dictionary semantics), a fixed-size numeric array (:class:`SharedArray`), or
+an arbitrary shared object (e.g. a hash-table partition).  Any rank may read
+or write any segment, but only accesses performed through a
 :class:`repro.pgas.runtime.RankContext` are charged by the cost model, so all
 algorithm code is expected to go through the context's ``put``/``get``/
 ``fetch_add`` methods rather than touching the heap directly (direct access is
 reserved for test assertions and post-run inspection).
+
+Access verbs
+------------
+
+Algorithm code addresses the heap through a small set of *verbs* --
+:meth:`SharedHeap.load`, :meth:`SharedHeap.store`, :meth:`SharedHeap.apply`,
+:meth:`SharedHeap.fetch_add` and their bulk variants -- rather than by
+indexing raw segment objects.  The verbs are what makes the heap *pluggable*:
+the cooperative and threaded execution backends run them directly against
+this in-process heap, while the multiprocess backend substitutes a client
+that forwards the same verbs over per-rank message channels to a heap server
+(see :mod:`repro.backend.process`), with :class:`SharedArray` segments backed
+by ``multiprocessing.shared_memory`` so numeric traffic never leaves shared
+memory.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable
+import threading
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 import numpy as np
 
 from repro.pgas.gptr import GlobalPointer
+
+_RAISE_ON_MISSING = object()
 
 
 class SharedArray:
@@ -23,6 +41,11 @@ class SharedArray:
 
     Used for the ``stack_ptr`` counters and local-shared stacks of the
     aggregating-stores optimization and for any other flat numeric state.
+
+    The backing buffer is an ordinary private numpy array by default; the
+    multiprocess execution backend *promotes* it into a
+    ``multiprocessing.shared_memory`` block for the duration of a run (see
+    :meth:`rebind`), which is invisible to algorithm code.
     """
 
     def __init__(self, size: int, dtype: str = "int64", fill: float = 0) -> None:
@@ -30,10 +53,25 @@ class SharedArray:
             raise ValueError("size must be non-negative")
         self._data = np.full(size, fill, dtype=dtype)
 
+    @classmethod
+    def from_buffer(cls, size: int, dtype: str, buffer: Any) -> "SharedArray":
+        """An array view over an existing shared buffer (no copy).
+
+        Used by multiprocess workers to attach a ``SharedMemory`` block
+        another process allocated.
+        """
+        array = cls(0, dtype=dtype)
+        array._data = np.ndarray(size, dtype=dtype, buffer=buffer)
+        return array
+
     @property
     def data(self) -> np.ndarray:
         """The underlying numpy array (direct access is not cost-metered)."""
         return self._data
+
+    @property
+    def dtype_name(self) -> str:
+        return str(self._data.dtype)
 
     def __len__(self) -> int:
         return int(self._data.size)
@@ -48,6 +86,40 @@ class SharedArray:
     def nbytes(self) -> int:
         return int(self._data.nbytes)
 
+    def index_nbytes(self, index: Any) -> int:
+        """Wire size of the element(s) addressed by *index*.
+
+        A scalar index touches one element (``itemsize`` bytes); a slice
+        touches its full extent.  This is what the cost model charges for
+        reads and writes through a rank context, so a slice assignment of a
+        broadcast scalar is charged for every element it writes, not for the
+        scalar.
+        """
+        itemsize = int(self._data.itemsize)
+        if isinstance(index, slice):
+            return len(range(*index.indices(int(self._data.size)))) * itemsize
+        if isinstance(index, (int, np.integer)):
+            return itemsize
+        # Fancy indexing: materialise the selection to measure it.
+        return int(np.asarray(self._data[index]).nbytes)
+
+    def rebind(self, buffer: Any) -> None:
+        """Move the array's contents onto *buffer* (a writable buffer object).
+
+        Used by the multiprocess backend to relocate the array into a
+        ``multiprocessing.shared_memory`` block before forking workers; the
+        array object keeps its identity so every existing reference sees the
+        shared storage.
+        """
+        relocated = np.ndarray(self._data.shape, dtype=self._data.dtype,
+                               buffer=buffer)
+        relocated[:] = self._data
+        self._data = relocated
+
+    def unbind(self) -> None:
+        """Copy the contents back into private memory (end of a process run)."""
+        self._data = np.array(self._data, copy=True)
+
 
 class SharedHeap:
     """Per-rank shared segments making up the global address space."""
@@ -57,10 +129,16 @@ class SharedHeap:
             raise ValueError("n_ranks must be positive")
         self._n_ranks = n_ranks
         self._segments: list[dict[str, Any]] = [dict() for _ in range(n_ranks)]
+        self._lock = threading.Lock()
 
     @property
     def n_ranks(self) -> int:
         return self._n_ranks
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The lock serialising atomic and compound heap mutations."""
+        return self._lock
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self._n_ranks:
@@ -103,14 +181,104 @@ class SharedHeap:
         """Return the per-rank objects backing *segment* on every rank."""
         return [self.segment(rank, segment) for rank in range(self._n_ranks)]
 
+    def iter_segments(self) -> Iterator[tuple[int, str, Any]]:
+        """Iterate ``(rank, name, object)`` over every allocated segment."""
+        for rank, segments in enumerate(self._segments):
+            for name, obj in segments.items():
+                yield rank, name, obj
+
+    # -- access verbs (the pluggable-backend surface) ------------------------
+
+    def load(self, owner: int, segment: str, key: Hashable,
+             default: Any = _RAISE_ON_MISSING, missing_ok: bool = False) -> Any:
+        """Read ``owner.segment[key]``.
+
+        A missing key in a key/value segment raises :class:`KeyError` unless
+        ``missing_ok`` is set, in which case *default* is returned.
+        """
+        seg = self.segment(owner, segment)
+        if isinstance(seg, dict):
+            if key not in seg:
+                if missing_ok:
+                    return None if default is _RAISE_ON_MISSING else default
+                raise KeyError(
+                    f"key {key!r} missing in segment {segment!r} on rank {owner}")
+            return seg[key]
+        return seg[key]
+
+    def load_many(self, requests: list[tuple[int, str, Hashable]],
+                  default: Any = None, missing_ok: bool = False) -> list[Any]:
+        """Read many ``(owner, segment, key)`` addresses; values in request order."""
+        return [self.load(owner, segment, key, default=default,
+                          missing_ok=missing_ok)
+                for owner, segment, key in requests]
+
+    def store(self, owner: int, segment: str, key: Hashable, value: Any) -> None:
+        """Write ``owner.segment[key] = value``."""
+        seg = self.segment(owner, segment)
+        seg[key] = value
+
+    def store_many(self, requests: list[tuple[int, str, Hashable, Any]]) -> None:
+        """Write many ``(owner, segment, key, value)`` requests in order."""
+        for owner, segment, key, value in requests:
+            self.store(owner, segment, key, value)
+
+    def contains(self, owner: int, segment: str, key: Hashable) -> bool:
+        """True if *key* exists in the key/value segment."""
+        return key in self.segment(owner, segment)
+
+    def apply(self, owner: int, segment: str, fn: Callable[..., Any],
+              *args: Any) -> Any:
+        """Run ``fn(segment_object, *args)`` where the segment lives.
+
+        This is the generic verb for compound operations on shared objects
+        (hash-table probes and inserts, stack reservations, flag flips): *fn*
+        must be a module-level function so the multiprocess backend can ship
+        it by reference to the heap server.  Compound mutations are serialised
+        under the heap lock, which is what keeps concurrent backends correct
+        without per-bucket locks in the data structures themselves.
+        """
+        with self._lock:
+            return fn(self.segment(owner, segment), *args)
+
+    def apply_many(self, requests: list[tuple[int, str, Callable[..., Any], tuple]]
+                   ) -> list[Any]:
+        """Run many ``(owner, segment, fn, args)`` applications in order."""
+        return [self.apply(owner, segment, fn, *args)
+                for owner, segment, fn, args in requests]
+
+    def fetch_add(self, owner: int, segment: str, index: int, amount: int = 1) -> int:
+        """Atomic fetch-and-add on a :class:`SharedArray` slot.
+
+        Returns the value *before* the addition.
+        """
+        array = self.segment(owner, segment)
+        if not isinstance(array, SharedArray):
+            raise TypeError(f"segment {segment!r} on rank {owner} is not a SharedArray")
+        with self._lock:
+            previous = int(array[index])
+            array[index] = previous + amount
+        return previous
+
+    def wire_nbytes(self, owner: int, segment: str, key: Hashable,
+                    value: Any) -> int:
+        """Bytes a transfer of ``segment[key]`` (carrying *value*) moves.
+
+        For :class:`SharedArray` segments the charged size is derived from
+        the *index extent* (so slice reads and writes cost their full width);
+        for key/value segments it is the estimated size of the value.
+        """
+        from repro.pgas.runtime import estimate_nbytes
+        seg = self.segment(owner, segment)
+        if isinstance(seg, SharedArray):
+            return seg.index_nbytes(key)
+        return estimate_nbytes(value)
+
     # -- key/value access helpers (dictionary-style segments) ---------------
 
     def read(self, ptr: GlobalPointer) -> Any:
         """Dereference a global pointer (no cost accounting)."""
-        seg = self.segment(ptr.owner, ptr.segment)
-        if isinstance(seg, dict):
-            return seg[ptr.key]
-        return seg[ptr.key]
+        return self.segment(ptr.owner, ptr.segment)[ptr.key]
 
     def write(self, ptr: GlobalPointer, value: Any) -> None:
         """Store through a global pointer (no cost accounting)."""

@@ -78,10 +78,17 @@ class VirtualClock:
 
 @dataclass
 class PhaseTrace:
-    """Per-rank time breakdown of one phase (span between barriers)."""
+    """Per-rank time breakdown of one phase (span between barriers).
+
+    ``wall_seconds`` is the *measured* wall-clock duration of the phase on
+    the host machine (how long the execution backend actually took), as
+    opposed to the modelled virtual seconds in ``per_rank``; it is what the
+    backend-scaling benchmark compares across execution backends.
+    """
 
     name: str
     per_rank: list[TimeBreakdown] = field(default_factory=list)
+    wall_seconds: float = 0.0
 
     @property
     def n_ranks(self) -> int:

@@ -1,6 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Setting ``REPRO_TEST_TIMEOUT=<seconds>`` arms a SIGALRM-based per-test
+timeout: a test that hangs (e.g. a deadlocked barrier when the suite runs
+under ``REPRO_BACKEND=process``) fails fast with a ``TimeoutError`` instead
+of stalling the whole job.  The hook is inert when the variable is unset, and
+on platforms without ``SIGALRM``.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -9,6 +19,29 @@ from repro.core.config import AlignerConfig
 from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
 from repro.pgas.cost_model import EDISON_LIKE
 from repro.pgas.runtime import PgasRuntime
+
+
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _TEST_TIMEOUT <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:g}s "
+            f"(likely a deadlocked barrier): {item.nodeid}")
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

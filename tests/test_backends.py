@@ -1,0 +1,277 @@
+"""Tests for the pluggable execution-backend subsystem.
+
+Covers the registry, the cooperative/threaded/process backends running the
+same SPMD programs, the descriptive broken-barrier failure mode (instead of
+the old silent all-``None`` result), cross-backend equivalence of the full
+aligner pipeline (byte-identical alignments and SAM output), and the
+SharedArray slice cost-model regression.
+"""
+
+import threading
+
+import pytest
+
+from repro.backend import (BackendUnavailableError, available_backends,
+                           default_backend_name, get_backend, resolve_backend)
+from repro.backend.threaded import ThreadedBackend
+from repro.core.pipeline import MerAligner
+from repro.io.sam import write_sam
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.executor import ThreadedExecutor
+from repro.pgas.runtime import PgasRuntime
+from repro.pgas.shared import SharedArray
+
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+def make_runtime(n_ranks=4):
+    return PgasRuntime(n_ranks=n_ranks, machine=MACHINE)
+
+
+def exchange_program(ctx, n_increments):
+    """A three-phase SPMD generator touching every heap verb."""
+    ctx.alloc("box", dict())
+    yield "setup"
+    ctx.put((ctx.me + 1) % ctx.n_ranks, "box", "token", ctx.me * 10)
+    for _ in range(n_increments):
+        ctx.fetch_add(0, "counter", 0, 1)
+    yield "exchange"
+    token = ctx.get(ctx.me, "box", "token")
+    missing = ctx.get(ctx.me, "box", "absent", missing_ok=True, default=-1)
+    return token, missing
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            get_backend("carrier-pigeon")
+
+    def test_resolve_accepts_instances_and_names(self):
+        backend = ThreadedBackend()
+        assert resolve_backend(backend) is backend
+        assert resolve_backend("cooperative").name == "cooperative"
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_default_backend_name_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert default_backend_name() == "cooperative"
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert default_backend_name() == "process"
+
+    def test_backend_unavailable_is_runtime_error(self):
+        assert issubclass(BackendUnavailableError, RuntimeError)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exchange_program_results(self, backend):
+        runtime = make_runtime()
+        runtime.heap.alloc(0, "counter", SharedArray(1))
+        result = runtime.run_spmd(exchange_program, 25, backend=backend)
+        assert result.backend == backend
+        assert result.results == [((rank - 1) % 4 * 10, -1) for rank in range(4)]
+        # The atomics really are atomic: exact total across ranks.
+        assert runtime.heap.segment(0, "counter")[0] == 4 * 25
+
+    def test_phases_and_stats_match_cooperative(self):
+        outputs = {}
+        for backend in BACKENDS:
+            runtime = make_runtime()
+            runtime.heap.alloc(0, "counter", SharedArray(1))
+            result = runtime.run_spmd(exchange_program, 10, backend=backend)
+            stats = result.total_stats
+            outputs[backend] = {
+                "phases": [phase.name for phase in result.phases],
+                "results": result.results,
+                "counters": (stats.puts, stats.gets, stats.atomics,
+                             stats.barriers, stats.bytes_put, stats.bytes_get,
+                             stats.local_ops, stats.on_node_ops,
+                             stats.off_node_ops),
+            }
+        assert outputs["threaded"] == outputs["cooperative"]
+        assert outputs["process"] == outputs["cooperative"]
+
+    @pytest.mark.parametrize("backend", ("threaded", "process"))
+    def test_plain_function_single_phase(self, backend):
+        runtime = make_runtime()
+        result = runtime.run_spmd(lambda ctx: ctx.me ** 2, backend=backend,
+                                  phase_name="squares")
+        assert result.results == [0, 1, 4, 9]
+        assert [phase.name for phase in result.phases] == ["squares"]
+        assert all(stats.barriers == 1 for stats in result.per_rank_stats)
+
+    def test_process_backend_dynamic_array_allocation(self):
+        def program(ctx):
+            if ctx.me == 0:
+                ctx.alloc("late", SharedArray(8))
+            yield "alloc"
+            ctx.put(0, "late", ctx.me, ctx.me + 100)
+            yield "fill"
+            return int(ctx.get(0, "late", ctx.me))
+
+        runtime = make_runtime()
+        result = runtime.run_spmd(program, backend="process")
+        assert result.results == [100, 101, 102, 103]
+        assert list(runtime.heap.segment(0, "late")[0:4]) == [100, 101, 102, 103]
+
+    def test_process_backend_propagates_application_errors(self):
+        def failing(ctx):
+            yield "warmup"
+            if ctx.me == 2:
+                raise ValueError("rank 2 exploded")
+            yield "work"
+            return ctx.me
+
+        runtime = make_runtime()
+        with pytest.raises((ValueError, RuntimeError), match="rank 2 exploded"):
+            runtime.run_spmd(failing, backend="process")
+
+
+class TestBrokenBarrierDiagnostics:
+    """Satellite: an all-BrokenBarrierError run must raise, not return Nones."""
+
+    def test_threaded_executor_barrier_mismatch_raises(self):
+        runtime = make_runtime(2)
+        executor = ThreadedExecutor(runtime)
+
+        def mismatched(ctx):
+            if ctx.me == 1:
+                ctx.barrier()  # rank 0 never joins: count mismatch
+
+        with pytest.raises(RuntimeError, match="BrokenBarrierError"):
+            executor.run(mismatched, timeout=2.0)
+
+    def test_threaded_backend_yield_mismatch_raises(self):
+        def ragged(ctx):
+            yield "common"
+            if ctx.me == 0:
+                return 0
+            yield "extra"
+            return ctx.me
+
+        runtime = make_runtime(2)
+        backend = ThreadedBackend(timeout=5.0, barrier_timeout=1.0)
+        with pytest.raises(RuntimeError,
+                           match="barrier-count mismatch|BrokenBarrierError"):
+            runtime.run_spmd(ragged, backend=backend)
+
+    def test_threaded_executor_still_propagates_real_errors(self):
+        runtime = make_runtime()
+        executor = ThreadedExecutor(runtime)
+
+        def failing(ctx):
+            if ctx.me == 2:
+                raise ValueError("rank 2 exploded")
+            ctx.barrier()
+
+        with pytest.raises(ValueError, match="rank 2 exploded"):
+            executor.run(failing, timeout=5.0)
+
+
+class TestSharedArraySliceCharging:
+    """Satellite: slice reads/writes are charged for their full extent."""
+
+    def test_slice_write_charged_per_element(self):
+        runtime = make_runtime(2)
+        runtime.heap.alloc(1, "arr", SharedArray(16, dtype="int64"))
+        ctx = runtime.contexts[0]
+        ctx.put(1, "arr", slice(0, 8), 7)
+        assert ctx.stats.bytes_put == 8 * 8  # eight int64 elements, not one
+        ctx.put(1, "arr", 3, 1)
+        assert ctx.stats.bytes_put == 8 * 8 + 8  # scalar write: one element
+
+    def test_slice_read_charged_per_element(self):
+        runtime = make_runtime(2)
+        runtime.heap.alloc(1, "arr", SharedArray(16, dtype="int64", fill=5))
+        ctx = runtime.contexts[0]
+        ctx.get(1, "arr", slice(2, 12))
+        assert ctx.stats.bytes_get == 10 * 8
+        ctx.get(1, "arr", 0)
+        assert ctx.stats.bytes_get == 10 * 8 + 8
+
+    def test_narrow_dtype_charges_itemsize(self):
+        runtime = make_runtime(2)
+        runtime.heap.alloc(1, "arr32", SharedArray(16, dtype="int32"))
+        ctx = runtime.contexts[0]
+        ctx.put(1, "arr32", slice(0, 4), 1)
+        ctx.get(1, "arr32", 2)
+        assert ctx.stats.bytes_put == 4 * 4
+        assert ctx.stats.bytes_get == 4
+
+    def test_index_nbytes_matrix(self):
+        array = SharedArray(10, dtype="int64")
+        assert array.index_nbytes(0) == 8
+        assert array.index_nbytes(slice(0, 10)) == 80
+        assert array.index_nbytes(slice(4, None)) == 48
+        assert array.index_nbytes(slice(0, 10, 2)) == 40
+        assert array.index_nbytes([1, 3, 5]) == 24
+
+    def test_explicit_nbytes_still_wins(self):
+        runtime = make_runtime(2)
+        runtime.heap.alloc(1, "arr", SharedArray(16))
+        ctx = runtime.contexts[0]
+        ctx.put(1, "arr", slice(0, 16), 1, nbytes=4)
+        assert ctx.stats.bytes_put == 4
+
+
+def alignment_key(alignment):
+    return (alignment.query_name, alignment.target_id, alignment.score,
+            alignment.query_start, alignment.query_end,
+            alignment.target_start, alignment.target_end, alignment.strand,
+            alignment.is_exact, tuple(map(tuple, alignment.cigar or ())),
+            alignment.identity)
+
+
+class TestPipelineCrossBackendEquivalence:
+    """Satellite: the same dataset through all three backends (with and
+    without the bulk engine) reports identical alignments and SAM output."""
+
+    @pytest.mark.parametrize("bulk_lookups", [False, True])
+    def test_alignments_and_sam_identical(self, small_dataset, small_config,
+                                          bulk_lookups, tmp_path):
+        genome, reads = small_dataset
+        reads = reads[:80]
+        config = small_config.with_(use_bulk_lookups=bulk_lookups,
+                                    lookup_batch_size=16)
+        names = [f"contig{i}" for i in range(len(genome.contigs))]
+        lengths = [len(c) for c in genome.contigs]
+        reference = None
+        for backend in BACKENDS:
+            report = MerAligner(config).run(genome.contigs, reads, n_ranks=4,
+                                            machine=MACHINE, backend=backend)
+            keys = [alignment_key(a) for a in report.alignments]
+            sam_path = tmp_path / f"{backend}_{bulk_lookups}.sam"
+            write_sam(sam_path, report.alignments, names, lengths)
+            sam = sam_path.read_bytes()
+            if reference is None:
+                reference = (keys, sam)
+            assert keys == reference[0], f"alignments differ on {backend}"
+            assert sam == reference[1], f"SAM output differs on {backend}"
+            assert report.config_summary["backend"] == backend
+
+    def test_report_counters_match_without_caches(self, small_dataset,
+                                                  small_config):
+        """With the (node-shared) caches off, every backend reports identical
+        lookup/message counters, not just identical alignments."""
+        genome, reads = small_dataset
+        reads = reads[:60]
+        config = small_config.with_(use_seed_index_cache=False,
+                                    use_target_cache=False)
+        reference = None
+        for backend in BACKENDS:
+            report = MerAligner(config).run(genome.contigs, reads, n_ranks=4,
+                                            machine=MACHINE, backend=backend)
+            stats = report.total_stats
+            observed = (report.counters.seed_lookups,
+                        report.counters.seed_lookup_hits,
+                        report.counters.sw_calls, report.counters.sw_cells,
+                        stats.puts, stats.gets, stats.atomics, stats.barriers,
+                        stats.bytes_put, stats.bytes_get)
+            if reference is None:
+                reference = observed
+            assert observed == reference, backend

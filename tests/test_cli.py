@@ -59,6 +59,23 @@ class TestAlign:
         body = [line for line in lines if not line.startswith("@")]
         assert len(body) > 100
 
+    def test_align_backend_process_sam_byte_identical(self, simulated_dir,
+                                                      tmp_path, capsys):
+        """The acceptance property: --backend process at 4 ranks writes the
+        same SAM bytes as --backend cooperative."""
+        outputs = {}
+        for backend in ("cooperative", "process"):
+            sam_path = tmp_path / f"{backend}.sam"
+            code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                         "--reads", str(simulated_dir / "reads.fastq"),
+                         "--output", str(sam_path),
+                         "--ranks", "4", "--seed-length", "21",
+                         "--seed-stride", "2", "--backend", backend])
+            assert code == 0
+            assert f"backend: {backend}" in capsys.readouterr().out
+            outputs[backend] = sam_path.read_bytes()
+        assert outputs["process"] == outputs["cooperative"]
+
     def test_align_with_optimizations_disabled(self, simulated_dir, tmp_path, capsys):
         sam_path = tmp_path / "out_noopt.sam"
         code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),

@@ -72,3 +72,34 @@ class TestLocalBucketStore:
             entry = store.lookup(key)
             assert entry.values == values
             assert entry.count == len(values)
+
+
+class TestTaggedInsertOrder:
+    """Arrival tags pin a canonical value order regardless of insert order."""
+
+    def test_out_of_order_tags_converge(self):
+        a, b = LocalBucketStore(8), LocalBucketStore(8)
+        tagged = [("k", f"v{i}", (i % 3, i)) for i in range(9)]
+        for key, value, tag in tagged:
+            a.insert(key, value, tag=tag)
+        for key, value, tag in reversed(tagged):
+            b.insert(key, value, tag=tag)
+        assert a.lookup("k").values == b.lookup("k").values
+        assert a.lookup("k").values == sorted(
+            a.lookup("k").values, key=lambda v: dict(
+                (f"v{i}", ((i % 3, i))) for i in range(9))[v])
+
+    def test_untagged_inserts_keep_arrival_order(self):
+        store = LocalBucketStore(8)
+        for value in ("x", "y", "z"):
+            store.insert("k", value)
+        assert store.lookup("k").values == ["x", "y", "z"]
+
+    def test_mixed_tagged_and_untagged_appends_without_crash(self):
+        store = LocalBucketStore(8)
+        store.insert("k", "legacy")          # untagged
+        store.insert("k", "b", tag=(1, 0))
+        store.insert("k", "a", tag=(0, 0))   # out of order after a None tag
+        entry = store.lookup("k")
+        assert entry.values == ["legacy", "b", "a"]
+        assert entry.count == 3
