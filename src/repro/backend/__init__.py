@@ -27,7 +27,8 @@ from __future__ import annotations
 import os
 from typing import Callable
 
-from repro.backend.base import BackendUnavailableError, ExecutionBackend
+from repro.backend.base import (BackendSession, BackendUnavailableError,
+                                ExecutionBackend)
 from repro.backend.cooperative import CooperativeBackend
 from repro.backend.process import ProcessBackend
 from repro.backend.threaded import ThreadedBackend
@@ -83,6 +84,7 @@ register_backend("threaded", ThreadedBackend)
 register_backend("process", ProcessBackend)
 
 __all__ = [
+    "BackendSession",
     "BackendUnavailableError",
     "CooperativeBackend",
     "ExecutionBackend",

@@ -44,6 +44,22 @@ class BackendUnavailableError(RuntimeError):
     """Raised when a backend cannot run on this platform (e.g. no fork)."""
 
 
+class BackendSession:
+    """Resident per-runtime backend state between SPMD invocations.
+
+    A long-lived serving session (see :mod:`repro.service`) issues many
+    ``run_spmd`` invocations against one runtime.  Opening a backend session
+    lets a backend keep its expensive per-invocation machinery alive across
+    them -- the threaded backend keeps one OS thread per rank parked between
+    invocations, the process backend keeps its shared-memory promotions
+    mapped -- instead of building and tearing it down per request.  The base
+    class is a no-op (the cooperative driver is resident by construction).
+    """
+
+    def close(self) -> None:
+        """Release the resident state (idempotent)."""
+
+
 class ExecutionBackend(ABC):
     """Strategy object running one SPMD invocation on a runtime."""
 
@@ -60,6 +76,15 @@ class ExecutionBackend(ABC):
         the rank contexts' clocks and stats updated with cooperative-
         equivalent barrier accounting.
         """
+
+    def open_session(self, runtime) -> BackendSession:
+        """Make ranks resident on *runtime* until the session is closed.
+
+        Subsequent :meth:`execute` calls on the same runtime reuse the
+        resident machinery.  Backends without per-invocation setup return the
+        no-op :class:`BackendSession`.
+        """
+        return BackendSession()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -231,6 +256,7 @@ def barrier_waiter(barrier, timeout: float | None) -> Callable[[], None]:
 
 
 __all__ = [
+    "BackendSession",
     "BackendUnavailableError",
     "ExecutionBackend",
     "RankFailure",

@@ -49,10 +49,11 @@ import traceback
 from multiprocessing import shared_memory
 from typing import Any, Callable, Hashable
 
-from repro.backend.base import (BackendUnavailableError, ExecutionBackend,
-                                RankFailure, RankRun, assemble_phase_specs,
-                                barrier_waiter, drive_rank,
-                                raise_rank_failures, replay_barriers)
+from repro.backend.base import (BackendSession, BackendUnavailableError,
+                                ExecutionBackend, RankFailure, RankRun,
+                                assemble_phase_specs, barrier_waiter,
+                                drive_rank, raise_rank_failures,
+                                replay_barriers)
 from repro.pgas.shared import SharedArray, SharedHeap
 
 
@@ -414,12 +415,22 @@ def _worker_main(rank: int, conn, barrier, runtime, fn, args) -> None:
 # ---------------------------------------------------------------------------
 
 def _promote_arrays(heap: SharedHeap,
-                    registry: dict[tuple[int, str], shared_memory.SharedMemory]
+                    registry: dict[tuple[int, str], shared_memory.SharedMemory],
+                    promoted: list[tuple[SharedArray, shared_memory.SharedMemory]]
+                    | None = None
                     ) -> list[tuple[SharedArray, shared_memory.SharedMemory]]:
-    """Rebind every SharedArray segment onto multiprocessing shared memory."""
-    promoted: list[tuple[SharedArray, shared_memory.SharedMemory]] = []
+    """Rebind every SharedArray segment onto multiprocessing shared memory.
+
+    Segments already present in *registry* (promoted by an earlier invocation
+    of a resident session) are left bound; only newcomers are promoted, so a
+    long-lived serving session pays the promotion cost once per array, not
+    once per request.
+    """
+    if promoted is None:
+        promoted = []
     for rank, name, obj in heap.iter_segments():
-        if isinstance(obj, SharedArray) and obj.nbytes > 0:
+        if (isinstance(obj, SharedArray) and obj.nbytes > 0
+                and (rank, name) not in registry):
             shm = shared_memory.SharedMemory(create=True, size=obj.nbytes)
             obj.rebind(shm.buf)
             registry[(rank, name)] = shm
@@ -441,6 +452,41 @@ def _demote_arrays(promoted: list[tuple[SharedArray, shared_memory.SharedMemory]
                 pass
 
 
+class _ResidentHeapSession(BackendSession):
+    """Keeps the shared-memory heap promotions mapped between invocations.
+
+    Worker ranks are still delivered by ``fork`` per invocation (fork *is*
+    the mechanism that hands the resident driver state -- index, read sets,
+    closures -- to the ranks without pickling), but the expensive part of the
+    per-invocation setup, promoting every :class:`SharedArray` segment into
+    ``multiprocessing.shared_memory`` and copying it back afterwards, happens
+    once per session: the authoritative heap stays resident in shared memory
+    until the session closes.
+    """
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+        self.registry: dict[tuple[int, str], shared_memory.SharedMemory] = {}
+        self.promoted: list[tuple[SharedArray, shared_memory.SharedMemory]] = []
+        self._closed = False
+        _promote_arrays(runtime.heap, self.registry, self.promoted)
+        runtime._process_session = self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _demote_arrays(self.promoted)
+        self.promoted.clear()
+        self.registry.clear()
+        if getattr(self._runtime, "_process_session", None) is self:
+            self._runtime._process_session = None
+
+
 class ProcessBackend(ExecutionBackend):
     """Runs an SPMD function on one forked OS process per rank."""
 
@@ -451,6 +497,10 @@ class ProcessBackend(ExecutionBackend):
         self.timeout = timeout
         self.barrier_timeout = barrier_timeout
 
+    def open_session(self, runtime) -> _ResidentHeapSession:
+        """Keep the heap's shared-memory promotions resident on *runtime*."""
+        return _ResidentHeapSession(runtime)
+
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
                 phase_name: str | None = None) -> list[Any]:
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -459,8 +509,15 @@ class ProcessBackend(ExecutionBackend):
                 "this platform does not provide")
         mp_ctx = multiprocessing.get_context("fork")
         n = runtime.n_ranks
-        shm_registry: dict[tuple[int, str], shared_memory.SharedMemory] = {}
-        promoted = _promote_arrays(runtime.heap, shm_registry)
+        resident = getattr(runtime, "_process_session", None)
+        if resident is not None and not resident.closed:
+            shm_registry = resident.registry
+            promoted = _promote_arrays(runtime.heap, shm_registry,
+                                       resident.promoted)
+        else:
+            resident = None
+            shm_registry = {}
+            promoted = _promote_arrays(runtime.heap, shm_registry)
         outcomes: list[dict | None] = [None] * n
         failures: list[RankFailure] = []
         failures_lock = threading.Lock()
@@ -509,7 +566,8 @@ class ProcessBackend(ExecutionBackend):
                     process.join(timeout=5.0)
             for conn in parent_conns:
                 conn.close()
-            _demote_arrays(promoted)
+            if resident is None:
+                _demote_arrays(promoted)
         raise_rank_failures(failures, self.name)
         missing = [rank for rank, outcome in enumerate(outcomes)
                    if outcome is None]

@@ -19,13 +19,116 @@ backend.
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 from typing import Any, Callable
 
-from repro.backend.base import (ExecutionBackend, RankFailure, RankRun,
-                                assemble_phase_specs, barrier_waiter,
+from repro.backend.base import (BackendSession, ExecutionBackend, RankFailure,
+                                RankRun, assemble_phase_specs, barrier_waiter,
                                 drive_rank, raise_rank_failures,
                                 replay_barriers)
+
+
+class _ResidentThreadPool(BackendSession):
+    """One parked OS thread per rank, reused across SPMD invocations.
+
+    A serving session issues many ``run_spmd`` invocations; instead of
+    spawning and joining ``n_ranks`` threads per invocation, the pool keeps
+    the rank threads resident -- each parked on its inbox queue between
+    invocations -- which is the threaded analogue of keeping SPMD ranks alive
+    between jobs.  A fresh :class:`threading.Barrier` per invocation keeps a
+    broken barrier (failed request) from poisoning the next one.
+    """
+
+    def __init__(self, runtime, timeout: float | None,
+                 barrier_timeout: float | None) -> None:
+        self._runtime = runtime
+        self._timeout = timeout
+        self._barrier_timeout = barrier_timeout
+        self._inboxes = [queue.SimpleQueue() for _ in range(runtime.n_ranks)]
+        self._outbox: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._threads = [threading.Thread(target=self._worker, args=(rank,),
+                                          name=f"repro-rank-{rank}", daemon=True)
+                         for rank in range(runtime.n_ranks)]
+        for thread in self._threads:
+            thread.start()
+        runtime._threaded_session = self
+
+    def _worker(self, rank: int) -> None:
+        inbox = self._inboxes[rank]
+        while True:
+            item = inbox.get()
+            if item is None:
+                return
+            fn, args, barrier = item
+            ctx = self._runtime.contexts[rank]
+            wait = barrier_waiter(barrier, self._barrier_timeout)
+            ctx._barrier_impl = wait
+            try:
+                run = drive_rank(ctx, fn, args, wait)
+                self._outbox.put(("ok", rank, run))
+            except BaseException as exc:  # noqa: BLE001 - reported to driver
+                self._outbox.put(("err", rank, RankFailure(
+                    rank=rank, error=exc,
+                    is_barrier=isinstance(exc, threading.BrokenBarrierError))))
+                # Break the barrier so no other rank deadlocks waiting for us;
+                # the pool itself survives for the next invocation.
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+            finally:
+                ctx._barrier_impl = None
+
+    def run(self, fn: Callable[..., Any], args: tuple) -> list[RankRun]:
+        """Run one SPMD invocation on the resident rank threads."""
+        if self._closed:
+            raise RuntimeError("resident thread pool is closed")
+        n = self._runtime.n_ranks
+        barrier = threading.Barrier(n)
+        for inbox in self._inboxes:
+            inbox.put((fn, args, barrier))
+        runs: list[RankRun | None] = [None] * n
+        failures: list[RankFailure] = []
+        deadline = (time.monotonic() + self._timeout
+                    if self._timeout is not None else None)
+        for _ in range(n):
+            try:
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                status, rank, payload = self._outbox.get(timeout=remaining)
+            except queue.Empty:
+                # A rank is stuck mid-invocation: its eventual outbox entry
+                # would desynchronise the next invocation's collection, so
+                # poison the pool -- the backend falls back to fresh threads
+                # and the parked workers exit once the stuck rank returns.
+                self._closed = True
+                for inbox in self._inboxes:
+                    inbox.put(None)
+                barrier.abort()
+                raise TimeoutError(
+                    "SPMD rank did not finish within the threaded backend "
+                    f"timeout ({self._timeout}s); resident pool retired"
+                    ) from None
+            if status == "ok":
+                runs[rank] = payload
+            else:
+                failures.append(payload)
+        raise_rank_failures(failures, "threaded")
+        return [run for run in runs]  # type: ignore[misc]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            inbox.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if getattr(self._runtime, "_threaded_session", None) is self:
+            self._runtime._threaded_session = None
 
 
 class ThreadedBackend(ExecutionBackend):
@@ -38,9 +141,17 @@ class ThreadedBackend(ExecutionBackend):
         self.timeout = timeout
         self.barrier_timeout = barrier_timeout
 
+    def open_session(self, runtime) -> _ResidentThreadPool:
+        """Park one resident thread per rank until the session closes."""
+        return _ResidentThreadPool(runtime, self.timeout, self.barrier_timeout)
+
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
                 phase_name: str | None = None) -> list[Any]:
-        runs = self._run_threads(runtime, fn, args, record=True)
+        pool = getattr(runtime, "_threaded_session", None)
+        if pool is not None and not pool._closed:
+            runs = pool.run(fn, args)
+        else:
+            runs = self._run_threads(runtime, fn, args, record=True)
         fallback = phase_name or getattr(fn, "__name__", "phase")
         specs = assemble_phase_specs(runs, fallback)
         # Threads ran directly on the parent contexts, so the in-phase work is

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands mirror how the original merAligner is used inside the
+Five subcommands mirror how the original merAligner is used inside the
 Meraculous/HipMer pipeline, plus a data generator for experimentation:
 
 ``meraligner simulate``
@@ -8,11 +8,19 @@ Meraculous/HipMer pipeline, plus a data generator for experimentation:
 
 ``meraligner align``
     Run the fully parallel aligner on a contig FASTA and a read file, write a
-    SAM file and print the per-phase report.
+    SAM file and print (or ``--json-report``) the per-phase report.
 
 ``meraligner compare``
     Run merAligner and the BWA-mem-like / Bowtie2-like baselines (under the
     pMap driver) on the same inputs and print a Table II style comparison.
+
+``meraligner serve``
+    Build the index once, keep the ranks resident, and serve alignment
+    requests over a socket through the micro-batching scheduler.
+
+``meraligner query``
+    Client of ``serve``: send a read file, write the SAM response; also
+    ``--stats`` (JSON service report) and ``--shutdown``.
 
 The CLI is a thin veneer over the public API; everything it does can be done
 programmatically (see the examples/ directory).
@@ -21,6 +29,7 @@ programmatically (see the examples/ directory).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -36,6 +45,34 @@ from repro.io.fastq import write_fastq
 from repro.io.sam import write_sam
 from repro.io.seqdb import records_to_seqdb
 from repro.pgas.cost_model import EDISON_LIKE
+
+
+def _add_aligner_options(parser: argparse.ArgumentParser,
+                         default_ranks: int = 8) -> None:
+    """Aligner configuration flags shared by ``align`` and ``serve``."""
+    parser.add_argument("--ranks", type=int, default=default_ranks,
+                        help="number of simulated ranks (cores)")
+    parser.add_argument("--seed-length", type=int, default=31)
+    parser.add_argument("--no-aggregating-stores", action="store_true")
+    parser.add_argument("--no-caches", action="store_true")
+    parser.add_argument("--no-exact-match", action="store_true")
+    parser.add_argument("--no-permute", action="store_true")
+    parser.add_argument("--max-alignments-per-seed", type=int, default=8)
+    parser.add_argument("--seed-stride", type=int, default=1)
+    parser.add_argument("--bulk-lookups", action="store_true",
+                        help="batch the aligning phase: aggregated bulk seed "
+                             "lookups and fragment fetches over windows of reads")
+    parser.add_argument("--lookup-batch-size", type=int, default=64,
+                        help="reads per bulk window (with --bulk-lookups)")
+    parser.add_argument("--backend",
+                        choices=sorted(available_backends()),
+                        default=None,
+                        help="execution backend: cooperative (deterministic "
+                             "in-process driver, the default), threaded (one "
+                             "OS thread per rank), or process (one OS process "
+                             "per rank with a shared-memory heap); every "
+                             "backend writes byte-identical SAM output. "
+                             "Defaults to $REPRO_BACKEND or cooperative.")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,34 +99,48 @@ def _build_parser() -> argparse.ArgumentParser:
     align = subparsers.add_parser(
         "align", help="align reads (FASTQ/SeqDB) against contigs (FASTA)")
     align.add_argument("--targets", type=Path, required=True,
-                       help="FASTA file of target/contig sequences")
+                       help="FASTA file of target/contig sequences "
+                            "(.gz transparently decompressed)")
     align.add_argument("--reads", type=Path, required=True,
-                       help="FASTQ or SeqDB file of reads")
+                       help="FASTQ or SeqDB file of reads "
+                            "(.fastq.gz transparently decompressed)")
     align.add_argument("--output", type=Path, required=True,
                        help="SAM file to write")
-    align.add_argument("--ranks", type=int, default=8,
-                       help="number of simulated ranks (cores)")
-    align.add_argument("--seed-length", type=int, default=31)
-    align.add_argument("--no-aggregating-stores", action="store_true")
-    align.add_argument("--no-caches", action="store_true")
-    align.add_argument("--no-exact-match", action="store_true")
-    align.add_argument("--no-permute", action="store_true")
-    align.add_argument("--max-alignments-per-seed", type=int, default=8)
-    align.add_argument("--seed-stride", type=int, default=1)
-    align.add_argument("--bulk-lookups", action="store_true",
-                       help="batch the aligning phase: aggregated bulk seed "
-                            "lookups and fragment fetches over windows of reads")
-    align.add_argument("--lookup-batch-size", type=int, default=64,
-                       help="reads per bulk window (with --bulk-lookups)")
-    align.add_argument("--backend",
-                       choices=sorted(available_backends()),
-                       default=None,
-                       help="execution backend: cooperative (deterministic "
-                            "in-process driver, the default), threaded (one "
-                            "OS thread per rank), or process (one OS process "
-                            "per rank with a shared-memory heap); every "
-                            "backend writes byte-identical SAM output. "
-                            "Defaults to $REPRO_BACKEND or cooperative.")
+    align.add_argument("--json-report", type=Path, default=None,
+                       help="also write the per-phase report (timings, "
+                            "communication counters, cache stats) as JSON")
+    _add_aligner_options(align, default_ranks=8)
+
+    serve = subparsers.add_parser(
+        "serve", help="persistent alignment service: build the index once, "
+                      "serve many requests over a socket")
+    serve.add_argument("--targets", type=Path, required=True,
+                       help="FASTA file of target/contig sequences "
+                            "(.gz transparently decompressed)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7679,
+                       help="TCP port to listen on (0 = OS-assigned)")
+    serve.add_argument("--max-batch-requests", type=int, default=8,
+                       help="maximum requests coalesced into one micro-batch")
+    serve.add_argument("--max-wait-ms", type=float, default=20.0,
+                       help="micro-batching latency budget: how long to wait "
+                            "for more requests after the first one arrives")
+    _add_aligner_options(serve, default_ranks=8)
+
+    query = subparsers.add_parser(
+        "query", help="client of 'serve': align a read file, write SAM")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7679)
+    query.add_argument("--reads", type=Path, default=None,
+                       help="FASTQ file of reads to align "
+                            "(.fastq.gz transparently decompressed)")
+    query.add_argument("--output", type=Path, default=None,
+                       help="SAM file to write (default: stdout)")
+    query.add_argument("--stats", action="store_true",
+                       help="print the service's JSON statistics report")
+    query.add_argument("--shutdown", action="store_true",
+                       help="ask the server to shut down cleanly")
+    query.add_argument("--timeout", type=float, default=300.0)
 
     compare = subparsers.add_parser(
         "compare", help="compare merAligner against the pMap-driven baselines")
@@ -158,6 +209,74 @@ def _cmd_align(args: argparse.Namespace) -> int:
         print(f"  {phase.name:28s} {phase.elapsed:.6f}")
     print(f"  {'total':28s} {report.total_time:.6f}")
     print(f"wrote {len(report.alignments)} alignments to {args.output}")
+    if args.json_report is not None:
+        report.write_json(args.json_report)
+        print(f"wrote JSON report to {args.json_report}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AlignmentServer, RequestScheduler
+
+    config = _config_from_args(args)
+    backend = args.backend or default_backend_name()
+    print(f"building index from {args.targets} "
+          f"({args.ranks} ranks, {backend} backend)...", flush=True)
+    session = MerAligner(config).prepare(args.targets, n_ranks=args.ranks,
+                                         machine=EDISON_LIKE, backend=backend)
+    print(f"index ready: {session.prepared.seed_index.n_keys} seeds over "
+          f"{session.prepared.n_fragments} fragments "
+          f"(modelled build time "
+          f"{session.prepared.index_construction_time:.6f}s)", flush=True)
+    scheduler = RequestScheduler(session,
+                                 max_batch_requests=args.max_batch_requests,
+                                 max_wait_s=args.max_wait_ms / 1000.0)
+    server = AlignmentServer(scheduler, host=args.host, port=args.port)
+    print(f"serving on {server.host}:{server.port} "
+          "(PING / ALIGN / STATS / SHUTDOWN)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        scheduler.close()
+        session.close()
+    stats = scheduler.stats()
+    print(f"served {stats.requests} requests in {stats.batches} batches "
+          f"(occupancy {stats.batch_occupancy:.2f}); shutdown complete",
+          flush=True)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.io.fastq import read_fastq
+    from repro.service import SocketAlignmentClient
+
+    client = SocketAlignmentClient(host=args.host, port=args.port,
+                                   timeout=args.timeout)
+    ran_command = False
+    if args.reads is not None:
+        sam = client.align_sam(read_fastq(args.reads))
+        if args.output is not None:
+            args.output.write_text(sam, encoding="ascii")
+            records = sum(1 for line in sam.splitlines()
+                          if line and not line.startswith("@"))
+            print(f"wrote {records} alignments to {args.output}")
+        else:
+            sys.stdout.write(sam)
+        ran_command = True
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        ran_command = True
+    if args.shutdown:
+        client.shutdown()
+        print("server shutdown requested")
+        ran_command = True
+    if not ran_command:
+        print("nothing to do: pass --reads, --stats and/or --shutdown",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -197,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "align": _cmd_align,
         "compare": _cmd_compare,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
     }
     # argparse enforces that args.command is one of the handlers.
     return handlers[args.command](args)

@@ -53,17 +53,27 @@ from repro.pgas.runtime import PgasRuntime, RankContext
 
 def _normalize_targets(targets) -> list[str]:
     """Accept a FASTA path, FastaRecords, or plain sequences."""
+    return [sequence for _name, sequence in _normalize_targets_named(targets)]
+
+
+def _normalize_targets_named(targets) -> list[tuple[str, str]]:
+    """Like :func:`_normalize_targets` but keeps (or synthesizes) names.
+
+    The alignment service needs target names to emit SAM headers identical to
+    the offline CLI; plain sequences get the same ``contig{i:05d}`` names the
+    data generator writes.
+    """
     if isinstance(targets, (str, Path)):
-        return [record.sequence for record in read_fasta(targets)]
-    normalized: list[str] = []
-    for item in targets:
+        return [(record.name, record.sequence) for record in read_fasta(targets)]
+    named: list[tuple[str, str]] = []
+    for index, item in enumerate(targets):
         if isinstance(item, FastaRecord):
-            normalized.append(item.sequence)
+            named.append((item.name, item.sequence))
         elif isinstance(item, str):
-            normalized.append(item)
+            named.append((f"contig{index:05d}", item))
         else:
             raise TypeError(f"unsupported target type: {type(item)!r}")
-    return normalized
+    return named
 
 
 def _normalize_reads(reads) -> list[ReadRecord]:
@@ -83,6 +93,22 @@ def _normalize_reads(reads) -> list[ReadRecord]:
         else:
             raise TypeError(f"unsupported read type: {type(item)!r}")
     return normalized
+
+
+def config_summary(config: AlignerConfig, backend: str) -> dict:
+    """The configuration digest embedded in every :class:`AlignerReport`."""
+    return {
+        "seed_length": config.seed_length,
+        "aggregating_stores": config.use_aggregating_stores,
+        "seed_index_cache": config.use_seed_index_cache,
+        "target_cache": config.use_target_cache,
+        "exact_match_optimization": config.use_exact_match_optimization,
+        "permute_reads": config.permute_reads,
+        "max_alignments_per_seed": config.max_alignments_per_seed,
+        "bulk_lookups": config.use_bulk_lookups,
+        "lookup_batch_size": config.lookup_batch_size,
+        "backend": backend,
+    }
 
 
 class MerAligner:
@@ -144,8 +170,9 @@ class MerAligner:
 
         counters = AlignmentCounters()
         alignments: list[Alignment] = []
-        for rank_alignments, rank_counters in result.results:
-            alignments.extend(rank_alignments)
+        for rank_groups, rank_counters in result.results:
+            for _read_index, group in rank_groups:
+                alignments.extend(group)
             counters = counters.merge(rank_counters)
 
         cache_stats = {}
@@ -156,18 +183,7 @@ class MerAligner:
 
         return AlignerReport(
             n_ranks=runtime.n_ranks,
-            config_summary={
-                "seed_length": config.seed_length,
-                "aggregating_stores": config.use_aggregating_stores,
-                "seed_index_cache": config.use_seed_index_cache,
-                "target_cache": config.use_target_cache,
-                "exact_match_optimization": config.use_exact_match_optimization,
-                "permute_reads": config.permute_reads,
-                "max_alignments_per_seed": config.max_alignments_per_seed,
-                "bulk_lookups": config.use_bulk_lookups,
-                "lookup_batch_size": config.lookup_batch_size,
-                "backend": result.backend,
-            },
+            config_summary=config_summary(config, result.backend),
             alignments=alignments,
             counters=counters,
             phases=result.phases,
@@ -178,6 +194,34 @@ class MerAligner:
             cache_stats=cache_stats,
         )
 
+    def prepare(self, targets, n_ranks: int = 4,
+                machine: MachineModel = EDISON_LIKE,
+                backend: str | None = None, target_names: list[str] | None = None):
+        """Build the distributed index once and return a resident session.
+
+        The expensive SPMD index-construction phases (target fragmentation,
+        seed extraction and routing, single-copy marking) run exactly once;
+        the returned :class:`~repro.service.session.AlignmentSession` keeps
+        the runtime, seed index, target store and per-node caches alive so
+        ``session.align(reads)`` can be called many times, each call running
+        only the aligning phases.  This is the serving path: one index, many
+        independent requests, on any execution backend.
+
+        Args:
+            targets: FASTA path (optionally gzipped), :class:`FastaRecord`
+                list, or plain sequences.
+            n_ranks: number of simulated ranks (cores).
+            machine: machine model used for cost accounting.
+            backend: execution backend name; ``None`` uses ``REPRO_BACKEND``
+                or ``cooperative``.
+            target_names: SAM reference names; derived from the targets when
+                omitted.
+        """
+        from repro.service.session import AlignmentSession
+        runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
+        return AlignmentSession.build(self, runtime, targets, backend=backend,
+                                      target_names=target_names)
+
     # -- the per-rank SPMD program -------------------------------------------------
 
     def _rank_program(self, ctx: RankContext, target_seqs: list[str],
@@ -185,6 +229,20 @@ class MerAligner:
                       seed_index: SeedIndex,
                       seed_cache: SoftwareCache | None,
                       target_cache: SoftwareCache | None):
+        """One rank's complete program: index construction, then alignment."""
+        yield from self._index_program(ctx, target_seqs, target_store, seed_index)
+        return (yield from self._query_program(ctx, read_records, seed_index,
+                                               target_store, seed_cache,
+                                               target_cache))
+
+    def _index_program(self, ctx: RankContext, target_seqs: list[str],
+                       target_store: TargetStore, seed_index: SeedIndex):
+        """Phases 1-4: build the distributed seed index and target store.
+
+        Runs once per session on the serving path (:meth:`prepare`) and once
+        per :meth:`run` on the one-shot path; the phases and cost accounting
+        are identical in both.
+        """
         config = self.config
 
         # Phase 1: parallel read + fragmentation + storage of targets.
@@ -226,8 +284,25 @@ class MerAligner:
             seed_index.mark_single_copy_flags(ctx, target_store)
         yield "mark_single_copy"
 
+    def _query_program(self, ctx: RankContext, read_records: list[ReadRecord],
+                       seed_index: SeedIndex, target_store: TargetStore,
+                       seed_cache: SoftwareCache | None,
+                       target_cache: SoftwareCache | None):
+        """Phases 5-6: read the query chunk and align it.
+
+        Returns ``([(read_index, alignments), ...], counters)`` where
+        ``read_index`` is the read's position in *read_records* and every read
+        of this rank's chunk appears exactly once (possibly with an empty
+        alignment list).  Concatenating the groups in rank order reproduces
+        the flat alignment list of the one-shot path; the alignment service
+        uses the indices to demultiplex coalesced requests.
+        """
+        config = self.config
+
         # Phase 5: parallel read of the (optionally permuted) query chunk.
-        my_reads = chunk_for_rank(read_records, ctx.me, ctx.n_ranks)
+        my_indices = chunk_for_rank(list(range(len(read_records))),
+                                    ctx.me, ctx.n_ranks)
+        my_reads = [read_records[i] for i in my_indices]
         read_bytes = sum(len(r.sequence) // 4 + len(r.quality) + len(r.name)
                          for r in my_reads)
         ctx.charge_io_bytes(read_bytes, category="io:queries")
@@ -236,21 +311,22 @@ class MerAligner:
         # Phase 6: the aligning phase -- fine-grained (one message per seed
         # lookup / fragment fetch) or windowed bulk batching over W reads.
         counters = AlignmentCounters()
-        alignments: list[Alignment] = []
+        groups: list[tuple[int, list[Alignment]]] = []
         if config.use_bulk_lookups:
             window = config.lookup_batch_size
             for start in range(0, len(my_reads), window):
-                alignments.extend(
-                    self._align_batch(ctx, my_reads[start:start + window],
-                                      seed_index, target_store, seed_cache,
-                                      target_cache, counters))
+                per_read = self._align_batch(
+                    ctx, my_reads[start:start + window], seed_index,
+                    target_store, seed_cache, target_cache, counters)
+                groups.extend(zip(my_indices[start:start + window], per_read))
         else:
-            for read in my_reads:
-                alignments.extend(
-                    self._align_read(ctx, read, seed_index, target_store,
-                                     seed_cache, target_cache, counters))
+            for read_index, read in zip(my_indices, my_reads):
+                groups.append((read_index,
+                               self._align_read(ctx, read, seed_index,
+                                                target_store, seed_cache,
+                                                target_cache, counters)))
         yield "align_reads"
-        return alignments, counters
+        return groups, counters
 
     # -- aligning one read ------------------------------------------------------------
 
@@ -392,7 +468,7 @@ class MerAligner:
                      seed_index: SeedIndex, target_store: TargetStore,
                      seed_cache: SoftwareCache | None,
                      target_cache: SoftwareCache | None,
-                     counters: AlignmentCounters) -> list[Alignment]:
+                     counters: AlignmentCounters) -> list[list[Alignment]]:
         """Align a window of W reads with bulk communication at every stage.
 
         The stages mirror :meth:`_align_read` exactly -- same candidate dedupe
@@ -400,16 +476,23 @@ class MerAligner:
         -- so the batched and fine-grained paths produce identical alignments;
         only the message pattern differs (one aggregated get per destination
         rank per stage instead of one message per seed/fragment).
+
+        Returns one alignment list per input read, in read order (a read too
+        short to seed gets an empty list), so callers -- the one-shot flat
+        path and the demultiplexing alignment service -- can both consume it.
         """
         config = self.config
         k = config.seed_length
         active: list[tuple[ReadRecord, list[tuple[str, str]]]] = []
-        for read in reads:
+        active_slots: list[int] = []
+        for slot, read in enumerate(reads):
             counters.reads_processed += 1
             if len(read.sequence) >= k:
                 active.append((read, self._orientations(read.sequence)))
+                active_slots.append(slot)
+        per_read: list[list[Alignment]] = [[] for _ in reads]
         if not active:
-            return []
+            return per_read
 
         resolved: dict[int, Alignment] = {}
         if config.use_exact_match_optimization:
@@ -489,21 +572,21 @@ class MerAligner:
                 per_read_alignments.setdefault(read_index, []).append(alignment)
 
         # Reassemble in read order so output matches the fine-grained path.
-        results: list[Alignment] = []
         for read_index in range(len(active)):
+            slot = active_slots[read_index]
             exact = resolved.get(read_index)
             if exact is not None:
                 counters.reads_aligned += 1
                 counters.exact_path_hits += 1
                 counters.alignments_reported += 1
-                results.append(exact)
+                per_read[slot] = [exact]
                 continue
             alignments = per_read_alignments.get(read_index, [])
             if alignments:
                 counters.reads_aligned += 1
             counters.alignments_reported += len(alignments)
-            results.extend(alignments)
-        return results
+            per_read[slot] = alignments
+        return per_read
 
     def _exact_batch(self, ctx: RankContext,
                      active: list[tuple[ReadRecord, list[tuple[str, str]]]],

@@ -10,7 +10,9 @@ rank (Table I), and the index-construction/mapping split (Table II).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 from repro.alignment.result import Alignment
 from repro.pgas.cost_model import CommStats
@@ -182,3 +184,54 @@ class AlignerReport:
             "sw_calls": float(self.counters.sw_calls),
             "seed_lookups": float(self.counters.seed_lookups),
         }
+
+    # -- machine-readable export ---------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The whole report as plain JSON-serialisable types.
+
+        This is what ``meraligner align --json-report`` writes and what the
+        alignment service's ``STATS`` endpoint embeds, so downstream tooling
+        can consume per-phase timings and communication counters without
+        parsing the pretty-printed output.  Alignments themselves are not
+        included (they go to SAM).
+        """
+        totals = self.total_stats
+        comm = asdict(totals)
+        comm["time_by_category"] = dict(sorted(totals.time_by_category.items()))
+        return {
+            "n_ranks": self.n_ranks,
+            "config": dict(self.config_summary),
+            "counters": asdict(self.counters),
+            "phases": [
+                {
+                    "name": phase.name,
+                    "elapsed": phase.elapsed,
+                    "wall_seconds": phase.wall_seconds,
+                    "total_compute": phase.total_compute,
+                    "total_comm": phase.total_comm,
+                }
+                for phase in self.phases
+            ],
+            "times": {
+                "total_time": self.total_time,
+                "io_time": self.io_time,
+                "index_construction_time": self.index_construction_time,
+                "alignment_time": self.alignment_time,
+            },
+            "comm": comm,
+            "seed_index": {
+                "keys": self.seed_index_keys,
+                "values": self.seed_index_values,
+            },
+            "single_copy_fragment_fraction": self.single_copy_fragment_fraction,
+            "cache_stats": {name: asdict(stats)
+                            for name, stats in self.cache_stats.items()},
+            "n_alignments": len(self.alignments),
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        """Write :meth:`to_json_dict` to *path* as indented JSON."""
+        Path(path).write_text(json.dumps(self.to_json_dict(), indent=2,
+                                         sort_keys=True) + "\n",
+                              encoding="ascii")

@@ -2,8 +2,21 @@
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
 from pathlib import Path
+
+
+def open_text_auto(path: str | Path):
+    """Open *path* for text reading, transparently decompressing ``.gz`` files.
+
+    Real-world read sets and assemblies ship gzipped (``.fasta.gz`` /
+    ``.fastq.gz``); the suffix is sniffed so every reader in :mod:`repro.io`
+    accepts both forms without callers caring.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, "rt", encoding="ascii")
+    return open(path, "r", encoding="ascii")
 
 
 @dataclass(frozen=True)
@@ -19,7 +32,7 @@ class FastaRecord:
 
 
 def read_fasta(path: str | Path) -> list[FastaRecord]:
-    """Parse a FASTA file into a list of records.
+    """Parse a FASTA file (optionally gzipped) into a list of records.
 
     Multi-line sequences are concatenated; blank lines are ignored.  Raises
     ``ValueError`` on malformed input (sequence data before the first header).
@@ -27,7 +40,7 @@ def read_fasta(path: str | Path) -> list[FastaRecord]:
     records: list[FastaRecord] = []
     name: str | None = None
     chunks: list[str] = []
-    with open(path, "r", encoding="ascii") as handle:
+    with open_text_auto(path) as handle:
         for raw_line in handle:
             line = raw_line.strip()
             if not line:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.dna.synthetic import ReadRecord
+from repro.io.fasta import open_text_auto
 
 
 @dataclass(frozen=True)
@@ -38,12 +39,12 @@ class FastqRecord:
 
 
 def read_fastq(path: str | Path) -> list[FastqRecord]:
-    """Parse a FASTQ file (4 lines per record).
+    """Parse a FASTQ file (optionally gzipped; 4 lines per record).
 
     Raises ``ValueError`` for truncated files or malformed separators.
     """
     records: list[FastqRecord] = []
-    with open(path, "r", encoding="ascii") as handle:
+    with open_text_auto(path) as handle:
         lines = [line.rstrip("\n") for line in handle]
     if len(lines) % 4 not in (0,):
         # allow a single trailing blank line

@@ -27,17 +27,26 @@ def sam_header(target_names: Sequence[str], target_lengths: Sequence[int],
     return lines
 
 
-def write_sam(path: str | Path, alignments: Sequence[Alignment],
-              target_names: Sequence[str], target_lengths: Sequence[int]) -> int:
-    """Write alignments as a SAM file; returns the number of records written."""
+def sam_text(alignments: Sequence[Alignment], target_names: Sequence[str],
+             target_lengths: Sequence[int]) -> str:
+    """Render alignments as the full text of a SAM file (header + records).
+
+    This is the exact content :func:`write_sam` writes; the alignment service
+    streams it over a socket instead of through a file.
+    """
     lines = sam_header(target_names, target_lengths)
-    written = 0
     for alignment in alignments:
         if 0 <= alignment.target_id < len(target_names):
             name = target_names[alignment.target_id]
         else:
             name = f"target{alignment.target_id}"
         lines.append(alignment.to_sam_line(name))
-        written += 1
-    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
-    return written
+    return "\n".join(lines) + "\n"
+
+
+def write_sam(path: str | Path, alignments: Sequence[Alignment],
+              target_names: Sequence[str], target_lengths: Sequence[int]) -> int:
+    """Write alignments as a SAM file; returns the number of records written."""
+    Path(path).write_text(sam_text(alignments, target_names, target_lengths),
+                          encoding="ascii")
+    return len(alignments)

@@ -1,0 +1,45 @@
+"""The persistent alignment service.
+
+merAligner amortizes the distributed seed-index construction over billions of
+reads inside one batch job; this package turns that amortization into an
+*online serving path*:
+
+:mod:`repro.service.session`
+    :class:`~repro.service.session.AlignmentSession` -- build the index once
+    (``MerAligner.prepare``) and keep the SPMD ranks, shared heap, seed index,
+    target store and per-node caches resident; ``session.align(reads)`` runs
+    only the aligning phases, any number of times, on any execution backend.
+
+:mod:`repro.service.scheduler`
+    :class:`~repro.service.scheduler.RequestScheduler` -- accepts concurrent
+    client submissions, coalesces them into micro-batches (configurable max
+    batch size / max latency), fans each batch through the bulk-lookup engine
+    in a single SPMD invocation and demultiplexes per-request results, with a
+    service-level statistics report (requests, p50/p95 modelled latency,
+    batch occupancy).
+
+:mod:`repro.service.server` / :mod:`repro.service.client`
+    A line-protocol socket server streaming SAM responses (``meraligner
+    serve``), the matching socket client (``meraligner query``) and the
+    in-process :class:`~repro.service.client.AlignmentClient` API.
+
+Every request reports alignments byte-identical to an offline ``meraligner
+align`` run on the same reads, regardless of how requests were batched or
+which backend executes them.
+"""
+
+from repro.service.client import AlignmentClient, SocketAlignmentClient
+from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
+from repro.service.server import AlignmentServer
+from repro.service.session import AlignmentSession, PreparedIndex
+
+__all__ = [
+    "AlignmentClient",
+    "AlignmentServer",
+    "AlignmentSession",
+    "PreparedIndex",
+    "RequestResult",
+    "RequestScheduler",
+    "ServiceStats",
+    "SocketAlignmentClient",
+]

@@ -1,0 +1,121 @@
+"""Clients of the alignment service.
+
+:class:`AlignmentClient`
+    The in-process API: wraps a :class:`~repro.service.scheduler.RequestScheduler`
+    (or builds one from a session), submits read sets and returns
+    :class:`~repro.service.scheduler.RequestResult` objects without any
+    sockets involved.  This is what notebooks / driver scripts use.
+
+:class:`SocketAlignmentClient`
+    Talks the line protocol of :mod:`repro.service.server` over TCP -- what
+    ``meraligner query`` uses.  One connection per call keeps it trivially
+    robust; the server is a threading server, so concurrent clients still
+    coalesce into micro-batches.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
+from repro.service.server import fastq_payload
+from repro.service.session import AlignmentSession
+
+
+class AlignmentClient:
+    """In-process client of a resident alignment session."""
+
+    def __init__(self, scheduler_or_session) -> None:
+        if isinstance(scheduler_or_session, AlignmentSession):
+            self.scheduler = RequestScheduler(scheduler_or_session)
+            self._owns_scheduler = True
+        elif isinstance(scheduler_or_session, RequestScheduler):
+            self.scheduler = scheduler_or_session
+            self._owns_scheduler = False
+        else:
+            raise TypeError("AlignmentClient wraps an AlignmentSession or a "
+                            "RequestScheduler, got "
+                            f"{type(scheduler_or_session).__name__}")
+
+    def submit(self, reads):
+        """Non-blocking submission; returns a waitable request future."""
+        return self.scheduler.submit(reads)
+
+    def align(self, reads, timeout: float | None = None) -> RequestResult:
+        """Align one read set and wait for its demultiplexed result."""
+        return self.scheduler.align(reads, timeout=timeout)
+
+    def align_sam(self, reads, timeout: float | None = None) -> str:
+        """Align one read set and return the SAM text."""
+        return self.align(reads, timeout=timeout).sam
+
+    def stats(self) -> ServiceStats:
+        return self.scheduler.stats()
+
+    def close(self) -> None:
+        """Close the scheduler if this client created it."""
+        if self._owns_scheduler:
+            self.scheduler.close()
+
+    def __enter__(self) -> "AlignmentClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceError(RuntimeError):
+    """An ``ERR`` response from the alignment server."""
+
+
+class SocketAlignmentClient:
+    """TCP client for the ``meraligner serve`` line protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7679,
+                 timeout: float | None = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- wire helpers ---------------------------------------------------------
+
+    def _roundtrip(self, command: str, payload: bytes = b"") -> bytes:
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as conn:
+            conn.sendall(command.encode("ascii") + b"\n" + payload)
+            with conn.makefile("rb") as rfile:
+                status = rfile.readline().decode("ascii").strip()
+                if status.startswith("ERR"):
+                    raise ServiceError(status[3:].strip() or "server error")
+                if not status.startswith("OK"):
+                    raise ServiceError(f"malformed server response {status!r}")
+                n_bytes = int(status.split()[1])
+                body = rfile.read(n_bytes) if n_bytes else b""
+                if len(body) != n_bytes:
+                    raise ServiceError("truncated server response")
+                return body
+
+    # -- commands -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """True when the server answers the readiness probe."""
+        try:
+            self._roundtrip("PING")
+            return True
+        except (OSError, ServiceError):
+            return False
+
+    def align_sam(self, reads) -> str:
+        """Align reads (FastqRecord/ReadRecord) and return the SAM text."""
+        reads = list(reads)
+        return self._roundtrip(f"ALIGN {len(reads)}",
+                               fastq_payload(reads)).decode("ascii")
+
+    def stats(self) -> dict:
+        """The server's service/session statistics as parsed JSON."""
+        return json.loads(self._roundtrip("STATS").decode("ascii"))
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down cleanly."""
+        self._roundtrip("SHUTDOWN")

@@ -1,0 +1,341 @@
+"""The micro-batching request scheduler of the alignment service.
+
+Concurrent clients submit read sets; the scheduler coalesces whatever is
+waiting into a micro-batch -- bounded by a maximum number of requests and a
+maximum collection latency -- and runs the whole batch through the resident
+session's bulk-lookup engine as **one** SPMD invocation
+(:meth:`~repro.service.session.AlignmentSession.align_many`).  Results are
+demultiplexed per request: each :class:`RequestResult` carries the request's
+own alignments (byte-identical to a one-shot run of its reads), its derived
+per-request counters, and the serving batch's shared communication
+statistics and phase deltas.
+
+Batching is a throughput/latency trade, and the service-level
+:class:`ServiceStats` report makes it visible: request count, batch count and
+occupancy (requests coalesced per batch), and the p50/p95 of the modelled
+per-request latency (queueing is host-side, so latency is modelled as the
+serving batch's modelled elapsed time; the measured host wall latency is
+reported per request as well).
+
+One worker thread executes batches serially -- the runtime is a single
+simulated machine, so micro-batching *is* the concurrency story: requests
+share invocations instead of racing for the ranks.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.alignment.result import Alignment
+from repro.core.stats import AlignmentCounters
+from repro.pgas.cost_model import CommStats
+from repro.pgas.trace import PhaseTrace
+from repro.service.session import AlignmentSession
+
+
+@dataclass
+class RequestResult:
+    """One request's demultiplexed share of a served micro-batch."""
+
+    request_id: int
+    alignments: list[Alignment]
+    counters: AlignmentCounters
+    sam: str
+    batch_id: int
+    batch_requests: int
+    batch_reads: int
+    batch_stats: CommStats
+    batch_phases: list[PhaseTrace]
+    modeled_latency: float
+    wall_latency: float
+
+
+class AlignmentRequest:
+    """A submitted request: a future resolving to a :class:`RequestResult`."""
+
+    def __init__(self, request_id: int, reads) -> None:
+        self.request_id = request_id
+        self.reads = reads
+        self.submitted_at = time.perf_counter()
+        self._done = threading.Event()
+        self._result: RequestResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> RequestResult:
+        """Block until the request is served; re-raises a serving failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"alignment request {self.request_id} not served within "
+                f"{timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: RequestResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+#: Latency samples kept for the percentile estimates.  Counters cover every
+#: request ever served; the p50/p95 figures are computed over the most recent
+#: window so a long-lived service's memory stays bounded.
+LATENCY_SAMPLE_WINDOW = 4096
+
+
+@dataclass
+class ServiceStats:
+    """Service-level statistics over every request served so far."""
+
+    requests: int = 0
+    batches: int = 0
+    reads: int = 0
+    alignments: int = 0
+    failed_requests: int = 0
+    modeled_latencies: list[float] = field(default_factory=list)
+    wall_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean number of requests coalesced per micro-batch."""
+        return self.requests / self.batches if self.batches else 0.0
+
+    @staticmethod
+    def _percentile(samples: list[float], fraction: float) -> float:
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def p50_modeled_latency(self) -> float:
+        return self._percentile(self.modeled_latencies, 0.50)
+
+    @property
+    def p95_modeled_latency(self) -> float:
+        return self._percentile(self.modeled_latencies, 0.95)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "reads": self.reads,
+            "alignments": self.alignments,
+            "failed_requests": self.failed_requests,
+            "batch_occupancy": self.batch_occupancy,
+            "p50_modeled_latency": self.p50_modeled_latency,
+            "p95_modeled_latency": self.p95_modeled_latency,
+            "p50_wall_latency": self._percentile(self.wall_latencies, 0.50),
+            "p95_wall_latency": self._percentile(self.wall_latencies, 0.95),
+        }
+
+    def report(self) -> str:
+        """Human-readable one-block summary (the ``serve`` log format)."""
+        data = self.to_json_dict()
+        return json.dumps(data, indent=2, sort_keys=True)
+
+
+class RequestScheduler:
+    """Coalesces concurrent submissions into micro-batched SPMD invocations."""
+
+    _SHUTDOWN = object()
+
+    def __init__(self, session: AlignmentSession,
+                 max_batch_requests: int = 8,
+                 max_batch_reads: int | None = None,
+                 max_wait_s: float = 0.02,
+                 warm_caches: bool = False) -> None:
+        """Args:
+            session: the resident :class:`AlignmentSession` to serve from.
+            max_batch_requests: hard cap on requests coalesced per batch.
+            max_batch_reads: optional cap on total reads per batch (a huge
+                request still runs, alone, in its own batch).
+            max_wait_s: how long the collector waits for more requests after
+                the first one arrives (the micro-batching latency budget).
+            warm_caches: forwarded to ``align_many`` -- keep per-node caches
+                warm across requests instead of the cold-per-request default.
+        """
+        if max_batch_requests <= 0:
+            raise ValueError("max_batch_requests must be positive")
+        if max_batch_reads is not None and max_batch_reads <= 0:
+            raise ValueError("max_batch_reads must be positive")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+        self.session = session
+        self.max_batch_requests = max_batch_requests
+        self.max_batch_reads = max_batch_reads
+        self.max_wait_s = max_wait_s
+        self.warm_caches = warm_caches
+        self._queue: queue.Queue = queue.Queue()
+        self._stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._next_batch_id = 0
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop,
+                                        name="repro-scheduler", daemon=True)
+        self._worker.start()
+
+    # -- client surface -------------------------------------------------------
+
+    def submit(self, reads) -> AlignmentRequest:
+        """Enqueue a read set; returns immediately with a waitable request.
+
+        Accepts anything ``MerAligner.run`` accepts as reads (a FASTQ/SeqDB
+        path, FASTQ records, read records); normalization happens here, on
+        the caller's thread, so a malformed submission fails the caller --
+        never the shared batching worker.
+        """
+        if self._closed:
+            raise RuntimeError("request scheduler is closed")
+        from repro.core.pipeline import _normalize_reads
+        reads = _normalize_reads(reads)
+        with self._id_lock:
+            request_id = self._next_id
+            self._next_id += 1
+        request = AlignmentRequest(request_id, reads)
+        self._queue.put(request)
+        return request
+
+    def align(self, reads, timeout: float | None = None) -> RequestResult:
+        """Submit and wait: the synchronous client call."""
+        return self.submit(reads).result(timeout)
+
+    def stats(self) -> ServiceStats:
+        """A consistent snapshot of the service-level statistics."""
+        with self._stats_lock:
+            return ServiceStats(
+                requests=self._stats.requests,
+                batches=self._stats.batches,
+                reads=self._stats.reads,
+                alignments=self._stats.alignments,
+                failed_requests=self._stats.failed_requests,
+                modeled_latencies=list(self._stats.modeled_latencies),
+                wall_latencies=list(self._stats.wall_latencies),
+            )
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop accepting submissions and join the worker (idempotent).
+
+        Requests already queued are failed with a descriptive error; callers
+        should drain their futures before closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(self._SHUTDOWN)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the batching worker --------------------------------------------------
+
+    def _collect_batch(self) -> list[AlignmentRequest] | None:
+        """Block for the first request, then coalesce until full or timed out.
+
+        Returns ``None`` when the scheduler is shutting down.
+        """
+        while True:
+            item = self._queue.get()
+            if item is self._SHUTDOWN:
+                return None
+            break
+        batch = [item]
+        total_reads = len(item.reads)
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_requests:
+            if (self.max_batch_reads is not None
+                    and total_reads >= self.max_batch_reads):
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is self._SHUTDOWN:
+                # Serve what we have; the loop exits on the re-queued marker.
+                self._queue.put(self._SHUTDOWN)
+                break
+            batch.append(item)
+            total_reads += len(item.reads)
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                break
+            self._serve_batch(batch)
+        # Fail anything that slipped in behind the shutdown marker.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not self._SHUTDOWN:
+                item._fail(RuntimeError("request scheduler closed before "
+                                        "the request was served"))
+
+    def _serve_batch(self, batch: list[AlignmentRequest]) -> None:
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        try:
+            outcome = self.session.align_many([r.reads for r in batch],
+                                              warm_caches=self.warm_caches)
+        except BaseException as exc:  # noqa: BLE001 - delivered to clients
+            with self._stats_lock:
+                self._stats.failed_requests += len(batch)
+            for request in batch:
+                request._fail(exc)
+            return
+        served_at = time.perf_counter()
+        batch_stats = outcome.stats
+        results = []
+        for request, alignments, counters in zip(
+                batch, outcome.per_request_alignments,
+                outcome.per_request_counters):
+            results.append(RequestResult(
+                request_id=request.request_id,
+                alignments=alignments,
+                counters=counters,
+                sam=self.session.sam_for(alignments),
+                batch_id=batch_id,
+                batch_requests=len(batch),
+                batch_reads=outcome.n_reads,
+                batch_stats=batch_stats,
+                batch_phases=outcome.phases,
+                modeled_latency=outcome.modeled_elapsed,
+                wall_latency=served_at - request.submitted_at,
+            ))
+        with self._stats_lock:
+            self._stats.requests += len(batch)
+            self._stats.batches += 1
+            self._stats.reads += outcome.n_reads
+            self._stats.alignments += sum(len(r.alignments) for r in results)
+            self._stats.modeled_latencies.extend(
+                result.modeled_latency for result in results)
+            self._stats.wall_latencies.extend(
+                result.wall_latency for result in results)
+            del self._stats.modeled_latencies[:-LATENCY_SAMPLE_WINDOW]
+            del self._stats.wall_latencies[:-LATENCY_SAMPLE_WINDOW]
+        for request, result in zip(batch, results):
+            request._resolve(result)

@@ -1,0 +1,212 @@
+"""The alignment service's socket server (``meraligner serve``).
+
+A deliberately small, line-oriented protocol over TCP -- one command per
+request, every response prefixed with a status line so clients never have to
+guess payload boundaries:
+
+``ALIGN <n_reads>`` followed by ``4 * n_reads`` FASTQ lines
+    Align the reads through the scheduler; responds ``OK <n_bytes>`` followed
+    by exactly *n_bytes* of SAM text (header + records), byte-identical to
+    what ``meraligner align`` writes for the same reads.
+``STATS``
+    Responds ``OK <n_bytes>`` + a JSON document: the service-level scheduler
+    statistics (requests, p50/p95 modelled latency, batch occupancy) and the
+    session's index summary -- the machine-readable twin of ``--json-report``.
+``PING``
+    Responds ``OK 0`` (used for readiness probes).
+``SHUTDOWN``
+    Responds ``OK 0``, then shuts the server down cleanly.
+
+Malformed input gets ``ERR <message>`` and the connection stays usable.
+Connections may issue any number of commands; the server is a
+``ThreadingTCPServer``, so many clients can stream requests concurrently --
+the scheduler coalesces them into micro-batches.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+from repro.io.fastq import FastqRecord
+from repro.service.scheduler import RequestScheduler
+
+
+class ProtocolError(ValueError):
+    """A malformed client command (reported as ``ERR``, not a disconnect)."""
+
+
+def read_fastq_payload(rfile, n_reads: int) -> list[FastqRecord]:
+    """Read and parse ``4 * n_reads`` FASTQ lines from a binary stream.
+
+    The whole payload is consumed from the stream *before* validation, so a
+    malformed record never leaves unread payload lines behind to be
+    misinterpreted as commands -- the connection stays usable after an
+    ``ERR`` reply (a truncated stream is the one unrecoverable case).
+    """
+    lines: list[str] = []
+    for _ in range(4 * n_reads):
+        line = rfile.readline()
+        if not line:
+            raise ProtocolError(
+                f"truncated FASTQ payload ({len(lines)} of {4 * n_reads} "
+                "lines received)")
+        lines.append(line.decode("ascii", errors="replace").rstrip("\r\n"))
+    records: list[FastqRecord] = []
+    for index in range(n_reads):
+        header, sequence, separator, quality = lines[4 * index:4 * index + 4]
+        if not header.startswith("@") or not header[1:].split():
+            raise ProtocolError(f"malformed FASTQ header: {header!r}")
+        if not separator.startswith("+"):
+            raise ProtocolError(f"malformed FASTQ separator: {separator!r}")
+        if len(sequence) != len(quality):
+            raise ProtocolError(
+                f"sequence/quality length mismatch for {header!r}")
+        records.append(FastqRecord(name=header[1:].split()[0],
+                                   sequence=sequence.upper(),
+                                   quality=quality))
+    return records
+
+
+def fastq_payload(reads) -> bytes:
+    """Serialize reads (FastqRecord/ReadRecord) as FASTQ wire bytes."""
+    chunks = []
+    for read in reads:
+        quality = getattr(read, "quality", "") or "I" * len(read.sequence)
+        chunks.append(f"@{read.name}\n{read.sequence}\n+\n{quality}\n")
+    return "".join(chunks).encode("ascii")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of command lines.
+
+    ``self.server`` is the underlying TCP server; the scheduler, stats and
+    shutdown hooks are attached to it by :class:`AlignmentServer`.
+    """
+
+    def _reply(self, payload: bytes = b"") -> None:
+        self.wfile.write(f"OK {len(payload)}\n".encode("ascii"))
+        if payload:
+            self.wfile.write(payload)
+        self.wfile.flush()
+
+    def _error(self, message: str) -> None:
+        self.wfile.write(f"ERR {message}\n".encode("ascii"))
+        self.wfile.flush()
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            command = line.decode("ascii", errors="replace").strip()
+            if not command:
+                continue
+            try:
+                if command.upper() == "PING":
+                    self._reply()
+                elif command.upper() == "STATS":
+                    self._reply(json.dumps(self.server.stats_json(), indent=2,
+                                           sort_keys=True).encode("ascii"))
+                elif command.upper() == "SHUTDOWN":
+                    self._reply()
+                    self.server.request_shutdown()
+                    return
+                elif command.upper().startswith("ALIGN"):
+                    parts = command.split()
+                    if len(parts) != 2 or not parts[1].isdigit():
+                        raise ProtocolError("usage: ALIGN <n_reads>")
+                    reads = read_fastq_payload(self.rfile, int(parts[1]))
+                    result = self.server.scheduler.align(
+                        [record.to_read() for record in reads],
+                        timeout=self.server.request_timeout)
+                    self._reply(result.sam.encode("ascii"))
+                else:
+                    raise ProtocolError(f"unknown command {command.split()[0]!r}")
+            except ProtocolError as exc:
+                self._error(str(exc))
+            except BrokenPipeError:
+                return
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                self._error(f"{type(exc).__name__}: {exc}")
+
+
+class AlignmentServer:
+    """TCP front end streaming SAM responses from a request scheduler."""
+
+    def __init__(self, scheduler: RequestScheduler, host: str = "127.0.0.1",
+                 port: int = 0, request_timeout: float | None = 300.0) -> None:
+        self.scheduler = scheduler
+        self.request_timeout = request_timeout
+        self._shutdown_requested = threading.Event()
+        self._serving = threading.Event()
+
+        outer = self
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._server.scheduler = scheduler
+        # StreamRequestHandler reaches the AlignmentServer through the TCP
+        # server instance.
+        self._server.stats_json = outer.stats_json
+        self._server.request_shutdown = outer.request_shutdown
+        self._server.request_timeout = request_timeout
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` OS-assigned binding)."""
+        return self._server.server_address[1]
+
+    # -- stats ----------------------------------------------------------------
+
+    def stats_json(self) -> dict:
+        """The ``STATS`` payload: scheduler stats plus session summary."""
+        return {
+            "service": self.scheduler.stats().to_json_dict(),
+            "session": self.scheduler.session.to_json_dict(),
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or a client ``SHUTDOWN`` command)."""
+        self._serving.set()
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._serving.clear()
+
+    def request_shutdown(self) -> None:
+        """Trigger shutdown from a handler thread without deadlocking."""
+        if self._shutdown_requested.is_set():
+            return
+        self._shutdown_requested.set()
+        # shutdown() blocks until serve_forever exits, so it must not run on
+        # the handler thread that carried the SHUTDOWN command.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def shutdown(self) -> None:
+        """Stop the serve loop and close the listening socket (idempotent)."""
+        self._shutdown_requested.set()
+        if self._serving.is_set():
+            self._server.shutdown()
+        self._server.server_close()
+
+    def close(self) -> None:
+        self.shutdown()
+
+    def __enter__(self) -> "AlignmentServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,368 @@
+"""Resident index sessions: build once, align many times.
+
+:meth:`repro.core.pipeline.MerAligner.prepare` runs the SPMD
+index-construction phases (target fragmentation, seed extraction and routing,
+single-copy marking) exactly once on a fresh runtime and returns an
+:class:`AlignmentSession`.  The session keeps everything a request needs
+resident -- the :class:`~repro.pgas.runtime.PgasRuntime` with its shared
+heap, the distributed seed index, the target store, the per-node software
+caches, and the execution backend's rank machinery (see
+:class:`~repro.backend.base.BackendSession`) -- so every
+:meth:`AlignmentSession.align` call runs only the aligning phases
+(``read_queries`` + ``align_reads``) as one SPMD invocation.
+
+Request isolation and equivalence guarantees:
+
+* every ``align()`` report covers *that invocation only* -- communication
+  statistics, phase timings and cache statistics are per-invocation deltas,
+  never cumulative across requests;
+* by default each request starts with cold per-node caches (``clear()`` before
+  the invocation), so a request's communication profile -- including its
+  off-node get count -- is exactly that of a fresh one-shot run of the same
+  reads; pass ``warm_caches=True`` to let a long-lived service exploit
+  cross-request locality instead (statistics then depend on request history,
+  and on the multiprocess backend caches are per-fork so stay effectively
+  cold);
+* alignments (and therefore SAM bytes) are identical to the one-shot
+  ``MerAligner.run`` on the same reads, on every backend, whether the request
+  ran alone or coalesced into a micro-batch with other requests.
+
+The batched entry point :meth:`AlignmentSession.align_many` is what the
+:class:`~repro.service.scheduler.RequestScheduler` uses: the reads of many
+requests are tagged, merged, permuted and aligned in a single SPMD invocation
+through the bulk-lookup engine, then demultiplexed per request and reordered
+so each request's alignment list matches its one-shot order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alignment.result import Alignment
+from repro.core.config import AlignerConfig
+from repro.core.load_balance import permute_reads
+from repro.core.pipeline import (MerAligner, _normalize_reads,
+                                 _normalize_targets_named, config_summary)
+from repro.core.seed_index import SeedIndex
+from repro.core.stats import AlignerReport, AlignmentCounters
+from repro.core.target_store import TargetStore
+from repro.dna.synthetic import ReadRecord
+from repro.hashtable.cache import CacheStats, SoftwareCache
+from repro.io.sam import sam_text
+from repro.pgas.cost_model import CommStats
+from repro.pgas.runtime import PgasRuntime
+from repro.pgas.trace import PhaseTrace
+
+
+def one_shot_read_order(n_reads: int, config: AlignerConfig) -> list[int]:
+    """Read indices in the order a one-shot run reports their alignments.
+
+    ``MerAligner.run`` permutes the read list (Theorem 1 load balancing)
+    before block-partitioning it over the ranks, and the flat alignment list
+    concatenates the per-rank chunks in rank order -- i.e. it follows the
+    *permuted* read order.  The service reassembles each request's
+    demultiplexed alignments in this exact order so its SAM output is
+    byte-identical to the offline run.
+    """
+    indices = list(range(n_reads))
+    if config.permute_reads:
+        return permute_reads(indices, seed=config.permutation_seed)
+    return indices
+
+
+@dataclass
+class BatchOutcome:
+    """Everything one micro-batch SPMD invocation produced, demultiplexed."""
+
+    per_request_alignments: list[list[Alignment]]
+    per_request_counters: list[AlignmentCounters]
+    counters: AlignmentCounters
+    per_rank_stats: list[CommStats]
+    phases: list[PhaseTrace]
+    backend: str
+    cache_stats: dict[str, CacheStats]
+    n_reads: int
+
+    @property
+    def stats(self) -> CommStats:
+        """Batch-wide aggregated communication statistics."""
+        return CommStats.aggregate(self.per_rank_stats)
+
+    @property
+    def modeled_elapsed(self) -> float:
+        """Modelled wall time of the batch (sum of its phase times)."""
+        return sum(phase.elapsed for phase in self.phases)
+
+
+def _derive_request_counters(per_read: list[list[Alignment]]) -> AlignmentCounters:
+    """Per-request event counters derivable from demultiplexed alignments.
+
+    Lookup/SW effort counters cannot be split exactly across the requests of a
+    coalesced batch (a bulk window mixes their seeds); those stay on the
+    batch-level :class:`BatchOutcome`.
+    """
+    counters = AlignmentCounters()
+    for alignments in per_read:
+        counters.reads_processed += 1
+        if alignments:
+            counters.reads_aligned += 1
+            counters.alignments_reported += len(alignments)
+            if len(alignments) == 1 and alignments[0].is_exact:
+                counters.exact_path_hits += 1
+    return counters
+
+
+@dataclass
+class PreparedIndex:
+    """The resident distributed index built once per session.
+
+    Holds live references to everything ``prepare()`` constructed on the
+    runtime -- the seed index, the target store and the per-node caches --
+    plus the build invocation's phase traces and per-rank communication
+    deltas, so a session (or its stats endpoint) can report the amortized
+    construction cost separately from per-request costs.
+    """
+
+    runtime: PgasRuntime
+    config: AlignerConfig
+    backend: str
+    target_store: TargetStore
+    seed_index: SeedIndex
+    seed_cache: SoftwareCache | None
+    target_cache: SoftwareCache | None
+    target_names: list[str]
+    target_lengths: list[int]
+    build_phases: list[PhaseTrace] = field(default_factory=list)
+    build_per_rank_stats: list[CommStats] = field(default_factory=list)
+
+    @property
+    def build_stats(self) -> CommStats:
+        """Aggregated communication statistics of the index construction."""
+        return CommStats.aggregate(self.build_per_rank_stats)
+
+    @property
+    def index_construction_time(self) -> float:
+        """Modelled seconds of the one-time index build."""
+        return sum(phase.elapsed for phase in self.build_phases)
+
+    @property
+    def n_fragments(self) -> int:
+        """Fragment count read from the authoritative heap segments.
+
+        ``TargetStore.directory`` is a driver-side convenience mirror that
+        worker processes do not populate (process-backend caveat); counting
+        the heap segments is exact on every backend.
+        """
+        return len(self.target_store.all_fragments())
+
+    def to_json_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "n_ranks": self.runtime.n_ranks,
+            "n_targets": len(self.target_names),
+            "n_fragments": self.n_fragments,
+            "seed_index_keys": self.seed_index.n_keys,
+            "seed_index_values": self.seed_index.n_values,
+            "index_construction_time": self.index_construction_time,
+            "build_phases": [{"name": p.name, "elapsed": p.elapsed}
+                             for p in self.build_phases],
+        }
+
+
+class AlignmentSession:
+    """A live aligner: resident index plus repeatable align invocations."""
+
+    def __init__(self, aligner: MerAligner, prepared: PreparedIndex,
+                 backend_session) -> None:
+        self.aligner = aligner
+        self.prepared = prepared
+        self._backend_session = backend_session
+        self._closed = False
+        self.requests_served = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(cls, aligner: MerAligner, runtime: PgasRuntime, targets,
+              backend: str | None = None,
+              target_names: list[str] | None = None) -> "AlignmentSession":
+        """Run the index-construction phases once and wrap them in a session."""
+        from repro.backend import default_backend_name, resolve_backend
+        impl = resolve_backend(backend or default_backend_name())
+        config = aligner.config
+        named = _normalize_targets_named(targets)
+        names = (list(target_names) if target_names is not None
+                 else [name for name, _sequence in named])
+        target_seqs = [sequence for _name, sequence in named]
+        if len(names) != len(target_seqs):
+            raise ValueError("target_names must match the number of targets")
+
+        target_store = TargetStore(runtime)
+        seed_index = SeedIndex(runtime, config)
+        seed_cache = (SoftwareCache(runtime, config.seed_cache_bytes_per_node,
+                                    name="seed_index")
+                      if config.use_seed_index_cache else None)
+        target_cache = (SoftwareCache(runtime, config.target_cache_bytes_per_node,
+                                      name="target")
+                        if config.use_target_cache else None)
+
+        # Make the ranks resident *before* the build so the backend's session
+        # machinery (thread pool, shared-memory promotions) serves the build
+        # invocation too.
+        backend_session = impl.open_session(runtime)
+
+        def build_spmd(ctx):
+            yield from aligner._index_program(ctx, target_seqs, target_store,
+                                              seed_index)
+
+        try:
+            result = runtime.run_spmd(build_spmd, backend=impl)
+        except BaseException:
+            # A failed build must not leak the resident machinery (parked
+            # rank threads, mapped shared-memory segments).
+            backend_session.close()
+            raise
+        prepared = PreparedIndex(
+            runtime=runtime, config=config, backend=impl.name,
+            target_store=target_store, seed_index=seed_index,
+            seed_cache=seed_cache, target_cache=target_cache,
+            target_names=names,
+            target_lengths=[len(sequence) for sequence in target_seqs],
+            build_phases=result.phases,
+            build_per_rank_stats=result.per_rank_stats,
+        )
+        return cls(aligner, prepared, backend_session)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the backend's resident rank machinery (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend_session is not None:
+            self._backend_session.close()
+
+    def __enter__(self) -> "AlignmentSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- serving --------------------------------------------------------------
+
+    def align(self, reads, warm_caches: bool = False) -> AlignerReport:
+        """Align one request against the resident index.
+
+        Runs the aligning phases as a single SPMD invocation and returns a
+        full :class:`AlignerReport` whose phase traces, communication
+        statistics and cache statistics cover **this request only**.
+        Alignments are byte-identical (through SAM) to a one-shot
+        ``MerAligner.run`` on the same reads.
+        """
+        outcome = self.align_many([reads], warm_caches=warm_caches)
+        prepared = self.prepared
+        return AlignerReport(
+            n_ranks=prepared.runtime.n_ranks,
+            config_summary=config_summary(prepared.config, outcome.backend),
+            alignments=outcome.per_request_alignments[0],
+            counters=outcome.counters,
+            phases=outcome.phases,
+            per_rank_stats=outcome.per_rank_stats,
+            seed_index_keys=prepared.seed_index.n_keys,
+            seed_index_values=prepared.seed_index.n_values,
+            single_copy_fragment_fraction=(
+                prepared.target_store.single_copy_fraction()),
+            cache_stats=outcome.cache_stats,
+        )
+
+    def align_many(self, read_lists, warm_caches: bool = False) -> BatchOutcome:
+        """Align a micro-batch of requests in one SPMD invocation.
+
+        The requests' reads are tagged with ``(request, position)``, merged,
+        permuted (Theorem 1 applies to the whole batch) and aligned through
+        the resident index; the per-read results are then demultiplexed and
+        each request's alignments reordered to its one-shot order, so every
+        request sees exactly the alignments (and ordering) an offline run of
+        its own reads would report.
+        """
+        if self._closed:
+            raise RuntimeError("alignment session is closed")
+        aligner = self.aligner
+        prepared = self.prepared
+        config = prepared.config
+        requests = [_normalize_reads(reads) for reads in read_lists]
+
+        caches = [cache for cache in (prepared.seed_cache, prepared.target_cache)
+                  if cache is not None]
+        if not warm_caches:
+            # Cold caches per request: every request's communication profile
+            # (off-node gets included) matches a fresh one-shot run, on every
+            # backend.  See the module docstring.
+            for cache in caches:
+                cache.clear()
+        cache_before = {cache.name: cache.total_stats() for cache in caches}
+
+        tagged: list[tuple[int, int, ReadRecord]] = []
+        for request_index, reads in enumerate(requests):
+            for read_index, read in enumerate(reads):
+                tagged.append((request_index, read_index, read))
+        if config.permute_reads:
+            tagged = permute_reads(tagged, seed=config.permutation_seed)
+        read_records = [read for _request, _position, read in tagged]
+
+        def align_spmd(ctx):
+            return (yield from aligner._query_program(
+                ctx, read_records, prepared.seed_index, prepared.target_store,
+                prepared.seed_cache, prepared.target_cache))
+
+        result = prepared.runtime.run_spmd(align_spmd, backend=prepared.backend)
+
+        counters = AlignmentCounters()
+        demuxed: list[dict[int, list[Alignment]]] = [{} for _ in requests]
+        for rank_groups, rank_counters in result.results:
+            counters = counters.merge(rank_counters)
+            for combined_index, alignments in rank_groups:
+                request_index, read_index, _read = tagged[combined_index]
+                demuxed[request_index][read_index] = alignments
+
+        per_request_alignments: list[list[Alignment]] = []
+        per_request_counters: list[AlignmentCounters] = []
+        for request_index, reads in enumerate(requests):
+            order = one_shot_read_order(len(reads), config)
+            per_read = [demuxed[request_index].get(i, []) for i in order]
+            per_request_alignments.append(
+                [alignment for group in per_read for alignment in group])
+            per_request_counters.append(_derive_request_counters(per_read))
+
+        cache_deltas = {cache.name: cache.total_stats().delta(cache_before[cache.name])
+                        for cache in caches}
+        self.requests_served += len(requests)
+        return BatchOutcome(
+            per_request_alignments=per_request_alignments,
+            per_request_counters=per_request_counters,
+            counters=counters,
+            per_rank_stats=result.per_rank_stats,
+            phases=result.phases,
+            backend=result.backend,
+            cache_stats=cache_deltas,
+            n_reads=len(read_records),
+        )
+
+    # -- output helpers -------------------------------------------------------
+
+    def sam_for(self, alignments: list[Alignment]) -> str:
+        """Render alignments as SAM text against this session's targets."""
+        return sam_text(alignments, self.prepared.target_names,
+                        self.prepared.target_lengths)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "requests_served": self.requests_served,
+            "closed": self._closed,
+            "index": self.prepared.to_json_dict(),
+        }

@@ -1,5 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.cli import main
@@ -86,6 +91,84 @@ class TestAlign:
                      "--no-exact-match", "--no-permute"])
         assert code == 0
         assert "exact-match fast path: 0.0%" in capsys.readouterr().out
+
+
+class TestJsonReport:
+    def test_align_writes_json_report(self, simulated_dir, tmp_path, capsys):
+        sam_path = tmp_path / "out.sam"
+        json_path = tmp_path / "report.json"
+        code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(sam_path), "--json-report", str(json_path),
+                     "--ranks", "4", "--seed-length", "21", "--seed-stride", "2"])
+        assert code == 0
+        assert "wrote JSON report" in capsys.readouterr().out
+        report = json.loads(json_path.read_text())
+        assert report["n_ranks"] == 4
+        assert report["config"]["seed_length"] == 21
+        assert report["counters"]["reads_processed"] > 0
+        assert {p["name"] for p in report["phases"]} >= {"read_targets",
+                                                         "align_reads"}
+        assert report["times"]["total_time"] > 0
+        assert report["comm"]["gets"] > 0
+        assert "seed_index" in report["cache_stats"]
+
+
+class TestServeQuery:
+    def test_serve_query_roundtrip(self, simulated_dir, tmp_path, capsys):
+        """serve + two queries + stats + shutdown, all through the CLI."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        serve_code: list[int] = []
+
+        def run_server() -> None:
+            serve_code.append(main(
+                ["serve", "--targets", str(simulated_dir / "contigs.fa"),
+                 "--port", str(port), "--ranks", "4", "--seed-length", "21",
+                 "--seed-stride", "2", "--max-wait-ms", "5"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        from repro.service.client import SocketAlignmentClient
+        client = SocketAlignmentClient(port=port, timeout=60.0)
+        deadline = time.monotonic() + 60.0
+        while not client.ping():
+            assert time.monotonic() < deadline, "server did not come up"
+            time.sleep(0.05)
+
+        offline = tmp_path / "offline.sam"
+        code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(offline),
+                     "--ranks", "4", "--seed-length", "21",
+                     "--seed-stride", "2"])
+        assert code == 0
+
+        served = tmp_path / "served.sam"
+        for _ in range(2):
+            code = main(["query", "--port", str(port),
+                         "--reads", str(simulated_dir / "reads.fastq"),
+                         "--output", str(served)])
+            assert code == 0
+            assert served.read_bytes() == offline.read_bytes()
+
+        code = main(["query", "--port", str(port), "--stats"])
+        assert code == 0
+        stats_output = capsys.readouterr().out
+        stats = json.loads(stats_output[stats_output.index("{"):])
+        assert stats["service"]["requests"] == 2
+
+        code = main(["query", "--port", str(port), "--shutdown"])
+        assert code == 0
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert serve_code == [0]
+
+    def test_query_without_action_errors(self, capsys):
+        code = main(["query", "--port", "1"])
+        assert code == 2
+        assert "nothing to do" in capsys.readouterr().err
 
 
 class TestCompare:

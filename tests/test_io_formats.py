@@ -161,3 +161,63 @@ class TestSam:
         body = [line for line in content if not line.startswith("@")]
         assert body[0].split("\t")[2] == "c1"
         assert body[1].split("\t")[2] == "target99"  # unknown target id fallback
+
+
+class TestGzipTransparency:
+    """Satellite: ``.gz`` inputs are sniffed by suffix and decompressed."""
+
+    def test_read_fasta_gz(self, tmp_path):
+        import gzip
+        records = [FastaRecord("contig1", "ACGT" * 30),
+                   FastaRecord("contig2", "GGCCTTAA")]
+        plain = tmp_path / "targets.fa"
+        write_fasta(plain, records)
+        gz = tmp_path / "targets.fasta.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        assert read_fasta(gz) == records
+
+    def test_read_fastq_gz(self, tmp_path):
+        import gzip
+        records = [FastqRecord("r1", "ACGTACGT", "IIIIIIII"),
+                   FastqRecord("r2", "TTTT", "##!!")]
+        plain = tmp_path / "reads.fastq"
+        write_fastq(plain, records)
+        gz = tmp_path / "reads.fastq.gz"
+        gz.write_bytes(gzip.compress(plain.read_bytes()))
+        assert read_fastq(gz) == records
+
+    def test_plain_files_unaffected(self, tmp_path):
+        path = tmp_path / "t.fa"
+        write_fasta(path, [("a", "ACGT")])
+        assert [(r.name, r.sequence) for r in read_fasta(path)] == [("a", "ACGT")]
+
+    def test_gz_suffix_without_gzip_content_raises(self, tmp_path):
+        path = tmp_path / "fake.fasta.gz"
+        path.write_text(">a\nACGT\n")
+        with pytest.raises(OSError):
+            read_fasta(path)
+
+    def test_pipeline_accepts_gzipped_inputs(self, tmp_path, small_dataset,
+                                             small_config):
+        """End to end: a gzipped FASTA + FASTQ align identically to plain."""
+        import gzip
+
+        from repro.core.pipeline import MerAligner
+        from repro.pgas.cost_model import EDISON_LIKE
+
+        genome, reads = small_dataset
+        reads = reads[:20]
+        fa = tmp_path / "contigs.fa"
+        write_fasta(fa, [(f"c{i}", seq) for i, seq in enumerate(genome.contigs)])
+        fq = tmp_path / "reads.fastq"
+        write_fastq(fq, reads)
+        fa_gz = tmp_path / "contigs.fasta.gz"
+        fa_gz.write_bytes(gzip.compress(fa.read_bytes()))
+        fq_gz = tmp_path / "reads.fastq.gz"
+        fq_gz.write_bytes(gzip.compress(fq.read_bytes()))
+
+        aligner = MerAligner(small_config)
+        plain = aligner.run(fa, fq, n_ranks=2, machine=EDISON_LIKE)
+        packed = aligner.run(fa_gz, fq_gz, n_ranks=2, machine=EDISON_LIKE)
+        assert [a.to_sam_line("c") for a in packed.alignments] == \
+            [a.to_sam_line("c") for a in plain.alignments]

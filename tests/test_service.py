@@ -1,0 +1,401 @@
+"""Tests for the persistent alignment service.
+
+Pins the serving-path contracts of the session / scheduler / server stack:
+
+* the index is built exactly once per session -- a second ``align()`` call
+  performs zero index-construction stores, and its off-node get count is
+  exactly that of a fresh one-shot run of the same reads (amortization is
+  real, not cached results);
+* per-request stats isolation -- every ``align()`` report carries only its
+  own phase/communication/cache deltas (the PR 1 per-invocation-delta fix,
+  extended to resident sessions);
+* cross-backend service equivalence -- interleaved client requests through
+  the micro-batching scheduler produce byte-identical SAM to one-shot runs of
+  the same reads, for the cooperative/threaded/process backends with bulk
+  lookups on and off;
+* the socket server's line protocol (PING/ALIGN/STATS/SHUTDOWN).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+from repro.io.sam import sam_text
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.service import (AlignmentClient, AlignmentServer, RequestScheduler,
+                           SocketAlignmentClient)
+from repro.service.client import ServiceError
+from repro.service.session import one_shot_read_order
+
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+def one_shot_sam(config, contigs, reads, names, lengths, backend="cooperative"):
+    """The offline reference: ``MerAligner.run`` + SAM text."""
+    report = MerAligner(config).run(contigs, reads, n_ranks=4,
+                                    machine=MACHINE, backend=backend)
+    return sam_text(report.alignments, names, lengths)
+
+
+@pytest.fixture
+def service_setup(small_dataset, small_config):
+    genome, reads = small_dataset
+    config = small_config.with_(use_bulk_lookups=True, lookup_batch_size=16)
+    names = [f"contig{i}" for i in range(len(genome.contigs))]
+    lengths = [len(c) for c in genome.contigs]
+    return genome, reads, config, names, lengths
+
+
+class TestSessionAmortization:
+    """Acceptance: index built exactly once per session."""
+
+    def test_second_align_performs_zero_index_stores(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        reads = reads[:60]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            keys_before = session.prepared.seed_index.n_keys
+            session.align(reads)
+            second = session.align(reads)
+            # The aligning phases are pure gets: any put or atomic would mean
+            # index construction leaked into the serving path.
+            assert second.total_stats.puts == 0
+            assert second.total_stats.atomics == 0
+            assert session.prepared.seed_index.n_keys == keys_before
+            assert [p.name for p in second.phases] == ["read_queries",
+                                                       "align_reads"]
+
+    def test_amortization_is_real_not_cached_results(self, service_setup):
+        """The second request's off-node gets equal a fresh one-shot run's
+        aligning-phase off-node gets: the communication is re-done per
+        request, only the index build is amortized."""
+        genome, reads, config, _names, _lengths = service_setup
+        reads = reads[:60]
+        aligner = MerAligner(config)
+        with aligner.prepare(genome.contigs, n_ranks=4,
+                             machine=MACHINE) as session:
+            session.align(reads)
+            second = session.align(reads)
+            build = session.prepared.build_stats
+        one_shot = aligner.run(genome.contigs, reads, n_ranks=4,
+                               machine=MACHINE)
+        # One-shot = build + align, exactly, for message counts and bytes.
+        total = one_shot.total_stats
+        assert second.total_stats.off_node_ops == \
+            total.off_node_ops - build.off_node_ops
+        assert second.total_stats.gets == total.gets - build.gets
+        assert second.total_stats.bytes_get == total.bytes_get - build.bytes_get
+        assert second.total_stats.off_node_ops > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_align_sam_matches_one_shot_on_every_backend(self, service_setup,
+                                                         backend):
+        genome, reads, config, names, lengths = service_setup
+        reads = reads[:40]
+        reference = one_shot_sam(config, genome.contigs, reads, names, lengths)
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE, backend=backend,
+                                        target_names=names) as session:
+            for _ in range(2):
+                report = session.align(reads)
+                assert session.sam_for(report.alignments) == reference, backend
+
+    def test_closed_session_rejects_requests(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        session = MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                             machine=MACHINE)
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            session.align(reads[:5])
+
+
+class TestPerRequestStatsIsolation:
+    """Satellite bugfix: a second ``align()`` reports only its own deltas."""
+
+    def test_counters_and_stats_identical_across_repeats(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        reads = reads[:50]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            first = session.align(reads)
+            second = session.align(reads)
+        assert second.counters == first.counters
+        for field in ("puts", "gets", "bytes_get", "bytes_put", "barriers",
+                      "off_node_ops", "on_node_ops", "local_ops"):
+            assert getattr(second.total_stats, field) == \
+                getattr(first.total_stats, field), field
+        assert second.total_time == pytest.approx(first.total_time)
+
+    def test_cache_stats_are_per_request_deltas(self, service_setup):
+        """Regression: cumulative cache stats would double on the second
+        call; per-request deltas are identical call to call."""
+        genome, reads, config, _names, _lengths = service_setup
+        reads = reads[:50]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            first = session.align(reads)
+            second = session.align(reads)
+        assert set(second.cache_stats) == {"seed_index", "target"}
+        for name in second.cache_stats:
+            assert second.cache_stats[name].lookups > 0
+            assert second.cache_stats[name].hits == first.cache_stats[name].hits
+            assert second.cache_stats[name].misses == \
+                first.cache_stats[name].misses
+
+
+class TestMicroBatchDemultiplexing:
+    """Satellite: coalesced requests demultiplex to one-shot-identical SAM."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("bulk_lookups", [False, True])
+    def test_cross_backend_equivalence(self, service_setup, backend,
+                                       bulk_lookups):
+        genome, reads, config, names, lengths = service_setup
+        config = config.with_(use_bulk_lookups=bulk_lookups)
+        requests = [reads[:20], reads[20:35], reads[35:45]]
+        references = [one_shot_sam(config, genome.contigs, request,
+                                   names, lengths)
+                      for request in requests]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE,
+                                        backend=backend) as session:
+            outcome = session.align_many(requests)
+            for request, alignments, reference in zip(
+                    requests, outcome.per_request_alignments, references):
+                observed = sam_text(alignments, names, lengths)
+                assert observed == reference, (backend, bulk_lookups)
+
+    def test_per_request_counters_partition_the_batch(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        requests = [reads[:20], reads[20:35], reads[35:45]]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            outcome = session.align_many(requests)
+        assert [c.reads_processed for c in outcome.per_request_counters] == \
+            [len(request) for request in requests]
+        assert sum(c.alignments_reported
+                   for c in outcome.per_request_counters) == \
+            outcome.counters.alignments_reported
+        assert sum(c.reads_aligned for c in outcome.per_request_counters) == \
+            outcome.counters.reads_aligned
+        assert sum(c.exact_path_hits for c in outcome.per_request_counters) == \
+            outcome.counters.exact_path_hits
+
+    def test_one_shot_read_order_matches_run(self, service_setup):
+        """The service's reassembly order is the one-shot permuted order."""
+        genome, reads, config, _names, _lengths = service_setup
+        sample = reads[:15]
+        order = one_shot_read_order(len(sample), config)
+        assert sorted(order) == list(range(len(sample)))
+        without = one_shot_read_order(4, config.with_(permute_reads=False))
+        assert without == [0, 1, 2, 3]
+
+
+class TestBackendResidency:
+    """The backend keeps its rank machinery alive between invocations."""
+
+    def test_threaded_session_parks_resident_rank_threads(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE,
+                                        backend="threaded") as session:
+            pool = session.prepared.runtime._threaded_session
+            assert pool is not None
+            threads = list(pool._threads)
+            assert len(threads) == 4
+            assert all(thread.is_alive() for thread in threads)
+            session.align(reads[:10])
+            session.align(reads[:10])
+            # The same parked threads served both invocations.
+            assert list(pool._threads) == threads
+            assert all(thread.is_alive() for thread in threads)
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_process_session_keeps_promotions_mapped(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        session = MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                             machine=MACHINE,
+                                             backend="process")
+        resident = session.prepared.runtime._process_session
+        assert resident is not None
+        assert resident.registry, "expected promoted SharedArray segments"
+        mapped_before = set(resident.registry)
+        session.align(reads[:10])
+        session.align(reads[:10])
+        # Promotions survived both invocations instead of being rebuilt.
+        assert set(resident.registry) >= mapped_before
+        session.close()
+        assert resident.closed
+        assert not resident.registry
+
+
+class TestRequestScheduler:
+    def test_interleaved_clients_get_one_shot_identical_sam(self,
+                                                            service_setup):
+        genome, reads, config, names, lengths = service_setup
+        requests = [reads[i * 12:(i + 1) * 12] for i in range(5)]
+        references = [one_shot_sam(config, genome.contigs, request,
+                                   names, lengths)
+                      for request in requests]
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE,
+                                        target_names=names) as session:
+            with RequestScheduler(session, max_batch_requests=4,
+                                  max_wait_s=0.05) as scheduler:
+                results: dict[int, object] = {}
+
+                def client(index: int) -> None:
+                    results[index] = scheduler.align(requests[index],
+                                                     timeout=120.0)
+
+                threads = [threading.Thread(target=client, args=(i,))
+                           for i in range(len(requests))]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120.0)
+                stats = scheduler.stats()
+        assert len(results) == len(requests)
+        for index, reference in enumerate(references):
+            assert results[index].sam == reference, index
+        assert stats.requests == len(requests)
+        assert 1 <= stats.batches <= len(requests)
+        assert stats.batch_occupancy >= 1.0
+        assert stats.reads == sum(len(request) for request in requests)
+        assert stats.p95_modeled_latency >= stats.p50_modeled_latency > 0.0
+
+    def test_request_results_carry_batch_accounting(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            with RequestScheduler(session, max_wait_s=0.0) as scheduler:
+                result = scheduler.align(reads[:15], timeout=120.0)
+        assert result.batch_requests == 1
+        assert result.batch_reads == 15
+        assert result.counters.reads_processed == 15
+        assert result.batch_stats.gets > 0
+        assert [p.name for p in result.batch_phases] == ["read_queries",
+                                                         "align_reads"]
+        assert result.modeled_latency > 0.0
+        assert result.wall_latency >= 0.0
+
+    def test_submit_after_close_raises(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            scheduler = RequestScheduler(session)
+            scheduler.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                scheduler.submit(reads[:5])
+
+    def test_stats_json_shape(self, service_setup):
+        genome, reads, config, _names, _lengths = service_setup
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            with RequestScheduler(session, max_wait_s=0.0) as scheduler:
+                scheduler.align(reads[:10], timeout=120.0)
+                data = scheduler.stats().to_json_dict()
+        assert data["requests"] == 1
+        assert data["batches"] == 1
+        assert data["batch_occupancy"] == 1.0
+        for key in ("p50_modeled_latency", "p95_modeled_latency",
+                    "p50_wall_latency", "p95_wall_latency", "alignments"):
+            assert key in data
+
+
+class TestAlignmentClient:
+    def test_in_process_client(self, service_setup):
+        genome, reads, config, names, lengths = service_setup
+        request = reads[:18]
+        reference = one_shot_sam(config, genome.contigs, request, names,
+                                 lengths)
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE,
+                                        target_names=names) as session:
+            with AlignmentClient(session) as client:
+                assert client.align_sam(request, timeout=120.0) == reference
+                assert client.stats().requests == 1
+
+    def test_client_type_validation(self):
+        with pytest.raises(TypeError):
+            AlignmentClient(object())
+
+
+class TestAlignmentServer:
+    @pytest.fixture
+    def running_server(self, service_setup):
+        genome, reads, config, names, lengths = service_setup
+        session = MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                             machine=MACHINE,
+                                             target_names=names)
+        scheduler = RequestScheduler(session, max_wait_s=0.01)
+        server = AlignmentServer(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server, thread, (genome, reads, config, names, lengths)
+        finally:
+            server.shutdown()
+            thread.join(timeout=30.0)
+            scheduler.close()
+            session.close()
+
+    def test_socket_roundtrip(self, running_server):
+        server, _thread, (genome, reads, config, names, lengths) = \
+            running_server
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        assert client.ping()
+        request = reads[:16]
+        reference = one_shot_sam(config, genome.contigs, request, names,
+                                 lengths)
+        assert client.align_sam(request) == reference
+        assert client.align_sam(request) == reference
+        stats = client.stats()
+        assert stats["service"]["requests"] == 2
+        assert stats["session"]["requests_served"] == 2
+        assert stats["session"]["index"]["seed_index_keys"] > 0
+
+    def test_protocol_errors_keep_connection_alive(self, running_server):
+        server, _thread, _setup = running_server
+        client = SocketAlignmentClient(port=server.port, timeout=30.0)
+        with pytest.raises(ServiceError, match="unknown command"):
+            client._roundtrip("FROBNICATE")
+        with pytest.raises(ServiceError, match="usage"):
+            client._roundtrip("ALIGN lots")
+        assert client.ping()
+
+    def test_malformed_payload_does_not_desync_connection(self, running_server):
+        """Regression: a bad record mid-payload must not leave unread payload
+        lines to be misread as commands on the same connection."""
+        import socket
+        server, _thread, _setup = running_server
+        payload = (b"ALIGN 2\n"
+                   b"@r1\nACGT\nBAD_SEPARATOR\nIIII\n"   # malformed separator
+                   b"@r2\nACGT\n+\nIIII\n")              # still consumed
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=30.0) as conn:
+            conn.sendall(payload)
+            with conn.makefile("rb") as rfile:
+                first = rfile.readline().decode("ascii")
+                assert first.startswith("ERR"), first
+                assert "separator" in first
+                # Same connection, next command: must answer cleanly.
+                conn.sendall(b"PING\n")
+                assert rfile.readline().decode("ascii").strip() == "OK 0"
+        # Header of just "@" reports a protocol error, not an IndexError.
+        client = SocketAlignmentClient(port=server.port, timeout=30.0)
+        with pytest.raises(ServiceError, match="malformed FASTQ header"):
+            client._roundtrip("ALIGN 1", b"@\nACGT\n+\nIIII\n")
+
+    def test_shutdown_command_stops_server(self, running_server):
+        server, thread, _setup = running_server
+        client = SocketAlignmentClient(port=server.port, timeout=30.0)
+        client.shutdown()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive()
+        assert not client.ping()
