@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Build a bespoke stage pipeline on the public API.
+
+The built-in workloads (``align``, ``count``, ``screen``) are just plans over
+the stage vocabulary in :mod:`repro.api`; this example composes a new one:
+a **seed-presence profiler** that runs the distributed index build and the
+(bulk-batchable) seed-lookup stage, then feeds the lookups into a custom sink
+-- no fragment fetches, no Smith-Waterman -- to report, per read, what
+fraction of its seeds exist in the contig index.  Low presence flags reads
+from uncovered or heavily mutated genome regions before any alignment cost
+is paid.
+
+This is the pattern for opening a new workload:
+
+1. subclass :class:`repro.api.SinkStage`: ``emit`` maps one read's staged
+   state to a payload, ``collect`` folds the payloads into the end product;
+2. declare the dataflow (our sink consumes ``seed_hits``, the output of the
+   built-in ``SeedLookup`` stage) -- plan validation wires it up;
+3. build an :class:`repro.api.AlignmentPlan` and execute it with
+   ``api.run_plan`` (or serve it batched through a resident session).
+
+Run with::
+
+    python examples/custom_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import api
+from repro.dna import GenomeSpec, ReadSetSpec, make_dataset
+
+
+class EmitSeedPresence(api.SinkStage):
+    """Custom sink: per-read fraction of query seeds present in the index."""
+
+    name = "emit_seed_presence"
+    inputs = ("seed_hits",)
+    outputs = ("presence",)
+    workload = "seed_presence"
+    phase_name = "profile_seeds"
+
+    def emit(self, xs, item):
+        lookups = item.lookups or []
+        present = sum(1 for _strand, _offset, entry in lookups
+                      if entry is not None and entry.values)
+        return (item.read.name, present, len(lookups))
+
+    def collect(self, groups, config):
+        rows = sorted((payload for _index, payload in groups),
+                      key=lambda row: row[0])
+        return rows
+
+
+def main() -> None:
+    # A small synthetic dataset: contigs assembled from a 30 kbp genome,
+    # reads sampled at 3x coverage with 1% error.
+    genome_spec = GenomeSpec(name="custom", genome_length=30_000, n_contigs=40,
+                             repeat_fraction=0.05, min_contig_length=200)
+    genome, reads = make_dataset(genome_spec,
+                                 ReadSetSpec(coverage=3.0, read_length=100,
+                                             error_rate=0.01), seed=3)
+    print(f"dataset: {len(genome.contigs)} contigs, {len(reads)} reads")
+
+    # The bespoke plan: index build + chunked reading + seed lookup + our
+    # sink.  Validation checks the dataflow (seed_hits -> our sink) at
+    # construction time.
+    plan = api.AlignmentPlan(name="seed-presence", stages=(
+        api.BuildIndex(),
+        api.ReadQueries(),
+        api.SeedLookup(),
+        EmitSeedPresence(),
+    ))
+    print(plan.describe())
+
+    # Execute it like any built-in workload -- the bulk-batching engine and
+    # every execution backend work unchanged for custom plans.
+    config = api.AlignerConfig(seed_length=31, fragment_length=2000,
+                               use_bulk_lookups=True, lookup_batch_size=64)
+    result = api.run_plan(plan, genome.contigs, reads[:400], config=config,
+                          n_ranks=8)
+
+    rows = result.output
+    fractions = [present / total for _name, present, total in rows if total]
+    print(f"\nprofiled {len(rows)} reads "
+          f"(mean seed presence {sum(fractions) / len(fractions):.1%})")
+    suspicious = [(name, present, total) for name, present, total in rows
+                  if total and present / total < 0.5]
+    print(f"{len(suspicious)} reads have <50% of their seeds in the index")
+    for name, present, total in suspicious[:5]:
+        print(f"  {name}: {present}/{total} seeds present")
+
+    # The report still carries per-stage timings: the lookup stage dominates
+    # and the extension stages never ran.
+    print("\nper-stage modelled seconds (summed over ranks):")
+    for stage in result.report.stage_stats:
+        print(f"  {stage.name:20s} {stage.elapsed:.6f} "
+              f"({stage.items} items)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,18 +9,23 @@ random permutation, and SIMD-style Smith-Waterman extension -- is parallel.
 
 Quickstart::
 
-    from repro import MerAligner, AlignerConfig, make_dataset, HUMAN_LIKE, ReadSetSpec
+    from repro import api, make_dataset, HUMAN_LIKE, ReadSetSpec
 
     genome, reads = make_dataset(HUMAN_LIKE.scaled(0.05), ReadSetSpec(coverage=4), seed=1)
-    aligner = MerAligner(AlignerConfig(seed_length=31))
-    report = aligner.run(genome.contigs, reads, n_ranks=8)
+    report = api.align(genome.contigs, reads, n_ranks=8)
     print(report.summary())
+
+:mod:`repro.api` is the documented public surface: one-shot runs
+(``api.align`` / ``api.count`` / ``api.screen``), composable stage pipelines
+(``api.plan`` / ``api.run_plan`` and the stage classes), resident sessions
+(``api.prepare``) and the socket service (``api.serve``).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison of every figure and table.
 """
 
 from repro.core import AlignerConfig, AlignerReport, MerAligner
+from repro.core.plan import AlignmentPlan, PlanResult, PlanRunner
 from repro.core.stats import AlignmentCounters
 from repro.dna import (
     GenomeSpec,
@@ -34,14 +39,19 @@ from repro.dna import (
 )
 from repro.pgas import EDISON_LIKE, LAPTOP_LIKE, MachineModel, PgasRuntime
 from repro.baselines import BwaLikeAligner, BowtieLikeAligner, PMapFramework
+from repro import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "MerAligner",
     "AlignerConfig",
     "AlignerReport",
     "AlignmentCounters",
+    "AlignmentPlan",
+    "PlanResult",
+    "PlanRunner",
     "GenomeSpec",
     "ReadSetSpec",
     "ReadRecord",

@@ -1,0 +1,279 @@
+"""The documented public API of the merAligner reproduction.
+
+Everything a program needs -- one-shot runs, custom stage pipelines,
+resident sessions and the socket service -- behind one import::
+
+    from repro import api
+
+    report = api.align("contigs.fa", "reads.fastq", n_ranks=8)
+    histogram = api.count("contigs.fa", "reads.fastq")
+    rows = api.screen("contigs.fa", "reads.fastq")
+
+    # Custom pipelines: compose stages, run them anywhere.
+    plan = api.plan("count")                       # a registered workload
+    result = api.run_plan(plan, "contigs.fa", "reads.fastq")
+
+    # Serving: build the index once, serve align/count/screen over TCP.
+    with api.serve("contigs.fa", port=0) as service:
+        print(service.host, service.port)
+
+The stage vocabulary (:class:`BuildIndex`, :class:`SeedLookup`,
+:class:`CandidateCollect`, :class:`ExtendAlign`, :class:`EmitSam`, ...) is
+re-exported here so bespoke plans -- e.g. a seed-lookup-only pipeline with a
+custom sink, see ``examples/custom_pipeline.py`` -- can be built from this
+module alone.  This module is the compatibility surface:
+``tests/test_api_surface.py`` pins its exports.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.config import AlignerConfig
+from repro.core.plan import (AlignmentPlan, BuildIndex, CandidateCollect,
+                             EmitSam, EmitScreen, EmitSeedCounts, ExactPath,
+                             ExtendAlign, PlanResult, PlanRunner,
+                             PlanValidationError, QueryStage, ReadQueries,
+                             ReadState, ScreenSummary, SeedCountSummary,
+                             SeedLookup, SinkStage, Stage, StageContext,
+                             WORKLOAD_PLANS, plan_for_workload)
+from repro.core.pipeline import MerAligner
+from repro.core.stats import AlignerReport, PhaseStats, REPORT_SCHEMA_VERSION
+from repro.pgas.cost_model import EDISON_LIKE, MachineModel
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # the service stack is imported lazily at runtime, below
+    from repro.service.client import SocketAlignmentClient
+    from repro.service.scheduler import RequestScheduler
+    from repro.service.server import AlignmentServer
+    from repro.service.session import AlignmentSession
+
+#: Serving-stack exports resolved on first attribute access (PEP 562) so
+#: ``import repro`` / ``from repro import api`` does not drag sockets,
+#: threading servers and the scheduler into every library or CLI start-up.
+_LAZY_SERVICE_EXPORTS = {
+    "AlignmentClient": "repro.service.client",
+    "SocketAlignmentClient": "repro.service.client",
+    "RequestScheduler": "repro.service.scheduler",
+    "ServiceStats": "repro.service.scheduler",
+    "AlignmentServer": "repro.service.server",
+    "AlignmentSession": "repro.service.session",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SERVICE_EXPORTS:
+        import importlib
+        module = importlib.import_module(_LAZY_SERVICE_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    # entry points
+    "align",
+    "count",
+    "screen",
+    "plan",
+    "run_plan",
+    "prepare",
+    "serve",
+    # plan vocabulary
+    "AlignmentPlan",
+    "PlanRunner",
+    "PlanResult",
+    "PlanValidationError",
+    "Stage",
+    "QueryStage",
+    "SinkStage",
+    "StageContext",
+    "ReadState",
+    "BuildIndex",
+    "ReadQueries",
+    "ExactPath",
+    "SeedLookup",
+    "CandidateCollect",
+    "ExtendAlign",
+    "EmitSam",
+    "EmitSeedCounts",
+    "EmitScreen",
+    "WORKLOAD_PLANS",
+    "plan_for_workload",
+    # configuration / results
+    "AlignerConfig",
+    "AlignerReport",
+    "PhaseStats",
+    "REPORT_SCHEMA_VERSION",
+    "SeedCountSummary",
+    "ScreenSummary",
+    "MerAligner",
+    "MachineModel",
+    "EDISON_LIKE",
+    # serving
+    "AlignmentService",
+    "AlignmentSession",
+    "AlignmentServer",
+    "AlignmentClient",
+    "SocketAlignmentClient",
+    "RequestScheduler",
+    "ServiceStats",
+]
+
+
+# -- one-shot entry points ------------------------------------------------------
+
+def align(targets, reads, *, config: AlignerConfig | None = None,
+          n_ranks: int = 8, machine: MachineModel = EDISON_LIKE,
+          backend: str | None = None) -> AlignerReport:
+    """Align *reads* against *targets*: the default plan, end to end.
+
+    Equivalent to ``MerAligner(config).run(...)``; returns the full
+    :class:`AlignerReport` (alignments, per-phase and per-stage timings,
+    communication statistics).
+    """
+    return MerAligner(config).run(targets, reads, n_ranks=n_ranks,
+                                  machine=machine, backend=backend)
+
+
+def count(targets, reads, *, config: AlignerConfig | None = None,
+          n_ranks: int = 8, machine: MachineModel = EDISON_LIKE,
+          backend: str | None = None) -> SeedCountSummary:
+    """Distributed query-seed frequency histogram (the ``count`` workload).
+
+    Runs the pipeline through the seed-lookup stage only -- no fragment
+    fetches, no extension -- and folds the per-seed index occurrence counts
+    into a :class:`SeedCountSummary`.
+    """
+    return run_plan(plan_for_workload("count"), targets, reads, config=config,
+                    n_ranks=n_ranks, machine=machine, backend=backend).output
+
+
+def screen(targets, reads, *, config: AlignerConfig | None = None,
+           n_ranks: int = 8, machine: MachineModel = EDISON_LIKE,
+           backend: str | None = None) -> ScreenSummary:
+    """Exact-match-only read screening (the ``screen`` workload).
+
+    Probes only the Lemma 1 exact-match fast path and returns one
+    hit/miss row per read, in input order, as a :class:`ScreenSummary`.
+    """
+    return run_plan(plan_for_workload("screen"), targets, reads, config=config,
+                    n_ranks=n_ranks, machine=machine, backend=backend).output
+
+
+def plan(workload: str = "align") -> AlignmentPlan:
+    """A fresh copy of the registered plan for *workload*.
+
+    ``align`` is the full aligner, ``count`` stops after seed lookup,
+    ``screen`` probes only the exact-match path.  Build bespoke plans by
+    constructing :class:`AlignmentPlan` from the stage classes directly.
+    """
+    return plan_for_workload(workload)
+
+
+def run_plan(plan: AlignmentPlan, targets, reads, *,
+             config: AlignerConfig | None = None, n_ranks: int = 8,
+             machine: MachineModel = EDISON_LIKE,
+             backend: str | None = None) -> PlanResult:
+    """Execute any :class:`AlignmentPlan` end to end on a fresh machine."""
+    return PlanRunner(plan, config).run(targets, reads, n_ranks=n_ranks,
+                                        machine=machine, backend=backend)
+
+
+def prepare(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
+            machine: MachineModel = EDISON_LIKE, backend: str | None = None,
+            target_names: list[str] | None = None) -> AlignmentSession:
+    """Build the distributed index once and return a resident session.
+
+    The session serves any registered workload (``session.align(reads)``,
+    ``session.count(reads)``, ``session.screen(reads)``) or micro-batches
+    through :meth:`AlignmentSession.run_plan_many`, on any backend.
+    """
+    return MerAligner(config).prepare(targets, n_ranks=n_ranks,
+                                      machine=machine, backend=backend,
+                                      target_names=target_names)
+
+
+# -- the socket service ---------------------------------------------------------
+
+class AlignmentService:
+    """A running alignment service: session + scheduler + socket server.
+
+    Returned by :func:`serve`; the server thread is already accepting
+    connections when the constructor returns.  Closing (or exiting the
+    context) shuts down the server, the scheduler and the resident session
+    in order.
+    """
+
+    def __init__(self, session: AlignmentSession, scheduler: RequestScheduler,
+                 server: AlignmentServer) -> None:
+        self.session = session
+        self.scheduler = scheduler
+        self.server = server
+        self._thread = threading.Thread(target=server.serve_forever,
+                                        name="repro-service", daemon=True)
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, timeout: float | None = 300.0) -> "SocketAlignmentClient":
+        """A socket client bound to this service's address."""
+        from repro.service.client import SocketAlignmentClient
+        return SocketAlignmentClient(host=self.host, port=self.port,
+                                     timeout=timeout)
+
+    def stats(self) -> dict:
+        """The service's ``STATS`` document (scheduler + session summary)."""
+        return self.server.stats_json()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Block until the serve loop exits (e.g. a client SHUTDOWN)."""
+        self._thread.join(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop serving and release every resident resource (idempotent)."""
+        self.server.shutdown()
+        self._thread.join(timeout=30.0)
+        self.scheduler.close()
+        self.session.close()
+
+    def __enter__(self) -> "AlignmentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
+          machine: MachineModel = EDISON_LIKE, backend: str | None = None,
+          host: str = "127.0.0.1", port: int = 0,
+          max_batch_requests: int = 8, max_batch_reads: int | None = None,
+          max_wait_s: float = 0.02, warm_caches: bool = False,
+          request_timeout: float | None = 300.0,
+          session: AlignmentSession | None = None) -> AlignmentService:
+    """Build the index and start serving align/count/screen over TCP.
+
+    Returns a running :class:`AlignmentService` (``port=0`` binds an
+    OS-assigned port, read it from ``service.port``).  Pass an existing
+    *session* to serve a prebuilt index instead of building one here.
+    """
+    from repro.service.scheduler import RequestScheduler
+    from repro.service.server import AlignmentServer
+    if session is None:
+        session = prepare(targets, config=config, n_ranks=n_ranks,
+                          machine=machine, backend=backend)
+    scheduler = RequestScheduler(session,
+                                 max_batch_requests=max_batch_requests,
+                                 max_batch_reads=max_batch_reads,
+                                 max_wait_s=max_wait_s,
+                                 warm_caches=warm_caches)
+    server = AlignmentServer(scheduler, host=host, port=port,
+                             request_timeout=request_timeout)
+    return AlignmentService(session, scheduler, server)

@@ -68,13 +68,16 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
-                phase_name: str | None = None) -> list[Any]:
+                phase_name: str | None = None,
+                label: str | None = None) -> list[Any]:
         """Run ``fn(ctx, *args)`` on every rank of *runtime*.
 
         Returns per-rank results in rank order.  Implementations must append
         the run's :class:`PhaseTrace` records to ``runtime.phases`` and leave
         the rank contexts' clocks and stats updated with cooperative-
-        equivalent barrier accounting.
+        equivalent barrier accounting.  *label* names the invocation (e.g.
+        the plan being run) and must be woven into failure diagnostics so a
+        dead rank identifies the pipeline invocation that killed it.
         """
 
     def open_session(self, runtime) -> BackendSession:
@@ -216,29 +219,35 @@ def replay_barriers(runtime, runs: list[RankRun],
         ctx.stats.barriers += n_barriers
 
 
-def raise_rank_failures(failures: list[RankFailure], backend_name: str) -> None:
+def raise_rank_failures(failures: list[RankFailure], backend_name: str,
+                        label: str | None = None) -> None:
     """Raise the most informative exception for a set of rank failures.
 
     A genuine application error wins; if *every* failing rank only saw a
     ``BrokenBarrierError`` (the symptom, not the cause -- e.g. a barrier-count
     mismatch or a barrier timeout) a descriptive error is raised instead of
-    letting the caller receive a garbage all-``None`` result list.
+    letting the caller receive a garbage all-``None`` result list.  *label*
+    (the invocation label passed to ``run_spmd``) is woven into the message
+    so a serving stack running many plans can tell which invocation died.
     """
     if not failures:
         return
+    where = f"the {backend_name} backend"
+    if label:
+        where += f" (invocation {label!r})"
     real = [failure for failure in failures if not failure.is_barrier]
     if real:
         failure = real[0]
         error = failure.error or RuntimeError(
-            f"rank {failure.rank} failed under the {backend_name} backend")
+            f"rank {failure.rank} failed under {where}")
         if failure.traceback and hasattr(error, "add_note"):
-            error.add_note(f"(rank {failure.rank} traceback under the "
-                           f"{backend_name} backend)\n{failure.traceback}")
+            error.add_note(f"(rank {failure.rank} traceback under {where})\n"
+                           f"{failure.traceback}")
         raise error
     broken = sorted(failure.rank for failure in failures)
     raise RuntimeError(
-        f"ranks {broken} all failed with BrokenBarrierError under the "
-        f"{backend_name} backend and no originating error was captured. "
+        f"ranks {broken} all failed with BrokenBarrierError under "
+        f"{where} and no originating error was captured. "
         "This usually means a barrier-count mismatch (some rank finished "
         "early or yielded a different number of times) or a rank deadlocked "
         "past the barrier timeout.")

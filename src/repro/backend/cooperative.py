@@ -21,7 +21,10 @@ class CooperativeBackend(ExecutionBackend):
     name = "cooperative"
 
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
-                phase_name: str | None = None) -> list[Any]:
+                phase_name: str | None = None,
+                label: str | None = None) -> list[Any]:
+        # The cooperative driver raises application errors in place, so the
+        # invocation label is not needed for diagnostics here.
         if inspect.isgeneratorfunction(fn):
             return runtime._run_generators(fn, args)
         name = phase_name or getattr(fn, "__name__", "phase")

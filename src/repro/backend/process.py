@@ -502,7 +502,8 @@ class ProcessBackend(ExecutionBackend):
         return _ResidentHeapSession(runtime)
 
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
-                phase_name: str | None = None) -> list[Any]:
+                phase_name: str | None = None,
+                label: str | None = None) -> list[Any]:
         if "fork" not in multiprocessing.get_all_start_methods():
             raise BackendUnavailableError(
                 "the process backend requires the 'fork' start method, which "
@@ -556,7 +557,8 @@ class ProcessBackend(ExecutionBackend):
                     pass
                 raise TimeoutError(
                     f"SPMD rank did not finish within the {self.name} backend "
-                    f"timeout ({self.timeout}s)")
+                    f"timeout ({self.timeout}s)"
+                    + (f" while running {label!r}" if label else ""))
             for process in processes:
                 process.join(timeout=10.0)
         finally:
@@ -568,7 +570,7 @@ class ProcessBackend(ExecutionBackend):
                 conn.close()
             if resident is None:
                 _demote_arrays(promoted)
-        raise_rank_failures(failures, self.name)
+        raise_rank_failures(failures, self.name, label=label)
         missing = [rank for rank, outcome in enumerate(outcomes)
                    if outcome is None]
         if missing:

@@ -82,7 +82,8 @@ class _ResidentThreadPool(BackendSession):
             finally:
                 ctx._barrier_impl = None
 
-    def run(self, fn: Callable[..., Any], args: tuple) -> list[RankRun]:
+    def run(self, fn: Callable[..., Any], args: tuple,
+            label: str | None = None) -> list[RankRun]:
         """Run one SPMD invocation on the resident rank threads."""
         if self._closed:
             raise RuntimeError("resident thread pool is closed")
@@ -110,13 +111,14 @@ class _ResidentThreadPool(BackendSession):
                 barrier.abort()
                 raise TimeoutError(
                     "SPMD rank did not finish within the threaded backend "
-                    f"timeout ({self._timeout}s); resident pool retired"
-                    ) from None
+                    f"timeout ({self._timeout}s)"
+                    + (f" while running {label!r}" if label else "")
+                    + "; resident pool retired") from None
             if status == "ok":
                 runs[rank] = payload
             else:
                 failures.append(payload)
-        raise_rank_failures(failures, "threaded")
+        raise_rank_failures(failures, "threaded", label=label)
         return [run for run in runs]  # type: ignore[misc]
 
     def close(self) -> None:
@@ -146,12 +148,14 @@ class ThreadedBackend(ExecutionBackend):
         return _ResidentThreadPool(runtime, self.timeout, self.barrier_timeout)
 
     def execute(self, runtime, fn: Callable[..., Any], args: tuple,
-                phase_name: str | None = None) -> list[Any]:
+                phase_name: str | None = None,
+                label: str | None = None) -> list[Any]:
         pool = getattr(runtime, "_threaded_session", None)
         if pool is not None and not pool._closed:
-            runs = pool.run(fn, args)
+            runs = pool.run(fn, args, label=label)
         else:
-            runs = self._run_threads(runtime, fn, args, record=True)
+            runs = self._run_threads(runtime, fn, args, record=True,
+                                     label=label)
         fallback = phase_name or getattr(fn, "__name__", "phase")
         specs = assemble_phase_specs(runs, fallback)
         # Threads ran directly on the parent contexts, so the in-phase work is
@@ -173,7 +177,7 @@ class ThreadedBackend(ExecutionBackend):
     # -- internals -----------------------------------------------------------
 
     def _run_threads(self, runtime, fn: Callable[..., Any], args: tuple,
-                     record: bool) -> list[RankRun]:
+                     record: bool, label: str | None = None) -> list[RankRun]:
         n = runtime.n_ranks
         barrier = threading.Barrier(n)
         wait = barrier_waiter(barrier, self.barrier_timeout)
@@ -207,6 +211,7 @@ class ThreadedBackend(ExecutionBackend):
                 barrier.abort()
                 raise TimeoutError(
                     f"SPMD rank did not finish within the {self.name} backend "
-                    f"timeout ({self.timeout}s)")
-        raise_rank_failures(failures, self.name)
+                    f"timeout ({self.timeout}s)"
+                    + (f" while running {label!r}" if label else ""))
+        raise_rank_failures(failures, self.name, label=label)
         return [run for run in runs]  # type: ignore[misc]

@@ -1,7 +1,8 @@
 """Command-line interface.
 
-Five subcommands mirror how the original merAligner is used inside the
-Meraculous/HipMer pipeline, plus a data generator for experimentation:
+The subcommands mirror how the original merAligner is used inside the
+Meraculous/HipMer pipeline, plus a data generator and the plan-built
+workloads:
 
 ``meraligner simulate``
     Generate a synthetic genome, contigs (FASTA) and reads (FASTQ or SeqDB).
@@ -10,20 +11,33 @@ Meraculous/HipMer pipeline, plus a data generator for experimentation:
     Run the fully parallel aligner on a contig FASTA and a read file, write a
     SAM file and print (or ``--json-report``) the per-phase report.
 
+``meraligner count``
+    The seed-count workload: run the pipeline through the distributed seed
+    lookup stage only and write the query-seed frequency histogram as TSV.
+
+``meraligner screen``
+    The exact-screen workload: probe only the Lemma 1 exact-match fast path
+    and write per-read hit/miss rows as TSV.
+
 ``meraligner compare``
     Run merAligner and the BWA-mem-like / Bowtie2-like baselines (under the
     pMap driver) on the same inputs and print a Table II style comparison.
 
 ``meraligner serve``
-    Build the index once, keep the ranks resident, and serve alignment
-    requests over a socket through the micro-batching scheduler.
+    Build the index once, keep the ranks resident, and serve alignment,
+    count and screen requests over a socket through the micro-batching
+    scheduler.
 
 ``meraligner query``
-    Client of ``serve``: send a read file, write the SAM response; also
-    ``--stats`` (JSON service report) and ``--shutdown``.
+    Client of ``serve``: send a read file (``--workload align|count|screen``)
+    and write the response; also ``--stats`` (JSON service report) and
+    ``--shutdown``.
 
-The CLI is a thin veneer over the public API; everything it does can be done
-programmatically (see the examples/ directory).
+Missing or unreadable input files exit with code 2 and a one-line message on
+stderr, uniformly across subcommands.
+
+The CLI is a thin veneer over the public API (:mod:`repro.api`); everything
+it does can be done programmatically (see the examples/ directory).
 """
 
 from __future__ import annotations
@@ -33,18 +47,41 @@ import json
 import sys
 from pathlib import Path
 
+import os
+
 from repro.backend import available_backends, default_backend_name
 from repro.baselines.bowtie_like import BowtieLikeAligner
 from repro.baselines.bwa_like import BwaLikeAligner
 from repro.baselines.pmap import PMapFramework
 from repro.core.config import AlignerConfig
 from repro.core.pipeline import MerAligner, _normalize_reads
+from repro.core.plan import PlanRunner, plan_for_workload
 from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
 from repro.io.fasta import read_fasta, write_fasta
 from repro.io.fastq import write_fastq
 from repro.io.sam import write_sam
 from repro.io.seqdb import records_to_seqdb
 from repro.pgas.cost_model import EDISON_LIKE
+
+
+class InputFileError(Exception):
+    """A missing/unreadable input file: exit code 2, message on stderr."""
+
+
+def _check_input_file(path: Path, what: str) -> Path:
+    """Validate an input *path* before handing it to a subcommand.
+
+    Every subcommand funnels its input files through this check so the CLI
+    fails uniformly: exit code 2 and a one-line ``meraligner: error:``
+    message on stderr, instead of a traceback from deep inside a reader.
+    """
+    if not path.exists():
+        raise InputFileError(f"{what} file not found: {path}")
+    if path.is_dir():
+        raise InputFileError(f"{what} path is a directory, not a file: {path}")
+    if not os.access(path, os.R_OK):
+        raise InputFileError(f"{what} file is not readable: {path}")
+    return path
 
 
 def _add_aligner_options(parser: argparse.ArgumentParser,
@@ -76,10 +113,13 @@ def _add_aligner_options(parser: argparse.ArgumentParser,
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
     parser = argparse.ArgumentParser(
         prog="meraligner",
         description="merAligner reproduction: fully parallel seed-and-extend "
                     "sequence alignment on a simulated PGAS runtime")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     simulate = subparsers.add_parser(
@@ -111,6 +151,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "communication counters, cache stats) as JSON")
     _add_aligner_options(align, default_ranks=8)
 
+    workload_parsers = {
+        "count": ("seed-count workload: distributed query-seed frequency "
+                  "histogram (stops after the seed-lookup stage)",
+                  "TSV file to write (occurrences histogram)"),
+        "screen": ("exact-screen workload: per-read exact-match hit/miss "
+                   "TSV (runs only the exact-match fast path)",
+                   "TSV file to write (one hit/miss row per read)"),
+    }
+    for name, (help_text, output_help) in workload_parsers.items():
+        workload = subparsers.add_parser(name, help=help_text)
+        workload.add_argument("--targets", type=Path, required=True,
+                              help="FASTA file of target/contig sequences "
+                                   "(.gz transparently decompressed)")
+        workload.add_argument("--reads", type=Path, required=True,
+                              help="FASTQ or SeqDB file of reads")
+        workload.add_argument("--output", type=Path, required=True,
+                              help=output_help)
+        workload.add_argument("--json-report", type=Path, default=None,
+                              help="also write the per-phase/per-stage "
+                                   "report as JSON")
+        _add_aligner_options(workload, default_ranks=8)
+
     serve = subparsers.add_parser(
         "serve", help="persistent alignment service: build the index once, "
                       "serve many requests over a socket")
@@ -134,8 +196,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--reads", type=Path, default=None,
                        help="FASTQ file of reads to align "
                             "(.fastq.gz transparently decompressed)")
+    query.add_argument("--workload", choices=("align", "count", "screen"),
+                       default="align",
+                       help="which plan workload to request: align (SAM), "
+                            "count (seed-frequency TSV) or screen "
+                            "(hit/miss TSV)")
     query.add_argument("--output", type=Path, default=None,
-                       help="SAM file to write (default: stdout)")
+                       help="response file to write (default: stdout)")
     query.add_argument("--stats", action="store_true",
                        help="print the service's JSON statistics report")
     query.add_argument("--shutdown", action="store_true",
@@ -191,6 +258,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_align(args: argparse.Namespace) -> int:
+    _check_input_file(args.targets, "targets")
+    _check_input_file(args.reads, "reads")
     config = _config_from_args(args)
     backend = args.backend or default_backend_name()
     report = MerAligner(config).run(args.targets, args.reads, n_ranks=args.ranks,
@@ -215,9 +284,44 @@ def _cmd_align(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import AlignmentServer, RequestScheduler
+def _cmd_workload(args: argparse.Namespace, workload: str) -> int:
+    """Shared driver of the plan-built TSV workloads (count / screen)."""
+    _check_input_file(args.targets, "targets")
+    _check_input_file(args.reads, "reads")
+    config = _config_from_args(args)
+    backend = args.backend or default_backend_name()
+    # Parse the FASTA once: the runner accepts the records, and the screen
+    # renderer reuses their names.
+    targets = read_fasta(args.targets)
+    result = PlanRunner(plan_for_workload(workload), config).run(
+        targets, args.reads, n_ranks=args.ranks,
+        machine=EDISON_LIKE, backend=backend)
+    summary = result.output
+    print(f"backend: {backend} ({args.ranks} ranks)")
+    if workload == "count":
+        text = summary.to_tsv()
+        print(f"looked up {summary.n_seed_lookups} query seeds over "
+              f"{summary.n_reads} reads; {summary.n_missing} absent from the "
+              f"index ({len(summary.histogram)} distinct occurrence counts)")
+        what = "histogram"
+    else:
+        text = summary.to_tsv([record.name for record in targets])
+        print(f"screened {len(summary.rows)} reads: {summary.n_hits} exact "
+              f"hits ({summary.n_hits / len(summary.rows):.1%})"
+              if summary.rows else "screened 0 reads")
+        what = "screen rows"
+    args.output.write_text(text, encoding="ascii")
+    print(f"wrote {what} to {args.output}")
+    if args.json_report is not None:
+        result.report.write_json(args.json_report)
+        print(f"wrote JSON report to {args.json_report}")
+    return 0
 
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+
+    _check_input_file(args.targets, "targets")
     config = _config_from_args(args)
     backend = args.backend or default_backend_name()
     print(f"building index from {args.targets} "
@@ -228,21 +332,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{session.prepared.n_fragments} fragments "
           f"(modelled build time "
           f"{session.prepared.index_construction_time:.6f}s)", flush=True)
-    scheduler = RequestScheduler(session,
-                                 max_batch_requests=args.max_batch_requests,
-                                 max_wait_s=args.max_wait_ms / 1000.0)
-    server = AlignmentServer(scheduler, host=args.host, port=args.port)
-    print(f"serving on {server.host}:{server.port} "
-          "(PING / ALIGN / STATS / SHUTDOWN)", flush=True)
+    service = api.serve(None, session=session, host=args.host, port=args.port,
+                        max_batch_requests=args.max_batch_requests,
+                        max_wait_s=args.max_wait_ms / 1000.0)
+    print(f"serving on {service.host}:{service.port} "
+          "(PING / ALIGN / COUNT / SCREEN / STATS / SHUTDOWN)", flush=True)
     try:
-        server.serve_forever()
+        service.join()
     except KeyboardInterrupt:
         pass
     finally:
-        server.shutdown()
-        scheduler.close()
-        session.close()
-    stats = scheduler.stats()
+        service.close()
+    stats = service.scheduler.stats()
     print(f"served {stats.requests} requests in {stats.batches} batches "
           f"(occupancy {stats.batch_occupancy:.2f}); shutdown complete",
           flush=True)
@@ -257,14 +358,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
                                    timeout=args.timeout)
     ran_command = False
     if args.reads is not None:
-        sam = client.align_sam(read_fastq(args.reads))
+        _check_input_file(args.reads, "reads")
+        workload = getattr(args, "workload", "align")
+        text = client.workload_text(workload, read_fastq(args.reads))
         if args.output is not None:
-            args.output.write_text(sam, encoding="ascii")
-            records = sum(1 for line in sam.splitlines()
-                          if line and not line.startswith("@"))
-            print(f"wrote {records} alignments to {args.output}")
+            args.output.write_text(text, encoding="ascii")
+            if workload == "align":
+                records = sum(1 for line in text.splitlines()
+                              if line and not line.startswith("@"))
+                print(f"wrote {records} alignments to {args.output}")
+            else:
+                rows = sum(1 for line in text.splitlines()
+                           if line and not line.startswith("#"))
+                print(f"wrote {rows} {workload} rows to {args.output}")
         else:
-            sys.stdout.write(sam)
+            sys.stdout.write(text)
         ran_command = True
     if args.stats:
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -281,6 +389,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _check_input_file(args.targets, "targets")
+    _check_input_file(args.reads, "reads")
     targets = [record.sequence for record in read_fasta(args.targets)]
     reads = _normalize_reads(args.reads)
     config = AlignerConfig(seed_length=args.seed_length,
@@ -312,15 +422,22 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    import functools
     handlers = {
         "simulate": _cmd_simulate,
         "align": _cmd_align,
+        "count": functools.partial(_cmd_workload, workload="count"),
+        "screen": functools.partial(_cmd_workload, workload="screen"),
         "compare": _cmd_compare,
         "serve": _cmd_serve,
         "query": _cmd_query,
     }
     # argparse enforces that args.command is one of the handlers.
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except InputFileError as exc:
+        print(f"meraligner: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

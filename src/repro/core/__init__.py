@@ -9,24 +9,42 @@
 * :mod:`repro.core.seed_index` -- the distributed seed index built with (or
   without) aggregating stores, including single-copy-seed marking.
 * :mod:`repro.core.load_balance` -- random permutation of the query file.
+* :mod:`repro.core.plan` -- the composable stage-pipeline API:
+  :class:`AlignmentPlan` (typed stage sequences with validated dataflow),
+  :class:`PlanRunner` (chunking, permutation, bulk windows, per-stage
+  :class:`~repro.core.stats.PhaseStats`), the built-in stages, and the
+  registered workloads (``align``, ``count``, ``screen``).
 * :mod:`repro.core.pipeline` -- :class:`MerAligner`, the end-to-end parallel
-  aligner (Algorithm 1 plus sections III-V).
+  aligner (Algorithm 1 plus sections III-V) as a preset over the default
+  plan.
 * :mod:`repro.core.stats` -- :class:`AlignerReport`, per-phase timings,
   counters and communication statistics.
 """
 
-from repro.core.config import AlignerConfig
-from repro.core.stats import AlignerReport, AlignmentCounters
+from repro.core.config import AlignerConfig, config_summary
+from repro.core.stats import AlignerReport, AlignmentCounters, PhaseStats
 from repro.core.target_store import TargetStore, FragmentRecord, fragment_target
 from repro.core.seed_index import SeedIndex
 from repro.core.load_balance import permute_reads, chunk_for_rank, imbalance
 from repro.core.evaluation import EvaluationResult, evaluate_alignments, compare_aligners
+from repro.core.plan import (AlignmentPlan, PlanResult, PlanRunner,
+                             PlanValidationError, ScreenSummary,
+                             SeedCountSummary, plan_for_workload)
 from repro.core.pipeline import MerAligner
 
 __all__ = [
     "AlignerConfig",
     "AlignerReport",
     "AlignmentCounters",
+    "AlignmentPlan",
+    "PhaseStats",
+    "PlanResult",
+    "PlanRunner",
+    "PlanValidationError",
+    "ScreenSummary",
+    "SeedCountSummary",
+    "config_summary",
+    "plan_for_workload",
     "TargetStore",
     "FragmentRecord",
     "fragment_target",

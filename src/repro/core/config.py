@@ -127,3 +127,28 @@ class AlignerConfig:
         """Config matching the single-node E. coli study (Fig 11): k = 19."""
         return cls(seed_length=seed_length, fragment_length=max(500, seed_length * 10),
                    **kwargs)
+
+
+def config_summary(config: AlignerConfig, backend: str,
+                   plan: str = "align", workload: str = "align") -> dict:
+    """The configuration digest embedded in every :class:`AlignerReport`.
+
+    *plan* and *workload* identify what produced the report -- the
+    :class:`~repro.core.plan.AlignmentPlan` name and its sink's workload --
+    so downstream tooling can tell an ``align`` report from a ``count`` or
+    ``screen`` one without guessing from the counters.
+    """
+    return {
+        "seed_length": config.seed_length,
+        "aggregating_stores": config.use_aggregating_stores,
+        "seed_index_cache": config.use_seed_index_cache,
+        "target_cache": config.use_target_cache,
+        "exact_match_optimization": config.use_exact_match_optimization,
+        "permute_reads": config.permute_reads,
+        "max_alignments_per_seed": config.max_alignments_per_seed,
+        "bulk_lookups": config.use_bulk_lookups,
+        "lookup_batch_size": config.lookup_batch_size,
+        "backend": backend,
+        "plan": plan,
+        "workload": workload,
+    }

@@ -1,121 +1,68 @@
 """The end-to-end parallel aligner (Algorithm 1 with all optimizations).
 
-:class:`MerAligner` orchestrates the SPMD phases of the paper:
+:class:`MerAligner` is a thin preset over the composable stage-pipeline API
+(:mod:`repro.core.plan`): it executes :meth:`AlignmentPlan.default` -- the
+paper's SPMD phases as explicit stage objects --
 
-1. ``read_targets`` -- every rank reads its block of the target (contig) set
-   in parallel, fragments long targets (section IV-A) and stores the packed
-   fragments in its shared segment.
-2. ``extract_and_store_seeds`` -- every rank extracts the seeds of its own
-   fragments and routes each entry to the owning rank, either through the
-   aggregating-stores buffers or with fine-grained remote stores.
-3. ``drain_stacks`` -- (aggregating stores only) every rank drains its
-   local-shared stack into its local buckets; no locks, no communication.
-4. ``mark_single_copy`` -- every rank scans its partition of the index and
-   clears the single-copy flag of fragments that own duplicated seeds.
-5. ``read_queries`` -- every rank reads its chunk of the (optionally
-   randomly permuted) read set in parallel.
-6. ``align_reads`` -- seed-and-extend with the exact-match fast path,
-   per-node software caches and the max-alignments-per-seed threshold.
-   With ``use_bulk_lookups`` the phase runs through the batched
-   bulk-communication engine instead: reads are processed in windows of
-   ``lookup_batch_size``, every window's seed lookups and (deduplicated)
-   fragment fetches are aggregated into one get per destination rank, and
-   same-shaped extension windows share one sweep of the batched striped
-   kernel.  Both modes report identical alignments.
+1. ``BuildIndex`` -- parallel target reading and fragmentation (section
+   IV-A), seed extraction routed through aggregating stores (section III-A),
+   local-shared stack draining and single-copy-seed marking; the four barrier
+   phases ``read_targets`` / ``extract_and_store_seeds`` / ``drain_stacks``
+   / ``mark_single_copy``.
+2. ``ReadQueries`` -- every rank reads its chunk of the (optionally randomly
+   permuted) read set in parallel.
+3. ``ExactPath`` -> ``SeedLookup`` -> ``CandidateCollect`` ->
+   ``ExtendAlign`` -> ``EmitSam`` -- the aligning phase: the exact-match
+   fast path, software-cached seed lookups, candidate selection with the
+   max-alignments-per-seed threshold, and banded Smith-Waterman extension.
+   With ``use_bulk_lookups`` the same stages run through the batched
+   bulk-communication engine (windows of ``lookup_batch_size`` reads, one
+   aggregated get per destination rank per stage); both engines report
+   identical alignments.
 
 The result is an :class:`~repro.core.stats.AlignerReport` carrying the
-alignments, per-phase modelled timings, communication statistics and event
-counters -- everything the paper's figures and tables are built from.
+alignments, per-phase and per-stage modelled timings, communication
+statistics and event counters -- everything the paper's figures and tables
+are built from.
+
+Custom pipelines (seed counting, exact screening, bespoke sinks) go through
+:mod:`repro.api` / :class:`repro.core.plan.PlanRunner` directly; this module
+remains the convenience preset for the classic align workload.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
-from repro.alignment.exact import exact_match_at
-from repro.alignment.extend import SeedHit, extend_batch, extend_seed_hit
-from repro.alignment.result import Alignment, CigarOp
-from repro.core.config import AlignerConfig
-from repro.core.load_balance import chunk_for_rank, permute_reads
-from repro.core.seed_index import SeedIndex
-from repro.core.stats import AlignerReport, AlignmentCounters
-from repro.core.target_store import TargetStore, fragment_target
-from repro.dna.sequence import reverse_complement
-from repro.dna.synthetic import ReadRecord
-from repro.hashtable.cache import SoftwareCache
-from repro.io.fasta import FastaRecord, read_fasta
-from repro.io.fastq import FastqRecord, read_fastq
-from repro.io.seqdb import SeqDbReader
+# Re-exported for backwards compatibility: these helpers historically lived
+# here and are imported by the service and CLI layers.
+from repro.core.config import AlignerConfig, config_summary  # noqa: F401
+from repro.core.plan import (AlignmentPlan, PlanResult, PlanRunner,
+                             normalize_reads, normalize_targets,
+                             normalize_targets_named)
+from repro.core.stats import AlignerReport
 from repro.pgas.cost_model import EDISON_LIKE, MachineModel
-from repro.pgas.gptr import GlobalPointer
-from repro.pgas.runtime import PgasRuntime, RankContext
+from repro.pgas.runtime import PgasRuntime
 
-
-def _normalize_targets(targets) -> list[str]:
-    """Accept a FASTA path, FastaRecords, or plain sequences."""
-    return [sequence for _name, sequence in _normalize_targets_named(targets)]
-
-
-def _normalize_targets_named(targets) -> list[tuple[str, str]]:
-    """Like :func:`_normalize_targets` but keeps (or synthesizes) names.
-
-    The alignment service needs target names to emit SAM headers identical to
-    the offline CLI; plain sequences get the same ``contig{i:05d}`` names the
-    data generator writes.
-    """
-    if isinstance(targets, (str, Path)):
-        return [(record.name, record.sequence) for record in read_fasta(targets)]
-    named: list[tuple[str, str]] = []
-    for index, item in enumerate(targets):
-        if isinstance(item, FastaRecord):
-            named.append((item.name, item.sequence))
-        elif isinstance(item, str):
-            named.append((f"contig{index:05d}", item))
-        else:
-            raise TypeError(f"unsupported target type: {type(item)!r}")
-    return named
-
-
-def _normalize_reads(reads) -> list[ReadRecord]:
-    """Accept a SeqDB/FASTQ path, FastqRecords, or ReadRecords."""
-    if isinstance(reads, (str, Path)):
-        path = Path(reads)
-        if path.suffix in (".seqdb", ".sqdb", ".db"):
-            with SeqDbReader(path) as reader:
-                return [rec.to_read() for rec in reader.read_range(0, len(reader))]
-        return [rec.to_read() for rec in read_fastq(path)]
-    normalized: list[ReadRecord] = []
-    for item in reads:
-        if isinstance(item, ReadRecord):
-            normalized.append(item)
-        elif isinstance(item, FastqRecord):
-            normalized.append(item.to_read())
-        else:
-            raise TypeError(f"unsupported read type: {type(item)!r}")
-    return normalized
-
-
-def config_summary(config: AlignerConfig, backend: str) -> dict:
-    """The configuration digest embedded in every :class:`AlignerReport`."""
-    return {
-        "seed_length": config.seed_length,
-        "aggregating_stores": config.use_aggregating_stores,
-        "seed_index_cache": config.use_seed_index_cache,
-        "target_cache": config.use_target_cache,
-        "exact_match_optimization": config.use_exact_match_optimization,
-        "permute_reads": config.permute_reads,
-        "max_alignments_per_seed": config.max_alignments_per_seed,
-        "bulk_lookups": config.use_bulk_lookups,
-        "lookup_batch_size": config.lookup_batch_size,
-        "backend": backend,
-    }
+_normalize_targets = normalize_targets
+_normalize_targets_named = normalize_targets_named
+_normalize_reads = normalize_reads
 
 
 class MerAligner:
-    """The fully parallel seed-and-extend aligner."""
+    """The fully parallel seed-and-extend aligner (a preset align plan)."""
 
     def __init__(self, config: AlignerConfig | None = None) -> None:
         self.config = config or AlignerConfig()
+
+    # -- plan access ------------------------------------------------------------
+
+    def plan(self) -> AlignmentPlan:
+        """The stage plan this aligner executes (the default align plan)."""
+        return AlignmentPlan.default()
+
+    def runner(self, plan: AlignmentPlan | None = None) -> PlanRunner:
+        """A :class:`PlanRunner` over *plan* (default: the align plan) with
+        this aligner's configuration."""
+        return PlanRunner(plan or self.plan(), self.config)
 
     # -- public API -------------------------------------------------------------
 
@@ -138,61 +85,21 @@ class MerAligner:
         Returns:
             The :class:`AlignerReport` of the run.
         """
-        runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
-        return self.run_on_runtime(runtime, targets, reads, backend=backend)
+        return self.runner().run(targets, reads, n_ranks=n_ranks,
+                                 machine=machine, backend=backend).report
 
     def run_on_runtime(self, runtime: PgasRuntime, targets, reads,
                        backend: str | None = None) -> AlignerReport:
         """Align on an existing runtime (lets callers share a machine model)."""
-        from repro.backend import default_backend_name
-        backend = backend or default_backend_name()
-        config = self.config
-        target_seqs = _normalize_targets(targets)
-        read_records = _normalize_reads(reads)
-        if config.permute_reads:
-            read_records = permute_reads(read_records, seed=config.permutation_seed)
+        return self.runner().run_on_runtime(runtime, targets, reads,
+                                            backend=backend).report
 
-        target_store = TargetStore(runtime)
-        seed_index = SeedIndex(runtime, config)
-        seed_cache = (SoftwareCache(runtime, config.seed_cache_bytes_per_node,
-                                    name="seed_index")
-                      if config.use_seed_index_cache else None)
-        target_cache = (SoftwareCache(runtime, config.target_cache_bytes_per_node,
-                                      name="target")
-                        if config.use_target_cache else None)
-
-        def spmd(ctx: RankContext):
-            return (yield from self._rank_program(
-                ctx, target_seqs, read_records, target_store, seed_index,
-                seed_cache, target_cache))
-
-        result = runtime.run_spmd(spmd, backend=backend)
-
-        counters = AlignmentCounters()
-        alignments: list[Alignment] = []
-        for rank_groups, rank_counters in result.results:
-            for _read_index, group in rank_groups:
-                alignments.extend(group)
-            counters = counters.merge(rank_counters)
-
-        cache_stats = {}
-        if seed_cache is not None:
-            cache_stats["seed_index"] = seed_cache.total_stats()
-        if target_cache is not None:
-            cache_stats["target"] = target_cache.total_stats()
-
-        return AlignerReport(
-            n_ranks=runtime.n_ranks,
-            config_summary=config_summary(config, result.backend),
-            alignments=alignments,
-            counters=counters,
-            phases=result.phases,
-            per_rank_stats=result.per_rank_stats,
-            seed_index_keys=seed_index.n_keys,
-            seed_index_values=seed_index.n_values,
-            single_copy_fragment_fraction=target_store.single_copy_fraction(),
-            cache_stats=cache_stats,
-        )
+    def run_plan(self, plan: AlignmentPlan, targets, reads, n_ranks: int = 4,
+                 machine: MachineModel = EDISON_LIKE,
+                 backend: str | None = None) -> PlanResult:
+        """Execute an arbitrary :class:`AlignmentPlan` with this config."""
+        return self.runner(plan).run(targets, reads, n_ranks=n_ranks,
+                                     machine=machine, backend=backend)
 
     def prepare(self, targets, n_ranks: int = 4,
                 machine: MachineModel = EDISON_LIKE,
@@ -203,9 +110,10 @@ class MerAligner:
         seed extraction and routing, single-copy marking) run exactly once;
         the returned :class:`~repro.service.session.AlignmentSession` keeps
         the runtime, seed index, target store and per-node caches alive so
-        ``session.align(reads)`` can be called many times, each call running
-        only the aligning phases.  This is the serving path: one index, many
-        independent requests, on any execution backend.
+        ``session.align(reads)`` -- or any registered plan workload through
+        ``session.run_plan(...)`` -- can be called many times, each call
+        running only the query-side stages.  This is the serving path: one
+        index, many independent requests, on any execution backend.
 
         Args:
             targets: FASTA path (optionally gzipped), :class:`FastaRecord`
@@ -221,427 +129,3 @@ class MerAligner:
         runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
         return AlignmentSession.build(self, runtime, targets, backend=backend,
                                       target_names=target_names)
-
-    # -- the per-rank SPMD program -------------------------------------------------
-
-    def _rank_program(self, ctx: RankContext, target_seqs: list[str],
-                      read_records: list[ReadRecord], target_store: TargetStore,
-                      seed_index: SeedIndex,
-                      seed_cache: SoftwareCache | None,
-                      target_cache: SoftwareCache | None):
-        """One rank's complete program: index construction, then alignment."""
-        yield from self._index_program(ctx, target_seqs, target_store, seed_index)
-        return (yield from self._query_program(ctx, read_records, seed_index,
-                                               target_store, seed_cache,
-                                               target_cache))
-
-    def _index_program(self, ctx: RankContext, target_seqs: list[str],
-                       target_store: TargetStore, seed_index: SeedIndex):
-        """Phases 1-4: build the distributed seed index and target store.
-
-        Runs once per session on the serving path (:meth:`prepare`) and once
-        per :meth:`run` on the one-shot path; the phases and cost accounting
-        are identical in both.
-        """
-        config = self.config
-
-        # Phase 1: parallel read + fragmentation + storage of targets.
-        my_target_ids = list(range(len(target_seqs)))[ctx.my_slice(len(target_seqs))]
-        my_fragments: list[tuple[GlobalPointer, object]] = []
-        fragment_counter = 0
-        for target_id in my_target_ids:
-            sequence = target_seqs[target_id]
-            ctx.charge_io_bytes(len(sequence), category="io:targets")
-            if config.fragment_targets:
-                pieces = fragment_target(target_id, sequence,
-                                         config.fragment_length, config.seed_length)
-            else:
-                pieces = [(0, sequence)] if sequence else []
-            for parent_offset, piece in pieces:
-                fragment_id = ctx.me * (1 << 40) + fragment_counter
-                fragment_counter += 1
-                record = target_store.store_fragment(ctx, fragment_id, target_id,
-                                                     parent_offset, piece)
-                pointer = GlobalPointer(owner=ctx.me, segment=TargetStore.SEGMENT,
-                                        key=fragment_id, nbytes=record.nbytes)
-                my_fragments.append((pointer, record))
-        yield "read_targets"
-
-        # Phase 2: extract seeds from this rank's own fragments (retained from
-        # phase 1 -- rereading the local segment would be uncharged anyway)
-        # and route them to their owners.
-        for pointer, record in my_fragments:
-            seed_index.add_fragment_seeds(ctx, record, pointer)
-        seed_index.flush(ctx)
-        yield "extract_and_store_seeds"
-
-        # Phase 3: drain local-shared stacks (aggregating stores only).
-        seed_index.drain(ctx)
-        yield "drain_stacks"
-
-        # Phase 4: single-copy-seed marking for the exact-match optimization.
-        if config.use_exact_match_optimization:
-            seed_index.mark_single_copy_flags(ctx, target_store)
-        yield "mark_single_copy"
-
-    def _query_program(self, ctx: RankContext, read_records: list[ReadRecord],
-                       seed_index: SeedIndex, target_store: TargetStore,
-                       seed_cache: SoftwareCache | None,
-                       target_cache: SoftwareCache | None):
-        """Phases 5-6: read the query chunk and align it.
-
-        Returns ``([(read_index, alignments), ...], counters)`` where
-        ``read_index`` is the read's position in *read_records* and every read
-        of this rank's chunk appears exactly once (possibly with an empty
-        alignment list).  Concatenating the groups in rank order reproduces
-        the flat alignment list of the one-shot path; the alignment service
-        uses the indices to demultiplex coalesced requests.
-        """
-        config = self.config
-
-        # Phase 5: parallel read of the (optionally permuted) query chunk.
-        my_indices = chunk_for_rank(list(range(len(read_records))),
-                                    ctx.me, ctx.n_ranks)
-        my_reads = [read_records[i] for i in my_indices]
-        read_bytes = sum(len(r.sequence) // 4 + len(r.quality) + len(r.name)
-                         for r in my_reads)
-        ctx.charge_io_bytes(read_bytes, category="io:queries")
-        yield "read_queries"
-
-        # Phase 6: the aligning phase -- fine-grained (one message per seed
-        # lookup / fragment fetch) or windowed bulk batching over W reads.
-        counters = AlignmentCounters()
-        groups: list[tuple[int, list[Alignment]]] = []
-        if config.use_bulk_lookups:
-            window = config.lookup_batch_size
-            for start in range(0, len(my_reads), window):
-                per_read = self._align_batch(
-                    ctx, my_reads[start:start + window], seed_index,
-                    target_store, seed_cache, target_cache, counters)
-                groups.extend(zip(my_indices[start:start + window], per_read))
-        else:
-            for read_index, read in zip(my_indices, my_reads):
-                groups.append((read_index,
-                               self._align_read(ctx, read, seed_index,
-                                                target_store, seed_cache,
-                                                target_cache, counters)))
-        yield "align_reads"
-        return groups, counters
-
-    # -- aligning one read ------------------------------------------------------------
-
-    def _orientations(self, sequence: str) -> list[tuple[str, str]]:
-        orientations = [("+", sequence)]
-        if self.config.try_reverse_complement:
-            orientations.append(("-", reverse_complement(sequence)))
-        return orientations
-
-    def _align_read(self, ctx: RankContext, read: ReadRecord,
-                    seed_index: SeedIndex, target_store: TargetStore,
-                    seed_cache: SoftwareCache | None,
-                    target_cache: SoftwareCache | None,
-                    counters: AlignmentCounters) -> list[Alignment]:
-        config = self.config
-        k = config.seed_length
-        counters.reads_processed += 1
-        if len(read.sequence) < k:
-            return []
-
-        orientations = self._orientations(read.sequence)
-
-        # Exact-match fast path (section IV-A): one lookup, one memcmp.
-        if config.use_exact_match_optimization:
-            exact = self._try_exact_path(ctx, read, orientations, seed_index,
-                                         target_store, seed_cache, target_cache,
-                                         counters)
-            if exact is not None:
-                counters.reads_aligned += 1
-                counters.exact_path_hits += 1
-                counters.alignments_reported += 1
-                return [exact]
-
-        # Full seed-and-extend path.
-        candidates = self._collect_candidates(ctx, orientations, seed_index,
-                                              seed_cache, counters)
-        alignments: list[Alignment] = []
-        for (strand, _fragment_key), (placement, query_offset) in candidates.items():
-            fragment = target_store.fetch(ctx, placement.fragment, cache=target_cache)
-            counters.candidates_examined += 1
-            oriented = orientations[0][1] if strand == "+" else orientations[1][1]
-            hit = SeedHit(target_id=fragment.parent_target_id,
-                          target_offset=placement.offset,
-                          query_offset=query_offset,
-                          seed_length=k, strand=strand)
-            alignment, cells = extend_seed_hit(
-                read.name, oriented, fragment.sequence(), hit,
-                scoring=config.scoring,
-                window_padding=config.window_padding,
-                detailed=config.detailed_alignments)
-            counters.sw_calls += 1
-            counters.sw_cells += cells
-            ctx.charge_op("sw_cell", cells)
-            if alignment.score >= config.min_alignment_score:
-                alignment.target_start += fragment.parent_offset
-                alignment.target_end += fragment.parent_offset
-                alignments.append(alignment)
-        if alignments:
-            counters.reads_aligned += 1
-        counters.alignments_reported += len(alignments)
-        return alignments
-
-    def _try_exact_path(self, ctx: RankContext, read: ReadRecord,
-                        orientations: list[tuple[str, str]],
-                        seed_index: SeedIndex, target_store: TargetStore,
-                        seed_cache: SoftwareCache | None,
-                        target_cache: SoftwareCache | None,
-                        counters: AlignmentCounters) -> Alignment | None:
-        config = self.config
-        k = config.seed_length
-        for strand, oriented in orientations:
-            first_seed = oriented[:k]
-            entry = seed_index.lookup(ctx, first_seed, cache=seed_cache)
-            counters.seed_lookups += 1
-            if entry is None or not entry.values:
-                continue
-            counters.seed_lookup_hits += 1
-            placement = entry.values[0]
-            fragment = target_store.fetch(ctx, placement.fragment, cache=target_cache)
-            if not fragment.single_copy_seeds:
-                continue
-            start = placement.offset  # the first query seed starts the query
-            ctx.charge_op("memcmp_byte", len(oriented))
-            if exact_match_at(oriented, fragment.sequence(), start):
-                return self._exact_alignment(read.name, strand, oriented,
-                                             fragment, start)
-        return None
-
-    def _exact_alignment(self, query_name: str, strand: str, oriented: str,
-                         fragment, start: int) -> Alignment:
-        """The full-score alignment reported by the exact-match fast path."""
-        length = len(oriented)
-        return Alignment(
-            query_name=query_name,
-            target_id=fragment.parent_target_id,
-            score=self.config.scoring.max_score(length),
-            query_start=0,
-            query_end=length,
-            target_start=fragment.parent_offset + start,
-            target_end=fragment.parent_offset + start + length,
-            strand=strand,
-            cigar=[(length, CigarOp.MATCH)],
-            is_exact=True,
-            identity=1.0,
-        )
-
-    def _collect_candidates(self, ctx: RankContext,
-                            orientations: list[tuple[str, str]],
-                            seed_index: SeedIndex,
-                            seed_cache: SoftwareCache | None,
-                            counters: AlignmentCounters):
-        """Look up query seeds and collect unique (strand, fragment) candidates."""
-        config = self.config
-        k = config.seed_length
-        candidates: dict[tuple[str, tuple[int, object]], tuple] = {}
-        for strand, oriented in orientations:
-            for query_offset in range(0, len(oriented) - k + 1, config.seed_stride):
-                kmer = oriented[query_offset:query_offset + k]
-                entry = seed_index.lookup(ctx, kmer, cache=seed_cache)
-                counters.seed_lookups += 1
-                if entry is None or not entry.values:
-                    continue
-                counters.seed_lookup_hits += 1
-                values = entry.values
-                limit = config.max_alignments_per_seed
-                if limit and len(values) > limit:
-                    counters.candidates_skipped_threshold += len(values) - limit
-                    values = values[:limit]
-                for placement in values:
-                    fragment_key = (placement.fragment.owner, placement.fragment.key)
-                    key = (strand, fragment_key)
-                    if key not in candidates:
-                        candidates[key] = (placement, query_offset)
-        return candidates
-
-    # -- aligning a window of reads through bulk operations ---------------------
-
-    def _align_batch(self, ctx: RankContext, reads: list[ReadRecord],
-                     seed_index: SeedIndex, target_store: TargetStore,
-                     seed_cache: SoftwareCache | None,
-                     target_cache: SoftwareCache | None,
-                     counters: AlignmentCounters) -> list[list[Alignment]]:
-        """Align a window of W reads with bulk communication at every stage.
-
-        The stages mirror :meth:`_align_read` exactly -- same candidate dedupe
-        keys, same ``max_alignments_per_seed`` truncation order, same scoring
-        -- so the batched and fine-grained paths produce identical alignments;
-        only the message pattern differs (one aggregated get per destination
-        rank per stage instead of one message per seed/fragment).
-
-        Returns one alignment list per input read, in read order (a read too
-        short to seed gets an empty list), so callers -- the one-shot flat
-        path and the demultiplexing alignment service -- can both consume it.
-        """
-        config = self.config
-        k = config.seed_length
-        active: list[tuple[ReadRecord, list[tuple[str, str]]]] = []
-        active_slots: list[int] = []
-        for slot, read in enumerate(reads):
-            counters.reads_processed += 1
-            if len(read.sequence) >= k:
-                active.append((read, self._orientations(read.sequence)))
-                active_slots.append(slot)
-        per_read: list[list[Alignment]] = [[] for _ in reads]
-        if not active:
-            return per_read
-
-        resolved: dict[int, Alignment] = {}
-        if config.use_exact_match_optimization:
-            resolved = self._exact_batch(ctx, active, seed_index, target_store,
-                                         seed_cache, target_cache, counters)
-
-        # Stage 1: every query seed of every unresolved read, one bulk lookup.
-        full_keys: list[str] = []
-        full_tags: list[tuple[int, str, int]] = []
-        for read_index, (read, orientations) in enumerate(active):
-            if read_index in resolved:
-                continue
-            for strand, oriented in orientations:
-                for query_offset in range(0, len(oriented) - k + 1,
-                                          config.seed_stride):
-                    full_keys.append(oriented[query_offset:query_offset + k])
-                    full_tags.append((read_index, strand, query_offset))
-        entries = seed_index.lookup_many(ctx, full_keys, cache=seed_cache)
-        counters.seed_lookups += len(full_keys)
-
-        # Stage 2: per-read candidate selection (same dedupe and truncation
-        # as _collect_candidates, applied to the bulk responses in order).
-        candidates_by_read: dict[int, dict[tuple[str, tuple[int, object]],
-                                           tuple]] = {}
-        limit = config.max_alignments_per_seed
-        for (read_index, strand, query_offset), entry in zip(full_tags, entries):
-            if entry is None or not entry.values:
-                continue
-            counters.seed_lookup_hits += 1
-            values = entry.values
-            if limit and len(values) > limit:
-                counters.candidates_skipped_threshold += len(values) - limit
-                values = values[:limit]
-            candidates = candidates_by_read.setdefault(read_index, {})
-            for placement in values:
-                fragment_key = (placement.fragment.owner, placement.fragment.key)
-                key = (strand, fragment_key)
-                if key not in candidates:
-                    candidates[key] = (placement, query_offset)
-
-        # Stage 3: deduplicated bulk fetch of every candidate fragment.
-        fetch_pointers = []
-        job_tags: list[tuple[int, str, object, int]] = []
-        for read_index in range(len(active)):
-            for (strand, _fragment_key), (placement, query_offset) in \
-                    candidates_by_read.get(read_index, {}).items():
-                fetch_pointers.append(placement.fragment)
-                job_tags.append((read_index, strand, placement, query_offset))
-        fragments = target_store.fetch_many(ctx, fetch_pointers,
-                                            cache=target_cache)
-        counters.candidates_examined += len(fetch_pointers)
-
-        # Stage 4: batched extension (same-shaped windows share one sweep).
-        jobs = []
-        for (read_index, strand, placement, query_offset), fragment in \
-                zip(job_tags, fragments):
-            read, orientations = active[read_index]
-            oriented = orientations[0][1] if strand == "+" else orientations[1][1]
-            hit = SeedHit(target_id=fragment.parent_target_id,
-                          target_offset=placement.offset,
-                          query_offset=query_offset,
-                          seed_length=k, strand=strand)
-            jobs.append((read.name, oriented, fragment.sequence(), hit))
-        extended = extend_batch(jobs, scoring=config.scoring,
-                                window_padding=config.window_padding,
-                                detailed=config.detailed_alignments)
-
-        per_read_alignments: dict[int, list[Alignment]] = {}
-        for (read_index, _strand, _placement, _query_offset), fragment, \
-                (alignment, cells) in zip(job_tags, fragments, extended):
-            counters.sw_calls += 1
-            counters.sw_cells += cells
-            ctx.charge_op("sw_cell", cells)
-            if alignment.score >= config.min_alignment_score:
-                alignment.target_start += fragment.parent_offset
-                alignment.target_end += fragment.parent_offset
-                per_read_alignments.setdefault(read_index, []).append(alignment)
-
-        # Reassemble in read order so output matches the fine-grained path.
-        for read_index in range(len(active)):
-            slot = active_slots[read_index]
-            exact = resolved.get(read_index)
-            if exact is not None:
-                counters.reads_aligned += 1
-                counters.exact_path_hits += 1
-                counters.alignments_reported += 1
-                per_read[slot] = [exact]
-                continue
-            alignments = per_read_alignments.get(read_index, [])
-            if alignments:
-                counters.reads_aligned += 1
-            counters.alignments_reported += len(alignments)
-            per_read[slot] = alignments
-        return per_read
-
-    def _exact_batch(self, ctx: RankContext,
-                     active: list[tuple[ReadRecord, list[tuple[str, str]]]],
-                     seed_index: SeedIndex, target_store: TargetStore,
-                     seed_cache: SoftwareCache | None,
-                     target_cache: SoftwareCache | None,
-                     counters: AlignmentCounters) -> dict[int, Alignment]:
-        """Bulk exact-match fast path over a window of reads.
-
-        Unlike the fine-grained path -- which probes the '+' orientation and
-        only falls back to '-' when it fails -- the batched engine looks up
-        the first seed of *both* orientations up front (conditional lookups
-        would defeat aggregation) and resolves reads afterwards in the same
-        '+'-before-'-' precedence, so the reported alignments are identical.
-        """
-        config = self.config
-        k = config.seed_length
-        exact_keys: list[str] = []
-        exact_tags: list[tuple[int, int]] = []
-        for read_index, (_read, orientations) in enumerate(active):
-            for strand_index, (_strand, oriented) in enumerate(orientations):
-                exact_keys.append(oriented[:k])
-                exact_tags.append((read_index, strand_index))
-        entries = seed_index.lookup_many(ctx, exact_keys, cache=seed_cache)
-        counters.seed_lookups += len(exact_keys)
-
-        fetch_pointers = []
-        fetch_tags: list[tuple[int, int, object]] = []
-        for (read_index, strand_index), entry in zip(exact_tags, entries):
-            if entry is None or not entry.values:
-                continue
-            counters.seed_lookup_hits += 1
-            placement = entry.values[0]
-            fetch_pointers.append(placement.fragment)
-            fetch_tags.append((read_index, strand_index, placement))
-        fragments = target_store.fetch_many(ctx, fetch_pointers,
-                                            cache=target_cache)
-        fetched: dict[tuple[int, int], tuple] = {}
-        for (read_index, strand_index, placement), fragment in \
-                zip(fetch_tags, fragments):
-            fetched[(read_index, strand_index)] = (placement, fragment)
-
-        resolved: dict[int, Alignment] = {}
-        for read_index, (read, orientations) in enumerate(active):
-            for strand_index, (strand, oriented) in enumerate(orientations):
-                candidate = fetched.get((read_index, strand_index))
-                if candidate is None:
-                    continue
-                placement, fragment = candidate
-                if not fragment.single_copy_seeds:
-                    continue
-                start = placement.offset
-                ctx.charge_op("memcmp_byte", len(oriented))
-                if exact_match_at(oriented, fragment.sequence(), start):
-                    resolved[read_index] = self._exact_alignment(
-                        read.name, strand, oriented, fragment, start)
-                    break
-        return resolved

@@ -1,0 +1,1254 @@
+"""Composable stage pipelines: :class:`AlignmentPlan` + :class:`PlanRunner`.
+
+The paper presents merAligner as a sequence of distinct distributed phases --
+index construction, seed lookup, software-cached fragment fetch, extension --
+and this module makes that sequence an explicit, composable object instead of
+a hardwired monolith:
+
+:class:`AlignmentPlan`
+    A validated, typed sequence of :class:`Stage` objects.  Every stage
+    declares the named inputs it consumes and the outputs it produces;
+    building a plan checks that each stage's inputs are satisfied by the plan
+    sources (``targets``, ``reads``) or by an earlier stage, so an impossible
+    pipeline fails at construction, not mid-run.
+
+:class:`PlanRunner`
+    Executes a plan as one SPMD job on any execution backend.  The runner
+    owns read chunking and the Theorem 1 random permutation, the bulk-
+    batching windows of the aggregated-communication engine, and per-stage
+    :class:`~repro.core.stats.PhaseStats` (virtual-clock deltas snapshotted
+    around every stage invocation).
+
+The built-in stages decompose the original monolithic aligner exactly --
+same candidate dedupe keys, same truncation order, same charge ordering --
+so the default plan reproduces the pre-plan aligner byte for byte on every
+backend, with bulk batching on or off.  New workloads are new plans over the
+same stages: ``seed_count`` stops after the lookup stage and folds a
+k-mer-frequency histogram; ``exact_screen`` runs only the Lemma 1 exact-match
+probe and reports per-read hit/miss rows.  ``examples/custom_pipeline.py``
+shows a bespoke plan with a user-defined sink.
+
+:class:`~repro.core.pipeline.MerAligner` is a thin preset over the default
+plan; the serving stack (:mod:`repro.service`) executes the query side of
+any registered plan against a resident index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.alignment.exact import exact_match_at
+from repro.alignment.extend import SeedHit, extend_batch, extend_seed_hit
+from repro.alignment.result import Alignment, CigarOp
+from repro.core.config import AlignerConfig, config_summary
+from repro.core.load_balance import chunk_for_rank, permute_reads
+from repro.core.seed_index import SeedIndex
+from repro.core.stats import AlignerReport, AlignmentCounters, PhaseStats
+from repro.core.target_store import TargetStore, fragment_target
+from repro.dna.sequence import reverse_complement
+from repro.dna.synthetic import ReadRecord
+from repro.hashtable.cache import SoftwareCache
+from repro.io.fasta import FastaRecord, read_fasta
+from repro.io.fastq import FastqRecord, read_fastq
+from repro.io.seqdb import SeqDbReader
+from repro.pgas.cost_model import EDISON_LIKE, MachineModel
+from repro.pgas.gptr import GlobalPointer
+from repro.pgas.runtime import PgasRuntime, RankContext
+
+
+# -- input normalization (accepted by every plan entry point) -------------------
+
+def normalize_targets(targets) -> list[str]:
+    """Accept a FASTA path, FastaRecords, or plain sequences."""
+    return [sequence for _name, sequence in normalize_targets_named(targets)]
+
+
+def normalize_targets_named(targets) -> list[tuple[str, str]]:
+    """Like :func:`normalize_targets` but keeps (or synthesizes) names.
+
+    SAM/TSV emission needs target names identical between the offline CLI and
+    the alignment service; plain sequences get the same ``contig{i:05d}``
+    names the data generator writes.
+    """
+    if isinstance(targets, (str, Path)):
+        return [(record.name, record.sequence) for record in read_fasta(targets)]
+    named: list[tuple[str, str]] = []
+    for index, item in enumerate(targets):
+        if isinstance(item, FastaRecord):
+            named.append((item.name, item.sequence))
+        elif isinstance(item, str):
+            named.append((f"contig{index:05d}", item))
+        else:
+            raise TypeError(f"unsupported target type: {type(item)!r}")
+    return named
+
+
+def normalize_reads(reads) -> list[ReadRecord]:
+    """Accept a SeqDB/FASTQ path, FastqRecords, or ReadRecords."""
+    if isinstance(reads, (str, Path)):
+        path = Path(reads)
+        if path.suffix in (".seqdb", ".sqdb", ".db"):
+            with SeqDbReader(path) as reader:
+                return [rec.to_read() for rec in reader.read_range(0, len(reader))]
+        return [rec.to_read() for rec in read_fastq(path)]
+    normalized: list[ReadRecord] = []
+    for item in reads:
+        if isinstance(item, ReadRecord):
+            normalized.append(item)
+        elif isinstance(item, FastqRecord):
+            normalized.append(item.to_read())
+        else:
+            raise TypeError(f"unsupported read type: {type(item)!r}")
+    return normalized
+
+
+def one_shot_read_order(n_reads: int, config: AlignerConfig) -> list[int]:
+    """Read indices in the order a one-shot run reports their alignments.
+
+    The runner permutes the read list (Theorem 1 load balancing) before
+    block-partitioning it over the ranks, and the flat alignment list
+    concatenates the per-rank chunks in rank order -- i.e. it follows the
+    *permuted* read order.  The service reassembles each request's
+    demultiplexed alignments in this exact order so its SAM output is
+    byte-identical to the offline run.
+    """
+    indices = list(range(n_reads))
+    if config.permute_reads:
+        return permute_reads(indices, seed=config.permutation_seed)
+    return indices
+
+
+def read_orientations(sequence: str, config: AlignerConfig) -> list[tuple[str, str]]:
+    """The (strand, oriented sequence) pairs a read is searched under."""
+    orientations = [("+", sequence)]
+    if config.try_reverse_complement:
+        orientations.append(("-", reverse_complement(sequence)))
+    return orientations
+
+
+def exact_alignment(config: AlignerConfig, query_name: str, strand: str,
+                    oriented: str, fragment, start: int) -> Alignment:
+    """The full-score alignment reported by the exact-match fast path."""
+    length = len(oriented)
+    return Alignment(
+        query_name=query_name,
+        target_id=fragment.parent_target_id,
+        score=config.scoring.max_score(length),
+        query_start=0,
+        query_end=length,
+        target_start=fragment.parent_offset + start,
+        target_end=fragment.parent_offset + start + length,
+        strand=strand,
+        cigar=[(length, CigarOp.MATCH)],
+        is_exact=True,
+        identity=1.0,
+    )
+
+
+# -- the state flowing through a plan ------------------------------------------
+
+class StageContext:
+    """Everything a stage invocation may touch on one rank.
+
+    One instance per rank per SPMD invocation: the rank's
+    :class:`~repro.pgas.runtime.RankContext` (all cost accounting goes
+    through it), the configuration, the resident distributed structures, the
+    per-node software caches, and the invocation's event counters.
+    """
+
+    __slots__ = ("ctx", "config", "seed_index", "target_store", "seed_cache",
+                 "target_cache", "counters")
+
+    def __init__(self, ctx: RankContext, config: AlignerConfig,
+                 seed_index: SeedIndex, target_store: TargetStore,
+                 seed_cache: SoftwareCache | None,
+                 target_cache: SoftwareCache | None,
+                 counters: AlignmentCounters) -> None:
+        self.ctx = ctx
+        self.config = config
+        self.seed_index = seed_index
+        self.target_store = target_store
+        self.seed_cache = seed_cache
+        self.target_cache = target_cache
+        self.counters = counters
+
+
+class ReadState:
+    """Per-read state threaded through the query stages of a plan.
+
+    Stages communicate by filling the slot their declared output names:
+    ``lookups`` (seed_hits), ``candidates``, ``alignments``, ``resolved``
+    (exact_hits).  ``active`` is False for reads too short to seed -- such
+    reads skip every transform stage and reach the sink empty-handed.
+    """
+
+    __slots__ = ("read", "orientations", "active", "resolved", "lookups",
+                 "candidates", "alignments")
+
+    def __init__(self, read: ReadRecord, config: AlignerConfig) -> None:
+        self.read = read
+        self.active = len(read.sequence) >= config.seed_length
+        self.orientations = (read_orientations(read.sequence, config)
+                             if self.active else [])
+        self.resolved: Alignment | None = None
+        self.lookups: list[tuple[str, int, Any]] | None = None
+        self.candidates: dict | None = None
+        self.alignments: list[Alignment] | None = None
+
+    @property
+    def pending(self) -> bool:
+        """True while transform stages should still process this read."""
+        return self.active and self.resolved is None
+
+
+# -- stage objects --------------------------------------------------------------
+
+class Stage:
+    """One step of an :class:`AlignmentPlan`.
+
+    Subclasses declare ``name``, the named ``inputs`` they consume and the
+    ``outputs`` they produce; :meth:`AlignmentPlan.validate` wires the
+    declarations into a dataflow check.  ``optional_inputs`` are used when
+    present but do not fail validation when absent (the SAM sink consumes
+    exact-path hits only in plans that probe them).
+    """
+
+    name: str = "stage"
+    inputs: tuple[str, ...] = ()
+    optional_inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def signature(self) -> str:
+        """``name(inputs -> outputs)``, for plan descriptions and errors."""
+        consumed = ", ".join(self.inputs +
+                             tuple(f"{opt}?" for opt in self.optional_inputs))
+        produced = ", ".join(self.outputs)
+        return f"{self.name}({consumed} -> {produced})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.signature()}>"
+
+
+class BuildIndex(Stage):
+    """Phases 1-4: build the distributed seed index and target store.
+
+    Runs once per plan execution (or once per resident session on the
+    serving path); the phases and cost accounting are identical in both.
+
+    ``mark_single_copy`` overrides whether phase 4 (single-copy-seed
+    marking) runs: ``None`` follows ``config.use_exact_match_optimization``
+    (the align plan's behaviour), ``True`` forces it -- plans whose exact
+    probe is unconditional (the screen workload) need marked flags even when
+    the align-phase optimization is switched off.
+    """
+
+    name = "build_index"
+    inputs = ("targets",)
+    outputs = ("seed_index", "target_store")
+    phase_names = ("read_targets", "extract_and_store_seeds", "drain_stacks",
+                   "mark_single_copy")
+
+    def __init__(self, mark_single_copy: bool | None = None) -> None:
+        self.mark_single_copy = mark_single_copy
+
+    def marks_single_copy(self, config: AlignerConfig) -> bool:
+        if self.mark_single_copy is not None:
+            return self.mark_single_copy
+        return config.use_exact_match_optimization
+
+    def program(self, xs: StageContext, target_seqs: list[str]):
+        """The SPMD generator of the index-construction phases."""
+        ctx, config = xs.ctx, xs.config
+        seed_index, target_store = xs.seed_index, xs.target_store
+
+        # Phase 1: parallel read + fragmentation + storage of targets.
+        my_target_ids = list(range(len(target_seqs)))[ctx.my_slice(len(target_seqs))]
+        my_fragments: list[tuple[GlobalPointer, object]] = []
+        fragment_counter = 0
+        for target_id in my_target_ids:
+            sequence = target_seqs[target_id]
+            ctx.charge_io_bytes(len(sequence), category="io:targets")
+            if config.fragment_targets:
+                pieces = fragment_target(target_id, sequence,
+                                         config.fragment_length, config.seed_length)
+            else:
+                pieces = [(0, sequence)] if sequence else []
+            for parent_offset, piece in pieces:
+                fragment_id = ctx.me * (1 << 40) + fragment_counter
+                fragment_counter += 1
+                record = target_store.store_fragment(ctx, fragment_id, target_id,
+                                                     parent_offset, piece)
+                pointer = GlobalPointer(owner=ctx.me, segment=TargetStore.SEGMENT,
+                                        key=fragment_id, nbytes=record.nbytes)
+                my_fragments.append((pointer, record))
+        yield "read_targets"
+
+        # Phase 2: extract seeds from this rank's own fragments (retained from
+        # phase 1 -- rereading the local segment would be uncharged anyway)
+        # and route them to their owners.
+        for pointer, record in my_fragments:
+            seed_index.add_fragment_seeds(ctx, record, pointer)
+        seed_index.flush(ctx)
+        yield "extract_and_store_seeds"
+
+        # Phase 3: drain local-shared stacks (aggregating stores only).
+        seed_index.drain(ctx)
+        yield "drain_stacks"
+
+        # Phase 4: single-copy-seed marking for the exact-match fast path.
+        if self.marks_single_copy(config):
+            seed_index.mark_single_copy_flags(ctx, target_store)
+        yield "mark_single_copy"
+
+
+class QueryStage(Stage):
+    """A stage of the query side: transforms per-read state.
+
+    ``process_read`` is the fine-grained engine's unit (one read at a time,
+    one message per remote access); ``process_window`` is the bulk engine's
+    unit (a window of ``lookup_batch_size`` reads, aggregated communication).
+    The default window implementation simply loops ``process_read`` over the
+    still-pending reads -- stages whose communication can be aggregated
+    override it.
+    """
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        raise NotImplementedError
+
+    def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
+        for item in items:
+            if item.pending:
+                self.process_read(xs, item)
+
+
+class ReadQueries(QueryStage):
+    """Phase 5: parallel read of the (optionally permuted) query chunk.
+
+    Chunking and permutation themselves belong to the
+    :class:`PlanRunner`; this stage charges the parallel-I/O cost of this
+    rank's chunk.
+    """
+
+    name = "read_queries"
+    inputs = ("reads",)
+    outputs = ("read_chunk",)
+
+    def charge(self, xs: StageContext, my_reads: list[ReadRecord]) -> None:
+        read_bytes = sum(len(r.sequence) // 4 + len(r.quality) + len(r.name)
+                         for r in my_reads)
+        xs.ctx.charge_io_bytes(read_bytes, category="io:queries")
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        raise RuntimeError("ReadQueries runs once per rank, not per read; "
+                           "the PlanRunner invokes charge()")
+
+
+class ExactPath(QueryStage):
+    """The Lemma 1 exact-match fast path (section IV-A).
+
+    One lookup of the first seed, one fragment fetch, one memcmp; a hit on a
+    single-copy fragment resolves the read without seed-and-extend.  Gated by
+    ``config.use_exact_match_optimization`` unless constructed with
+    ``force=True`` (the exact-screen workload probes unconditionally).
+
+    The bulk form looks up the first seed of *both* orientations up front
+    (conditional lookups would defeat aggregation) and resolves reads in the
+    same '+'-before-'-' precedence as the fine-grained probe, so both engines
+    resolve identical reads to identical alignments.
+    """
+
+    name = "exact_path"
+    inputs = ("read_chunk", "seed_index", "target_store")
+    outputs = ("exact_hits",)
+
+    def __init__(self, force: bool = False) -> None:
+        self.force = force
+
+    def enabled(self, config: AlignerConfig) -> bool:
+        return self.force or config.use_exact_match_optimization
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        config, ctx, counters = xs.config, xs.ctx, xs.counters
+        if not self.enabled(config):
+            return
+        k = config.seed_length
+        for strand, oriented in item.orientations:
+            entry = xs.seed_index.lookup(ctx, oriented[:k], cache=xs.seed_cache)
+            counters.seed_lookups += 1
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            placement = entry.values[0]
+            fragment = xs.target_store.fetch(ctx, placement.fragment,
+                                             cache=xs.target_cache)
+            if not fragment.single_copy_seeds:
+                continue
+            start = placement.offset  # the first query seed starts the query
+            ctx.charge_op("memcmp_byte", len(oriented))
+            if exact_match_at(oriented, fragment.sequence(), start):
+                item.resolved = exact_alignment(config, item.read.name, strand,
+                                                oriented, fragment, start)
+                return
+
+    def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
+        config, ctx, counters = xs.config, xs.ctx, xs.counters
+        if not self.enabled(config):
+            return
+        k = config.seed_length
+        work = [item for item in items if item.pending]
+        exact_keys: list[str] = []
+        exact_tags: list[tuple[int, int]] = []
+        for work_index, item in enumerate(work):
+            for strand_index, (_strand, oriented) in enumerate(item.orientations):
+                exact_keys.append(oriented[:k])
+                exact_tags.append((work_index, strand_index))
+        entries = xs.seed_index.lookup_many(ctx, exact_keys, cache=xs.seed_cache)
+        counters.seed_lookups += len(exact_keys)
+
+        fetch_pointers = []
+        fetch_tags: list[tuple[int, int, object]] = []
+        for (work_index, strand_index), entry in zip(exact_tags, entries):
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            placement = entry.values[0]
+            fetch_pointers.append(placement.fragment)
+            fetch_tags.append((work_index, strand_index, placement))
+        fragments = xs.target_store.fetch_many(ctx, fetch_pointers,
+                                               cache=xs.target_cache)
+        fetched: dict[tuple[int, int], tuple] = {}
+        for (work_index, strand_index, placement), fragment in \
+                zip(fetch_tags, fragments):
+            fetched[(work_index, strand_index)] = (placement, fragment)
+
+        for work_index, item in enumerate(work):
+            for strand_index, (strand, oriented) in enumerate(item.orientations):
+                candidate = fetched.get((work_index, strand_index))
+                if candidate is None:
+                    continue
+                placement, fragment = candidate
+                if not fragment.single_copy_seeds:
+                    continue
+                start = placement.offset
+                ctx.charge_op("memcmp_byte", len(oriented))
+                if exact_match_at(oriented, fragment.sequence(), start):
+                    item.resolved = exact_alignment(
+                        xs.config, item.read.name, strand, oriented, fragment,
+                        start)
+                    break
+
+
+class SeedLookup(QueryStage):
+    """Look up every query seed of every pending read in the distributed index.
+
+    The fine-grained form issues one (software-cached) lookup per seed; the
+    bulk form aggregates the whole window's seeds into one get per owning
+    rank.  Output: per read, the ``(strand, query_offset, entry)`` list in
+    extraction order.
+    """
+
+    name = "seed_lookup"
+    inputs = ("read_chunk", "seed_index")
+    outputs = ("seed_hits",)
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        config, counters = xs.config, xs.counters
+        k = config.seed_length
+        item.lookups = []
+        for strand, oriented in item.orientations:
+            for query_offset in range(0, len(oriented) - k + 1,
+                                      config.seed_stride):
+                entry = xs.seed_index.lookup(
+                    xs.ctx, oriented[query_offset:query_offset + k],
+                    cache=xs.seed_cache)
+                counters.seed_lookups += 1
+                item.lookups.append((strand, query_offset, entry))
+
+    def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
+        config, counters = xs.config, xs.counters
+        k = config.seed_length
+        work = [item for item in items if item.pending]
+        keys: list[str] = []
+        tags: list[tuple[ReadState, str, int]] = []
+        for item in work:
+            item.lookups = []
+            for strand, oriented in item.orientations:
+                for query_offset in range(0, len(oriented) - k + 1,
+                                          config.seed_stride):
+                    keys.append(oriented[query_offset:query_offset + k])
+                    tags.append((item, strand, query_offset))
+        entries = xs.seed_index.lookup_many(xs.ctx, keys, cache=xs.seed_cache)
+        counters.seed_lookups += len(keys)
+        for (item, strand, query_offset), entry in zip(tags, entries):
+            item.lookups.append((strand, query_offset, entry))
+
+
+class CandidateCollect(QueryStage):
+    """Select unique (strand, fragment) candidates from the seed lookups.
+
+    Pure computation: the dedupe key, the ``max_alignments_per_seed``
+    truncation order and the first-placement-wins insertion order are the
+    alignment-determining invariants every engine must share.
+    """
+
+    name = "candidate_collect"
+    inputs = ("seed_hits",)
+    outputs = ("candidates",)
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        counters = xs.counters
+        limit = xs.config.max_alignments_per_seed
+        candidates: dict[tuple[str, tuple[int, object]], tuple] = {}
+        for strand, query_offset, entry in item.lookups or []:
+            if entry is None or not entry.values:
+                continue
+            counters.seed_lookup_hits += 1
+            values = entry.values
+            if limit and len(values) > limit:
+                counters.candidates_skipped_threshold += len(values) - limit
+                values = values[:limit]
+            for placement in values:
+                fragment_key = (placement.fragment.owner, placement.fragment.key)
+                key = (strand, fragment_key)
+                if key not in candidates:
+                    candidates[key] = (placement, query_offset)
+        item.candidates = candidates
+
+
+class ExtendAlign(QueryStage):
+    """Fetch candidate fragments and run banded Smith-Waterman extension.
+
+    The fine-grained form fetches and extends per candidate; the bulk form
+    deduplicates the window's fragment fetches into one get per owning rank
+    and sweeps same-shaped extension windows through the batched striped
+    kernel.  Scoring, thresholding and coordinate adjustment are identical.
+    """
+
+    name = "extend_align"
+    inputs = ("candidates", "target_store")
+    outputs = ("alignments",)
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        config, ctx, counters = xs.config, xs.ctx, xs.counters
+        k = config.seed_length
+        item.alignments = []
+        for (strand, _fragment_key), (placement, query_offset) in \
+                (item.candidates or {}).items():
+            fragment = xs.target_store.fetch(ctx, placement.fragment,
+                                             cache=xs.target_cache)
+            counters.candidates_examined += 1
+            oriented = (item.orientations[0][1] if strand == "+"
+                        else item.orientations[1][1])
+            hit = SeedHit(target_id=fragment.parent_target_id,
+                          target_offset=placement.offset,
+                          query_offset=query_offset,
+                          seed_length=k, strand=strand)
+            alignment, cells = extend_seed_hit(
+                item.read.name, oriented, fragment.sequence(), hit,
+                scoring=config.scoring,
+                window_padding=config.window_padding,
+                detailed=config.detailed_alignments)
+            counters.sw_calls += 1
+            counters.sw_cells += cells
+            ctx.charge_op("sw_cell", cells)
+            if alignment.score >= config.min_alignment_score:
+                alignment.target_start += fragment.parent_offset
+                alignment.target_end += fragment.parent_offset
+                item.alignments.append(alignment)
+
+    def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
+        config, ctx, counters = xs.config, xs.ctx, xs.counters
+        k = config.seed_length
+        work = [item for item in items if item.pending]
+        fetch_pointers = []
+        job_tags: list[tuple[ReadState, str, object, int]] = []
+        for item in work:
+            item.alignments = []
+            for (strand, _fragment_key), (placement, query_offset) in \
+                    (item.candidates or {}).items():
+                fetch_pointers.append(placement.fragment)
+                job_tags.append((item, strand, placement, query_offset))
+        fragments = xs.target_store.fetch_many(ctx, fetch_pointers,
+                                               cache=xs.target_cache)
+        counters.candidates_examined += len(fetch_pointers)
+
+        jobs = []
+        for (item, strand, placement, query_offset), fragment in \
+                zip(job_tags, fragments):
+            oriented = (item.orientations[0][1] if strand == "+"
+                        else item.orientations[1][1])
+            hit = SeedHit(target_id=fragment.parent_target_id,
+                          target_offset=placement.offset,
+                          query_offset=query_offset,
+                          seed_length=k, strand=strand)
+            jobs.append((item.read.name, oriented, fragment.sequence(), hit))
+        extended = extend_batch(jobs, scoring=config.scoring,
+                                window_padding=config.window_padding,
+                                detailed=config.detailed_alignments)
+        for (item, _strand, _placement, _query_offset), fragment, \
+                (alignment, cells) in zip(job_tags, fragments, extended):
+            counters.sw_calls += 1
+            counters.sw_cells += cells
+            ctx.charge_op("sw_cell", cells)
+            if alignment.score >= config.min_alignment_score:
+                alignment.target_start += fragment.parent_offset
+                alignment.target_end += fragment.parent_offset
+                item.alignments.append(alignment)
+
+
+class SinkStage(QueryStage):
+    """Terminal stage: maps each read's final state to a payload.
+
+    Per-read payloads are what flows out of the SPMD job -- ``(read_index,
+    payload)`` groups in rank order -- and what the serving stack
+    demultiplexes per request, so every plan (built-in or bespoke) is
+    automatically batchable and servable.  ``collect`` folds ordered payload
+    groups into the plan's end product.
+    """
+
+    #: Registry key of the workload this sink implements.
+    workload: str = "custom"
+    #: Barrier-phase name of the query stages in the trace.
+    phase_name: str = "run_stages"
+
+    def emit(self, xs: StageContext, item: ReadState):
+        """One read's payload (also the place per-read counters settle)."""
+        raise NotImplementedError
+
+    def collect(self, groups: Sequence[tuple[int, Any]],
+                config: AlignerConfig):
+        """Fold ``(read_index, payload)`` groups into the plan output."""
+        raise NotImplementedError
+
+    def request_order(self, n_reads: int, config: AlignerConfig) -> list[int]:
+        """Payload order reproducing the one-shot output for a request.
+
+        The serving stack demultiplexes a coalesced batch into per-request
+        ``{read_index: payload}`` maps and reassembles each request in this
+        order before calling :meth:`collect`.
+        """
+        return list(range(n_reads))
+
+    def empty_payload(self, read: ReadRecord):
+        """The payload of a read the SPMD job reported nothing for.
+
+        Unreachable under the every-read-exactly-once contract of
+        ``query_program``; the serving stack keeps it as a lenient fallback.
+        """
+        return None
+
+    def derive_request_counters(self, payloads: Sequence[Any]) -> AlignmentCounters:
+        """Per-request event counters derivable from demultiplexed payloads.
+
+        Lookup/SW effort counters cannot be split exactly across the requests
+        of a coalesced batch (a bulk window mixes their seeds); those stay on
+        the batch-level outcome.
+        """
+        counters = AlignmentCounters()
+        counters.reads_processed = len(payloads)
+        return counters
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        raise RuntimeError("sink stages are driven through emit()/collect()")
+
+
+class EmitSam(SinkStage):
+    """The aligner's sink: per-read alignment lists, folded to a flat list.
+
+    The flat list follows the permuted-rank-concatenation order (exactly the
+    monolith's output order); :func:`repro.io.sam.sam_text` renders it.
+    """
+
+    name = "emit_sam"
+    inputs = ("alignments",)
+    optional_inputs = ("exact_hits",)
+    outputs = ("sam",)
+    workload = "align"
+    phase_name = "align_reads"
+
+    def emit(self, xs: StageContext, item: ReadState) -> list[Alignment]:
+        counters = xs.counters
+        if item.resolved is not None:
+            counters.reads_aligned += 1
+            counters.exact_path_hits += 1
+            counters.alignments_reported += 1
+            return [item.resolved]
+        alignments = item.alignments or []
+        if alignments:
+            counters.reads_aligned += 1
+        counters.alignments_reported += len(alignments)
+        return alignments
+
+    def collect(self, groups: Sequence[tuple[int, Any]],
+                config: AlignerConfig) -> list[Alignment]:
+        return [alignment for _read_index, payload in groups
+                for alignment in payload]
+
+    def request_order(self, n_reads: int, config: AlignerConfig) -> list[int]:
+        return one_shot_read_order(n_reads, config)
+
+    def empty_payload(self, read: ReadRecord) -> list[Alignment]:
+        return []
+
+    def derive_request_counters(self, payloads: Sequence[Any]) -> AlignmentCounters:
+        counters = AlignmentCounters()
+        for alignments in payloads:
+            counters.reads_processed += 1
+            if alignments:
+                counters.reads_aligned += 1
+                counters.alignments_reported += len(alignments)
+                if len(alignments) == 1 and alignments[0].is_exact:
+                    counters.exact_path_hits += 1
+        return counters
+
+
+@dataclass
+class SeedCountSummary:
+    """The ``count`` workload's output: a query-seed frequency histogram.
+
+    ``histogram`` maps *index occurrences per looked-up query seed* (0 =
+    seed absent from the index) to the number of query-seed lookups with
+    that occurrence count -- the distributed k-mer-frequency spectrum of the
+    read set against the contig index.
+    """
+
+    histogram: dict[int, int] = field(default_factory=dict)
+    n_reads: int = 0
+    n_seed_lookups: int = 0
+
+    @property
+    def n_missing(self) -> int:
+        """Query-seed lookups that found nothing in the index."""
+        return self.histogram.get(0, 0)
+
+    def to_tsv(self) -> str:
+        """Deterministic TSV rendering (identical across backends)."""
+        lines = ["#workload\tcount",
+                 f"#reads\t{self.n_reads}",
+                 f"#seed_lookups\t{self.n_seed_lookups}",
+                 "occurrences\tn_query_seeds"]
+        for occurrences in sorted(self.histogram):
+            lines.append(f"{occurrences}\t{self.histogram[occurrences]}")
+        return "\n".join(lines) + "\n"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "workload": "count",
+            "n_reads": self.n_reads,
+            "n_seed_lookups": self.n_seed_lookups,
+            "n_missing": self.n_missing,
+            "histogram": {str(k): v for k, v in sorted(self.histogram.items())},
+        }
+
+
+class EmitSeedCounts(SinkStage):
+    """Sink of the ``count`` plan: per-read index-occurrence tuples.
+
+    Stops the pipeline after the lookup stage -- no fragment fetches, no
+    extension -- and folds a :class:`SeedCountSummary` histogram.
+    """
+
+    name = "emit_seed_counts"
+    inputs = ("seed_hits",)
+    outputs = ("seed_counts",)
+    workload = "count"
+    phase_name = "count_seeds"
+
+    def emit(self, xs: StageContext, item: ReadState) -> tuple[int, ...]:
+        counts = tuple(0 if entry is None else len(entry.values)
+                       for _strand, _offset, entry in item.lookups or [])
+        xs.counters.seed_lookup_hits += sum(1 for n in counts if n)
+        if any(counts):
+            xs.counters.reads_aligned += 1
+        return counts
+
+    def collect(self, groups: Sequence[tuple[int, Any]],
+                config: AlignerConfig) -> SeedCountSummary:
+        summary = SeedCountSummary()
+        for _read_index, counts in groups:
+            summary.n_reads += 1
+            summary.n_seed_lookups += len(counts)
+            for occurrences in counts:
+                summary.histogram[occurrences] = \
+                    summary.histogram.get(occurrences, 0) + 1
+        return summary
+
+    def empty_payload(self, read: ReadRecord) -> tuple[int, ...]:
+        return ()
+
+    def derive_request_counters(self, payloads: Sequence[Any]) -> AlignmentCounters:
+        counters = AlignmentCounters()
+        for counts in payloads:
+            counters.reads_processed += 1
+            counters.seed_lookups += len(counts)
+            hits = sum(1 for n in counts if n)
+            counters.seed_lookup_hits += hits
+            if hits:
+                counters.reads_aligned += 1
+        return counters
+
+
+@dataclass
+class ScreenSummary:
+    """The ``screen`` workload's output: one hit/miss row per read.
+
+    Rows are ``(read_name, hit, target_id, position, strand)`` in input read
+    order; ``position`` is the 0-based target coordinate of an exact hit and
+    -1 for a miss.
+    """
+
+    rows: list[tuple[str, bool, int, int, str]] = field(default_factory=list)
+
+    @property
+    def n_hits(self) -> int:
+        return sum(1 for row in self.rows if row[1])
+
+    def to_tsv(self, target_names: Sequence[str] | None = None) -> str:
+        """Deterministic TSV rendering (identical across backends)."""
+        lines = ["#workload\tscreen",
+                 f"#reads\t{len(self.rows)}",
+                 f"#hits\t{self.n_hits}",
+                 "read\tstatus\ttarget\tposition\tstrand"]
+        for name, hit, target_id, position, strand in self.rows:
+            if not hit:
+                lines.append(f"{name}\tmiss\t*\t-1\t.")
+                continue
+            if target_names is not None and 0 <= target_id < len(target_names):
+                target = target_names[target_id]
+            else:
+                target = f"target{target_id}"
+            lines.append(f"{name}\thit\t{target}\t{position}\t{strand}")
+        return "\n".join(lines) + "\n"
+
+    def to_json_dict(self) -> dict:
+        return {
+            "workload": "screen",
+            "n_reads": len(self.rows),
+            "n_hits": self.n_hits,
+        }
+
+
+class EmitScreen(SinkStage):
+    """Sink of the ``screen`` plan: exact-match hit/miss rows per read."""
+
+    name = "emit_screen"
+    inputs = ("exact_hits",)
+    outputs = ("screen_rows",)
+    workload = "screen"
+    phase_name = "screen_reads"
+
+    def emit(self, xs: StageContext,
+             item: ReadState) -> tuple[str, bool, int, int, str]:
+        resolved = item.resolved
+        if resolved is None:
+            return (item.read.name, False, -1, -1, ".")
+        counters = xs.counters
+        counters.reads_aligned += 1
+        counters.exact_path_hits += 1
+        counters.alignments_reported += 1
+        return (item.read.name, True, resolved.target_id,
+                resolved.target_start, resolved.strand)
+
+    def collect(self, groups: Sequence[tuple[int, Any]],
+                config: AlignerConfig) -> ScreenSummary:
+        ordered = sorted(groups, key=lambda pair: pair[0])
+        return ScreenSummary(rows=[payload for _read_index, payload in ordered])
+
+    def empty_payload(self, read: ReadRecord) -> tuple[str, bool, int, int, str]:
+        return (read.name, False, -1, -1, ".")
+
+    def derive_request_counters(self, payloads: Sequence[Any]) -> AlignmentCounters:
+        counters = AlignmentCounters()
+        for row in payloads:
+            counters.reads_processed += 1
+            if row[1]:
+                counters.reads_aligned += 1
+                counters.exact_path_hits += 1
+                counters.alignments_reported += 1
+        return counters
+
+
+# -- the plan -------------------------------------------------------------------
+
+class PlanValidationError(ValueError):
+    """An :class:`AlignmentPlan` whose stages cannot be wired together."""
+
+
+#: Named values available before any stage runs.
+PLAN_SOURCES = ("targets", "reads")
+
+
+@dataclass(frozen=True)
+class AlignmentPlan:
+    """A validated sequence of stages, executable by :class:`PlanRunner`.
+
+    Construction validates the dataflow: every stage's declared inputs must
+    be produced by an earlier stage or be a plan source (``targets``,
+    ``reads``), index construction must precede any stage that consumes the
+    index, and exactly one :class:`SinkStage` must terminate the plan.
+    """
+
+    stages: tuple[Stage, ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stages", tuple(self.stages))
+        self.validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        if not self.stages:
+            raise PlanValidationError("a plan needs at least one stage")
+        available = set(PLAN_SOURCES)
+        for stage in self.stages:
+            if not isinstance(stage, Stage):
+                raise PlanValidationError(
+                    f"plan {self.name!r}: {stage!r} is not a Stage")
+            missing = [name for name in stage.inputs if name not in available]
+            if missing:
+                raise PlanValidationError(
+                    f"plan {self.name!r}: stage {stage.signature()} needs "
+                    f"{missing} which no earlier stage produces "
+                    f"(available: {sorted(available)})")
+            available.update(stage.outputs)
+        sinks = [stage for stage in self.stages if isinstance(stage, SinkStage)]
+        if len(sinks) != 1 or not isinstance(self.stages[-1], SinkStage):
+            raise PlanValidationError(
+                f"plan {self.name!r}: exactly one SinkStage must terminate "
+                f"the plan (found {len(sinks)})")
+        query_stages = [stage for stage in self.stages
+                        if isinstance(stage, QueryStage)]
+        if not query_stages or not isinstance(query_stages[0], ReadQueries):
+            raise PlanValidationError(
+                f"plan {self.name!r}: the query side must start with "
+                "ReadQueries (the runner owns chunking and permutation)")
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def build_stage(self) -> BuildIndex | None:
+        """The index-construction stage, if the plan builds its own index."""
+        for stage in self.stages:
+            if isinstance(stage, BuildIndex):
+                return stage
+        return None
+
+    @property
+    def query_stages(self) -> tuple[QueryStage, ...]:
+        """Everything after index construction, ReadQueries first."""
+        return tuple(stage for stage in self.stages
+                     if isinstance(stage, QueryStage))
+
+    @property
+    def transform_stages(self) -> tuple[QueryStage, ...]:
+        """The per-read stages between ReadQueries and the sink."""
+        return tuple(stage for stage in self.query_stages
+                     if not isinstance(stage, (ReadQueries, SinkStage)))
+
+    @property
+    def sink(self) -> SinkStage:
+        return self.stages[-1]  # validated: last stage is the sink
+
+    @property
+    def workload(self) -> str:
+        return self.sink.workload
+
+    def describe(self) -> str:
+        """Human-readable pipeline listing (used by ``--describe-plan``)."""
+        lines = [f"plan {self.name!r} (workload: {self.workload})"]
+        for stage in self.stages:
+            lines.append(f"  {stage.signature()}")
+        return "\n".join(lines)
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "AlignmentPlan":
+        """The full merAligner pipeline (what ``MerAligner.run`` executes)."""
+        return cls(name="align", stages=(
+            BuildIndex(),
+            ReadQueries(),
+            ExactPath(),
+            SeedLookup(),
+            CandidateCollect(),
+            ExtendAlign(),
+            EmitSam(),
+        ))
+
+    @classmethod
+    def seed_count(cls) -> "AlignmentPlan":
+        """Distributed query-seed frequency histogram: stop after lookup."""
+        return cls(name="count", stages=(
+            BuildIndex(),
+            ReadQueries(),
+            SeedLookup(),
+            EmitSeedCounts(),
+        ))
+
+    @classmethod
+    def exact_screen(cls) -> "AlignmentPlan":
+        """Exact-match-only read screening: hit/miss per read.
+
+        The probe is unconditional, so the index build must mark single-copy
+        flags even when ``use_exact_match_optimization`` is off -- otherwise
+        the flags keep their optimistic default and the screen's output would
+        silently depend on an align-phase knob.
+        """
+        return cls(name="screen", stages=(
+            BuildIndex(mark_single_copy=True),
+            ReadQueries(),
+            ExactPath(force=True),
+            EmitScreen(),
+        ))
+
+    def needs_single_copy_marks(self) -> bool:
+        """True when any stage probes exact matches unconditionally."""
+        return any(isinstance(stage, ExactPath) and stage.force
+                   for stage in self.stages)
+
+
+#: The plans the CLI and the serving stack know by workload name.
+WORKLOAD_PLANS = {
+    "align": AlignmentPlan.default,
+    "count": AlignmentPlan.seed_count,
+    "screen": AlignmentPlan.exact_screen,
+}
+
+
+def plan_for_workload(workload: str) -> AlignmentPlan:
+    """The registered plan for *workload* (``align``, ``count``, ``screen``)."""
+    try:
+        factory = WORKLOAD_PLANS[workload]
+    except KeyError:
+        raise KeyError(f"unknown workload {workload!r}; "
+                       f"available: {', '.join(sorted(WORKLOAD_PLANS))}") from None
+    return factory()
+
+
+# -- execution ------------------------------------------------------------------
+
+@dataclass
+class PlanResult:
+    """Everything one plan execution produced.
+
+    ``output`` is the sink's folded product -- the flat alignment list for
+    ``align``, a :class:`SeedCountSummary` for ``count``, a
+    :class:`ScreenSummary` for ``screen``, whatever a bespoke sink collects.
+    ``report`` is the full :class:`AlignerReport` (phase timings, per-stage
+    stats, communication counters) of the run.
+    """
+
+    plan: AlignmentPlan
+    output: Any
+    report: AlignerReport
+
+    @property
+    def workload(self) -> str:
+        return self.plan.workload
+
+
+class PlanRunner:
+    """Executes an :class:`AlignmentPlan` on a simulated PGAS machine.
+
+    The runner owns the parts of execution that are not any stage's
+    business: read-set normalization, the Theorem 1 random permutation,
+    block chunking over ranks, the fine-grained vs. bulk-window engine
+    choice, per-stage :class:`PhaseStats` collection, and assembling the
+    final report.  Stages only transform state and charge costs.
+    """
+
+    def __init__(self, plan: AlignmentPlan | None = None,
+                 config: AlignerConfig | None = None) -> None:
+        self.plan = plan or AlignmentPlan.default()
+        self.config = config or AlignerConfig()
+
+    # -- one-shot execution ----------------------------------------------------
+
+    def run(self, targets, reads, n_ranks: int = 4,
+            machine: MachineModel = EDISON_LIKE,
+            backend: str | None = None) -> PlanResult:
+        """Execute the plan end-to-end on a fresh simulated machine."""
+        runtime = PgasRuntime(n_ranks=n_ranks, machine=machine)
+        return self.run_on_runtime(runtime, targets, reads, backend=backend)
+
+    def run_on_runtime(self, runtime: PgasRuntime, targets, reads,
+                       backend: str | None = None) -> PlanResult:
+        """Execute the plan on an existing runtime (shared machine model)."""
+        from repro.backend import default_backend_name
+        if self.plan.build_stage is None:
+            raise PlanValidationError(
+                f"plan {self.plan.name!r} has no BuildIndex stage; run its "
+                "query side against a resident session instead")
+        backend = backend or default_backend_name()
+        config = self.config
+        target_seqs = normalize_targets(targets)
+        read_records = normalize_reads(reads)
+        original_index: list[int] | None = None
+        if config.permute_reads:
+            # Position i of the permuted list holds original read
+            # original_index[i]; groups are remapped below so sinks see
+            # original read indices (the align sink flattens in permuted-rank
+            # order regardless; order-sensitive sinks like screen need them).
+            original_index = permute_reads(list(range(len(read_records))),
+                                           seed=config.permutation_seed)
+            read_records = permute_reads(read_records, seed=config.permutation_seed)
+
+        target_store = TargetStore(runtime)
+        seed_index = SeedIndex(runtime, config)
+        seed_cache = (SoftwareCache(runtime, config.seed_cache_bytes_per_node,
+                                    name="seed_index")
+                      if config.use_seed_index_cache else None)
+        target_cache = (SoftwareCache(runtime, config.target_cache_bytes_per_node,
+                                      name="target")
+                        if config.use_target_cache else None)
+
+        def spmd(ctx: RankContext):
+            yield from self.index_program(ctx, target_seqs, target_store,
+                                          seed_index)
+            return (yield from self.query_program(
+                ctx, read_records, seed_index, target_store, seed_cache,
+                target_cache))
+
+        result = runtime.run_spmd(spmd, backend=backend,
+                                  label=f"plan:{self.plan.name}")
+
+        groups, counters, stage_stats = merge_rank_returns(
+            result.results, self.plan)
+        if original_index is not None:
+            groups = [(original_index[index], payload)
+                      for index, payload in groups]
+        output = self.plan.sink.collect(groups, config)
+
+        cache_stats = {}
+        if seed_cache is not None:
+            cache_stats["seed_index"] = seed_cache.total_stats()
+        if target_cache is not None:
+            cache_stats["target"] = target_cache.total_stats()
+
+        report = AlignerReport(
+            n_ranks=runtime.n_ranks,
+            config_summary=config_summary(config, result.backend,
+                                          plan=self.plan.name,
+                                          workload=self.plan.workload),
+            alignments=output if self.plan.workload == "align" else [],
+            counters=counters,
+            phases=result.phases,
+            per_rank_stats=result.per_rank_stats,
+            seed_index_keys=seed_index.n_keys,
+            seed_index_values=seed_index.n_values,
+            single_copy_fragment_fraction=target_store.single_copy_fraction(),
+            cache_stats=cache_stats,
+            stage_stats=stage_stats,
+            workload=self.plan.workload,
+        )
+        return PlanResult(plan=self.plan, output=output, report=report)
+
+    # -- the per-rank SPMD programs --------------------------------------------
+
+    def index_program(self, ctx: RankContext, target_seqs: list[str],
+                      target_store: TargetStore, seed_index: SeedIndex):
+        """The plan's index-construction phases (one SPMD generator)."""
+        build = self.plan.build_stage
+        if build is None:
+            raise PlanValidationError(
+                f"plan {self.plan.name!r} has no BuildIndex stage")
+        xs = StageContext(ctx, self.config, seed_index, target_store,
+                          None, None, AlignmentCounters())
+        yield from build.program(xs, target_seqs)
+
+    def query_program(self, ctx: RankContext, read_records: list[ReadRecord],
+                      seed_index: SeedIndex, target_store: TargetStore,
+                      seed_cache: SoftwareCache | None,
+                      target_cache: SoftwareCache | None):
+        """The plan's query phases: chunk, then stage the reads through.
+
+        Returns ``(groups, counters, stage_stats)`` where ``groups`` is
+        ``[(read_index, payload), ...]`` -- ``read_index`` the read's
+        position in *read_records*, every read of this rank's chunk present
+        exactly once, payload produced by the plan's sink.  Concatenating
+        groups in rank order reproduces the one-shot output order; the
+        serving stack uses the indices to demultiplex coalesced requests.
+        """
+        config = self.config
+        counters = AlignmentCounters()
+        xs = StageContext(ctx, config, seed_index, target_store, seed_cache,
+                          target_cache, counters)
+        stage_stats: dict[str, PhaseStats] = {
+            stage.name: PhaseStats(name=stage.name)
+            for stage in self.plan.query_stages}
+        read_queries = self.plan.query_stages[0]
+        transforms = self.plan.transform_stages
+        sink = self.plan.sink
+
+        # Phase 5: parallel read of the (optionally permuted) query chunk.
+        my_indices = chunk_for_rank(list(range(len(read_records))),
+                                    ctx.me, ctx.n_ranks)
+        my_reads = [read_records[i] for i in my_indices]
+        before = ctx.clock.snapshot()
+        read_queries.charge(xs, my_reads)
+        stage_stats[read_queries.name].add_breakdown(
+            ctx.clock.snapshot() - before, items=len(my_reads))
+        yield read_queries.name
+
+        # The staged phase: fine-grained (one read at a time) or windowed
+        # bulk batching over W reads.  Same stages, different engine.
+        groups: list[tuple[int, Any]] = []
+
+        def timed(stage: QueryStage, method, *args, items: int = 0) -> None:
+            start = ctx.clock.snapshot()
+            method(xs, *args)
+            stage_stats[stage.name].add_breakdown(ctx.clock.snapshot() - start,
+                                                  items=items)
+
+        if config.use_bulk_lookups:
+            window = config.lookup_batch_size
+            for start in range(0, len(my_reads), window):
+                reads = my_reads[start:start + window]
+                items = [ReadState(read, config) for read in reads]
+                counters.reads_processed += len(items)
+                for stage in transforms:
+                    timed(stage, stage.process_window, items, items=len(items))
+                begin = ctx.clock.snapshot()
+                payloads = [sink.emit(xs, item) for item in items]
+                stage_stats[sink.name].add_breakdown(
+                    ctx.clock.snapshot() - begin, items=len(items))
+                groups.extend(zip(my_indices[start:start + window], payloads))
+        else:
+            for read_index, read in zip(my_indices, my_reads):
+                item = ReadState(read, config)
+                counters.reads_processed += 1
+                for stage in transforms:
+                    if not item.pending:
+                        break
+                    timed(stage, stage.process_read, item, items=1)
+                begin = ctx.clock.snapshot()
+                payload = sink.emit(xs, item)
+                stage_stats[sink.name].add_breakdown(
+                    ctx.clock.snapshot() - begin, items=1)
+                groups.append((read_index, payload))
+        yield sink.phase_name
+        return groups, counters, stage_stats
+
+
+def merge_rank_returns(rank_returns: Iterable[tuple], plan: AlignmentPlan
+                       ) -> tuple[list[tuple[int, Any]], AlignmentCounters,
+                                  list[PhaseStats]]:
+    """Merge per-rank ``query_program`` returns in rank order.
+
+    Returns the concatenated ``(read_index, payload)`` groups, the merged
+    event counters, and the cross-rank-summed per-stage stats in plan order.
+    """
+    groups: list[tuple[int, Any]] = []
+    counters = AlignmentCounters()
+    merged: dict[str, PhaseStats] = {}
+    for rank_groups, rank_counters, rank_stage_stats in rank_returns:
+        groups.extend(rank_groups)
+        counters = counters.merge(rank_counters)
+        for name, stats in rank_stage_stats.items():
+            merged[name] = merged[name].merge(stats) if name in merged else stats
+    ordered = [merged[stage.name] for stage in plan.query_stages
+               if stage.name in merged]
+    return groups, counters, ordered

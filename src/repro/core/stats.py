@@ -69,6 +69,68 @@ IO_PHASES = ("read_targets", "read_queries")
 INDEX_PHASES = ("extract_and_store_seeds", "drain_stacks", "mark_single_copy")
 ALIGN_PHASES = ("align_reads",)
 
+#: Version of the JSON report schema (``align --json-report`` and the
+#: service's ``STATS`` payload).  Bump when the shape of the document
+#: changes; downstream tooling dispatches on it.
+#: 2: added ``schema_version`` itself and per-stage ``stages`` timings.
+REPORT_SCHEMA_VERSION = 2
+
+
+@dataclass
+class PhaseStats:
+    """Modelled time and work-item accounting of one pipeline stage.
+
+    The :class:`~repro.core.plan.PlanRunner` snapshots every rank's virtual
+    clock around each stage invocation, so a stage's compute/communication/IO
+    split is known even when several stages share one barrier phase (the
+    aligning stages all run inside ``align_reads``).  Instances are summed
+    across ranks; ``items`` counts the work units the stage processed (reads,
+    lookups, windows -- whatever the stage declares).
+    """
+
+    name: str
+    compute: float = 0.0
+    comm: float = 0.0
+    io: float = 0.0
+    items: int = 0
+    calls: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Summed modelled seconds spent in the stage across all ranks."""
+        return self.compute + self.comm + self.io
+
+    def add_breakdown(self, breakdown, items: int = 0) -> None:
+        """Accumulate one invocation's :class:`TimeBreakdown` delta."""
+        self.compute += breakdown.compute
+        self.comm += breakdown.comm
+        self.io += breakdown.io
+        self.items += items
+        self.calls += 1
+
+    def merge(self, other: "PhaseStats") -> "PhaseStats":
+        """Sum of two per-rank records for the same stage."""
+        if other.name != self.name:
+            raise ValueError(f"cannot merge stage stats {self.name!r} "
+                             f"with {other.name!r}")
+        return PhaseStats(name=self.name,
+                          compute=self.compute + other.compute,
+                          comm=self.comm + other.comm,
+                          io=self.io + other.io,
+                          items=self.items + other.items,
+                          calls=self.calls + other.calls)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "compute": self.compute,
+            "comm": self.comm,
+            "io": self.io,
+            "items": self.items,
+            "calls": self.calls,
+        }
+
 
 @dataclass
 class AlignerReport:
@@ -84,6 +146,12 @@ class AlignerReport:
     seed_index_values: int = 0
     single_copy_fragment_fraction: float = 0.0
     cache_stats: dict = field(default_factory=dict)
+    #: Per-stage modelled timings collected by the plan runner (summed across
+    #: ranks, in plan order).  Empty for reports produced outside a plan run.
+    stage_stats: list[PhaseStats] = field(default_factory=list)
+    #: The workload the producing plan's sink declares ("align", "count",
+    #: "screen", ...).
+    workload: str = "align"
 
     # -- time roll-ups ----------------------------------------------------------
 
@@ -200,6 +268,8 @@ class AlignerReport:
         comm = asdict(totals)
         comm["time_by_category"] = dict(sorted(totals.time_by_category.items()))
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "workload": self.workload,
             "n_ranks": self.n_ranks,
             "config": dict(self.config_summary),
             "counters": asdict(self.counters),
@@ -219,6 +289,7 @@ class AlignerReport:
                 "index_construction_time": self.index_construction_time,
                 "alignment_time": self.alignment_time,
             },
+            "stages": [stage.to_json_dict() for stage in self.stage_stats],
             "comm": comm,
             "seed_index": {
                 "keys": self.seed_index_keys,

@@ -7,14 +7,24 @@ from dataclasses import dataclass
 from pathlib import Path
 
 
+#: The two-byte gzip magic number (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
 def open_text_auto(path: str | Path):
-    """Open *path* for text reading, transparently decompressing ``.gz`` files.
+    """Open *path* for text reading, transparently decompressing gzip files.
 
     Real-world read sets and assemblies ship gzipped (``.fasta.gz`` /
-    ``.fastq.gz``); the suffix is sniffed so every reader in :mod:`repro.io`
-    accepts both forms without callers caring.
+    ``.fastq.gz``); the suffix is checked first, and files *without* a
+    ``.gz`` suffix are additionally sniffed for the gzip magic bytes -- a
+    gzipped file renamed to plain ``.fastq`` (a routine pipeline accident)
+    still opens correctly instead of blowing up mid-parse.
     """
     if str(path).endswith(".gz"):
+        return gzip.open(path, "rt", encoding="ascii")
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == _GZIP_MAGIC:
         return gzip.open(path, "rt", encoding="ascii")
     return open(path, "r", encoding="ascii")
 

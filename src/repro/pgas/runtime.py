@@ -379,6 +379,9 @@ class SpmdResult:
     phases: list[PhaseTrace] = field(default_factory=list)
     per_rank_stats: list[CommStats] = field(default_factory=list)
     backend: str = "cooperative"
+    #: Caller-supplied invocation label (e.g. ``"plan:align/query"``); shown
+    #: in backend failure diagnostics and kept here for telemetry.
+    label: str | None = None
 
     @property
     def n_ranks(self) -> int:
@@ -485,7 +488,8 @@ class PgasRuntime:
 
     def run_spmd(self, fn: Callable[..., Any], *args: Any,
                  phase_name: str | None = None,
-                 backend: Any = None) -> SpmdResult:
+                 backend: Any = None,
+                 label: str | None = None) -> SpmdResult:
         """Run ``fn(ctx, *args)`` on every rank.
 
         If *fn* is a generator function, every ``yield`` acts as a barrier and
@@ -499,6 +503,11 @@ class PgasRuntime:
         the runtime's default.  All backends report through the same phase
         traces and communication statistics.
 
+        *label* names the invocation for diagnostics -- the plan runner and
+        the serving stack pass e.g. ``"plan:align"`` or ``"serve:count"`` so
+        a rank failure or barrier timeout on a real-parallel backend says
+        *which* pipeline invocation it killed.
+
         The returned :attr:`SpmdResult.per_rank_stats` covers *this invocation
         only*: rank contexts persist across invocations, so their cumulative
         counters are snapshotted before the run and the difference reported.
@@ -508,13 +517,15 @@ class PgasRuntime:
                                else self.default_backend)
         phases_before = len(self.phases)
         stats_before = [ctx.stats.copy() for ctx in self.contexts]
-        results = impl.execute(self, fn, args, phase_name=phase_name)
+        results = impl.execute(self, fn, args, phase_name=phase_name,
+                               label=label)
         return SpmdResult(
             results=results,
             phases=self.phases[phases_before:],
             per_rank_stats=[ctx.stats.delta(prev)
                             for ctx, prev in zip(self.contexts, stats_before)],
             backend=impl.name,
+            label=label,
         )
 
     def _run_generators(self, fn: Callable[..., Any], args: tuple) -> list[Any]:

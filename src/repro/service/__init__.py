@@ -31,12 +31,15 @@ which backend executes them.
 from repro.service.client import AlignmentClient, SocketAlignmentClient
 from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
 from repro.service.server import AlignmentServer
-from repro.service.session import AlignmentSession, PreparedIndex
+from repro.service.session import (AlignmentSession, BatchOutcome,
+                                   PlanBatchOutcome, PreparedIndex)
 
 __all__ = [
     "AlignmentClient",
     "AlignmentServer",
     "AlignmentSession",
+    "BatchOutcome",
+    "PlanBatchOutcome",
     "PreparedIndex",
     "RequestResult",
     "RequestScheduler",

@@ -50,6 +50,20 @@ class AlignmentClient:
         """Align one read set and return the SAM text."""
         return self.align(reads, timeout=timeout).sam
 
+    def request(self, reads, workload: str = "align",
+                timeout: float | None = None) -> RequestResult:
+        """Run any registered plan workload (align/count/screen) on reads."""
+        return self.scheduler.request(reads, workload=workload,
+                                      timeout=timeout)
+
+    def count(self, reads, timeout: float | None = None):
+        """Seed-frequency histogram of one read set (``SeedCountSummary``)."""
+        return self.request(reads, workload="count", timeout=timeout).output
+
+    def screen(self, reads, timeout: float | None = None):
+        """Exact-match hit/miss screen of one read set (``ScreenSummary``)."""
+        return self.request(reads, workload="screen", timeout=timeout).output
+
     def stats(self) -> ServiceStats:
         return self.scheduler.stats()
 
@@ -111,6 +125,29 @@ class SocketAlignmentClient:
         reads = list(reads)
         return self._roundtrip(f"ALIGN {len(reads)}",
                                fastq_payload(reads)).decode("ascii")
+
+    def count_tsv(self, reads) -> str:
+        """Seed-frequency histogram of the reads, as the server's TSV."""
+        reads = list(reads)
+        return self._roundtrip(f"COUNT {len(reads)}",
+                               fastq_payload(reads)).decode("ascii")
+
+    def screen_tsv(self, reads) -> str:
+        """Exact-match hit/miss rows for the reads, as the server's TSV."""
+        reads = list(reads)
+        return self._roundtrip(f"SCREEN {len(reads)}",
+                               fastq_payload(reads)).decode("ascii")
+
+    def workload_text(self, workload: str, reads) -> str:
+        """The rendered output of any wire workload (ALIGN/COUNT/SCREEN)."""
+        verbs = {"align": self.align_sam, "count": self.count_tsv,
+                 "screen": self.screen_tsv}
+        try:
+            method = verbs[workload]
+        except KeyError:
+            raise ServiceError(f"unknown workload {workload!r}; available: "
+                               f"{', '.join(sorted(verbs))}") from None
+        return method(reads)
 
     def stats(self) -> dict:
         """The server's service/session statistics as parsed JSON."""

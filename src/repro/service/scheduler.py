@@ -1,14 +1,16 @@
 """The micro-batching request scheduler of the alignment service.
 
-Concurrent clients submit read sets; the scheduler coalesces whatever is
-waiting into a micro-batch -- bounded by a maximum number of requests and a
-maximum collection latency -- and runs the whole batch through the resident
-session's bulk-lookup engine as **one** SPMD invocation
-(:meth:`~repro.service.session.AlignmentSession.align_many`).  Results are
+Concurrent clients submit read sets tagged with a *workload* -- ``align``
+(the default), ``count`` or ``screen``, any plan registered in
+:data:`repro.core.plan.WORKLOAD_PLANS`; the scheduler coalesces waiting
+requests *of the same workload* into a micro-batch -- bounded by a maximum
+number of requests and a maximum collection latency -- and runs the whole
+batch through the resident session as **one** SPMD invocation
+(:meth:`~repro.service.session.AlignmentSession.run_plan_many`).  Results are
 demultiplexed per request: each :class:`RequestResult` carries the request's
-own alignments (byte-identical to a one-shot run of its reads), its derived
-per-request counters, and the serving batch's shared communication
-statistics and phase deltas.
+own output (byte-identical to a one-shot run of its reads -- SAM for
+``align``, TSV for ``count``/``screen``), its derived per-request counters,
+and the serving batch's shared communication statistics and phase deltas.
 
 Batching is a throughput/latency trade, and the service-level
 :class:`ServiceStats` report makes it visible: request count, batch count and
@@ -39,7 +41,13 @@ from repro.service.session import AlignmentSession
 
 @dataclass
 class RequestResult:
-    """One request's demultiplexed share of a served micro-batch."""
+    """One request's demultiplexed share of a served micro-batch.
+
+    ``text`` is the rendered wire/file form of the request's output -- for
+    the align workload it equals ``sam``; for ``count``/``screen`` it is the
+    TSV and ``sam`` is empty.  ``output`` is the sink's collected object (the
+    alignment list, a ``SeedCountSummary``, a ``ScreenSummary``).
+    """
 
     request_id: int
     alignments: list[Alignment]
@@ -52,14 +60,18 @@ class RequestResult:
     batch_phases: list[PhaseTrace]
     modeled_latency: float
     wall_latency: float
+    workload: str = "align"
+    output: object = None
+    text: str = ""
 
 
 class AlignmentRequest:
     """A submitted request: a future resolving to a :class:`RequestResult`."""
 
-    def __init__(self, request_id: int, reads) -> None:
+    def __init__(self, request_id: int, reads, workload: str = "align") -> None:
         self.request_id = request_id
         self.reads = reads
+        self.workload = workload
         self.submitted_at = time.perf_counter()
         self._done = threading.Event()
         self._result: RequestResult | None = None
@@ -103,6 +115,7 @@ class ServiceStats:
     reads: int = 0
     alignments: int = 0
     failed_requests: int = 0
+    requests_by_workload: dict[str, int] = field(default_factory=dict)
     modeled_latencies: list[float] = field(default_factory=list)
     wall_latencies: list[float] = field(default_factory=list)
 
@@ -134,6 +147,8 @@ class ServiceStats:
             "reads": self.reads,
             "alignments": self.alignments,
             "failed_requests": self.failed_requests,
+            "requests_by_workload": dict(sorted(
+                self.requests_by_workload.items())),
             "batch_occupancy": self.batch_occupancy,
             "p50_modeled_latency": self.p50_modeled_latency,
             "p95_modeled_latency": self.p95_modeled_latency,
@@ -179,6 +194,9 @@ class RequestScheduler:
         self.max_wait_s = max_wait_s
         self.warm_caches = warm_caches
         self._queue: queue.Queue = queue.Queue()
+        # A request whose workload differs from the batch being collected is
+        # parked here and leads the next batch.
+        self._deferred: list[AlignmentRequest] = []
         self._stats = ServiceStats()
         self._stats_lock = threading.Lock()
         self._next_id = 0
@@ -191,28 +209,36 @@ class RequestScheduler:
 
     # -- client surface -------------------------------------------------------
 
-    def submit(self, reads) -> AlignmentRequest:
+    def submit(self, reads, workload: str = "align") -> AlignmentRequest:
         """Enqueue a read set; returns immediately with a waitable request.
 
         Accepts anything ``MerAligner.run`` accepts as reads (a FASTQ/SeqDB
-        path, FASTQ records, read records); normalization happens here, on
-        the caller's thread, so a malformed submission fails the caller --
-        never the shared batching worker.
+        path, FASTQ records, read records); normalization -- and workload
+        validation -- happens here, on the caller's thread, so a malformed
+        submission fails the caller, never the shared batching worker.
         """
         if self._closed:
             raise RuntimeError("request scheduler is closed")
-        from repro.core.pipeline import _normalize_reads
-        reads = _normalize_reads(reads)
+        from repro.core.plan import WORKLOAD_PLANS, normalize_reads
+        if workload not in WORKLOAD_PLANS:
+            raise KeyError(f"unknown workload {workload!r}; available: "
+                           f"{', '.join(sorted(WORKLOAD_PLANS))}")
+        reads = normalize_reads(reads)
         with self._id_lock:
             request_id = self._next_id
             self._next_id += 1
-        request = AlignmentRequest(request_id, reads)
+        request = AlignmentRequest(request_id, reads, workload=workload)
         self._queue.put(request)
         return request
 
+    def request(self, reads, workload: str = "align",
+                timeout: float | None = None) -> RequestResult:
+        """Submit a workload request and wait for its result."""
+        return self.submit(reads, workload=workload).result(timeout)
+
     def align(self, reads, timeout: float | None = None) -> RequestResult:
-        """Submit and wait: the synchronous client call."""
-        return self.submit(reads).result(timeout)
+        """Submit and wait: the synchronous align call."""
+        return self.request(reads, timeout=timeout)
 
     def stats(self) -> ServiceStats:
         """A consistent snapshot of the service-level statistics."""
@@ -223,6 +249,7 @@ class RequestScheduler:
                 reads=self._stats.reads,
                 alignments=self._stats.alignments,
                 failed_requests=self._stats.failed_requests,
+                requests_by_workload=dict(self._stats.requests_by_workload),
                 modeled_latencies=list(self._stats.modeled_latencies),
                 wall_latencies=list(self._stats.wall_latencies),
             )
@@ -250,14 +277,21 @@ class RequestScheduler:
     def _collect_batch(self) -> list[AlignmentRequest] | None:
         """Block for the first request, then coalesce until full or timed out.
 
-        Returns ``None`` when the scheduler is shutting down.
+        Only requests of the same workload coalesce -- a micro-batch is one
+        SPMD invocation of one plan.  A request of a different workload ends
+        collection and is parked to lead the next batch.  Returns ``None``
+        when the scheduler is shutting down.
         """
-        while True:
-            item = self._queue.get()
-            if item is self._SHUTDOWN:
-                return None
-            break
+        if self._deferred:
+            item = self._deferred.pop(0)
+        else:
+            while True:
+                item = self._queue.get()
+                if item is self._SHUTDOWN:
+                    return None
+                break
         batch = [item]
+        workload = item.workload
         total_reads = len(item.reads)
         deadline = time.monotonic() + self.max_wait_s
         while len(batch) < self.max_batch_requests:
@@ -275,6 +309,9 @@ class RequestScheduler:
                 # Serve what we have; the loop exits on the re-queued marker.
                 self._queue.put(self._SHUTDOWN)
                 break
+            if item.workload != workload:
+                self._deferred.append(item)
+                break
             batch.append(item)
             total_reads += len(item.reads)
         return batch
@@ -285,22 +322,29 @@ class RequestScheduler:
             if batch is None:
                 break
             self._serve_batch(batch)
-        # Fail anything that slipped in behind the shutdown marker.
+        # Fail anything that slipped in behind the shutdown marker (or was
+        # parked for a later same-workload batch that will never form).
+        pending = list(self._deferred)
+        self._deferred.clear()
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
             if item is not self._SHUTDOWN:
-                item._fail(RuntimeError("request scheduler closed before "
-                                        "the request was served"))
+                pending.append(item)
+        for item in pending:
+            item._fail(RuntimeError("request scheduler closed before "
+                                    "the request was served"))
 
     def _serve_batch(self, batch: list[AlignmentRequest]) -> None:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
+        workload = batch[0].workload
         try:
-            outcome = self.session.align_many([r.reads for r in batch],
-                                              warm_caches=self.warm_caches)
+            outcome = self.session.run_plan_many(
+                workload, [r.reads for r in batch],
+                warm_caches=self.warm_caches)
         except BaseException as exc:  # noqa: BLE001 - delivered to clients
             with self._stats_lock:
                 self._stats.failed_requests += len(batch)
@@ -310,14 +354,16 @@ class RequestScheduler:
         served_at = time.perf_counter()
         batch_stats = outcome.stats
         results = []
-        for request, alignments, counters in zip(
-                batch, outcome.per_request_alignments,
+        for request, output, counters in zip(
+                batch, outcome.per_request_outputs,
                 outcome.per_request_counters):
+            text = self.session.render(workload, output)
+            alignments = output if workload == "align" else []
             results.append(RequestResult(
                 request_id=request.request_id,
                 alignments=alignments,
                 counters=counters,
-                sam=self.session.sam_for(alignments),
+                sam=text if workload == "align" else "",
                 batch_id=batch_id,
                 batch_requests=len(batch),
                 batch_reads=outcome.n_reads,
@@ -325,11 +371,16 @@ class RequestScheduler:
                 batch_phases=outcome.phases,
                 modeled_latency=outcome.modeled_elapsed,
                 wall_latency=served_at - request.submitted_at,
+                workload=workload,
+                output=output,
+                text=text,
             ))
         with self._stats_lock:
             self._stats.requests += len(batch)
             self._stats.batches += 1
             self._stats.reads += outcome.n_reads
+            self._stats.requests_by_workload[workload] = \
+                self._stats.requests_by_workload.get(workload, 0) + len(batch)
             self._stats.alignments += sum(len(r.alignments) for r in results)
             self._stats.modeled_latencies.extend(
                 result.modeled_latency for result in results)

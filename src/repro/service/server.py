@@ -8,6 +8,11 @@ guess payload boundaries:
     Align the reads through the scheduler; responds ``OK <n_bytes>`` followed
     by exactly *n_bytes* of SAM text (header + records), byte-identical to
     what ``meraligner align`` writes for the same reads.
+``COUNT <n_reads>`` / ``SCREEN <n_reads>`` followed by FASTQ lines
+    The plan-built workloads: respond with the seed-frequency histogram TSV
+    (``count``) or the per-read exact-match hit/miss TSV (``screen``),
+    byte-identical to the offline ``meraligner count`` / ``meraligner
+    screen`` output for the same reads.
 ``STATS``
     Responds ``OK <n_bytes>`` + a JSON document: the service-level scheduler
     statistics (requests, p50/p95 modelled latency, batch occupancy) and the
@@ -113,15 +118,18 @@ class _Handler(socketserver.StreamRequestHandler):
                     self._reply()
                     self.server.request_shutdown()
                     return
-                elif command.upper().startswith("ALIGN"):
+                elif command.upper().split()[0] in ("ALIGN", "COUNT",
+                                                     "SCREEN"):
                     parts = command.split()
+                    verb = parts[0].upper()
                     if len(parts) != 2 or not parts[1].isdigit():
-                        raise ProtocolError("usage: ALIGN <n_reads>")
+                        raise ProtocolError(f"usage: {verb} <n_reads>")
                     reads = read_fastq_payload(self.rfile, int(parts[1]))
-                    result = self.server.scheduler.align(
+                    result = self.server.scheduler.request(
                         [record.to_read() for record in reads],
+                        workload=verb.lower(),
                         timeout=self.server.request_timeout)
-                    self._reply(result.sam.encode("ascii"))
+                    self._reply(result.text.encode("ascii"))
                 else:
                     raise ProtocolError(f"unknown command {command.split()[0]!r}")
             except ProtocolError as exc:
@@ -171,7 +179,9 @@ class AlignmentServer:
 
     def stats_json(self) -> dict:
         """The ``STATS`` payload: scheduler stats plus session summary."""
+        from repro.core.stats import REPORT_SCHEMA_VERSION
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "service": self.scheduler.stats().to_json_dict(),
             "session": self.scheduler.session.to_json_dict(),
         }

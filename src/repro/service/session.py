@@ -1,4 +1,4 @@
-"""Resident index sessions: build once, align many times.
+"""Resident index sessions: build once, run any plan workload many times.
 
 :meth:`repro.core.pipeline.MerAligner.prepare` runs the SPMD
 index-construction phases (target fragmentation, seed extraction and routing,
@@ -7,13 +7,19 @@ single-copy marking) exactly once on a fresh runtime and returns an
 resident -- the :class:`~repro.pgas.runtime.PgasRuntime` with its shared
 heap, the distributed seed index, the target store, the per-node software
 caches, and the execution backend's rank machinery (see
-:class:`~repro.backend.base.BackendSession`) -- so every
-:meth:`AlignmentSession.align` call runs only the aligning phases
-(``read_queries`` + ``align_reads``) as one SPMD invocation.
+:class:`~repro.backend.base.BackendSession`) -- so every request runs only
+the query-side stages of its plan as one SPMD invocation.
+
+Requests are *plans*: :meth:`AlignmentSession.align` runs the query side of
+the default align plan, and :meth:`AlignmentSession.run_plan_many` runs any
+registered workload (``align``, ``count``, ``screen``) or bespoke
+:class:`~repro.core.plan.AlignmentPlan` against the same resident index --
+the serving stack batches and demultiplexes every workload the same way
+because every sink produces per-read payloads.
 
 Request isolation and equivalence guarantees:
 
-* every ``align()`` report covers *that invocation only* -- communication
+* every request's report covers *that invocation only* -- communication
   statistics, phase timings and cache statistics are per-invocation deltas,
   never cumulative across requests;
 * by default each request starts with cold per-node caches (``clear()`` before
@@ -23,28 +29,33 @@ Request isolation and equivalence guarantees:
   cross-request locality instead (statistics then depend on request history,
   and on the multiprocess backend caches are per-fork so stay effectively
   cold);
-* alignments (and therefore SAM bytes) are identical to the one-shot
-  ``MerAligner.run`` on the same reads, on every backend, whether the request
-  ran alone or coalesced into a micro-batch with other requests.
+* outputs (SAM bytes for ``align``, TSV bytes for ``count``/``screen``) are
+  identical to the one-shot offline run of the same reads, on every backend,
+  whether the request ran alone or coalesced into a micro-batch with other
+  requests.
 
-The batched entry point :meth:`AlignmentSession.align_many` is what the
+The batched entry point :meth:`AlignmentSession.align_many` /
+:meth:`run_plan_many` is what the
 :class:`~repro.service.scheduler.RequestScheduler` uses: the reads of many
-requests are tagged, merged, permuted and aligned in a single SPMD invocation
-through the bulk-lookup engine, then demultiplexed per request and reordered
-so each request's alignment list matches its one-shot order.
+requests are tagged, merged, permuted and staged in a single SPMD invocation,
+then demultiplexed per request and reordered through the sink's
+``request_order`` so each request's output matches its one-shot order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.alignment.result import Alignment
-from repro.core.config import AlignerConfig
+from repro.core.config import AlignerConfig, config_summary
 from repro.core.load_balance import permute_reads
-from repro.core.pipeline import (MerAligner, _normalize_reads,
-                                 _normalize_targets_named, config_summary)
+from repro.core.pipeline import MerAligner
+from repro.core.plan import (AlignmentPlan, PlanRunner, merge_rank_returns,
+                             normalize_reads, normalize_targets_named,
+                             one_shot_read_order, plan_for_workload)
 from repro.core.seed_index import SeedIndex
-from repro.core.stats import AlignerReport, AlignmentCounters
+from repro.core.stats import AlignerReport, AlignmentCounters, PhaseStats
 from repro.core.target_store import TargetStore
 from repro.dna.synthetic import ReadRecord
 from repro.hashtable.cache import CacheStats, SoftwareCache
@@ -53,28 +64,22 @@ from repro.pgas.cost_model import CommStats
 from repro.pgas.runtime import PgasRuntime
 from repro.pgas.trace import PhaseTrace
 
-
-def one_shot_read_order(n_reads: int, config: AlignerConfig) -> list[int]:
-    """Read indices in the order a one-shot run reports their alignments.
-
-    ``MerAligner.run`` permutes the read list (Theorem 1 load balancing)
-    before block-partitioning it over the ranks, and the flat alignment list
-    concatenates the per-rank chunks in rank order -- i.e. it follows the
-    *permuted* read order.  The service reassembles each request's
-    demultiplexed alignments in this exact order so its SAM output is
-    byte-identical to the offline run.
-    """
-    indices = list(range(n_reads))
-    if config.permute_reads:
-        return permute_reads(indices, seed=config.permutation_seed)
-    return indices
+__all__ = ["AlignmentSession", "BatchOutcome", "PlanBatchOutcome",
+           "PreparedIndex", "one_shot_read_order"]
 
 
 @dataclass
-class BatchOutcome:
-    """Everything one micro-batch SPMD invocation produced, demultiplexed."""
+class PlanBatchOutcome:
+    """Everything one micro-batch SPMD invocation produced, demultiplexed.
 
-    per_request_alignments: list[list[Alignment]]
+    ``per_request_outputs`` holds each request's sink-collected product --
+    a flat alignment list for ``align``, a
+    :class:`~repro.core.plan.SeedCountSummary` for ``count``, a
+    :class:`~repro.core.plan.ScreenSummary` for ``screen``.
+    """
+
+    workload: str
+    per_request_outputs: list[Any]
     per_request_counters: list[AlignmentCounters]
     counters: AlignmentCounters
     per_rank_stats: list[CommStats]
@@ -82,6 +87,7 @@ class BatchOutcome:
     backend: str
     cache_stats: dict[str, CacheStats]
     n_reads: int
+    stage_stats: list[PhaseStats] = field(default_factory=list)
 
     @property
     def stats(self) -> CommStats:
@@ -94,22 +100,13 @@ class BatchOutcome:
         return sum(phase.elapsed for phase in self.phases)
 
 
-def _derive_request_counters(per_read: list[list[Alignment]]) -> AlignmentCounters:
-    """Per-request event counters derivable from demultiplexed alignments.
+@dataclass
+class BatchOutcome(PlanBatchOutcome):
+    """A :class:`PlanBatchOutcome` of the align workload (SAM-producing)."""
 
-    Lookup/SW effort counters cannot be split exactly across the requests of a
-    coalesced batch (a bulk window mixes their seeds); those stay on the
-    batch-level :class:`BatchOutcome`.
-    """
-    counters = AlignmentCounters()
-    for alignments in per_read:
-        counters.reads_processed += 1
-        if alignments:
-            counters.reads_aligned += 1
-            counters.alignments_reported += len(alignments)
-            if len(alignments) == 1 and alignments[0].is_exact:
-                counters.exact_path_hits += 1
-    return counters
+    @property
+    def per_request_alignments(self) -> list[list[Alignment]]:
+        return self.per_request_outputs
 
 
 @dataclass
@@ -170,7 +167,7 @@ class PreparedIndex:
 
 
 class AlignmentSession:
-    """A live aligner: resident index plus repeatable align invocations."""
+    """A live aligner: resident index plus repeatable plan invocations."""
 
     def __init__(self, aligner: MerAligner, prepared: PreparedIndex,
                  backend_session) -> None:
@@ -179,6 +176,9 @@ class AlignmentSession:
         self._backend_session = backend_session
         self._closed = False
         self.requests_served = 0
+        # Per-workload runners are stateless; cache them so repeated requests
+        # do not rebuild plan objects.
+        self._runners: dict[str, PlanRunner] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -190,7 +190,7 @@ class AlignmentSession:
         from repro.backend import default_backend_name, resolve_backend
         impl = resolve_backend(backend or default_backend_name())
         config = aligner.config
-        named = _normalize_targets_named(targets)
+        named = normalize_targets_named(targets)
         names = (list(target_names) if target_names is not None
                  else [name for name, _sequence in named])
         target_seqs = [sequence for _name, sequence in named]
@@ -210,13 +210,15 @@ class AlignmentSession:
         # machinery (thread pool, shared-memory promotions) serves the build
         # invocation too.
         backend_session = impl.open_session(runtime)
+        runner = aligner.runner()
 
         def build_spmd(ctx):
-            yield from aligner._index_program(ctx, target_seqs, target_store,
-                                              seed_index)
+            yield from runner.index_program(ctx, target_seqs, target_store,
+                                            seed_index)
 
         try:
-            result = runtime.run_spmd(build_spmd, backend=impl)
+            result = runtime.run_spmd(build_spmd, backend=impl,
+                                      label="session:build")
         except BaseException:
             # A failed build must not leak the resident machinery (parked
             # rank threads, mapped shared-memory segments).
@@ -255,10 +257,20 @@ class AlignmentSession:
 
     # -- serving --------------------------------------------------------------
 
+    def _resolve_plan(self, plan: "AlignmentPlan | str") -> tuple[AlignmentPlan,
+                                                                  PlanRunner]:
+        """A (plan, runner) pair for a workload name or an explicit plan."""
+        if isinstance(plan, str):
+            if plan not in self._runners:
+                self._runners[plan] = self.aligner.runner(plan_for_workload(plan))
+            runner = self._runners[plan]
+            return runner.plan, runner
+        return plan, self.aligner.runner(plan)
+
     def align(self, reads, warm_caches: bool = False) -> AlignerReport:
         """Align one request against the resident index.
 
-        Runs the aligning phases as a single SPMD invocation and returns a
+        Runs the query-side stages as a single SPMD invocation and returns a
         full :class:`AlignerReport` whose phase traces, communication
         statistics and cache statistics cover **this request only**.
         Alignments are byte-identical (through SAM) to a one-shot
@@ -278,6 +290,7 @@ class AlignmentSession:
             single_copy_fragment_fraction=(
                 prepared.target_store.single_copy_fraction()),
             cache_stats=outcome.cache_stats,
+            stage_stats=outcome.stage_stats,
         )
 
     def align_many(self, read_lists, warm_caches: bool = False) -> BatchOutcome:
@@ -290,12 +303,50 @@ class AlignmentSession:
         request sees exactly the alignments (and ordering) an offline run of
         its own reads would report.
         """
+        outcome = self.run_plan_many("align", read_lists,
+                                     warm_caches=warm_caches)
+        return BatchOutcome(**outcome.__dict__)
+
+    def count(self, reads, warm_caches: bool = False):
+        """Seed-frequency histogram of one request against the resident index."""
+        return self.run_plan_many("count", [reads],
+                                  warm_caches=warm_caches).per_request_outputs[0]
+
+    def screen(self, reads, warm_caches: bool = False):
+        """Exact-match hit/miss screen of one request against the index."""
+        return self.run_plan_many("screen", [reads],
+                                  warm_caches=warm_caches).per_request_outputs[0]
+
+    def run_plan_many(self, plan: "AlignmentPlan | str", read_lists,
+                      warm_caches: bool = False) -> PlanBatchOutcome:
+        """Run the query side of *plan* over a micro-batch of requests.
+
+        *plan* is a registered workload name (``align``, ``count``,
+        ``screen``) or an :class:`~repro.core.plan.AlignmentPlan` whose query
+        stages are compatible with the resident index.  The batch runs as
+        **one** SPMD invocation; per-read payloads are demultiplexed per
+        request, reordered through the sink's ``request_order`` and folded
+        with the sink's ``collect`` -- so each request's output is identical
+        to a one-shot offline run of the plan on its own reads.
+        """
         if self._closed:
             raise RuntimeError("alignment session is closed")
-        aligner = self.aligner
+        plan, runner = self._resolve_plan(plan)
         prepared = self.prepared
         config = prepared.config
-        requests = [_normalize_reads(reads) for reads in read_lists]
+        if (plan.needs_single_copy_marks()
+                and not config.use_exact_match_optimization):
+            # The resident index was built without phase 4 (single-copy
+            # marking), so an unconditional exact probe would read the
+            # optimistic default flags and report rows that differ from the
+            # offline plan (whose BuildIndex forces the marking).
+            raise RuntimeError(
+                f"the {plan.name!r} plan needs single-copy-seed marks, but "
+                "this session's index was built with "
+                "use_exact_match_optimization=False; rebuild the session "
+                "with the exact-match optimization enabled")
+        sink = plan.sink
+        requests = [normalize_reads(reads) for reads in read_lists]
 
         caches = [cache for cache in (prepared.seed_cache, prepared.target_cache)
                   if cache is not None]
@@ -315,35 +366,40 @@ class AlignmentSession:
             tagged = permute_reads(tagged, seed=config.permutation_seed)
         read_records = [read for _request, _position, read in tagged]
 
-        def align_spmd(ctx):
-            return (yield from aligner._query_program(
+        def plan_spmd(ctx):
+            return (yield from runner.query_program(
                 ctx, read_records, prepared.seed_index, prepared.target_store,
                 prepared.seed_cache, prepared.target_cache))
 
-        result = prepared.runtime.run_spmd(align_spmd, backend=prepared.backend)
+        result = prepared.runtime.run_spmd(plan_spmd, backend=prepared.backend,
+                                           label=f"serve:{plan.name}")
+        groups, counters, stage_stats = merge_rank_returns(result.results, plan)
 
-        counters = AlignmentCounters()
-        demuxed: list[dict[int, list[Alignment]]] = [{} for _ in requests]
-        for rank_groups, rank_counters in result.results:
-            counters = counters.merge(rank_counters)
-            for combined_index, alignments in rank_groups:
-                request_index, read_index, _read = tagged[combined_index]
-                demuxed[request_index][read_index] = alignments
+        demuxed: list[dict[int, Any]] = [{} for _ in requests]
+        for combined_index, payload in groups:
+            request_index, read_index, _read = tagged[combined_index]
+            demuxed[request_index][read_index] = payload
 
-        per_request_alignments: list[list[Alignment]] = []
+        per_request_outputs: list[Any] = []
         per_request_counters: list[AlignmentCounters] = []
         for request_index, reads in enumerate(requests):
-            order = one_shot_read_order(len(reads), config)
-            per_read = [demuxed[request_index].get(i, []) for i in order]
-            per_request_alignments.append(
-                [alignment for group in per_read for alignment in group])
-            per_request_counters.append(_derive_request_counters(per_read))
+            order = sink.request_order(len(reads), config)
+            payloads = []
+            for read_index in order:
+                payload = demuxed[request_index].get(read_index)
+                if payload is None:
+                    payload = sink.empty_payload(reads[read_index])
+                payloads.append(payload)
+            ordered_groups = list(zip(order, payloads))
+            per_request_outputs.append(sink.collect(ordered_groups, config))
+            per_request_counters.append(sink.derive_request_counters(payloads))
 
         cache_deltas = {cache.name: cache.total_stats().delta(cache_before[cache.name])
                         for cache in caches}
         self.requests_served += len(requests)
-        return BatchOutcome(
-            per_request_alignments=per_request_alignments,
+        return PlanBatchOutcome(
+            workload=plan.workload,
+            per_request_outputs=per_request_outputs,
             per_request_counters=per_request_counters,
             counters=counters,
             per_rank_stats=result.per_rank_stats,
@@ -351,6 +407,7 @@ class AlignmentSession:
             backend=result.backend,
             cache_stats=cache_deltas,
             n_reads=len(read_records),
+            stage_stats=stage_stats,
         )
 
     # -- output helpers -------------------------------------------------------
@@ -359,6 +416,20 @@ class AlignmentSession:
         """Render alignments as SAM text against this session's targets."""
         return sam_text(alignments, self.prepared.target_names,
                         self.prepared.target_lengths)
+
+    def render(self, workload: str, output: Any) -> str:
+        """Render a sink's collected output as the wire/file text.
+
+        ``align`` renders SAM; ``count`` and ``screen`` render their TSV
+        (the screen TSV resolves target ids against this session's names).
+        """
+        if workload == "align":
+            return self.sam_for(output)
+        if workload == "count":
+            return output.to_tsv()
+        if workload == "screen":
+            return output.to_tsv(self.prepared.target_names)
+        raise KeyError(f"no renderer for workload {workload!r}")
 
     def to_json_dict(self) -> dict:
         return {

@@ -1,0 +1,90 @@
+"""Pins the public API surface of :mod:`repro.api`.
+
+``repro.api`` is the documented compatibility surface: removing or renaming
+an export is a breaking change and must show up as a deliberate edit to this
+snapshot, never as an accidental side effect of a refactor.
+"""
+
+import inspect
+
+from repro import api
+
+#: The pinned export list.  Update deliberately, together with README's
+#: "Public API & custom pipelines" section.
+EXPECTED_EXPORTS = sorted([
+    # entry points
+    "align",
+    "count",
+    "screen",
+    "plan",
+    "run_plan",
+    "prepare",
+    "serve",
+    # plan vocabulary
+    "AlignmentPlan",
+    "PlanRunner",
+    "PlanResult",
+    "PlanValidationError",
+    "Stage",
+    "QueryStage",
+    "SinkStage",
+    "StageContext",
+    "ReadState",
+    "BuildIndex",
+    "ReadQueries",
+    "ExactPath",
+    "SeedLookup",
+    "CandidateCollect",
+    "ExtendAlign",
+    "EmitSam",
+    "EmitSeedCounts",
+    "EmitScreen",
+    "WORKLOAD_PLANS",
+    "plan_for_workload",
+    # configuration / results
+    "AlignerConfig",
+    "AlignerReport",
+    "PhaseStats",
+    "REPORT_SCHEMA_VERSION",
+    "SeedCountSummary",
+    "ScreenSummary",
+    "MerAligner",
+    "MachineModel",
+    "EDISON_LIKE",
+    # serving
+    "AlignmentService",
+    "AlignmentSession",
+    "AlignmentServer",
+    "AlignmentClient",
+    "SocketAlignmentClient",
+    "RequestScheduler",
+    "ServiceStats",
+])
+
+
+class TestApiSurface:
+    def test_exports_match_snapshot(self):
+        assert sorted(api.__all__) == EXPECTED_EXPORTS
+
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert hasattr(api, name), f"repro.api.{name} missing"
+
+    def test_entry_points_are_callables_with_docstrings(self):
+        for name in ("align", "count", "screen", "plan", "run_plan",
+                     "prepare", "serve"):
+            fn = getattr(api, name)
+            assert callable(fn)
+            assert inspect.getdoc(fn), f"repro.api.{name} lacks a docstring"
+
+    def test_workload_registry_matches_plan_factories(self):
+        assert sorted(api.WORKLOAD_PLANS) == ["align", "count", "screen"]
+        for workload in api.WORKLOAD_PLANS:
+            built = api.plan(workload)
+            assert built.workload == workload
+
+    def test_package_root_reexports_plan_types(self):
+        import repro
+        assert repro.api is api
+        for name in ("AlignmentPlan", "PlanRunner", "PlanResult"):
+            assert hasattr(repro, name)

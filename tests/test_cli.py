@@ -195,3 +195,173 @@ class TestParser:
     def test_align_requires_arguments(self):
         with pytest.raises(SystemExit):
             main(["align", "--targets", "x.fa"])
+
+
+class TestVersion:
+    def test_version_flag_prints_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestInputFileErrors:
+    """Missing/unreadable inputs: exit code 2 + one-line stderr message."""
+
+    def test_align_missing_targets(self, tmp_path, capsys):
+        code = main(["align", "--targets", str(tmp_path / "none.fa"),
+                     "--reads", str(tmp_path / "none.fq"),
+                     "--output", str(tmp_path / "o.sam")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "meraligner: error:" in err and "targets file not found" in err
+
+    def test_align_missing_reads(self, simulated_dir, tmp_path, capsys):
+        code = main(["align", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(tmp_path / "none.fq"),
+                     "--output", str(tmp_path / "o.sam")])
+        assert code == 2
+        assert "reads file not found" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["count", "screen"])
+    def test_workloads_missing_inputs(self, command, tmp_path, capsys):
+        code = main([command, "--targets", str(tmp_path / "none.fa"),
+                     "--reads", str(tmp_path / "none.fq"),
+                     "--output", str(tmp_path / "o.tsv")])
+        assert code == 2
+        assert "targets file not found" in capsys.readouterr().err
+
+    def test_compare_missing_inputs(self, tmp_path, capsys):
+        code = main(["compare", "--targets", str(tmp_path / "none.fa"),
+                     "--reads", str(tmp_path / "none.fq")])
+        assert code == 2
+        assert "targets file not found" in capsys.readouterr().err
+
+    def test_serve_missing_targets(self, tmp_path, capsys):
+        code = main(["serve", "--targets", str(tmp_path / "none.fa"),
+                     "--port", "0"])
+        assert code == 2
+        assert "targets file not found" in capsys.readouterr().err
+
+    def test_directory_as_input_rejected(self, tmp_path, capsys):
+        code = main(["align", "--targets", str(tmp_path),
+                     "--reads", str(tmp_path / "none.fq"),
+                     "--output", str(tmp_path / "o.sam")])
+        assert code == 2
+        assert "directory" in capsys.readouterr().err
+
+
+class TestCountScreenCli:
+    def test_count_writes_histogram_tsv(self, simulated_dir, tmp_path, capsys):
+        out = tmp_path / "counts.tsv"
+        code = main(["count", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(out),
+                     "--ranks", "4", "--seed-length", "21"])
+        assert code == 0
+        assert "looked up" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        assert lines[0] == "#workload\tcount"
+        assert "occurrences\tn_query_seeds" in lines
+        body = [line for line in lines if not line.startswith(("#", "occ"))]
+        assert body and all("\t" in line for line in body)
+
+    def test_screen_writes_hit_miss_tsv(self, simulated_dir, tmp_path, capsys):
+        out = tmp_path / "screen.tsv"
+        code = main(["screen", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(out),
+                     "--ranks", "4", "--seed-length", "21"])
+        assert code == 0
+        assert "screened" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        assert lines[0] == "#workload\tscreen"
+        reads = read_fastq(simulated_dir / "reads.fastq")
+        body = [line for line in lines
+                if line and not line.startswith(("#", "read\t"))]
+        assert len(body) == len(reads)
+        assert {line.split("\t")[1] for line in body} <= {"hit", "miss"}
+
+    def test_count_process_backend_byte_identical(self, simulated_dir,
+                                                  tmp_path):
+        outputs = {}
+        for backend in ("cooperative", "process"):
+            out = tmp_path / f"counts-{backend}.tsv"
+            code = main(["count", "--targets",
+                         str(simulated_dir / "contigs.fa"),
+                         "--reads", str(simulated_dir / "reads.fastq"),
+                         "--output", str(out), "--ranks", "4",
+                         "--seed-length", "21", "--backend", backend])
+            assert code == 0
+            outputs[backend] = out.read_bytes()
+        assert outputs["process"] == outputs["cooperative"]
+
+    def test_workload_json_report_has_stages(self, simulated_dir, tmp_path):
+        out = tmp_path / "screen.tsv"
+        report_path = tmp_path / "screen.json"
+        code = main(["screen", "--targets", str(simulated_dir / "contigs.fa"),
+                     "--reads", str(simulated_dir / "reads.fastq"),
+                     "--output", str(out), "--json-report", str(report_path),
+                     "--ranks", "4", "--seed-length", "21"])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema_version"] == 2
+        assert report["workload"] == "screen"
+        assert [s["name"] for s in report["stages"]] == \
+            ["read_queries", "exact_path", "emit_screen"]
+
+
+class TestServeWorkloads:
+    def test_query_count_and_screen_roundtrip(self, simulated_dir, tmp_path,
+                                              capsys):
+        """serve + count/screen queries match the offline subcommands."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        serve_code: list[int] = []
+
+        def run_server() -> None:
+            serve_code.append(main(
+                ["serve", "--targets", str(simulated_dir / "contigs.fa"),
+                 "--port", str(port), "--ranks", "4", "--seed-length", "21",
+                 "--max-wait-ms", "5"]))
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        from repro.service.client import SocketAlignmentClient
+        client = SocketAlignmentClient(port=port, timeout=60.0)
+        deadline = time.monotonic() + 60.0
+        while not client.ping():
+            assert time.monotonic() < deadline, "server did not come up"
+            time.sleep(0.05)
+
+        for workload in ("count", "screen"):
+            offline = tmp_path / f"offline-{workload}.tsv"
+            code = main([workload, "--targets",
+                         str(simulated_dir / "contigs.fa"),
+                         "--reads", str(simulated_dir / "reads.fastq"),
+                         "--output", str(offline),
+                         "--ranks", "4", "--seed-length", "21"])
+            assert code == 0
+            served = tmp_path / f"served-{workload}.tsv"
+            code = main(["query", "--port", str(port),
+                         "--workload", workload,
+                         "--reads", str(simulated_dir / "reads.fastq"),
+                         "--output", str(served)])
+            assert code == 0
+            assert served.read_bytes() == offline.read_bytes(), workload
+
+        code = main(["query", "--port", str(port), "--stats"])
+        assert code == 0
+        stats_output = capsys.readouterr().out
+        stats = json.loads(stats_output[stats_output.index("{"):])
+        assert stats["schema_version"] == 2
+        assert stats["service"]["requests_by_workload"] == {"count": 1,
+                                                            "screen": 1}
+
+        code = main(["query", "--port", str(port), "--shutdown"])
+        assert code == 0
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert serve_code == [0]

@@ -197,6 +197,34 @@ class TestGzipTransparency:
         with pytest.raises(OSError):
             read_fasta(path)
 
+    def test_misnamed_gzip_fasta_opens_via_magic_bytes(self, tmp_path):
+        """Satellite bugfix: a gzipped file without the .gz suffix is sniffed
+        by its magic bytes instead of blowing up mid-parse."""
+        import gzip
+        records = [FastaRecord("contig1", "ACGT" * 20)]
+        plain = tmp_path / "targets.fa"
+        write_fasta(plain, records)
+        misnamed = tmp_path / "misnamed.fasta"  # gzip bytes, plain suffix
+        misnamed.write_bytes(gzip.compress(plain.read_bytes()))
+        assert read_fasta(misnamed) == records
+
+    def test_misnamed_gzip_fastq_opens_via_magic_bytes(self, tmp_path):
+        import gzip
+        records = [FastqRecord("r1", "ACGTACGT", "IIIIIIII")]
+        plain = tmp_path / "reads.fastq"
+        write_fastq(plain, records)
+        misnamed = tmp_path / "misnamed.fastq"
+        misnamed.write_bytes(gzip.compress(plain.read_bytes()))
+        assert read_fastq(misnamed) == records
+
+    def test_magic_sniff_does_not_consume_plain_stream(self, tmp_path):
+        """The two-byte probe reopens the file; a plain file parses fully."""
+        path = tmp_path / "x.fa"
+        path.write_text(">\x1fweird\nACGT\n")  # first byte is not 0x1f8b
+        # Not valid gzip; must be parsed as plain text (header name kept).
+        records = read_fasta(path)
+        assert records[0].sequence == "ACGT"
+
     def test_pipeline_accepts_gzipped_inputs(self, tmp_path, small_dataset,
                                              small_config):
         """End to end: a gzipped FASTA + FASTQ align identically to plain."""

@@ -1,0 +1,364 @@
+"""Tests for the composable stage-pipeline API (AlignmentPlan / PlanRunner).
+
+Three contracts are pinned here:
+
+* **Stage-boundary equivalence** -- the stage objects reproduce, read for
+  read, the exact outputs the pre-refactor monolithic aligner produced at
+  each internal boundary (exact-path resolution, seed lookups, candidate
+  selection, final alignments).  The ground truth is
+  ``tests/fixtures/stage_boundaries.json``, captured from the monolith
+  *before* the refactor on a deterministic dataset.
+* **Plan validation** -- impossible pipelines (unsatisfied stage inputs,
+  missing sink, missing ReadQueries) fail at construction.
+* **Workload equivalence** -- the plan-built ``count`` and ``screen``
+  workloads produce byte-identical TSV across all three execution backends,
+  with bulk batching on and off, offline and through a resident session.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.plan import (AlignmentPlan, BuildIndex, CandidateCollect,
+                             EmitSam, EmitScreen, EmitSeedCounts, ExactPath,
+                             ExtendAlign, PlanRunner, PlanValidationError,
+                             ReadQueries, ReadState, SeedLookup, SinkStage,
+                             StageContext, plan_for_workload)
+from repro.core.pipeline import MerAligner
+from repro.core.seed_index import SeedIndex
+from repro.core.stats import AlignmentCounters
+from repro.core.target_store import TargetStore
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+
+FIXTURE = Path(__file__).parent / "fixtures" / "stage_boundaries.json"
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+def alignment_key(alignment):
+    """The fixture's JSON-friendly byte-identity key of an alignment."""
+    return [alignment.query_name, alignment.target_id, alignment.score,
+            alignment.query_start, alignment.query_end,
+            alignment.target_start, alignment.target_end, alignment.strand,
+            alignment.is_exact,
+            [[int(n), str(getattr(op, "value", op))]
+             for n, op in (alignment.cigar or [])],
+            alignment.identity]
+
+
+@pytest.fixture(scope="module")
+def fixture_data():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def fixture_setup(fixture_data):
+    """The fixture's dataset + a built index on a cooperative runtime."""
+    meta = fixture_data["dataset"]
+    spec = GenomeSpec(name="stagefix", genome_length=meta["genome_length"],
+                      n_contigs=meta["n_contigs"],
+                      repeat_fraction=meta["repeat_fraction"],
+                      repeat_unit_length=meta["repeat_unit_length"],
+                      min_contig_length=meta["min_contig_length"])
+    read_spec = ReadSetSpec(coverage=meta["coverage"],
+                            read_length=meta["read_length"],
+                            error_rate=meta["error_rate"])
+    genome, reads = make_dataset(spec, read_spec, seed=meta["seed"])
+    reads = reads[:meta["n_reads"]]
+    config = AlignerConfig(seed_length=fixture_data["config"]["seed_length"],
+                           fragment_length=fixture_data["config"]["fragment_length"],
+                           use_seed_index_cache=False, use_target_cache=False)
+    runner = PlanRunner(AlignmentPlan.default(), config)
+    runtime = PgasRuntime(n_ranks=fixture_data["n_ranks"], machine=EDISON_LIKE)
+    target_store = TargetStore(runtime)
+    seed_index = SeedIndex(runtime, config)
+
+    def build(ctx):
+        yield from runner.index_program(ctx, list(genome.contigs),
+                                        target_store, seed_index)
+
+    runtime.run_spmd(build, backend="cooperative")
+    return genome, reads, config, runtime, seed_index, target_store
+
+
+def make_xs(setup):
+    _genome, _reads, config, runtime, seed_index, target_store = setup
+    return StageContext(runtime.context(0), config, seed_index, target_store,
+                        None, None, AlignmentCounters())
+
+
+class TestStageBoundaryEquivalence:
+    """The stage objects replay the monolith's per-stage outputs exactly."""
+
+    def test_exact_path_matches_monolith(self, fixture_setup, fixture_data):
+        xs = make_xs(fixture_setup)
+        config, reads = fixture_setup[2], fixture_setup[1]
+        stage = ExactPath()
+        for read in reads:
+            item = ReadState(read, config)
+            stage.process_read(xs, item)
+            expected = fixture_data["reads"][read.name]["exact"]
+            got = alignment_key(item.resolved) if item.resolved else None
+            assert got == expected, read.name
+
+    def test_seed_lookup_matches_monolith(self, fixture_setup, fixture_data):
+        xs = make_xs(fixture_setup)
+        config, reads = fixture_setup[2], fixture_setup[1]
+        stage = SeedLookup()
+        for read in reads:
+            item = ReadState(read, config)
+            stage.process_read(xs, item)
+            got = [[strand, offset, 0 if entry is None else len(entry.values)]
+                   for strand, offset, entry in item.lookups]
+            assert got == fixture_data["reads"][read.name]["lookups"], read.name
+
+    def test_candidate_collect_matches_monolith(self, fixture_setup,
+                                                fixture_data):
+        xs = make_xs(fixture_setup)
+        config, reads = fixture_setup[2], fixture_setup[1]
+        lookup, collect = SeedLookup(), CandidateCollect()
+        for read in reads:
+            item = ReadState(read, config)
+            lookup.process_read(xs, item)
+            collect.process_read(xs, item)
+            got = [[strand, owner, str(key), placement.offset, query_offset]
+                   for (strand, (owner, key)), (placement, query_offset)
+                   in item.candidates.items()]
+            assert got == fixture_data["reads"][read.name]["candidates"], \
+                read.name
+
+    def test_full_stage_chain_matches_monolith_alignments(self, fixture_setup,
+                                                          fixture_data):
+        xs = make_xs(fixture_setup)
+        config, reads = fixture_setup[2], fixture_setup[1]
+        stages = (ExactPath(), SeedLookup(), CandidateCollect(), ExtendAlign())
+        sink = EmitSam()
+        for read in reads:
+            item = ReadState(read, config)
+            for stage in stages:
+                if not item.pending:
+                    break
+                stage.process_read(xs, item)
+            got = [alignment_key(a) for a in sink.emit(xs, item)]
+            assert got == fixture_data["reads"][read.name]["alignments"], \
+                read.name
+
+
+class TestPlanValidation:
+    def test_default_plans_validate(self):
+        for factory in (AlignmentPlan.default, AlignmentPlan.seed_count,
+                        AlignmentPlan.exact_screen):
+            plan = factory()
+            assert isinstance(plan.sink, SinkStage)
+            assert plan.build_stage is not None
+
+    def test_unsatisfied_input_rejected(self):
+        with pytest.raises(PlanValidationError, match="seed_index"):
+            AlignmentPlan(name="broken", stages=(
+                ReadQueries(), SeedLookup(), EmitSeedCounts()))
+
+    def test_missing_sink_rejected(self):
+        with pytest.raises(PlanValidationError, match="SinkStage"):
+            AlignmentPlan(name="nosink", stages=(
+                BuildIndex(), ReadQueries(), SeedLookup()))
+
+    def test_missing_read_queries_rejected(self):
+        class NullSink(SinkStage):
+            name = "null"
+            inputs = ()
+
+        with pytest.raises(PlanValidationError, match="ReadQueries"):
+            AlignmentPlan(name="nochunk", stages=(BuildIndex(), NullSink()))
+
+    def test_dataflow_without_read_queries_rejected(self):
+        # ExactPath consumes read_chunk, which only ReadQueries produces.
+        with pytest.raises(PlanValidationError, match="read_chunk"):
+            AlignmentPlan(name="nochunk2", stages=(
+                BuildIndex(), ExactPath(), EmitScreen()))
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(PlanValidationError, match="not a Stage"):
+            AlignmentPlan(name="junk", stages=(BuildIndex(), "extend"))
+
+    def test_describe_lists_signatures(self):
+        text = AlignmentPlan.seed_count().describe()
+        assert "workload: count" in text
+        assert "seed_lookup(read_chunk, seed_index -> seed_hits)" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            plan_for_workload("frobnicate")
+
+
+class TestDefaultPlanEquivalence:
+    """MerAligner presets and explicit plan execution agree exactly."""
+
+    def test_run_plan_matches_run(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        reads = reads[:60]
+        via_preset = MerAligner(small_config).run(genome.contigs, reads,
+                                                  n_ranks=4, machine=MACHINE)
+        via_plan = PlanRunner(AlignmentPlan.default(), small_config).run(
+            genome.contigs, reads, n_ranks=4, machine=MACHINE)
+        assert [alignment_key(a) for a in via_preset.alignments] == \
+            [alignment_key(a) for a in via_plan.output]
+        assert via_plan.report.counters == via_preset.counters
+
+    def test_report_carries_stage_stats(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        report = MerAligner(small_config).run(genome.contigs, reads[:40],
+                                              n_ranks=4, machine=MACHINE)
+        names = [stage.name for stage in report.stage_stats]
+        assert names == ["read_queries", "exact_path", "seed_lookup",
+                         "candidate_collect", "extend_align", "emit_sam"]
+        lookup = dict((s.name, s) for s in report.stage_stats)
+        assert lookup["seed_lookup"].comm > 0
+        assert lookup["extend_align"].compute > 0
+        assert lookup["read_queries"].io > 0
+        data = report.to_json_dict()
+        assert data["schema_version"] == 2
+        assert [s["name"] for s in data["stages"]] == names
+
+
+def run_workload(workload, dataset, config, backend, bulk, n_reads=120):
+    genome, reads = dataset
+    cfg = config.with_(use_bulk_lookups=bulk, lookup_batch_size=16)
+    result = PlanRunner(plan_for_workload(workload), cfg).run(
+        genome.contigs, reads[:n_reads], n_ranks=4, machine=MACHINE,
+        backend=backend)
+    names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+    if workload == "count":
+        return result.output.to_tsv()
+    return result.output.to_tsv(names)
+
+
+class TestWorkloadCrossBackendEquivalence:
+    """count/screen: byte-identical TSV on 3 backends x bulk on/off."""
+
+    @pytest.mark.parametrize("workload", ("count", "screen"))
+    def test_backends_and_engines_agree(self, small_dataset, small_config,
+                                        workload):
+        texts = {
+            (backend, bulk): run_workload(workload, small_dataset,
+                                          small_config, backend, bulk)
+            for backend in BACKENDS for bulk in (False, True)
+        }
+        reference = texts[("cooperative", False)]
+        assert reference.startswith(f"#workload\t{workload}")
+        for key, text in texts.items():
+            assert text == reference, key
+
+    def test_count_histogram_is_consistent(self, small_dataset, small_config):
+        genome, reads = small_dataset
+        result = PlanRunner(plan_for_workload("count"), small_config).run(
+            genome.contigs, reads[:80], n_ranks=4, machine=MACHINE)
+        summary = result.output
+        assert summary.n_reads == 80
+        assert sum(summary.histogram.values()) == summary.n_seed_lookups
+        assert summary.n_missing == summary.histogram.get(0, 0)
+        assert result.report.counters.seed_lookups == summary.n_seed_lookups
+        # The count plan must never fetch or extend.
+        assert result.report.counters.sw_calls == 0
+        assert result.report.counters.candidates_examined == 0
+
+    def test_screen_output_independent_of_exact_match_knob(self, small_dataset,
+                                                           small_config):
+        """--no-exact-match is an align-phase knob: the screen plan forces
+        single-copy marking in its own BuildIndex, so its rows must not
+        change when the optimization is switched off."""
+        with_opt = run_workload("screen", small_dataset, small_config,
+                                "cooperative", bulk=False, n_reads=60)
+        without_opt = run_workload(
+            "screen", small_dataset,
+            small_config.with_(use_exact_match_optimization=False),
+            "cooperative", bulk=False, n_reads=60)
+        assert with_opt == without_opt
+
+    def test_session_screen_requires_marked_index(self, small_dataset,
+                                                  small_config):
+        """A resident index built without single-copy marking cannot serve
+        the screen workload (it would silently report different rows)."""
+        genome, reads = small_dataset
+        config = small_config.with_(use_exact_match_optimization=False)
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            with pytest.raises(RuntimeError, match="single-copy"):
+                session.screen(reads[:10])
+            # align still works against the unmarked index.
+            assert session.align(reads[:10]) is not None
+
+    def test_screen_rows_cover_every_read_in_input_order(self, small_dataset,
+                                                         small_config):
+        genome, reads = small_dataset
+        reads = reads[:60]
+        result = PlanRunner(plan_for_workload("screen"), small_config).run(
+            genome.contigs, reads, n_ranks=4, machine=MACHINE)
+        summary = result.output
+        assert [row[0] for row in summary.rows] == [r.name for r in reads]
+        assert 0 < summary.n_hits < len(reads)
+        # Screen hits agree with the align plan's exact-path hits.
+        report = MerAligner(small_config).run(genome.contigs, reads,
+                                              n_ranks=4, machine=MACHINE)
+        assert summary.n_hits == report.counters.exact_path_hits
+        # The screen plan must never run Smith-Waterman.
+        assert result.report.counters.sw_calls == 0
+
+
+class TestWorkloadsThroughService:
+    """Sessions and the scheduler serve count/screen identical to offline."""
+
+    @pytest.mark.parametrize("workload", ("count", "screen"))
+    def test_session_matches_offline(self, small_dataset, small_config,
+                                     workload):
+        genome, reads = small_dataset
+        reads = reads[:60]
+        offline = run_workload(workload, (genome, reads), small_config,
+                               "cooperative", bulk=False, n_reads=60)
+        with MerAligner(small_config).prepare(genome.contigs, n_ranks=4,
+                                              machine=MACHINE) as session:
+            output = (session.count(reads) if workload == "count"
+                      else session.screen(reads))
+            assert session.render(workload, output) == offline
+
+    def test_scheduler_serves_mixed_workloads(self, small_dataset,
+                                              small_config):
+        from repro.service import RequestScheduler
+        genome, reads = small_dataset
+        reads = reads[:40]
+        config = small_config.with_(use_bulk_lookups=True,
+                                    lookup_batch_size=16)
+        offline_count = run_workload("count", (genome, reads), config,
+                                     "cooperative", bulk=True, n_reads=40)
+        offline_screen = run_workload("screen", (genome, reads), config,
+                                      "cooperative", bulk=True, n_reads=40)
+        with MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                        machine=MACHINE) as session:
+            reference_sam = session.sam_for(session.align(reads).alignments)
+            with RequestScheduler(session, max_wait_s=0.005) as scheduler:
+                futures = [scheduler.submit(reads, workload=w)
+                           for w in ("align", "count", "screen", "align")]
+                results = [f.result(timeout=120.0) for f in futures]
+        assert results[0].text == reference_sam
+        assert results[3].text == reference_sam
+        assert results[1].text == offline_count
+        assert results[2].text == offline_screen
+        # A batch never mixes workloads.
+        by_batch = {}
+        for result in results:
+            by_batch.setdefault(result.batch_id, set()).add(result.workload)
+        for workloads in by_batch.values():
+            assert len(workloads) == 1
+
+    def test_scheduler_rejects_unknown_workload(self, small_dataset,
+                                                small_config):
+        from repro.service import RequestScheduler
+        genome, reads = small_dataset
+        with MerAligner(small_config).prepare(genome.contigs, n_ranks=4,
+                                              machine=MACHINE) as session:
+            with RequestScheduler(session, max_wait_s=0.005) as scheduler:
+                with pytest.raises(KeyError, match="unknown workload"):
+                    scheduler.submit(reads[:5], workload="frobnicate")
