@@ -14,6 +14,7 @@ module here (see DESIGN.md section 4 for the index).  Each benchmark
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
@@ -31,13 +32,59 @@ CORE_SWEEP = [4, 8, 16, 32, 64]
 #: keeps several nodes in play even at the scaled-down rank counts).
 BENCH_MACHINE = EDISON_LIKE.with_cores_per_node(8)
 
+#: Lines dropped before deciding whether a results file actually changed:
+#: host descriptions and timestamps vary per machine/run without carrying
+#: benchmark content.
+VOLATILE_LINE = re.compile(r"^(host|date|timestamp|recorded)\s*:", re.IGNORECASE)
 
-def write_report(name: str, lines: list[str]) -> None:
-    """Print a benchmark report and persist it under benchmarks/results/."""
+_FLOAT = re.compile(r"-?\d+\.\d+(e[+-]?\d+)?|-?\d+e[+-]?\d+", re.IGNORECASE)
+
+
+def _normalized(text: str, volatile: tuple[str, ...]) -> str:
+    """The churn-comparison form of a results file.
+
+    Drops the volatile header lines and, on lines matching any *volatile*
+    pattern (a benchmark's own wall-clock rows), masks floating-point tokens
+    -- so re-running a measured benchmark on the same code rewrites its file
+    only when the non-measured content (structure, notes, counts) moved.
+    """
+    patterns = [re.compile(p) for p in volatile]
+    kept: list[str] = []
+    for line in text.splitlines():
+        if VOLATILE_LINE.match(line):
+            continue
+        if any(p.search(line) for p in patterns):
+            line = _FLOAT.sub("#", line)
+        # Table column widths track the widest rendered value, so masked
+        # float jitter still shifts padding and dash rules; collapse both
+        # so only content differences count.
+        line = re.sub(r" {2,}", " ", re.sub(r"-{3,}", "---", line)).rstrip()
+        kept.append(line)
+    return "\n".join(kept)
+
+
+def write_report(name: str, lines: list[str],
+                 volatile: tuple[str, ...] = ()) -> None:
+    """Print a benchmark report and persist it under benchmarks/results/.
+
+    The file is rewritten only when its content changed *modulo* the
+    volatile parts (host/timestamp lines, plus float values on lines
+    matching the *volatile* regexes -- used by wall-clock benchmarks whose
+    measurements jitter on every run).  Deterministic modelled-time
+    benchmarks therefore leave no diff on a re-run, keeping
+    ``benchmarks/results/`` churn-free in version control; see
+    benchmarks/README.md for the convention.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = "\n".join(lines)
     print("\n" + text)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    path = RESULTS_DIR / f"{name}.txt"
+    if path.exists():
+        old = path.read_text(encoding="utf-8")
+        if _normalized(old, volatile) == _normalized(text + "\n", volatile):
+            print(f"[{name}.txt unchanged (modulo volatile lines); not rewritten]")
+            return
+    path.write_text(text + "\n", encoding="utf-8")
 
 
 def format_table(headers: list[str], rows: list[list]) -> list[str]:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check that intra-repo Markdown links resolve.
+
+Scans the given Markdown files (default: README.md, docs/*.md,
+benchmarks/README.md) for inline links and verifies every relative target
+exists on disk, resolving each link against the file that contains it.
+External links (http/https/mailto) and pure in-page anchors are skipped;
+an anchor suffix on a relative link (``docs/x.md#section``) is stripped
+before the existence check.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link) -- the CI docs job runs this so README and docs/ can never point at
+files that moved away.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target).  Reference-style links and
+#: autolinks are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "benchmarks" / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    broken: list[tuple[int, str]] = []
+    for line_number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv[1:]] or default_files()
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        for line_number, target in broken_links(path):
+            print(f"{path.relative_to(REPO_ROOT) if path.is_absolute() else path}"
+                  f":{line_number}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)
+                            if p.is_absolute() else p) for p in files)
+    print(f"all intra-repo links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

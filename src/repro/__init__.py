@@ -41,7 +41,7 @@ from repro.pgas import EDISON_LIKE, LAPTOP_LIKE, MachineModel, PgasRuntime
 from repro.baselines import BwaLikeAligner, BowtieLikeAligner, PMapFramework
 from repro import api
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",

@@ -6,6 +6,7 @@ resident sessions and the socket service -- behind one import::
     from repro import api
 
     report = api.align("contigs.fa", "reads.fastq", n_ranks=8)
+    paired = api.align_paired("contigs.fa", "reads_R1.fastq", "reads_R2.fastq")
     histogram = api.count("contigs.fa", "reads.fastq")
     rows = api.screen("contigs.fa", "reads.fastq")
 
@@ -31,14 +32,17 @@ import threading
 
 from repro.core.config import AlignerConfig
 from repro.core.plan import (AlignmentPlan, BuildIndex, CandidateCollect,
-                             EmitSam, EmitScreen, EmitSeedCounts, ExactPath,
-                             ExtendAlign, PlanResult, PlanRunner,
-                             PlanValidationError, QueryStage, ReadQueries,
-                             ReadState, ScreenSummary, SeedCountSummary,
-                             SeedLookup, SinkStage, Stage, StageContext,
-                             WORKLOAD_PLANS, plan_for_workload)
+                             EmitSam, EmitSamPaired, EmitScreen,
+                             EmitSeedCounts, ExactPath, ExtendAlign,
+                             MateRescue, PairJoin, PairStage, PairState,
+                             PlanResult, PlanRunner, PlanValidationError,
+                             QueryStage, ReadQueries, ReadState,
+                             ScreenSummary, SeedCountSummary, SeedLookup,
+                             SinkStage, Stage, StageContext, WORKLOAD_PLANS,
+                             normalize_paired_reads, plan_for_workload)
 from repro.core.pipeline import MerAligner
 from repro.core.stats import AlignerReport, PhaseStats, REPORT_SCHEMA_VERSION
+from repro.io.sam import PairedSamRecord, paired_sam_text
 from repro.pgas.cost_model import EDISON_LIKE, MachineModel
 
 from typing import TYPE_CHECKING
@@ -74,6 +78,7 @@ def __getattr__(name: str):
 __all__ = [
     # entry points
     "align",
+    "align_paired",
     "count",
     "screen",
     "plan",
@@ -88,19 +93,25 @@ __all__ = [
     "Stage",
     "QueryStage",
     "SinkStage",
+    "PairStage",
     "StageContext",
     "ReadState",
+    "PairState",
     "BuildIndex",
     "ReadQueries",
     "ExactPath",
     "SeedLookup",
     "CandidateCollect",
     "ExtendAlign",
+    "PairJoin",
+    "MateRescue",
     "EmitSam",
+    "EmitSamPaired",
     "EmitSeedCounts",
     "EmitScreen",
     "WORKLOAD_PLANS",
     "plan_for_workload",
+    "normalize_paired_reads",
     # configuration / results
     "AlignerConfig",
     "AlignerReport",
@@ -108,6 +119,8 @@ __all__ = [
     "REPORT_SCHEMA_VERSION",
     "SeedCountSummary",
     "ScreenSummary",
+    "PairedSamRecord",
+    "paired_sam_text",
     "MerAligner",
     "MachineModel",
     "EDISON_LIKE",
@@ -131,10 +144,56 @@ def align(targets, reads, *, config: AlignerConfig | None = None,
 
     Equivalent to ``MerAligner(config).run(...)``; returns the full
     :class:`AlignerReport` (alignments, per-phase and per-stage timings,
-    communication statistics).
+    communication statistics).  *targets* is a FASTA path, a list of
+    :class:`~repro.io.fasta.FastaRecord` or plain sequences; *reads* a
+    FASTQ/SeqDB path, FASTQ records or :class:`~repro.ReadRecord` objects.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> report = align(genome.contigs, reads[:8], n_ranks=2)
+        >>> report.counters.reads_processed
+        8
+        >>> len(report.alignments) == report.counters.alignments_reported
+        True
     """
     return MerAligner(config).run(targets, reads, n_ranks=n_ranks,
                                   machine=machine, backend=backend)
+
+
+def align_paired(targets, reads, reads2=None, *,
+                 config: AlignerConfig | None = None, n_ranks: int = 8,
+                 machine: MachineModel = EDISON_LIKE,
+                 backend: str | None = None) -> PlanResult:
+    """Paired-end alignment (the ``paired`` workload), end to end.
+
+    *reads* is an interleaved paired library (R1, R2, R1, R2, ...) -- or the
+    R1 half, with every mate supplied through *reads2* in the same order.
+    The full per-read pipeline runs on both mates, pairs are re-joined
+    (:class:`PairJoin`), lost mates are rescued by banded Smith-Waterman
+    inside the expected insert window (:class:`MateRescue`, tuned by
+    ``config.insert_size`` / ``config.insert_slack``), and the result is a
+    :class:`PlanResult` whose ``output`` is one :class:`PairedSamRecord` per
+    pair -- render it with :func:`paired_sam_text`.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80, paired=True,
+        ...                 insert_size=300), seed=3)
+        >>> result = align_paired(genome.contigs, reads[:10], n_ranks=2)
+        >>> [record.n_mapped for record in result.output]  # 5 pairs in
+        [2, 2, 2, 2, 2]
+        >>> result.report.counters.pairs_processed
+        5
+    """
+    records = normalize_paired_reads(reads, reads2)
+    return run_plan(plan_for_workload("paired"), targets, records,
+                    config=config, n_ranks=n_ranks, machine=machine,
+                    backend=backend)
 
 
 def count(targets, reads, *, config: AlignerConfig | None = None,
@@ -145,6 +204,17 @@ def count(targets, reads, *, config: AlignerConfig | None = None,
     Runs the pipeline through the seed-lookup stage only -- no fragment
     fetches, no extension -- and folds the per-seed index occurrence counts
     into a :class:`SeedCountSummary`.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> summary = count(genome.contigs, reads[:6], n_ranks=2)
+        >>> summary.n_reads
+        6
+        >>> sum(summary.histogram.values()) == summary.n_seed_lookups
+        True
     """
     return run_plan(plan_for_workload("count"), targets, reads, config=config,
                     n_ranks=n_ranks, machine=machine, backend=backend).output
@@ -157,6 +227,17 @@ def screen(targets, reads, *, config: AlignerConfig | None = None,
 
     Probes only the Lemma 1 exact-match fast path and returns one
     hit/miss row per read, in input order, as a :class:`ScreenSummary`.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> summary = screen(genome.contigs, reads[:6], n_ranks=2)
+        >>> len(summary.rows)
+        6
+        >>> summary.rows[0][0] == reads[0].name
+        True
     """
     return run_plan(plan_for_workload("screen"), targets, reads, config=config,
                     n_ranks=n_ranks, machine=machine, backend=backend).output
@@ -166,8 +247,24 @@ def plan(workload: str = "align") -> AlignmentPlan:
     """A fresh copy of the registered plan for *workload*.
 
     ``align`` is the full aligner, ``count`` stops after seed lookup,
-    ``screen`` probes only the exact-match path.  Build bespoke plans by
+    ``screen`` probes only the exact-match path, ``paired`` is the
+    paired-end pipeline with mate rescue.  Build bespoke plans by
     constructing :class:`AlignmentPlan` from the stage classes directly.
+
+    Example:
+        >>> plan("count").workload
+        'count'
+        >>> print(plan("paired").describe())
+        plan 'paired' (workload: paired)
+          build_index(targets -> seed_index, target_store)
+          read_queries(reads -> read_chunk)
+          exact_path(read_chunk, seed_index, target_store -> exact_hits)
+          seed_lookup(read_chunk, seed_index -> seed_hits)
+          candidate_collect(seed_hits -> candidates)
+          extend_align(candidates, target_store -> alignments)
+          pair_join(alignments, exact_hits? -> pairs)
+          mate_rescue(pairs, target_store -> pairs)
+          emit_sam_paired(pairs -> sam)
     """
     return plan_for_workload(workload)
 
@@ -176,7 +273,20 @@ def run_plan(plan: AlignmentPlan, targets, reads, *,
              config: AlignerConfig | None = None, n_ranks: int = 8,
              machine: MachineModel = EDISON_LIKE,
              backend: str | None = None) -> PlanResult:
-    """Execute any :class:`AlignmentPlan` end to end on a fresh machine."""
+    """Execute any :class:`AlignmentPlan` end to end on a fresh machine.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> result = run_plan(plan("count"), genome.contigs, reads[:6],
+        ...                   n_ranks=2)
+        >>> result.workload
+        'count'
+        >>> result.report.counters.sw_calls  # count never extends
+        0
+    """
     return PlanRunner(plan, config).run(targets, reads, n_ranks=n_ranks,
                                         machine=machine, backend=backend)
 
@@ -187,8 +297,20 @@ def prepare(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
     """Build the distributed index once and return a resident session.
 
     The session serves any registered workload (``session.align(reads)``,
-    ``session.count(reads)``, ``session.screen(reads)``) or micro-batches
-    through :meth:`AlignmentSession.run_plan_many`, on any backend.
+    ``session.align_paired(reads)``, ``session.count(reads)``,
+    ``session.screen(reads)``) or micro-batches through
+    :meth:`AlignmentSession.run_plan_many`, on any backend.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> with prepare(genome.contigs, n_ranks=2) as session:
+        ...     report = session.align(reads[:4])   # index built only once
+        ...     histogram = session.count(reads[:4])
+        >>> report.counters.reads_processed, histogram.n_reads
+        (4, 4)
     """
     return MerAligner(config).prepare(targets, n_ranks=n_ranks,
                                       machine=machine, backend=backend,
@@ -258,11 +380,24 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
           max_wait_s: float = 0.02, warm_caches: bool = False,
           request_timeout: float | None = 300.0,
           session: AlignmentSession | None = None) -> AlignmentService:
-    """Build the index and start serving align/count/screen over TCP.
+    """Build the index and start serving align/paired/count/screen over TCP.
 
     Returns a running :class:`AlignmentService` (``port=0`` binds an
     OS-assigned port, read it from ``service.port``).  Pass an existing
     *session* to serve a prebuilt index instead of building one here.
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> with serve(genome.contigs, n_ranks=2, port=0) as service:
+        ...     client = service.client()
+        ...     client.ping()
+        ...     sam = client.align_sam(reads[:4])
+        True
+        >>> sam.splitlines()[0]
+        '@HD\\tVN:1.6\\tSO:unsorted'
     """
     from repro.service.scheduler import RequestScheduler
     from repro.service.server import AlignmentServer

@@ -9,7 +9,10 @@ workloads:
 
 ``meraligner align``
     Run the fully parallel aligner on a contig FASTA and a read file, write a
-    SAM file and print (or ``--json-report``) the per-phase report.
+    SAM file and print (or ``--json-report``) the per-phase report.  With
+    ``--paired`` (interleaved R1/R2) or ``--reads2`` (two-file layout) the
+    paired-end plan runs instead: pair joining, insert-window mate rescue and
+    flag-complete paired SAM.
 
 ``meraligner count``
     The seed-count workload: run the pipeline through the distributed seed
@@ -24,14 +27,14 @@ workloads:
     pMap driver) on the same inputs and print a Table II style comparison.
 
 ``meraligner serve``
-    Build the index once, keep the ranks resident, and serve alignment,
-    count and screen requests over a socket through the micro-batching
-    scheduler.
+    Build the index once, keep the ranks resident, and serve alignment
+    (single and paired-end), count and screen requests over a socket through
+    the micro-batching scheduler.
 
 ``meraligner query``
-    Client of ``serve``: send a read file (``--workload align|count|screen``)
-    and write the response; also ``--stats`` (JSON service report) and
-    ``--shutdown``.
+    Client of ``serve``: send a read file
+    (``--workload align|count|screen|paired``) and write the response; also
+    ``--stats`` (JSON service report) and ``--shutdown``.
 
 Missing or unreadable input files exit with code 2 and a one-line message on
 stderr, uniformly across subcommands.
@@ -100,7 +103,19 @@ def _add_aligner_options(parser: argparse.ArgumentParser,
                         help="batch the aligning phase: aggregated bulk seed "
                              "lookups and fragment fetches over windows of reads")
     parser.add_argument("--lookup-batch-size", type=int, default=64,
-                        help="reads per bulk window (with --bulk-lookups)")
+                        help="work units per bulk window (with --bulk-lookups): "
+                             "reads, or whole R1/R2 pairs in the paired "
+                             "workload")
+    parser.add_argument("--insert-size", type=int, default=240,
+                        help="expected paired-end insert size: centers the "
+                             "mate-rescue search window and the proper-pair "
+                             "TLEN check (paired workload only)")
+    parser.add_argument("--insert-slack", type=int, default=60,
+                        help="tolerated insert-size deviation (the mate-"
+                             "rescue band half-width)")
+    parser.add_argument("--no-mate-rescue", action="store_true",
+                        help="disable banded-SW mate rescue in the paired "
+                             "workload")
     parser.add_argument("--backend",
                         choices=sorted(available_backends()),
                         default=None,
@@ -131,7 +146,13 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--coverage", type=float, default=4.0)
     simulate.add_argument("--read-length", type=int, default=100)
     simulate.add_argument("--error-rate", type=float, default=0.005)
-    simulate.add_argument("--paired", action="store_true")
+    simulate.add_argument("--paired", action="store_true",
+                          help="emit an interleaved paired-end library "
+                               "(insert-size-distributed FR templates)")
+    simulate.add_argument("--insert-size", type=int, default=240,
+                          help="mean paired-end insert size (with --paired)")
+    simulate.add_argument("--insert-sd", type=int, default=20,
+                          help="insert-size standard deviation (with --paired)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--reads-format", choices=("fastq", "seqdb"),
                           default="fastq")
@@ -143,7 +164,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(.gz transparently decompressed)")
     align.add_argument("--reads", type=Path, required=True,
                        help="FASTQ or SeqDB file of reads "
-                            "(.fastq.gz transparently decompressed)")
+                            "(.fastq.gz transparently decompressed); with "
+                            "--paired, interleaved R1/R2 records")
+    align.add_argument("--paired", action="store_true",
+                       help="paired-end mode: treat --reads as interleaved "
+                            "R1/R2 (or pass the mates via --reads2) and "
+                            "write flag-complete paired SAM with mate "
+                            "rescue")
+    align.add_argument("--reads2", type=Path, default=None,
+                       help="second FASTQ file holding every R2 mate "
+                            "(implies --paired; --reads then holds R1)")
     align.add_argument("--output", type=Path, required=True,
                        help="SAM file to write")
     align.add_argument("--json-report", type=Path, default=None,
@@ -196,11 +226,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--reads", type=Path, default=None,
                        help="FASTQ file of reads to align "
                             "(.fastq.gz transparently decompressed)")
-    query.add_argument("--workload", choices=("align", "count", "screen"),
+    query.add_argument("--workload",
+                       choices=("align", "count", "screen", "paired"),
                        default="align",
                        help="which plan workload to request: align (SAM), "
-                            "count (seed-frequency TSV) or screen "
-                            "(hit/miss TSV)")
+                            "count (seed-frequency TSV), screen "
+                            "(hit/miss TSV) or paired (interleaved R1/R2 "
+                            "reads, paired SAM)")
     query.add_argument("--output", type=Path, default=None,
                        help="response file to write (default: stdout)")
     query.add_argument("--stats", action="store_true",
@@ -232,6 +264,9 @@ def _config_from_args(args: argparse.Namespace) -> AlignerConfig:
         seed_stride=args.seed_stride,
         use_bulk_lookups=getattr(args, "bulk_lookups", False),
         lookup_batch_size=getattr(args, "lookup_batch_size", 64),
+        use_mate_rescue=not getattr(args, "no_mate_rescue", False),
+        insert_size=getattr(args, "insert_size", 240),
+        insert_slack=getattr(args, "insert_slack", 60),
     )
 
 
@@ -241,7 +276,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                              n_contigs=args.n_contigs,
                              repeat_fraction=args.repeat_fraction)
     read_spec = ReadSetSpec(coverage=args.coverage, read_length=args.read_length,
-                            error_rate=args.error_rate, paired=args.paired)
+                            error_rate=args.error_rate, paired=args.paired,
+                            insert_size=args.insert_size,
+                            insert_sd=args.insert_sd)
     genome, reads = make_dataset(genome_spec, read_spec, seed=args.seed)
     contig_path = args.output_dir / "contigs.fa"
     write_fasta(contig_path, [(f"contig{i:05d}", seq)
@@ -260,6 +297,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_align(args: argparse.Namespace) -> int:
     _check_input_file(args.targets, "targets")
     _check_input_file(args.reads, "reads")
+    if args.reads2 is not None:
+        _check_input_file(args.reads2, "reads2")
+    if args.paired or args.reads2 is not None:
+        return _cmd_align_paired(args)
     config = _config_from_args(args)
     backend = args.backend or default_backend_name()
     report = MerAligner(config).run(args.targets, args.reads, n_ranks=args.ranks,
@@ -280,6 +321,44 @@ def _cmd_align(args: argparse.Namespace) -> int:
     print(f"wrote {len(report.alignments)} alignments to {args.output}")
     if args.json_report is not None:
         report.write_json(args.json_report)
+        print(f"wrote JSON report to {args.json_report}")
+    return 0
+
+
+def _cmd_align_paired(args: argparse.Namespace) -> int:
+    """``align --paired`` / ``align --reads2``: the paired plan workload."""
+    from repro.core.plan import normalize_paired_reads
+    from repro.io.sam import paired_sam_text
+
+    config = _config_from_args(args)
+    backend = args.backend or default_backend_name()
+    try:
+        reads = normalize_paired_reads(args.reads, args.reads2)
+    except ValueError as exc:
+        raise InputFileError(str(exc)) from exc
+    contigs = read_fasta(args.targets)
+    result = PlanRunner(plan_for_workload("paired"), config).run(
+        contigs, reads, n_ranks=args.ranks, machine=EDISON_LIKE,
+        backend=backend)
+    pairs = result.output
+    text = paired_sam_text(pairs, [record.name for record in contigs],
+                           [len(record.sequence) for record in contigs])
+    args.output.write_text(text, encoding="ascii")
+    counters = result.report.counters
+    proper = sum(1 for pair in pairs if pair.proper)
+    print(f"backend: {backend} ({args.ranks} ranks)")
+    print(f"aligned {counters.reads_aligned} / {counters.reads_processed} "
+          f"mates over {counters.pairs_processed} pairs "
+          f"({proper} proper pairs)")
+    print(f"mate rescue: {counters.mate_rescues} rescued of "
+          f"{counters.mate_rescue_attempts} attempts")
+    print("phase breakdown (modelled seconds):")
+    for phase in result.report.phases:
+        print(f"  {phase.name:28s} {phase.elapsed:.6f}")
+    print(f"  {'total':28s} {result.report.total_time:.6f}")
+    print(f"wrote {2 * len(pairs)} paired records to {args.output}")
+    if args.json_report is not None:
+        result.report.write_json(args.json_report)
         print(f"wrote JSON report to {args.json_report}")
     return 0
 
@@ -336,7 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         max_batch_requests=args.max_batch_requests,
                         max_wait_s=args.max_wait_ms / 1000.0)
     print(f"serving on {service.host}:{service.port} "
-          "(PING / ALIGN / COUNT / SCREEN / STATS / SHUTDOWN)", flush=True)
+          "(PING / ALIGN / PAIRED / COUNT / SCREEN / STATS / SHUTDOWN)",
+          flush=True)
     try:
         service.join()
     except KeyboardInterrupt:
@@ -363,7 +443,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         text = client.workload_text(workload, read_fastq(args.reads))
         if args.output is not None:
             args.output.write_text(text, encoding="ascii")
-            if workload == "align":
+            if workload in ("align", "paired"):
                 records = sum(1 for line in text.splitlines()
                               if line and not line.startswith("@"))
                 print(f"wrote {records} alignments to {args.output}")

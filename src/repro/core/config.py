@@ -45,8 +45,10 @@ class AlignerConfig:
             defeat aggregation), so lookup/byte counters in the report drift
             slightly from the fine-grained run even though the reported
             alignments stay identical.
-        lookup_batch_size: W, the number of reads per bulk window when
-            ``use_bulk_lookups`` is enabled.
+        lookup_batch_size: W, the number of work units per bulk window when
+            ``use_bulk_lookups`` is enabled -- single reads, or whole
+            (R1, R2) pairs in the paired workload (mates always share a
+            window).
         fragment_targets: fragment long targets into subsequences with
             disjoint seed sets to increase single-copy-seed coverage.
         fragment_length: fragment length in bases (must exceed seed_length).
@@ -62,6 +64,17 @@ class AlignerConfig:
         window_padding: extra target bases on each side of the expected
             footprint given to Smith-Waterman.
         min_alignment_score: alignments scoring below this are discarded.
+        use_mate_rescue: in the paired workload, attempt a banded
+            Smith-Waterman rescue of a mate that failed to align when its
+            partner did (searched inside the expected insert-size window
+            around the partner's anchor alignment).
+        insert_size: expected outer distance between the 5' ends of a read
+            pair (the library's mean insert size).  Centers the mate-rescue
+            search window and bounds the proper-pair TLEN check.
+        insert_slack: tolerated deviation from ``insert_size``: the rescue
+            band extends this many bases on each side of the expected mate
+            position, and a pair is flagged 'proper' when its |TLEN| lies in
+            ``[read length, insert_size + 2 * insert_slack]``.
         detailed_alignments: compute CIGARs/identity with the traceback kernel
             (slower); the default reports scores and coordinates only.
         scoring: affine-gap scoring scheme.
@@ -86,6 +99,9 @@ class AlignerConfig:
     seed_stride: int = 1
     window_padding: int = 16
     min_alignment_score: int = 20
+    use_mate_rescue: bool = True
+    insert_size: int = 240
+    insert_slack: int = 60
     detailed_alignments: bool = False
     scoring: ScoringScheme = field(default_factory=lambda: DEFAULT_SCORING)
 
@@ -106,6 +122,10 @@ class AlignerConfig:
             raise ValueError("cache capacities must be non-negative")
         if self.window_padding < 0:
             raise ValueError("window_padding must be non-negative")
+        if self.insert_size <= 0:
+            raise ValueError("insert_size must be positive")
+        if self.insert_slack < 0:
+            raise ValueError("insert_slack must be non-negative")
 
     # -- convenience constructors used by benchmarks ---------------------------
 

@@ -25,8 +25,12 @@ so the default plan reproduces the pre-plan aligner byte for byte on every
 backend, with bulk batching on or off.  New workloads are new plans over the
 same stages: ``seed_count`` stops after the lookup stage and folds a
 k-mer-frequency histogram; ``exact_screen`` runs only the Lemma 1 exact-match
-probe and reports per-read hit/miss rows.  ``examples/custom_pipeline.py``
-shows a bespoke plan with a user-defined sink.
+probe and reports per-read hit/miss rows; ``paired`` runs the full per-read
+pipeline on both mates of a pair, then joins them (:class:`PairJoin`),
+rescues lost mates inside the insert-size window (:class:`MateRescue`) and
+emits flag-complete paired SAM (:class:`EmitSamPaired`).
+``examples/custom_pipeline.py`` shows a bespoke plan with a user-defined
+sink; ``docs/plan-api.md`` is the narrative guide.
 
 :class:`~repro.core.pipeline.MerAligner` is a thin preset over the default
 plan; the serving stack (:mod:`repro.service`) executes the query side of
@@ -51,7 +55,8 @@ from repro.dna.sequence import reverse_complement
 from repro.dna.synthetic import ReadRecord
 from repro.hashtable.cache import SoftwareCache
 from repro.io.fasta import FastaRecord, read_fasta
-from repro.io.fastq import FastqRecord, read_fastq
+from repro.io.fastq import FastqRecord, read_fastq, read_fastq_paired
+from repro.io.sam import PairedSamRecord
 from repro.io.seqdb import SeqDbReader
 from repro.pgas.cost_model import EDISON_LIKE, MachineModel
 from repro.pgas.gptr import GlobalPointer
@@ -85,11 +90,15 @@ def normalize_targets_named(targets) -> list[tuple[str, str]]:
     return named
 
 
+#: File suffixes routed to the SeqDB reader instead of the FASTQ parser.
+SEQDB_SUFFIXES = (".seqdb", ".sqdb", ".db")
+
+
 def normalize_reads(reads) -> list[ReadRecord]:
     """Accept a SeqDB/FASTQ path, FastqRecords, or ReadRecords."""
     if isinstance(reads, (str, Path)):
         path = Path(reads)
-        if path.suffix in (".seqdb", ".sqdb", ".db"):
+        if path.suffix in SEQDB_SUFFIXES:
             with SeqDbReader(path) as reader:
                 return [rec.to_read() for rec in reader.read_range(0, len(reader))]
         return [rec.to_read() for rec in read_fastq(path)]
@@ -102,6 +111,40 @@ def normalize_reads(reads) -> list[ReadRecord]:
         else:
             raise TypeError(f"unsupported read type: {type(item)!r}")
     return normalized
+
+
+def normalize_paired_reads(reads, reads2=None) -> list[ReadRecord]:
+    """Normalize a paired-end library into the interleaved read list.
+
+    *reads* is anything :func:`normalize_reads` accepts -- interleaved
+    (R1, R2, R1, R2, ...) -- or, with *reads2*, the R1 half whose mates come
+    from *reads2* in the same order.  FASTQ paths go through
+    :func:`repro.io.fastq.read_fastq_paired`.  Raises ``ValueError`` on an
+    odd interleaved count or mismatched halves.
+    """
+    if reads2 is None:
+        if isinstance(reads, (str, Path)) \
+                and Path(reads).suffix not in SEQDB_SUFFIXES:
+            return [rec.to_read() for rec in read_fastq_paired(reads)]
+        records = normalize_reads(reads)
+        if len(records) % 2 != 0:
+            raise ValueError("an interleaved paired read set needs an even "
+                             f"number of reads, got {len(records)}")
+        return records
+    if isinstance(reads, (str, Path)) and isinstance(reads2, (str, Path)) \
+            and Path(reads).suffix not in SEQDB_SUFFIXES \
+            and Path(reads2).suffix not in SEQDB_SUFFIXES:
+        return [rec.to_read() for rec in read_fastq_paired(reads, reads2)]
+    # SeqDB halves (or in-memory records) go through the generic reader.
+    first, second = normalize_reads(reads), normalize_reads(reads2)
+    if len(first) != len(second):
+        raise ValueError(f"paired read sets disagree: {len(first)} R1 reads "
+                         f"vs {len(second)} R2 reads")
+    interleaved: list[ReadRecord] = []
+    for r1, r2 in zip(first, second):
+        interleaved.append(r1)
+        interleaved.append(r2)
+    return interleaved
 
 
 def one_shot_read_order(n_reads: int, config: AlignerConfig) -> list[int]:
@@ -182,10 +225,15 @@ class ReadState:
     ``lookups`` (seed_hits), ``candidates``, ``alignments``, ``resolved``
     (exact_hits).  ``active`` is False for reads too short to seed -- such
     reads skip every transform stage and reach the sink empty-handed.
+
+    ``sources`` mirrors ``alignments`` with the :class:`GlobalPointer` of
+    the fragment each alignment was extended on, and ``resolved_source`` is
+    the fragment of an exact-path resolution -- the anchors mate rescue
+    re-fetches (a charged get like any other) to search the insert window.
     """
 
     __slots__ = ("read", "orientations", "active", "resolved", "lookups",
-                 "candidates", "alignments")
+                 "candidates", "alignments", "sources", "resolved_source")
 
     def __init__(self, read: ReadRecord, config: AlignerConfig) -> None:
         self.read = read
@@ -196,11 +244,55 @@ class ReadState:
         self.lookups: list[tuple[str, int, Any]] | None = None
         self.candidates: dict | None = None
         self.alignments: list[Alignment] | None = None
+        self.sources: list[GlobalPointer] | None = None
+        self.resolved_source: GlobalPointer | None = None
 
     @property
     def pending(self) -> bool:
         """True while transform stages should still process this read."""
         return self.active and self.resolved is None
+
+    def best_alignment(self) -> tuple[Alignment | None, GlobalPointer | None]:
+        """The read's primary alignment and its source fragment.
+
+        The exact-path resolution wins outright (it scores the maximum);
+        otherwise the highest-scoring extension, first-wins on ties -- the
+        deterministic choice every engine and backend agrees on.
+        """
+        if self.resolved is not None:
+            return self.resolved, self.resolved_source
+        best: Alignment | None = None
+        source: GlobalPointer | None = None
+        for alignment, pointer in zip(self.alignments or [],
+                                      self.sources or []):
+            if best is None or alignment.score > best.score:
+                best, source = alignment, pointer
+        return best, source
+
+
+class PairState:
+    """The joined state of one read pair (mate 1 and mate 2).
+
+    Built by the runner from two consecutive :class:`ReadState` objects and
+    populated by the pair stages: :class:`PairJoin` selects each mate's
+    primary alignment (and its source fragment), :class:`MateRescue` may
+    replace a missing primary with a rescued alignment, and the paired sink
+    reads the final primaries.
+    """
+
+    __slots__ = ("index", "r1", "r2", "primary1", "primary2",
+                 "source1", "source2", "rescued_mate", "rescue_attempted")
+
+    def __init__(self, index: int, r1: ReadState, r2: ReadState) -> None:
+        self.index = index
+        self.r1 = r1
+        self.r2 = r2
+        self.primary1: Alignment | None = None
+        self.primary2: Alignment | None = None
+        self.source1: GlobalPointer | None = None
+        self.source2: GlobalPointer | None = None
+        self.rescued_mate = 0  # 0 = none, 1 / 2 = that mate was rescued
+        self.rescue_attempted = False
 
 
 # -- stage objects --------------------------------------------------------------
@@ -390,6 +482,7 @@ class ExactPath(QueryStage):
             if exact_match_at(oriented, fragment.sequence(), start):
                 item.resolved = exact_alignment(config, item.read.name, strand,
                                                 oriented, fragment, start)
+                item.resolved_source = placement.fragment
                 return
 
     def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
@@ -437,6 +530,7 @@ class ExactPath(QueryStage):
                     item.resolved = exact_alignment(
                         xs.config, item.read.name, strand, oriented, fragment,
                         start)
+                    item.resolved_source = placement.fragment
                     break
 
 
@@ -534,6 +628,7 @@ class ExtendAlign(QueryStage):
         config, ctx, counters = xs.config, xs.ctx, xs.counters
         k = config.seed_length
         item.alignments = []
+        item.sources = []
         for (strand, _fragment_key), (placement, query_offset) in \
                 (item.candidates or {}).items():
             fragment = xs.target_store.fetch(ctx, placement.fragment,
@@ -557,6 +652,7 @@ class ExtendAlign(QueryStage):
                 alignment.target_start += fragment.parent_offset
                 alignment.target_end += fragment.parent_offset
                 item.alignments.append(alignment)
+                item.sources.append(placement.fragment)
 
     def process_window(self, xs: StageContext, items: list[ReadState]) -> None:
         config, ctx, counters = xs.config, xs.ctx, xs.counters
@@ -566,6 +662,7 @@ class ExtendAlign(QueryStage):
         job_tags: list[tuple[ReadState, str, object, int]] = []
         for item in work:
             item.alignments = []
+            item.sources = []
             for (strand, _fragment_key), (placement, query_offset) in \
                     (item.candidates or {}).items():
                 fetch_pointers.append(placement.fragment)
@@ -587,7 +684,7 @@ class ExtendAlign(QueryStage):
         extended = extend_batch(jobs, scoring=config.scoring,
                                 window_padding=config.window_padding,
                                 detailed=config.detailed_alignments)
-        for (item, _strand, _placement, _query_offset), fragment, \
+        for (item, _strand, placement, _query_offset), fragment, \
                 (alignment, cells) in zip(job_tags, fragments, extended):
             counters.sw_calls += 1
             counters.sw_cells += cells
@@ -596,6 +693,141 @@ class ExtendAlign(QueryStage):
                 alignment.target_start += fragment.parent_offset
                 alignment.target_end += fragment.parent_offset
                 item.alignments.append(alignment)
+                item.sources.append(placement.fragment)
+
+
+class PairStage(QueryStage):
+    """A stage operating on joined read pairs (paired-end plans only).
+
+    Pair stages run after every per-read transform stage: the runner zips
+    each unit's two :class:`ReadState` objects into a :class:`PairState` and
+    drives ``process_pairs`` over the window's pairs (both engines call the
+    same method, so fine-grained and bulk runs agree exactly).  A plan that
+    contains a pair stage must end in a sink with ``group_size == 2``.
+    """
+
+    def process_pair(self, xs: StageContext, pair: PairState) -> None:
+        raise NotImplementedError
+
+    def process_pairs(self, xs: StageContext, pairs: list[PairState]) -> None:
+        for pair in pairs:
+            self.process_pair(xs, pair)
+
+    def process_read(self, xs: StageContext, item: ReadState) -> None:
+        raise RuntimeError("pair stages are driven through process_pairs()")
+
+
+class PairJoin(PairStage):
+    """Re-associate R1/R2 after the per-read pipeline.
+
+    The per-read stages treat every read independently (mates of one pair
+    may even sit in different bulk windows of the same rank chunk); this
+    stage joins each pair back together and selects each mate's *primary*
+    alignment -- the exact-path resolution if there is one, else the
+    highest-scoring extension (first-wins on ties) -- along with the source
+    fragment pointer mate rescue needs.
+    """
+
+    name = "pair_join"
+    inputs = ("alignments",)
+    optional_inputs = ("exact_hits",)
+    outputs = ("pairs",)
+
+    def process_pair(self, xs: StageContext, pair: PairState) -> None:
+        xs.counters.pairs_processed += 1
+        pair.primary1, pair.source1 = pair.r1.best_alignment()
+        pair.primary2, pair.source2 = pair.r2.best_alignment()
+
+
+class MateRescue(PairStage):
+    """Recover a lost mate by banded SW inside the expected insert window.
+
+    When exactly one mate of a pair aligned, the library's insert-size
+    distribution pins where the other mate should be: at
+    ``insert_size +- insert_slack`` from the anchor's 5' end, on the
+    opposite strand.  The rescue re-fetches the anchor's fragment through
+    the target store -- a charged get (and a software-cache participant)
+    like any other fetch -- and runs the banded Smith-Waterman extension
+    kernel over the expected window (band = ``insert_slack`` plus the usual
+    ``window_padding``).  A rescue scoring at least
+    ``config.min_alignment_score`` becomes the lost mate's primary; anything
+    weaker (an insert-size outlier, a mate off the contig) leaves the mate
+    unmapped.  Gated by ``config.use_mate_rescue``.
+
+    The search is bounded by the anchor's *fragment*: the distributed target
+    store shards contigs into ``config.fragment_length`` pieces (2000 bases
+    by default, an order of magnitude above typical short-read inserts), so
+    the expected window almost always lies inside the anchor's own shard --
+    a mate beyond the fragment boundary is simply a failed attempt, exactly
+    like one beyond the contig boundary.
+    """
+
+    name = "mate_rescue"
+    inputs = ("pairs", "target_store")
+    outputs = ("pairs",)
+
+    def process_pair(self, xs: StageContext, pair: PairState) -> None:
+        config = xs.config
+        if not config.use_mate_rescue:
+            return
+        if (pair.primary1 is None) == (pair.primary2 is None):
+            return  # both mapped or both lost: nothing to anchor a rescue on
+        if pair.primary1 is not None:
+            anchor, source, lost, lost_mate = (pair.primary1, pair.source1,
+                                               pair.r2, 2)
+        else:
+            anchor, source, lost, lost_mate = (pair.primary2, pair.source2,
+                                               pair.r1, 1)
+        if source is None:
+            return
+        ctx, counters = xs.ctx, xs.counters
+        counters.mate_rescue_attempts += 1
+        pair.rescue_attempted = True
+        fragment = xs.target_store.fetch(ctx, source, cache=xs.target_cache)
+
+        mate_strand = "-" if anchor.strand == "+" else "+"
+        oriented = None
+        for strand, sequence in lost.orientations:
+            if strand == mate_strand:
+                oriented = sequence
+        if oriented is None:  # short read / revcomp disabled: orient here
+            oriented = (reverse_complement(lost.read.sequence)
+                        if mate_strand == "-" else lost.read.sequence)
+        if not oriented:
+            return
+
+        # Expected mate start in parent-target coordinates: the template
+        # spans insert_size bases from the anchor's 5' end, FR-oriented.
+        if anchor.strand == "+":
+            expected = anchor.target_start + config.insert_size - len(oriented)
+        else:
+            expected = anchor.target_end - config.insert_size
+        local = expected - fragment.parent_offset
+        target_seq = fragment.sequence()
+        # Clip the window at the fragment boundary (the contig edge when the
+        # anchor sits near it); SeedHit offsets are non-negative.
+        local = max(0, min(local, max(0, len(target_seq) - 1)))
+        hit = SeedHit(target_id=fragment.parent_target_id,
+                      target_offset=local, query_offset=0,
+                      seed_length=config.seed_length, strand=mate_strand)
+        alignment, cells = extend_seed_hit(
+            lost.read.name, oriented, target_seq, hit,
+            scoring=config.scoring,
+            window_padding=config.insert_slack + config.window_padding,
+            detailed=config.detailed_alignments)
+        counters.sw_calls += 1
+        counters.sw_cells += cells
+        ctx.charge_op("sw_cell", cells)
+        if alignment.score < config.min_alignment_score:
+            return
+        alignment.target_start += fragment.parent_offset
+        alignment.target_end += fragment.parent_offset
+        counters.mate_rescues += 1
+        pair.rescued_mate = lost_mate
+        if lost_mate == 1:
+            pair.primary1, pair.source1 = alignment, source
+        else:
+            pair.primary2, pair.source2 = alignment, source
 
 
 class SinkStage(QueryStage):
@@ -612,6 +844,10 @@ class SinkStage(QueryStage):
     workload: str = "custom"
     #: Barrier-phase name of the query stages in the trace.
     phase_name: str = "run_stages"
+    #: Reads per work unit: 1 for per-read sinks, 2 for paired-end sinks.
+    #: The runner and the serving stack permute, chunk and demultiplex whole
+    #: units, so mates never separate across ranks or requests.
+    group_size: int = 1
 
     def emit(self, xs: StageContext, item: ReadState):
         """One read's payload (also the place per-read counters settle)."""
@@ -870,6 +1106,81 @@ class EmitScreen(SinkStage):
         return counters
 
 
+class EmitSamPaired(SinkStage):
+    """Sink of the ``paired`` plan: one :class:`PairedSamRecord` per pair.
+
+    Emits exactly two SAM records per pair -- each mate's primary alignment
+    or an unmapped placeholder -- with pair flags, RNEXT/PNEXT and a signed
+    TLEN.  A pair is *proper* (flag 0x2) when both mates map to the same
+    target on opposite strands with a template span between the shorter
+    read's length and ``insert_size + 2 * insert_slack``.
+    """
+
+    name = "emit_sam_paired"
+    inputs = ("pairs",)
+    outputs = ("sam",)
+    workload = "paired"
+    phase_name = "align_reads"
+    group_size = 2
+
+    def emit(self, xs: StageContext, pair: PairState) -> PairedSamRecord:
+        config, counters = xs.config, xs.counters
+        a1, a2 = pair.primary1, pair.primary2
+        for primary in (a1, a2):
+            if primary is not None:
+                counters.reads_aligned += 1
+                counters.alignments_reported += 1
+                if primary.is_exact:
+                    counters.exact_path_hits += 1
+        proper, tlen = False, 0
+        if a1 is not None and a2 is not None and a1.target_id == a2.target_id:
+            left = min(a1.target_start, a2.target_start)
+            right = max(a1.target_end, a2.target_end)
+            span = right - left
+            # Signed for mate 1 (leftmost mate positive; ties favour mate 1).
+            tlen = span if a1.target_start <= a2.target_start else -span
+            shortest = min(len(pair.r1.read.sequence),
+                           len(pair.r2.read.sequence))
+            proper = (a1.strand != a2.strand
+                      and shortest <= span
+                      <= config.insert_size + 2 * config.insert_slack)
+        return PairedSamRecord(name1=pair.r1.read.name,
+                               name2=pair.r2.read.name,
+                               aln1=a1, aln2=a2,
+                               rescued=pair.rescued_mate,
+                               rescue_attempted=pair.rescue_attempted,
+                               proper=proper, tlen=tlen)
+
+    def collect(self, groups: Sequence[tuple[int, Any]],
+                config: AlignerConfig) -> list[PairedSamRecord]:
+        return [payload for _pair_index, payload in groups]
+
+    def request_order(self, n_units: int, config: AlignerConfig) -> list[int]:
+        return one_shot_read_order(n_units, config)
+
+    def empty_payload(self, unit) -> PairedSamRecord:
+        r1, r2 = unit
+        return PairedSamRecord(name1=r1.name, name2=r2.name,
+                               aln1=None, aln2=None)
+
+    def derive_request_counters(self, payloads: Sequence[Any]) -> AlignmentCounters:
+        counters = AlignmentCounters()
+        for record in payloads:
+            counters.pairs_processed += 1
+            counters.reads_processed += 2
+            for alignment in (record.aln1, record.aln2):
+                if alignment is not None:
+                    counters.reads_aligned += 1
+                    counters.alignments_reported += 1
+                    if alignment.is_exact:
+                        counters.exact_path_hits += 1
+            if record.rescue_attempted:
+                counters.mate_rescue_attempts += 1
+            if record.rescued:
+                counters.mate_rescues += 1
+        return counters
+
+
 # -- the plan -------------------------------------------------------------------
 
 class PlanValidationError(ValueError):
@@ -925,6 +1236,27 @@ class AlignmentPlan:
             raise PlanValidationError(
                 f"plan {self.name!r}: the query side must start with "
                 "ReadQueries (the runner owns chunking and permutation)")
+        pair_stages = [stage for stage in self.stages
+                       if isinstance(stage, PairStage)]
+        if pair_stages and sinks[0].group_size != 2:
+            raise PlanValidationError(
+                f"plan {self.name!r}: pair stages need a paired sink "
+                f"(group_size == 2), got {type(sinks[0]).__name__} with "
+                f"group_size {sinks[0].group_size}")
+        if sinks[0].group_size not in (1, 2):
+            raise PlanValidationError(
+                f"plan {self.name!r}: unsupported sink group_size "
+                f"{sinks[0].group_size} (1 or 2)")
+        seen_pair_stage = False
+        for stage in self.stages:
+            if isinstance(stage, PairStage):
+                seen_pair_stage = True
+            elif seen_pair_stage and isinstance(stage, QueryStage) \
+                    and not isinstance(stage, SinkStage):
+                raise PlanValidationError(
+                    f"plan {self.name!r}: per-read stage "
+                    f"{stage.signature()} cannot follow a pair stage "
+                    "(pairs are joined after the per-read pipeline)")
 
     # -- structure ------------------------------------------------------------
 
@@ -946,7 +1278,14 @@ class AlignmentPlan:
     def transform_stages(self) -> tuple[QueryStage, ...]:
         """The per-read stages between ReadQueries and the sink."""
         return tuple(stage for stage in self.query_stages
-                     if not isinstance(stage, (ReadQueries, SinkStage)))
+                     if not isinstance(stage, (ReadQueries, SinkStage,
+                                               PairStage)))
+
+    @property
+    def pair_stages(self) -> tuple[PairStage, ...]:
+        """The pair-level stages between the per-read stages and the sink."""
+        return tuple(stage for stage in self.query_stages
+                     if isinstance(stage, PairStage))
 
     @property
     def sink(self) -> SinkStage:
@@ -1004,6 +1343,27 @@ class AlignmentPlan:
             EmitScreen(),
         ))
 
+    @classmethod
+    def paired(cls) -> "AlignmentPlan":
+        """Paired-end alignment: the full per-read pipeline on both mates,
+        then pair joining, mate rescue and the paired SAM sink.
+
+        The unit of permutation, chunking and service demultiplexing is the
+        *pair* (the sink declares ``group_size == 2``), so mates always land
+        on the same rank and mate rescue can anchor on its partner.
+        """
+        return cls(name="paired", stages=(
+            BuildIndex(),
+            ReadQueries(),
+            ExactPath(),
+            SeedLookup(),
+            CandidateCollect(),
+            ExtendAlign(),
+            PairJoin(),
+            MateRescue(),
+            EmitSamPaired(),
+        ))
+
     def needs_single_copy_marks(self) -> bool:
         """True when any stage probes exact matches unconditionally."""
         return any(isinstance(stage, ExactPath) and stage.force
@@ -1015,17 +1375,42 @@ WORKLOAD_PLANS = {
     "align": AlignmentPlan.default,
     "count": AlignmentPlan.seed_count,
     "screen": AlignmentPlan.exact_screen,
+    "paired": AlignmentPlan.paired,
 }
 
 
 def plan_for_workload(workload: str) -> AlignmentPlan:
-    """The registered plan for *workload* (``align``, ``count``, ``screen``)."""
+    """The registered plan for *workload* (``align``, ``count``, ``screen``,
+    ``paired``)."""
     try:
         factory = WORKLOAD_PLANS[workload]
     except KeyError:
         raise KeyError(f"unknown workload {workload!r}; "
                        f"available: {', '.join(sorted(WORKLOAD_PLANS))}") from None
     return factory()
+
+
+#: Cache of sink group sizes keyed by (workload, registered factory) --
+#: keyed on the factory too so re-registering a workload in the mutable
+#: :data:`WORKLOAD_PLANS` registry invalidates the cached size.
+_GROUP_SIZE_CACHE: dict[tuple, int] = {}
+
+
+def workload_group_size(workload: str) -> int:
+    """The sink ``group_size`` of a registered workload, cached.
+
+    The request scheduler validates unit divisibility on every submission;
+    caching here keeps plan construction off that hot path.
+    """
+    try:
+        factory = WORKLOAD_PLANS[workload]
+    except KeyError:
+        raise KeyError(f"unknown workload {workload!r}; "
+                       f"available: {', '.join(sorted(WORKLOAD_PLANS))}") from None
+    key = (workload, factory)
+    if key not in _GROUP_SIZE_CACHE:
+        _GROUP_SIZE_CACHE[key] = factory().sink.group_size
+    return _GROUP_SIZE_CACHE[key]
 
 
 # -- execution ------------------------------------------------------------------
@@ -1086,15 +1471,31 @@ class PlanRunner:
         config = self.config
         target_seqs = normalize_targets(targets)
         read_records = normalize_reads(reads)
+        group = self.plan.sink.group_size
+        if group > 1 and len(read_records) % group != 0:
+            raise ValueError(
+                f"plan {self.plan.name!r} works on units of {group} reads, "
+                f"got {len(read_records)} (pass an interleaved paired read "
+                "set, or use normalize_paired_reads)")
         original_index: list[int] | None = None
         if config.permute_reads:
-            # Position i of the permuted list holds original read
+            # Position i of the permuted list holds original unit
             # original_index[i]; groups are remapped below so sinks see
-            # original read indices (the align sink flattens in permuted-rank
+            # original unit indices (the align sink flattens in permuted-rank
             # order regardless; order-sensitive sinks like screen need them).
-            original_index = permute_reads(list(range(len(read_records))),
+            # The permutation unit is the sink's group (reads for per-read
+            # sinks, whole pairs for the paired sink -- mates never split).
+            n_units = len(read_records) // group
+            original_index = permute_reads(list(range(n_units)),
                                            seed=config.permutation_seed)
-            read_records = permute_reads(read_records, seed=config.permutation_seed)
+            if group == 1:
+                read_records = permute_reads(read_records,
+                                             seed=config.permutation_seed)
+            else:
+                units = [read_records[i * group:(i + 1) * group]
+                         for i in range(n_units)]
+                units = permute_reads(units, seed=config.permutation_seed)
+                read_records = [read for unit in units for read in unit]
 
         target_store = TargetStore(runtime)
         seed_index = SeedIndex(runtime, config)
@@ -1181,12 +1582,17 @@ class PlanRunner:
             for stage in self.plan.query_stages}
         read_queries = self.plan.query_stages[0]
         transforms = self.plan.transform_stages
+        pair_stages = self.plan.pair_stages
         sink = self.plan.sink
+        group = sink.group_size
 
         # Phase 5: parallel read of the (optionally permuted) query chunk.
-        my_indices = chunk_for_rank(list(range(len(read_records))),
-                                    ctx.me, ctx.n_ranks)
-        my_reads = [read_records[i] for i in my_indices]
+        # Chunking is unit-based: for per-read sinks units are reads; for the
+        # paired sink a unit is a whole (R1, R2) pair, so mates share a rank.
+        n_units = len(read_records) // group
+        my_indices = chunk_for_rank(list(range(n_units)), ctx.me, ctx.n_ranks)
+        my_reads = [read_records[unit * group + offset]
+                    for unit in my_indices for offset in range(group)]
         before = ctx.clock.snapshot()
         read_queries.charge(xs, my_reads)
         stage_stats[read_queries.name].add_breakdown(
@@ -1194,7 +1600,7 @@ class PlanRunner:
         yield read_queries.name
 
         # The staged phase: fine-grained (one read at a time) or windowed
-        # bulk batching over W reads.  Same stages, different engine.
+        # bulk batching over W units.  Same stages, different engine.
         groups: list[tuple[int, Any]] = []
 
         def timed(stage: QueryStage, method, *args, items: int = 0) -> None:
@@ -1203,7 +1609,46 @@ class PlanRunner:
             stage_stats[stage.name].add_breakdown(ctx.clock.snapshot() - start,
                                                   items=items)
 
-        if config.use_bulk_lookups:
+        def emit_timed(states, indices) -> None:
+            begin = ctx.clock.snapshot()
+            payloads = [sink.emit(xs, state) for state in states]
+            stage_stats[sink.name].add_breakdown(
+                ctx.clock.snapshot() - begin, items=len(states))
+            groups.extend(zip(indices, payloads))
+
+        if group > 1:
+            def run_units(start: int, count: int) -> None:
+                """One window of pairs through per-read then pair stages."""
+                unit_indices = my_indices[start:start + count]
+                unit_states = [[ReadState(read, config) for read in
+                                my_reads[offset * group:(offset + 1) * group]]
+                               for offset in range(start, start + len(unit_indices))]
+                items = [item for states in unit_states for item in states]
+                counters.reads_processed += len(items)
+                if config.use_bulk_lookups:
+                    for stage in transforms:
+                        timed(stage, stage.process_window, items,
+                              items=len(items))
+                else:
+                    for item in items:
+                        for stage in transforms:
+                            if not item.pending:
+                                break
+                            timed(stage, stage.process_read, item, items=1)
+                pairs = [PairState(index, *states) for index, states in
+                         zip(unit_indices, unit_states)]
+                for stage in pair_stages:
+                    timed(stage, stage.process_pairs, pairs, items=len(pairs))
+                emit_timed(pairs, unit_indices)
+
+            if config.use_bulk_lookups:
+                window = config.lookup_batch_size
+                for start in range(0, len(my_indices), window):
+                    run_units(start, window)
+            else:
+                for start in range(len(my_indices)):
+                    run_units(start, 1)
+        elif config.use_bulk_lookups:
             window = config.lookup_batch_size
             for start in range(0, len(my_reads), window):
                 reads = my_reads[start:start + window]
@@ -1211,11 +1656,7 @@ class PlanRunner:
                 counters.reads_processed += len(items)
                 for stage in transforms:
                     timed(stage, stage.process_window, items, items=len(items))
-                begin = ctx.clock.snapshot()
-                payloads = [sink.emit(xs, item) for item in items]
-                stage_stats[sink.name].add_breakdown(
-                    ctx.clock.snapshot() - begin, items=len(items))
-                groups.extend(zip(my_indices[start:start + window], payloads))
+                emit_timed(items, my_indices[start:start + window])
         else:
             for read_index, read in zip(my_indices, my_reads):
                 item = ReadState(read, config)
@@ -1224,11 +1665,7 @@ class PlanRunner:
                     if not item.pending:
                         break
                     timed(stage, stage.process_read, item, items=1)
-                begin = ctx.clock.snapshot()
-                payload = sink.emit(xs, item)
-                stage_stats[sink.name].add_breakdown(
-                    ctx.clock.snapshot() - begin, items=1)
-                groups.append((read_index, payload))
+                emit_timed([item], [read_index])
         yield sink.phase_name
         return groups, counters, stage_stats
 

@@ -33,6 +33,9 @@ class AlignmentCounters:
     candidates_examined: int = 0
     candidates_skipped_threshold: int = 0
     alignments_reported: int = 0
+    pairs_processed: int = 0
+    mate_rescue_attempts: int = 0
+    mate_rescues: int = 0
 
     def merge(self, other: "AlignmentCounters") -> "AlignmentCounters":
         return AlignmentCounters(
@@ -47,6 +50,10 @@ class AlignmentCounters:
             candidates_skipped_threshold=(self.candidates_skipped_threshold
                                           + other.candidates_skipped_threshold),
             alignments_reported=self.alignments_reported + other.alignments_reported,
+            pairs_processed=self.pairs_processed + other.pairs_processed,
+            mate_rescue_attempts=(self.mate_rescue_attempts
+                                  + other.mate_rescue_attempts),
+            mate_rescues=self.mate_rescues + other.mate_rescues,
         )
 
     @property
@@ -71,7 +78,9 @@ ALIGN_PHASES = ("align_reads",)
 
 #: Version of the JSON report schema (``align --json-report`` and the
 #: service's ``STATS`` payload).  Bump when the shape of the document
-#: changes; downstream tooling dispatches on it.
+#: changes *incompatibly*; purely additive keys (e.g. the paired-workload
+#: ``pairs_processed`` / ``mate_rescue*`` counters) do not bump it.
+#: Downstream tooling dispatches on it.
 #: 2: added ``schema_version`` itself and per-stage ``stages`` timings.
 REPORT_SCHEMA_VERSION = 2
 

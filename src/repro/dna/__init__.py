@@ -50,6 +50,7 @@ from repro.dna.synthetic import (
     genome_with_repeats,
     derive_contigs,
     sample_reads,
+    sample_paired_reads,
     make_dataset,
     ECOLI_LIKE,
     HUMAN_LIKE,
@@ -87,6 +88,7 @@ __all__ = [
     "genome_with_repeats",
     "derive_contigs",
     "sample_reads",
+    "sample_paired_reads",
     "make_dataset",
     "ECOLI_LIKE",
     "HUMAN_LIKE",

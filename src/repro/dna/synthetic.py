@@ -259,7 +259,14 @@ def sample_reads(synthetic: SyntheticGenome, spec: ReadSetSpec,
     Reads are sampled uniformly from the genome (not only from contigs), so a
     fraction of reads does not map to any target -- the situation the paper
     identifies as the source of computational load imbalance in Table I.
+
+    With ``spec.paired`` the set is a true paired-end library (see
+    :func:`sample_paired_reads`): interleaved R1/R2 mates drawn from the two
+    ends of insert-size-distributed templates.
     """
+    if spec.paired:
+        return sample_paired_reads(synthetic, spec, rng,
+                                   error_model=error_model)
     if error_model is None:
         error_model = ReadErrorModel(substitution_rate=spec.error_rate)
     genome = synthetic.genome
@@ -289,21 +296,74 @@ def sample_reads(synthetic: SyntheticGenome, spec: ReadSetSpec,
             strand=strand,
             n_errors=n_errors,
         ))
-    if spec.paired:
-        reads = _pair_reads(reads)
     return reads
 
 
-def _pair_reads(reads: list[ReadRecord]) -> list[ReadRecord]:
-    """Mark consecutive reads as mates of each other (paired-end library)."""
-    paired: list[ReadRecord] = []
-    for i in range(0, len(reads) - 1, 2):
-        first, second = reads[i], reads[i + 1]
-        paired.append(replace(first, name=first.name + "/1", mate_of=second.name + "/2"))
-        paired.append(replace(second, name=second.name + "/2", mate_of=first.name + "/1"))
-    if len(reads) % 2 == 1:
-        paired.append(reads[-1])
-    return paired
+def sample_paired_reads(synthetic: SyntheticGenome, spec: ReadSetSpec,
+                        rng: np.random.Generator,
+                        error_model: ReadErrorModel | None = None
+                        ) -> list[ReadRecord]:
+    """Sample a paired-end library with a configurable insert distribution.
+
+    Templates of length ``Normal(spec.insert_size, spec.insert_sd)`` (clipped
+    to at least one read length) are placed uniformly on the genome; R1 is
+    the forward-strand read off the template's left end and R2 the
+    reverse-complemented read off its right end (the standard FR layout).
+    With probability ``spec.reverse_strand_fraction`` the template itself is
+    flipped, swapping which mate carries which strand.  Mates are returned
+    interleaved (R1_0, R2_0, R1_1, R2_1, ...), cross-linked through
+    ``mate_of``, each with its own ground-truth origin -- exactly the layout
+    the ``paired`` plan workload consumes.
+    """
+    if error_model is None:
+        error_model = ReadErrorModel(substitution_rate=spec.error_rate)
+    genome = synthetic.genome
+    L = spec.read_length
+    if L > len(genome):
+        raise ValueError("read_length exceeds genome length")
+    n_pairs = max(1, spec.n_reads_for(len(genome)) // 2)
+    inserts = np.clip(
+        np.rint(rng.normal(spec.insert_size, spec.insert_sd, size=n_pairs)),
+        L, len(genome)).astype(int)
+    starts = np.array([int(rng.integers(0, len(genome) - insert + 1))
+                       for insert in inserts])
+    if spec.grouped:
+        order = np.argsort(starts, kind="stable")
+        starts, inserts = starts[order], inserts[order]
+    reads: list[ReadRecord] = []
+    name = synthetic.spec.name
+    for i, (start, insert) in enumerate(zip(starts, inserts)):
+        start, insert = int(start), int(insert)
+        left_start = start
+        right_start = start + insert - L
+        flipped = rng.random() < spec.reverse_strand_fraction
+        # FR layout: one mate forward off one template end, the other
+        # reverse-complemented off the opposite end.
+        ends = ((left_start, "+"), (right_start, "-"))
+        if flipped:
+            ends = ((right_start, "-"), (left_start, "+"))
+        mates = []
+        for mate_number, (mate_start, strand) in enumerate(ends, start=1):
+            fragment = genome[mate_start:mate_start + L]
+            oriented = (reverse_complement(fragment) if strand == "-"
+                        else fragment)
+            mutated, qual = error_model.corrupt(oriented, rng)
+            n_errors = sum(1 for a, b in zip(oriented, mutated) if a != b)
+            cid, cpos = _locate_in_contig(mate_start, L,
+                                          synthetic.contig_offsets,
+                                          synthetic.contigs)
+            mates.append(ReadRecord(
+                name=f"{name}:pair{i:07d}/{mate_number}",
+                sequence=mutated,
+                quality=qual,
+                contig_id=cid,
+                position=cpos,
+                strand=strand,
+                n_errors=n_errors,
+            ))
+        reads.append(replace(mates[0], mate_of=mates[1].name))
+        reads.append(replace(mates[1], mate_of=mates[0].name))
+    return reads
 
 
 def make_dataset(genome_spec: GenomeSpec, read_spec: ReadSetSpec,

@@ -64,6 +64,42 @@ def read_fastq(path: str | Path) -> list[FastqRecord]:
     return records
 
 
+def read_fastq_paired(path: str | Path,
+                      path2: str | Path | None = None) -> list[FastqRecord]:
+    """Read a paired-end library as an interleaved record list.
+
+    Two layouts are supported, matching how paired libraries ship:
+
+    * **interleaved** (only *path* given): records alternate R1, R2, R1, R2;
+      the file must hold an even number of records.
+    * **two-file** (*path* and *path2* given): *path* holds every R1 and
+      *path2* the matching R2, in the same order; the files must hold the
+      same number of records.
+
+    Returns the interleaved list ``[R1_0, R2_0, R1_1, R2_1, ...]`` -- the
+    read order every paired entry point (:func:`repro.api.align_paired`, the
+    CLI, the service's ``PAIRED`` verb) consumes.  Raises ``ValueError`` on
+    an odd interleaved count or mismatched file lengths.
+    """
+    first = read_fastq(path)
+    if path2 is None:
+        if len(first) % 2 != 0:
+            raise ValueError(
+                f"interleaved paired FASTQ needs an even number of records, "
+                f"got {len(first)} in {path}")
+        return first
+    second = read_fastq(path2)
+    if len(first) != len(second):
+        raise ValueError(
+            f"paired FASTQ files disagree: {len(first)} reads in {path} vs "
+            f"{len(second)} in {path2}")
+    interleaved: list[FastqRecord] = []
+    for r1, r2 in zip(first, second):
+        interleaved.append(r1)
+        interleaved.append(r2)
+    return interleaved
+
+
 def write_fastq(path: str | Path,
                 records: list[FastqRecord] | list[ReadRecord]) -> None:
     """Write FASTQ records (accepts :class:`ReadRecord` objects directly)."""

@@ -3,14 +3,31 @@
 merAligner's output feeds the Meraculous scaffolder; we emit a SAM-flavoured
 text file so downstream tooling (and humans) can inspect the alignments
 produced by examples and integration tests.
+
+Paired-end output (:class:`PairedSamRecord` / :func:`paired_sam_text`) renders
+exactly two records per pair -- the primary alignment of each mate, or an
+unmapped placeholder record -- with the standard pair flags (0x1 paired,
+0x2 proper, 0x4/0x8 self/mate unmapped, 0x10/0x20 self/mate reverse,
+0x40/0x80 first/second in pair) and RNEXT/PNEXT/TLEN filled in.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 from repro.alignment.result import Alignment
+
+# SAM FLAG bits used by the paired-end sink.
+FLAG_PAIRED = 0x1
+FLAG_PROPER_PAIR = 0x2
+FLAG_UNMAPPED = 0x4
+FLAG_MATE_UNMAPPED = 0x8
+FLAG_REVERSE = 0x10
+FLAG_MATE_REVERSE = 0x20
+FLAG_FIRST_IN_PAIR = 0x40
+FLAG_SECOND_IN_PAIR = 0x80
 
 
 def sam_header(target_names: Sequence[str], target_lengths: Sequence[int],
@@ -50,3 +67,114 @@ def write_sam(path: str | Path, alignments: Sequence[Alignment],
     Path(path).write_text(sam_text(alignments, target_names, target_lengths),
                           encoding="ascii")
     return len(alignments)
+
+
+# -- paired-end records ----------------------------------------------------------
+
+@dataclass
+class PairedSamRecord:
+    """The SAM-ready outcome of one read pair.
+
+    ``aln1`` / ``aln2`` are the primary alignments of mate 1 and mate 2 (or
+    ``None`` for an unmapped mate); ``rescued`` names the mate (1 or 2, 0 for
+    none) whose alignment was recovered by mate rescue and
+    ``rescue_attempted`` records whether a rescue was tried at all (so
+    per-request counters keep attempts >= rescues); ``proper`` and ``tlen``
+    are the pair-level template fields computed by the paired sink (TLEN is
+    signed per the SAM convention: leftmost mate positive).
+    """
+
+    name1: str
+    name2: str
+    aln1: Alignment | None
+    aln2: Alignment | None
+    rescued: int = 0
+    rescue_attempted: bool = False
+    proper: bool = False
+    tlen: int = 0
+
+    @property
+    def n_mapped(self) -> int:
+        return (self.aln1 is not None) + (self.aln2 is not None)
+
+
+def _mate_flags(aln: Alignment | None, other: Alignment | None,
+                first: bool, proper: bool) -> int:
+    flag = FLAG_PAIRED | (FLAG_FIRST_IN_PAIR if first else FLAG_SECOND_IN_PAIR)
+    if proper:
+        flag |= FLAG_PROPER_PAIR
+    if aln is None:
+        flag |= FLAG_UNMAPPED
+    elif aln.strand == "-":
+        flag |= FLAG_REVERSE
+    if other is None:
+        flag |= FLAG_MATE_UNMAPPED
+    elif other.strand == "-":
+        flag |= FLAG_MATE_REVERSE
+    return flag
+
+
+def _target_name(target_id: int, target_names: Sequence[str]) -> str:
+    if 0 <= target_id < len(target_names):
+        return target_names[target_id]
+    return f"target{target_id}"
+
+
+def paired_sam_lines(pair: PairedSamRecord,
+                     target_names: Sequence[str]) -> list[str]:
+    """The two SAM records of one pair (mate 1 first, then mate 2).
+
+    An unmapped mate whose partner is mapped is placed at the partner's
+    coordinates (the standard convention that keeps pairs adjacent under a
+    coordinate sort); a pair with both mates unmapped gets ``*``/0 fields.
+    """
+    lines = []
+    mates = ((pair.name1, pair.aln1, pair.aln2, True),
+             (pair.name2, pair.aln2, pair.aln1, False))
+    for name, aln, other, first in mates:
+        flag = _mate_flags(aln, other, first, pair.proper)
+        if aln is not None:
+            rname = _target_name(aln.target_id, target_names)
+            pos = aln.target_start + 1  # SAM is 1-based
+            mapq = "60" if aln.is_exact else "30"
+            cigar = aln.cigar_string or f"{aln.query_span}M"
+        elif other is not None:
+            # Unmapped mate placed at its mapped partner's position.
+            rname = _target_name(other.target_id, target_names)
+            pos = other.target_start + 1
+            mapq, cigar = "0", "*"
+        else:
+            rname, pos, mapq, cigar = "*", 0, "0", "*"
+        if other is not None:
+            rnext = "=" if (aln is None or other.target_id == aln.target_id) \
+                else _target_name(other.target_id, target_names)
+            pnext = other.target_start + 1
+        elif aln is not None:
+            rnext, pnext = "=", pos
+        else:
+            rnext, pnext = "*", 0
+        tlen = 0
+        if pair.aln1 is not None and pair.aln2 is not None \
+                and pair.aln1.target_id == pair.aln2.target_id:
+            tlen = pair.tlen if aln is pair.aln1 else -pair.tlen
+        fields = [name, str(flag), rname, str(pos), mapq, cigar,
+                  rnext, str(pnext), str(tlen), "*", "*"]
+        if aln is not None:
+            fields.append(f"AS:i:{aln.score}")
+        lines.append("\t".join(fields))
+    return lines
+
+
+def paired_sam_text(pairs: Sequence[PairedSamRecord],
+                    target_names: Sequence[str],
+                    target_lengths: Sequence[int],
+                    program: str = "merAligner-repro") -> str:
+    """Render paired-end records as the full text of a SAM file.
+
+    This is what ``meraligner align --paired`` writes and what the service's
+    ``PAIRED`` verb streams; both are byte-identical for the same pairs.
+    """
+    lines = sam_header(target_names, target_lengths, program=program)
+    for pair in pairs:
+        lines.extend(paired_sam_lines(pair, target_names))
+    return "\n".join(lines) + "\n"

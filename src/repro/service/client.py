@@ -50,9 +50,17 @@ class AlignmentClient:
         """Align one read set and return the SAM text."""
         return self.align(reads, timeout=timeout).sam
 
+    def align_paired(self, reads, timeout: float | None = None) -> RequestResult:
+        """Paired-end-align one interleaved read set (R1, R2, R1, R2, ...)."""
+        return self.request(reads, workload="paired", timeout=timeout)
+
+    def align_paired_sam(self, reads, timeout: float | None = None) -> str:
+        """Paired-end-align an interleaved read set; return the SAM text."""
+        return self.align_paired(reads, timeout=timeout).sam
+
     def request(self, reads, workload: str = "align",
                 timeout: float | None = None) -> RequestResult:
-        """Run any registered plan workload (align/count/screen) on reads."""
+        """Run any registered plan workload (align/count/screen/paired)."""
         return self.scheduler.request(reads, workload=workload,
                                       timeout=timeout)
 
@@ -126,6 +134,16 @@ class SocketAlignmentClient:
         return self._roundtrip(f"ALIGN {len(reads)}",
                                fastq_payload(reads)).decode("ascii")
 
+    def paired_sam(self, reads) -> str:
+        """Paired-end-align interleaved reads; return the paired SAM text.
+
+        *reads* must alternate R1, R2 (an even count); the server rejects
+        odd payloads with ``ERR``.
+        """
+        reads = list(reads)
+        return self._roundtrip(f"PAIRED {len(reads)}",
+                               fastq_payload(reads)).decode("ascii")
+
     def count_tsv(self, reads) -> str:
         """Seed-frequency histogram of the reads, as the server's TSV."""
         reads = list(reads)
@@ -139,9 +157,10 @@ class SocketAlignmentClient:
                                fastq_payload(reads)).decode("ascii")
 
     def workload_text(self, workload: str, reads) -> str:
-        """The rendered output of any wire workload (ALIGN/COUNT/SCREEN)."""
+        """The rendered output of any wire workload
+        (ALIGN/COUNT/SCREEN/PAIRED)."""
         verbs = {"align": self.align_sam, "count": self.count_tsv,
-                 "screen": self.screen_tsv}
+                 "screen": self.screen_tsv, "paired": self.paired_sam}
         try:
             method = verbs[workload]
         except KeyError:

@@ -1,7 +1,7 @@
 """The micro-batching request scheduler of the alignment service.
 
 Concurrent clients submit read sets tagged with a *workload* -- ``align``
-(the default), ``count`` or ``screen``, any plan registered in
+(the default), ``count``, ``screen`` or ``paired``, any plan registered in
 :data:`repro.core.plan.WORKLOAD_PLANS`; the scheduler coalesces waiting
 requests *of the same workload* into a micro-batch -- bounded by a maximum
 number of requests and a maximum collection latency -- and runs the whole
@@ -9,8 +9,9 @@ batch through the resident session as **one** SPMD invocation
 (:meth:`~repro.service.session.AlignmentSession.run_plan_many`).  Results are
 demultiplexed per request: each :class:`RequestResult` carries the request's
 own output (byte-identical to a one-shot run of its reads -- SAM for
-``align``, TSV for ``count``/``screen``), its derived per-request counters,
-and the serving batch's shared communication statistics and phase deltas.
+``align``/``paired``, TSV for ``count``/``screen``), its derived per-request
+counters, and the serving batch's shared communication statistics and phase
+deltas.
 
 Batching is a throughput/latency trade, and the service-level
 :class:`ServiceStats` report makes it visible: request count, batch count and
@@ -219,11 +220,17 @@ class RequestScheduler:
         """
         if self._closed:
             raise RuntimeError("request scheduler is closed")
-        from repro.core.plan import WORKLOAD_PLANS, normalize_reads
+        from repro.core.plan import (WORKLOAD_PLANS, normalize_reads,
+                                     workload_group_size)
         if workload not in WORKLOAD_PLANS:
             raise KeyError(f"unknown workload {workload!r}; available: "
                            f"{', '.join(sorted(WORKLOAD_PLANS))}")
         reads = normalize_reads(reads)
+        group = workload_group_size(workload)
+        if group > 1 and len(reads) % group != 0:
+            raise ValueError(
+                f"the {workload!r} workload needs whole units of {group} "
+                f"reads (interleaved R1/R2), got {len(reads)}")
         with self._id_lock:
             request_id = self._next_id
             self._next_id += 1
@@ -363,7 +370,7 @@ class RequestScheduler:
                 request_id=request.request_id,
                 alignments=alignments,
                 counters=counters,
-                sam=text if workload == "align" else "",
+                sam=text if workload in ("align", "paired") else "",
                 batch_id=batch_id,
                 batch_requests=len(batch),
                 batch_reads=outcome.n_reads,

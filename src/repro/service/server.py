@@ -8,6 +8,10 @@ guess payload boundaries:
     Align the reads through the scheduler; responds ``OK <n_bytes>`` followed
     by exactly *n_bytes* of SAM text (header + records), byte-identical to
     what ``meraligner align`` writes for the same reads.
+``PAIRED <n_reads>`` followed by ``4 * n_reads`` interleaved FASTQ lines
+    Paired-end alignment: *n_reads* must be even and the records interleaved
+    (R1, R2, R1, R2, ...); responds with flag-complete paired SAM,
+    byte-identical to ``meraligner align --paired`` on the same reads.
 ``COUNT <n_reads>`` / ``SCREEN <n_reads>`` followed by FASTQ lines
     The plan-built workloads: respond with the seed-frequency histogram TSV
     (``count``) or the per-read exact-match hit/miss TSV (``screen``),
@@ -119,12 +123,17 @@ class _Handler(socketserver.StreamRequestHandler):
                     self.server.request_shutdown()
                     return
                 elif command.upper().split()[0] in ("ALIGN", "COUNT",
-                                                     "SCREEN"):
+                                                     "SCREEN", "PAIRED"):
                     parts = command.split()
                     verb = parts[0].upper()
                     if len(parts) != 2 or not parts[1].isdigit():
                         raise ProtocolError(f"usage: {verb} <n_reads>")
-                    reads = read_fastq_payload(self.rfile, int(parts[1]))
+                    n_reads = int(parts[1])
+                    if verb == "PAIRED" and n_reads % 2 != 0:
+                        raise ProtocolError(
+                            "PAIRED needs an even interleaved read count, "
+                            f"got {n_reads}")
+                    reads = read_fastq_payload(self.rfile, n_reads)
                     result = self.server.scheduler.request(
                         [record.to_read() for record in reads],
                         workload=verb.lower(),

@@ -12,10 +12,12 @@ the query-side stages of its plan as one SPMD invocation.
 
 Requests are *plans*: :meth:`AlignmentSession.align` runs the query side of
 the default align plan, and :meth:`AlignmentSession.run_plan_many` runs any
-registered workload (``align``, ``count``, ``screen``) or bespoke
+registered workload (``align``, ``count``, ``screen``, ``paired``) or bespoke
 :class:`~repro.core.plan.AlignmentPlan` against the same resident index --
 the serving stack batches and demultiplexes every workload the same way
-because every sink produces per-read payloads.
+because every sink produces per-unit payloads (one per read, or one per
+(R1, R2) pair for the paired workload, whose mates are kept together through
+tagging, permutation and demultiplexing).
 
 Request isolation and equivalence guarantees:
 
@@ -59,7 +61,7 @@ from repro.core.stats import AlignerReport, AlignmentCounters, PhaseStats
 from repro.core.target_store import TargetStore
 from repro.dna.synthetic import ReadRecord
 from repro.hashtable.cache import CacheStats, SoftwareCache
-from repro.io.sam import sam_text
+from repro.io.sam import paired_sam_text, sam_text
 from repro.pgas.cost_model import CommStats
 from repro.pgas.runtime import PgasRuntime
 from repro.pgas.trace import PhaseTrace
@@ -307,6 +309,17 @@ class AlignmentSession:
                                      warm_caches=warm_caches)
         return BatchOutcome(**outcome.__dict__)
 
+    def align_paired(self, reads, warm_caches: bool = False):
+        """Paired-end alignment of one interleaved read set.
+
+        Returns the list of :class:`~repro.io.sam.PairedSamRecord` outcomes
+        (render with :meth:`render` / ``paired_sam_for``); byte-identical
+        through SAM to the offline ``meraligner align --paired`` run of the
+        same reads.
+        """
+        return self.run_plan_many("paired", [reads],
+                                  warm_caches=warm_caches).per_request_outputs[0]
+
     def count(self, reads, warm_caches: bool = False):
         """Seed-frequency histogram of one request against the resident index."""
         return self.run_plan_many("count", [reads],
@@ -322,7 +335,7 @@ class AlignmentSession:
         """Run the query side of *plan* over a micro-batch of requests.
 
         *plan* is a registered workload name (``align``, ``count``,
-        ``screen``) or an :class:`~repro.core.plan.AlignmentPlan` whose query
+        ``screen``, ``paired``) or an :class:`~repro.core.plan.AlignmentPlan` whose query
         stages are compatible with the resident index.  The batch runs as
         **one** SPMD invocation; per-read payloads are demultiplexed per
         request, reordered through the sink's ``request_order`` and folded
@@ -346,7 +359,14 @@ class AlignmentSession:
                 "use_exact_match_optimization=False; rebuild the session "
                 "with the exact-match optimization enabled")
         sink = plan.sink
+        group = sink.group_size
         requests = [normalize_reads(reads) for reads in read_lists]
+        for request_index, reads in enumerate(requests):
+            if group > 1 and len(reads) % group != 0:
+                raise ValueError(
+                    f"request {request_index} of the {plan.workload!r} "
+                    f"workload needs whole units of {group} reads, got "
+                    f"{len(reads)} (pass an interleaved paired read set)")
 
         caches = [cache for cache in (prepared.seed_cache, prepared.target_cache)
                   if cache is not None]
@@ -358,13 +378,21 @@ class AlignmentSession:
                 cache.clear()
         cache_before = {cache.name: cache.total_stats() for cache in caches}
 
-        tagged: list[tuple[int, int, ReadRecord]] = []
-        for request_index, reads in enumerate(requests):
-            for read_index, read in enumerate(reads):
-                tagged.append((request_index, read_index, read))
+        # The tagging/permutation/demux unit is the sink's group: single
+        # reads for per-read workloads, whole (R1, R2) pairs for ``paired``
+        # -- mates stay together through batching exactly as offline.
+        request_units: list[list[tuple[ReadRecord, ...]]] = [
+            [tuple(reads[i * group:(i + 1) * group])
+             for i in range(len(reads) // group)]
+            for reads in requests]
+        tagged: list[tuple[int, int, tuple[ReadRecord, ...]]] = []
+        for request_index, units in enumerate(request_units):
+            for unit_index, unit in enumerate(units):
+                tagged.append((request_index, unit_index, unit))
         if config.permute_reads:
             tagged = permute_reads(tagged, seed=config.permutation_seed)
-        read_records = [read for _request, _position, read in tagged]
+        read_records = [read for _request, _position, unit in tagged
+                        for read in unit]
 
         def plan_spmd(ctx):
             return (yield from runner.query_program(
@@ -377,18 +405,20 @@ class AlignmentSession:
 
         demuxed: list[dict[int, Any]] = [{} for _ in requests]
         for combined_index, payload in groups:
-            request_index, read_index, _read = tagged[combined_index]
-            demuxed[request_index][read_index] = payload
+            request_index, unit_index, _unit = tagged[combined_index]
+            demuxed[request_index][unit_index] = payload
 
         per_request_outputs: list[Any] = []
         per_request_counters: list[AlignmentCounters] = []
-        for request_index, reads in enumerate(requests):
-            order = sink.request_order(len(reads), config)
+        for request_index, units in enumerate(request_units):
+            order = sink.request_order(len(units), config)
             payloads = []
-            for read_index in order:
-                payload = demuxed[request_index].get(read_index)
+            for unit_index in order:
+                payload = demuxed[request_index].get(unit_index)
                 if payload is None:
-                    payload = sink.empty_payload(reads[read_index])
+                    unit = units[unit_index]
+                    payload = sink.empty_payload(unit[0] if group == 1
+                                                 else unit)
                 payloads.append(payload)
             ordered_groups = list(zip(order, payloads))
             per_request_outputs.append(sink.collect(ordered_groups, config))
@@ -417,14 +447,23 @@ class AlignmentSession:
         return sam_text(alignments, self.prepared.target_names,
                         self.prepared.target_lengths)
 
+    def paired_sam_for(self, pairs) -> str:
+        """Render paired-end records as SAM text against this session's
+        targets."""
+        return paired_sam_text(pairs, self.prepared.target_names,
+                               self.prepared.target_lengths)
+
     def render(self, workload: str, output: Any) -> str:
         """Render a sink's collected output as the wire/file text.
 
-        ``align`` renders SAM; ``count`` and ``screen`` render their TSV
-        (the screen TSV resolves target ids against this session's names).
+        ``align`` and ``paired`` render SAM; ``count`` and ``screen`` render
+        their TSV (the screen TSV resolves target ids against this session's
+        names).
         """
         if workload == "align":
             return self.sam_for(output)
+        if workload == "paired":
+            return self.paired_sam_for(output)
         if workload == "count":
             return output.to_tsv()
         if workload == "screen":

@@ -14,6 +14,7 @@ from repro import api
 EXPECTED_EXPORTS = sorted([
     # entry points
     "align",
+    "align_paired",
     "count",
     "screen",
     "plan",
@@ -28,19 +29,25 @@ EXPECTED_EXPORTS = sorted([
     "Stage",
     "QueryStage",
     "SinkStage",
+    "PairStage",
     "StageContext",
     "ReadState",
+    "PairState",
     "BuildIndex",
     "ReadQueries",
     "ExactPath",
     "SeedLookup",
     "CandidateCollect",
     "ExtendAlign",
+    "PairJoin",
+    "MateRescue",
     "EmitSam",
+    "EmitSamPaired",
     "EmitSeedCounts",
     "EmitScreen",
     "WORKLOAD_PLANS",
     "plan_for_workload",
+    "normalize_paired_reads",
     # configuration / results
     "AlignerConfig",
     "AlignerReport",
@@ -48,6 +55,8 @@ EXPECTED_EXPORTS = sorted([
     "REPORT_SCHEMA_VERSION",
     "SeedCountSummary",
     "ScreenSummary",
+    "PairedSamRecord",
+    "paired_sam_text",
     "MerAligner",
     "MachineModel",
     "EDISON_LIKE",
@@ -71,14 +80,23 @@ class TestApiSurface:
             assert hasattr(api, name), f"repro.api.{name} missing"
 
     def test_entry_points_are_callables_with_docstrings(self):
-        for name in ("align", "count", "screen", "plan", "run_plan",
-                     "prepare", "serve"):
+        for name in ("align", "align_paired", "count", "screen", "plan",
+                     "run_plan", "prepare", "serve"):
             fn = getattr(api, name)
             assert callable(fn)
             assert inspect.getdoc(fn), f"repro.api.{name} lacks a docstring"
 
+    def test_entry_points_carry_runnable_examples(self):
+        """Every entry point's docstring embeds a doctest (CI executes them
+        via ``pytest --doctest-modules src/repro/api.py``)."""
+        for name in ("align", "align_paired", "count", "screen", "plan",
+                     "run_plan", "prepare", "serve"):
+            doc = inspect.getdoc(getattr(api, name))
+            assert ">>>" in doc, f"repro.api.{name} lacks a doctest example"
+
     def test_workload_registry_matches_plan_factories(self):
-        assert sorted(api.WORKLOAD_PLANS) == ["align", "count", "screen"]
+        assert sorted(api.WORKLOAD_PLANS) == ["align", "count", "paired",
+                                              "screen"]
         for workload in api.WORKLOAD_PLANS:
             built = api.plan(workload)
             assert built.workload == workload

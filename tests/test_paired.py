@@ -1,0 +1,442 @@
+"""Tests for the paired-end workload (the ``paired`` plan).
+
+Four contracts are pinned here:
+
+* **Paired I/O** -- interleaved and two-file FASTQ layouts normalize to the
+  same interleaved read list, and malformed libraries (odd counts,
+  mismatched halves) fail loudly at the entry point.
+* **Mate rescue edge cases** -- a lost mate is recovered by the banded SW
+  inside the insert window; pairs with both mates missing are not rescued;
+  a rescue window clipped at the contig boundary stays safe; an insert-size
+  outlier is not falsely rescued.
+* **Byte identity** -- ``align --paired`` SAM is identical across the three
+  execution backends with bulk batching on and off, and served ``PAIRED``
+  requests (including scheduler-coalesced ones) match the offline output
+  byte for byte.
+* **Plan validation** -- pair stages demand a paired sink and cannot be
+  followed by per-read stages.
+"""
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.core.plan import (AlignmentPlan, BuildIndex, CandidateCollect,
+                             EmitSam, EmitSamPaired, ExactPath, ExtendAlign,
+                             PairJoin, PlanRunner, PlanValidationError,
+                             ReadQueries, SeedLookup, normalize_paired_reads,
+                             plan_for_workload)
+from repro.dna.sequence import random_dna, reverse_complement
+from repro.dna.synthetic import (GenomeSpec, ReadRecord, ReadSetSpec,
+                                 make_dataset, sample_paired_reads,
+                                 SyntheticGenome)
+from repro.io.fastq import read_fastq_paired, write_fastq
+from repro.io.sam import (FLAG_MATE_UNMAPPED, FLAG_PAIRED, FLAG_PROPER_PAIR,
+                          FLAG_UNMAPPED, paired_sam_text)
+from repro.pgas.cost_model import EDISON_LIKE
+
+import numpy as np
+
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+def quality(sequence: str) -> str:
+    return "I" * len(sequence)
+
+
+def read(name: str, sequence: str) -> ReadRecord:
+    return ReadRecord(name=name, sequence=sequence, quality=quality(sequence))
+
+
+def run_paired(targets, reads, config, backend="cooperative", n_ranks=4):
+    return PlanRunner(plan_for_workload("paired"), config).run(
+        targets, reads, n_ranks=n_ranks, machine=MACHINE, backend=backend)
+
+
+@pytest.fixture(scope="module")
+def paired_dataset():
+    spec = GenomeSpec(name="ptest", genome_length=12000, n_contigs=6,
+                      repeat_fraction=0.02, repeat_unit_length=150,
+                      min_contig_length=300)
+    read_spec = ReadSetSpec(coverage=3.0, read_length=70, error_rate=0.01,
+                            paired=True, insert_size=240, insert_sd=20)
+    return make_dataset(spec, read_spec, seed=11)
+
+
+@pytest.fixture(scope="module")
+def paired_config():
+    return AlignerConfig(seed_length=21, fragment_length=500, seed_stride=2)
+
+
+class TestPairedIO:
+    def test_interleaved_round_trip(self, tmp_path, paired_dataset):
+        _genome, reads = paired_dataset
+        path = tmp_path / "pairs.fastq"
+        write_fastq(path, reads[:8])
+        records = read_fastq_paired(path)
+        assert [r.name for r in records] == [r.name for r in reads[:8]]
+
+    def test_two_file_mode_interleaves(self, tmp_path, paired_dataset):
+        _genome, reads = paired_dataset
+        write_fastq(tmp_path / "r1.fastq", reads[0:8:2])
+        write_fastq(tmp_path / "r2.fastq", reads[1:8:2])
+        records = read_fastq_paired(tmp_path / "r1.fastq",
+                                    tmp_path / "r2.fastq")
+        assert [r.name for r in records] == [r.name for r in reads[:8]]
+
+    def test_odd_interleaved_count_rejected(self, tmp_path, paired_dataset):
+        _genome, reads = paired_dataset
+        path = tmp_path / "odd.fastq"
+        write_fastq(path, reads[:5])
+        with pytest.raises(ValueError, match="even number"):
+            read_fastq_paired(path)
+
+    def test_mismatched_halves_rejected(self, tmp_path, paired_dataset):
+        _genome, reads = paired_dataset
+        write_fastq(tmp_path / "r1.fastq", reads[0:8:2])
+        write_fastq(tmp_path / "r2.fastq", reads[1:6:2])
+        with pytest.raises(ValueError, match="disagree"):
+            read_fastq_paired(tmp_path / "r1.fastq", tmp_path / "r2.fastq")
+
+    def test_two_file_seqdb_mode(self, tmp_path, paired_dataset):
+        from repro.io.seqdb import records_to_seqdb
+        _genome, reads = paired_dataset
+        records_to_seqdb(tmp_path / "r1.seqdb", list(reads[0:8:2]))
+        records_to_seqdb(tmp_path / "r2.seqdb", list(reads[1:8:2]))
+        interleaved = normalize_paired_reads(tmp_path / "r1.seqdb",
+                                             tmp_path / "r2.seqdb")
+        assert [r.name for r in interleaved] == [r.name for r in reads[:8]]
+
+    def test_normalize_paired_reads_records(self, paired_dataset):
+        _genome, reads = paired_dataset
+        assert normalize_paired_reads(reads[:6]) == list(reads[:6])
+        interleaved = normalize_paired_reads(reads[0:8:2], reads[1:8:2])
+        assert [r.name for r in interleaved] == [r.name for r in reads[:8]]
+        with pytest.raises(ValueError, match="even"):
+            normalize_paired_reads(reads[:3])
+        with pytest.raises(ValueError, match="disagree"):
+            normalize_paired_reads(reads[0:8:2], reads[1:6:2])
+
+
+class TestPairedGenerator:
+    def test_mates_interleaved_and_cross_linked(self, paired_dataset):
+        _genome, reads = paired_dataset
+        assert len(reads) % 2 == 0
+        for r1, r2 in zip(reads[0::2], reads[1::2]):
+            assert r1.name.endswith("/1") and r2.name.endswith("/2")
+            assert r1.mate_of == r2.name and r2.mate_of == r1.name
+            assert {r1.strand, r2.strand} == {"+", "-"}
+
+    def test_insert_distribution_is_configurable(self):
+        rng = np.random.default_rng(5)
+        genome = random_dna(20000, rng=rng)
+        spec = GenomeSpec(name="ins", genome_length=len(genome), n_contigs=1)
+        synthetic = SyntheticGenome(spec=spec, genome=genome,
+                                    contigs=[genome], contig_offsets=[0])
+        read_spec = ReadSetSpec(coverage=2.0, read_length=80, error_rate=0.0,
+                                paired=True, insert_size=500, insert_sd=30)
+        reads = sample_paired_reads(synthetic, read_spec, rng)
+        spans = []
+        for r1, r2 in zip(reads[0::2], reads[1::2]):
+            assert r1.contig_id == 0 and r2.contig_id == 0
+            left = min(r1.position, r2.position)
+            right = max(r1.position, r2.position) + read_spec.read_length
+            spans.append(right - left)
+        mean = sum(spans) / len(spans)
+        assert 450 < mean < 550
+        assert all(300 < span < 700 for span in spans)
+
+
+class TestPlanValidation:
+    def test_pair_stage_needs_paired_sink(self):
+        with pytest.raises(PlanValidationError, match="paired sink"):
+            AlignmentPlan(name="bad", stages=(
+                BuildIndex(), ReadQueries(), ExactPath(), SeedLookup(),
+                CandidateCollect(), ExtendAlign(), PairJoin(), EmitSam()))
+
+    def test_per_read_stage_after_pair_stage_rejected(self):
+        with pytest.raises(PlanValidationError, match="cannot follow"):
+            AlignmentPlan(name="bad2", stages=(
+                BuildIndex(), ReadQueries(), ExactPath(), SeedLookup(),
+                CandidateCollect(), ExtendAlign(), PairJoin(), SeedLookup(),
+                EmitSamPaired()))
+
+    def test_paired_preset_validates(self):
+        plan = AlignmentPlan.paired()
+        assert plan.workload == "paired"
+        assert plan.sink.group_size == 2
+        assert [stage.name for stage in plan.pair_stages] == \
+            ["pair_join", "mate_rescue"]
+
+    def test_odd_read_count_rejected(self, paired_dataset, paired_config):
+        genome, reads = paired_dataset
+        with pytest.raises(ValueError, match="units of 2"):
+            run_paired(genome.contigs, reads[:5], paired_config)
+
+
+class TestMateRescue:
+    """Edge cases of the insert-window rescue, on a hand-built contig."""
+
+    K = 21
+    L = 70
+    INSERT = 240
+
+    @pytest.fixture(scope="class")
+    def contig(self):
+        rng = np.random.default_rng(99)
+        return random_dna(3000, rng=rng)
+
+    def config(self, **kwargs):
+        # fragment_length comfortably above the insert (as the 2000-base
+        # default is) so the expected mate window lies inside the anchor's
+        # fragment; MateRescue's search is fragment-bounded.
+        base = dict(seed_length=self.K, fragment_length=1000,
+                    insert_size=self.INSERT, insert_slack=60,
+                    use_seed_index_cache=False, use_target_cache=False)
+        base.update(kwargs)
+        return AlignerConfig(**base)
+
+    @staticmethod
+    def corrupt_every(sequence: str, stride: int) -> str:
+        """Substitute every *stride*-th base so no k-mer >= stride is clean."""
+        flip = {"A": "C", "C": "G", "G": "T", "T": "A"}
+        out = list(sequence)
+        for i in range(0, len(sequence), stride):
+            out[i] = flip[out[i]]
+        return "".join(out)
+
+    def pair_for(self, contig, start, mutate_mate=False, insert=None):
+        insert = insert or self.INSERT
+        r1_seq = contig[start:start + self.L]
+        r2_start = start + insert - self.L
+        r2_seq = reverse_complement(contig[r2_start:r2_start + self.L])
+        if mutate_mate:
+            # An error every 10 bases defeats every k=21 seed (and the exact
+            # probe), but banded SW still scores far above the threshold.
+            r2_seq = self.corrupt_every(r2_seq, 10)
+        return [read("p/1", r1_seq), read("p/2", r2_seq)]
+
+    def test_lost_mate_is_rescued(self, contig):
+        reads = self.pair_for(contig, 400, mutate_mate=True)
+        result = run_paired([contig], reads, self.config())
+        counters = result.report.counters
+        assert counters.mate_rescue_attempts == 1
+        assert counters.mate_rescues == 1
+        [record] = result.output
+        assert record.rescued == 2
+        assert record.n_mapped == 2
+        assert record.proper
+        # The rescued mate landed where the template puts it (within the
+        # SW window's freedom).
+        expected = 400 + self.INSERT - self.L
+        assert abs(record.aln2.target_start - expected) <= 10
+
+    def test_rescue_disabled_by_config(self, contig):
+        reads = self.pair_for(contig, 400, mutate_mate=True)
+        result = run_paired([contig], reads,
+                            self.config(use_mate_rescue=False))
+        counters = result.report.counters
+        assert counters.mate_rescue_attempts == 0
+        [record] = result.output
+        assert record.n_mapped == 1 and record.rescued == 0
+
+    def test_both_mates_missing_not_rescued(self, contig):
+        rng = np.random.default_rng(123)
+        foreign = random_dna(600, rng=rng)
+        reads = [read("m/1", foreign[:self.L]),
+                 read("m/2", reverse_complement(foreign[200:200 + self.L]))]
+        result = run_paired([contig], reads, self.config())
+        counters = result.report.counters
+        assert counters.mate_rescue_attempts == 0
+        assert counters.mate_rescues == 0
+        [record] = result.output
+        assert record.n_mapped == 0
+
+    def test_rescue_window_clipped_at_contig_boundary(self, contig):
+        # The anchor sits so close to the contig end that the expected mate
+        # window extends past the boundary; the rescue must clip, not crash,
+        # and the truncated mate still on-contig is found if it scores.
+        start = len(contig) - self.INSERT + 30  # mate window runs off the end
+        r1_seq = contig[start:start + self.L]
+        beyond = contig[start + self.INSERT - self.L:]  # shorter than L
+        # Off-contig tail plus an error every 10 bases: no clean seed
+        # anywhere, so the mate is genuinely lost and only rescue can place
+        # its on-contig prefix.
+        r2_seq = self.corrupt_every(reverse_complement(
+            (beyond + "ACGT" * self.L)[:self.L]), 10)
+        result = run_paired([contig], [read("c/1", r1_seq),
+                                       read("c/2", r2_seq)], self.config())
+        counters = result.report.counters
+        assert counters.mate_rescue_attempts == 1
+        [record] = result.output
+        assert record.aln1 is not None  # the anchor aligned
+        # Whether the clipped mate scores is data-dependent; the invariant
+        # is that clipping never produces an out-of-range coordinate.
+        if record.aln2 is not None:
+            assert 0 <= record.aln2.target_start <= len(contig)
+            assert record.aln2.target_end <= len(contig)
+
+    def test_insert_outlier_is_not_falsely_rescued(self, contig):
+        # The mate's true locus is ~1200 bases beyond the expected window --
+        # an insert-size outlier.  Rescue must not invent an alignment.
+        reads = self.pair_for(contig, 400, mutate_mate=True, insert=1600)
+        result = run_paired([contig], reads, self.config())
+        counters = result.report.counters
+        assert counters.mate_rescue_attempts == 1
+        assert counters.mate_rescues == 0
+        [record] = result.output
+        assert record.rescued == 0
+        assert record.aln2 is None
+
+    def test_unmapped_pair_flags(self, contig):
+        rng = np.random.default_rng(321)
+        foreign = random_dna(400, rng=rng)
+        reads = [read("u/1", foreign[:self.L]),
+                 read("u/2", reverse_complement(foreign[100:100 + self.L]))]
+        result = run_paired([contig], reads, self.config())
+        text = paired_sam_text(result.output, ["c0"], [len(contig)])
+        records = [line.split("\t") for line in text.splitlines()
+                   if not line.startswith("@")]
+        assert len(records) == 2
+        for fields in records:
+            flag = int(fields[1])
+            assert flag & FLAG_PAIRED
+            assert flag & FLAG_UNMAPPED and flag & FLAG_MATE_UNMAPPED
+            assert not flag & FLAG_PROPER_PAIR
+            assert fields[2] == "*" and fields[3] == "0"
+
+
+def paired_sam(dataset, config, backend, bulk, n_reads=60):
+    genome, reads = dataset
+    cfg = config.with_(use_bulk_lookups=bulk, lookup_batch_size=8)
+    result = PlanRunner(plan_for_workload("paired"), cfg).run(
+        genome.contigs, reads[:n_reads], n_ranks=4, machine=MACHINE,
+        backend=backend)
+    names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+    return paired_sam_text(result.output, names,
+                           [len(c) for c in genome.contigs])
+
+
+class TestPairedByteIdentity:
+    """Offline and served paired SAM: identical everywhere."""
+
+    def test_backends_and_engines_agree(self, paired_dataset, paired_config):
+        texts = {(backend, bulk): paired_sam(paired_dataset, paired_config,
+                                             backend, bulk)
+                 for backend in BACKENDS for bulk in (False, True)}
+        reference = texts[("cooperative", False)]
+        body = [line for line in reference.splitlines()
+                if not line.startswith("@")]
+        assert len(body) == 60  # two records per pair, every pair present
+        for key, text in texts.items():
+            assert text == reference, key
+
+    def test_pair_flags_are_consistent(self, paired_dataset, paired_config):
+        text = paired_sam(paired_dataset, paired_config, "cooperative", False)
+        body = [line.split("\t") for line in text.splitlines()
+                if not line.startswith("@")]
+        proper = 0
+        for first, second in zip(body[0::2], body[1::2]):
+            flag1, flag2 = int(first[1]), int(second[1])
+            assert flag1 & FLAG_PAIRED and flag2 & FLAG_PAIRED
+            assert bool(flag1 & FLAG_PROPER_PAIR) == \
+                bool(flag2 & FLAG_PROPER_PAIR)
+            if flag1 & FLAG_PROPER_PAIR:
+                proper += 1
+                # Proper pairs: same reference, opposite TLEN signs.
+                assert first[2] == second[2] or "=" in (first[6], second[6])
+                assert int(first[8]) == -int(second[8]) != 0
+        assert proper > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("bulk", (False, True))
+    def test_served_matches_offline(self, paired_dataset, paired_config,
+                                    backend, bulk):
+        genome, reads = paired_dataset
+        reads = reads[:40]
+        offline = paired_sam((genome, reads), paired_config, backend, bulk,
+                             n_reads=40)
+        cfg = paired_config.with_(use_bulk_lookups=bulk, lookup_batch_size=8)
+        names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+        with MerAligner(cfg).prepare(genome.contigs, n_ranks=4,
+                                     machine=MACHINE, backend=backend,
+                                     target_names=names) as session:
+            served = session.paired_sam_for(session.align_paired(reads))
+        assert served == offline
+
+    def test_scheduler_coalesces_paired_requests(self, paired_dataset,
+                                                 paired_config):
+        from repro.service import RequestScheduler
+        genome, reads = paired_dataset
+        names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+        first, second = reads[:20], reads[20:44]
+        offline = {
+            "first": paired_sam((genome, first), paired_config,
+                                "cooperative", False, n_reads=20),
+            "second": paired_sam((genome, second), paired_config,
+                                 "cooperative", False, n_reads=24),
+        }
+        with MerAligner(paired_config).prepare(
+                genome.contigs, n_ranks=4, machine=MACHINE,
+                target_names=names) as session:
+            with RequestScheduler(session, max_wait_s=0.05) as scheduler:
+                futures = [scheduler.submit(first, workload="paired"),
+                           scheduler.submit(second, workload="paired"),
+                           scheduler.submit(first, workload="paired")]
+                results = [f.result(timeout=120.0) for f in futures]
+        assert results[0].text == offline["first"]
+        assert results[1].text == offline["second"]
+        assert results[2].text == offline["first"]
+        assert results[0].sam == results[0].text
+        # Coalesced into one batch, demultiplexed per request.
+        assert len({r.batch_id for r in results}) == 1
+        assert results[0].counters.pairs_processed == 10
+        assert results[1].counters.pairs_processed == 12
+        for result in results:  # per-request counters stay self-consistent
+            assert result.counters.mate_rescue_attempts >= \
+                result.counters.mate_rescues
+
+    def test_scheduler_rejects_odd_paired_submission(self, paired_dataset,
+                                                     paired_config):
+        from repro.service import RequestScheduler
+        genome, reads = paired_dataset
+        with MerAligner(paired_config).prepare(genome.contigs, n_ranks=4,
+                                               machine=MACHINE) as session:
+            with RequestScheduler(session, max_wait_s=0.005) as scheduler:
+                with pytest.raises(ValueError, match="whole units"):
+                    scheduler.submit(reads[:5], workload="paired")
+
+
+class TestPairedServer:
+    """The PAIRED wire verb end to end over a real socket."""
+
+    def test_paired_verb_round_trip(self, paired_dataset, paired_config):
+        import threading
+        from repro.service import (AlignmentServer, RequestScheduler,
+                                   SocketAlignmentClient)
+        genome, reads = paired_dataset
+        reads = reads[:20]
+        names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+        offline = paired_sam((genome, reads), paired_config, "cooperative",
+                             False, n_reads=20)
+        with MerAligner(paired_config).prepare(
+                genome.contigs, n_ranks=4, machine=MACHINE,
+                target_names=names) as session:
+            scheduler = RequestScheduler(session, max_wait_s=0.005)
+            server = AlignmentServer(scheduler, port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                client = SocketAlignmentClient(host=server.host,
+                                               port=server.port, timeout=120.0)
+                assert client.ping()
+                assert client.paired_sam(reads) == offline
+                assert client.workload_text("paired", reads) == offline
+                from repro.service.client import ServiceError
+                with pytest.raises(ServiceError, match="even"):
+                    client.paired_sam(reads[:3])
+            finally:
+                server.shutdown()
+                thread.join(timeout=30.0)
+                scheduler.close()
