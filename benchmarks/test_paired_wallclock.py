@@ -1,0 +1,169 @@
+"""Paired-end workload: measured wall-clock per execution backend.
+
+The PR-5 paired workload shipped with modelled-time benchmarks only
+(test_paired_alignment.py); this benchmark closes the loop with *host
+wall-clock* measurements of the paired plan -- pair join, bulk mate rescue
+and the paired SAM sink included -- on the cooperative in-process driver
+and the true multiprocess backend, mirroring test_backend_scaling.py for
+the align workload.
+
+The interesting quantity is again the process-backend speedup over
+cooperative at 4 ranks: the rescue-heavy library below keeps every rank
+busy with banded Smith-Waterman (seed-dead R2 mates), which is exactly the
+work that parallelises across rank processes.  Correctness is asserted
+unconditionally (paired SAM byte-identical across backends at every rank
+count); the wall-clock target is asserted only when armed via
+REPRO_ASSERT_BACKEND_SCALING on a runner with known core counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.plan import PlanRunner, plan_for_workload
+from repro.dna.synthetic import GenomeSpec, ReadRecord, ReadSetSpec, make_dataset
+from repro.io.sam import paired_sam_text
+from repro.pgas.cost_model import LAPTOP_LIKE
+
+from conftest import format_table, write_report
+
+RANK_POINTS = [1, 2, 4]
+BACKENDS = ["cooperative", "process"]
+
+#: Single-node machine model: all ranks on one node, like the host really is.
+MACHINE = LAPTOP_LIKE
+
+FLIP = {"A": "C", "C": "G", "G": "T", "T": "A"}
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def paired_scaling_dataset():
+    """Compute-dense paired library: sequencing errors push most reads down
+    the seed-and-extend path, and every second pair's R2 is seed-dead (an
+    error every 10 bases) so mate rescue runs real banded SW per rank."""
+    spec = GenomeSpec(name="pscaling", genome_length=30_000, n_contigs=40,
+                      repeat_fraction=0.05, repeat_unit_length=250,
+                      min_contig_length=300)
+    read_spec = ReadSetSpec(coverage=3.0, read_length=100, error_rate=0.02,
+                            paired=True, insert_size=320, insert_sd=25)
+    genome, reads = make_dataset(spec, read_spec, seed=404)
+    out = list(reads)
+    for i in range(0, len(out), 4):  # every second pair
+        mate = out[i + 1]
+        sequence = list(mate.sequence)
+        for j in range(0, len(sequence), 10):
+            sequence[j] = FLIP[sequence[j]]
+        out[i + 1] = ReadRecord(name=mate.name, sequence="".join(sequence),
+                                quality=mate.quality, mate_of=mate.mate_of)
+    return genome, out
+
+
+@pytest.fixture(scope="module")
+def paired_scaling_config():
+    """Bulk-batched engine (the configuration that keeps multiprocess
+    channel traffic amortised), with mate rescue at its defaults."""
+    return AlignerConfig(seed_length=21, fragment_length=1500, seed_stride=2,
+                         insert_size=320, insert_slack=80,
+                         seed_cache_bytes_per_node=4 * 1024 * 1024,
+                         target_cache_bytes_per_node=2 * 1024 * 1024,
+                         use_bulk_lookups=True, lookup_batch_size=128)
+
+
+@pytest.mark.benchmark(group="paired_wallclock")
+def test_paired_backend_wallclock(benchmark, paired_scaling_dataset,
+                                  paired_scaling_config):
+    genome, reads = paired_scaling_dataset
+    cores = usable_cores()
+    names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+    lengths = [len(c) for c in genome.contigs]
+
+    def experiment():
+        results = {}
+        sams = {}
+        rescues = {}
+        for backend in BACKENDS:
+            for ranks in RANK_POINTS:
+                start = time.perf_counter()
+                result = PlanRunner(plan_for_workload("paired"),
+                                    paired_scaling_config).run(
+                    genome.contigs, reads, n_ranks=ranks, machine=MACHINE,
+                    backend=backend)
+                total = time.perf_counter() - start
+                align_wall = result.report.phase("align_reads").wall_seconds
+                results[(backend, ranks)] = (align_wall, total)
+                sams[(backend, ranks)] = paired_sam_text(result.output,
+                                                         names, lengths)
+                rescues[(backend, ranks)] = result.report.counters.mate_rescues
+        return results, sams, rescues
+
+    results, sams, rescues = benchmark.pedantic(experiment, rounds=1,
+                                                iterations=1)
+
+    # Correctness on every host: byte-identical paired SAM everywhere.
+    reference = sams[("cooperative", RANK_POINTS[0])]
+    for key, sam in sams.items():
+        assert sam == reference, f"paired SAM diverged at {key}"
+    assert rescues[("cooperative", RANK_POINTS[0])] > 0  # rescue work ran
+
+    speedups = {ranks: results[("cooperative", ranks)][0]
+                / results[("process", ranks)][0]
+                for ranks in RANK_POINTS}
+    rows = []
+    for ranks in RANK_POINTS:
+        coop_align, coop_total = results[("cooperative", ranks)]
+        proc_align, proc_total = results[("process", ranks)]
+        rows.append([ranks, coop_align, proc_align, speedups[ranks],
+                     coop_total, proc_total])
+
+    lines = [
+        "Paired workload: measured wall-clock of the aligning phase per backend",
+        f"host: {cores} usable core(s); dataset: {len(genome.contigs)} "
+        f"contigs, {len(reads) // 2} pairs "
+        f"({rescues[('cooperative', RANK_POINTS[0])]} mates rescued); "
+        "bulk-batched engine (window = "
+        f"{paired_scaling_config.lookup_batch_size} pairs)", "",
+    ]
+    lines += format_table(
+        ["ranks", "cooperative align (s)", "process align (s)",
+         "process speedup", "coop total (s)", "process total (s)"], rows)
+    lines += [
+        "",
+        f"process-backend speedup over cooperative at 4 ranks "
+        f"(alignment phase): {speedups[4]:.2f}x",
+        "target: >= 1.5x on a >= 4-core host (pair join and bulk mate "
+        "rescue add serial",
+        "sink work per window, so the bar sits below the align workload's "
+        "2x).",
+    ]
+    if cores < 4:
+        lines += [
+            f"NOTE: this host exposes only {cores} core(s), so the rank "
+            "processes time-share one CPU and no wall-clock speedup is "
+            "physically possible here; re-run on >= 4 cores for the "
+            "scaling result.",
+        ]
+    # Measured wall-clock rows jitter run to run: mask their floats when
+    # deciding whether the results file changed (benchmarks/README.md).
+    write_report("paired_wallclock", lines,
+                 volatile=(r"^\d+\s", r"speedup over cooperative"))
+
+    # The wall-clock target is asserted only when explicitly armed (the
+    # dedicated CI job sets REPRO_ASSERT_BACKEND_SCALING on a known
+    # >= 4-core runner); shared tier-1 runners are too noisy to gate on.
+    if os.environ.get("REPRO_ASSERT_BACKEND_SCALING") and cores >= 4:
+        assert speedups[4] >= 1.5, (
+            f"expected >= 1.5x at 4 ranks on a {cores}-core host, "
+            f"measured {speedups[4]:.2f}x")
+        # More ranks must help the process backend itself.
+        assert results[("process", 4)][0] < results[("process", 1)][0]

@@ -7,13 +7,16 @@ parallel I/O, distributed seed index construction with aggregating stores,
 software-cached one-sided lookups, exact-match fast path, load balancing by
 random permutation, and SIMD-style Smith-Waterman extension -- is parallel.
 
-Quickstart::
+Quickstart (a runnable doctest -- scale the genome spec up for real runs):
 
-    from repro import api, make_dataset, HUMAN_LIKE, ReadSetSpec
-
-    genome, reads = make_dataset(HUMAN_LIKE.scaled(0.05), ReadSetSpec(coverage=4), seed=1)
-    report = api.align(genome.contigs, reads, n_ranks=8)
-    print(report.summary())
+    >>> from repro import api, make_dataset, ECOLI_LIKE, ReadSetSpec
+    >>> genome, reads = make_dataset(ECOLI_LIKE.scaled(0.02),
+    ...                              ReadSetSpec(coverage=2), seed=1)
+    >>> report = api.align(genome.contigs, reads, n_ranks=4)
+    >>> report.counters.reads_processed == len(reads)
+    True
+    >>> report.counters.aligned_fraction >= 0.9
+    True
 
 :mod:`repro.api` is the documented public surface: one-shot runs
 (``api.align`` / ``api.count`` / ``api.screen``), composable stage pipelines
@@ -41,7 +44,7 @@ from repro.pgas import EDISON_LIKE, LAPTOP_LIKE, MachineModel, PgasRuntime
 from repro.baselines import BwaLikeAligner, BowtieLikeAligner, PMapFramework
 from repro import api
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "api",

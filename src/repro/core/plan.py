@@ -198,11 +198,12 @@ class StageContext:
     One instance per rank per SPMD invocation: the rank's
     :class:`~repro.pgas.runtime.RankContext` (all cost accounting goes
     through it), the configuration, the resident distributed structures, the
-    per-node software caches, and the invocation's event counters.
+    per-node software caches, the invocation's event counters, and the
+    window-scoped fragment pool bulk stages share.
     """
 
     __slots__ = ("ctx", "config", "seed_index", "target_store", "seed_cache",
-                 "target_cache", "counters")
+                 "target_cache", "counters", "window_fragments")
 
     def __init__(self, ctx: RankContext, config: AlignerConfig,
                  seed_index: SeedIndex, target_store: TargetStore,
@@ -216,6 +217,16 @@ class StageContext:
         self.seed_cache = seed_cache
         self.target_cache = target_cache
         self.counters = counters
+        #: Fragments fetched by earlier bulk stages of the *current* window,
+        #: keyed by the pointer's ``(owner, key)`` address.  Later stages of
+        #: the same window (bulk mate rescue) reuse these records instead of
+        #: paying a second charged get for a fragment already on this rank.
+        self.window_fragments: dict[tuple[int, Any], Any] = {}
+
+    def begin_window(self) -> None:
+        """Reset the window-scoped fragment pool (called by the runner at
+        the start of every unit window)."""
+        self.window_fragments.clear()
 
 
 class ReadState:
@@ -229,7 +240,8 @@ class ReadState:
     ``sources`` mirrors ``alignments`` with the :class:`GlobalPointer` of
     the fragment each alignment was extended on, and ``resolved_source`` is
     the fragment of an exact-path resolution -- the anchors mate rescue
-    re-fetches (a charged get like any other) to search the insert window.
+    fetches back (from the window's fragment pool when possible, else a
+    charged get like any other) to search the insert window.
     """
 
     __slots__ = ("read", "orientations", "active", "resolved", "lookups",
@@ -511,6 +523,9 @@ class ExactPath(QueryStage):
             fetch_tags.append((work_index, strand_index, placement))
         fragments = xs.target_store.fetch_many(ctx, fetch_pointers,
                                                cache=xs.target_cache)
+        pool = xs.window_fragments
+        for pointer, fragment in zip(fetch_pointers, fragments):
+            pool[(pointer.owner, pointer.key)] = fragment
         fetched: dict[tuple[int, int], tuple] = {}
         for (work_index, strand_index, placement), fragment in \
                 zip(fetch_tags, fragments):
@@ -669,6 +684,9 @@ class ExtendAlign(QueryStage):
                 job_tags.append((item, strand, placement, query_offset))
         fragments = xs.target_store.fetch_many(ctx, fetch_pointers,
                                                cache=xs.target_cache)
+        pool = xs.window_fragments
+        for pointer, fragment in zip(fetch_pointers, fragments):
+            pool[(pointer.owner, pointer.key)] = fragment
         counters.candidates_examined += len(fetch_pointers)
 
         jobs = []
@@ -745,14 +763,22 @@ class MateRescue(PairStage):
     When exactly one mate of a pair aligned, the library's insert-size
     distribution pins where the other mate should be: at
     ``insert_size +- insert_slack`` from the anchor's 5' end, on the
-    opposite strand.  The rescue re-fetches the anchor's fragment through
-    the target store -- a charged get (and a software-cache participant)
-    like any other fetch -- and runs the banded Smith-Waterman extension
-    kernel over the expected window (band = ``insert_slack`` plus the usual
-    ``window_padding``).  A rescue scoring at least
-    ``config.min_alignment_score`` becomes the lost mate's primary; anything
-    weaker (an insert-size outlier, a mate off the contig) leaves the mate
-    unmapped.  Gated by ``config.use_mate_rescue``.
+    opposite strand.  The rescue needs the anchor's fragment back; the
+    scalar path re-fetches it through the target store -- a charged get
+    (and a software-cache participant) like any other fetch -- while the
+    bulk path (``process_pairs`` under ``use_bulk_lookups``) reuses the
+    record from the window's fragment pool when ExactPath/ExtendAlign
+    already pulled it this window, and otherwise dedupes the window's
+    anchor pointers into **one** :meth:`TargetStore.fetch_many` (one
+    aggregated get per owning rank, like ``ExtendAlign.process_window``).
+    Both paths run the banded Smith-Waterman extension kernel over the
+    expected window (band = ``insert_slack`` plus the usual
+    ``window_padding``); the bulk path sweeps the whole window of rescues
+    through the shape-grouped batched striped kernel (``extend_batch``) in
+    one call.  A rescue scoring at least ``config.min_alignment_score``
+    becomes the lost mate's primary; anything weaker (an insert-size
+    outlier, a mate off the contig) leaves the mate unmapped.  Gated by
+    ``config.use_mate_rescue``.
 
     The search is bounded by the anchor's *fragment*: the distributed target
     store shards contigs into ``config.fragment_length`` pieces (2000 bases
@@ -766,12 +792,15 @@ class MateRescue(PairStage):
     inputs = ("pairs", "target_store")
     outputs = ("pairs",)
 
-    def process_pair(self, xs: StageContext, pair: PairState) -> None:
-        config = xs.config
-        if not config.use_mate_rescue:
-            return
+    @staticmethod
+    def _rescue_candidate(pair: PairState):
+        """The ``(anchor, source, lost, lost_mate)`` of a rescuable pair.
+
+        ``None`` when there is nothing to anchor a rescue on: both mates
+        mapped, both lost, or the anchor has no source fragment pointer.
+        """
         if (pair.primary1 is None) == (pair.primary2 is None):
-            return  # both mapped or both lost: nothing to anchor a rescue on
+            return None
         if pair.primary1 is not None:
             anchor, source, lost, lost_mate = (pair.primary1, pair.source1,
                                                pair.r2, 2)
@@ -779,12 +808,12 @@ class MateRescue(PairStage):
             anchor, source, lost, lost_mate = (pair.primary2, pair.source2,
                                                pair.r1, 1)
         if source is None:
-            return
-        ctx, counters = xs.ctx, xs.counters
-        counters.mate_rescue_attempts += 1
-        pair.rescue_attempted = True
-        fragment = xs.target_store.fetch(ctx, source, cache=xs.target_cache)
+            return None
+        return anchor, source, lost, lost_mate
 
+    @staticmethod
+    def _oriented_mate(anchor, lost: ReadState) -> tuple[str, str]:
+        """The lost mate's strand and sequence, FR-oriented to the anchor."""
         mate_strand = "-" if anchor.strand == "+" else "+"
         oriented = None
         for strand, sequence in lost.orientations:
@@ -793,9 +822,12 @@ class MateRescue(PairStage):
         if oriented is None:  # short read / revcomp disabled: orient here
             oriented = (reverse_complement(lost.read.sequence)
                         if mate_strand == "-" else lost.read.sequence)
-        if not oriented:
-            return
+        return mate_strand, oriented
 
+    @staticmethod
+    def _rescue_hit(config: AlignerConfig, anchor, mate_strand: str,
+                    oriented: str, fragment, target_seq: str) -> SeedHit:
+        """Seed hit pinning the expected insert window on *fragment*."""
         # Expected mate start in parent-target coordinates: the template
         # spans insert_size bases from the anchor's 5' end, FR-oriented.
         if anchor.strand == "+":
@@ -803,13 +835,47 @@ class MateRescue(PairStage):
         else:
             expected = anchor.target_end - config.insert_size
         local = expected - fragment.parent_offset
-        target_seq = fragment.sequence()
         # Clip the window at the fragment boundary (the contig edge when the
         # anchor sits near it); SeedHit offsets are non-negative.
         local = max(0, min(local, max(0, len(target_seq) - 1)))
-        hit = SeedHit(target_id=fragment.parent_target_id,
-                      target_offset=local, query_offset=0,
-                      seed_length=config.seed_length, strand=mate_strand)
+        return SeedHit(target_id=fragment.parent_target_id,
+                       target_offset=local, query_offset=0,
+                       seed_length=config.seed_length, strand=mate_strand)
+
+    @staticmethod
+    def _apply_rescue(xs: StageContext, pair: PairState, alignment, fragment,
+                      source, lost_mate: int) -> None:
+        """Score gate, contig-coordinate shift and primary replacement."""
+        if alignment.score < xs.config.min_alignment_score:
+            return
+        alignment.target_start += fragment.parent_offset
+        alignment.target_end += fragment.parent_offset
+        xs.counters.mate_rescues += 1
+        pair.rescued_mate = lost_mate
+        if lost_mate == 1:
+            pair.primary1, pair.source1 = alignment, source
+        else:
+            pair.primary2, pair.source2 = alignment, source
+
+    def process_pair(self, xs: StageContext, pair: PairState) -> None:
+        config = xs.config
+        if not config.use_mate_rescue:
+            return
+        candidate = self._rescue_candidate(pair)
+        if candidate is None:
+            return
+        anchor, source, lost, lost_mate = candidate
+        ctx, counters = xs.ctx, xs.counters
+        counters.mate_rescue_attempts += 1
+        pair.rescue_attempted = True
+        fragment = xs.target_store.fetch(ctx, source, cache=xs.target_cache)
+
+        mate_strand, oriented = self._oriented_mate(anchor, lost)
+        if not oriented:
+            return
+        target_seq = fragment.sequence()
+        hit = self._rescue_hit(config, anchor, mate_strand, oriented,
+                               fragment, target_seq)
         alignment, cells = extend_seed_hit(
             lost.read.name, oriented, target_seq, hit,
             scoring=config.scoring,
@@ -818,16 +884,71 @@ class MateRescue(PairStage):
         counters.sw_calls += 1
         counters.sw_cells += cells
         ctx.charge_op("sw_cell", cells)
-        if alignment.score < config.min_alignment_score:
+        self._apply_rescue(xs, pair, alignment, fragment, source, lost_mate)
+
+    def process_pairs(self, xs: StageContext, pairs: list[PairState]) -> None:
+        config = xs.config
+        if not config.use_mate_rescue:
             return
-        alignment.target_start += fragment.parent_offset
-        alignment.target_end += fragment.parent_offset
-        counters.mate_rescues += 1
-        pair.rescued_mate = lost_mate
-        if lost_mate == 1:
-            pair.primary1, pair.source1 = alignment, source
-        else:
-            pair.primary2, pair.source2 = alignment, source
+        if not config.use_bulk_lookups:
+            for pair in pairs:
+                self.process_pair(xs, pair)
+            return
+        ctx, counters = xs.ctx, xs.counters
+        # (a) collect the window's rescuable pairs, in pair order, with the
+        # same gating (and attempt accounting) as the scalar path.
+        work: list[tuple] = []
+        for pair in pairs:
+            candidate = self._rescue_candidate(pair)
+            if candidate is None:
+                continue
+            counters.mate_rescue_attempts += 1
+            pair.rescue_attempted = True
+            work.append((pair, *candidate))
+        # (b) one deduplicated fetch for the anchor fragments the window's
+        # per-read stages did not already pull: records in the window pool
+        # are reused for free, the rest ride a single fetch_many (one
+        # aggregated get per owning rank).
+        pool = xs.window_fragments
+        missing: list[GlobalPointer] = []
+        queued: set = set()
+        for _pair, _anchor, source, _lost, _lost_mate in work:
+            address = (source.owner, source.key)
+            if address in pool or address in queued:
+                continue
+            queued.add(address)
+            missing.append(source)
+        if missing:
+            fetched = xs.target_store.fetch_many(ctx, missing,
+                                                 cache=xs.target_cache)
+            for pointer, fragment in zip(missing, fetched):
+                pool[(pointer.owner, pointer.key)] = fragment
+        # (c) sweep every rescue window through the shape-grouped batched
+        # striped kernel in one call, then score/clip exactly as the scalar
+        # path does.
+        jobs = []
+        tags: list[tuple] = []
+        for pair, anchor, source, lost, lost_mate in work:
+            fragment = pool[(source.owner, source.key)]
+            mate_strand, oriented = self._oriented_mate(anchor, lost)
+            if not oriented:
+                continue
+            target_seq = fragment.sequence()
+            hit = self._rescue_hit(config, anchor, mate_strand, oriented,
+                                   fragment, target_seq)
+            jobs.append((lost.read.name, oriented, target_seq, hit))
+            tags.append((pair, fragment, source, lost_mate))
+        extended = extend_batch(
+            jobs, scoring=config.scoring,
+            window_padding=config.insert_slack + config.window_padding,
+            detailed=config.detailed_alignments)
+        for (pair, fragment, source, lost_mate), (alignment, cells) in \
+                zip(tags, extended):
+            counters.sw_calls += 1
+            counters.sw_cells += cells
+            ctx.charge_op("sw_cell", cells)
+            self._apply_rescue(xs, pair, alignment, fragment, source,
+                               lost_mate)
 
 
 class SinkStage(QueryStage):
@@ -1440,9 +1561,10 @@ class PlanRunner:
 
     The runner owns the parts of execution that are not any stage's
     business: read-set normalization, the Theorem 1 random permutation,
-    block chunking over ranks, the fine-grained vs. bulk-window engine
-    choice, per-stage :class:`PhaseStats` collection, and assembling the
-    final report.  Stages only transform state and charge costs.
+    block chunking over ranks, the window width of the single unit-based
+    engine (``lookup_batch_size`` units when bulk, one unit when
+    fine-grained), per-stage :class:`PhaseStats` collection, and assembling
+    the final report.  Stages only transform state and charge costs.
     """
 
     def __init__(self, plan: AlignmentPlan | None = None,
@@ -1599,8 +1721,10 @@ class PlanRunner:
             ctx.clock.snapshot() - before, items=len(my_reads))
         yield read_queries.name
 
-        # The staged phase: fine-grained (one read at a time) or windowed
-        # bulk batching over W units.  Same stages, different engine.
+        # The staged phase: ONE engine, windowed over sink-sized units.
+        # Bulk mode batches ``lookup_batch_size`` units per window and drives
+        # the stages' process_window forms; fine-grained mode is the same
+        # loop with windows of one unit driving process_read per stage.
         groups: list[tuple[int, Any]] = []
 
         def timed(stage: QueryStage, method, *args, items: int = 0) -> None:
@@ -1616,56 +1740,37 @@ class PlanRunner:
                 ctx.clock.snapshot() - begin, items=len(states))
             groups.extend(zip(indices, payloads))
 
-        if group > 1:
-            def run_units(start: int, count: int) -> None:
-                """One window of pairs through per-read then pair stages."""
-                unit_indices = my_indices[start:start + count]
-                unit_states = [[ReadState(read, config) for read in
-                                my_reads[offset * group:(offset + 1) * group]]
-                               for offset in range(start, start + len(unit_indices))]
-                items = [item for states in unit_states for item in states]
-                counters.reads_processed += len(items)
-                if config.use_bulk_lookups:
+        def run_units(start: int, count: int) -> None:
+            """One window of units through per-read, pair and sink stages."""
+            unit_indices = my_indices[start:start + count]
+            unit_states = [[ReadState(read, config) for read in
+                            my_reads[offset * group:(offset + 1) * group]]
+                           for offset in range(start, start + len(unit_indices))]
+            items = [item for states in unit_states for item in states]
+            counters.reads_processed += len(items)
+            xs.begin_window()
+            if config.use_bulk_lookups:
+                for stage in transforms:
+                    timed(stage, stage.process_window, items,
+                          items=len(items))
+            else:
+                for item in items:
                     for stage in transforms:
-                        timed(stage, stage.process_window, items,
-                              items=len(items))
-                else:
-                    for item in items:
-                        for stage in transforms:
-                            if not item.pending:
-                                break
-                            timed(stage, stage.process_read, item, items=1)
-                pairs = [PairState(index, *states) for index, states in
+                        if not item.pending:
+                            break
+                        timed(stage, stage.process_read, item, items=1)
+            if group > 1:
+                units = [PairState(index, *states) for index, states in
                          zip(unit_indices, unit_states)]
                 for stage in pair_stages:
-                    timed(stage, stage.process_pairs, pairs, items=len(pairs))
-                emit_timed(pairs, unit_indices)
-
-            if config.use_bulk_lookups:
-                window = config.lookup_batch_size
-                for start in range(0, len(my_indices), window):
-                    run_units(start, window)
+                    timed(stage, stage.process_pairs, units, items=len(units))
             else:
-                for start in range(len(my_indices)):
-                    run_units(start, 1)
-        elif config.use_bulk_lookups:
-            window = config.lookup_batch_size
-            for start in range(0, len(my_reads), window):
-                reads = my_reads[start:start + window]
-                items = [ReadState(read, config) for read in reads]
-                counters.reads_processed += len(items)
-                for stage in transforms:
-                    timed(stage, stage.process_window, items, items=len(items))
-                emit_timed(items, my_indices[start:start + window])
-        else:
-            for read_index, read in zip(my_indices, my_reads):
-                item = ReadState(read, config)
-                counters.reads_processed += 1
-                for stage in transforms:
-                    if not item.pending:
-                        break
-                    timed(stage, stage.process_read, item, items=1)
-                emit_timed([item], [read_index])
+                units = items
+            emit_timed(units, unit_indices)
+
+        window = config.lookup_batch_size if config.use_bulk_lookups else 1
+        for start in range(0, len(my_indices), window):
+            run_units(start, window)
         yield sink.phase_name
         return groups, counters, stage_stats
 

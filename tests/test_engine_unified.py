@@ -1,0 +1,300 @@
+"""Byte-identity of the single unit-based query engine and bulk mate rescue.
+
+``PlanRunner.query_program`` drives every plan through ONE windowed unit
+loop: bulk mode batches ``lookup_batch_size`` units per window, fine-grained
+mode is the same loop with windows of one unit.  On top of it,
+``MateRescue`` is a true bulk stage under ``use_bulk_lookups``: one
+deduplicated ``fetch_many`` per window for the anchor fragments the
+window's per-read stages did not already pool, then one sweep of the
+shape-grouped batched striped kernel.  Three contracts are pinned here:
+
+* **Engine byte identity** -- all four registered workloads produce
+  identical output across the three execution backends x bulk on/off,
+  offline and served, against the cooperative fine-grained reference.
+* **Bulk-vs-scalar mate rescue** -- on the rescue edge cases (both mates
+  missing, a rescue window clipped at the contig boundary, an insert-size
+  outlier, rescue disabled, two rescues sharing one anchor fragment) the
+  bulk path reports byte-identical SAM and identical counters.
+* **Anchor-fetch dedup** -- rescue anchors fetched by ExactPath/ExtendAlign
+  earlier in the same window are NOT fetched again: under bulk, turning
+  rescue on adds zero off-node gets, while the scalar engine pays one
+  charged fetch per attempt.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.core.plan import PlanRunner, plan_for_workload
+from repro.dna.sequence import random_dna, reverse_complement
+from repro.dna.synthetic import (GenomeSpec, ReadRecord, ReadSetSpec,
+                                 make_dataset)
+from repro.io.sam import paired_sam_text, sam_text
+from repro.pgas.cost_model import EDISON_LIKE
+
+BACKENDS = ("cooperative", "threaded", "process")
+WORKLOADS = ("align", "count", "screen", "paired")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+N_READS = 48  # 24 pairs: several bulk windows per rank at window 8
+
+
+def read(name: str, sequence: str) -> ReadRecord:
+    return ReadRecord(name=name, sequence=sequence,
+                      quality="I" * len(sequence))
+
+
+@pytest.fixture(scope="module")
+def engine_dataset():
+    """A paired library; the per-read workloads just see 48 single reads."""
+    spec = GenomeSpec(name="uni", genome_length=10000, n_contigs=5,
+                      repeat_fraction=0.02, repeat_unit_length=150,
+                      min_contig_length=300)
+    read_spec = ReadSetSpec(coverage=3.0, read_length=70, error_rate=0.01,
+                            paired=True, insert_size=240, insert_sd=20)
+    genome, reads = make_dataset(spec, read_spec, seed=23)
+    return genome, reads[:N_READS]
+
+
+@pytest.fixture(scope="module")
+def engine_config():
+    return AlignerConfig(seed_length=21, fragment_length=500, seed_stride=2)
+
+
+def render(workload, output, genome):
+    names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+    lengths = [len(c) for c in genome.contigs]
+    if workload == "align":
+        return sam_text(output, names, lengths)
+    if workload == "paired":
+        return paired_sam_text(output, names, lengths)
+    if workload == "count":
+        return output.to_tsv()
+    return output.to_tsv(names)
+
+
+def run_offline(workload, dataset, config, backend, bulk):
+    genome, reads = dataset
+    cfg = config.with_(use_bulk_lookups=bulk, lookup_batch_size=8)
+    result = PlanRunner(plan_for_workload(workload), cfg).run(
+        genome.contigs, reads, n_ranks=4, machine=MACHINE, backend=backend)
+    return render(workload, result.output, genome)
+
+
+class TestUnifiedEngineByteIdentity:
+    """The tentpole invariant: one engine, zero output drift."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_offline_matrix_agrees(self, engine_dataset, engine_config,
+                                   workload):
+        texts = {(backend, bulk): run_offline(workload, engine_dataset,
+                                              engine_config, backend, bulk)
+                 for backend in BACKENDS for bulk in (False, True)}
+        reference = texts[("cooperative", False)]
+        assert reference.strip()
+        for key, text in texts.items():
+            assert text == reference, (workload, key)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("bulk", (False, True))
+    def test_served_matches_offline(self, engine_dataset, engine_config,
+                                    backend, bulk):
+        genome, reads = engine_dataset
+        names = [f"contig{i:05d}" for i in range(len(genome.contigs))]
+        cfg = engine_config.with_(use_bulk_lookups=bulk, lookup_batch_size=8)
+        with MerAligner(cfg).prepare(genome.contigs, n_ranks=4,
+                                     machine=MACHINE, backend=backend,
+                                     target_names=names) as session:
+            for workload in WORKLOADS:
+                offline = run_offline(workload, engine_dataset, engine_config,
+                                      backend, bulk)
+                outcome = session.run_plan_many(workload, [reads])
+                served = session.render(workload,
+                                        outcome.per_request_outputs[0])
+                assert served == offline, (workload, backend, bulk)
+
+
+class TestBulkMateRescueEquivalence:
+    """Bulk rescue (fetch_many + extend_batch) vs the scalar path."""
+
+    K = 21
+    L = 70
+    INSERT = 240
+
+    @pytest.fixture(scope="class")
+    def contig(self):
+        rng = np.random.default_rng(99)
+        return random_dna(3000, rng=rng)
+
+    def config(self, bulk, **kwargs):
+        base = dict(seed_length=self.K, fragment_length=1000,
+                    insert_size=self.INSERT, insert_slack=60,
+                    use_seed_index_cache=False, use_target_cache=False,
+                    use_bulk_lookups=bulk, lookup_batch_size=64)
+        base.update(kwargs)
+        return AlignerConfig(**base)
+
+    @staticmethod
+    def corrupt_every(sequence: str, stride: int) -> str:
+        """Substitute every *stride*-th base: no clean k=21 seed survives,
+        but banded SW still scores far above the threshold."""
+        flip = {"A": "C", "C": "G", "G": "T", "T": "A"}
+        out = list(sequence)
+        for i in range(0, len(sequence), stride):
+            out[i] = flip[out[i]]
+        return "".join(out)
+
+    def pair(self, contig, name, start, mutate_mate=False, insert=None):
+        insert = insert or self.INSERT
+        r1_seq = contig[start:start + self.L]
+        r2_start = start + insert - self.L
+        r2_seq = reverse_complement(contig[r2_start:r2_start + self.L])
+        if mutate_mate:
+            r2_seq = self.corrupt_every(r2_seq, 10)
+        return [read(f"{name}/1", r1_seq), read(f"{name}/2", r2_seq)]
+
+    @pytest.fixture(scope="class")
+    def edge_case_library(self, contig):
+        """Every rescue edge case in one read set (one bulk window)."""
+        rng = np.random.default_rng(123)
+        reads = []
+        # Two rescuable pairs anchored on the SAME fragment: the bulk path
+        # must dedupe their anchor pointer (and in practice reuse the
+        # window pool) without changing either rescue.
+        reads += self.pair(contig, "resc1", 400, mutate_mate=True)
+        reads += self.pair(contig, "resc2", 430, mutate_mate=True)
+        # Both mates foreign: nothing to anchor on, no attempt.
+        foreign = random_dna(600, rng=rng)
+        reads += [read("miss/1", foreign[:self.L]),
+                  read("miss/2",
+                       reverse_complement(foreign[200:200 + self.L]))]
+        # Anchor near the contig end: the rescue window clips at the
+        # boundary instead of crashing.
+        start = len(contig) - self.INSERT + 30
+        beyond = contig[start + self.INSERT - self.L:]
+        clipped = self.corrupt_every(reverse_complement(
+            (beyond + "ACGT" * self.L)[:self.L]), 10)
+        reads += [read("clip/1", contig[start:start + self.L]),
+                  read("clip/2", clipped)]
+        # Insert-size outlier: the mate's true locus lies ~1200 bases
+        # beyond the expected window; rescue must not invent an alignment.
+        reads += self.pair(contig, "outl", 400, mutate_mate=True,
+                           insert=1600)
+        return reads
+
+    def run(self, contig, reads, bulk, **kwargs):
+        return PlanRunner(plan_for_workload("paired"),
+                          self.config(bulk, **kwargs)).run(
+            [contig], reads, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+
+    def test_edge_cases_byte_identical(self, contig, edge_case_library):
+        scalar = self.run(contig, edge_case_library, bulk=False)
+        bulk = self.run(contig, edge_case_library, bulk=True)
+        assert paired_sam_text(bulk.output, ["c0"], [len(contig)]) == \
+            paired_sam_text(scalar.output, ["c0"], [len(contig)])
+        cs, cb = scalar.report.counters, bulk.report.counters
+        # The library exercises real rescues, real refusals and a no-anchor
+        # pair -- and the bulk path agrees on every counter.
+        assert cs.mate_rescue_attempts == 4
+        assert cs.mate_rescues >= 2
+        assert (cs.mate_rescue_attempts, cs.mate_rescues, cs.sw_calls,
+                cs.sw_cells, cs.pairs_processed) == \
+            (cb.mate_rescue_attempts, cb.mate_rescues, cb.sw_calls,
+             cb.sw_cells, cb.pairs_processed)
+        # The outlier stayed unrescued, in both engines.
+        outlier = [r for r in bulk.output if r.name1.startswith("outl")]
+        assert outlier and outlier[0].rescued == 0
+
+    def test_rescue_disabled_byte_identical(self, contig, edge_case_library):
+        scalar = self.run(contig, edge_case_library, bulk=False,
+                          use_mate_rescue=False)
+        bulk = self.run(contig, edge_case_library, bulk=True,
+                        use_mate_rescue=False)
+        assert paired_sam_text(bulk.output, ["c0"], [len(contig)]) == \
+            paired_sam_text(scalar.output, ["c0"], [len(contig)])
+        assert bulk.report.counters.mate_rescue_attempts == 0
+        assert scalar.report.counters.mate_rescue_attempts == 0
+
+    @pytest.mark.parametrize("window", (1, 2, 64))
+    def test_window_size_does_not_change_rescues(self, contig,
+                                                 edge_case_library, window):
+        reference = self.run(contig, edge_case_library, bulk=False)
+        bulk = self.run(contig, edge_case_library, bulk=True,
+                        lookup_batch_size=window)
+        assert paired_sam_text(bulk.output, ["c0"], [len(contig)]) == \
+            paired_sam_text(reference.output, ["c0"], [len(contig)])
+
+
+class TestRescueAnchorDedup:
+    """The pinned comm-counter contract of the anchor-fetch dedup."""
+
+    def corrupted_library(self, dataset, stride=3):
+        """The module dataset with every *stride*-th pair's R2 corrupted so
+        its seeds all miss: a steady supply of rescuable pairs."""
+        flip = {"A": "C", "C": "G", "G": "T", "T": "A"}
+        genome, reads = dataset
+        out = list(reads)
+        for i in range(0, len(out), 2 * stride):
+            mate = out[i + 1]
+            seq = list(mate.sequence)
+            for j in range(0, len(seq), 10):
+                seq[j] = flip[seq[j]]
+            out[i + 1] = ReadRecord(name=mate.name, sequence="".join(seq),
+                                    quality=mate.quality,
+                                    mate_of=mate.mate_of)
+        return genome, out
+
+    def run(self, dataset, config, bulk, rescue):
+        genome, reads = dataset
+        cfg = config.with_(use_bulk_lookups=bulk, lookup_batch_size=8,
+                           use_mate_rescue=rescue,
+                           use_seed_index_cache=False,
+                           use_target_cache=False)
+        return PlanRunner(plan_for_workload("paired"), cfg).run(
+            genome.contigs, reads, n_ranks=8, machine=MACHINE,
+            backend="cooperative")
+
+    def test_bulk_rescue_pays_no_extra_gets(self, engine_dataset,
+                                            engine_config):
+        dataset = self.corrupted_library(engine_dataset)
+        bulk_on = self.run(dataset, engine_config, bulk=True, rescue=True)
+        bulk_off = self.run(dataset, engine_config, bulk=True, rescue=False)
+        counters = bulk_on.report.counters
+        assert counters.mate_rescue_attempts > 0
+        assert counters.mate_rescues > 0
+        # Every rescue anchor was fetched by ExactPath/ExtendAlign earlier
+        # in the same window and reused from the window pool: turning
+        # rescue on must not add a single one-sided get.
+        on_stats = bulk_on.report.total_stats
+        off_stats = bulk_off.report.total_stats
+        assert on_stats.gets == off_stats.gets
+        assert on_stats.off_node_ops == off_stats.off_node_ops
+
+    def test_scalar_rescue_pays_per_attempt(self, engine_dataset,
+                                            engine_config):
+        dataset = self.corrupted_library(engine_dataset)
+        fine_on = self.run(dataset, engine_config, bulk=False, rescue=True)
+        fine_off = self.run(dataset, engine_config, bulk=False, rescue=False)
+        attempts = fine_on.report.counters.mate_rescue_attempts
+        assert attempts > 0
+        # The scalar path re-fetches the anchor per attempt: one charged
+        # get each (off-node for remotely owned fragments).
+        extra_gets = fine_on.report.total_stats.gets - \
+            fine_off.report.total_stats.gets
+        assert extra_gets == attempts
+        assert fine_on.report.total_stats.off_node_ops > \
+            fine_off.report.total_stats.off_node_ops
+
+    def test_bulk_rescue_drops_off_node_gets_vs_scalar(self, engine_dataset,
+                                                       engine_config):
+        """The satellite acceptance: with rescue on, the bulk engine's
+        off-node get count drops below the scalar engine's -- the rescue
+        anchors ride the window's existing aggregated fetches."""
+        dataset = self.corrupted_library(engine_dataset)
+        fine = self.run(dataset, engine_config, bulk=False, rescue=True)
+        bulk = self.run(dataset, engine_config, bulk=True, rescue=True)
+        assert bulk.report.counters.mate_rescues == \
+            fine.report.counters.mate_rescues
+        assert bulk.report.total_stats.off_node_ops < \
+            fine.report.total_stats.off_node_ops
