@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Measured-load generator for a running ``meraligner serve`` instance.
+
+Drives the socket line protocol with an open-loop mixed workload (see
+:mod:`repro.obs.loadgen`) and prints the resulting :class:`LoadReport` as
+JSON: client-observed p50/p95/p99 wall-clock latency and achieved
+throughput, plus the server-reported batch occupancy and request counters
+scraped from the ``METRICS`` verb after the run.
+
+Typical use (the CI smoke runs exactly this shape)::
+
+    meraligner simulate --output-dir /tmp/ds ...
+    meraligner serve --genome /tmp/ds/genome.fasta --port 7679 &
+    python scripts/loadgen.py --port 7679 --reads /tmp/ds/reads.fastq \\
+        --duration 2 --qps 10 --workloads align,count,screen
+
+Exits nonzero when any request failed, so it doubles as a smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.io.fastq import read_fastq  # noqa: E402
+from repro.obs.loadgen import DEFAULT_WORKLOADS, LoadGenerator  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop measured load against an alignment server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7679)
+    parser.add_argument("--reads", type=Path, required=True,
+                        help="FASTQ pool for align/count/screen requests")
+    parser.add_argument("--paired-reads", type=Path, default=None,
+                        help="interleaved R1/R2 FASTQ pool for the paired "
+                             "workload (omitted: paired is dropped from "
+                             "the mix)")
+    parser.add_argument("--qps", type=float, default=20.0,
+                        help="target request rate (open-loop schedule)")
+    parser.add_argument("--concurrency", type=int, default=4,
+                        help="worker threads issuing requests")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--n-requests", type=int,
+                       help="total requests to issue")
+    group.add_argument("--duration", type=float, dest="duration_s",
+                       metavar="SECONDS",
+                       help="offered-load duration (requests = "
+                            "ceil(duration * qps))")
+    parser.add_argument("--reads-per-request", type=int, default=8)
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated mix, uniform weights "
+                             f"(default: {','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fixes the workload/read draw of every request")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request socket timeout, seconds")
+    args = parser.parse_args(argv)
+
+    reads = read_fastq(args.reads)
+    paired = (read_fastq(args.paired_reads)
+              if args.paired_reads is not None else None)
+    workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+
+    generator = LoadGenerator(
+        args.host, args.port, reads, paired_reads=paired, qps=args.qps,
+        concurrency=args.concurrency, n_requests=args.n_requests,
+        duration_s=args.duration_s, reads_per_request=args.reads_per_request,
+        workloads=workloads, seed=args.seed, timeout=args.timeout)
+    report = generator.run()
+    print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    if report.n_errors:
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                print(f"request {outcome.index} ({outcome.workload}): "
+                      f"{outcome.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -63,6 +63,9 @@ _LAZY_SERVICE_EXPORTS = {
     "ServiceStats": "repro.service.scheduler",
     "AlignmentServer": "repro.service.server",
     "AlignmentSession": "repro.service.session",
+    "MetricsRegistry": "repro.obs.registry",
+    "TraceLog": "repro.obs.tracing",
+    "LoadGenerator": "repro.obs.loadgen",
 }
 
 
@@ -132,6 +135,10 @@ __all__ = [
     "SocketAlignmentClient",
     "RequestScheduler",
     "ServiceStats",
+    # observability
+    "MetricsRegistry",
+    "TraceLog",
+    "LoadGenerator",
 ]
 
 
@@ -355,6 +362,16 @@ class AlignmentService:
         """The service's ``STATS`` document (scheduler + session summary)."""
         return self.server.stats_json()
 
+    def metrics(self) -> dict:
+        """The service's ``METRICS`` document: the unified observability
+        snapshot (registry series, service stats, session summary, cumulative
+        comm counters and cache statistics)."""
+        return self.server.metrics_json()
+
+    def metrics_text(self) -> str:
+        """The service's metrics as Prometheus text exposition."""
+        return self.server.metrics_text()
+
     def join(self, timeout: float | None = None) -> None:
         """Block until the serve loop exits (e.g. a client SHUTDOWN)."""
         self._thread.join(timeout=timeout)
@@ -379,12 +396,19 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
           max_batch_requests: int = 8, max_batch_reads: int | None = None,
           max_wait_s: float = 0.02, warm_caches: bool = False,
           request_timeout: float | None = 300.0,
-          session: AlignmentSession | None = None) -> AlignmentService:
+          session: AlignmentSession | None = None,
+          metrics=None, trace_log=None) -> AlignmentService:
     """Build the index and start serving align/paired/count/screen over TCP.
 
     Returns a running :class:`AlignmentService` (``port=0`` binds an
     OS-assigned port, read it from ``service.port``).  Pass an existing
     *session* to serve a prebuilt index instead of building one here.
+
+    *metrics* is an optional :class:`~repro.obs.MetricsRegistry` to record
+    into (one is created otherwise; read it back via ``service.metrics()``
+    or the ``METRICS`` wire verb), and *trace_log* an optional
+    :class:`~repro.obs.TraceLog` or path receiving one JSONL trace span per
+    served request (``meraligner serve --trace-log``).
 
     Example:
         >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
@@ -408,7 +432,9 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
                                  max_batch_requests=max_batch_requests,
                                  max_batch_reads=max_batch_reads,
                                  max_wait_s=max_wait_s,
-                                 warm_caches=warm_caches)
+                                 warm_caches=warm_caches,
+                                 metrics=metrics,
+                                 trace_log=trace_log)
     server = AlignmentServer(scheduler, host=host, port=port,
                              request_timeout=request_timeout)
     return AlignmentService(session, scheduler, server)

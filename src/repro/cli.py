@@ -34,7 +34,9 @@ workloads:
 ``meraligner query``
     Client of ``serve``: send a read file
     (``--workload align|count|screen|paired``) and write the response; also
-    ``--stats`` (JSON service report) and ``--shutdown``.
+    ``--stats`` (JSON service report), ``--metrics`` (the unified
+    observability snapshot, ``--metrics-format prom`` for Prometheus text)
+    and ``--shutdown``.
 
 Missing or unreadable input files exit with code 2 and a one-line message on
 stderr, uniformly across subcommands.
@@ -217,6 +219,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float, default=20.0,
                        help="micro-batching latency budget: how long to wait "
                             "for more requests after the first one arrives")
+    serve.add_argument("--trace-log", type=Path, default=None,
+                       help="append one JSON line per served request "
+                            "(enqueue/batch-formed/executed/demuxed "
+                            "timestamps in wall and virtual time)")
     _add_aligner_options(serve, default_ranks=8)
 
     query = subparsers.add_parser(
@@ -237,6 +243,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="response file to write (default: stdout)")
     query.add_argument("--stats", action="store_true",
                        help="print the service's JSON statistics report")
+    query.add_argument("--metrics", action="store_true",
+                       help="print the service's unified metrics snapshot "
+                            "(registry, service, session, comm and cache "
+                            "counters)")
+    query.add_argument("--metrics-format", choices=("json", "prom"),
+                       default="json",
+                       help="metrics exposition format (with --metrics): "
+                            "the JSON snapshot document or Prometheus text")
     query.add_argument("--shutdown", action="store_true",
                        help="ask the server to shut down cleanly")
     query.add_argument("--timeout", type=float, default=300.0)
@@ -413,10 +427,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{session.prepared.index_construction_time:.6f}s)", flush=True)
     service = api.serve(None, session=session, host=args.host, port=args.port,
                         max_batch_requests=args.max_batch_requests,
-                        max_wait_s=args.max_wait_ms / 1000.0)
+                        max_wait_s=args.max_wait_ms / 1000.0,
+                        trace_log=args.trace_log)
     print(f"serving on {service.host}:{service.port} "
-          "(PING / ALIGN / PAIRED / COUNT / SCREEN / STATS / SHUTDOWN)",
-          flush=True)
+          "(PING / ALIGN / PAIRED / COUNT / SCREEN / STATS / METRICS / "
+          "SHUTDOWN)", flush=True)
+    if args.trace_log is not None:
+        print(f"tracing requests to {args.trace_log}", flush=True)
     try:
         service.join()
     except KeyboardInterrupt:
@@ -456,6 +473,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         ran_command = True
     if args.stats:
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        ran_command = True
+    if args.metrics:
+        if args.metrics_format == "prom":
+            sys.stdout.write(client.metrics_text())
+        else:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
         ran_command = True
     if args.shutdown:
         client.shutdown()

@@ -82,7 +82,10 @@ ALIGN_PHASES = ("align_reads",)
 #: ``pairs_processed`` / ``mate_rescue*`` counters) do not bump it.
 #: Downstream tooling dispatches on it.
 #: 2: added ``schema_version`` itself and per-stage ``stages`` timings.
-REPORT_SCHEMA_VERSION = 2
+#: 3: service stats gained p99 modelled/wall latency and
+#:    ``latency_sample_window`` (the bounded percentile reservoir), and the
+#:    server grew the ``METRICS`` document alongside ``STATS``.
+REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass

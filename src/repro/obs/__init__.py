@@ -1,0 +1,26 @@
+"""Observability: the unified metrics registry, trace spans and load-gen.
+
+The serving stack records into one :class:`MetricsRegistry`
+(:mod:`repro.obs.registry`), optionally traces every request as a JSONL
+:class:`TraceSpan` (:mod:`repro.obs.tracing`), and is measured under real
+traffic by :class:`LoadGenerator` (:mod:`repro.obs.loadgen`).  Everything
+here is *passive*: host wall-clock and event counts only, never the modelled
+virtual clocks -- enabling observability cannot change any output byte.
+
+See ``docs/observability.md`` for the metric inventory and usage.
+"""
+
+from repro.obs.registry import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge,
+                                Histogram, MetricsRegistry, percentile)
+from repro.obs.tracing import TraceLog, TraceSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "percentile",
+    "TraceLog",
+    "TraceSpan",
+]

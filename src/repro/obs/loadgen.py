@@ -1,0 +1,266 @@
+"""Measured-load generation against a running alignment server.
+
+:class:`LoadGenerator` drives the socket protocol of
+:mod:`repro.service.server` with an *open-loop* request schedule: a target
+QPS fixes each request's dispatch time up front (``i / qps`` seconds after
+start), a bounded worker pool issues them, and every request's wall-clock
+latency is recorded from its scheduled dispatch time to its response --
+so server-side queueing genuinely shows up as latency instead of silently
+throttling the offered load.
+
+The mixed workload (align / count / screen / paired, weights configurable)
+and the reads of every request are drawn from a seeded RNG, so a run's
+*request counts per workload are deterministic* given ``(seed, n_requests,
+workloads)`` -- the property ``benchmarks/test_load_server.py`` pins in the
+unmasked rows of its results file, while the measured latencies land in
+volatile-masked rows.
+
+After the last response the generator scrapes the server's ``METRICS``
+document, so one :class:`LoadReport` carries both sides: client-observed
+p50/p95/p99 and throughput, and server-reported batch occupancy and request
+counters.  ``scripts/loadgen.py`` is the CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.registry import percentile
+
+__all__ = ["LoadGenerator", "LoadOutcome", "LoadReport"]
+
+DEFAULT_WORKLOADS = ("align", "count", "screen", "paired")
+
+
+@dataclass
+class LoadOutcome:
+    """One issued request, client side."""
+
+    index: int
+    workload: str
+    n_reads: int
+    #: Seconds from *scheduled* dispatch to response (open-loop latency:
+    #: worker-pool queueing counts against the server, as it should).
+    wall_latency: float
+    ok: bool
+    error: str = ""
+
+
+@dataclass
+class LoadReport:
+    """Everything one load-generation run measured."""
+
+    target_qps: float
+    concurrency: int
+    reads_per_request: int
+    seed: int
+    outcomes: list[LoadOutcome] = field(default_factory=list)
+    #: Start-to-last-response wall seconds.
+    duration_s: float = 0.0
+    #: The server's METRICS JSON document, scraped after the run (None when
+    #: the scrape failed).
+    server_metrics: dict | None = None
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def achieved_qps(self) -> float:
+        ok = self.n_requests - self.n_errors
+        return ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def counts_by_workload(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.workload] = counts.get(outcome.workload, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def latencies(self, workload: str | None = None) -> list[float]:
+        return [outcome.wall_latency for outcome in self.outcomes
+                if outcome.ok and (workload is None
+                                   or outcome.workload == workload)]
+
+    def latency_percentiles(self, workload: str | None = None) -> dict:
+        samples = self.latencies(workload)
+        return {"p50": percentile(samples, 0.50),
+                "p95": percentile(samples, 0.95),
+                "p99": percentile(samples, 0.99),
+                "mean": sum(samples) / len(samples) if samples else 0.0}
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Server-reported mean requests per micro-batch (0.0 if unscraped)."""
+        if not self.server_metrics:
+            return 0.0
+        service = self.server_metrics.get("service", {})
+        return float(service.get("batch_occupancy", 0.0))
+
+    def to_json_dict(self) -> dict:
+        return {
+            "target_qps": self.target_qps,
+            "concurrency": self.concurrency,
+            "reads_per_request": self.reads_per_request,
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "n_errors": self.n_errors,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "counts_by_workload": self.counts_by_workload(),
+            "latency": self.latency_percentiles(),
+            "latency_by_workload": {
+                workload: self.latency_percentiles(workload)
+                for workload in self.counts_by_workload()},
+            "batch_occupancy": self.batch_occupancy,
+        }
+
+
+class LoadGenerator:
+    """Open-loop mixed-workload traffic against one alignment server.
+
+    Args:
+        host / port: the server address (``meraligner serve`` or
+            :func:`repro.api.serve`).
+        reads: the single-end read pool requests draw from (any
+            ``ReadRecord``/``FastqRecord`` list).
+        paired_reads: interleaved R1/R2 pool for the ``paired`` workload;
+            when ``None``, ``paired`` is dropped from the mix.
+        qps: target request rate (the open-loop schedule).
+        concurrency: worker threads issuing requests (each holds at most one
+            in-flight request).
+        n_requests: total requests to issue; alternatively pass
+            ``duration_s`` and the count becomes ``ceil(duration_s * qps)``.
+        reads_per_request: reads drawn per request (pairs for ``paired``:
+            the request carries ``2 *`` this many records).
+        workloads: the workload mix, uniform over the given names.
+        seed: RNG seed fixing the workload/read draw of every request.
+        timeout: per-request socket timeout, seconds.
+    """
+
+    def __init__(self, host: str, port: int, reads, *, paired_reads=None,
+                 qps: float = 20.0, concurrency: int = 4,
+                 n_requests: int | None = None, duration_s: float | None = None,
+                 reads_per_request: int = 8,
+                 workloads=DEFAULT_WORKLOADS, seed: int = 0,
+                 timeout: float = 300.0) -> None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if (n_requests is None) == (duration_s is None):
+            raise ValueError("pass exactly one of n_requests / duration_s")
+        if n_requests is None:
+            n_requests = max(1, int(duration_s * qps + 0.999999))
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        self.host = host
+        self.port = port
+        self.reads = list(reads)
+        self.paired_reads = (list(paired_reads) if paired_reads is not None
+                             else None)
+        if not self.reads:
+            raise ValueError("the read pool is empty")
+        if self.paired_reads is not None and len(self.paired_reads) % 2 != 0:
+            raise ValueError("paired_reads must be interleaved R1/R2 "
+                             "(even count)")
+        self.qps = qps
+        self.concurrency = concurrency
+        self.n_requests = n_requests
+        self.reads_per_request = reads_per_request
+        self.workloads = tuple(w for w in workloads
+                               if w != "paired" or self.paired_reads)
+        if not self.workloads:
+            raise ValueError("no runnable workloads in the mix")
+        self.seed = seed
+        self.timeout = timeout
+
+    # -- deterministic request plan -------------------------------------------
+
+    def _plan(self) -> list[tuple[int, str, list]]:
+        """The full request schedule: ``(index, workload, reads)`` triples.
+
+        Drawn from one seeded RNG up front, so the per-workload request
+        counts -- and each request's reads -- depend only on the
+        constructor arguments, never on timing.
+        """
+        rng = random.Random(self.seed)
+        plan = []
+        for index in range(self.n_requests):
+            workload = self.workloads[rng.randrange(len(self.workloads))]
+            if workload == "paired":
+                n_pairs = len(self.paired_reads) // 2
+                want = min(self.reads_per_request, n_pairs)
+                start = rng.randrange(n_pairs - want + 1)
+                records = self.paired_reads[2 * start:2 * (start + want)]
+            else:
+                want = min(self.reads_per_request, len(self.reads))
+                start = rng.randrange(len(self.reads) - want + 1)
+                records = self.reads[start:start + want]
+            plan.append((index, workload, records))
+        return plan
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> LoadReport:
+        from repro.service.client import ServiceError, SocketAlignmentClient
+
+        plan = self._plan()
+        report = LoadReport(target_qps=self.qps, concurrency=self.concurrency,
+                            reads_per_request=self.reads_per_request,
+                            seed=self.seed)
+        outcomes: list[LoadOutcome | None] = [None] * len(plan)
+        next_index = [0]
+        lock = threading.Lock()
+        start = time.perf_counter()
+
+        def worker() -> None:
+            client = SocketAlignmentClient(host=self.host, port=self.port,
+                                           timeout=self.timeout)
+            while True:
+                with lock:
+                    position = next_index[0]
+                    if position >= len(plan):
+                        return
+                    next_index[0] += 1
+                index, workload, records = plan[position]
+                dispatch_at = start + index / self.qps
+                delay = dispatch_at - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    client.workload_text(workload, records)
+                    outcomes[index] = LoadOutcome(
+                        index=index, workload=workload, n_reads=len(records),
+                        wall_latency=time.perf_counter() - dispatch_at,
+                        ok=True)
+                except (OSError, ServiceError, ValueError) as exc:
+                    outcomes[index] = LoadOutcome(
+                        index=index, workload=workload, n_reads=len(records),
+                        wall_latency=time.perf_counter() - dispatch_at,
+                        ok=False, error=f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=worker, name=f"loadgen-{i}",
+                                    daemon=True)
+                   for i in range(self.concurrency)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        report.duration_s = time.perf_counter() - start
+        report.outcomes = [outcome for outcome in outcomes
+                           if outcome is not None]
+
+        client = SocketAlignmentClient(host=self.host, port=self.port,
+                                       timeout=self.timeout)
+        try:
+            report.server_metrics = client.metrics()
+        except (OSError, ServiceError, ValueError):
+            report.server_metrics = None
+        return report

@@ -1,0 +1,290 @@
+"""A thread-safe metrics registry: counters, gauges and latency histograms.
+
+Every layer of the serving stack -- scheduler, session, execution backends,
+socket server -- records into one :class:`MetricsRegistry` so a single
+snapshot describes the whole service (the ``METRICS`` wire verb serves it;
+see :mod:`repro.service.server`).  The registry is *passive* observability:
+it measures host wall-clock and event counts only and never touches the
+modelled virtual clocks or :class:`~repro.pgas.cost_model.CommStats`, so
+enabling it cannot perturb any byte-identity guarantee.
+
+Three instrument kinds, all label-aware (``registry.counter("server_requests_total",
+verb="ALIGN")`` and ``verb="COUNT"`` are distinct time series of one metric):
+
+:class:`Counter`
+    A monotonically increasing total (requests served, bytes moved).
+    Increments accept floats so accumulated seconds work too.
+
+:class:`Gauge`
+    A value that goes up and down (active connections, queue depth).
+
+:class:`Histogram`
+    Fixed cumulative buckets plus exact sum/count/min/max.  p50/p95/p99 are
+    derived from the buckets by linear interpolation -- the memory cost is
+    the bucket vector, never the sample count, so a long-lived service stays
+    bounded.  Default bounds cover 100 microseconds to 5 minutes of latency.
+
+Exposition formats:
+
+* :meth:`MetricsRegistry.snapshot` -- a deep-copied JSON document; taking it
+  mid-flight never raises and never tears (one lock guards every mutation).
+* :meth:`MetricsRegistry.to_prometheus` -- Prometheus text exposition
+  (``name{label="value"} 12``, ``_bucket``/``_sum``/``_count`` series for
+  histograms) for scrapers and humans with ``curl``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS", "percentile"]
+
+#: Histogram bucket upper bounds (seconds) used for every latency histogram:
+#: roughly logarithmic from 100 microseconds to 5 minutes, closed by +Inf.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of raw samples (0.0 for an empty list).
+
+    The exact-sample twin of :meth:`Histogram.quantile`, shared by the load
+    generator and the service statistics.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _label_suffix(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared identity plumbing of every metric kind."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...],
+                 lock: threading.RLock) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = lock
+
+    @property
+    def series(self) -> str:
+        """The fully qualified series name, e.g. ``requests{verb="ALIGN"}``."""
+        return self.name + _label_suffix(self.labels)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total (int or accumulated seconds)."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels, lock) -> None:
+        super().__init__(name, labels, lock)
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.series} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (active connections, queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels, lock) -> None:
+        super().__init__(name, labels, lock)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Histogram(_Instrument):
+    """Fixed cumulative buckets with exact sum/count/min/max.
+
+    ``bounds`` are the finite bucket upper edges; an implicit +Inf bucket
+    closes the range.  ``quantile`` interpolates linearly inside the bucket
+    containing the requested rank, so p50/p95/p99 are derivable without
+    keeping samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, labels, lock,
+                 bounds=DEFAULT_LATENCY_BUCKETS) -> None:
+        super().__init__(name, labels, lock)
+        self.bounds = tuple(sorted(bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        # counts[i] is the number of observations <= bounds[i]; the final
+        # slot is the +Inf bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.counts[-1] += 1
+
+    def quantile(self, fraction: float) -> float:
+        """Bucket-interpolated quantile (0.0 when nothing was observed)."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = fraction * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self.counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    if index >= len(self.bounds):
+                        # +Inf bucket: the exact max is the honest answer.
+                        return self.max
+                    upper = self.bounds[index]
+                    position = (rank - cumulative) / bucket_count
+                    return lower + (upper - lower) * min(1.0, max(0.0, position))
+                cumulative += bucket_count
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """One process-wide, thread-safe home for every instrument.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    with a given ``(name, labels)`` pair creates the series, later calls
+    return the same object, so call sites never coordinate registration.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> tuple[str, tuple]:
+        normalized = tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+        return name + _label_suffix(normalized), normalized
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key, normalized = self._key(name, labels)
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter(name, normalized, self._lock)
+            return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key, normalized = self._key(name, labels)
+        with self._lock:
+            if key not in self._gauges:
+                self._gauges[key] = Gauge(name, normalized, self._lock)
+            return self._gauges[key]
+
+    def histogram(self, name: str, bounds=DEFAULT_LATENCY_BUCKETS,
+                  **labels: str) -> Histogram:
+        key, normalized = self._key(name, labels)
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(name, normalized, self._lock,
+                                                  bounds=bounds)
+            return self._histograms[key]
+
+    # -- exposition -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A deep-copied JSON document of every series; never tears.
+
+        The single registry lock covers the whole walk, so a snapshot taken
+        while other threads increment is internally consistent -- a
+        histogram's bucket counts always sum to its ``count``.
+        """
+        with self._lock:
+            counters = {series: counter.value
+                        for series, counter in sorted(self._counters.items())}
+            gauges = {series: gauge.value
+                      for series, gauge in sorted(self._gauges.items())}
+            histograms = {}
+            for series, hist in sorted(self._histograms.items()):
+                histograms[series] = {
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "mean": hist.mean,
+                    "min": hist.min if hist.count else 0.0,
+                    "max": hist.max if hist.count else 0.0,
+                    "p50": hist.quantile(0.50),
+                    "p95": hist.quantile(0.95),
+                    "p99": hist.quantile(0.99),
+                    "buckets": [[bound, count] for bound, count
+                                in zip(hist.bounds, hist.counts)]
+                               + [["+Inf", hist.counts[-1]]],
+                }
+            return {"counters": counters, "gauges": gauges,
+                    "histograms": histograms}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every series (sorted, stable)."""
+        with self._lock:
+            lines: list[str] = []
+            seen_types: set[str] = set()
+
+            def type_line(name: str, kind: str) -> None:
+                if name not in seen_types:
+                    seen_types.add(name)
+                    lines.append(f"# TYPE {name} {kind}")
+
+            for _series, counter in sorted(self._counters.items()):
+                type_line(counter.name, "counter")
+                lines.append(f"{counter.series} {counter.value}")
+            for _series, gauge in sorted(self._gauges.items()):
+                type_line(gauge.name, "gauge")
+                lines.append(f"{gauge.series} {gauge.value}")
+            for _series, hist in sorted(self._histograms.items()):
+                type_line(hist.name, "histogram")
+                base = [f'{k}="{v}"' for k, v in hist.labels]
+                cumulative = 0
+                for bound, count in zip(hist.bounds, hist.counts):
+                    cumulative += count
+                    rendered = ",".join(base + [f'le="{float(bound)!r}"'])
+                    lines.append(f"{hist.name}_bucket{{{rendered}}} {cumulative}")
+                rendered = ",".join(base + ['le="+Inf"'])
+                lines.append(f"{hist.name}_bucket{{{rendered}}} {hist.count}")
+                suffix = _label_suffix(hist.labels)
+                lines.append(f"{hist.name}_sum{suffix} {hist.sum}")
+                lines.append(f"{hist.name}_count{suffix} {hist.count}")
+            return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,126 @@
+"""Per-request trace spans of the serving stack.
+
+The :class:`~repro.service.scheduler.RequestScheduler` emits one
+:class:`TraceSpan` per served request, marking the request's path through the
+micro-batching pipeline -- **enqueue** (submission), **batch-formed** (the
+collector closed the batch), **executed** (the SPMD invocation returned) and
+**demuxed** (the request's own result was resolved) -- in *both* time
+domains:
+
+* wall time: ``time.perf_counter()`` marks relative to the process (the
+  ``wall_*`` fields), plus the derived ``queue_wait_s`` / ``execute_s`` /
+  ``demux_s`` / ``wall_latency_s`` durations;
+* virtual time: the runtime's modelled clock (``virtual_*`` fields) --
+  queueing is host-side so enqueue and batch-formed share the batch's
+  starting virtual timestamp, and the batch's modelled elapsed time is the
+  request's ``modeled_latency_s``.
+
+Spans are appended as JSON Lines by a :class:`TraceLog` (one JSON object per
+line, append-only, thread-safe), enabled with ``meraligner serve --trace-log
+PATH`` or ``RequestScheduler(trace_log=...)``.  Tracing is passive: it reads
+clocks, it never charges them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["TraceSpan", "TraceLog"]
+
+
+@dataclass
+class TraceSpan:
+    """One request's timestamps through the scheduler, in both time domains."""
+
+    request_id: int
+    workload: str
+    n_reads: int
+    batch_id: int
+    batch_requests: int
+    #: Unix timestamp (``time.time()``) at which the span was emitted.
+    emitted_unix: float
+    #: ``time.perf_counter()`` marks (process-relative wall clock).
+    wall_enqueued: float
+    wall_batch_formed: float
+    wall_executed: float
+    wall_demuxed: float
+    #: Modelled virtual-clock timestamps of the shared runtime (seconds).
+    #: Enqueue/batch-formed share the pre-invocation clock: queueing is
+    #: host-side and charges nothing.
+    virtual_enqueued: float
+    virtual_executed: float
+    #: Modelled elapsed seconds of the serving batch (the request's modelled
+    #: latency under micro-batching).
+    modeled_latency_s: float
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.wall_batch_formed - self.wall_enqueued
+
+    @property
+    def execute_s(self) -> float:
+        return self.wall_executed - self.wall_batch_formed
+
+    @property
+    def demux_s(self) -> float:
+        return self.wall_demuxed - self.wall_executed
+
+    @property
+    def wall_latency_s(self) -> float:
+        return self.wall_demuxed - self.wall_enqueued
+
+    def to_json_dict(self) -> dict:
+        data = asdict(self)
+        data["queue_wait_s"] = self.queue_wait_s
+        data["execute_s"] = self.execute_s
+        data["demux_s"] = self.demux_s
+        data["wall_latency_s"] = self.wall_latency_s
+        return data
+
+
+class TraceLog:
+    """Thread-safe append-only JSONL sink for trace spans.
+
+    One JSON object per line; the file handle is opened lazily on the first
+    span and flushed per append, so ``tail -f`` on the log follows live
+    traffic.  ``close()`` is idempotent and a closed log drops spans silently
+    (shutdown races must not kill the scheduler worker).
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._closed = False
+
+    def append(self, span: TraceSpan) -> None:
+        line = json.dumps(span.to_json_dict(), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return
+            if self._handle is None:
+                self._handle = self.path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def now_unix() -> float:
+    """The wall-clock Unix timestamp (isolated for testability)."""
+    return time.time()

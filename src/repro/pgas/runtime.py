@@ -437,6 +437,11 @@ class PgasRuntime:
         self.default_backend = backend
         self.contexts = [RankContext(self, rank) for rank in range(n_ranks)]
         self.phases: list[PhaseTrace] = []
+        # Optional repro.obs.MetricsRegistry: when attached (the serving
+        # stack does), run_spmd records each invocation's measured host
+        # wall-clock, labelled like SpmdResult.label.  Purely passive -- the
+        # virtual clocks and CommStats never see it.
+        self.metrics = None
         # Objects with rank-private state a multiprocess run must report back
         # (e.g. the per-node software caches): name -> gatherable.  See
         # repro.backend.process for the gather/absorb protocol.
@@ -517,8 +522,18 @@ class PgasRuntime:
                                else self.default_backend)
         phases_before = len(self.phases)
         stats_before = [ctx.stats.copy() for ctx in self.contexts]
+        wall_start = time.perf_counter()
         results = impl.execute(self, fn, args, phase_name=phase_name,
                                label=label)
+        if self.metrics is not None:
+            wall = time.perf_counter() - wall_start
+            series_label = label or phase_name or getattr(fn, "__name__",
+                                                          "spmd")
+            self.metrics.counter("backend_invocations_total",
+                                 label=series_label,
+                                 backend=impl.name).inc()
+            self.metrics.histogram("backend_invocation_wall_seconds",
+                                   label=series_label).observe(wall)
         return SpmdResult(
             results=results,
             phases=self.phases[phases_before:],

@@ -75,6 +75,10 @@ class AlignmentClient:
     def stats(self) -> ServiceStats:
         return self.scheduler.stats()
 
+    def metrics(self) -> dict:
+        """A snapshot of the scheduler's unified metrics registry."""
+        return self.scheduler.metrics.snapshot()
+
     def close(self) -> None:
         """Close the scheduler if this client created it."""
         if self._owns_scheduler:
@@ -169,8 +173,25 @@ class SocketAlignmentClient:
         return method(reads)
 
     def stats(self) -> dict:
-        """The server's service/session statistics as parsed JSON."""
-        return json.loads(self._roundtrip("STATS").decode("ascii"))
+        """The server's service/session statistics as parsed JSON.
+
+        Decoded as UTF-8: session summaries embed reference/target names,
+        which are not guaranteed to be ASCII.
+        """
+        return json.loads(self._roundtrip("STATS").decode("utf-8"))
+
+    def metrics(self) -> dict:
+        """The server's unified ``METRICS`` snapshot as parsed JSON.
+
+        Covers the metrics registry (scheduler, session, backend and server
+        series), the service stats, the session summary, cumulative
+        communication counters and cache statistics.
+        """
+        return json.loads(self._roundtrip("METRICS").decode("utf-8"))
+
+    def metrics_text(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._roundtrip("METRICS PROM").decode("utf-8")
 
     def shutdown(self) -> None:
         """Ask the server to shut down cleanly."""

@@ -35,9 +35,16 @@ from dataclasses import dataclass, field
 
 from repro.alignment.result import Alignment
 from repro.core.stats import AlignmentCounters
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import TraceLog, TraceSpan
 from repro.pgas.cost_model import CommStats
 from repro.pgas.trace import PhaseTrace
 from repro.service.session import AlignmentSession
+
+#: Bucket bounds of the count-valued histograms (requests or reads coalesced
+#: per micro-batch) -- latencies use the registry's default latency buckets.
+OCCUPANCY_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128, 256, 512,
+                     1024, 4096)
 
 
 @dataclass
@@ -102,14 +109,23 @@ class AlignmentRequest:
 
 
 #: Latency samples kept for the percentile estimates.  Counters cover every
-#: request ever served; the p50/p95 figures are computed over the most recent
-#: window so a long-lived service's memory stays bounded.
+#: request ever served; the p50/p95/p99 figures are computed over the most
+#: recent window so a long-lived service's memory stays bounded.
 LATENCY_SAMPLE_WINDOW = 4096
 
 
 @dataclass
 class ServiceStats:
-    """Service-level statistics over every request served so far."""
+    """Service-level statistics over every request served so far.
+
+    The counters (``requests``, ``batches``, ``reads``, ...) are exact over
+    the service's lifetime.  The latency percentiles are computed over a
+    **bounded reservoir** of the most recent :data:`LATENCY_SAMPLE_WINDOW`
+    samples per series (modelled and wall), so a long-lived service's memory
+    stays flat; ``latency_sample_window`` in :meth:`to_json_dict` documents
+    the window to consumers.  For unbounded-horizon percentiles scrape the
+    ``METRICS`` histograms instead (fixed buckets, no reservoir).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -141,6 +157,14 @@ class ServiceStats:
     def p95_modeled_latency(self) -> float:
         return self._percentile(self.modeled_latencies, 0.95)
 
+    @property
+    def p99_modeled_latency(self) -> float:
+        return self._percentile(self.modeled_latencies, 0.99)
+
+    @property
+    def p99_wall_latency(self) -> float:
+        return self._percentile(self.wall_latencies, 0.99)
+
     def to_json_dict(self) -> dict:
         return {
             "requests": self.requests,
@@ -151,10 +175,13 @@ class ServiceStats:
             "requests_by_workload": dict(sorted(
                 self.requests_by_workload.items())),
             "batch_occupancy": self.batch_occupancy,
+            "latency_sample_window": LATENCY_SAMPLE_WINDOW,
             "p50_modeled_latency": self.p50_modeled_latency,
             "p95_modeled_latency": self.p95_modeled_latency,
+            "p99_modeled_latency": self.p99_modeled_latency,
             "p50_wall_latency": self._percentile(self.wall_latencies, 0.50),
             "p95_wall_latency": self._percentile(self.wall_latencies, 0.95),
+            "p99_wall_latency": self.p99_wall_latency,
         }
 
     def report(self) -> str:
@@ -172,7 +199,9 @@ class RequestScheduler:
                  max_batch_requests: int = 8,
                  max_batch_reads: int | None = None,
                  max_wait_s: float = 0.02,
-                 warm_caches: bool = False) -> None:
+                 warm_caches: bool = False,
+                 metrics: "MetricsRegistry | None" = None,
+                 trace_log=None) -> None:
         """Args:
             session: the resident :class:`AlignmentSession` to serve from.
             max_batch_requests: hard cap on requests coalesced per batch.
@@ -182,6 +211,13 @@ class RequestScheduler:
                 the first one arrives (the micro-batching latency budget).
             warm_caches: forwarded to ``align_many`` -- keep per-node caches
                 warm across requests instead of the cold-per-request default.
+            metrics: the :class:`~repro.obs.MetricsRegistry` to record into;
+                one is created (and attached to the session and its runtime)
+                when omitted, so a scheduler always has a live registry.
+            trace_log: a :class:`~repro.obs.TraceLog` or a path -- when set,
+                one :class:`~repro.obs.TraceSpan` is appended per served
+                request (``serve --trace-log``).  A path-created log is
+                owned by the scheduler and closed with it.
         """
         if max_batch_requests <= 0:
             raise ValueError("max_batch_requests must be positive")
@@ -194,6 +230,12 @@ class RequestScheduler:
         self.max_batch_reads = max_batch_reads
         self.max_wait_s = max_wait_s
         self.warm_caches = warm_caches
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        session.attach_metrics(self.metrics)
+        self._owns_trace_log = trace_log is not None \
+            and not isinstance(trace_log, TraceLog)
+        self.trace_log = (TraceLog(trace_log) if self._owns_trace_log
+                          else trace_log)
         self._queue: queue.Queue = queue.Queue()
         # A request whose workload differs from the batch being collected is
         # parked here and leads the next batch.
@@ -272,6 +314,8 @@ class RequestScheduler:
         self._closed = True
         self._queue.put(self._SHUTDOWN)
         self._worker.join(timeout=timeout)
+        if self._owns_trace_log and self.trace_log is not None:
+            self.trace_log.close()
 
     def __enter__(self) -> "RequestScheduler":
         return self
@@ -348,6 +392,23 @@ class RequestScheduler:
         batch_id = self._next_batch_id
         self._next_batch_id += 1
         workload = batch[0].workload
+        batch_formed_at = time.perf_counter()
+        # Virtual-time marks are read (never charged) off the shared
+        # runtime's modelled clock: queueing is host-side, so the whole
+        # batch enqueues at the pre-invocation timestamp.
+        virtual_before = self.session.prepared.runtime.elapsed
+        self.metrics.counter("scheduler_batches_total",
+                             workload=workload).inc()
+        self.metrics.histogram("scheduler_batch_occupancy",
+                               bounds=OCCUPANCY_BUCKETS).observe(len(batch))
+        self.metrics.histogram(
+            "scheduler_batch_reads", bounds=OCCUPANCY_BUCKETS,
+        ).observe(sum(len(r.reads) for r in batch))
+        for request in batch:
+            self.metrics.counter("scheduler_requests_total",
+                                 workload=workload).inc()
+            self.metrics.histogram("scheduler_queue_wait_seconds").observe(
+                batch_formed_at - request.submitted_at)
         try:
             outcome = self.session.run_plan_many(
                 workload, [r.reads for r in batch],
@@ -355,10 +416,13 @@ class RequestScheduler:
         except BaseException as exc:  # noqa: BLE001 - delivered to clients
             with self._stats_lock:
                 self._stats.failed_requests += len(batch)
+            self.metrics.counter("scheduler_failed_requests_total",
+                                 workload=workload).inc(len(batch))
             for request in batch:
                 request._fail(exc)
             return
         served_at = time.perf_counter()
+        virtual_after = self.session.prepared.runtime.elapsed
         batch_stats = outcome.stats
         results = []
         for request, output, counters in zip(
@@ -396,4 +460,29 @@ class RequestScheduler:
             del self._stats.modeled_latencies[:-LATENCY_SAMPLE_WINDOW]
             del self._stats.wall_latencies[:-LATENCY_SAMPLE_WINDOW]
         for request, result in zip(batch, results):
+            # Record the span and metrics BEFORE resolving the future: a
+            # client unblocked by _resolve must be able to read its own span.
+            demuxed_at = time.perf_counter()
+            self.metrics.histogram("scheduler_request_wall_seconds",
+                                   workload=workload).observe(
+                demuxed_at - request.submitted_at)
+            self.metrics.histogram("scheduler_request_modeled_seconds",
+                                   workload=workload).observe(
+                result.modeled_latency)
+            if self.trace_log is not None:
+                self.trace_log.append(TraceSpan(
+                    request_id=request.request_id,
+                    workload=workload,
+                    n_reads=len(request.reads),
+                    batch_id=batch_id,
+                    batch_requests=len(batch),
+                    emitted_unix=time.time(),
+                    wall_enqueued=request.submitted_at,
+                    wall_batch_formed=batch_formed_at,
+                    wall_executed=served_at,
+                    wall_demuxed=demuxed_at,
+                    virtual_enqueued=virtual_before,
+                    virtual_executed=virtual_after,
+                    modeled_latency_s=result.modeled_latency,
+                ))
             request._resolve(result)

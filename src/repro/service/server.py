@@ -19,8 +19,15 @@ guess payload boundaries:
     screen`` output for the same reads.
 ``STATS``
     Responds ``OK <n_bytes>`` + a JSON document: the service-level scheduler
-    statistics (requests, p50/p95 modelled latency, batch occupancy) and the
-    session's index summary -- the machine-readable twin of ``--json-report``.
+    statistics (requests, p50/p95/p99 modelled latency, batch occupancy) and
+    the session's index summary -- the machine-readable twin of
+    ``--json-report``.
+``METRICS`` (also ``METRICS PROM`` / ``METRICS ?format=prom``)
+    The unified observability snapshot: every series of the service's
+    :class:`~repro.obs.MetricsRegistry` (scheduler, session, backend and
+    server instruments) plus the service stats, session summary, cumulative
+    communication counters and cache statistics, as one JSON document.  The
+    ``PROM`` form responds with Prometheus text exposition instead.
 ``PING``
     Responds ``OK 0`` (used for readiness probes).
 ``SHUTDOWN``
@@ -37,9 +44,28 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
+from dataclasses import asdict
 
 from repro.io.fastq import FastqRecord
 from repro.service.scheduler import RequestScheduler
+
+
+class _CountingReader:
+    """Wraps the handler's binary read file, tallying bytes into a counter."""
+
+    def __init__(self, raw, counter) -> None:
+        self._raw = raw
+        self._counter = counter
+
+    def readline(self, *args):
+        data = self._raw.readline(*args)
+        self._counter.inc(len(data))
+        return data
+
+    def read(self, *args):
+        data = self._raw.read(*args)
+        self._counter.inc(len(data))
+        return data
 
 
 class ProtocolError(ValueError):
@@ -95,37 +121,67 @@ class _Handler(socketserver.StreamRequestHandler):
     """
 
     def _reply(self, payload: bytes = b"") -> None:
-        self.wfile.write(f"OK {len(payload)}\n".encode("ascii"))
+        header = f"OK {len(payload)}\n".encode("ascii")
+        self.wfile.write(header)
         if payload:
             self.wfile.write(payload)
         self.wfile.flush()
+        self.server.metrics.counter("server_bytes_out_total").inc(
+            len(header) + len(payload))
 
     def _error(self, message: str) -> None:
-        self.wfile.write(f"ERR {message}\n".encode("ascii"))
+        line = f"ERR {message}\n".encode("ascii")
+        self.wfile.write(line)
         self.wfile.flush()
+        self.server.metrics.counter("server_bytes_out_total").inc(len(line))
 
     def handle(self) -> None:
+        metrics = self.server.metrics
+        metrics.counter("server_connections_total").inc()
+        active = metrics.gauge("server_active_connections")
+        active.add(1)
+        try:
+            self._command_loop(metrics)
+        finally:
+            active.add(-1)
+
+    def _command_loop(self, metrics) -> None:
+        rfile = _CountingReader(self.rfile,
+                                metrics.counter("server_bytes_in_total"))
         while True:
-            line = self.rfile.readline()
+            line = rfile.readline()
             if not line:
                 return
             command = line.decode("ascii", errors="replace").strip()
             if not command:
                 continue
+            verb = command.split()[0].upper()
+            metrics.counter("server_requests_total", verb=verb).inc()
             try:
-                if command.upper() == "PING":
+                if verb == "PING" and command.upper() == "PING":
                     self._reply()
-                elif command.upper() == "STATS":
+                elif verb == "STATS" and command.upper() == "STATS":
                     self._reply(json.dumps(self.server.stats_json(), indent=2,
-                                           sort_keys=True).encode("ascii"))
-                elif command.upper() == "SHUTDOWN":
+                                           sort_keys=True).encode("utf-8"))
+                elif verb == "METRICS":
+                    argument = command.split(None, 1)[1:] or [""]
+                    fmt = argument[0].strip().upper()
+                    if fmt in ("PROM", "?FORMAT=PROM"):
+                        self._reply(self.server.metrics_text().encode("utf-8"))
+                    elif fmt == "":
+                        self._reply(json.dumps(self.server.metrics_json(),
+                                               indent=2, sort_keys=True,
+                                               ).encode("utf-8"))
+                    else:
+                        raise ProtocolError(
+                            "usage: METRICS [PROM] (got METRICS "
+                            f"{argument[0].strip()!r})")
+                elif verb == "SHUTDOWN" and command.upper() == "SHUTDOWN":
                     self._reply()
                     self.server.request_shutdown()
                     return
-                elif command.upper().split()[0] in ("ALIGN", "COUNT",
-                                                     "SCREEN", "PAIRED"):
+                elif verb in ("ALIGN", "COUNT", "SCREEN", "PAIRED"):
                     parts = command.split()
-                    verb = parts[0].upper()
                     if len(parts) != 2 or not parts[1].isdigit():
                         raise ProtocolError(f"usage: {verb} <n_reads>")
                     n_reads = int(parts[1])
@@ -133,7 +189,7 @@ class _Handler(socketserver.StreamRequestHandler):
                         raise ProtocolError(
                             "PAIRED needs an even interleaved read count, "
                             f"got {n_reads}")
-                    reads = read_fastq_payload(self.rfile, n_reads)
+                    reads = read_fastq_payload(rfile, n_reads)
                     result = self.server.scheduler.request(
                         [record.to_read() for record in reads],
                         workload=verb.lower(),
@@ -142,10 +198,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 else:
                     raise ProtocolError(f"unknown command {command.split()[0]!r}")
             except ProtocolError as exc:
+                metrics.counter("server_errors_total", verb=verb).inc()
                 self._error(str(exc))
             except BrokenPipeError:
+                metrics.counter("server_errors_total", verb=verb).inc()
                 return
             except Exception as exc:  # noqa: BLE001 - reported to the client
+                metrics.counter("server_errors_total", verb=verb).inc()
                 self._error(f"{type(exc).__name__}: {exc}")
 
 
@@ -154,8 +213,12 @@ class AlignmentServer:
 
     def __init__(self, scheduler: RequestScheduler, host: str = "127.0.0.1",
                  port: int = 0, request_timeout: float | None = 300.0) -> None:
+        from repro.obs.registry import MetricsRegistry
         self.scheduler = scheduler
         self.request_timeout = request_timeout
+        # Record into the scheduler's registry so one snapshot spans every
+        # layer; a bare scheduler-less future server would still get one.
+        self.metrics = getattr(scheduler, "metrics", None) or MetricsRegistry()
         self._shutdown_requested = threading.Event()
         self._serving = threading.Event()
 
@@ -170,6 +233,9 @@ class AlignmentServer:
         # StreamRequestHandler reaches the AlignmentServer through the TCP
         # server instance.
         self._server.stats_json = outer.stats_json
+        self._server.metrics_json = outer.metrics_json
+        self._server.metrics_text = outer.metrics_text
+        self._server.metrics = outer.metrics
         self._server.request_shutdown = outer.request_shutdown
         self._server.request_timeout = request_timeout
 
@@ -194,6 +260,39 @@ class AlignmentServer:
             "service": self.scheduler.stats().to_json_dict(),
             "session": self.scheduler.session.to_json_dict(),
         }
+
+    def metrics_json(self) -> dict:
+        """The ``METRICS`` payload: one snapshot document for the whole stack.
+
+        ``metrics`` is the registry snapshot (scheduler, session, backend and
+        server instruments); ``service``/``session`` mirror ``STATS``;
+        ``comm`` is the resident runtime's *cumulative* communication
+        counters (index build plus every request served so far) and
+        ``caches`` the per-node software caches' lifetime statistics --
+        the modelled-domain counters unified with the wall-clock ones.
+        """
+        from repro.core.stats import REPORT_SCHEMA_VERSION
+        session = self.scheduler.session
+        prepared = session.prepared
+        comm = asdict(prepared.runtime.total_stats)
+        comm["time_by_category"] = dict(sorted(
+            comm["time_by_category"].items()))
+        caches = {}
+        for cache in (prepared.seed_cache, prepared.target_cache):
+            if cache is not None:
+                caches[cache.name] = asdict(cache.total_stats())
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "metrics": self.metrics.snapshot(),
+            "service": self.scheduler.stats().to_json_dict(),
+            "session": session.to_json_dict(),
+            "comm": comm,
+            "caches": caches,
+        }
+
+    def metrics_text(self) -> str:
+        """The ``METRICS PROM`` payload: Prometheus text exposition."""
+        return self.metrics.to_prometheus()
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -46,6 +46,7 @@ then demultiplexed per request and reordered through the sink's
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -181,6 +182,20 @@ class AlignmentSession:
         # Per-workload runners are stateless; cache them so repeated requests
         # do not rebuild plan objects.
         self._runners: dict[str, PlanRunner] = {}
+        # Optional repro.obs.MetricsRegistry (attach_metrics); when set,
+        # run_plan_many records per-invocation wall + modelled latency and
+        # exports per-stage PhaseStats totals.  Passive: wall-clock only.
+        self.metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Record this session's serving activity into *registry*.
+
+        Also attaches the registry to the resident runtime so every backend
+        invocation's wall-clock lands in the same snapshot (see
+        :attr:`repro.pgas.runtime.PgasRuntime.metrics`).
+        """
+        self.metrics = registry
+        self.prepared.runtime.metrics = registry
 
     # -- construction ---------------------------------------------------------
 
@@ -399,8 +414,10 @@ class AlignmentSession:
                 ctx, read_records, prepared.seed_index, prepared.target_store,
                 prepared.seed_cache, prepared.target_cache))
 
+        wall_start = time.perf_counter()
         result = prepared.runtime.run_spmd(plan_spmd, backend=prepared.backend,
                                            label=f"serve:{plan.name}")
+        invocation_wall = time.perf_counter() - wall_start
         groups, counters, stage_stats = merge_rank_returns(result.results, plan)
 
         demuxed: list[dict[int, Any]] = [{} for _ in requests]
@@ -427,6 +444,24 @@ class AlignmentSession:
         cache_deltas = {cache.name: cache.total_stats().delta(cache_before[cache.name])
                         for cache in caches}
         self.requests_served += len(requests)
+        if self.metrics is not None:
+            workload = plan.workload
+            modeled = sum(phase.elapsed for phase in result.phases)
+            self.metrics.counter("session_invocations_total",
+                                 workload=workload).inc()
+            self.metrics.counter("session_requests_total",
+                                 workload=workload).inc(len(requests))
+            self.metrics.counter("session_reads_total",
+                                 workload=workload).inc(len(read_records))
+            self.metrics.histogram("session_invocation_wall_seconds",
+                                   workload=workload).observe(invocation_wall)
+            self.metrics.histogram("session_invocation_modeled_seconds",
+                                   workload=workload).observe(modeled)
+            for stage in stage_stats:
+                self.metrics.counter("session_stage_modeled_seconds_total",
+                                     stage=stage.name).inc(stage.elapsed)
+                self.metrics.counter("session_stage_items_total",
+                                     stage=stage.name).inc(stage.items)
         return PlanBatchOutcome(
             workload=plan.workload,
             per_request_outputs=per_request_outputs,

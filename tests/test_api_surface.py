@@ -68,6 +68,10 @@ EXPECTED_EXPORTS = sorted([
     "SocketAlignmentClient",
     "RequestScheduler",
     "ServiceStats",
+    # observability
+    "MetricsRegistry",
+    "TraceLog",
+    "LoadGenerator",
 ])
 
 

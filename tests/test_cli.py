@@ -306,7 +306,7 @@ class TestCountScreenCli:
                      "--ranks", "4", "--seed-length", "21"])
         assert code == 0
         report = json.loads(report_path.read_text())
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         assert report["workload"] == "screen"
         assert [s["name"] for s in report["stages"]] == \
             ["read_queries", "exact_path", "emit_screen"]
@@ -356,7 +356,7 @@ class TestServeWorkloads:
         assert code == 0
         stats_output = capsys.readouterr().out
         stats = json.loads(stats_output[stats_output.index("{"):])
-        assert stats["schema_version"] == 2
+        assert stats["schema_version"] == 3
         assert stats["service"]["requests_by_workload"] == {"count": 1,
                                                             "screen": 1}
 

@@ -1,0 +1,392 @@
+"""Tests for the observability layer (repro.obs) and its serving wiring.
+
+Pins the contracts ISSUE 7 introduced:
+
+* :class:`MetricsRegistry` thread-safety -- concurrent increments and
+  observations (from plain threads *and* from threaded-backend SPMD ranks)
+  produce exact totals, and a snapshot taken mid-flight never raises or
+  tears (a histogram's buckets always sum to its count);
+* histogram quantiles are derivable from the fixed buckets and ordered;
+* Prometheus text exposition is well-formed;
+* the scheduler/session/runtime/server wiring records into one registry and
+  the ``METRICS`` wire verb (JSON and PROM) serves it, covering scheduler,
+  session, backend, server and cache/comm counters;
+* per-request trace spans land as JSONL with both wall and virtual marks;
+* the ``SocketAlignmentClient`` STATS decode handles non-ASCII bytes
+  (regression: it used to decode as ASCII);
+* observability stays passive: serving with instrumentation produces SAM
+  byte-identical to the offline run.
+"""
+
+import json
+import socketserver
+import threading
+
+import pytest
+
+from repro.core.pipeline import MerAligner
+from repro.io.sam import sam_text
+from repro.obs import MetricsRegistry, TraceLog, TraceSpan
+from repro.obs.registry import percentile
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.pgas.runtime import PgasRuntime
+from repro.service import (AlignmentServer, RequestScheduler,
+                           SocketAlignmentClient)
+from repro.service.client import ServiceError
+
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", verb="ALIGN").inc()
+        registry.counter("requests_total", verb="ALIGN").inc(2)
+        registry.counter("requests_total", verb="COUNT").inc()
+        registry.gauge("active").set(3)
+        registry.gauge("active").add(-1)
+        hist = registry.histogram("latency_seconds")
+        for value in (0.002, 0.004, 0.2):
+            hist.observe(value)
+        snap = registry.snapshot()
+        assert snap["counters"]['requests_total{verb="ALIGN"}'] == 3
+        assert snap["counters"]['requests_total{verb="COUNT"}'] == 1
+        assert snap["gauges"]["active"] == 2
+        latency = snap["histograms"]["latency_seconds"]
+        assert latency["count"] == 3
+        assert latency["sum"] == pytest.approx(0.206)
+        assert latency["min"] == pytest.approx(0.002)
+        assert latency["max"] == pytest.approx(0.2)
+        # Bucket counts (including +Inf) always sum to the total count.
+        assert sum(count for _bound, count in latency["buckets"]) == 3
+
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("n").inc(-1)
+
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", label="v")
+        b = registry.counter("x", label="v")
+        assert a is b
+        assert registry.counter("x", label="w") is not a
+
+    def test_histogram_quantiles_ordered_and_plausible(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)  # 1ms .. 100ms
+        p50, p95, p99 = (hist.quantile(q) for q in (0.50, 0.95, 0.99))
+        assert 0 < p50 <= p95 <= p99 <= 0.25
+        # The bucket containing the true median (50ms) bounds p50.
+        assert 0.025 <= p50 <= 0.1
+        assert hist.quantile(1.0) == pytest.approx(0.1)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.quantile(0.99) == 0.0
+        assert hist.mean == 0.0
+
+    def test_concurrent_increments_produce_exact_totals(self):
+        registry = MetricsRegistry()
+        n_threads, n_increments = 8, 2000
+
+        def hammer():
+            counter = registry.counter("hits", kind="shared")
+            hist = registry.histogram("obs")
+            for _ in range(n_increments):
+                counter.inc()
+                hist.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = registry.snapshot()
+        assert snap["counters"]['hits{kind="shared"}'] == \
+            n_threads * n_increments
+        assert snap["histograms"]["obs"]["count"] == n_threads * n_increments
+
+    def test_snapshot_mid_flight_never_tears(self):
+        """Snapshots taken while writers hammer the registry are internally
+        consistent: histogram buckets sum to the count, and counters only
+        grow between snapshots."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def writer():
+            counter = registry.counter("events")
+            hist = registry.histogram("lat")
+            while not stop.is_set():
+                counter.inc()
+                hist.observe(0.01)
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                snap = registry.snapshot()
+                hist = snap["histograms"].get("lat")
+                if hist is not None:
+                    bucket_total = sum(c for _b, c in hist["buckets"])
+                    if bucket_total != hist["count"]:
+                        errors.append(f"torn histogram: {bucket_total} != "
+                                      f"{hist['count']}")
+                value = snap["counters"].get("events", 0)
+                if value < last:
+                    errors.append(f"counter went backwards: {value} < {last}")
+                last = value
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in writers + readers:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in writers + readers:
+            thread.join()
+        assert not errors, errors[:3]
+
+    def test_threaded_backend_ranks_record_exact_totals(self):
+        """SPMD ranks on the threaded backend (real OS threads) incrementing
+        one shared registry produce exact totals."""
+        registry = MetricsRegistry()
+        runtime = PgasRuntime(n_ranks=4, machine=MACHINE)
+        per_rank = 500
+
+        def spmd(ctx):
+            counter = registry.counter("rank_events")
+            hist = registry.histogram("rank_obs")
+            for _ in range(per_rank):
+                counter.inc()
+                hist.observe(0.001 * (ctx.me + 1))
+            return ctx.me
+
+        result = runtime.run_spmd(spmd, backend="threaded")
+        assert sorted(result.results) == [0, 1, 2, 3]
+        snap = registry.snapshot()
+        assert snap["counters"]["rank_events"] == 4 * per_rank
+        assert snap["histograms"]["rank_obs"]["count"] == 4 * per_rank
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", verb="ALIGN").inc(5)
+        registry.gauge("active_connections").set(2)
+        registry.histogram("latency_seconds",
+                           bounds=(0.1, 1.0)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{verb="ALIGN"} 5' in text
+        assert "# TYPE active_connections gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_sum 0.05" in text
+        assert "latency_seconds_count 1" in text
+
+    def test_percentile_helper(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+        assert percentile([1.0], 0.99) == 1.0
+
+
+class TestTraceLog:
+    def test_spans_append_as_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceLog(path) as log:
+            for request_id in range(3):
+                log.append(TraceSpan(
+                    request_id=request_id, workload="align", n_reads=4,
+                    batch_id=0, batch_requests=3, emitted_unix=1.0,
+                    wall_enqueued=10.0, wall_batch_formed=10.1,
+                    wall_executed=10.5, wall_demuxed=10.6,
+                    virtual_enqueued=0.0, virtual_executed=2.0,
+                    modeled_latency_s=2.0))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        span = json.loads(lines[0])
+        assert span["request_id"] == 0
+        assert span["queue_wait_s"] == pytest.approx(0.1)
+        assert span["wall_latency_s"] == pytest.approx(0.6)
+        assert span["virtual_executed"] == 2.0
+
+    def test_closed_log_drops_silently(self, tmp_path):
+        log = TraceLog(tmp_path / "trace.jsonl")
+        log.close()
+        log.append(TraceSpan(request_id=0, workload="align", n_reads=1,
+                             batch_id=0, batch_requests=1, emitted_unix=0.0,
+                             wall_enqueued=0.0, wall_batch_formed=0.0,
+                             wall_executed=0.0, wall_demuxed=0.0,
+                             virtual_enqueued=0.0, virtual_executed=0.0,
+                             modeled_latency_s=0.0))  # must not raise
+        assert not (tmp_path / "trace.jsonl").exists()
+
+
+@pytest.fixture
+def obs_service(small_dataset, small_config, tmp_path):
+    """A served session with tracing enabled, plus its offline reference."""
+    genome, reads = small_dataset
+    config = small_config.with_(use_bulk_lookups=True, lookup_batch_size=16)
+    names = [f"contig{i}" for i in range(len(genome.contigs))]
+    lengths = [len(c) for c in genome.contigs]
+    trace_path = tmp_path / "trace.jsonl"
+    session = MerAligner(config).prepare(genome.contigs, n_ranks=4,
+                                         machine=MACHINE, target_names=names)
+    scheduler = RequestScheduler(session, max_wait_s=0.01,
+                                 trace_log=trace_path)
+    server = AlignmentServer(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield (server, scheduler, trace_path,
+               (genome, reads, config, names, lengths))
+    finally:
+        server.shutdown()
+        thread.join(timeout=30.0)
+        scheduler.close()
+        session.close()
+
+
+class TestServiceObservability:
+    def test_metrics_verb_covers_every_layer(self, obs_service):
+        server, scheduler, _trace_path, (genome, reads, config, names,
+                                         lengths) = obs_service
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        request = reads[:16]
+        reference = sam_text(
+            MerAligner(config).run(genome.contigs, request, n_ranks=4,
+                                   machine=MACHINE).alignments,
+            names, lengths)
+        # Observability is passive: served SAM matches the offline run.
+        assert client.align_sam(request) == reference
+        assert client.count_tsv(request)
+        doc = client.metrics()
+        assert doc["schema_version"] == 3
+        counters = doc["metrics"]["counters"]
+        histograms = doc["metrics"]["histograms"]
+        # scheduler layer
+        assert counters['scheduler_requests_total{workload="align"}'] == 1
+        assert counters['scheduler_requests_total{workload="count"}'] == 1
+        assert counters['scheduler_batches_total{workload="align"}'] == 1
+        assert histograms["scheduler_queue_wait_seconds"]["count"] == 2
+        assert histograms["scheduler_batch_occupancy"]["count"] == 2
+        assert histograms[
+            'scheduler_request_wall_seconds{workload="align"}']["count"] == 1
+        # session layer
+        assert counters['session_requests_total{workload="align"}'] == 1
+        assert counters['session_reads_total{workload="align"}'] == 16
+        assert histograms[
+            'session_invocation_modeled_seconds{workload="align"}'
+        ]["count"] == 1
+        stage_series = [series for series in counters
+                        if series.startswith("session_stage_modeled_seconds")]
+        assert stage_series, "per-stage PhaseStats export missing"
+        # backend layer (labelled by the SpmdResult label)
+        assert counters[
+            'backend_invocations_total{backend="cooperative",'
+            'label="serve:align"}'] == 1
+        assert histograms[
+            'backend_invocation_wall_seconds{label="serve:align"}'
+        ]["count"] == 1
+        # server layer
+        assert counters['server_requests_total{verb="ALIGN"}'] == 1
+        assert counters['server_requests_total{verb="COUNT"}'] == 1
+        assert counters["server_connections_total"] >= 2
+        assert counters["server_bytes_in_total"] > 0
+        assert counters["server_bytes_out_total"] > 0
+        # unified modelled-domain counters ride along
+        assert doc["comm"]["gets"] > 0
+        assert doc["caches"], "cache statistics missing from METRICS"
+        assert doc["service"]["requests"] == 2
+        assert doc["session"]["requests_served"] == 2
+
+    def test_metrics_prom_exposition_over_the_wire(self, obs_service):
+        server, _scheduler, _trace_path, (_genome, reads, _config, _names,
+                                          _lengths) = obs_service
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        client.align_sam(reads[:8])
+        text = client.metrics_text()
+        assert "# TYPE scheduler_requests_total counter" in text
+        assert 'scheduler_requests_total{workload="align"} 1' in text
+        assert "scheduler_queue_wait_seconds_count 1" in text
+        # The ?format=prom spelling works too.
+        raw = client._roundtrip("METRICS ?format=prom").decode("utf-8")
+        assert "# TYPE scheduler_requests_total counter" in raw
+        with pytest.raises(ServiceError, match="usage: METRICS"):
+            client._roundtrip("METRICS bogus")
+
+    def test_stats_gained_p99_and_window(self, obs_service):
+        server, _scheduler, _trace_path, (_genome, reads, _config, _names,
+                                          _lengths) = obs_service
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        client.align_sam(reads[:8])
+        stats = client.stats()
+        service = stats["service"]
+        assert stats["schema_version"] == 3
+        assert service["latency_sample_window"] == 4096
+        for key in ("p99_modeled_latency", "p99_wall_latency"):
+            assert key in service
+        assert service["p50_wall_latency"] <= service["p95_wall_latency"] \
+            <= service["p99_wall_latency"]
+
+    def test_trace_spans_written_per_request(self, obs_service):
+        server, _scheduler, trace_path, (_genome, reads, _config, _names,
+                                         _lengths) = obs_service
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        client.align_sam(reads[:8])
+        client.count_tsv(reads[:4])
+        lines = trace_path.read_text().splitlines()
+        assert len(lines) == 2
+        spans = [json.loads(line) for line in lines]
+        assert {span["workload"] for span in spans} == {"align", "count"}
+        for span in spans:
+            assert span["wall_enqueued"] <= span["wall_batch_formed"] \
+                <= span["wall_executed"] <= span["wall_demuxed"]
+            assert span["queue_wait_s"] >= 0
+            assert span["modeled_latency_s"] > 0
+            # Virtual time advanced across the invocation.
+            assert span["virtual_executed"] > span["virtual_enqueued"]
+
+    def test_scheduler_always_has_a_registry(self, small_dataset,
+                                             small_config):
+        genome, _reads = small_dataset
+        session = MerAligner(small_config).prepare(genome.contigs, n_ranks=2,
+                                                   machine=MACHINE)
+        scheduler = RequestScheduler(session, max_wait_s=0.0)
+        try:
+            assert isinstance(scheduler.metrics, MetricsRegistry)
+            # Attached through to the session and the resident runtime.
+            assert session.metrics is scheduler.metrics
+            assert session.prepared.runtime.metrics is scheduler.metrics
+        finally:
+            scheduler.close()
+            session.close()
+
+
+class TestStatsUtf8Regression:
+    def test_stats_decodes_non_ascii_payload(self):
+        """Regression: STATS used to be decoded as ASCII and broke on any
+        non-ASCII byte (e.g. reference names in session summaries)."""
+        payload = json.dumps({"session": {"index": {"name": "contig-é"}}},
+                             ensure_ascii=False).encode("utf-8")
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                line = self.rfile.readline().decode("ascii").strip()
+                assert line == "STATS"
+                self.wfile.write(f"OK {len(payload)}\n".encode("ascii"))
+                self.wfile.write(payload)
+
+        with socketserver.TCPServer(("127.0.0.1", 0), Handler) as stub:
+            thread = threading.Thread(target=stub.serve_forever, daemon=True)
+            thread.start()
+            try:
+                client = SocketAlignmentClient(port=stub.server_address[1],
+                                               timeout=30.0)
+                stats = client.stats()
+                assert stats["session"]["index"]["name"] == "contig-é"
+            finally:
+                stub.shutdown()
+                thread.join(timeout=10.0)

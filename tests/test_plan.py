@@ -220,7 +220,7 @@ class TestDefaultPlanEquivalence:
         assert lookup["extend_align"].compute > 0
         assert lookup["read_queries"].io > 0
         data = report.to_json_dict()
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         assert [s["name"] for s in data["stages"]] == names
 
 
