@@ -1,0 +1,160 @@
+"""Gateway result cache under duplicate-heavy vs unique request streams.
+
+The multi-tenant gateway (ISSUE 8) answers exact-duplicate requests from a
+TTL'd result cache without touching any scheduler.  This benchmark drives
+an in-process :class:`repro.gateway.AlignmentGateway` with two seeded
+request streams:
+
+* **duplicate-heavy** -- every request drawn from a small pool of distinct
+  payloads, the regime the cache is built for (think health checks,
+  retried clients, shared dashboards);
+* **unique** -- every request distinct, the adversarial regime where the
+  cache can only ever miss.
+
+swept across TTLs (``0`` disables the cache entirely).  Hit/miss/store
+counts are *deterministic* given the stream seed -- every duplicate of a
+still-resident entry hits -- so those rows are unmasked and asserted:
+``ttl=0`` and the unique stream never hit, the duplicate-heavy stream with
+a live TTL hits on every repeat (hit rate well above 0.5).  Per-request
+wall-clock latency (cached vs scheduled) is measured and volatile-masked.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.gateway import AlignmentGateway
+from repro.obs.registry import percentile
+
+from conftest import BENCH_MACHINE, format_table, write_report
+
+N_REQUESTS = 60
+POOL_DISTINCT = 8          # distinct payloads in the duplicate-heavy stream
+READS_PER_REQUEST = 6
+TTL_SWEEP = (0.0, 5.0, 60.0)
+STREAM_SEED = 83
+BACKEND = "cooperative"
+
+
+def build_dataset():
+    genome, reads = make_dataset(
+        GenomeSpec(name="cacheref", genome_length=10_000, n_contigs=5),
+        ReadSetSpec(coverage=2.0, read_length=70), seed=83)
+    return genome, reads
+
+
+def request_stream(reads, kind: str) -> list[list]:
+    """A seeded schedule of ``N_REQUESTS`` read batches.
+
+    ``duplicate-heavy`` draws each request from ``POOL_DISTINCT`` fixed
+    windows of the pool; ``unique`` gives every request its own (stride-1,
+    overlapping) window, so no two requests share a payload.
+    """
+    assert len(reads) >= N_REQUESTS + READS_PER_REQUEST
+    rng = random.Random(STREAM_SEED)
+    if kind == "duplicate-heavy":
+        pool = [reads[i * READS_PER_REQUEST:(i + 1) * READS_PER_REQUEST]
+                for i in range(POOL_DISTINCT)]
+        return [pool[rng.randrange(POOL_DISTINCT)]
+                for _ in range(N_REQUESTS)]
+    return [reads[i:i + READS_PER_REQUEST] for i in range(N_REQUESTS)]
+
+
+def drive(genome, stream, ttl_s: float) -> dict:
+    """Serve one stream through a fresh gateway; return counters + latency."""
+    session = MerAligner().prepare(genome.contigs, n_ranks=4,
+                                   machine=BENCH_MACHINE, backend=BACKEND)
+    gateway = AlignmentGateway(session, cache_ttl_s=ttl_s)
+    lat_cached: list[float] = []
+    lat_sched: list[float] = []
+    first_text: dict[int, str] = {}
+    try:
+        for batch in stream:
+            t0 = time.perf_counter()
+            response = gateway.request(batch, workload="align")
+            elapsed = time.perf_counter() - t0
+            (lat_cached if response.cached else lat_sched).append(elapsed)
+            # A cached replay must be byte-identical to the scheduled run
+            # of the same payload.
+            key = id(batch)
+            if key in first_text:
+                assert response.text == first_text[key]
+            else:
+                first_text[key] = response.text
+        cache = gateway.cache
+        return {"hits": cache.hits, "misses": cache.misses,
+                "stores": cache.stores, "lat_cached": lat_cached,
+                "lat_sched": lat_sched}
+    finally:
+        gateway.close()
+
+
+def lat_row(label: str, samples: list[float]) -> str:
+    if not samples:
+        return f"lat {label}: (none)"
+    return (f"lat {label}: n={len(samples)} "
+            f"p50={percentile(samples, 0.50):.6f}s "
+            f"p95={percentile(samples, 0.95):.6f}s")
+
+
+class TestGatewayCache:
+    def test_cache_hit_rates_and_latency(self):
+        genome, reads = build_dataset()
+        dup_stream = request_stream(reads, "duplicate-heavy")
+        uniq_stream = request_stream(reads, "unique")
+        n_distinct = len({id(batch) for batch in dup_stream})
+
+        rows = []
+        lat_lines = []
+        results = {}
+        for ttl in TTL_SWEEP:
+            out = results[("duplicate-heavy", ttl)] = drive(
+                genome, dup_stream, ttl)
+            hit_rate = out["hits"] / N_REQUESTS
+            rows.append(["duplicate-heavy", ttl, N_REQUESTS, n_distinct,
+                         out["hits"], out["misses"], out["stores"],
+                         f"{hit_rate:.3f}"])
+            lat_lines.append(lat_row(f"duplicate-heavy ttl={ttl:g} scheduled",
+                                     out["lat_sched"]))
+            lat_lines.append(lat_row(f"duplicate-heavy ttl={ttl:g} cached",
+                                     out["lat_cached"]))
+        out = results[("unique", 60.0)] = drive(genome, uniq_stream, 60.0)
+        rows.append(["unique", 60.0, N_REQUESTS, N_REQUESTS, out["hits"],
+                     out["misses"], out["stores"],
+                     f"{out['hits'] / N_REQUESTS:.3f}"])
+        lat_lines.append(lat_row("unique ttl=60 scheduled", out["lat_sched"]))
+
+        # Deterministic shape assertions.
+        disabled = results[("duplicate-heavy", 0.0)]
+        assert disabled["hits"] == 0 and disabled["misses"] == 0, \
+            "ttl=0 must disable the cache entirely (no counting)"
+        assert results[("unique", 60.0)]["hits"] == 0
+        for ttl in TTL_SWEEP[1:]:
+            live = results[("duplicate-heavy", ttl)]
+            # Every repeat of a resident entry hits: hits = requests - distinct.
+            assert live["hits"] == N_REQUESTS - n_distinct
+            assert live["misses"] == n_distinct
+            assert live["stores"] == n_distinct
+            assert live["hits"] / N_REQUESTS > 0.5
+
+        lines = [f"Gateway result cache: {N_REQUESTS} align requests, "
+                 f"{READS_PER_REQUEST} reads each, backend={BACKEND}, "
+                 f"stream seed {STREAM_SEED}",
+                 f"duplicate-heavy stream draws from {POOL_DISTINCT} distinct "
+                 f"payloads ({n_distinct} seen); unique stream repeats none",
+                 ""]
+        headers = ["stream", "ttl_s", "requests", "distinct", "hits",
+                   "misses", "stores", "hit_rate"]
+        lines += format_table(headers, rows)
+        lines += ["",
+                  "Hit/miss/store counts are deterministic (every duplicate "
+                  "of a resident entry",
+                  "hits; ttl=0 disables the cache).  Latency rows below are "
+                  "measured wall-clock",
+                  "per request, volatile-masked.",
+                  ""]
+        lines += lat_lines
+        write_report("gateway_cache", lines, volatile=(r"^lat\b",))

@@ -60,6 +60,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="fixes the workload/read draw of every request")
     parser.add_argument("--timeout", type=float, default=300.0,
                         help="per-request socket timeout, seconds")
+    parser.add_argument("--tenants", default=None,
+                        help="comma-separated tenant names; each request is "
+                             "attributed to one, drawn from the same seeded "
+                             "RNG (gateway fair-admission accounting)")
+    parser.add_argument("--index", default=None,
+                        help="route every request to this named resident "
+                             "index (gateway-backed servers only)")
+    parser.add_argument("--connect-retries", type=int, default=0,
+                        help="client connect retries with exponential "
+                             "backoff + jitter (rides out server start-up "
+                             "races)")
     args = parser.parse_args(argv)
 
     reads = read_fastq(args.reads)
@@ -67,16 +78,25 @@ def main(argv: list[str] | None = None) -> int:
               if args.paired_reads is not None else None)
     workloads = tuple(w.strip() for w in args.workloads.split(",") if w.strip())
 
+    tenants = (tuple(t.strip() for t in args.tenants.split(",") if t.strip())
+               if args.tenants else None)
+
     generator = LoadGenerator(
         args.host, args.port, reads, paired_reads=paired, qps=args.qps,
         concurrency=args.concurrency, n_requests=args.n_requests,
         duration_s=args.duration_s, reads_per_request=args.reads_per_request,
-        workloads=workloads, seed=args.seed, timeout=args.timeout)
+        workloads=workloads, seed=args.seed, timeout=args.timeout,
+        tenants=tenants, route_index=args.index,
+        connect_retries=args.connect_retries)
     report = generator.run()
     print(json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+    if report.n_busy:
+        # Explicit admission rejections are the gateway working as designed
+        # under overload -- reported, but not a failure of the run.
+        print(f"{report.n_busy} requests rejected BUSY", file=sys.stderr)
     if report.n_errors:
         for outcome in report.outcomes:
-            if not outcome.ok:
+            if not outcome.ok and not outcome.busy:
                 print(f"request {outcome.index} ({outcome.workload}): "
                       f"{outcome.error}", file=sys.stderr)
         return 1

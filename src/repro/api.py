@@ -66,6 +66,13 @@ _LAZY_SERVICE_EXPORTS = {
     "MetricsRegistry": "repro.obs.registry",
     "TraceLog": "repro.obs.tracing",
     "LoadGenerator": "repro.obs.loadgen",
+    # multi-tenant gateway
+    "AlignmentGateway": "repro.gateway",
+    "AdmissionController": "repro.gateway",
+    "GatewayBusyError": "repro.gateway",
+    "IndexRegistry": "repro.gateway",
+    "ResultCache": "repro.gateway",
+    "ServiceBusyError": "repro.service.client",
 }
 
 
@@ -135,6 +142,13 @@ __all__ = [
     "SocketAlignmentClient",
     "RequestScheduler",
     "ServiceStats",
+    # multi-tenant gateway
+    "AlignmentGateway",
+    "AdmissionController",
+    "GatewayBusyError",
+    "IndexRegistry",
+    "ResultCache",
+    "ServiceBusyError",
     # observability
     "MetricsRegistry",
     "TraceLog",
@@ -336,10 +350,12 @@ class AlignmentService:
     """
 
     def __init__(self, session: AlignmentSession, scheduler: RequestScheduler,
-                 server: AlignmentServer) -> None:
+                 server: AlignmentServer, gateway=None) -> None:
         self.session = session
         self.scheduler = scheduler
         self.server = server
+        #: The multi-tenant gateway (None for a bare scheduler-only server).
+        self.gateway = gateway
         self._thread = threading.Thread(target=server.serve_forever,
                                         name="repro-service", daemon=True)
         self._thread.start()
@@ -380,6 +396,11 @@ class AlignmentService:
         """Stop serving and release every resident resource (idempotent)."""
         self.server.shutdown()
         self._thread.join(timeout=30.0)
+        if self.gateway is not None:
+            # Closes the admission dispatcher and every resident index --
+            # including the default session/scheduler, whose closes below
+            # are idempotent no-ops afterwards.
+            self.gateway.close()
         self.scheduler.close()
         self.session.close()
 
@@ -397,7 +418,10 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
           max_wait_s: float = 0.02, warm_caches: bool = False,
           request_timeout: float | None = 300.0,
           session: AlignmentSession | None = None,
-          metrics=None, trace_log=None) -> AlignmentService:
+          metrics=None, trace_log=None,
+          indices=None, cache_ttl: float = 0.0,
+          cache_max_entries: int = 1024, max_pending: int | None = None,
+          heap_budget_bytes: int | None = None) -> AlignmentService:
     """Build the index and start serving align/paired/count/screen over TCP.
 
     Returns a running :class:`AlignmentService` (``port=0`` binds an
@@ -409,6 +433,17 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
     or the ``METRICS`` wire verb), and *trace_log* an optional
     :class:`~repro.obs.TraceLog` or path receiving one JSONL trace span per
     served request (``meraligner serve --trace-log``).
+
+    The server is always fronted by a multi-tenant
+    :class:`~repro.gateway.AlignmentGateway` whose defaults are pure
+    pass-through (no extra indices, result cache disabled, unbounded
+    admission) -- existing clients see identical behaviour.  *indices*
+    registers additional named resident indices up front (a ``{name:
+    targets}`` mapping, each built with the same configuration as the
+    default index); *cache_ttl* / *cache_max_entries* enable the TTL'd
+    exact-duplicate result cache; *max_pending* bounds the admission queue
+    (full: clients get ``BUSY``); *heap_budget_bytes* arms LRU eviction of
+    registered indices by modelled heap bytes.  See ``docs/gateway.md``.
 
     Example:
         >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
@@ -423,6 +458,7 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
         >>> sam.splitlines()[0]
         '@HD\\tVN:1.6\\tSO:unsorted'
     """
+    from repro.gateway import AlignmentGateway
     from repro.service.scheduler import RequestScheduler
     from repro.service.server import AlignmentServer
     if session is None:
@@ -435,6 +471,18 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
                                  warm_caches=warm_caches,
                                  metrics=metrics,
                                  trace_log=trace_log)
+    gateway = AlignmentGateway(session, scheduler,
+                               cache_ttl_s=cache_ttl,
+                               cache_max_entries=cache_max_entries,
+                               max_pending=max_pending,
+                               heap_budget_bytes=heap_budget_bytes)
+    try:
+        for name, index_targets in dict(indices or {}).items():
+            gateway.register(name, index_targets)
+    except BaseException:
+        gateway.close()
+        raise
     server = AlignmentServer(scheduler, host=host, port=port,
-                             request_timeout=request_timeout)
-    return AlignmentService(session, scheduler, server)
+                             request_timeout=request_timeout,
+                             gateway=gateway)
+    return AlignmentService(session, scheduler, server, gateway=gateway)

@@ -223,6 +223,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append one JSON line per served request "
                             "(enqueue/batch-formed/executed/demuxed "
                             "timestamps in wall and virtual time)")
+    serve.add_argument("--index", action="append", default=[],
+                       metavar="NAME=FASTA", dest="indices",
+                       help="additional named resident index (repeatable); "
+                            "clients route to it with query --index NAME")
+    serve.add_argument("--cache-ttl", type=float, default=0.0,
+                       help="seconds an exact-duplicate request stays "
+                            "servable from the gateway result cache "
+                            "(default 0: cache disabled)")
+    serve.add_argument("--cache-max-entries", type=int, default=1024,
+                       help="LRU capacity of the gateway result cache")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="admission bound: pending requests past this "
+                            "get an explicit BUSY reply "
+                            "(default: unbounded)")
+    serve.add_argument("--heap-budget-mb", type=float, default=None,
+                       help="modelled heap budget (MiB) across resident "
+                            "indices; registering past it LRU-evicts "
+                            "unpinned indices")
     _add_aligner_options(serve, default_ranks=8)
 
     query = subparsers.add_parser(
@@ -251,9 +269,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="json",
                        help="metrics exposition format (with --metrics): "
                             "the JSON snapshot document or Prometheus text")
+    query.add_argument("--index", default=None,
+                       help="route to a named resident index of a "
+                            "gateway-backed server (default: the server's "
+                            "default index)")
+    query.add_argument("--tenant", default=None,
+                       help="tenant name for fair admission accounting")
+    query.add_argument("--indices", action="store_true",
+                       help="print the server's resident indices as JSON")
+    query.add_argument("--register", default=None, metavar="NAME=FASTA",
+                       help="register a named resident index from a "
+                            "server-side FASTA path")
+    query.add_argument("--evict", default=None, metavar="NAME",
+                       help="evict a named resident index")
     query.add_argument("--shutdown", action="store_true",
                        help="ask the server to shut down cleanly")
     query.add_argument("--timeout", type=float, default=300.0)
+    query.add_argument("--connect-retries", type=int, default=0,
+                       help="retry refused connections this many times with "
+                            "exponential backoff + jitter (default 0: fail "
+                            "immediately)")
 
     compare = subparsers.add_parser(
         "compare", help="compare merAligner against the pMap-driven baselines")
@@ -411,10 +446,25 @@ def _cmd_workload(args: argparse.Namespace, workload: str) -> int:
     return 0
 
 
+def _parse_named_indices(specs: list[str]) -> dict[str, Path]:
+    """Parse repeated ``--index NAME=FASTA`` flags into a name -> path map."""
+    indices: dict[str, Path] = {}
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise InputFileError(
+                f"malformed --index {spec!r} (expected NAME=FASTA)")
+        if name in indices:
+            raise InputFileError(f"duplicate --index name {name!r}")
+        indices[name] = _check_input_file(Path(path), f"index {name!r}")
+    return indices
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro import api
 
     _check_input_file(args.targets, "targets")
+    indices = _parse_named_indices(args.indices)
     config = _config_from_args(args)
     backend = args.backend or default_backend_name()
     print(f"building index from {args.targets} "
@@ -425,13 +475,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{session.prepared.n_fragments} fragments "
           f"(modelled build time "
           f"{session.prepared.index_construction_time:.6f}s)", flush=True)
+    heap_budget = (int(args.heap_budget_mb * 2 ** 20)
+                   if args.heap_budget_mb is not None else None)
     service = api.serve(None, session=session, host=args.host, port=args.port,
                         max_batch_requests=args.max_batch_requests,
                         max_wait_s=args.max_wait_ms / 1000.0,
-                        trace_log=args.trace_log)
+                        trace_log=args.trace_log,
+                        indices=indices, cache_ttl=args.cache_ttl,
+                        cache_max_entries=args.cache_max_entries,
+                        max_pending=args.max_pending,
+                        heap_budget_bytes=heap_budget)
+    for name in sorted(indices):
+        print(f"registered index {name!r} from {indices[name]}", flush=True)
     print(f"serving on {service.host}:{service.port} "
           "(PING / ALIGN / PAIRED / COUNT / SCREEN / STATS / METRICS / "
-          "SHUTDOWN)", flush=True)
+          "INDICES / REGISTER / EVICT / SHUTDOWN)", flush=True)
     if args.trace_log is not None:
         print(f"tracing requests to {args.trace_log}", flush=True)
     try:
@@ -449,15 +507,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.io.fastq import read_fastq
-    from repro.service import SocketAlignmentClient
+    from repro.service import ServiceBusyError, SocketAlignmentClient
 
     client = SocketAlignmentClient(host=args.host, port=args.port,
-                                   timeout=args.timeout)
+                                   timeout=args.timeout,
+                                   connect_retries=args.connect_retries)
+    try:
+        return _run_query(args, client, read_fastq)
+    except ServiceBusyError as exc:
+        # The gateway's explicit admission rejection: distinct exit code so
+        # scripts can tell "retry later" from a hard failure.
+        print(f"meraligner: busy: {exc}", file=sys.stderr)
+        return 3
+
+
+def _run_query(args: argparse.Namespace, client, read_fastq) -> int:
     ran_command = False
+    if args.register is not None:
+        name, sep, path = args.register.partition("=")
+        if not sep or not name or not path:
+            raise InputFileError(
+                f"malformed --register {args.register!r} "
+                "(expected NAME=FASTA)")
+        summary = client.register_index(name, path)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        ran_command = True
     if args.reads is not None:
         _check_input_file(args.reads, "reads")
         workload = getattr(args, "workload", "align")
-        text = client.workload_text(workload, read_fastq(args.reads))
+        text = client.workload_text(workload, read_fastq(args.reads),
+                                    index=args.index, tenant=args.tenant)
         if args.output is not None:
             args.output.write_text(text, encoding="ascii")
             if workload in ("align", "paired"):
@@ -470,6 +549,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print(f"wrote {rows} {workload} rows to {args.output}")
         else:
             sys.stdout.write(text)
+        ran_command = True
+    if args.indices:
+        print(json.dumps(client.indices(), indent=2, sort_keys=True))
+        ran_command = True
+    if args.evict is not None:
+        client.evict_index(args.evict)
+        print(f"evicted index {args.evict!r}")
         ran_command = True
     if args.stats:
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -485,8 +571,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print("server shutdown requested")
         ran_command = True
     if not ran_command:
-        print("nothing to do: pass --reads, --stats and/or --shutdown",
-              file=sys.stderr)
+        print("nothing to do: pass --reads, --stats, --indices, --register, "
+              "--evict and/or --shutdown", file=sys.stderr)
         return 2
     return 0
 

@@ -1,0 +1,47 @@
+"""Multi-tenant gateway over the alignment service stack.
+
+The serving stack (:mod:`repro.service`) amortizes one index build over
+many requests; this package amortizes one *server* over many indices and
+many tenants:
+
+* :class:`~repro.gateway.registry.IndexRegistry` -- named resident
+  sessions, registered and evicted at runtime under a modelled-heap-byte
+  LRU budget;
+* :class:`~repro.gateway.admission.AdmissionController` -- a bounded
+  pending queue with explicit ``BUSY`` rejection and per-tenant fair
+  round-robin dispatch;
+* :class:`~repro.gateway.cache.ResultCache` -- a TTL'd exact-duplicate
+  response cache, the service-level analogue of the paper's per-node
+  software caches;
+* :class:`~repro.gateway.gateway.AlignmentGateway` -- the front end tying
+  them together behind ``api.serve(...)`` and the wire protocol's
+  ``INDICES`` / ``REGISTER`` / ``EVICT`` verbs and ``INDEX=`` / ``TENANT=``
+  request options.
+
+See ``docs/gateway.md`` for the full semantics.
+"""
+
+from repro.gateway.admission import (AdmissionController, DEFAULT_TENANT,
+                                     GatewayBusyError)
+from repro.gateway.cache import ResultCache
+from repro.gateway.gateway import (AlignmentGateway, DEFAULT_INDEX,
+                                   GatewayResponse, canonical_read_payload,
+                                   config_fingerprint)
+from repro.gateway.registry import (IndexRegistry, RegistryBudgetError,
+                                    ResidentEntry, modelled_heap_bytes)
+
+__all__ = [
+    "AdmissionController",
+    "AlignmentGateway",
+    "DEFAULT_INDEX",
+    "DEFAULT_TENANT",
+    "GatewayBusyError",
+    "GatewayResponse",
+    "IndexRegistry",
+    "RegistryBudgetError",
+    "ResidentEntry",
+    "ResultCache",
+    "canonical_read_payload",
+    "config_fingerprint",
+    "modelled_heap_bytes",
+]

@@ -1,0 +1,266 @@
+"""Admission control and per-tenant fair dispatch for the gateway.
+
+The paper's load-balancing analysis is about keeping every rank of one SPMD
+machine busy; once many independent clients share one resident service the
+same concern reappears a layer up -- one hot client must not starve the
+rest, and overload must be an explicit, bounded signal rather than silent
+queue growth.  This module provides both:
+
+* a **bounded pending queue**: when ``max_pending`` requests are admitted
+  but not yet completed, further admissions raise
+  :class:`GatewayBusyError` immediately -- the server translates that into
+  a ``BUSY`` wire reply, so rejection is always explicit, never a dropped
+  connection or an unbounded backlog;
+* **per-tenant fair dequeue**: each tenant has its own FIFO bucket and a
+  single dispatcher thread grants one dispatch per tenant per round-robin
+  pass (deficit round-robin with a quantum of one request), so tenants
+  interleave even when one of them floods the queue.  Requests of a single
+  tenant stay strictly FIFO, which is why a default single-tenant server
+  behaves exactly like the pre-gateway stack.
+
+Dispatch also respects a per-index in-flight bound (defaulting to that
+index's scheduler ``max_batch_requests``): the scheduler still sees enough
+concurrent requests to coalesce micro-batches, but queue *depth* builds in
+the fair per-tenant buckets where the round-robin policy governs order,
+not in the scheduler's own FIFO.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["AdmissionController", "GatewayBusyError", "DEFAULT_TENANT"]
+
+DEFAULT_TENANT = "default"
+
+
+class GatewayBusyError(RuntimeError):
+    """The bounded pending queue is full: the request was *rejected*, not
+    queued -- the caller should retry later (wire clients see ``BUSY``)."""
+
+
+class _PendingRequest:
+    """One admitted request: queued, then dispatched, then awaited.
+
+    ``result()`` is a two-stage wait -- first for the dispatcher to hand
+    the request to its index's scheduler, then on the scheduler future
+    itself -- under one shared deadline.
+    """
+
+    __slots__ = ("tenant", "index", "_submit_fn", "_dispatched", "_inner",
+                 "_error")
+
+    def __init__(self, tenant: str, index: str, submit_fn) -> None:
+        self.tenant = tenant
+        self.index = index
+        self._submit_fn = submit_fn
+        self._dispatched = threading.Event()
+        self._inner = None
+        self._error: BaseException | None = None
+
+    def _dispatch(self) -> None:
+        try:
+            self._inner = self._submit_fn()
+        except BaseException as exc:  # noqa: BLE001 - delivered to the waiter
+            self._error = exc
+        finally:
+            self._dispatched.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._dispatched.set()
+
+    def result(self, timeout: float | None = None):
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        if not self._dispatched.wait(timeout):
+            raise TimeoutError(
+                f"request for tenant {self.tenant!r} on index {self.index!r} "
+                f"was not dispatched within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        remaining = (None if deadline is None
+                     else max(0.0, deadline - time.monotonic()))
+        return self._inner.result(remaining)
+
+
+class AdmissionController:
+    """Bounded, tenant-fair admission in front of the per-index schedulers.
+
+    Args:
+        max_pending: admitted-but-uncompleted request bound; ``None`` is
+            unbounded (the pass-through default), ``0`` rejects everything
+            (useful for deterministic ``BUSY`` tests).
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`
+            receiving ``gateway_admitted_total`` / ``gateway_rejected_total``
+            counters (labelled by tenant) and a ``gateway_pending`` gauge.
+        default_inflight_limit: per-index concurrent-dispatch bound used for
+            indices without an explicit :meth:`set_inflight_limit`.
+    """
+
+    def __init__(self, max_pending: int | None = None, metrics=None,
+                 default_inflight_limit: int = 8) -> None:
+        if max_pending is not None and max_pending < 0:
+            raise ValueError("max_pending must be >= 0 (or None: unbounded)")
+        self.max_pending = max_pending
+        self._metrics = metrics
+        self._default_inflight_limit = max(1, default_inflight_limit)
+        self._cv = threading.Condition()
+        self._buckets: dict[str, deque[_PendingRequest]] = {}
+        #: Tenant round-robin order (append order of first admission).
+        self._rotation: list[str] = []
+        self._cursor = 0
+        self._pending = 0   # admitted, not yet completed
+        self._queued = 0    # admitted, not yet dispatched
+        self._inflight: dict[str, int] = {}
+        self._limits: dict[str, int] = {}
+        self.admitted = 0
+        self.rejected = 0
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-gateway-admission",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- index bookkeeping ----------------------------------------------------
+
+    def set_inflight_limit(self, index: str, limit: int) -> None:
+        with self._cv:
+            self._limits[index] = max(1, int(limit))
+            self._cv.notify_all()
+
+    def forget_index(self, index: str) -> None:
+        """Drop the per-index dispatch bookkeeping of an evicted index."""
+        with self._cv:
+            self._limits.pop(index, None)
+            self._inflight.pop(index, None)
+            self._cv.notify_all()
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, tenant: str, index: str, submit_fn) -> _PendingRequest:
+        """Admit one request, or raise :class:`GatewayBusyError`.
+
+        *submit_fn* is called later, on the dispatcher thread, when the
+        tenant round-robin grants this request its turn; it must return a
+        waitable future (``.result(timeout)``).  The caller must invoke
+        :meth:`complete` exactly once after waiting (success or failure),
+        so the pending bound tracks genuinely outstanding work.
+        """
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("admission controller is closed")
+            if (self.max_pending is not None
+                    and self._pending >= self.max_pending):
+                self.rejected += 1
+                if self._metrics is not None:
+                    self._metrics.counter("gateway_rejected_total",
+                                          tenant=tenant).inc()
+                raise GatewayBusyError(
+                    f"gateway pending queue is full ({self._pending} "
+                    f">= max_pending={self.max_pending}); retry later")
+            item = _PendingRequest(tenant, index, submit_fn)
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = deque()
+                self._rotation.append(tenant)
+            bucket.append(item)
+            self._pending += 1
+            self._queued += 1
+            self.admitted += 1
+            if self._metrics is not None:
+                self._metrics.counter("gateway_admitted_total",
+                                      tenant=tenant).inc()
+                self._metrics.gauge("gateway_pending").set(self._pending)
+            self._cv.notify_all()
+        return item
+
+    def complete(self, index: str) -> None:
+        """Mark one admitted request finished (frees a pending slot and the
+        index's in-flight slot)."""
+        with self._cv:
+            self._pending = max(0, self._pending - 1)
+            if index in self._inflight:
+                self._inflight[index] = max(0, self._inflight[index] - 1)
+            if self._metrics is not None:
+                self._metrics.gauge("gateway_pending").set(self._pending)
+            self._cv.notify_all()
+
+    # -- fair dispatch --------------------------------------------------------
+
+    def _select_locked(self) -> _PendingRequest | None:
+        """The next dispatchable request in tenant round-robin order.
+
+        One full pass over the rotation starting after the last grant; a
+        tenant is skipped when its bucket is empty or its head request
+        targets an index at its in-flight limit.
+        """
+        n = len(self._rotation)
+        for step in range(n):
+            tenant = self._rotation[(self._cursor + step) % n]
+            bucket = self._buckets.get(tenant)
+            if not bucket:
+                continue
+            item = bucket[0]
+            limit = self._limits.get(item.index,
+                                     self._default_inflight_limit)
+            if self._inflight.get(item.index, 0) >= limit:
+                continue
+            bucket.popleft()
+            self._cursor = (self._cursor + step + 1) % n
+            self._inflight[item.index] = self._inflight.get(item.index, 0) + 1
+            self._queued -= 1
+            return item
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                item = None
+                while not self._closed:
+                    item = self._select_locked()
+                    if item is not None:
+                        break
+                    self._cv.wait()
+                if item is None and self._closed:
+                    leftovers = [queued for bucket in self._buckets.values()
+                                 for queued in bucket]
+                    for bucket in self._buckets.values():
+                        bucket.clear()
+                    self._queued = 0
+                    for left in leftovers:
+                        left._fail(RuntimeError(
+                            "gateway closed before the request was "
+                            "dispatched"))
+                    return
+            # Submission runs outside the lock: scheduler.submit normalizes
+            # the reads, which must not serialize against admissions.
+            item._dispatch()
+
+    # -- lifecycle and reporting ----------------------------------------------
+
+    def close(self) -> None:
+        """Stop the dispatcher; queued-but-undispatched requests fail."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._dispatcher.join(timeout=10.0)
+
+    def stats_dict(self) -> dict:
+        with self._cv:
+            return {
+                "max_pending": self.max_pending,
+                "pending": self._pending,
+                "queued": self._queued,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "inflight_by_index": dict(sorted(
+                    (k, v) for k, v in self._inflight.items() if v)),
+                "queued_by_tenant": dict(sorted(
+                    (tenant, len(bucket))
+                    for tenant, bucket in self._buckets.items() if bucket)),
+            }

@@ -1,0 +1,185 @@
+"""TTL'd exact-duplicate result cache for the gateway.
+
+The paper's central trick is software caches absorbing repeated remote
+lookups inside the PGAS runtime; this module lifts the same idea one layer
+up, into the serving stack.  Repeated *identical* requests against a
+resident index -- same index, same workload, same aligner configuration,
+same reads -- are the service-level analogue of repeated k-mer lookups, and
+an exact-match cache in front of the scheduler absorbs them without ever
+touching the simulated machine.
+
+The key is a SHA-256 digest over ``(index name, workload, config
+fingerprint, canonical read payload)``; because the served output is a pure
+function of exactly those four inputs (pinned by the byte-identity tests),
+a hit can be replayed verbatim.  Entries expire after a TTL and the table
+is LRU-bounded, so a cold or adversarial key stream degrades to plain
+pass-through, never to unbounded memory.
+
+Counters (hits / misses / stores / capacity evictions / TTL expirations /
+occupancy) are mirrored into the service's
+:class:`~repro.obs.registry.MetricsRegistry` under ``gateway_cache_*`` and
+surfaced through the ``STATS`` and ``METRICS`` wire verbs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Exact-duplicate response cache with TTL expiry and LRU capacity.
+
+    Args:
+        ttl_s: seconds an entry stays servable; ``0`` disables the cache
+            entirely (every lookup is a pass-through miss, nothing stored).
+        max_entries: LRU capacity bound; the least-recently-used entry is
+            evicted when a store would exceed it.
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`;
+            hit/miss/store/eviction counters and an occupancy gauge are
+            mirrored there when present.
+        clock: monotonic time source; injectable so tests can expire
+            entries deterministically without sleeping.
+    """
+
+    def __init__(self, ttl_s: float = 0.0, max_entries: int = 1024,
+                 metrics=None, clock=time.monotonic) -> None:
+        if ttl_s < 0:
+            raise ValueError("ttl_s must be >= 0")
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.ttl_s = ttl_s
+        self.max_entries = max_entries
+        self._metrics = metrics
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (expires_at, text); ordered by recency (last = most recent).
+        self._entries: OrderedDict[str, tuple[float, str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: Capacity (LRU) evictions, distinct from TTL expirations.
+        self.evictions = 0
+        self.expirations = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups can ever hit (``ttl_s > 0`` and capacity > 0)."""
+        return self.ttl_s > 0 and self.max_entries > 0
+
+    @property
+    def occupancy(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- the cache key --------------------------------------------------------
+
+    @staticmethod
+    def request_key(index: str, workload: str, fingerprint: str,
+                    payload) -> str:
+        """Digest of the four inputs the served output is a function of.
+
+        *payload* is the canonical read serialization (bytes or str); the
+        components are length-delimited by NUL separators so no two
+        distinct tuples can collide by concatenation.
+        """
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        digest = hashlib.sha256()
+        for part in (index, workload, fingerprint):
+            digest.update(str(part).encode("utf-8"))
+            digest.update(b"\x00")
+        digest.update(payload)
+        return digest.hexdigest()
+
+    # -- metrics mirroring ----------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"gateway_cache_{name}_total").inc()
+
+    def _mirror_occupancy_locked(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("gateway_cache_occupancy").set(
+                len(self._entries))
+
+    # -- lookups and stores ---------------------------------------------------
+
+    def get(self, key: str) -> str | None:
+        """The cached response text, or ``None`` (miss / expired / disabled).
+
+        A disabled cache returns ``None`` without counting a miss -- the
+        counters describe cache behaviour, not pass-through traffic.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            now = self._clock()
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] <= now:
+                del self._entries[key]
+                self.expirations += 1
+                self._count("expirations")
+                entry = None
+            if entry is None:
+                self.misses += 1
+                self._count("misses")
+                self._mirror_occupancy_locked()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._count("hits")
+            return entry[1]
+
+    def put(self, key: str, text: str) -> None:
+        """Store a response; evicts LRU entries past capacity (no-op when
+        disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            now = self._clock()
+            # Sweep expired entries first so they never count as LRU
+            # victims -- an expiration and a capacity eviction are
+            # different signals.
+            expired = [k for k, (deadline, _) in self._entries.items()
+                       if deadline <= now]
+            for stale in expired:
+                del self._entries[stale]
+                self.expirations += 1
+                self._count("expirations")
+            self._entries[key] = (now + self.ttl_s, text)
+            self._entries.move_to_end(key)
+            self.stores += 1
+            self._count("stores")
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+            self._mirror_occupancy_locked()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._mirror_occupancy_locked()
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "enabled": self.enabled,
+                "ttl_s": self.ttl_s,
+                "max_entries": self.max_entries,
+                "occupancy": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

@@ -1,0 +1,273 @@
+"""The multi-tenant gateway: routing, result caching, fair admission.
+
+:class:`AlignmentGateway` composes the three gateway pieces over the
+existing service stack:
+
+* an :class:`~repro.gateway.registry.IndexRegistry` of named resident
+  sessions (each with its own micro-batching scheduler, all recording into
+  one shared metrics registry);
+* a :class:`~repro.gateway.cache.ResultCache` answering exact-duplicate
+  requests without touching any scheduler;
+* an :class:`~repro.gateway.admission.AdmissionController` bounding the
+  pending queue and interleaving tenants fairly.
+
+The crucial property, inherited from the scheduler's demux guarantee and
+pinned by ``tests/test_gateway.py``: a routed request's rendered output is
+**byte-identical to an offline single-index run of its own reads** on every
+backend, bulk batching on or off, whether it was served by a scheduler or
+replayed from the cache.  With the pass-through defaults (no extra indices,
+cache disabled, unbounded admission) the gateway adds no observable
+behaviour over the plain scheduler path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+
+from repro.gateway.admission import (AdmissionController, DEFAULT_TENANT,
+                                     GatewayBusyError)
+from repro.gateway.cache import ResultCache
+from repro.gateway.registry import (IndexRegistry, ResidentEntry,
+                                    modelled_heap_bytes)
+
+__all__ = ["AlignmentGateway", "GatewayResponse", "DEFAULT_INDEX",
+           "config_fingerprint", "canonical_read_payload"]
+
+DEFAULT_INDEX = "default"
+
+
+def config_fingerprint(config, backend: str, n_ranks: int) -> str:
+    """A short digest of everything (besides index + reads) the output
+    depends on: the full aligner configuration, backend and rank count.
+
+    Backend is included out of caution, not necessity -- outputs are
+    byte-identical across backends by construction -- so a fingerprint
+    mismatch can only ever cause a spurious miss, never a wrong hit.
+    """
+    payload = repr((sorted(dataclasses.asdict(config).items()),
+                    backend, n_ranks))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_read_payload(reads) -> bytes:
+    """The cache key's canonical serialization of a *normalized* read list
+    (name, sequence, quality -- everything the served output reads)."""
+    parts = []
+    for read in reads:
+        quality = getattr(read, "quality", "") or ""
+        parts.append(f"{read.name}\x1f{read.sequence}\x1f{quality}")
+    return "\x1e".join(parts).encode("utf-8")
+
+
+@dataclasses.dataclass
+class GatewayResponse:
+    """One routed request's outcome: the rendered text plus provenance."""
+
+    text: str
+    index: str
+    tenant: str
+    workload: str
+    #: True when the response was replayed from the result cache (no
+    #: scheduler involved).
+    cached: bool
+    #: The scheduler's RequestResult for uncached responses (None on hits).
+    result: object | None = None
+
+
+class AlignmentGateway:
+    """Multi-tenant front end over one or more resident alignment sessions.
+
+    Args:
+        session: the default resident session (serves requests that name no
+            index; pinned, never auto-evicted).
+        scheduler: optional existing scheduler for *session* (one is built
+            otherwise); its batching knobs are cloned for registered
+            indices, and its metrics registry becomes the gateway's.
+        cache_ttl_s / cache_max_entries: the result cache (TTL ``0``
+            disables it -- the pass-through default).
+        max_pending: admission bound (``None``: unbounded).
+        heap_budget_bytes: modelled-heap LRU budget across resident
+            indices (``None``: unbudgeted).
+    """
+
+    def __init__(self, session, scheduler=None, *, cache_ttl_s: float = 0.0,
+                 cache_max_entries: int = 1024,
+                 max_pending: int | None = None,
+                 heap_budget_bytes: int | None = None) -> None:
+        from repro.service.scheduler import RequestScheduler
+        if scheduler is None:
+            scheduler = RequestScheduler(session)
+        if scheduler.session is not session:
+            raise ValueError("scheduler must wrap the default session")
+        self.metrics = scheduler.metrics
+        self.registry = IndexRegistry(budget_bytes=heap_budget_bytes,
+                                      metrics=self.metrics)
+        self.cache = ResultCache(ttl_s=cache_ttl_s,
+                                 max_entries=cache_max_entries,
+                                 metrics=self.metrics)
+        self.admission = AdmissionController(
+            max_pending=max_pending, metrics=self.metrics,
+            default_inflight_limit=scheduler.max_batch_requests)
+        #: Batching knobs cloned onto every registered index's scheduler.
+        self._scheduler_options = {
+            "max_batch_requests": scheduler.max_batch_requests,
+            "max_batch_reads": scheduler.max_batch_reads,
+            "max_wait_s": scheduler.max_wait_s,
+            "warm_caches": scheduler.warm_caches,
+        }
+        self._lock = threading.Lock()   # serializes register/evict/close
+        self._closed = False
+        prepared = session.prepared
+        self.registry.add(ResidentEntry(
+            name=DEFAULT_INDEX, session=session, scheduler=scheduler,
+            heap_bytes=modelled_heap_bytes(session),
+            fingerprint=config_fingerprint(prepared.config, prepared.backend,
+                                           prepared.runtime.n_ranks),
+            pinned=True))
+        self.admission.set_inflight_limit(DEFAULT_INDEX,
+                                          scheduler.max_batch_requests)
+
+    # -- the default entry ----------------------------------------------------
+
+    @property
+    def default_scheduler(self):
+        return self.registry.get(DEFAULT_INDEX).scheduler
+
+    @property
+    def default_session(self):
+        return self.registry.get(DEFAULT_INDEX).session
+
+    # -- index lifecycle ------------------------------------------------------
+
+    def register(self, name: str, targets, *, config=None,
+                 target_names=None, pinned: bool = False) -> dict:
+        """Build and register a named resident index at runtime.
+
+        The new session inherits the default session's configuration, rank
+        count, machine model and backend unless *config* overrides the
+        aligner configuration.  Registering may LRU-evict unpinned indices
+        to fit the heap budget; the returned summary lists them.
+        """
+        from repro.core.pipeline import MerAligner
+        from repro.service.scheduler import RequestScheduler
+        if not name or any(ch.isspace() for ch in name):
+            raise ValueError(
+                f"index names must be non-empty and whitespace-free, "
+                f"got {name!r}")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            if name in self.registry:
+                raise ValueError(f"index {name!r} is already registered")
+            default = self.registry.get(DEFAULT_INDEX)
+            prepared = default.session.prepared
+            build_config = config if config is not None else prepared.config
+            session = MerAligner(build_config).prepare(
+                targets, n_ranks=prepared.runtime.n_ranks,
+                machine=prepared.runtime.machine, backend=prepared.backend,
+                target_names=target_names)
+            scheduler = None
+            try:
+                scheduler = RequestScheduler(session, metrics=self.metrics,
+                                             **self._scheduler_options)
+                entry = ResidentEntry(
+                    name=name, session=session, scheduler=scheduler,
+                    heap_bytes=modelled_heap_bytes(session),
+                    fingerprint=config_fingerprint(
+                        build_config, prepared.backend,
+                        prepared.runtime.n_ranks),
+                    pinned=pinned)
+                evicted = self.registry.add(entry)
+            except BaseException:
+                if scheduler is not None:
+                    scheduler.close()
+                session.close()
+                raise
+            for victim in evicted:
+                self.admission.forget_index(victim)
+            self.admission.set_inflight_limit(
+                name, scheduler.max_batch_requests)
+            self.metrics.counter("gateway_indices_registered_total").inc()
+            summary = entry.to_json_dict()
+            summary["evicted"] = evicted
+            return summary
+
+    def evict(self, name: str) -> None:
+        """Evict a named index (the pinned default index refuses)."""
+        with self._lock:
+            self.registry.evict(name)
+            self.admission.forget_index(name)
+
+    # -- request routing ------------------------------------------------------
+
+    def request(self, reads, workload: str = "align", index: str | None = None,
+                tenant: str | None = None,
+                timeout: float | None = None) -> GatewayResponse:
+        """Route one request: cache lookup, then fair admission to the named
+        index's scheduler.
+
+        Raises :class:`~repro.gateway.admission.GatewayBusyError` when the
+        pending queue is full and :class:`KeyError` for an unknown index.
+        """
+        from repro.core.plan import normalize_reads
+        index = index or DEFAULT_INDEX
+        tenant = tenant or DEFAULT_TENANT
+        entry = self.registry.touch(index)
+        self.metrics.counter("gateway_requests_total", index=index,
+                             tenant=tenant, workload=workload).inc()
+        # Normalize before keying so FastqRecord and ReadRecord spellings of
+        # the same reads share one cache entry, exactly as they share one
+        # scheduler outcome.
+        reads = normalize_reads(reads)
+        key = None
+        if self.cache.enabled:
+            key = ResultCache.request_key(index, workload, entry.fingerprint,
+                                          canonical_read_payload(reads))
+            text = self.cache.get(key)
+            if text is not None:
+                entry.requests_served += 1
+                return GatewayResponse(text=text, index=index, tenant=tenant,
+                                       workload=workload, cached=True)
+        pending = self.admission.admit(
+            tenant, index,
+            lambda: entry.scheduler.submit(reads, workload=workload))
+        try:
+            result = pending.result(timeout)
+        finally:
+            self.admission.complete(index)
+        if key is not None:
+            self.cache.put(key, result.text)
+        entry.requests_served += 1
+        return GatewayResponse(text=result.text, index=index, tenant=tenant,
+                               workload=workload, cached=False, result=result)
+
+    # -- reporting and lifecycle ----------------------------------------------
+
+    def indices_json(self) -> dict:
+        """The ``INDICES`` payload: every resident index plus budget state."""
+        return self.registry.stats_json()
+
+    def stats_json(self) -> dict:
+        """The gateway section of ``STATS`` / ``METRICS``."""
+        return {
+            "indices": self.registry.stats_json(),
+            "cache": self.cache.stats_dict(),
+            "admission": self.admission.stats_dict(),
+        }
+
+    def close(self) -> None:
+        """Close the admission dispatcher, then every resident index."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.admission.close()
+        self.registry.close_all()
+
+    def __enter__(self) -> "AlignmentGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,220 @@
+"""Named resident indices with an LRU modelled-heap-byte budget.
+
+A resident :class:`~repro.service.session.AlignmentSession` is expensive --
+the whole point of the serving stack is amortizing its index build -- so a
+multi-tenant server keeps several of them, named, and routes each request
+by name.  The registry owns that mapping plus the eviction policy: every
+entry is costed by its **modelled heap bytes** (the sum of
+:func:`~repro.pgas.runtime.estimate_nbytes` over all shared-heap segments,
+i.e. what the simulated PGAS machine would actually hold resident), and
+when registering a new index would exceed ``budget_bytes`` the
+least-recently-*used* unpinned entries are evicted -- their schedulers and
+sessions closed -- until it fits.  The default index is pinned: it backs
+every request that names no index, so evicting it would break the
+backward-compatible path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.pgas.runtime import estimate_nbytes
+
+__all__ = ["IndexRegistry", "RegistryBudgetError", "ResidentEntry",
+           "modelled_heap_bytes"]
+
+
+class RegistryBudgetError(RuntimeError):
+    """An index cannot fit the heap budget even after every allowed
+    eviction."""
+
+
+def modelled_heap_bytes(session) -> int:
+    """The session's modelled resident footprint: every shared-heap segment
+    costed by :func:`~repro.pgas.runtime.estimate_nbytes`."""
+    heap = session.prepared.runtime.heap
+    return sum(estimate_nbytes(obj) for _rank, _name, obj in
+               heap.iter_segments())
+
+
+class ResidentEntry:
+    """One named resident index: its session, scheduler and LRU bookkeeping."""
+
+    __slots__ = ("name", "session", "scheduler", "heap_bytes", "fingerprint",
+                 "pinned", "last_used_seq", "registered_unix",
+                 "requests_served")
+
+    def __init__(self, name: str, session, scheduler, heap_bytes: int,
+                 fingerprint: str, pinned: bool = False) -> None:
+        self.name = name
+        self.session = session
+        self.scheduler = scheduler
+        self.heap_bytes = heap_bytes
+        self.fingerprint = fingerprint
+        self.pinned = pinned
+        self.last_used_seq = 0
+        self.registered_unix = time.time()
+        self.requests_served = 0
+
+    def to_json_dict(self) -> dict:
+        prepared = self.session.prepared
+        return {
+            "name": self.name,
+            "pinned": self.pinned,
+            "heap_bytes": self.heap_bytes,
+            "fingerprint": self.fingerprint,
+            "requests_served": self.requests_served,
+            "backend": prepared.backend,
+            "n_ranks": prepared.runtime.n_ranks,
+            "n_targets": len(prepared.target_names),
+            "n_fragments": prepared.n_fragments,
+            "seed_index_keys": prepared.seed_index.n_keys,
+        }
+
+
+class IndexRegistry:
+    """The name -> resident index mapping, with budgeted LRU eviction.
+
+    Args:
+        budget_bytes: total modelled heap bytes allowed across entries;
+            ``None`` is unbudgeted (nothing is ever auto-evicted).
+        metrics: optional registry receiving ``gateway_index_evictions_total``
+            and resident-index/heap gauges.
+    """
+
+    def __init__(self, budget_bytes: int | None = None, metrics=None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive (or None)")
+        self.budget_bytes = budget_bytes
+        self._metrics = metrics
+        self._lock = threading.RLock()
+        self._entries: dict[str, ResidentEntry] = {}
+        self._seq = 0
+        self.evictions = 0
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(entry.heap_bytes for entry in self._entries.values())
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, name: str) -> ResidentEntry:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"unknown index {name!r} (resident: "
+                    f"{', '.join(self.names()) or 'none'})")
+            return entry
+
+    def touch(self, name: str) -> ResidentEntry:
+        """Bump the entry's LRU recency (called once per routed request)."""
+        with self._lock:
+            entry = self.get(name)
+            self._seq += 1
+            entry.last_used_seq = self._seq
+            return entry
+
+    # -- registration and eviction --------------------------------------------
+
+    def add(self, entry: ResidentEntry) -> list[str]:
+        """Register an entry, LRU-evicting unpinned ones to fit the budget.
+
+        Returns the names evicted to make room (empty for an unbudgeted or
+        fitting add).  Raises :class:`RegistryBudgetError` when the entry
+        alone exceeds the budget or only pinned entries remain to evict.
+        """
+        with self._lock:
+            if entry.name in self._entries:
+                raise ValueError(f"index {entry.name!r} is already registered")
+            evicted: list[str] = []
+            if self.budget_bytes is not None:
+                if entry.heap_bytes > self.budget_bytes:
+                    raise RegistryBudgetError(
+                        f"index {entry.name!r} needs {entry.heap_bytes} "
+                        f"modelled heap bytes, over the whole budget of "
+                        f"{self.budget_bytes}")
+                while (self.resident_bytes + entry.heap_bytes
+                       > self.budget_bytes):
+                    victim = min(
+                        (e for e in self._entries.values() if not e.pinned),
+                        key=lambda e: e.last_used_seq, default=None)
+                    if victim is None:
+                        raise RegistryBudgetError(
+                            f"cannot fit index {entry.name!r} "
+                            f"({entry.heap_bytes} bytes) in the remaining "
+                            f"budget: every resident index is pinned")
+                    evicted.append(victim.name)
+                    self._evict_locked(victim)
+            self._seq += 1
+            entry.last_used_seq = self._seq
+            self._entries[entry.name] = entry
+            self._mirror_gauges_locked()
+            return evicted
+
+    def evict(self, name: str, force: bool = False) -> None:
+        """Explicitly evict one index (closing its scheduler and session).
+
+        Pinned entries (the default index) refuse unless *force*.
+        """
+        with self._lock:
+            entry = self.get(name)
+            if entry.pinned and not force:
+                raise ValueError(
+                    f"index {name!r} is pinned (it serves requests that "
+                    "name no index) and cannot be evicted")
+            self._evict_locked(entry)
+            self._mirror_gauges_locked()
+
+    def _evict_locked(self, entry: ResidentEntry) -> None:
+        del self._entries[entry.name]
+        self.evictions += 1
+        if self._metrics is not None:
+            self._metrics.counter("gateway_index_evictions_total").inc()
+        # Scheduler first (fails its queued requests), then the session's
+        # backend residency; both closes are idempotent.
+        entry.scheduler.close()
+        entry.session.close()
+
+    def close_all(self) -> None:
+        """Close every resident entry (pinned included); used on shutdown."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._mirror_gauges_locked()
+        for entry in entries:
+            entry.scheduler.close()
+            entry.session.close()
+
+    # -- reporting ------------------------------------------------------------
+
+    def _mirror_gauges_locked(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("gateway_resident_indices").set(
+                len(self._entries))
+            self._metrics.gauge("gateway_resident_heap_bytes").set(
+                sum(e.heap_bytes for e in self._entries.values()))
+
+    def stats_json(self) -> dict:
+        with self._lock:
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": self.resident_bytes,
+                "evictions": self.evictions,
+                "indices": [self._entries[name].to_json_dict()
+                            for name in sorted(self._entries)],
+            }

@@ -47,6 +47,12 @@ class LoadOutcome:
     wall_latency: float
     ok: bool
     error: str = ""
+    #: The tenant the request was attributed to ("" for the default).
+    tenant: str = ""
+    #: True when the server rejected the request with an explicit BUSY
+    #: (admission control working as designed -- reported separately from
+    #: genuine errors).
+    busy: bool = False
 
 
 @dataclass
@@ -70,17 +76,32 @@ class LoadReport:
 
     @property
     def n_errors(self) -> int:
-        return sum(1 for outcome in self.outcomes if not outcome.ok)
+        """Genuinely failed requests; explicit BUSY rejections are counted
+        separately in :attr:`n_busy`."""
+        return sum(1 for outcome in self.outcomes
+                   if not outcome.ok and not outcome.busy)
+
+    @property
+    def n_busy(self) -> int:
+        """Requests the server rejected with an explicit ``BUSY``."""
+        return sum(1 for outcome in self.outcomes if outcome.busy)
 
     @property
     def achieved_qps(self) -> float:
-        ok = self.n_requests - self.n_errors
+        ok = sum(1 for outcome in self.outcomes if outcome.ok)
         return ok / self.duration_s if self.duration_s > 0 else 0.0
 
     def counts_by_workload(self) -> dict[str, int]:
         counts: dict[str, int] = {}
         for outcome in self.outcomes:
             counts[outcome.workload] = counts.get(outcome.workload, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def counts_by_tenant(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.tenant:
+                counts[outcome.tenant] = counts.get(outcome.tenant, 0) + 1
         return dict(sorted(counts.items()))
 
     def latencies(self, workload: str | None = None) -> list[float]:
@@ -111,9 +132,11 @@ class LoadReport:
             "seed": self.seed,
             "n_requests": self.n_requests,
             "n_errors": self.n_errors,
+            "n_busy": self.n_busy,
             "duration_s": self.duration_s,
             "achieved_qps": self.achieved_qps,
             "counts_by_workload": self.counts_by_workload(),
+            "counts_by_tenant": self.counts_by_tenant(),
             "latency": self.latency_percentiles(),
             "latency_by_workload": {
                 workload: self.latency_percentiles(workload)
@@ -142,6 +165,14 @@ class LoadGenerator:
         workloads: the workload mix, uniform over the given names.
         seed: RNG seed fixing the workload/read draw of every request.
         timeout: per-request socket timeout, seconds.
+        tenants: optional tenant names; each request is attributed to one,
+            drawn uniformly from a separate RNG derived from ``seed`` --
+            enabling tenants never changes which requests are issued, and
+            ``None`` keeps requests untenanted.
+        route_index: optional named resident index every request routes to
+            (gateway-backed servers only).
+        connect_retries: per-worker client connect retries (exponential
+            backoff + jitter; ``0`` fails immediately).
     """
 
     def __init__(self, host: str, port: int, reads, *, paired_reads=None,
@@ -149,7 +180,9 @@ class LoadGenerator:
                  n_requests: int | None = None, duration_s: float | None = None,
                  reads_per_request: int = 8,
                  workloads=DEFAULT_WORKLOADS, seed: int = 0,
-                 timeout: float = 300.0) -> None:
+                 timeout: float = 300.0, tenants=None,
+                 route_index: str | None = None,
+                 connect_retries: int = 0) -> None:
         if qps <= 0:
             raise ValueError("qps must be positive")
         if concurrency <= 0:
@@ -180,17 +213,24 @@ class LoadGenerator:
             raise ValueError("no runnable workloads in the mix")
         self.seed = seed
         self.timeout = timeout
+        self.tenants = tuple(tenants) if tenants else None
+        self.route_index = route_index
+        self.connect_retries = connect_retries
 
     # -- deterministic request plan -------------------------------------------
 
-    def _plan(self) -> list[tuple[int, str, list]]:
-        """The full request schedule: ``(index, workload, reads)`` triples.
+    def _plan(self) -> list[tuple[int, str, list, str]]:
+        """The full request schedule: ``(index, workload, reads, tenant)``.
 
         Drawn from one seeded RNG up front, so the per-workload request
         counts -- and each request's reads -- depend only on the
-        constructor arguments, never on timing.
+        constructor arguments, never on timing.  Tenants come from a
+        *separate* RNG derived from the same seed, so enabling tenants
+        never perturbs the workload/read draws: a tenanted run issues
+        exactly the requests its untenanted twin would.
         """
         rng = random.Random(self.seed)
+        tenant_rng = random.Random(f"tenants:{self.seed}")
         plan = []
         for index in range(self.n_requests):
             workload = self.workloads[rng.randrange(len(self.workloads))]
@@ -203,13 +243,16 @@ class LoadGenerator:
                 want = min(self.reads_per_request, len(self.reads))
                 start = rng.randrange(len(self.reads) - want + 1)
                 records = self.reads[start:start + want]
-            plan.append((index, workload, records))
+            tenant = (self.tenants[tenant_rng.randrange(len(self.tenants))]
+                      if self.tenants else "")
+            plan.append((index, workload, records, tenant))
         return plan
 
     # -- execution ------------------------------------------------------------
 
     def run(self) -> LoadReport:
-        from repro.service.client import ServiceError, SocketAlignmentClient
+        from repro.service.client import (ServiceBusyError, ServiceError,
+                                          SocketAlignmentClient)
 
         plan = self._plan()
         report = LoadReport(target_qps=self.qps, concurrency=self.concurrency,
@@ -221,30 +264,40 @@ class LoadGenerator:
         start = time.perf_counter()
 
         def worker() -> None:
-            client = SocketAlignmentClient(host=self.host, port=self.port,
-                                           timeout=self.timeout)
+            client = SocketAlignmentClient(
+                host=self.host, port=self.port, timeout=self.timeout,
+                connect_retries=self.connect_retries)
             while True:
                 with lock:
                     position = next_index[0]
                     if position >= len(plan):
                         return
                     next_index[0] += 1
-                index, workload, records = plan[position]
+                index, workload, records, tenant = plan[position]
                 dispatch_at = start + index / self.qps
                 delay = dispatch_at - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
                 try:
-                    client.workload_text(workload, records)
+                    client.workload_text(workload, records,
+                                         index=self.route_index,
+                                         tenant=tenant or None)
                     outcomes[index] = LoadOutcome(
                         index=index, workload=workload, n_reads=len(records),
                         wall_latency=time.perf_counter() - dispatch_at,
-                        ok=True)
+                        ok=True, tenant=tenant)
+                except ServiceBusyError as exc:
+                    outcomes[index] = LoadOutcome(
+                        index=index, workload=workload, n_reads=len(records),
+                        wall_latency=time.perf_counter() - dispatch_at,
+                        ok=False, error=f"{type(exc).__name__}: {exc}",
+                        tenant=tenant, busy=True)
                 except (OSError, ServiceError, ValueError) as exc:
                     outcomes[index] = LoadOutcome(
                         index=index, workload=workload, n_reads=len(records),
                         wall_latency=time.perf_counter() - dispatch_at,
-                        ok=False, error=f"{type(exc).__name__}: {exc}")
+                        ok=False, error=f"{type(exc).__name__}: {exc}",
+                        tenant=tenant)
 
         threads = [threading.Thread(target=worker, name=f"loadgen-{i}",
                                     daemon=True)

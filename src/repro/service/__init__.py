@@ -28,7 +28,8 @@ align`` run on the same reads, regardless of how requests were batched or
 which backend executes them.
 """
 
-from repro.service.client import AlignmentClient, SocketAlignmentClient
+from repro.service.client import (AlignmentClient, ServiceBusyError,
+                                  ServiceError, SocketAlignmentClient)
 from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
 from repro.service.server import AlignmentServer
 from repro.service.session import (AlignmentSession, BatchOutcome,
@@ -43,6 +44,8 @@ __all__ = [
     "PreparedIndex",
     "RequestResult",
     "RequestScheduler",
+    "ServiceBusyError",
+    "ServiceError",
     "ServiceStats",
     "SocketAlignmentClient",
 ]

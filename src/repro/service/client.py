@@ -16,7 +16,9 @@
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
 from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
 from repro.service.server import fastq_payload
@@ -95,23 +97,76 @@ class ServiceError(RuntimeError):
     """An ``ERR`` response from the alignment server."""
 
 
+class ServiceBusyError(ServiceError):
+    """A ``BUSY`` response: the gateway's pending queue was full and the
+    request was rejected explicitly (retry later), never silently dropped."""
+
+
 class SocketAlignmentClient:
-    """TCP client for the ``meraligner serve`` line protocol."""
+    """TCP client for the ``meraligner serve`` line protocol.
+
+    *connect_retries* enables bounded exponential backoff with jitter on
+    connection-refused/reset errors (``0``, the default, keeps failures
+    immediate -- tests want determinism, load generators and CI smoke
+    scripts opt in to ride out server start-up races).  Only the *connect*
+    is retried: a request that reached the server is never replayed.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7679,
-                 timeout: float | None = 300.0) -> None:
+                 timeout: float | None = 300.0, connect_retries: int = 0,
+                 retry_base_s: float = 0.05,
+                 retry_max_s: float = 2.0) -> None:
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
 
     # -- wire helpers ---------------------------------------------------------
 
+    def _connect(self) -> socket.socket:
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection((self.host, self.port),
+                                                timeout=self.timeout)
+            except OSError:
+                if attempt >= self.connect_retries:
+                    raise
+                delay = min(self.retry_max_s,
+                            self.retry_base_s * (2 ** attempt))
+                # Full jitter keeps simultaneous clients from re-colliding
+                # on the same backoff schedule.
+                time.sleep(delay * random.random())
+                attempt += 1
+
+    @staticmethod
+    def _routing(index: str | None, tenant: str | None) -> str:
+        """The ``INDEX=``/``TENANT=`` option suffix of a query command."""
+        suffix = ""
+        for key, value in (("INDEX", index), ("TENANT", tenant)):
+            if value is None:
+                continue
+            if not value or any(ch.isspace() for ch in value):
+                raise ValueError(f"{key.lower()} names must be non-empty "
+                                 f"and whitespace-free, got {value!r}")
+            suffix += f" {key}={value}"
+        return suffix
+
     def _roundtrip(self, command: str, payload: bytes = b"") -> bytes:
-        with socket.create_connection((self.host, self.port),
-                                      timeout=self.timeout) as conn:
-            conn.sendall(command.encode("ascii") + b"\n" + payload)
+        with self._connect() as conn:
+            conn.sendall(command.encode("utf-8") + b"\n" + payload)
             with conn.makefile("rb") as rfile:
-                status = rfile.readline().decode("ascii").strip()
+                # UTF-8, matching the server's ERR/BUSY encoding: status
+                # messages embed user-controlled text (paths, index names).
+                status = rfile.readline().decode("utf-8",
+                                                 errors="replace").strip()
+                if status.startswith("BUSY"):
+                    raise ServiceBusyError(status[4:].strip()
+                                           or "server busy")
                 if status.startswith("ERR"):
                     raise ServiceError(status[3:].strip() or "server error")
                 if not status.startswith("OK"):
@@ -132,35 +187,50 @@ class SocketAlignmentClient:
         except (OSError, ServiceError):
             return False
 
-    def align_sam(self, reads) -> str:
-        """Align reads (FastqRecord/ReadRecord) and return the SAM text."""
-        reads = list(reads)
-        return self._roundtrip(f"ALIGN {len(reads)}",
-                               fastq_payload(reads)).decode("ascii")
+    def align_sam(self, reads, index: str | None = None,
+                  tenant: str | None = None) -> str:
+        """Align reads (FastqRecord/ReadRecord) and return the SAM text.
 
-    def paired_sam(self, reads) -> str:
+        *index* routes to a named resident index and *tenant* attributes
+        the request for fair admission (gateway-backed servers only; both
+        default to the server's defaults, preserving the pre-gateway wire
+        format exactly).
+        """
+        reads = list(reads)
+        return self._roundtrip(
+            f"ALIGN {len(reads)}{self._routing(index, tenant)}",
+            fastq_payload(reads)).decode("ascii")
+
+    def paired_sam(self, reads, index: str | None = None,
+                   tenant: str | None = None) -> str:
         """Paired-end-align interleaved reads; return the paired SAM text.
 
         *reads* must alternate R1, R2 (an even count); the server rejects
         odd payloads with ``ERR``.
         """
         reads = list(reads)
-        return self._roundtrip(f"PAIRED {len(reads)}",
-                               fastq_payload(reads)).decode("ascii")
+        return self._roundtrip(
+            f"PAIRED {len(reads)}{self._routing(index, tenant)}",
+            fastq_payload(reads)).decode("ascii")
 
-    def count_tsv(self, reads) -> str:
+    def count_tsv(self, reads, index: str | None = None,
+                  tenant: str | None = None) -> str:
         """Seed-frequency histogram of the reads, as the server's TSV."""
         reads = list(reads)
-        return self._roundtrip(f"COUNT {len(reads)}",
-                               fastq_payload(reads)).decode("ascii")
+        return self._roundtrip(
+            f"COUNT {len(reads)}{self._routing(index, tenant)}",
+            fastq_payload(reads)).decode("ascii")
 
-    def screen_tsv(self, reads) -> str:
+    def screen_tsv(self, reads, index: str | None = None,
+                   tenant: str | None = None) -> str:
         """Exact-match hit/miss rows for the reads, as the server's TSV."""
         reads = list(reads)
-        return self._roundtrip(f"SCREEN {len(reads)}",
-                               fastq_payload(reads)).decode("ascii")
+        return self._roundtrip(
+            f"SCREEN {len(reads)}{self._routing(index, tenant)}",
+            fastq_payload(reads)).decode("ascii")
 
-    def workload_text(self, workload: str, reads) -> str:
+    def workload_text(self, workload: str, reads, index: str | None = None,
+                      tenant: str | None = None) -> str:
         """The rendered output of any wire workload
         (ALIGN/COUNT/SCREEN/PAIRED)."""
         verbs = {"align": self.align_sam, "count": self.count_tsv,
@@ -170,7 +240,22 @@ class SocketAlignmentClient:
         except KeyError:
             raise ServiceError(f"unknown workload {workload!r}; available: "
                                f"{', '.join(sorted(verbs))}") from None
-        return method(reads)
+        return method(reads, index=index, tenant=tenant)
+
+    # -- gateway administration -----------------------------------------------
+
+    def indices(self) -> dict:
+        """The resident indices of a gateway-backed server (``INDICES``)."""
+        return json.loads(self._roundtrip("INDICES").decode("utf-8"))
+
+    def register_index(self, name: str, path) -> dict:
+        """Build and register a named index from a server-side FASTA path."""
+        return json.loads(
+            self._roundtrip(f"REGISTER {name} {path}").decode("utf-8"))
+
+    def evict_index(self, name: str) -> None:
+        """Evict a named resident index (the default index refuses)."""
+        self._roundtrip(f"EVICT {name}")
 
     def stats(self) -> dict:
         """The server's service/session statistics as parsed JSON.

@@ -33,6 +33,25 @@ guess payload boundaries:
 ``SHUTDOWN``
     Responds ``OK 0``, then shuts the server down cleanly.
 
+When the server fronts an :class:`~repro.gateway.AlignmentGateway` (the
+default when started through ``api.serve`` / ``meraligner serve``), the
+query verbs additionally accept ``INDEX=<name>`` and ``TENANT=<name>``
+option tokens after the read count (``ALIGN 8 INDEX=refb TENANT=alice``),
+three admin verbs manage the resident indices:
+
+``INDICES``
+    Responds with a JSON document listing every resident index (heap
+    bytes, fingerprint, budget state).
+``REGISTER <name> <fasta-path>``
+    Builds and registers a named resident index from a server-side FASTA
+    path (LRU-evicting unpinned indices past the heap budget); responds
+    with the new index's JSON summary.
+``EVICT <name>``
+    Evicts a named index (the pinned default index refuses); ``OK 0``.
+
+and a full pending queue answers ``BUSY <message>`` -- an explicit
+rejection the client should retry, never a silent drop.
+
 Malformed input gets ``ERR <message>`` and the connection stays usable.
 Connections may issue any number of commands; the server is a
 ``ThreadingTCPServer``, so many clients can stream requests concurrently --
@@ -46,6 +65,7 @@ import socketserver
 import threading
 from dataclasses import asdict
 
+from repro.gateway.admission import GatewayBusyError
 from repro.io.fastq import FastqRecord
 from repro.service.scheduler import RequestScheduler
 
@@ -130,7 +150,20 @@ class _Handler(socketserver.StreamRequestHandler):
             len(header) + len(payload))
 
     def _error(self, message: str) -> None:
-        line = f"ERR {message}\n".encode("ascii")
+        # UTF-8, not ASCII: exception messages embed user-controlled text
+        # (file paths, index names); an encoding error here would kill the
+        # connection instead of reporting the actual problem.  Newlines are
+        # flattened so the message cannot break the line protocol.
+        message = " ".join(str(message).splitlines()) or "server error"
+        line = f"ERR {message}\n".encode("utf-8", errors="replace")
+        self.wfile.write(line)
+        self.wfile.flush()
+        self.server.metrics.counter("server_bytes_out_total").inc(len(line))
+
+    def _busy(self, message: str) -> None:
+        """The explicit admission rejection: ``BUSY``, never a drop."""
+        message = " ".join(str(message).splitlines()) or "server busy"
+        line = f"BUSY {message}\n".encode("utf-8", errors="replace")
         self.wfile.write(line)
         self.wfile.flush()
         self.server.metrics.counter("server_bytes_out_total").inc(len(line))
@@ -145,6 +178,36 @@ class _Handler(socketserver.StreamRequestHandler):
         finally:
             active.add(-1)
 
+    def _require_gateway(self, what: str):
+        gateway = self.server.gateway
+        if gateway is None:
+            raise ProtocolError(
+                f"{what} requires a gateway-backed server "
+                "(start it through api.serve / meraligner serve)")
+        return gateway
+
+    @staticmethod
+    def _query_options(verb: str, parts: list[str]) -> tuple[str | None,
+                                                             str | None]:
+        """Parse the optional ``INDEX=`` / ``TENANT=`` tokens of a query."""
+        index = tenant = None
+        for token in parts:
+            key, sep, value = token.partition("=")
+            if not sep or not value:
+                raise ProtocolError(
+                    f"malformed {verb} option {token!r} "
+                    "(expected INDEX=<name> or TENANT=<name>)")
+            key = key.upper()
+            if key == "INDEX":
+                index = value
+            elif key == "TENANT":
+                tenant = value
+            else:
+                raise ProtocolError(
+                    f"unknown {verb} option {token!r} "
+                    "(supported: INDEX=, TENANT=)")
+        return index, tenant
+
     def _command_loop(self, metrics) -> None:
         rfile = _CountingReader(self.rfile,
                                 metrics.counter("server_bytes_in_total"))
@@ -152,7 +215,7 @@ class _Handler(socketserver.StreamRequestHandler):
             line = rfile.readline()
             if not line:
                 return
-            command = line.decode("ascii", errors="replace").strip()
+            command = line.decode("utf-8", errors="replace").strip()
             if not command:
                 continue
             verb = command.split()[0].upper()
@@ -182,24 +245,64 @@ class _Handler(socketserver.StreamRequestHandler):
                     return
                 elif verb in ("ALIGN", "COUNT", "SCREEN", "PAIRED"):
                     parts = command.split()
-                    if len(parts) != 2 or not parts[1].isdigit():
-                        raise ProtocolError(f"usage: {verb} <n_reads>")
+                    if len(parts) < 2 or not parts[1].isdigit():
+                        raise ProtocolError(
+                            f"usage: {verb} <n_reads> "
+                            "[INDEX=<name>] [TENANT=<name>]")
                     n_reads = int(parts[1])
+                    index, tenant = self._query_options(verb, parts[2:])
                     if verb == "PAIRED" and n_reads % 2 != 0:
                         raise ProtocolError(
                             "PAIRED needs an even interleaved read count, "
                             f"got {n_reads}")
                     reads = read_fastq_payload(rfile, n_reads)
-                    result = self.server.scheduler.request(
-                        [record.to_read() for record in reads],
-                        workload=verb.lower(),
-                        timeout=self.server.request_timeout)
-                    self._reply(result.text.encode("ascii"))
+                    records = [record.to_read() for record in reads]
+                    gateway = self.server.gateway
+                    if gateway is not None:
+                        response = gateway.request(
+                            records, workload=verb.lower(), index=index,
+                            tenant=tenant,
+                            timeout=self.server.request_timeout)
+                        text = response.text
+                    else:
+                        if index is not None or tenant is not None:
+                            raise ProtocolError(
+                                "INDEX=/TENANT= options require a "
+                                "gateway-backed server")
+                        result = self.server.scheduler.request(
+                            records, workload=verb.lower(),
+                            timeout=self.server.request_timeout)
+                        text = result.text
+                    self._reply(text.encode("ascii"))
+                elif verb == "INDICES" and command.upper() == "INDICES":
+                    gateway = self._require_gateway("INDICES")
+                    self._reply(json.dumps(gateway.indices_json(), indent=2,
+                                           sort_keys=True).encode("utf-8"))
+                elif verb == "REGISTER":
+                    # split at most twice: the FASTA path may contain spaces.
+                    parts = command.split(None, 2)
+                    if len(parts) != 3:
+                        raise ProtocolError("usage: REGISTER <name> "
+                                            "<fasta-path>")
+                    gateway = self._require_gateway("REGISTER")
+                    summary = gateway.register(parts[1], parts[2].strip())
+                    self._reply(json.dumps(summary, indent=2,
+                                           sort_keys=True).encode("utf-8"))
+                elif verb == "EVICT":
+                    parts = command.split()
+                    if len(parts) != 2:
+                        raise ProtocolError("usage: EVICT <name>")
+                    gateway = self._require_gateway("EVICT")
+                    gateway.evict(parts[1])
+                    self._reply()
                 else:
                     raise ProtocolError(f"unknown command {command.split()[0]!r}")
             except ProtocolError as exc:
                 metrics.counter("server_errors_total", verb=verb).inc()
                 self._error(str(exc))
+            except GatewayBusyError as exc:
+                metrics.counter("server_busy_total", verb=verb).inc()
+                self._busy(str(exc))
             except BrokenPipeError:
                 metrics.counter("server_errors_total", verb=verb).inc()
                 return
@@ -211,10 +314,17 @@ class _Handler(socketserver.StreamRequestHandler):
 class AlignmentServer:
     """TCP front end streaming SAM responses from a request scheduler."""
 
-    def __init__(self, scheduler: RequestScheduler, host: str = "127.0.0.1",
-                 port: int = 0, request_timeout: float | None = 300.0) -> None:
+    def __init__(self, scheduler: RequestScheduler | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: float | None = 300.0,
+                 gateway=None) -> None:
         from repro.obs.registry import MetricsRegistry
+        if scheduler is None:
+            if gateway is None:
+                raise ValueError("pass a scheduler, a gateway, or both")
+            scheduler = gateway.default_scheduler
         self.scheduler = scheduler
+        self.gateway = gateway
         self.request_timeout = request_timeout
         # Record into the scheduler's registry so one snapshot spans every
         # layer; a bare scheduler-less future server would still get one.
@@ -238,6 +348,7 @@ class AlignmentServer:
         self._server.metrics = outer.metrics
         self._server.request_shutdown = outer.request_shutdown
         self._server.request_timeout = request_timeout
+        self._server.gateway = gateway
 
     # -- addressing -----------------------------------------------------------
 
@@ -253,13 +364,22 @@ class AlignmentServer:
     # -- stats ----------------------------------------------------------------
 
     def stats_json(self) -> dict:
-        """The ``STATS`` payload: scheduler stats plus session summary."""
+        """The ``STATS`` payload: scheduler stats plus session summary.
+
+        A gateway-backed server adds a ``gateway`` section (resident
+        indices, result-cache counters, admission state); ``service`` and
+        ``session`` always describe the default index, so pre-gateway
+        consumers read the document unchanged.
+        """
         from repro.core.stats import REPORT_SCHEMA_VERSION
-        return {
+        doc = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "service": self.scheduler.stats().to_json_dict(),
             "session": self.scheduler.session.to_json_dict(),
         }
+        if self.gateway is not None:
+            doc["gateway"] = self.gateway.stats_json()
+        return doc
 
     def metrics_json(self) -> dict:
         """The ``METRICS`` payload: one snapshot document for the whole stack.
@@ -281,7 +401,7 @@ class AlignmentServer:
         for cache in (prepared.seed_cache, prepared.target_cache):
             if cache is not None:
                 caches[cache.name] = asdict(cache.total_stats())
-        return {
+        doc = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "metrics": self.metrics.snapshot(),
             "service": self.scheduler.stats().to_json_dict(),
@@ -289,6 +409,12 @@ class AlignmentServer:
             "comm": comm,
             "caches": caches,
         }
+        # Additive, like the PR-5/PR-7 counter additions: the schema version
+        # stays put because every existing key keeps its meaning (comm and
+        # caches remain the default index's).
+        if self.gateway is not None:
+            doc["gateway"] = self.gateway.stats_json()
+        return doc
 
     def metrics_text(self) -> str:
         """The ``METRICS PROM`` payload: Prometheus text exposition."""

@@ -68,6 +68,13 @@ EXPECTED_EXPORTS = sorted([
     "SocketAlignmentClient",
     "RequestScheduler",
     "ServiceStats",
+    # multi-tenant gateway
+    "AlignmentGateway",
+    "AdmissionController",
+    "GatewayBusyError",
+    "IndexRegistry",
+    "ResultCache",
+    "ServiceBusyError",
     # observability
     "MetricsRegistry",
     "TraceLog",

@@ -1,0 +1,648 @@
+"""Tests for the multi-tenant gateway (:mod:`repro.gateway`).
+
+Pins, in order:
+
+* the :class:`ResultCache` unit semantics (TTL expiry via an injected
+  clock, LRU capacity, counters, disabled pass-through);
+* the :class:`AdmissionController` unit semantics (bounded queue with
+  explicit ``BUSY`` rejection, per-tenant round-robin fairness, per-index
+  in-flight limiting, clean close);
+* the :class:`IndexRegistry` budget/LRU/pinning semantics on stub entries;
+* the house invariant extended to routing: a request routed to any named
+  index, from any tenant, interleaved with other tenants' traffic, is
+  byte-identical to an offline single-index run of its own reads -- on
+  every backend, bulk batching on and off, cached or uncached, and after
+  an eviction + re-register cycle;
+* the wire protocol: ``INDICES`` / ``REGISTER`` / ``EVICT``,
+  ``INDEX=``/``TENANT=`` query options, ``BUSY`` replies, the gateway
+  sections of ``STATS``/``METRICS``;
+* the UTF-8 ``ERR`` regression (non-ASCII exception messages reach the
+  client intact with the connection still usable) and the client's
+  bounded connect retry.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.gateway import (AdmissionController, AlignmentGateway,
+                           GatewayBusyError, IndexRegistry,
+                           RegistryBudgetError, ResidentEntry, ResultCache)
+from repro.io.sam import sam_text
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.service.client import (ServiceBusyError, ServiceError,
+                                  SocketAlignmentClient)
+
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    """Two distinct genomes with reads (seeds 7 and 21)."""
+    genome_a, reads_a = make_dataset(
+        GenomeSpec(name="refa", genome_length=8000, n_contigs=4),
+        ReadSetSpec(coverage=1.0, read_length=70), seed=7)
+    genome_b, reads_b = make_dataset(
+        GenomeSpec(name="refb", genome_length=8000, n_contigs=4),
+        ReadSetSpec(coverage=1.0, read_length=70), seed=21)
+    return genome_a, reads_a, genome_b, reads_b
+
+
+def offline_sam(config, contigs, reads, backend="cooperative"):
+    from repro.core.plan import normalize_targets_named
+    report = MerAligner(config).run(contigs, reads, n_ranks=4,
+                                    machine=MACHINE, backend=backend)
+    named = normalize_targets_named(contigs)
+    return sam_text(report.alignments, [name for name, _ in named],
+                    [len(seq) for _, seq in named])
+
+
+# -- ResultCache ---------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestResultCache:
+    def test_disabled_by_default(self):
+        cache = ResultCache()
+        assert not cache.enabled
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        # A disabled cache records nothing, not even misses.
+        assert cache.stats_dict()["misses"] == 0
+        assert cache.occupancy == 0
+
+    def test_hit_then_ttl_expiry(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        key = ResultCache.request_key("default", "align", "fp", b"payload")
+        assert cache.get(key) is None
+        cache.put(key, "SAM")
+        clock.now = 9.9
+        assert cache.get(key) == "SAM"
+        clock.now = 10.1
+        assert cache.get(key) is None
+        stats = cache.stats_dict()
+        assert (stats["hits"], stats["misses"]) == (1, 2)
+        assert stats["expirations"] == 1
+        assert stats["evictions"] == 0
+
+    def test_lru_capacity_eviction(self):
+        clock = _FakeClock()
+        cache = ResultCache(ttl_s=100.0, max_entries=2, clock=clock)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"       # refresh a: b is now LRU
+        cache.put("c", "3")
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert cache.get("c") == "3"
+        assert cache.stats_dict()["evictions"] == 1
+
+    def test_key_distinguishes_every_component(self):
+        base = ("default", "align", "fp", b"reads")
+        key = ResultCache.request_key(*base)
+        for variant in (("other", "align", "fp", b"reads"),
+                        ("default", "count", "fp", b"reads"),
+                        ("default", "align", "fp2", b"reads"),
+                        ("default", "align", "fp", b"reads2")):
+            assert ResultCache.request_key(*variant) != key
+
+    def test_counters_mirrored_to_registry(self):
+        from repro.obs.registry import MetricsRegistry
+        registry = MetricsRegistry()
+        clock = _FakeClock()
+        cache = ResultCache(ttl_s=5.0, metrics=registry, clock=clock)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("missing")
+        counters = registry.snapshot()["counters"]
+        assert counters["gateway_cache_stores_total"] == 1
+        assert counters["gateway_cache_hits_total"] == 1
+        assert counters["gateway_cache_misses_total"] == 1
+        assert registry.snapshot()["gauges"]["gateway_cache_occupancy"] == 1
+
+
+# -- AdmissionController -------------------------------------------------------
+
+class _FakeFuture:
+    def __init__(self, value="done"):
+        self.value = value
+
+    def result(self, timeout=None):
+        return self.value
+
+
+class TestAdmissionController:
+    def test_unbounded_default_dispatches_fifo(self):
+        admission = AdmissionController()
+        try:
+            got = [admission.admit("t", "idx", lambda i=i: _FakeFuture(i))
+                   for i in range(4)]
+            assert [p.result(timeout=5.0) for p in got] == [0, 1, 2, 3]
+            for _ in got:
+                admission.complete("idx")
+            assert admission.stats_dict()["pending"] == 0
+        finally:
+            admission.close()
+
+    def test_max_pending_zero_rejects_everything(self):
+        admission = AdmissionController(max_pending=0)
+        try:
+            with pytest.raises(GatewayBusyError):
+                admission.admit("t", "idx", _FakeFuture)
+            assert admission.rejected == 1
+        finally:
+            admission.close()
+
+    def test_bounded_queue_rejects_then_recovers(self):
+        admission = AdmissionController(max_pending=2,
+                                        default_inflight_limit=1)
+        try:
+            first = admission.admit("t", "idx", _FakeFuture)
+            second = admission.admit("t", "idx", _FakeFuture)
+            with pytest.raises(GatewayBusyError):
+                admission.admit("t", "idx", _FakeFuture)
+            first.result(timeout=5.0)
+            admission.complete("idx")
+            third = admission.admit("t", "idx", _FakeFuture)
+            second.result(timeout=5.0)
+            admission.complete("idx")
+            third.result(timeout=5.0)
+            admission.complete("idx")
+        finally:
+            admission.close()
+
+    def test_round_robin_interleaves_tenants(self):
+        """With one in-flight slot, a saturating dummy, then 3 'a' and 2 'b'
+        requests, dispatch order must alternate a/b, not drain 'a' first."""
+        admission = AdmissionController(default_inflight_limit=1)
+        order = []
+        try:
+            dummy = admission.admit("a", "idx",
+                                    lambda: _FakeFuture("dummy"))
+            dummy.result(timeout=5.0)   # dispatched; holds the slot
+            pendings = []
+            for tenant, tag in (("a", "a1"), ("a", "a2"), ("a", "a3"),
+                                ("b", "b1"), ("b", "b2")):
+                def submit(t=tag):
+                    order.append(t)
+                    return _FakeFuture(t)
+                pendings.append((tag, admission.admit(tenant, "idx", submit)))
+            admission.complete("idx")   # releases the dummy's slot
+            # With one slot, each dispatch waits on the previous complete(),
+            # so results must be awaited in round-robin (dispatch) order.
+            by_tag = dict(pendings)
+            for tag in ("a1", "b1", "a2", "b2", "a3"):
+                assert by_tag[tag].result(timeout=5.0) == tag
+                admission.complete("idx")
+            assert order == ["a1", "b1", "a2", "b2", "a3"]
+        finally:
+            admission.close()
+
+    def test_inflight_limit_defers_dispatch(self):
+        admission = AdmissionController(default_inflight_limit=1)
+        try:
+            first = admission.admit("t", "idx", _FakeFuture)
+            first.result(timeout=5.0)
+            second = admission.admit("t", "idx", _FakeFuture)
+            time.sleep(0.05)
+            assert admission.stats_dict()["queued"] == 1
+            admission.complete("idx")
+            second.result(timeout=5.0)
+            admission.complete("idx")
+        finally:
+            admission.close()
+
+    def test_close_fails_queued_requests(self):
+        admission = AdmissionController(default_inflight_limit=1)
+        first = admission.admit("t", "idx", _FakeFuture)
+        first.result(timeout=5.0)
+        stuck = admission.admit("t", "idx", _FakeFuture)
+        admission.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            stuck.result(timeout=5.0)
+
+
+# -- IndexRegistry -------------------------------------------------------------
+
+class _StubCloseable:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _stub_entry(name, heap_bytes, pinned=False):
+    return ResidentEntry(name=name, session=_StubCloseable(),
+                         scheduler=_StubCloseable(), heap_bytes=heap_bytes,
+                         fingerprint="fp", pinned=pinned)
+
+
+class TestIndexRegistry:
+    def test_budget_evicts_least_recently_used(self):
+        registry = IndexRegistry(budget_bytes=250)
+        registry.add(_stub_entry("a", 100))
+        registry.add(_stub_entry("b", 100))
+        registry.touch("a")              # b becomes the LRU victim
+        evicted_entry = registry.get("b")
+        assert registry.add(_stub_entry("c", 100)) == ["b"]
+        assert registry.names() == ["a", "c"]
+        assert evicted_entry.scheduler.closed
+        assert evicted_entry.session.closed
+        assert registry.evictions == 1
+
+    def test_pinned_entries_never_auto_evicted(self):
+        registry = IndexRegistry(budget_bytes=250)
+        registry.add(_stub_entry("default", 100, pinned=True))
+        registry.add(_stub_entry("a", 100))
+        registry.touch("default")
+        registry.touch("a")
+        # Fitting 200 more can only evict "a"; "default" is pinned even
+        # though it would otherwise also be needed.
+        with pytest.raises(RegistryBudgetError):
+            registry.add(_stub_entry("big", 200))
+        assert "default" in registry
+
+    def test_oversized_entry_rejected_outright(self):
+        registry = IndexRegistry(budget_bytes=100)
+        with pytest.raises(RegistryBudgetError):
+            registry.add(_stub_entry("huge", 101))
+
+    def test_explicit_evict_refuses_pinned(self):
+        registry = IndexRegistry()
+        registry.add(_stub_entry("default", 10, pinned=True))
+        registry.add(_stub_entry("a", 10))
+        with pytest.raises(ValueError, match="pinned"):
+            registry.evict("default")
+        registry.evict("a")
+        assert registry.names() == ["default"]
+        with pytest.raises(KeyError):
+            registry.get("a")
+
+    def test_duplicate_names_rejected(self):
+        registry = IndexRegistry()
+        registry.add(_stub_entry("a", 10))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add(_stub_entry("a", 10))
+
+
+# -- routed byte-identity (the house invariant, one layer up) ------------------
+
+class TestRoutingEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("use_bulk", (False, True),
+                             ids=("per-read", "bulk"))
+    def test_interleaved_tenants_match_offline(self, backend, use_bulk,
+                                               datasets, small_config):
+        """Two resident indices, two tenants interleaved, plus a cache hit,
+        an eviction and a re-register -- every response byte-identical to
+        the offline single-index run of its own reads."""
+        config = small_config.with_(use_bulk_lookups=use_bulk,
+                                    lookup_batch_size=16)
+        genome_a, reads_a, genome_b, reads_b = datasets
+        expect_a = offline_sam(config, genome_a.contigs, reads_a[:8],
+                               backend=backend)
+        expect_b = offline_sam(config, genome_b.contigs, reads_b[:8],
+                               backend=backend)
+        session = MerAligner(config).prepare(genome_a.contigs, n_ranks=4,
+                                             machine=MACHINE, backend=backend)
+        gateway = AlignmentGateway(session, cache_ttl_s=300.0)
+        try:
+            gateway.register("refb", genome_b.contigs)
+            # Interleave the tenants' traffic across both indices.
+            responses = []
+            for _ in range(2):
+                responses.append(gateway.request(reads_a[:8], tenant="alice"))
+                responses.append(gateway.request(reads_b[:8], index="refb",
+                                                 tenant="bob"))
+            for response in responses:
+                expected = expect_a if response.index == "default" else expect_b
+                assert response.text == expected
+            # The second round was exact-duplicate traffic: served from the
+            # cache, still byte-identical.
+            assert [r.cached for r in responses] == [False, False, True, True]
+            assert gateway.cache.hits == 2
+
+            # Evict, re-register, and serve again: identical bytes.  The
+            # re-registered index has a fresh session but the same
+            # fingerprint, so the earlier cache entry legitimately hits.
+            gateway.evict("refb")
+            with pytest.raises(KeyError):
+                gateway.request(reads_b[:2], index="refb")
+            gateway.register("refb", genome_b.contigs)
+            again = gateway.request(reads_b[:8], index="refb", tenant="bob")
+            assert again.text == expect_b
+        finally:
+            gateway.close()
+
+    def test_count_and_screen_route_to_named_index(self, datasets,
+                                                   small_config):
+        genome_a, reads_a, genome_b, reads_b = datasets
+        session = MerAligner(small_config).prepare(
+            genome_a.contigs, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+        gateway = AlignmentGateway(session)
+        try:
+            gateway.register("refb", genome_b.contigs)
+            for workload in ("count", "screen"):
+                routed = gateway.request(reads_b[:8], workload=workload,
+                                         index="refb", tenant="carol").text
+                offline = MerAligner(small_config).prepare(
+                    genome_b.contigs, n_ranks=4, machine=MACHINE,
+                    backend="cooperative")
+                try:
+                    output = (offline.count(reads_b[:8])
+                              if workload == "count"
+                              else offline.screen(reads_b[:8]))
+                    expected = offline.render(workload, output)
+                finally:
+                    offline.close()
+                assert routed == expected
+        finally:
+            gateway.close()
+
+    def test_pass_through_default_matches_plain_scheduler(self, datasets,
+                                                          small_config):
+        """A defaults-only gateway adds nothing observable: same bytes as
+        the direct scheduler path for the same reads."""
+        genome_a, reads_a, _genome_b, _reads_b = datasets
+        session = MerAligner(small_config).prepare(
+            genome_a.contigs, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+        gateway = AlignmentGateway(session)
+        try:
+            assert not gateway.cache.enabled
+            direct = gateway.default_scheduler.request(
+                reads_a[:8], timeout=60.0).text
+            routed = gateway.request(reads_a[:8]).text
+            assert routed == direct
+        finally:
+            gateway.close()
+
+
+# -- heap accounting -----------------------------------------------------------
+
+class TestModelledHeapBudget:
+    def test_session_heap_bytes_positive_and_stable(self, datasets,
+                                                    small_config):
+        from repro.gateway import modelled_heap_bytes
+        genome_a, _reads_a, _genome_b, _reads_b = datasets
+        session = MerAligner(small_config).prepare(
+            genome_a.contigs, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+        try:
+            first = modelled_heap_bytes(session)
+            assert first > 0
+            assert modelled_heap_bytes(session) == first
+        finally:
+            session.close()
+
+    def test_budget_evicts_registered_index(self, datasets, small_config):
+        genome_a, _reads_a, genome_b, reads_b = datasets
+        session = MerAligner(small_config).prepare(
+            genome_a.contigs, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+        from repro.gateway import modelled_heap_bytes
+        # Room for the pinned default plus exactly one registered index.
+        budget = int(modelled_heap_bytes(session) * 2.5)
+        gateway = AlignmentGateway(session, heap_budget_bytes=budget)
+        try:
+            gateway.register("refb", genome_b.contigs)
+            summary = gateway.register("refc", genome_b.contigs)
+            assert summary["evicted"] == ["refb"]
+            assert gateway.registry.names() == ["default", "refc"]
+            with pytest.raises(KeyError):
+                gateway.request(reads_b[:2], index="refb")
+            assert gateway.request(reads_b[:2], index="refc").text
+        finally:
+            gateway.close()
+
+
+# -- the wire protocol ---------------------------------------------------------
+
+class TestGatewayWireProtocol:
+    @pytest.fixture()
+    def service(self, datasets, small_config):
+        genome_a, _reads_a, genome_b, _reads_b = datasets
+        with api.serve(genome_a.contigs, config=small_config, n_ranks=4,
+                       machine=MACHINE, port=0, max_wait_s=0.005,
+                       indices={"refb": genome_b.contigs},
+                       cache_ttl=300.0) as service:
+            yield service
+
+    def test_indices_register_evict_roundtrip(self, service, datasets,
+                                              small_config, tmp_path):
+        from repro.io.fasta import write_fasta
+        _genome_a, _reads_a, genome_b, _reads_b = datasets
+        client = service.client()
+        names = [e["name"] for e in client.indices()["indices"]]
+        assert names == ["default", "refb"]
+        path = tmp_path / "refc.fa"
+        write_fasta(path, [(f"c{i}", s)
+                           for i, s in enumerate(genome_b.contigs)])
+        summary = client.register_index("refc", path)
+        assert summary["name"] == "refc"
+        assert summary["n_targets"] == len(genome_b.contigs)
+        names = [e["name"] for e in client.indices()["indices"]]
+        assert "refc" in names
+        client.evict_index("refc")
+        names = [e["name"] for e in client.indices()["indices"]]
+        assert "refc" not in names
+        # The pinned default refuses eviction with ERR, connection usable.
+        with pytest.raises(ServiceError, match="pinned"):
+            client.evict_index("default")
+        assert client.ping()
+
+    def test_routed_queries_and_cache_hit_over_the_wire(self, service,
+                                                        datasets,
+                                                        small_config):
+        genome_a, reads_a, genome_b, reads_b = datasets
+        client = service.client()
+        sam_a = client.align_sam(reads_a[:8], tenant="alice")
+        sam_b = client.align_sam(reads_b[:8], index="refb", tenant="bob")
+        assert sam_a == offline_sam(small_config, genome_a.contigs,
+                                    reads_a[:8])
+        assert sam_b == offline_sam(small_config, genome_b.contigs,
+                                    reads_b[:8])
+        # Exact duplicate: served from the cache, byte-identical, counted.
+        assert client.align_sam(reads_b[:8], index="refb",
+                                tenant="bob") == sam_b
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters["gateway_cache_hits_total"] >= 1
+        gateway_stats = client.stats()["gateway"]
+        assert gateway_stats["cache"]["hits"] >= 1
+        routed = {key for key in counters if
+                  key.startswith("gateway_requests_total")}
+        assert any('tenant="alice"' in key for key in routed)
+        assert any('index="refb"' in key for key in routed)
+
+    def test_unknown_index_is_err_not_disconnect(self, service, datasets):
+        _genome_a, reads_a, _genome_b, _reads_b = datasets
+        client = service.client()
+        with pytest.raises(ServiceError, match="unknown index"):
+            client.align_sam(reads_a[:2], index="nope")
+        assert client.ping()
+
+    def test_busy_reply_when_pending_queue_full(self, datasets, small_config):
+        genome_a, reads_a, _genome_b, _reads_b = datasets
+        with api.serve(genome_a.contigs, config=small_config, n_ranks=4,
+                       machine=MACHINE, port=0, max_pending=0) as service:
+            client = service.client()
+            with pytest.raises(ServiceBusyError, match="queue is full"):
+                client.align_sam(reads_a[:2])
+            counters = service.metrics()["metrics"]["counters"]
+            assert counters['server_busy_total{verb="ALIGN"}'] == 1
+            assert counters['gateway_rejected_total{tenant="default"}'] == 1
+            # The connection survives a BUSY; non-admission verbs still work.
+            assert client.ping()
+            assert client.stats()["gateway"]["admission"]["rejected"] == 1
+
+    def test_non_gateway_server_rejects_routing_options(self, datasets,
+                                                        small_config):
+        """The legacy direct-scheduler server still works and reports the
+        gateway-only surface as ERR."""
+        from repro.service.scheduler import RequestScheduler
+        from repro.service.server import AlignmentServer
+        genome_a, reads_a, _genome_b, _reads_b = datasets
+        session = MerAligner(small_config).prepare(
+            genome_a.contigs, n_ranks=4, machine=MACHINE,
+            backend="cooperative")
+        scheduler = RequestScheduler(session, max_wait_s=0.005)
+        server = AlignmentServer(scheduler, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = SocketAlignmentClient(host=server.host, port=server.port,
+                                           timeout=30.0)
+            assert client.align_sam(reads_a[:2])
+            with pytest.raises(ServiceError, match="gateway"):
+                client.align_sam(reads_a[:2], index="other")
+            with pytest.raises(ServiceError, match="gateway"):
+                client.indices()
+            assert "gateway" not in client.stats()
+        finally:
+            server.shutdown()
+            thread.join(timeout=10.0)
+            scheduler.close()
+            session.close()
+
+
+# -- satellite regressions -----------------------------------------------------
+
+class TestErrEncodingRegression:
+    def test_non_ascii_error_message_reaches_client(self, datasets,
+                                                    small_config):
+        """A non-ASCII exception message (here: a bad FASTA path) must come
+        back as a UTF-8 ``ERR`` reply, not kill the connection."""
+        genome_a, _reads_a, _genome_b, _reads_b = datasets
+        with api.serve(genome_a.contigs, config=small_config, n_ranks=4,
+                       machine=MACHINE, port=0) as service:
+            client = service.client()
+            with pytest.raises(ServiceError) as excinfo:
+                client.register_index("bad", "/nonexistent/数据.fa")
+            assert "数据" in str(excinfo.value)
+            # Same command loop, same connection class: still usable.
+            assert client.ping()
+
+
+class TestConnectRetry:
+    def test_retries_until_listener_appears(self):
+        """With retries enabled the client rides out a late server start."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve_one_ping():
+            time.sleep(0.3)
+            listener.listen()
+            conn, _addr = listener.accept()
+            with conn:
+                conn.makefile("rb").readline()
+                conn.sendall(b"OK 0\n")
+
+        thread = threading.Thread(target=serve_one_ping, daemon=True)
+        thread.start()
+        try:
+            client = SocketAlignmentClient(host="127.0.0.1", port=port,
+                                           timeout=10.0, connect_retries=10)
+            assert client.ping()
+        finally:
+            thread.join(timeout=10.0)
+            listener.close()
+
+    def test_no_retries_by_default_and_bounded_when_enabled(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()   # bound but never listening: connections refused
+        client = SocketAlignmentClient(host="127.0.0.1", port=dead_port,
+                                       timeout=1.0)
+        with pytest.raises(OSError):
+            client._roundtrip("PING")
+        bounded = SocketAlignmentClient(host="127.0.0.1", port=dead_port,
+                                        timeout=1.0, connect_retries=2,
+                                        retry_base_s=0.01)
+        start = time.monotonic()
+        with pytest.raises(OSError):
+            bounded._roundtrip("PING")
+        assert time.monotonic() - start < 5.0
+        with pytest.raises(ValueError):
+            SocketAlignmentClient(connect_retries=-1)
+
+
+# -- the tenant-aware load generator ------------------------------------------
+
+class TestLoadGeneratorTenants:
+    def test_tenant_draw_preserves_untenanted_schedule(self, datasets):
+        from repro.obs.loadgen import LoadGenerator
+        _genome_a, reads_a, _genome_b, _reads_b = datasets
+        plain = LoadGenerator("h", 1, reads_a, qps=10.0, n_requests=12,
+                              workloads=("align", "count"), seed=3)
+        tenanted = LoadGenerator("h", 1, reads_a, qps=10.0, n_requests=12,
+                                 workloads=("align", "count"), seed=3,
+                                 tenants=("alice", "bob"))
+        plain_plan = plain._plan()
+        tenanted_plan = tenanted._plan()
+        # Adding tenants must not perturb the workload/read draws.
+        assert ([(w, [r.name for r in reads])
+                 for _i, w, reads, _t in plain_plan]
+                == [(w, [r.name for r in reads])
+                    for _i, w, reads, _t in tenanted_plan])
+        assert all(t == "" for _i, _w, _r, t in plain_plan)
+        tenants = {t for _i, _w, _r, t in tenanted_plan}
+        assert tenants == {"alice", "bob"}
+
+    def test_mixed_tenants_against_gateway_server(self, datasets,
+                                                  small_config):
+        from repro.obs.loadgen import LoadGenerator
+        genome_a, reads_a, genome_b, _reads_b = datasets
+        with api.serve(genome_a.contigs, config=small_config, n_ranks=4,
+                       machine=MACHINE, port=0, max_wait_s=0.005,
+                       indices={"refb": genome_b.contigs},
+                       cache_ttl=300.0) as service:
+            generator = LoadGenerator(
+                service.host, service.port, reads_a, qps=200.0,
+                concurrency=4, n_requests=10, reads_per_request=4,
+                workloads=("align", "count"), seed=1,
+                tenants=("alice", "bob"), connect_retries=2)
+            report = generator.run()
+            assert report.n_errors == 0
+            assert report.n_busy == 0
+            assert sum(report.counts_by_tenant().values()) == 10
+            doc = report.to_json_dict()
+            assert doc["n_busy"] == 0
+            assert set(doc["counts_by_tenant"]) <= {"alice", "bob"}
