@@ -45,6 +45,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="target request rate (open-loop schedule)")
     parser.add_argument("--concurrency", type=int, default=4,
                         help="worker threads issuing requests")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="cap on simultaneously in-flight requests, "
+                             "tighter than --concurrency; slot waits count "
+                             "against latency (default: no cap).  The "
+                             "observed peak lands in the report either way")
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--n-requests", type=int,
                        help="total requests to issue")
@@ -83,7 +88,8 @@ def main(argv: list[str] | None = None) -> int:
 
     generator = LoadGenerator(
         args.host, args.port, reads, paired_reads=paired, qps=args.qps,
-        concurrency=args.concurrency, n_requests=args.n_requests,
+        concurrency=args.concurrency, max_inflight=args.max_inflight,
+        n_requests=args.n_requests,
         duration_s=args.duration_s, reads_per_request=args.reads_per_request,
         workloads=workloads, seed=args.seed, timeout=args.timeout,
         tenants=tenants, route_index=args.index,

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI driver for the streaming wire path: bounded-RSS chunked alignment.
+
+Streams a FASTQ file through a running ``meraligner serve`` instance using
+the ``ALIGNSTREAM`` family verbs (see ``docs/streaming.md``) and writes the
+concatenated response parts to ``--output``.  Two properties are enforced:
+
+* **Bounded memory.**  ``--rss-limit-mb`` arms a hard address-space ceiling
+  (``resource.setrlimit``) *before* the stream starts; if the client ever
+  tried to materialise the library or the response, the allocation would
+  fail and the run would exit nonzero.  The peak RSS actually reached is
+  printed at the end for the CI log.
+* **Byte identity.**  The written file is byte-identical to the one-shot
+  response for the same reads; the CI job checks it with ``cmp`` against an
+  offline ``meraligner align`` run.
+
+Exit codes: 0 success, 1 stream/server error, 2 bad input file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def arm_rss_ceiling(limit_mb: int) -> None:
+    """Cap this process's address space; exceeding it kills the run."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX: the CI job only runs on Linux
+        print("warning: resource module unavailable, RSS ceiling not armed",
+              file=sys.stderr)
+        return
+    limit = limit_mb * 2 ** 20
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    print(f"address-space ceiling armed at {limit_mb} MiB "
+          f"(was soft={soft})", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Stream a FASTQ through ALIGNSTREAM with a hard memory "
+                    "ceiling; write the concatenated SAM response.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--reads", type=Path, required=True,
+                        help="FASTQ file to stream (.gz transparent)")
+    parser.add_argument("--output", type=Path, required=True,
+                        help="file receiving the concatenated response parts")
+    parser.add_argument("--workload",
+                        choices=("align", "paired", "count", "screen"),
+                        default="align")
+    parser.add_argument("--chunk-reads", type=int, default=64,
+                        help="reads per streamed chunk")
+    parser.add_argument("--rss-limit-mb", type=int, default=0,
+                        help="hard address-space ceiling in MiB, armed "
+                             "before streaming (0: no ceiling)")
+    parser.add_argument("--min-chunks", type=int, default=0,
+                        help="fail unless the stream produced at least this "
+                             "many request chunks (proves chunking happened)")
+    parser.add_argument("--connect-retries", type=int, default=10)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args(argv)
+
+    if args.rss_limit_mb:
+        arm_rss_ceiling(args.rss_limit_mb)
+
+    # Imports after the ceiling is armed: everything below must fit in it.
+    from repro.io.errors import InputFileError
+    from repro.obs.rss import max_rss_kib
+    from repro.service.client import ServiceError, SocketAlignmentClient
+
+    if not args.reads.exists():
+        print(f"stream_client: reads file not found: {args.reads}",
+              file=sys.stderr)
+        return 2
+
+    client = SocketAlignmentClient(host=args.host, port=args.port,
+                                   timeout=args.timeout,
+                                   connect_retries=args.connect_retries)
+    n_parts = 0
+    n_bytes = 0
+    try:
+        parts = client.stream_parts(args.workload, args.reads,
+                                    chunk_reads=args.chunk_reads)
+        with open(args.output, "w", encoding="ascii") as handle:
+            for part in parts:
+                handle.write(part)
+                n_parts += 1
+                n_bytes += len(part)
+    except InputFileError as exc:
+        print(f"stream_client: bad input: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, MemoryError, ServiceError) as exc:
+        print(f"stream_client: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    peak_kib = max_rss_kib()
+    print(f"streamed {args.reads} -> {args.output}: {n_parts} parts, "
+          f"{n_bytes} bytes, peak RSS {peak_kib} KiB", flush=True)
+    if args.min_chunks and n_parts < args.min_chunks:
+        print(f"stream_client: expected >= {args.min_chunks} response "
+              f"parts, got {n_parts} -- chunking did not happen",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

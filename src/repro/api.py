@@ -42,8 +42,11 @@ from repro.core.plan import (AlignmentPlan, BuildIndex, CandidateCollect,
                              normalize_paired_reads, plan_for_workload)
 from repro.core.pipeline import MerAligner
 from repro.core.stats import AlignerReport, PhaseStats, REPORT_SCHEMA_VERSION
+from repro.io.errors import InputFileError
 from repro.io.sam import PairedSamRecord, paired_sam_text
 from repro.pgas.cost_model import EDISON_LIKE, MachineModel
+from repro.stream import (BoundedChannel, ChannelClosed, ChannelFull,
+                          ReadChunk, open_read_stream)
 
 from typing import TYPE_CHECKING
 
@@ -73,6 +76,8 @@ _LAZY_SERVICE_EXPORTS = {
     "IndexRegistry": "repro.gateway",
     "ResultCache": "repro.gateway",
     "ServiceBusyError": "repro.service.client",
+    # streaming ingestion
+    "StreamPart": "repro.service.session",
 }
 
 
@@ -89,6 +94,7 @@ __all__ = [
     # entry points
     "align",
     "align_paired",
+    "align_stream",
     "count",
     "screen",
     "plan",
@@ -153,6 +159,14 @@ __all__ = [
     "MetricsRegistry",
     "TraceLog",
     "LoadGenerator",
+    # streaming ingestion
+    "BoundedChannel",
+    "ChannelClosed",
+    "ChannelFull",
+    "InputFileError",
+    "ReadChunk",
+    "StreamPart",
+    "open_read_stream",
 ]
 
 
@@ -336,6 +350,57 @@ def prepare(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
     return MerAligner(config).prepare(targets, n_ranks=n_ranks,
                                       machine=machine, backend=backend,
                                       target_names=target_names)
+
+
+def align_stream(targets, reads, *, config: AlignerConfig | None = None,
+                 n_ranks: int = 8, machine: MachineModel = EDISON_LIKE,
+                 backend: str | None = None, chunk_reads: int = 4096,
+                 paired: bool = False, reads2=None,
+                 session: "AlignmentSession | None" = None):
+    """Stream alignment with bounded memory: yields incremental
+    :class:`StreamPart` s instead of returning one materialised report.
+
+    *reads* may be a FASTQ/SeqDB path (gzip transparent), a record
+    iterable, or an iterator of :class:`ReadChunk` s; unchunked sources are
+    chunked at *chunk_reads* reads.  The ``text`` fields of the yielded
+    parts concatenate to exactly the SAM a materialised :func:`align` run
+    writes for the same reads -- at any chunk size, on any backend -- and
+    the final part (``part.final``) carries the whole-stream
+    :class:`~repro.core.stats.AlignmentCounters` plus chunk/unit totals.
+    At no point is the read library, or more than one chunk's alignments,
+    resident in memory.
+
+    Pass an existing *session* (from :func:`prepare`) to reuse a built
+    index; it is left open.  Without one, an index is built first and
+    closed when the stream is exhausted.  *paired* streams the paired-end
+    workload over whole R1/R2 pairs (interleaved input, or R1 plus a
+    *reads2* mate file).
+
+    Example:
+        >>> from repro import GenomeSpec, ReadSetSpec, make_dataset
+        >>> genome, reads = make_dataset(
+        ...     GenomeSpec(name="doc", genome_length=4000, n_contigs=2),
+        ...     ReadSetSpec(coverage=1.0, read_length=80), seed=3)
+        >>> parts = list(align_stream(genome.contigs, reads[:8], n_ranks=2,
+        ...                           chunk_reads=3))
+        >>> parts[-1].final, parts[-1].counters.reads_processed
+        (True, 8)
+        >>> len([p for p in parts if not p.final])  # ceil(8 / 3) chunks
+        3
+    """
+    own_session = session is None
+    if own_session:
+        session = prepare(targets, config=config, n_ranks=n_ranks,
+                          machine=machine, backend=backend)
+    try:
+        chunks = open_read_stream(reads, chunk_reads=chunk_reads,
+                                  paired=paired, reads2=reads2)
+        stream = (session.align_paired_stream(chunks) if paired
+                  else session.align_stream(chunks))
+        yield from stream
+    finally:
+        if own_session:
+            session.close()
 
 
 # -- the socket service ---------------------------------------------------------

@@ -12,7 +12,9 @@ workloads:
     SAM file and print (or ``--json-report``) the per-phase report.  With
     ``--paired`` (interleaved R1/R2) or ``--reads2`` (two-file layout) the
     paired-end plan runs instead: pair joining, insert-window mate rescue and
-    flag-complete paired SAM.
+    flag-complete paired SAM.  With ``--stream`` the library is read, aligned
+    and written in bounded chunks (``--chunk-reads``), never materialised --
+    the output file is byte-identical either way (``docs/streaming.md``).
 
 ``meraligner count``
     The seed-count workload: run the pipeline through the distributed seed
@@ -36,7 +38,8 @@ workloads:
     (``--workload align|count|screen|paired``) and write the response; also
     ``--stats`` (JSON service report), ``--metrics`` (the unified
     observability snapshot, ``--metrics-format prom`` for Prometheus text)
-    and ``--shutdown``.
+    and ``--shutdown``.  ``--stream`` switches to the chunked wire verbs so
+    neither client nor server ever holds the whole library.
 
 Missing or unreadable input files exit with code 2 and a one-line message on
 stderr, uniformly across subcommands.
@@ -62,15 +65,12 @@ from repro.core.config import AlignerConfig
 from repro.core.pipeline import MerAligner, _normalize_reads
 from repro.core.plan import PlanRunner, plan_for_workload
 from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.io.errors import InputFileError
 from repro.io.fasta import read_fasta, write_fasta
 from repro.io.fastq import write_fastq
 from repro.io.sam import write_sam
 from repro.io.seqdb import records_to_seqdb
 from repro.pgas.cost_model import EDISON_LIKE
-
-
-class InputFileError(Exception):
-    """A missing/unreadable input file: exit code 2, message on stderr."""
 
 
 def _check_input_file(path: Path, what: str) -> Path:
@@ -181,6 +181,16 @@ def _build_parser() -> argparse.ArgumentParser:
     align.add_argument("--json-report", type=Path, default=None,
                        help="also write the per-phase report (timings, "
                             "communication counters, cache stats) as JSON")
+    align.add_argument("--stream", action="store_true",
+                       help="bounded-memory streaming: read the library in "
+                            "chunks and append each chunk's SAM records to "
+                            "--output as they finish, never holding the "
+                            "whole library (or its alignments) in memory; "
+                            "the file written is byte-identical to the "
+                            "materialised run")
+    align.add_argument("--chunk-reads", type=int, default=4096,
+                       help="reads per streamed chunk (with --stream; "
+                            "paired mode rounds down to whole pairs)")
     _add_aligner_options(align, default_ranks=8)
 
     workload_parsers = {
@@ -259,6 +269,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "reads, paired SAM)")
     query.add_argument("--output", type=Path, default=None,
                        help="response file to write (default: stdout)")
+    query.add_argument("--stream", action="store_true",
+                       help="use the streaming wire verbs (ALIGNSTREAM "
+                            "family): send --reads in bounded chunks over "
+                            "one connection and write response parts as "
+                            "they arrive -- neither side materialises the "
+                            "library; output is byte-identical to the "
+                            "one-shot request")
+    query.add_argument("--chunk-reads", type=int, default=4096,
+                       help="reads per streamed chunk (with --stream)")
     query.add_argument("--stats", action="store_true",
                        help="print the service's JSON statistics report")
     query.add_argument("--metrics", action="store_true",
@@ -348,6 +367,8 @@ def _cmd_align(args: argparse.Namespace) -> int:
     _check_input_file(args.reads, "reads")
     if args.reads2 is not None:
         _check_input_file(args.reads2, "reads2")
+    if args.stream:
+        return _cmd_align_stream(args)
     if args.paired or args.reads2 is not None:
         return _cmd_align_paired(args)
     config = _config_from_args(args)
@@ -372,6 +393,46 @@ def _cmd_align(args: argparse.Namespace) -> int:
         report.write_json(args.json_report)
         print(f"wrote JSON report to {args.json_report}")
     return 0
+
+
+def _cmd_align_stream(args: argparse.Namespace) -> int:
+    """``align --stream``: chunked source -> resident session -> incremental
+    SAM, writing each part as it finishes (bounded memory end to end)."""
+    from repro.stream import open_read_stream
+
+    config = _config_from_args(args)
+    backend = args.backend or default_backend_name()
+    paired = args.paired or args.reads2 is not None
+    session = MerAligner(config).prepare(args.targets, n_ranks=args.ranks,
+                                         machine=EDISON_LIKE, backend=backend)
+    try:
+        chunks = open_read_stream(args.reads, chunk_reads=args.chunk_reads,
+                                  paired=paired, reads2=args.reads2)
+        stream = (session.align_paired_stream(chunks) if paired
+                  else session.align_stream(chunks))
+        final = None
+        with open(args.output, "w", encoding="ascii") as handle:
+            for part in stream:
+                handle.write(part.text)
+                if part.final:
+                    final = part
+        counters = final.counters
+        print(f"backend: {backend} ({args.ranks} ranks, streaming, "
+              f"{args.chunk_reads} reads/chunk)")
+        if paired:
+            print(f"aligned {counters.reads_aligned} / "
+                  f"{counters.reads_processed} mates over "
+                  f"{counters.pairs_processed} pairs in {final.n_chunks} "
+                  "chunks")
+        else:
+            print(f"aligned {counters.reads_aligned} / "
+                  f"{counters.reads_processed} reads in {final.n_chunks} "
+                  "chunks")
+        print(f"wrote {counters.alignments_reported} alignments to "
+              f"{args.output}")
+        return 0
+    finally:
+        session.close()
 
 
 def _cmd_align_paired(args: argparse.Namespace) -> int:
@@ -535,20 +596,42 @@ def _run_query(args: argparse.Namespace, client, read_fastq) -> int:
     if args.reads is not None:
         _check_input_file(args.reads, "reads")
         workload = getattr(args, "workload", "align")
-        text = client.workload_text(workload, read_fastq(args.reads),
-                                    index=args.index, tenant=args.tenant)
-        if args.output is not None:
-            args.output.write_text(text, encoding="ascii")
-            if workload in ("align", "paired"):
-                records = sum(1 for line in text.splitlines()
-                              if line and not line.startswith("@"))
-                print(f"wrote {records} alignments to {args.output}")
+        if args.stream:
+            # The bounded-memory path: the client chunks the file itself
+            # (never materialising it) and response parts are written as
+            # they arrive.
+            parts = client.stream_parts(workload, args.reads,
+                                        chunk_reads=args.chunk_reads,
+                                        index=args.index, tenant=args.tenant)
+            if args.output is not None:
+                records = 0
+                with open(args.output, "w", encoding="ascii") as handle:
+                    for part in parts:
+                        handle.write(part)
+                        records += sum(
+                            1 for line in part.splitlines()
+                            if line and not line.startswith(("@", "#")))
+                noun = ("alignments" if workload in ("align", "paired")
+                        else f"{workload} rows")
+                print(f"wrote {records} {noun} to {args.output} (streamed)")
             else:
-                rows = sum(1 for line in text.splitlines()
-                           if line and not line.startswith("#"))
-                print(f"wrote {rows} {workload} rows to {args.output}")
+                for part in parts:
+                    sys.stdout.write(part)
         else:
-            sys.stdout.write(text)
+            text = client.workload_text(workload, read_fastq(args.reads),
+                                        index=args.index, tenant=args.tenant)
+            if args.output is not None:
+                args.output.write_text(text, encoding="ascii")
+                if workload in ("align", "paired"):
+                    records = sum(1 for line in text.splitlines()
+                                  if line and not line.startswith("@"))
+                    print(f"wrote {records} alignments to {args.output}")
+                else:
+                    rows = sum(1 for line in text.splitlines()
+                               if line and not line.startswith("#"))
+                    print(f"wrote {rows} {workload} rows to {args.output}")
+            else:
+                sys.stdout.write(text)
         ran_command = True
     if args.indices:
         print(json.dumps(client.indices(), indent=2, sort_keys=True))

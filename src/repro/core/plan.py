@@ -148,14 +148,15 @@ def normalize_paired_reads(reads, reads2=None) -> list[ReadRecord]:
 
 
 def one_shot_read_order(n_reads: int, config: AlignerConfig) -> list[int]:
-    """Read indices in the order a one-shot run reports their alignments.
+    """Read indices in the order a one-shot run *processes* them.
 
     The runner permutes the read list (Theorem 1 load balancing) before
-    block-partitioning it over the ranks, and the flat alignment list
-    concatenates the per-rank chunks in rank order -- i.e. it follows the
-    *permuted* read order.  The service reassembles each request's
-    demultiplexed alignments in this exact order so its SAM output is
-    byte-identical to the offline run.
+    block-partitioning it over the ranks, so the per-rank work chunks follow
+    the *permuted* read order.  This describes processing/rank assignment
+    only: every sink reports its output in canonical input-unit order (see
+    :meth:`SinkStage.collect`), which is what makes streamed runs
+    byte-identical to materialised ones at any chunk size -- the permutation
+    stays a purely internal load-balancing device, exactly as in the paper.
     """
     indices = list(range(n_reads))
     if config.permute_reads:
@@ -1014,8 +1015,10 @@ class SinkStage(QueryStage):
 class EmitSam(SinkStage):
     """The aligner's sink: per-read alignment lists, folded to a flat list.
 
-    The flat list follows the permuted-rank-concatenation order (exactly the
-    monolith's output order); :func:`repro.io.sam.sam_text` renders it.
+    The flat list follows canonical *input read order* (the Theorem-1
+    permutation is processing-internal only), so chunked/streamed runs
+    concatenate to the same bytes as a materialised run;
+    :func:`repro.io.sam.sam_text` renders it.
     """
 
     name = "emit_sam"
@@ -1040,11 +1043,9 @@ class EmitSam(SinkStage):
 
     def collect(self, groups: Sequence[tuple[int, Any]],
                 config: AlignerConfig) -> list[Alignment]:
-        return [alignment for _read_index, payload in groups
+        ordered = sorted(groups, key=lambda pair: pair[0])
+        return [alignment for _read_index, payload in ordered
                 for alignment in payload]
-
-    def request_order(self, n_reads: int, config: AlignerConfig) -> list[int]:
-        return one_shot_read_order(n_reads, config)
 
     def empty_payload(self, read: ReadRecord) -> list[Alignment]:
         return []
@@ -1274,10 +1275,8 @@ class EmitSamPaired(SinkStage):
 
     def collect(self, groups: Sequence[tuple[int, Any]],
                 config: AlignerConfig) -> list[PairedSamRecord]:
-        return [payload for _pair_index, payload in groups]
-
-    def request_order(self, n_units: int, config: AlignerConfig) -> list[int]:
-        return one_shot_read_order(n_units, config)
+        ordered = sorted(groups, key=lambda pair: pair[0])
+        return [payload for _pair_index, payload in ordered]
 
     def empty_payload(self, unit) -> PairedSamRecord:
         r1, r2 = unit

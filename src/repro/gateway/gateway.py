@@ -32,8 +32,8 @@ from repro.gateway.cache import ResultCache
 from repro.gateway.registry import (IndexRegistry, ResidentEntry,
                                     modelled_heap_bytes)
 
-__all__ = ["AlignmentGateway", "GatewayResponse", "DEFAULT_INDEX",
-           "config_fingerprint", "canonical_read_payload"]
+__all__ = ["AlignmentGateway", "GatewayResponse", "StreamChunkTicket",
+           "DEFAULT_INDEX", "config_fingerprint", "canonical_read_payload"]
 
 DEFAULT_INDEX = "default"
 
@@ -74,6 +74,34 @@ class GatewayResponse:
     cached: bool
     #: The scheduler's RequestResult for uncached responses (None on hits).
     result: object | None = None
+
+
+class StreamChunkTicket:
+    """One admitted streamed chunk: taking its result frees the slot.
+
+    Wraps the admission-controlled pending handle so the admission slot is
+    released exactly once, when (and only when) the result is collected --
+    keeping the bounded pending queue an accurate in-flight count while a
+    stream pipelines several chunks.
+    """
+
+    def __init__(self, gateway: "AlignmentGateway", index: str,
+                 pending) -> None:
+        self._gateway = gateway
+        self._index = index
+        self._pending = pending
+        self._released = False
+
+    def result(self, timeout: float | None = None):
+        try:
+            return self._pending.result(timeout)
+        finally:
+            self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._gateway.admission.complete(self._index)
 
 
 class AlignmentGateway:
@@ -242,6 +270,35 @@ class AlignmentGateway:
         entry.requests_served += 1
         return GatewayResponse(text=result.text, index=index, tenant=tenant,
                                workload=workload, cached=False, result=result)
+
+    def submit_stream_chunk(self, reads, workload: str = "align",
+                            index: str | None = None,
+                            tenant: str | None = None):
+        """Admit one streamed chunk without blocking for its result.
+
+        The streaming twin of :meth:`request`: admission-controlled (a full
+        pending queue raises
+        :class:`~repro.gateway.admission.GatewayBusyError` -- the wire
+        ``BUSY`` at a chunk boundary) but **cache-bypassing** -- chunk
+        boundaries are arbitrary, so chunk outputs would only pollute the
+        exact-duplicate result cache.  Returns ``(entry, ticket)``: the
+        resident entry (whose session renders the chunk's part) and a
+        waitable :class:`StreamChunkTicket` that releases its admission
+        slot when the result is taken, letting the caller keep several
+        chunks in flight so the scheduler can coalesce them.
+        """
+        from repro.core.plan import normalize_reads
+        index = index or DEFAULT_INDEX
+        tenant = tenant or DEFAULT_TENANT
+        entry = self.registry.touch(index)
+        self.metrics.counter("gateway_stream_chunks_total", index=index,
+                             tenant=tenant, workload=workload).inc()
+        reads = normalize_reads(reads)
+        pending = self.admission.admit(
+            tenant, index,
+            lambda: entry.scheduler.submit(reads, workload=workload))
+        entry.requests_served += 1
+        return entry, StreamChunkTicket(self, index, pending)
 
     # -- reporting and lifecycle ----------------------------------------------
 

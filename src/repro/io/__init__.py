@@ -9,18 +9,21 @@ that supports the same access pattern: any rank can read any contiguous range
 of records without scanning the whole file.
 """
 
+from repro.io.errors import InputFileError
 from repro.io.fasta import read_fasta, write_fasta, FastaRecord, open_text_auto
-from repro.io.fastq import read_fastq, write_fastq, FastqRecord
+from repro.io.fastq import read_fastq, iter_fastq, write_fastq, FastqRecord
 from repro.io.seqdb import SeqDbWriter, SeqDbReader, fastq_to_seqdb, records_to_seqdb
 from repro.io.partition import block_partition, cyclic_partition, partition_records
 from repro.io.sam import write_sam, sam_header, sam_text
 
 __all__ = [
+    "InputFileError",
     "open_text_auto",
     "read_fasta",
     "write_fasta",
     "FastaRecord",
     "read_fastq",
+    "iter_fastq",
     "write_fastq",
     "FastqRecord",
     "SeqDbWriter",

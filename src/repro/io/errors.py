@@ -1,0 +1,38 @@
+"""Input-file failures reported uniformly across readers, CLI and streams.
+
+:class:`InputFileError` is the one exception every input path raises for a
+missing, unreadable, malformed or truncated file.  The CLI maps it to exit
+code 2 with a one-line ``meraligner: error:`` message; streaming sources
+raise it mid-stream with enough position information (record index and line
+number) to locate the corruption in a multi-gigabyte library without
+re-reading it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InputFileError"]
+
+
+class InputFileError(ValueError):
+    """A missing, unreadable, malformed or truncated input file.
+
+    Parsers attach ``record_index`` (0-based index of the record being
+    parsed) and ``line_number`` (1-based line in the text file) when the
+    failure happens mid-file; both stay ``None`` for whole-file failures
+    such as a missing path.  Subclasses :class:`ValueError` so callers
+    written against the original readers' bare ``ValueError`` contract
+    keep working.
+    """
+
+    def __init__(self, message: str, *, record_index: int | None = None,
+                 line_number: int | None = None) -> None:
+        if record_index is not None or line_number is not None:
+            where = []
+            if record_index is not None:
+                where.append(f"record {record_index}")
+            if line_number is not None:
+                where.append(f"line {line_number}")
+            message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
+        self.record_index = record_index
+        self.line_number = line_number

@@ -4,15 +4,28 @@ FASTQ is the standard text format for short reads; the paper converts it once
 to SeqDB for scalable parallel reads.  This module provides the text side of
 that conversion and a way to round-trip the synthetic
 :class:`repro.dna.synthetic.ReadRecord` data through files.
+
+Parsing is incremental: :func:`iter_fastq` yields one record at a time
+without materialising the file (the streaming sources in
+:mod:`repro.stream` build on it), and :func:`read_fastq` is just
+``list(iter_fastq(path))``.  Malformed or truncated input raises
+:class:`repro.io.errors.InputFileError` carrying the 0-based record index
+and 1-based line number of the corruption -- never a bare ``ValueError`` or
+a silently shortened record list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 from repro.dna.synthetic import ReadRecord
+from repro.io.errors import InputFileError
 from repro.io.fasta import open_text_auto
+
+__all__ = ["FastqRecord", "iter_fastq", "read_fastq", "read_fastq_paired",
+           "write_fastq"]
 
 
 @dataclass(frozen=True)
@@ -38,30 +51,79 @@ class FastqRecord:
         return ReadRecord(name=self.name, sequence=self.sequence, quality=self.quality)
 
 
+_FIELD_NAMES = ("header", "sequence", "separator", "quality")
+
+
+def iter_fastq(path: str | Path) -> Iterator[FastqRecord]:
+    """Yield FASTQ records one at a time (optionally gzipped input).
+
+    Holds at most one 4-line record in memory -- the building block of the
+    bounded-memory streaming sources.  Raises :class:`InputFileError` with
+    the record index and line number for a truncated record (EOF inside the
+    4-line group), a malformed ``@`` header or ``+`` separator, or a
+    quality string whose length disagrees with its sequence.
+    """
+    record_index = 0
+    with open_text_auto(path) as handle:
+        lines = iter(handle)
+        line_number = 0
+        while True:
+            raw = next(lines, None)
+            if raw is None:
+                return  # clean EOF on a record boundary
+            line_number += 1
+            header = raw.rstrip("\n")
+            if not header:
+                # Trailing blank lines (common from editors) end the file
+                # cleanly -- but only when nothing non-blank follows them.
+                for raw in lines:
+                    if raw.rstrip("\n"):
+                        raise InputFileError(
+                            f"blank FASTQ header in {path}",
+                            record_index=record_index,
+                            line_number=line_number)
+                return
+            fields: list[str] = []
+            for field in _FIELD_NAMES[1:]:
+                raw = next(lines, None)
+                if raw is None:
+                    raise InputFileError(
+                        f"truncated FASTQ record in {path}: file ends before "
+                        f"the {field} line",
+                        record_index=record_index, line_number=line_number)
+                line_number += 1
+                fields.append(raw.rstrip("\n"))
+            sequence, separator, quality = fields
+            if not header.startswith("@"):
+                raise InputFileError(
+                    f"malformed FASTQ header in {path}: {header!r}",
+                    record_index=record_index, line_number=line_number - 3)
+            if not separator.startswith("+"):
+                raise InputFileError(
+                    f"malformed FASTQ separator in {path}: {separator!r}",
+                    record_index=record_index, line_number=line_number - 1)
+            if len(sequence) != len(quality):
+                raise InputFileError(
+                    f"FASTQ quality length {len(quality)} != sequence length "
+                    f"{len(sequence)} in {path}",
+                    record_index=record_index, line_number=line_number)
+            name = header[1:].split()[0] if header[1:].split() else ""
+            if not name:
+                raise InputFileError(
+                    f"empty FASTQ read name in {path}",
+                    record_index=record_index, line_number=line_number - 3)
+            yield FastqRecord(name=name, sequence=sequence.upper(),
+                              quality=quality)
+            record_index += 1
+
+
 def read_fastq(path: str | Path) -> list[FastqRecord]:
     """Parse a FASTQ file (optionally gzipped; 4 lines per record).
 
-    Raises ``ValueError`` for truncated files or malformed separators.
+    Raises :class:`InputFileError` (with record index and line number) for
+    truncated files or malformed headers/separators.
     """
-    records: list[FastqRecord] = []
-    with open_text_auto(path) as handle:
-        lines = [line.rstrip("\n") for line in handle]
-    if len(lines) % 4 not in (0,):
-        # allow a single trailing blank line
-        while lines and not lines[-1]:
-            lines.pop()
-        if len(lines) % 4 != 0:
-            raise ValueError("truncated FASTQ file (record count not a multiple of 4 lines)")
-    for index in range(0, len(lines), 4):
-        header, sequence, separator, quality = lines[index:index + 4]
-        if not header.startswith("@"):
-            raise ValueError(f"malformed FASTQ header at line {index + 1}: {header!r}")
-        if not separator.startswith("+"):
-            raise ValueError(f"malformed FASTQ separator at line {index + 3}: {separator!r}")
-        records.append(FastqRecord(name=header[1:].split()[0],
-                                   sequence=sequence.upper(),
-                                   quality=quality))
-    return records
+    return list(iter_fastq(path))
 
 
 def read_fastq_paired(path: str | Path,
@@ -78,19 +140,20 @@ def read_fastq_paired(path: str | Path,
 
     Returns the interleaved list ``[R1_0, R2_0, R1_1, R2_1, ...]`` -- the
     read order every paired entry point (:func:`repro.api.align_paired`, the
-    CLI, the service's ``PAIRED`` verb) consumes.  Raises ``ValueError`` on
-    an odd interleaved count or mismatched file lengths.
+    CLI, the service's ``PAIRED`` verb) consumes.  Raises
+    :class:`InputFileError` on an odd interleaved count or mismatched file
+    lengths.
     """
     first = read_fastq(path)
     if path2 is None:
         if len(first) % 2 != 0:
-            raise ValueError(
+            raise InputFileError(
                 f"interleaved paired FASTQ needs an even number of records, "
                 f"got {len(first)} in {path}")
         return first
     second = read_fastq(path2)
     if len(first) != len(second):
-        raise ValueError(
+        raise InputFileError(
             f"paired FASTQ files disagree: {len(first)} reads in {path} vs "
             f"{len(second)} in {path2}")
     interleaved: list[FastqRecord] = []

@@ -12,6 +12,7 @@ See ``docs/observability.md`` for the metric inventory and usage.
 
 from repro.obs.registry import (Counter, DEFAULT_LATENCY_BUCKETS, Gauge,
                                 Histogram, MetricsRegistry, percentile)
+from repro.obs.rss import current_rss_kib, max_rss_kib
 from repro.obs.tracing import TraceLog, TraceSpan
 
 __all__ = [
@@ -23,4 +24,6 @@ __all__ = [
     "percentile",
     "TraceLog",
     "TraceSpan",
+    "current_rss_kib",
+    "max_rss_kib",
 ]

@@ -63,6 +63,11 @@ class LoadReport:
     concurrency: int
     reads_per_request: int
     seed: int
+    #: The run's in-flight cap (None: bounded only by ``concurrency``).
+    max_inflight: int | None = None
+    #: Most requests ever simultaneously in flight (tracked whether or not
+    #: a cap was set -- the observable the cap is asserted against).
+    peak_inflight: int = 0
     outcomes: list[LoadOutcome] = field(default_factory=list)
     #: Start-to-last-response wall seconds.
     duration_s: float = 0.0
@@ -128,6 +133,8 @@ class LoadReport:
         return {
             "target_qps": self.target_qps,
             "concurrency": self.concurrency,
+            "max_inflight": self.max_inflight,
+            "peak_inflight": self.peak_inflight,
             "reads_per_request": self.reads_per_request,
             "seed": self.seed,
             "n_requests": self.n_requests,
@@ -158,6 +165,13 @@ class LoadGenerator:
         qps: target request rate (the open-loop schedule).
         concurrency: worker threads issuing requests (each holds at most one
             in-flight request).
+        max_inflight: optional cap on simultaneously in-flight requests,
+            tighter than *concurrency*: a worker whose dispatch time has
+            come still waits for a slot before sending.  The cap protects an
+            admission-bounded server from a wall of BUSY rejections while
+            keeping the open-loop schedule (the wait counts against
+            latency, exactly like server-side queueing).  The observed
+            :attr:`LoadReport.peak_inflight` is recorded either way.
         n_requests: total requests to issue; alternatively pass
             ``duration_s`` and the count becomes ``ceil(duration_s * qps)``.
         reads_per_request: reads drawn per request (pairs for ``paired``:
@@ -177,6 +191,7 @@ class LoadGenerator:
 
     def __init__(self, host: str, port: int, reads, *, paired_reads=None,
                  qps: float = 20.0, concurrency: int = 4,
+                 max_inflight: int | None = None,
                  n_requests: int | None = None, duration_s: float | None = None,
                  reads_per_request: int = 8,
                  workloads=DEFAULT_WORKLOADS, seed: int = 0,
@@ -187,6 +202,8 @@ class LoadGenerator:
             raise ValueError("qps must be positive")
         if concurrency <= 0:
             raise ValueError("concurrency must be positive")
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError("max_inflight must be positive (or None)")
         if (n_requests is None) == (duration_s is None):
             raise ValueError("pass exactly one of n_requests / duration_s")
         if n_requests is None:
@@ -205,6 +222,7 @@ class LoadGenerator:
                              "(even count)")
         self.qps = qps
         self.concurrency = concurrency
+        self.max_inflight = max_inflight
         self.n_requests = n_requests
         self.reads_per_request = reads_per_request
         self.workloads = tuple(w for w in workloads
@@ -257,11 +275,27 @@ class LoadGenerator:
         plan = self._plan()
         report = LoadReport(target_qps=self.qps, concurrency=self.concurrency,
                             reads_per_request=self.reads_per_request,
-                            seed=self.seed)
+                            seed=self.seed, max_inflight=self.max_inflight)
         outcomes: list[LoadOutcome | None] = [None] * len(plan)
         next_index = [0]
         lock = threading.Lock()
+        inflight = [0]
+        peak_inflight = [0]
+        slot_free = threading.Condition(lock)
         start = time.perf_counter()
+
+        def acquire_slot() -> None:
+            with slot_free:
+                while (self.max_inflight is not None
+                       and inflight[0] >= self.max_inflight):
+                    slot_free.wait()
+                inflight[0] += 1
+                peak_inflight[0] = max(peak_inflight[0], inflight[0])
+
+        def release_slot() -> None:
+            with slot_free:
+                inflight[0] -= 1
+                slot_free.notify()
 
         def worker() -> None:
             client = SocketAlignmentClient(
@@ -278,6 +312,10 @@ class LoadGenerator:
                 delay = dispatch_at - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
+                # Waiting for a slot happens *after* the scheduled dispatch
+                # time, so a saturating cap shows up as latency -- the
+                # open-loop contract.
+                acquire_slot()
                 try:
                     client.workload_text(workload, records,
                                          index=self.route_index,
@@ -298,6 +336,8 @@ class LoadGenerator:
                         wall_latency=time.perf_counter() - dispatch_at,
                         ok=False, error=f"{type(exc).__name__}: {exc}",
                         tenant=tenant)
+                finally:
+                    release_slot()
 
         threads = [threading.Thread(target=worker, name=f"loadgen-{i}",
                                     daemon=True)
@@ -307,6 +347,7 @@ class LoadGenerator:
         for thread in threads:
             thread.join()
         report.duration_s = time.perf_counter() - start
+        report.peak_inflight = peak_inflight[0]
         report.outcomes = [outcome for outcome in outcomes
                            if outcome is not None]
 

@@ -1,0 +1,51 @@
+"""Process memory watermarks for flat-RSS assertions and metrics.
+
+The streaming subsystem's acceptance test is *memory that does not grow
+with input size*.  ``resource.getrusage`` exposes the process's peak RSS
+(``ru_maxrss``) -- a high watermark the kernel maintains for free -- which
+the streaming tests, the CI smoke driver and the METRICS document all read
+through :func:`max_rss_kib`.
+
+``ru_maxrss`` units differ by platform (kibibytes on Linux, bytes on
+macOS); :func:`max_rss_kib` normalises to KiB so assertions and metrics are
+portable.  On platforms without the :mod:`resource` module the helpers
+return 0, and callers treat 0 as "unknown" rather than failing.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+__all__ = ["max_rss_kib", "current_rss_kib"]
+
+
+def max_rss_kib() -> int:
+    """Peak resident-set size of this process in KiB (0 when unknown)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        return int(peak // 1024)
+    return int(peak)
+
+
+def current_rss_kib() -> int:
+    """Current resident-set size in KiB, from /proc (0 when unavailable).
+
+    Unlike the monotone :func:`max_rss_kib` watermark this can go down;
+    the streaming benchmark samples it per chunk to show occupancy staying
+    flat while the watermark records the worst case.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        import os
+        page_kib = os.sysconf("SC_PAGE_SIZE") // 1024
+        return int(fields[1]) * page_kib
+    except (OSError, IndexError, ValueError):
+        return 0

@@ -18,11 +18,18 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
+from itertools import chain
 
 from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
 from repro.service.server import fastq_payload
 from repro.service.session import AlignmentSession
+from repro.stream import DEFAULT_CHUNK_READS, ReadChunk, open_read_stream
+
+#: Wire verbs of the streaming workloads (``docs/streaming.md``).
+_STREAM_VERBS = {"align": "ALIGNSTREAM", "paired": "PAIREDSTREAM",
+                 "count": "COUNTSTREAM", "screen": "SCREENSTREAM"}
 
 
 class AlignmentClient:
@@ -241,6 +248,128 @@ class SocketAlignmentClient:
             raise ServiceError(f"unknown workload {workload!r}; available: "
                                f"{', '.join(sorted(verbs))}") from None
         return method(reads, index=index, tenant=tenant)
+
+    # -- streaming ------------------------------------------------------------
+
+    def stream_parts(self, workload: str, reads, *,
+                     chunk_reads: int | None = None,
+                     index: str | None = None, tenant: str | None = None,
+                     reads2=None):
+        """Stream a workload over one persistent connection, yielding the
+        server's output parts as they arrive.
+
+        *reads* may be a FASTQ/SeqDB path, a record iterable, or an
+        iterator of :class:`~repro.stream.ReadChunk` s; anything unchunked
+        is chunked locally at *chunk_reads* reads (whole pairs for
+        ``paired``), so at no point does either side hold the full library.
+        For ``align``/``paired`` the yielded parts concatenate to exactly
+        the one-shot SAM response; ``count``/``screen`` yield a single
+        final TSV.  A sender thread writes ``CHUNK`` frames while this
+        generator reads replies, so a large stream cannot deadlock on full
+        TCP buffers.  Raises :class:`ServiceBusyError` on a mid-stream
+        ``BUSY`` and :class:`ServiceError` on ``ERR`` (the connection is
+        closed either way -- resubmit the whole stream to retry).
+        """
+        try:
+            verb = _STREAM_VERBS[workload]
+        except KeyError:
+            raise ServiceError(
+                f"unknown workload {workload!r}; available: "
+                f"{', '.join(sorted(_STREAM_VERBS))}") from None
+        chunk_reads = chunk_reads or DEFAULT_CHUNK_READS
+        paired = workload == "paired"
+        if isinstance(reads, (str,)) or hasattr(reads, "__fspath__") \
+                or reads2 is not None:
+            chunks = open_read_stream(reads, chunk_reads=chunk_reads,
+                                      paired=paired, reads2=reads2)
+        else:
+            iterator = iter(reads)
+            first = next(iterator, None)
+            if first is None:
+                chunks = iter(())
+            elif isinstance(first, ReadChunk):
+                chunks = chain([first], iterator)
+            else:
+                chunks = open_read_stream(chain([first], iterator),
+                                          chunk_reads=chunk_reads,
+                                          paired=paired)
+        command = f"{verb}{self._routing(index, tenant)}\n"
+        sender_error: list[BaseException] = []
+        conn = self._connect()
+        try:
+            conn.sendall(command.encode("utf-8"))
+
+            def send() -> None:
+                try:
+                    for chunk in chunks:
+                        records = (chunk.records
+                                   if isinstance(chunk, ReadChunk) else chunk)
+                        frame = f"CHUNK {len(records)}\n".encode("ascii")
+                        conn.sendall(frame + fastq_payload(records))
+                    conn.sendall(b"END\n")
+                except OSError:
+                    pass  # reply side saw ERR/BUSY and closed the socket
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    sender_error.append(exc)
+                    try:
+                        # Half-close so the server's reader sees EOF instead
+                        # of waiting forever for the END that will not come.
+                        conn.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        pass
+
+            sender = threading.Thread(target=send, daemon=True,
+                                      name="stream-sender")
+            sender.start()
+            with conn.makefile("rb") as rfile:
+                while True:
+                    status = rfile.readline().decode(
+                        "utf-8", errors="replace").strip()
+                    if not status:
+                        if sender_error:
+                            raise sender_error[0]
+                        raise ServiceError("connection closed mid-stream")
+                    tokens = status.split()
+                    if tokens[0] == "CHUNK" and len(tokens) == 2:
+                        n_bytes = int(tokens[1])
+                        body = rfile.read(n_bytes) if n_bytes else b""
+                        if len(body) != n_bytes:
+                            raise ServiceError("truncated stream part")
+                        yield body.decode("ascii")
+                    elif tokens[0] == "DONE":
+                        break
+                    elif tokens[0] == "BUSY":
+                        raise ServiceBusyError(status[4:].strip()
+                                               or "server busy")
+                    elif tokens[0] == "ERR":
+                        # A local source error half-closed the stream; the
+                        # server's ERR is just its echo -- report the cause.
+                        if sender_error:
+                            raise sender_error[0]
+                        raise ServiceError(status[3:].strip()
+                                           or "server error")
+                    else:
+                        raise ServiceError(
+                            f"malformed streaming response {status!r}")
+            sender.join(timeout=5.0)
+            if sender_error:
+                raise sender_error[0]
+        finally:
+            conn.close()
+
+    def align_stream(self, reads, *, chunk_reads: int | None = None,
+                     index: str | None = None, tenant: str | None = None):
+        """Stream single-end alignment; yields SAM parts whose concatenation
+        is byte-identical to :meth:`align_sam` on the same reads."""
+        return self.stream_parts("align", reads, chunk_reads=chunk_reads,
+                                 index=index, tenant=tenant)
+
+    def paired_stream(self, reads, *, chunk_reads: int | None = None,
+                      index: str | None = None, tenant: str | None = None,
+                      reads2=None):
+        """Stream paired-end alignment (interleaved, or R1 + *reads2*)."""
+        return self.stream_parts("paired", reads, chunk_reads=chunk_reads,
+                                 index=index, tenant=tenant, reads2=reads2)
 
     # -- gateway administration -----------------------------------------------
 

@@ -28,6 +28,22 @@ guess payload boundaries:
     server instruments) plus the service stats, session summary, cumulative
     communication counters and cache statistics, as one JSON document.  The
     ``PROM`` form responds with Prometheus text exposition instead.
+``ALIGNSTREAM`` / ``PAIREDSTREAM`` / ``COUNTSTREAM`` / ``SCREENSTREAM``
+    The streaming query verbs (``docs/streaming.md``): the request body is
+    a sequence of ``CHUNK <n_reads>`` frames (each followed by ``4 *
+    n_reads`` FASTQ lines) terminated by a bare ``END`` line.  The server
+    parses chunks into a bounded channel (capacity
+    ``stream_channel_capacity``; a slow aligner backpressures the socket),
+    keeps up to ``stream_max_inflight`` chunks submitted so the scheduler
+    can coalesce them, and replies with one ``CHUNK <n_bytes>`` + payload
+    frame per output part, then ``DONE <n_chunks> <n_reads>``.  For
+    ``ALIGNSTREAM``/``PAIREDSTREAM`` the first part carries the SAM header
+    and the concatenated parts are byte-identical to the one-shot ``ALIGN``
+    / ``PAIRED`` response for the same reads; ``COUNTSTREAM`` /
+    ``SCREENSTREAM`` aggregate across chunks and reply with a single final
+    TSV frame (their headers summarise the whole run).  A mid-stream
+    failure answers ``ERR``/``BUSY`` and closes the connection -- the frame
+    protocol is no longer in sync, unlike one-shot verbs.
 ``PING``
     Responds ``OK 0`` (used for readiness probes).
 ``SHUTDOWN``
@@ -63,11 +79,24 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
+from collections import deque
 from dataclasses import asdict
 
 from repro.gateway.admission import GatewayBusyError
 from repro.io.fastq import FastqRecord
 from repro.service.scheduler import RequestScheduler
+from repro.stream import BoundedChannel, ChannelClosed
+
+#: Streaming query verbs and the workloads they run.  One handler serves all
+#: four; ``count``/``screen`` reply with a single TSV frame at stream end
+#: (their headers hold whole-run aggregates), ``align``/``paired`` stream a
+#: SAM frame per chunk.
+STREAM_VERBS = {
+    "ALIGNSTREAM": "align",
+    "PAIREDSTREAM": "paired",
+    "COUNTSTREAM": "count",
+    "SCREENSTREAM": "screen",
+}
 
 
 class _CountingReader:
@@ -208,6 +237,168 @@ class _Handler(socketserver.StreamRequestHandler):
                     "(supported: INDEX=, TENANT=)")
         return index, tenant
 
+    def _handle_stream(self, rfile, verb: str, options: list[str],
+                       metrics) -> bool:
+        """Serve one ``*STREAM`` request: chunked body in, framed parts out.
+
+        The client sends ``CHUNK <n_reads>`` + FASTQ frames terminated by
+        ``END``; a producer thread parses them into a
+        :class:`~repro.stream.BoundedChannel` (whose blocking ``put`` is the
+        read-ahead bound -- a slow aligner backpressures the socket), while
+        this thread keeps up to ``stream_max_inflight`` chunks submitted so
+        the scheduler can coalesce them, emitting each result as a
+        ``CHUNK <n_bytes>`` frame in order and finally ``DONE <n_chunks>
+        <n_reads>``.  Gateway admission running full raises ``BUSY`` at a
+        chunk boundary.  Returns False when the connection must close (any
+        mid-stream failure: the frame protocol is no longer in sync).
+        """
+        workload = STREAM_VERBS[verb]
+        group = 2 if workload == "paired" else 1
+        channel = BoundedChannel(self.server.stream_channel_capacity)
+        inflight: deque = deque()
+        producer = None
+        try:
+            index, tenant = self._query_options(verb, options)
+            gateway = self.server.gateway
+            if gateway is None:
+                if index is not None or tenant is not None:
+                    raise ProtocolError("INDEX=/TENANT= options require a "
+                                        "gateway-backed server")
+                session = self.server.scheduler.session
+            else:
+                from repro.gateway.gateway import DEFAULT_INDEX
+                session = gateway.registry.get(index or DEFAULT_INDEX).session
+
+            def produce() -> None:
+                try:
+                    while True:
+                        line = rfile.readline()
+                        if not line:
+                            raise ProtocolError(
+                                "connection closed mid-stream (missing END)")
+                        frame = line.decode("utf-8", errors="replace").strip()
+                        if not frame:
+                            continue
+                        tokens = frame.split()
+                        if tokens[0].upper() == "END" and len(tokens) == 1:
+                            channel.close()
+                            return
+                        if (tokens[0].upper() != "CHUNK" or len(tokens) != 2
+                                or not tokens[1].isdigit()):
+                            raise ProtocolError(
+                                "expected CHUNK <n_reads> or END, got "
+                                f"{frame!r}")
+                        n_reads = int(tokens[1])
+                        if group == 2 and n_reads % 2 != 0:
+                            raise ProtocolError(
+                                f"{verb} chunks need an even interleaved "
+                                f"read count, got {n_reads}")
+                        records = read_fastq_payload(rfile, n_reads)
+                        channel.put([record.to_read() for record in records])
+                except ChannelClosed:
+                    pass  # consumer aborted; drop the rest of the stream
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    channel.fail(exc)
+
+            producer = threading.Thread(target=produce, daemon=True,
+                                        name="stream-producer")
+            producer.start()
+
+            from repro.core.plan import ScreenSummary, SeedCountSummary
+            from repro.service.session import merge_stream_outputs
+            depth_gauge = metrics.gauge("stream_channel_depth")
+            incremental = workload in ("align", "paired")
+            header_sent = False
+            aggregate = None
+            n_chunks = 0
+            n_reads_total = 0
+
+            def emit_result(ticket) -> None:
+                nonlocal header_sent, aggregate
+                result = ticket.result(self.server.request_timeout)
+                if incremental:
+                    text = session.render_stream_part(
+                        workload, result.output,
+                        include_header=not header_sent)
+                    header_sent = True
+                    if text:
+                        self._stream_frame(text.encode("ascii"))
+                else:
+                    aggregate = (result.output if aggregate is None
+                                 else merge_stream_outputs(
+                                     workload, aggregate, result.output))
+                metrics.counter("stream_chunks_total",
+                                workload=workload).inc()
+
+            for records in channel:
+                depth_gauge.set(channel.depth)
+                while len(inflight) >= self.server.stream_max_inflight:
+                    emit_result(inflight.popleft())
+                if gateway is not None:
+                    _entry, ticket = gateway.submit_stream_chunk(
+                        records, workload=workload, index=index,
+                        tenant=tenant)
+                else:
+                    ticket = self.server.scheduler.submit(records,
+                                                          workload=workload)
+                inflight.append(ticket)
+                n_chunks += 1
+                n_reads_total += len(records)
+            while inflight:
+                emit_result(inflight.popleft())
+
+            if incremental:
+                if not header_sent:
+                    self._stream_frame(session.render_stream_part(
+                        workload, [], include_header=True).encode("ascii"))
+            else:
+                if aggregate is None:
+                    aggregate = (SeedCountSummary() if workload == "count"
+                                 else ScreenSummary(rows=[]))
+                self._stream_frame(
+                    session.render(workload, aggregate).encode("ascii"))
+            done = f"DONE {n_chunks} {n_reads_total}\n".encode("ascii")
+            self.wfile.write(done)
+            self.wfile.flush()
+            metrics.counter("server_bytes_out_total").inc(len(done))
+            depth_gauge.set(0)
+            metrics.gauge("stream_channel_high_watermark").set(
+                channel.high_watermark)
+            return True
+        except GatewayBusyError as exc:
+            metrics.counter("server_busy_total", verb=verb).inc()
+            self._busy(str(exc))
+            return False
+        except BrokenPipeError:
+            metrics.counter("server_errors_total", verb=verb).inc()
+            return False
+        except Exception as exc:  # noqa: BLE001 - reported, then close
+            metrics.counter("server_errors_total", verb=verb).inc()
+            if isinstance(exc, ProtocolError):
+                self._error(str(exc))
+            else:
+                self._error(f"{type(exc).__name__}: {exc}")
+            return False
+        finally:
+            # Unblock a producer stuck in put() and free admission slots of
+            # results never collected (abort paths only).
+            channel.close()
+            for ticket in inflight:
+                release = getattr(ticket, "release", None)
+                if release is not None:
+                    release()
+            if producer is not None:
+                producer.join(timeout=5.0)
+
+    def _stream_frame(self, payload: bytes) -> None:
+        """One ``CHUNK <n_bytes>`` response frame of a streamed reply."""
+        header = f"CHUNK {len(payload)}\n".encode("ascii")
+        self.wfile.write(header)
+        self.wfile.write(payload)
+        self.wfile.flush()
+        self.server.metrics.counter("server_bytes_out_total").inc(
+            len(header) + len(payload))
+
     def _command_loop(self, metrics) -> None:
         rfile = _CountingReader(self.rfile,
                                 metrics.counter("server_bytes_in_total"))
@@ -274,6 +465,10 @@ class _Handler(socketserver.StreamRequestHandler):
                             timeout=self.server.request_timeout)
                         text = result.text
                     self._reply(text.encode("ascii"))
+                elif verb in STREAM_VERBS:
+                    if not self._handle_stream(rfile, verb,
+                                               command.split()[1:], metrics):
+                        return
                 elif verb == "INDICES" and command.upper() == "INDICES":
                     gateway = self._require_gateway("INDICES")
                     self._reply(json.dumps(gateway.indices_json(), indent=2,
@@ -317,7 +512,8 @@ class AlignmentServer:
     def __init__(self, scheduler: RequestScheduler | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  request_timeout: float | None = 300.0,
-                 gateway=None) -> None:
+                 gateway=None, stream_channel_capacity: int = 8,
+                 stream_max_inflight: int = 4) -> None:
         from repro.obs.registry import MetricsRegistry
         if scheduler is None:
             if gateway is None:
@@ -349,6 +545,11 @@ class AlignmentServer:
         self._server.request_shutdown = outer.request_shutdown
         self._server.request_timeout = request_timeout
         self._server.gateway = gateway
+        # Streaming bounds: at most `capacity` parsed chunks queued (the
+        # producer's socket read backpressures beyond that) plus
+        # `max_inflight` chunks submitted to the scheduler at once.
+        self._server.stream_channel_capacity = stream_channel_capacity
+        self._server.stream_max_inflight = stream_max_inflight
 
     # -- addressing -----------------------------------------------------------
 

@@ -54,7 +54,8 @@ from repro.alignment.result import Alignment
 from repro.core.config import AlignerConfig, config_summary
 from repro.core.load_balance import permute_reads
 from repro.core.pipeline import MerAligner
-from repro.core.plan import (AlignmentPlan, PlanRunner, merge_rank_returns,
+from repro.core.plan import (AlignmentPlan, PlanRunner, ScreenSummary,
+                             SeedCountSummary, merge_rank_returns,
                              normalize_reads, normalize_targets_named,
                              one_shot_read_order, plan_for_workload)
 from repro.core.seed_index import SeedIndex
@@ -62,13 +63,54 @@ from repro.core.stats import AlignerReport, AlignmentCounters, PhaseStats
 from repro.core.target_store import TargetStore
 from repro.dna.synthetic import ReadRecord
 from repro.hashtable.cache import CacheStats, SoftwareCache
-from repro.io.sam import paired_sam_text, sam_text
+from repro.io.sam import (paired_sam_lines, paired_sam_text, sam_header,
+                          sam_text)
 from repro.pgas.cost_model import CommStats
 from repro.pgas.runtime import PgasRuntime
 from repro.pgas.trace import PhaseTrace
+from repro.stream import ReadChunk
 
 __all__ = ["AlignmentSession", "BatchOutcome", "PlanBatchOutcome",
-           "PreparedIndex", "one_shot_read_order"]
+           "PreparedIndex", "StreamPart", "merge_stream_outputs",
+           "one_shot_read_order"]
+
+
+@dataclass
+class StreamPart:
+    """One incremental piece of a streamed plan run.
+
+    ``text`` parts concatenate, in yield order, to exactly the materialised
+    render of the whole read set.  Every chunk yields one part; a trailing
+    part with ``final=True`` carries deferred text (the header of an empty
+    SAM stream; the count/screen TSV, whose header holds whole-run
+    aggregates) plus the aggregated deterministic counters and chunk/unit
+    totals of the whole stream.
+    """
+
+    chunk_index: int
+    n_reads: int
+    text: str
+    output: Any
+    counters: AlignmentCounters
+    final: bool = False
+    n_chunks: int = 0
+    n_units: int = 0
+
+
+def merge_stream_outputs(workload: str, left: Any, right: Any) -> Any:
+    """Fold two chunk summaries of an aggregating workload into one."""
+    if workload == "count":
+        merged = SeedCountSummary(
+            histogram=dict(left.histogram),
+            n_reads=left.n_reads + right.n_reads,
+            n_seed_lookups=left.n_seed_lookups + right.n_seed_lookups)
+        for occurrences, count in right.histogram.items():
+            merged.histogram[occurrences] = \
+                merged.histogram.get(occurrences, 0) + count
+        return merged
+    if workload == "screen":
+        return ScreenSummary(rows=list(left.rows) + list(right.rows))
+    raise KeyError(f"no streaming merge for workload {workload!r}")
 
 
 @dataclass
@@ -475,7 +517,147 @@ class AlignmentSession:
             stage_stats=stage_stats,
         )
 
+    # -- streaming ------------------------------------------------------------
+
+    def run_plan_stream(self, plan: "AlignmentPlan | str", chunks, *,
+                        chunk_reads: int | None = None,
+                        warm_caches: bool = False):
+        """Run *plan* over a chunked read stream, yielding incremental parts.
+
+        *chunks* is an iterable of :class:`repro.stream.ReadChunk` (any
+        other iterable/path is adapted through
+        :func:`repro.stream.open_read_stream` with the sink's unit size).
+        Each chunk runs as one resident-index invocation; at no point is
+        more than one chunk of reads held by the session, so memory stays
+        bounded by the chunk size, not the library size.
+
+        Yields one :class:`StreamPart` per chunk whose ``text`` parts
+        concatenate to **exactly** the materialised render of the whole
+        read set -- at any chunk size -- followed by a ``final`` part
+        carrying trailing text (the count/screen TSV renders once, at the
+        end, because its header holds whole-run aggregates) and the
+        aggregated outcome.  Deterministic per-read counters
+        (reads_processed/reads_aligned/alignments_reported/exact_path_hits
+        ...) sum to exactly the materialised run's values; cache- and
+        communication-dependent statistics depend on chunk boundaries the
+        same way they already depend on bulk window boundaries (see
+        :class:`repro.core.config.AlignerConfig` on bulk-mode drift).
+        """
+        plan_obj, _runner = self._resolve_plan(plan)
+        sink = plan_obj.sink
+        group = sink.group_size
+        if not hasattr(chunks, "__iter__"):
+            raise TypeError("chunks must be iterable")
+        chunk_iter = iter(chunks)
+        first = next(chunk_iter, None)
+        if first is not None and not isinstance(first, ReadChunk):
+            from itertools import chain
+            from repro.stream import DEFAULT_CHUNK_READS, open_read_stream
+            chunk_iter = open_read_stream(
+                chain([first], chunk_iter),
+                chunk_reads=chunk_reads or DEFAULT_CHUNK_READS,
+                paired=group == 2)
+            first = next(chunk_iter, None)
+        workload = plan_obj.workload
+        renders_incrementally = workload in ("align", "paired")
+
+        totals = AlignmentCounters()
+        aggregate: Any = None
+        n_chunks = 0
+        n_units = 0
+        header_sent = False
+        chunk = first
+        while chunk is not None:
+            outcome = self.run_plan_many(plan_obj, [list(chunk.records)],
+                                         warm_caches=warm_caches)
+            output = outcome.per_request_outputs[0]
+            totals = totals.merge(outcome.per_request_counters[0])
+            n_chunks += 1
+            n_units += chunk.n_reads // group
+            if renders_incrementally:
+                text = self.render_stream_part(workload, output,
+                                               include_header=not header_sent)
+                header_sent = True
+            else:
+                aggregate = (output if aggregate is None
+                             else merge_stream_outputs(workload, aggregate,
+                                                       output))
+                text = ""
+            if self.metrics is not None:
+                self.metrics.counter("stream_chunks_total",
+                                     workload=workload).inc()
+                self.metrics.counter("stream_units_total",
+                                     workload=workload).inc(
+                                         chunk.n_reads // group)
+            yield StreamPart(chunk_index=chunk.index, n_reads=chunk.n_reads,
+                             text=text, output=output,
+                             counters=outcome.per_request_counters[0])
+            chunk = next(chunk_iter, None)
+
+        # Trailing part: the header of an empty SAM stream, or the one-shot
+        # TSV of an aggregating workload (its header carries whole-run
+        # totals, so it cannot be emitted before the stream ends).
+        if renders_incrementally:
+            final_text = ("" if header_sent
+                          else self.render_stream_part(workload, [],
+                                                       include_header=True))
+            final_output: Any = None
+        else:
+            if aggregate is None:
+                aggregate = (SeedCountSummary() if workload == "count"
+                             else ScreenSummary(rows=[]))
+            final_text = self.render(workload, aggregate)
+            final_output = aggregate
+        yield StreamPart(chunk_index=n_chunks, n_reads=0, text=final_text,
+                         output=final_output, counters=totals, final=True,
+                         n_chunks=n_chunks, n_units=n_units)
+
+    def align_stream(self, chunks, *, chunk_reads: int | None = None,
+                     warm_caches: bool = False):
+        """Stream the align workload: yields :class:`StreamPart` s whose
+        ``text`` fields concatenate to exactly :meth:`sam_for` of the whole
+        run's alignments (header first, then records in input read order)."""
+        return self.run_plan_stream("align", chunks, chunk_reads=chunk_reads,
+                                    warm_caches=warm_caches)
+
+    def align_paired_stream(self, chunks, *, chunk_reads: int | None = None,
+                            warm_caches: bool = False):
+        """Stream the paired workload (whole-pair chunks)."""
+        return self.run_plan_stream("paired", chunks, chunk_reads=chunk_reads,
+                                    warm_caches=warm_caches)
+
     # -- output helpers -------------------------------------------------------
+
+    def render_stream_part(self, workload: str, output, *,
+                           include_header: bool = False) -> str:
+        """Render one streamed chunk's records as a text part.
+
+        Concatenating the parts of a stream (header on the first part only)
+        reproduces :meth:`render` of the whole run byte for byte.  Only the
+        incremental workloads render parts; ``count``/``screen`` aggregate
+        and render once at stream end (their TSV headers carry whole-run
+        totals).
+        """
+        lines: list[str] = []
+        if include_header:
+            lines.extend(sam_header(self.prepared.target_names,
+                                    self.prepared.target_lengths))
+        if workload == "align":
+            names = self.prepared.target_names
+            for alignment in output:
+                name = (names[alignment.target_id]
+                        if 0 <= alignment.target_id < len(names)
+                        else f"target{alignment.target_id}")
+                lines.append(alignment.to_sam_line(name))
+        elif workload == "paired":
+            for pair in output:
+                lines.extend(paired_sam_lines(pair,
+                                              self.prepared.target_names))
+        else:
+            raise KeyError(
+                f"workload {workload!r} does not render incrementally "
+                "(count/screen render once at stream end)")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def sam_for(self, alignments: list[Alignment]) -> str:
         """Render alignments as SAM text against this session's targets."""

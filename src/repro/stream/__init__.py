@@ -1,0 +1,40 @@
+"""Streaming ingestion: bounded-memory read pipelines with backpressure.
+
+The paper's whole premise is alignment at scales where the data cannot sit
+on one node; this package carries that premise end to end in the serving
+stack.  Reads flow from file or socket to SAM without a full library ever
+being resident:
+
+* :mod:`repro.stream.sources` -- chunked record sources (FASTQ, gzipped
+  FASTQ, SeqDB, in-memory iterables) yielding bounded, unit-aware
+  :class:`ReadChunk` s, so paired mates never split across chunks;
+* :mod:`repro.stream.channel` -- :class:`BoundedChannel`, the size-capped
+  producer/consumer queue whose blocking ``put`` is the backpressure that
+  keeps RSS flat (and whose ``reject`` policy becomes gateway ``BUSY``);
+* :meth:`repro.service.session.AlignmentSession.align_stream` and friends
+  consume the chunks one window at a time and emit SAM/TSV incrementally,
+  byte-identical to the materialised path at any chunk size.
+
+See docs/streaming.md for the memory model and the wire framing of the
+``ALIGNSTREAM`` family of verbs.
+"""
+
+from repro.stream.channel import BoundedChannel, ChannelClosed, ChannelFull
+from repro.stream.sources import (DEFAULT_CHUNK_READS, ReadChunk,
+                                  open_read_stream, stream_fastq,
+                                  stream_fastq_paired, stream_records,
+                                  stream_seqdb, stream_seqdb_paired)
+
+__all__ = [
+    "BoundedChannel",
+    "ChannelClosed",
+    "ChannelFull",
+    "DEFAULT_CHUNK_READS",
+    "ReadChunk",
+    "open_read_stream",
+    "stream_fastq",
+    "stream_fastq_paired",
+    "stream_records",
+    "stream_seqdb",
+    "stream_seqdb_paired",
+]

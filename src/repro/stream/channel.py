@@ -1,0 +1,169 @@
+"""A bounded producer/consumer channel with close/drain semantics.
+
+:class:`BoundedChannel` is the backpressure primitive of the streaming
+subsystem: a size-capped FIFO connecting a producer thread (a socket reader,
+a file parser) to a consumer (the plan runner, the scheduler).  Its memory
+footprint is bounded by construction -- ``capacity`` items, never the whole
+stream -- which is what makes end-to-end RSS flat no matter how large the
+read library is.
+
+Semantics:
+
+* ``put`` blocks while the channel is full (policy ``"block"``, the
+  default), or raises :class:`ChannelFull` immediately (policy ``"reject"``
+  -- the serving layer turns that into an explicit ``BUSY``).
+* ``close`` marks the end of the stream; consumers drain the remaining
+  items and then see :class:`ChannelClosed` (or the iterator simply ends).
+* ``fail(exc)`` lets a producer forward its exception: the consumer's next
+  ``get`` re-raises it, so a parse error in the reader thread surfaces in
+  the thread doing the work instead of being silently dropped.
+* ``depth`` / ``high_watermark`` expose occupancy for metrics and tests --
+  the house streaming tests assert ``high_watermark <= capacity``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = ["BoundedChannel", "ChannelClosed", "ChannelFull"]
+
+
+class ChannelClosed(Exception):
+    """``put`` after ``close``, or ``get`` on a closed-and-drained channel."""
+
+
+class ChannelFull(Exception):
+    """``put`` on a full channel under the ``"reject"`` overflow policy."""
+
+
+class BoundedChannel:
+    """Size-capped FIFO with blocking put, close/drain and error forwarding.
+
+    Args:
+        capacity: maximum queued items; ``put`` applies backpressure (or
+            rejects) beyond it.  Must be positive -- the whole point is a
+            bound.
+        overflow: ``"block"`` (producer waits for space; the offline/CLI
+            policy) or ``"reject"`` (raise :class:`ChannelFull` at once;
+            the serving policy behind gateway BUSY).
+    """
+
+    def __init__(self, capacity: int, *, overflow: str = "block") -> None:
+        if capacity <= 0:
+            raise ValueError("channel capacity must be positive")
+        if overflow not in ("block", "reject"):
+            raise ValueError(f"unknown overflow policy: {overflow!r}")
+        self.capacity = capacity
+        self.overflow = overflow
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._error: BaseException | None = None
+        self._high_watermark = 0
+        self._total_put = 0
+
+    # -- producer side --------------------------------------------------------
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Enqueue *item*, blocking while full (``"block"`` policy).
+
+        Raises :class:`ChannelFull` under the ``"reject"`` policy when no
+        space is free, :class:`ChannelClosed` when the channel was closed,
+        and ``TimeoutError`` when a blocking put exceeds *timeout* seconds.
+        """
+        with self._not_full:
+            if self.overflow == "reject":
+                if self._closed:
+                    raise ChannelClosed("put on a closed channel")
+                if len(self._items) >= self.capacity:
+                    raise ChannelFull(
+                        f"channel full ({self.capacity} items)")
+            else:
+                while len(self._items) >= self.capacity and not self._closed:
+                    if not self._not_full.wait(timeout):
+                        raise TimeoutError(
+                            f"put timed out after {timeout}s "
+                            f"(channel full at {self.capacity})")
+            if self._closed:
+                raise ChannelClosed("put on a closed channel")
+            self._items.append(item)
+            self._total_put += 1
+            self._high_watermark = max(self._high_watermark, len(self._items))
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Mark the end of the stream; queued items remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        """Close the channel carrying a producer exception.
+
+        The consumer's next ``get`` (or iteration step) re-raises *exc*,
+        after draining items that were enqueued before the failure.
+        """
+        with self._lock:
+            self._error = exc
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side --------------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue the next item, blocking while empty.
+
+        Raises :class:`ChannelClosed` once the channel is closed and
+        drained, the producer's forwarded exception after a ``fail``, and
+        ``TimeoutError`` when *timeout* seconds pass with nothing to take.
+        """
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError(f"get timed out after {timeout}s")
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+                return item
+            if self._error is not None:
+                raise self._error
+            raise ChannelClosed("channel closed and drained")
+
+    def __iter__(self) -> Iterator[Any]:
+        """Drain until closed-and-empty (re-raising a forwarded error)."""
+        while True:
+            try:
+                yield self.get()
+            except ChannelClosed:
+                return
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def high_watermark(self) -> int:
+        """Maximum depth ever observed (bounded by ``capacity``)."""
+        with self._lock:
+            return self._high_watermark
+
+    @property
+    def total_put(self) -> int:
+        """Items ever enqueued (streamed-chunk accounting)."""
+        with self._lock:
+            return self._total_put
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -1,0 +1,214 @@
+"""Chunked, bounded-memory read sources (FASTQ / SeqDB / in-memory).
+
+Every source yields :class:`ReadChunk` objects of at most ``chunk_reads``
+records, converted to :class:`repro.dna.synthetic.ReadRecord` exactly as the
+materialised :func:`repro.core.plan.normalize_reads` path converts them --
+so a streamed run sees byte-for-byte the same reads as a materialised one.
+
+Sources are **unit-aware**: with ``group_size=2`` (paired-end) a chunk
+always holds whole R1/R2 pairs, never a split pair, no matter what
+``chunk_reads`` was requested.  FASTQ parsing rides on
+:func:`repro.io.fastq.iter_fastq`, so gzipped input is transparent and
+malformed/truncated records raise :class:`repro.io.errors.InputFileError`
+with the record index and line number -- mid-stream, after earlier chunks
+were already processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.dna.synthetic import ReadRecord
+from repro.io.errors import InputFileError
+from repro.io.fastq import FastqRecord, iter_fastq
+from repro.io.seqdb import SeqDbReader
+
+__all__ = ["ReadChunk", "stream_records", "stream_fastq",
+           "stream_fastq_paired", "stream_seqdb", "stream_seqdb_paired",
+           "open_read_stream", "SEQDB_SUFFIXES"]
+
+#: File suffixes routed to the SeqDB reader instead of the FASTQ parser
+#: (mirrors :data:`repro.core.plan.SEQDB_SUFFIXES`).
+SEQDB_SUFFIXES = (".seqdb", ".sqdb", ".db")
+
+#: Default reads per chunk when a caller enables streaming without a size.
+DEFAULT_CHUNK_READS = 4096
+
+
+@dataclass(frozen=True)
+class ReadChunk:
+    """One bounded slice of a read stream.
+
+    ``index`` is the 0-based chunk number, ``start_read`` the global offset
+    of the first record -- together they let error messages and metrics
+    locate a chunk inside an arbitrarily long stream without counting it
+    again.
+    """
+
+    index: int
+    start_read: int
+    records: tuple[ReadRecord, ...]
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.records)
+
+
+def _chunk_span(chunk_reads: int, group_size: int) -> int:
+    """Records per chunk, rounded so work units (pairs) never split."""
+    if chunk_reads <= 0:
+        raise ValueError("chunk_reads must be positive")
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    return max(group_size, chunk_reads - chunk_reads % group_size)
+
+
+def _to_read(item) -> ReadRecord:
+    if isinstance(item, ReadRecord):
+        return item
+    if isinstance(item, FastqRecord):
+        return item.to_read()
+    raise TypeError(f"unsupported read type: {type(item)!r}")
+
+
+def _chunks_from(records: Iterable, chunk_reads: int,
+                 group_size: int) -> Iterator[ReadChunk]:
+    """Group any record iterable into unit-aligned :class:`ReadChunk` s."""
+    span = _chunk_span(chunk_reads, group_size)
+    buffer: list[ReadRecord] = []
+    index = 0
+    start = 0
+    for item in records:
+        buffer.append(_to_read(item))
+        if len(buffer) >= span:
+            yield ReadChunk(index=index, start_read=start,
+                            records=tuple(buffer))
+            index += 1
+            start += len(buffer)
+            buffer = []
+    if buffer:
+        if len(buffer) % group_size != 0:
+            raise InputFileError(
+                f"read stream ends mid-unit: {len(buffer) % group_size} "
+                f"trailing read(s) do not fill a {group_size}-read unit",
+                record_index=start + len(buffer) - 1)
+        yield ReadChunk(index=index, start_read=start, records=tuple(buffer))
+
+
+def stream_records(records: Iterable, *, chunk_reads: int = DEFAULT_CHUNK_READS,
+                   group_size: int = 1) -> Iterator[ReadChunk]:
+    """Chunk an in-memory (or generator) record iterable.
+
+    The adapter that lets every downstream consumer -- sessions, the wire
+    protocol, tests -- treat lists and sockets uniformly.
+    """
+    return _chunks_from(records, chunk_reads, group_size)
+
+
+def stream_fastq(path: str | Path, *,
+                 chunk_reads: int = DEFAULT_CHUNK_READS) -> Iterator[ReadChunk]:
+    """Stream a FASTQ file (optionally gzipped) as single-read chunks."""
+    return _chunks_from(iter_fastq(path), chunk_reads, 1)
+
+
+def _interleave_paired(path: str | Path,
+                       path2: str | Path | None) -> Iterator[FastqRecord]:
+    """Incrementally interleave a paired library (R1, R2, R1, R2, ...)."""
+    if path2 is None:
+        yield from iter_fastq(path)
+        return
+    first, second = iter_fastq(path), iter_fastq(path2)
+    index = 0
+    while True:
+        r1 = next(first, None)
+        r2 = next(second, None)
+        if r1 is None and r2 is None:
+            return
+        if r1 is None or r2 is None:
+            longer = path2 if r1 is None else path
+            raise InputFileError(
+                f"paired FASTQ files disagree: {longer} has more reads "
+                f"than its mate file", record_index=index)
+        yield r1
+        yield r2
+        index += 1
+
+
+def stream_fastq_paired(path: str | Path, path2: str | Path | None = None, *,
+                        chunk_reads: int = DEFAULT_CHUNK_READS) -> Iterator[ReadChunk]:
+    """Stream a paired library as whole-pair chunks.
+
+    Accepts the same two layouts as
+    :func:`repro.io.fastq.read_fastq_paired`: one interleaved file, or an
+    R1 file plus its R2 mate file (interleaved on the fly, so neither half
+    is ever materialised).  Chunks always hold complete pairs; a mid-unit
+    EOF (odd interleaved count, mismatched halves) raises
+    :class:`InputFileError`.
+    """
+    return _chunks_from(_interleave_paired(path, path2), chunk_reads, 2)
+
+
+def _iter_seqdb(path: str | Path, span: int) -> Iterator[FastqRecord]:
+    """Read a SeqDB container ``span`` records at a time (bounded memory)."""
+    with SeqDbReader(path) as reader:
+        total = len(reader)
+        start = 0
+        while start < total:
+            count = min(span, total - start)
+            yield from reader.read_range(start, count)
+            start += count
+
+
+def stream_seqdb(path: str | Path, *,
+                 chunk_reads: int = DEFAULT_CHUNK_READS) -> Iterator[ReadChunk]:
+    """Stream a SeqDB container as single-read chunks (range reads only)."""
+    span = _chunk_span(chunk_reads, 1)
+    return _chunks_from(_iter_seqdb(path, span), chunk_reads, 1)
+
+
+def stream_seqdb_paired(path: str | Path, *,
+                        chunk_reads: int = DEFAULT_CHUNK_READS) -> Iterator[ReadChunk]:
+    """Stream an interleaved-pairs SeqDB container as whole-pair chunks."""
+    span = _chunk_span(chunk_reads, 2)
+    return _chunks_from(_iter_seqdb(path, span), chunk_reads, 2)
+
+
+def open_read_stream(reads, *, chunk_reads: int = DEFAULT_CHUNK_READS,
+                     paired: bool = False,
+                     reads2=None) -> Iterator[ReadChunk]:
+    """Dispatch any read source to the right chunked stream.
+
+    The streaming twin of :func:`repro.core.plan.normalize_reads` /
+    ``normalize_paired_reads``: paths route on suffix to the SeqDB or FASTQ
+    source, everything else is treated as a record iterable.  ``paired``
+    selects whole-pair chunking (and allows the two-file layout via
+    *reads2*).
+    """
+    if isinstance(reads, (str, Path)):
+        path = Path(reads)
+        if path.suffix in SEQDB_SUFFIXES:
+            if reads2 is not None:
+                raise ValueError("two-file paired input is FASTQ-only; "
+                                 "SeqDB pairs ship interleaved")
+            if paired:
+                return stream_seqdb_paired(path, chunk_reads=chunk_reads)
+            return stream_seqdb(path, chunk_reads=chunk_reads)
+        if paired:
+            return stream_fastq_paired(path, reads2, chunk_reads=chunk_reads)
+        return stream_fastq(path, chunk_reads=chunk_reads)
+    if reads2 is not None:
+        first = [_to_read(item) for item in reads]
+        second = [_to_read(item) for item in reads2]
+        if len(first) != len(second):
+            raise InputFileError(
+                f"paired read sets disagree: {len(first)} R1 reads vs "
+                f"{len(second)} R2 reads")
+        interleaved: list[ReadRecord] = []
+        for r1, r2 in zip(first, second):
+            interleaved.extend((r1, r2))
+        return stream_records(interleaved, chunk_reads=chunk_reads,
+                              group_size=2)
+    return stream_records(reads, chunk_reads=chunk_reads,
+                          group_size=2 if paired else 1)

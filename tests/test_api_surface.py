@@ -15,6 +15,7 @@ EXPECTED_EXPORTS = sorted([
     # entry points
     "align",
     "align_paired",
+    "align_stream",
     "count",
     "screen",
     "plan",
@@ -79,6 +80,14 @@ EXPECTED_EXPORTS = sorted([
     "MetricsRegistry",
     "TraceLog",
     "LoadGenerator",
+    # streaming ingestion
+    "BoundedChannel",
+    "ChannelClosed",
+    "ChannelFull",
+    "InputFileError",
+    "ReadChunk",
+    "StreamPart",
+    "open_read_stream",
 ])
 
 
@@ -91,8 +100,8 @@ class TestApiSurface:
             assert hasattr(api, name), f"repro.api.{name} missing"
 
     def test_entry_points_are_callables_with_docstrings(self):
-        for name in ("align", "align_paired", "count", "screen", "plan",
-                     "run_plan", "prepare", "serve"):
+        for name in ("align", "align_paired", "align_stream", "count",
+                     "screen", "plan", "run_plan", "prepare", "serve"):
             fn = getattr(api, name)
             assert callable(fn)
             assert inspect.getdoc(fn), f"repro.api.{name} lacks a docstring"
@@ -100,8 +109,8 @@ class TestApiSurface:
     def test_entry_points_carry_runnable_examples(self):
         """Every entry point's docstring embeds a doctest (CI executes them
         via ``pytest --doctest-modules src/repro/api.py``)."""
-        for name in ("align", "align_paired", "count", "screen", "plan",
-                     "run_plan", "prepare", "serve"):
+        for name in ("align", "align_paired", "align_stream", "count",
+                     "screen", "plan", "run_plan", "prepare", "serve"):
             doc = inspect.getdoc(getattr(api, name))
             assert ">>>" in doc, f"repro.api.{name} lacks a doctest example"
 

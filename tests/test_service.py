@@ -185,7 +185,8 @@ class TestMicroBatchDemultiplexing:
             outcome.counters.exact_path_hits
 
     def test_one_shot_read_order_matches_run(self, service_setup):
-        """The service's reassembly order is the one-shot permuted order."""
+        """`one_shot_read_order` reproduces the *processing* permutation
+        (a pure load-balancing device); sink output stays in input order."""
         genome, reads, config, _names, _lengths = service_setup
         sample = reads[:15]
         order = one_shot_read_order(len(sample), config)

@@ -1,0 +1,652 @@
+"""Streaming ingestion subsystem: bounded channels, chunked sources, and
+byte-identity of the streamed paths against the materialised ones.
+
+The house invariant under test: at ANY chunk size, the concatenated parts of
+a streamed run are byte-for-byte the materialised render of the same reads --
+offline (``AlignmentSession.run_plan_stream``) and over the socket (the
+``ALIGNSTREAM`` verb family) -- across every backend with bulk lookups on and
+off.  Alongside it: the bounded-memory properties (channel occupancy never
+exceeds capacity, the source is pulled at most one chunk ahead, RSS stays
+flat), the malformed/truncated-FASTQ error contract, and the load generator's
+in-flight cap.
+"""
+
+import gzip
+import threading
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import (GenomeSpec, ReadRecord, ReadSetSpec,
+                                 make_dataset)
+from repro.io.errors import InputFileError
+from repro.io.fastq import (FastqRecord, iter_fastq, read_fastq,
+                            read_fastq_paired, write_fastq)
+from repro.io.seqdb import records_to_seqdb
+from repro.obs.loadgen import LoadGenerator
+from repro.obs.rss import current_rss_kib
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.service.client import ServiceError, SocketAlignmentClient
+from repro.service.scheduler import RequestScheduler
+from repro.service.server import AlignmentServer
+from repro.stream import (BoundedChannel, ChannelClosed, ChannelFull,
+                          ReadChunk, open_read_stream, stream_fastq,
+                          stream_fastq_paired, stream_records, stream_seqdb)
+
+BACKENDS = ("cooperative", "threaded", "process")
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+#: The satellite matrix: a degenerate chunk, a chunk that straddles windows
+#: unevenly, and a chunk larger than the whole read set.
+CHUNK_SIZES = (1, 7, 4096)
+WORKLOADS = ("align", "paired", "count", "screen")
+STREAM_CHANNEL_CAPACITY = 4
+
+
+def _config(bulk: bool) -> AlignerConfig:
+    return AlignerConfig(seed_length=21, fragment_length=600,
+                         seed_cache_bytes_per_node=256 * 1024,
+                         target_cache_bytes_per_node=256 * 1024,
+                         use_bulk_lookups=bulk, lookup_batch_size=16)
+
+
+@pytest.fixture(scope="module")
+def stream_dataset():
+    spec = GenomeSpec(name="stream", genome_length=5000, n_contigs=3,
+                      repeat_fraction=0.02, min_contig_length=200)
+    read_spec = ReadSetSpec(coverage=1.2, read_length=60, error_rate=0.01,
+                            reverse_strand_fraction=0.5)
+    genome, reads = make_dataset(spec, read_spec, seed=13)
+    names = [f"contig{i}" for i in range(len(genome.contigs))]
+    return genome, reads, names
+
+
+def _combo_id(param):
+    backend, bulk = param
+    return f"{backend}-bulk{'on' if bulk else 'off'}"
+
+
+@pytest.fixture(scope="module",
+                params=[(b, bulk) for b in BACKENDS for bulk in (False, True)],
+                ids=_combo_id)
+def stack(request, stream_dataset):
+    """One (backend, bulk) cell of the matrix: a resident session plus a
+    running socket server on top of it, shared by the offline and the wire
+    byte-identity tests."""
+    backend, bulk = request.param
+    genome, _reads, names = stream_dataset
+    session = MerAligner(_config(bulk)).prepare(
+        genome.contigs, n_ranks=4, machine=MACHINE, backend=backend,
+        target_names=names)
+    scheduler = RequestScheduler(session, max_wait_s=0.005)
+    server = AlignmentServer(scheduler, port=0,
+                             stream_channel_capacity=STREAM_CHANNEL_CAPACITY,
+                             stream_max_inflight=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield backend, bulk, session, server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30.0)
+        scheduler.close()
+        session.close()
+
+
+def _reference(session, workload, reads):
+    """Materialised output + counters: the bytes a streamed run must match."""
+    outcome = session.run_plan_many(workload, [list(reads)])
+    output = outcome.per_request_outputs[0]
+    counters = outcome.per_request_counters[0]
+    return session.render(workload, output), counters
+
+
+def _deterministic(counters):
+    return (counters.reads_processed, counters.reads_aligned,
+            counters.alignments_reported, counters.exact_path_hits)
+
+
+# ---------------------------------------------------------------------------
+# The bounded channel
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedChannel:
+    def test_fifo_order_and_watermark(self):
+        channel = BoundedChannel(capacity=3)
+        for item in ("a", "b", "c"):
+            channel.put(item)
+        assert channel.depth == 3
+        assert channel.high_watermark == 3
+        assert [channel.get(), channel.get(), channel.get()] == ["a", "b", "c"]
+        assert channel.depth == 0
+        assert channel.high_watermark == 3  # watermark is sticky
+        assert channel.total_put == 3
+
+    def test_capacity_and_policy_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedChannel(capacity=0)
+        with pytest.raises(ValueError, match="overflow"):
+            BoundedChannel(capacity=1, overflow="drop")
+
+    def test_blocking_put_waits_for_space(self):
+        channel = BoundedChannel(capacity=1)
+        channel.put("first")
+        unblocked = threading.Event()
+
+        def producer():
+            channel.put("second")  # blocks until the consumer drains
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not unblocked.wait(0.05), "put went through on a full channel"
+        assert channel.get() == "first"
+        assert unblocked.wait(5.0), "put never unblocked after a get"
+        assert channel.get() == "second"
+        thread.join(timeout=5.0)
+
+    def test_put_timeout_on_full_channel(self):
+        channel = BoundedChannel(capacity=1)
+        channel.put("x")
+        with pytest.raises(TimeoutError, match="put timed out"):
+            channel.put("y", timeout=0.01)
+
+    def test_get_timeout_on_empty_channel(self):
+        channel = BoundedChannel(capacity=1)
+        with pytest.raises(TimeoutError, match="get timed out"):
+            channel.get(timeout=0.01)
+
+    def test_reject_policy_raises_channel_full(self):
+        channel = BoundedChannel(capacity=2, overflow="reject")
+        channel.put(1)
+        channel.put(2)
+        with pytest.raises(ChannelFull):
+            channel.put(3)
+        assert channel.get() == 1
+        channel.put(3)  # space freed, accepted again
+
+    def test_close_drains_then_raises(self):
+        channel = BoundedChannel(capacity=4)
+        channel.put("queued")
+        channel.close()
+        assert channel.closed
+        assert channel.get() == "queued"  # queued items survive close
+        with pytest.raises(ChannelClosed):
+            channel.get()
+
+    def test_put_after_close_raises(self):
+        channel = BoundedChannel(capacity=4)
+        channel.close()
+        with pytest.raises(ChannelClosed):
+            channel.put("late")
+        rejecting = BoundedChannel(capacity=4, overflow="reject")
+        rejecting.close()
+        with pytest.raises(ChannelClosed):
+            rejecting.put("late")
+
+    def test_close_unblocks_a_waiting_producer(self):
+        channel = BoundedChannel(capacity=1)
+        channel.put("full")
+        outcome: list = []
+
+        def producer():
+            try:
+                channel.put("blocked")
+            except ChannelClosed as exc:
+                outcome.append(exc)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        channel.close()
+        thread.join(timeout=5.0)
+        assert len(outcome) == 1, "close did not unblock the waiting put"
+
+    def test_iterator_ends_on_close(self):
+        channel = BoundedChannel(capacity=8)
+        for i in range(5):
+            channel.put(i)
+        channel.close()
+        assert list(channel) == [0, 1, 2, 3, 4]
+
+    def test_fail_forwards_error_after_draining(self):
+        channel = BoundedChannel(capacity=8)
+        channel.put("before-failure")
+        channel.fail(InputFileError("bad record", record_index=7))
+        assert channel.get() == "before-failure"
+        with pytest.raises(InputFileError, match="record 7"):
+            channel.get()
+        # ... and via iteration (the server's consumer loop shape).
+        failing = BoundedChannel(capacity=2)
+        failing.fail(ValueError("producer exploded"))
+        with pytest.raises(ValueError, match="producer exploded"):
+            list(failing)
+
+
+# ---------------------------------------------------------------------------
+# Chunked sources
+# ---------------------------------------------------------------------------
+
+
+def _fastq_records(n, length=12, prefix="r"):
+    return [FastqRecord(name=f"{prefix}{i}", sequence="ACGT" * (length // 4),
+                        quality="I" * length) for i in range(n)]
+
+
+class TestReadSources:
+    def test_chunk_indexing_and_sizes(self):
+        chunks = list(stream_records(_fastq_records(10), chunk_reads=4))
+        assert [c.n_reads for c in chunks] == [4, 4, 2]
+        assert [c.index for c in chunks] == [0, 1, 2]
+        assert [c.start_read for c in chunks] == [0, 4, 8]
+        names = [r.name for c in chunks for r in c.records]
+        assert names == [f"r{i}" for i in range(10)]
+
+    def test_paired_chunks_never_split_pairs(self):
+        # chunk_reads that is not a multiple of the unit rounds DOWN to
+        # whole pairs; a degenerate chunk_reads=1 still holds one whole pair.
+        for chunk_reads, expected_span in ((1, 2), (3, 2), (7, 6)):
+            chunks = list(stream_records(_fastq_records(12),
+                                         chunk_reads=chunk_reads,
+                                         group_size=2))
+            assert all(c.n_reads % 2 == 0 for c in chunks), chunk_reads
+            assert max(c.n_reads for c in chunks) == expected_span
+
+    def test_mid_unit_stream_raises(self):
+        with pytest.raises(InputFileError, match="mid-unit"):
+            list(stream_records(_fastq_records(5), chunk_reads=64,
+                                group_size=2))
+
+    def test_stream_fastq_matches_read_fastq(self, tmp_path):
+        path = tmp_path / "reads.fastq"
+        write_fastq(path, _fastq_records(9))
+        materialised = [r.to_read() for r in read_fastq(path)]
+        streamed = [r for c in stream_fastq(path, chunk_reads=4)
+                    for r in c.records]
+        assert streamed == materialised
+
+    def test_stream_fastq_gzip_transparent(self, tmp_path):
+        plain = tmp_path / "reads.fastq"
+        write_fastq(plain, _fastq_records(6))
+        gzipped = tmp_path / "reads.fastq.gz"
+        with gzip.open(gzipped, "wb") as handle:
+            handle.write(plain.read_bytes())
+        assert ([c.records for c in stream_fastq(gzipped, chunk_reads=4)] ==
+                [c.records for c in stream_fastq(plain, chunk_reads=4)])
+
+    def test_stream_seqdb_round_trip(self, tmp_path):
+        records = _fastq_records(7)
+        path = tmp_path / "reads.seqdb"
+        records_to_seqdb(path, records)
+        streamed = [r.name for c in stream_seqdb(path, chunk_reads=3)
+                    for r in c.records]
+        assert streamed == [r.name for r in records]
+
+    def test_two_file_paired_interleaves(self, tmp_path):
+        r1, r2 = tmp_path / "r1.fastq", tmp_path / "r2.fastq"
+        write_fastq(r1, _fastq_records(4, prefix="a"))
+        write_fastq(r2, _fastq_records(4, prefix="b"))
+        names = [r.name for c in stream_fastq_paired(r1, r2, chunk_reads=4)
+                 for r in c.records]
+        assert names == ["a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3"]
+
+    def test_two_file_paired_mismatch_raises(self, tmp_path):
+        r1, r2 = tmp_path / "r1.fastq", tmp_path / "r2.fastq"
+        write_fastq(r1, _fastq_records(3, prefix="a"))
+        write_fastq(r2, _fastq_records(2, prefix="b"))
+        with pytest.raises(InputFileError):
+            list(stream_fastq_paired(r1, r2, chunk_reads=64))
+
+    def test_open_read_stream_dispatch(self, tmp_path):
+        fastq = tmp_path / "reads.fastq"
+        write_fastq(fastq, _fastq_records(5))
+        seqdb = tmp_path / "reads.seqdb"
+        records_to_seqdb(seqdb, _fastq_records(5))
+        from_fastq = [r.name for c in open_read_stream(fastq, chunk_reads=2)
+                      for r in c.records]
+        from_seqdb = [r.name for c in open_read_stream(seqdb, chunk_reads=2)
+                      for r in c.records]
+        from_memory = [r.name
+                       for c in open_read_stream(_fastq_records(5),
+                                                 chunk_reads=2)
+                       for r in c.records]
+        assert from_fastq == from_seqdb == from_memory
+        with pytest.raises(ValueError, match="FASTQ-only"):
+            open_read_stream(seqdb, paired=True, reads2=fastq)
+
+
+# ---------------------------------------------------------------------------
+# Malformed / truncated FASTQ (satellite: InputFileError with position)
+# ---------------------------------------------------------------------------
+
+VALID_TWO_RECORD_FASTQ = ("@r0\nACGTACGT\n+\nIIIIIIII\n"
+                          "@r1\nTTTTCCCC\n+\nJJJJJJJJ\n")
+
+
+def _readers(path):
+    """Every reader the error contract covers: materialised, incremental,
+    and chunked-streaming."""
+    return (lambda: read_fastq(path),
+            lambda: list(iter_fastq(path)),
+            lambda: list(stream_fastq(path, chunk_reads=1)))
+
+
+class TestMalformedFastq:
+    @pytest.mark.parametrize("keep_lines,record_index",
+                             [(1, 0), (2, 0), (3, 0),   # record 0 truncated
+                              (5, 1), (6, 1), (7, 1)])  # record 1 truncated
+    def test_truncated_at_every_field(self, tmp_path, keep_lines,
+                                      record_index):
+        path = tmp_path / "trunc.fastq"
+        lines = VALID_TWO_RECORD_FASTQ.splitlines()[:keep_lines]
+        path.write_text("\n".join(lines) + "\n")
+        for reader in _readers(path):
+            with pytest.raises(InputFileError) as err:
+                reader()
+            assert err.value.record_index == record_index
+            assert err.value.line_number == keep_lines
+            assert "truncated" in str(err.value)
+
+    def test_truncation_on_a_record_boundary_is_clean_eof(self, tmp_path):
+        path = tmp_path / "one.fastq"
+        lines = VALID_TWO_RECORD_FASTQ.splitlines()[:4]
+        path.write_text("\n".join(lines) + "\n")
+        assert len(read_fastq(path)) == 1
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text(VALID_TWO_RECORD_FASTQ.replace("@r1", "r1"))
+        for reader in _readers(path):
+            with pytest.raises(InputFileError, match="header") as err:
+                reader()
+            assert err.value.record_index == 1
+            assert err.value.line_number == 5
+
+    def test_malformed_separator(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r0\nACGTACGT\nSEP\nIIIIIIII\n")
+        for reader in _readers(path):
+            with pytest.raises(InputFileError, match="separator") as err:
+                reader()
+            assert err.value.record_index == 0
+            assert err.value.line_number == 3
+
+    def test_quality_length_mismatch(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r0\nACGTACGT\n+\nIII\n")
+        for reader in _readers(path):
+            with pytest.raises(InputFileError, match="quality length") as err:
+                reader()
+            assert err.value.record_index == 0
+            assert err.value.line_number == 4
+
+    def test_empty_read_name(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@\nACGTACGT\n+\nIIIIIIII\n")
+        with pytest.raises(InputFileError, match="name"):
+            read_fastq(path)
+
+    def test_blank_header_mid_file(self, tmp_path):
+        path = tmp_path / "bad.fastq"
+        path.write_text("@r0\nACGT\n+\nIIII\n\n@r1\nACGT\n+\nIIII\n")
+        with pytest.raises(InputFileError, match="blank") as err:
+            read_fastq(path)
+        assert err.value.line_number == 5
+
+    def test_trailing_blank_lines_are_clean_eof(self, tmp_path):
+        path = tmp_path / "ok.fastq"
+        path.write_text(VALID_TWO_RECORD_FASTQ + "\n\n")
+        assert len(read_fastq(path)) == 2
+
+    def test_paired_odd_interleaved_count(self, tmp_path):
+        path = tmp_path / "odd.fastq"
+        write_fastq(path, _fastq_records(3))
+        with pytest.raises(InputFileError, match="even number"):
+            read_fastq_paired(path)
+
+    def test_cli_maps_input_errors_to_exit_2(self, tmp_path):
+        from repro.cli import main
+        targets = tmp_path / "targets.fa"
+        targets.write_text(">t0\n" + "ACGT" * 200 + "\n")
+        bad = tmp_path / "trunc.fastq"
+        bad.write_text("@r0\nACGTACGT\n+\n")  # EOF before the quality line
+        for extra in ([], ["--stream", "--chunk-reads", "2"]):
+            code = main(["align", "--targets", str(targets),
+                         "--reads", str(bad),
+                         "--output", str(tmp_path / "out.sam"),
+                         "--ranks", "2"] + extra)
+            assert code == 2, extra
+
+
+# ---------------------------------------------------------------------------
+# Offline byte-identity matrix (workload x backend x bulk x chunk size)
+# ---------------------------------------------------------------------------
+
+
+class TestOfflineByteIdentity:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_streamed_equals_materialised(self, stack, stream_dataset,
+                                          workload):
+        backend, bulk, session, _server = stack
+        _genome, reads, _names = stream_dataset
+        payload = reads[:24]  # even count: doubles as 12 interleaved pairs
+        group = 2 if workload == "paired" else 1
+        reference, ref_counters = _reference(session, workload, payload)
+        for chunk_reads in CHUNK_SIZES:
+            parts = list(session.run_plan_stream(
+                workload,
+                stream_records(payload, chunk_reads=chunk_reads,
+                               group_size=group)))
+            observed = "".join(part.text for part in parts)
+            assert observed == reference, (backend, bulk, chunk_reads)
+            final = parts[-1]
+            assert final.final
+            span = max(group, (chunk_reads // group) * group)
+            expected_chunks = -(-len(payload) // span)  # ceil division
+            assert final.n_chunks == expected_chunks == len(parts) - 1
+            assert final.n_units == len(payload) // group
+            assert _deterministic(final.counters) == \
+                _deterministic(ref_counters), (backend, bulk, chunk_reads)
+
+    def test_record_iterable_is_adapted_transparently(self, stack,
+                                                      stream_dataset):
+        """run_plan_stream accepts a bare record iterable (not ReadChunks)
+        and chunks it itself at chunk_reads."""
+        _backend, _bulk, session, _server = stack
+        _genome, reads, _names = stream_dataset
+        payload = reads[:10]
+        reference, _ = _reference(session, "align", payload)
+        parts = list(session.align_stream(iter(payload), chunk_reads=4))
+        assert "".join(p.text for p in parts) == reference
+        assert parts[-1].n_chunks == 3
+
+    def test_empty_stream_renders_header_only(self, stack):
+        _backend, _bulk, session, _server = stack
+        parts = list(session.align_stream(iter(())))
+        assert len(parts) == 1 and parts[0].final
+        assert parts[0].text == session.sam_for([])
+        assert parts[0].n_chunks == 0
+
+
+# ---------------------------------------------------------------------------
+# Wire byte-identity matrix (ALIGNSTREAM family over the socket)
+# ---------------------------------------------------------------------------
+
+
+class TestServedByteIdentity:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_wire_stream_equals_one_shot(self, stack, stream_dataset,
+                                         workload):
+        backend, bulk, _session, server = stack
+        _genome, reads, _names = stream_dataset
+        payload = reads[:24]
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        one_shot = client.workload_text(workload, payload)
+        for chunk_reads in CHUNK_SIZES:
+            streamed = "".join(client.stream_parts(workload, payload,
+                                                   chunk_reads=chunk_reads))
+            assert streamed == one_shot, (backend, bulk, chunk_reads)
+        # Bounded occupancy: the producer never outran the consumer past
+        # the channel capacity (the acceptance assertion of the issue).
+        watermark = server.metrics.snapshot()["gauges"][
+            "stream_channel_high_watermark"]
+        assert 0 < watermark <= STREAM_CHANNEL_CAPACITY
+
+    def test_stream_chunk_metrics_recorded(self, stack):
+        _backend, _bulk, _session, server = stack
+        counters = server.metrics.snapshot()["counters"]
+        streamed = {series: value for series, value in counters.items()
+                    if series.startswith("stream_chunks_total")}
+        assert streamed and sum(streamed.values()) > 1
+
+    def test_empty_wire_stream_is_header_only(self, stack):
+        _backend, _bulk, session, server = stack
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        streamed = "".join(client.stream_parts("align", iter(())))
+        assert streamed == session.sam_for([])
+
+    def test_odd_paired_chunk_is_an_error(self, stack, stream_dataset):
+        _backend, _bulk, _session, server = stack
+        _genome, reads, _names = stream_dataset
+        client = SocketAlignmentClient(port=server.port, timeout=120.0)
+        # A hand-built odd chunk bypasses the source's unit-awareness; the
+        # local source raises before the server ever gets a bad frame.
+        odd = [ReadChunk(index=0, start_read=0,
+                         records=tuple(r for r in reads[:3]))]
+        with pytest.raises((InputFileError, ServiceError)):
+            list(client.stream_parts("paired", iter(odd)))
+        # The connectionful failure must not poison subsequent requests.
+        assert client.ping()
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory: laziness, flat RSS, and the loadgen in-flight cap
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def solo_session(stream_dataset):
+    genome, _reads, names = stream_dataset
+    session = MerAligner(_config(True)).prepare(
+        genome.contigs, n_ranks=2, machine=MACHINE, backend="cooperative",
+        target_names=names)
+    yield session
+    session.close()
+
+
+@pytest.fixture(scope="module")
+def solo_server(solo_session):
+    scheduler = RequestScheduler(solo_session, max_wait_s=0.005)
+    server = AlignmentServer(scheduler, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30.0)
+        scheduler.close()
+
+
+class TestBoundedMemory:
+    def test_source_is_pulled_at_most_one_chunk_ahead(self, solo_session,
+                                                      stream_dataset):
+        _genome, reads, _names = stream_dataset
+        pulled = [0]
+
+        def source():
+            for read in reads:
+                pulled[0] += 1
+                yield read
+
+        chunk_reads = 8
+        for k, part in enumerate(solo_session.align_stream(
+                source(), chunk_reads=chunk_reads)):
+            if part.final:
+                break
+            # After yielding part k the session holds chunk k+1 at most
+            # (the one-chunk lookahead that detects end-of-stream).
+            assert pulled[0] <= (k + 2) * chunk_reads
+        assert pulled[0] == len(reads)
+
+    def test_rss_stays_flat_across_a_long_stream(self, solo_session,
+                                                 stream_dataset):
+        """Satellite acceptance: resident set size does not grow with the
+        stream.  The reads are synthesised by a generator, so the only way
+        memory could grow is the streaming path retaining per-chunk state."""
+        _genome, reads, _names = stream_dataset
+        n_total, chunk_reads = 1500, 250
+
+        def source():
+            for i in range(n_total):
+                base = reads[i % len(reads)]
+                yield ReadRecord(name=f"s{i}", sequence=base.sequence,
+                                 quality=base.quality)
+
+        samples = []
+        n_reads = 0
+        for part in solo_session.align_stream(source(),
+                                              chunk_reads=chunk_reads):
+            samples.append(current_rss_kib())
+            if not part.final:
+                n_reads += part.n_reads
+        assert n_reads == n_total
+        if samples[0] == 0:
+            pytest.skip("RSS sampling unavailable on this platform")
+        # Growth across the stream stays far below one chunk-of-everything;
+        # 64 MiB absorbs allocator noise while catching real retention.
+        assert max(samples) - min(samples) < 64 * 1024
+
+    def test_loadgen_enforces_and_reports_inflight_cap(self, solo_server,
+                                                       stream_dataset):
+        _genome, reads, _names = stream_dataset
+        generator = LoadGenerator(
+            "127.0.0.1", solo_server.port, reads[:32], qps=500.0,
+            concurrency=4, max_inflight=2, n_requests=10,
+            reads_per_request=4, workloads=("align", "count"), seed=3,
+            timeout=120.0)
+        report = generator.run()
+        assert report.n_errors == 0
+        assert report.max_inflight == 2
+        assert 1 <= report.peak_inflight <= 2
+        document = report.to_json_dict()
+        assert document["max_inflight"] == 2
+        assert document["peak_inflight"] == report.peak_inflight
+
+    def test_loadgen_records_peak_without_a_cap(self, solo_server,
+                                                stream_dataset):
+        _genome, reads, _names = stream_dataset
+        generator = LoadGenerator(
+            "127.0.0.1", solo_server.port, reads[:32], qps=500.0,
+            concurrency=3, n_requests=6, reads_per_request=4,
+            workloads=("align",), seed=4, timeout=120.0)
+        report = generator.run()
+        assert report.n_errors == 0
+        assert report.max_inflight is None
+        assert 1 <= report.peak_inflight <= 3
+        assert report.to_json_dict()["max_inflight"] is None
+
+
+# ---------------------------------------------------------------------------
+# CLI streaming
+# ---------------------------------------------------------------------------
+
+
+class TestCliStreaming:
+    def test_align_stream_byte_identical(self, tmp_path, capsys):
+        from repro.cli import main
+        data = tmp_path / "data"
+        assert main(["simulate", "--output-dir", str(data),
+                     "--genome-length", "4000", "--n-contigs", "4",
+                     "--coverage", "1", "--read-length", "60",
+                     "--seed", "5"]) == 0
+        base = ["align", "--targets", str(data / "contigs.fa"),
+                "--reads", str(data / "reads.fastq"), "--ranks", "2"]
+        materialised = tmp_path / "materialised.sam"
+        streamed = tmp_path / "streamed.sam"
+        assert main(base + ["--output", str(materialised)]) == 0
+        assert main(base + ["--output", str(streamed),
+                            "--stream", "--chunk-reads", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "chunk" in out
+        assert streamed.read_bytes() == materialised.read_bytes()
