@@ -44,7 +44,7 @@ from repro.pgas import EDISON_LIKE, LAPTOP_LIKE, MachineModel, PgasRuntime
 from repro.baselines import BwaLikeAligner, BowtieLikeAligner, PMapFramework
 from repro import api
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "api",

@@ -65,6 +65,7 @@ _LAZY_SERVICE_EXPORTS = {
     "RequestScheduler": "repro.service.scheduler",
     "ServiceStats": "repro.service.scheduler",
     "AlignmentServer": "repro.service.server",
+    "AsyncAlignmentServer": "repro.service.async_server",
     "AlignmentSession": "repro.service.session",
     "MetricsRegistry": "repro.obs.registry",
     "TraceLog": "repro.obs.tracing",
@@ -144,6 +145,7 @@ __all__ = [
     "AlignmentService",
     "AlignmentSession",
     "AlignmentServer",
+    "AsyncAlignmentServer",
     "AlignmentClient",
     "SocketAlignmentClient",
     "RequestScheduler",
@@ -415,7 +417,7 @@ class AlignmentService:
     """
 
     def __init__(self, session: AlignmentSession, scheduler: RequestScheduler,
-                 server: AlignmentServer, gateway=None) -> None:
+                 server, gateway=None) -> None:
         self.session = session
         self.scheduler = scheduler
         self.server = server
@@ -486,12 +488,23 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
           metrics=None, trace_log=None,
           indices=None, cache_ttl: float = 0.0,
           cache_max_entries: int = 1024, max_pending: int | None = None,
-          heap_budget_bytes: int | None = None) -> AlignmentService:
+          heap_budget_bytes: int | None = None,
+          frontend: str | None = None,
+          client_timeout: float | None = None) -> AlignmentService:
     """Build the index and start serving align/paired/count/screen over TCP.
 
     Returns a running :class:`AlignmentService` (``port=0`` binds an
     OS-assigned port, read it from ``service.port``).  Pass an existing
     *session* to serve a prebuilt index instead of building one here.
+
+    *frontend* selects the connection layer: ``"async"`` (the default) is
+    the event-loop front-end multiplexing every client onto one loop;
+    ``"thread"`` the classic thread-per-connection server.  Both speak
+    byte-identical protocol (``tests/test_wire_conformance.py``), so the
+    choice is purely operational.  *client_timeout* (seconds, default off)
+    arms the slow-loris guard: a connection idle past it mid-read (or a
+    reader stalled past it mid-write) is reaped -- counted in
+    ``server_client_timeouts_total`` and closed without a reply.
 
     *metrics* is an optional :class:`~repro.obs.MetricsRegistry` to record
     into (one is created otherwise; read it back via ``service.metrics()``
@@ -524,8 +537,12 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
         '@HD\\tVN:1.6\\tSO:unsorted'
     """
     from repro.gateway import AlignmentGateway
+    from repro.service import DEFAULT_FRONTEND, FRONTENDS
     from repro.service.scheduler import RequestScheduler
-    from repro.service.server import AlignmentServer
+    frontend = frontend or DEFAULT_FRONTEND
+    if frontend not in FRONTENDS:
+        raise ValueError(f"unknown frontend {frontend!r}; available: "
+                         f"{', '.join(sorted(FRONTENDS))}")
     if session is None:
         session = prepare(targets, config=config, n_ranks=n_ranks,
                           machine=machine, backend=backend)
@@ -547,7 +564,8 @@ def serve(targets, *, config: AlignerConfig | None = None, n_ranks: int = 8,
     except BaseException:
         gateway.close()
         raise
-    server = AlignmentServer(scheduler, host=host, port=port,
-                             request_timeout=request_timeout,
-                             gateway=gateway)
+    server = FRONTENDS[frontend](scheduler, host=host, port=port,
+                                 request_timeout=request_timeout,
+                                 gateway=gateway,
+                                 client_timeout=client_timeout)
     return AlignmentService(session, scheduler, server, gateway=gateway)

@@ -251,6 +251,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="modelled heap budget (MiB) across resident "
                             "indices; registering past it LRU-evicts "
                             "unpinned indices")
+    serve.add_argument("--frontend", choices=("async", "thread"),
+                       default="async",
+                       help="connection front-end: 'async' multiplexes all "
+                            "clients on one event loop (default), 'thread' "
+                            "dedicates a thread per connection; both speak "
+                            "byte-identical protocol")
+    serve.add_argument("--client-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="slow-loris guard: drop connections whose reads "
+                            "or writes stall longer than this "
+                            "(default: no timeout)")
     _add_aligner_options(serve, default_ranks=8)
 
     query = subparsers.add_parser(
@@ -545,10 +556,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         indices=indices, cache_ttl=args.cache_ttl,
                         cache_max_entries=args.cache_max_entries,
                         max_pending=args.max_pending,
-                        heap_budget_bytes=heap_budget)
+                        heap_budget_bytes=heap_budget,
+                        frontend=args.frontend,
+                        client_timeout=args.client_timeout)
     for name in sorted(indices):
         print(f"registered index {name!r} from {indices[name]}", flush=True)
     print(f"serving on {service.host}:{service.port} "
+          f"[{args.frontend} front-end] "
           "(PING / ALIGN / PAIRED / COUNT / SCREEN / STATS / METRICS / "
           "INDICES / REGISTER / EVICT / SHUTDOWN)", flush=True)
     if args.trace_log is not None:

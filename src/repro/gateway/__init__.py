@@ -25,7 +25,8 @@ from repro.gateway.admission import (AdmissionController, DEFAULT_TENANT,
                                      GatewayBusyError)
 from repro.gateway.cache import ResultCache
 from repro.gateway.gateway import (AlignmentGateway, DEFAULT_INDEX,
-                                   GatewayResponse, canonical_read_payload,
+                                   GatewayRequestTicket, GatewayResponse,
+                                   StreamChunkTicket, canonical_read_payload,
                                    config_fingerprint)
 from repro.gateway.registry import (IndexRegistry, RegistryBudgetError,
                                     ResidentEntry, modelled_heap_bytes)
@@ -36,8 +37,10 @@ __all__ = [
     "DEFAULT_INDEX",
     "DEFAULT_TENANT",
     "GatewayBusyError",
+    "GatewayRequestTicket",
     "GatewayResponse",
     "IndexRegistry",
+    "StreamChunkTicket",
     "RegistryBudgetError",
     "ResidentEntry",
     "ResultCache",

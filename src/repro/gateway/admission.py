@@ -50,7 +50,7 @@ class _PendingRequest:
     """
 
     __slots__ = ("tenant", "index", "_submit_fn", "_dispatched", "_inner",
-                 "_error")
+                 "_error", "_callbacks", "_cb_lock", "_finished")
 
     def __init__(self, tenant: str, index: str, submit_fn) -> None:
         self.tenant = tenant
@@ -59,6 +59,9 @@ class _PendingRequest:
         self._dispatched = threading.Event()
         self._inner = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+        self._finished = False
 
     def _dispatch(self) -> None:
         try:
@@ -67,10 +70,41 @@ class _PendingRequest:
             self._error = exc
         finally:
             self._dispatched.set()
+        if self._error is not None:
+            self._finish()
+        else:
+            # Chain completion through the scheduler future so this pending
+            # handle reports done exactly when result() stops blocking.
+            chain = getattr(self._inner, "add_done_callback", None)
+            if chain is not None:
+                chain(lambda _inner: self._finish())
+            else:
+                self._finish()
 
     def _fail(self, exc: BaseException) -> None:
         self._error = exc
         self._dispatched.set()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self._cb_lock:
+            self._finished = True
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - observers cannot fail dispatch
+                pass
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once ``result()`` would no longer block --
+        dispatch failed, the request was rejected, or the scheduler future
+        resolved.  Fires immediately when already finished."""
+        with self._cb_lock:
+            if not self._finished:
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None):
         deadline = (None if timeout is None

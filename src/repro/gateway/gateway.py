@@ -32,8 +32,9 @@ from repro.gateway.cache import ResultCache
 from repro.gateway.registry import (IndexRegistry, ResidentEntry,
                                     modelled_heap_bytes)
 
-__all__ = ["AlignmentGateway", "GatewayResponse", "StreamChunkTicket",
-           "DEFAULT_INDEX", "config_fingerprint", "canonical_read_payload"]
+__all__ = ["AlignmentGateway", "GatewayRequestTicket", "GatewayResponse",
+           "StreamChunkTicket", "DEFAULT_INDEX", "config_fingerprint",
+           "canonical_read_payload"]
 
 DEFAULT_INDEX = "default"
 
@@ -98,10 +99,63 @@ class StreamChunkTicket:
         finally:
             self.release()
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once ``result()`` would no longer block (the
+        asyncio front-end's bridge; see
+        :meth:`~repro.gateway.admission._PendingRequest.add_done_callback`)."""
+        self._pending.add_done_callback(lambda _pending: fn(self))
+
     def release(self) -> None:
         if not self._released:
             self._released = True
             self._gateway.admission.complete(self._index)
+
+
+class GatewayRequestTicket:
+    """One admitted (cache-missing) one-shot request, not yet awaited.
+
+    The non-blocking half of :meth:`AlignmentGateway.request`: admission
+    already happened on the submitting thread (a full pending queue raised
+    :class:`~repro.gateway.admission.GatewayBusyError` there), and
+    :meth:`result` performs everything the blocking path did after its
+    wait -- release the admission slot exactly once, populate the result
+    cache, count the request against its resident entry -- so both
+    front-ends produce identical gateway state and responses.
+    """
+
+    def __init__(self, gateway: "AlignmentGateway", entry, index: str,
+                 tenant: str, workload: str, pending, cache_key) -> None:
+        self._gateway = gateway
+        self._entry = entry
+        self._index = index
+        self._tenant = tenant
+        self._workload = workload
+        self._pending = pending
+        self._cache_key = cache_key
+        self._released = False
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once :meth:`result` would no longer block."""
+        self._pending.add_done_callback(lambda _pending: fn(self))
+
+    def release(self) -> None:
+        """Free the admission slot without collecting the result (abort
+        paths: the scheduler still serves the batch, nobody reads it)."""
+        if not self._released:
+            self._released = True
+            self._gateway.admission.complete(self._index)
+
+    def result(self, timeout: float | None = None) -> GatewayResponse:
+        try:
+            result = self._pending.result(timeout)
+        finally:
+            self.release()
+        if self._cache_key is not None:
+            self._gateway.cache.put(self._cache_key, result.text)
+        self._entry.requests_served += 1
+        return GatewayResponse(text=result.text, index=self._index,
+                               tenant=self._tenant, workload=self._workload,
+                               cached=False, result=result)
 
 
 class AlignmentGateway:
@@ -230,11 +284,15 @@ class AlignmentGateway:
 
     # -- request routing ------------------------------------------------------
 
-    def request(self, reads, workload: str = "align", index: str | None = None,
-                tenant: str | None = None,
-                timeout: float | None = None) -> GatewayResponse:
-        """Route one request: cache lookup, then fair admission to the named
-        index's scheduler.
+    def submit_request(self, reads, workload: str = "align",
+                       index: str | None = None, tenant: str | None = None):
+        """Route one request without blocking for its result.
+
+        Cache lookup, then fair admission to the named index's scheduler --
+        everything :meth:`request` does before its wait.  Returns a finished
+        :class:`GatewayResponse` on a cache hit, otherwise a
+        :class:`GatewayRequestTicket` whose ``result(timeout)`` (or
+        ``add_done_callback``) completes the request.
 
         Raises :class:`~repro.gateway.admission.GatewayBusyError` when the
         pending queue is full and :class:`KeyError` for an unknown index.
@@ -261,15 +319,23 @@ class AlignmentGateway:
         pending = self.admission.admit(
             tenant, index,
             lambda: entry.scheduler.submit(reads, workload=workload))
-        try:
-            result = pending.result(timeout)
-        finally:
-            self.admission.complete(index)
-        if key is not None:
-            self.cache.put(key, result.text)
-        entry.requests_served += 1
-        return GatewayResponse(text=result.text, index=index, tenant=tenant,
-                               workload=workload, cached=False, result=result)
+        return GatewayRequestTicket(self, entry, index, tenant, workload,
+                                    pending, key)
+
+    def request(self, reads, workload: str = "align", index: str | None = None,
+                tenant: str | None = None,
+                timeout: float | None = None) -> GatewayResponse:
+        """Route one request: cache lookup, then fair admission to the named
+        index's scheduler.
+
+        Raises :class:`~repro.gateway.admission.GatewayBusyError` when the
+        pending queue is full and :class:`KeyError` for an unknown index.
+        """
+        outcome = self.submit_request(reads, workload=workload, index=index,
+                                      tenant=tenant)
+        if isinstance(outcome, GatewayResponse):
+            return outcome
+        return outcome.result(timeout)
 
     def submit_stream_chunk(self, reads, workload: str = "align",
                             index: str | None = None,

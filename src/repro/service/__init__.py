@@ -18,30 +18,55 @@ reads inside one batch job; this package turns that amortization into an
     service-level statistics report (requests, p50/p95 modelled latency,
     batch occupancy).
 
-:mod:`repro.service.server` / :mod:`repro.service.client`
-    A line-protocol socket server streaming SAM responses (``meraligner
-    serve``), the matching socket client (``meraligner query``) and the
-    in-process :class:`~repro.service.client.AlignmentClient` API.
+:mod:`repro.service.server` / :mod:`repro.service.async_server` /
+:mod:`repro.service.client`
+    Two byte-identical connection front-ends for one line protocol -- the
+    thread-per-connection :class:`~repro.service.server.AlignmentServer`
+    and the event-loop
+    :class:`~repro.service.async_server.AsyncAlignmentServer` (the
+    ``meraligner serve`` default; see :data:`FRONTENDS`), sharing every
+    parser and formatter through :mod:`repro.service.protocol` -- plus the
+    matching socket client (``meraligner query``) and the in-process
+    :class:`~repro.service.client.AlignmentClient` API.
 
 Every request reports alignments byte-identical to an offline ``meraligner
 align`` run on the same reads, regardless of how requests were batched or
 which backend executes them.
 """
 
+from repro.service.async_server import AsyncAlignmentServer
 from repro.service.client import (AlignmentClient, ServiceBusyError,
                                   ServiceError, SocketAlignmentClient)
+from repro.service.protocol import ClientTimeout, ProtocolError
 from repro.service.scheduler import RequestResult, RequestScheduler, ServiceStats
 from repro.service.server import AlignmentServer
 from repro.service.session import (AlignmentSession, BatchOutcome,
                                    PlanBatchOutcome, PreparedIndex)
 
+#: Connection front-ends selectable via ``api.serve(frontend=...)`` /
+#: ``meraligner serve --frontend``.  Both speak byte-identical protocol
+#: (pinned by ``tests/test_wire_conformance.py``).
+FRONTENDS = {
+    "thread": AlignmentServer,
+    "async": AsyncAlignmentServer,
+}
+
+#: The event loop multiplexes many clients onto one scheduler without a
+#: thread per connection, so it is the default front-end.
+DEFAULT_FRONTEND = "async"
+
 __all__ = [
     "AlignmentClient",
     "AlignmentServer",
     "AlignmentSession",
+    "AsyncAlignmentServer",
     "BatchOutcome",
+    "ClientTimeout",
+    "DEFAULT_FRONTEND",
+    "FRONTENDS",
     "PlanBatchOutcome",
     "PreparedIndex",
+    "ProtocolError",
     "RequestResult",
     "RequestScheduler",
     "ServiceBusyError",

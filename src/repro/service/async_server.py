@@ -1,0 +1,673 @@
+"""The alignment service's asyncio connection front-end.
+
+:class:`AsyncAlignmentServer` is the event-loop twin of the
+thread-per-connection :class:`~repro.service.server.AlignmentServer`: **one**
+event loop owns accept, read, write and request framing (including the
+``*STREAM`` verbs' ``CHUNK``/``END`` frames) for every connection, so
+concurrency is no longer capped by thread count -- thousands of idle or
+slow-moving connections cost one coroutine each, not one OS thread.  It is
+the default front-end of ``api.serve`` / ``meraligner serve``
+(``--frontend thread`` selects the classic server).
+
+The protocol is byte-identical by construction: both front-ends share every
+parser, validator and status-line formatter through
+:mod:`repro.service.protocol`, and the ``STATS``/``METRICS`` documents come
+from one :class:`~repro.service.server.ServerStatsMixin`.
+``tests/test_wire_conformance.py`` drives both through the same fuzz and
+fault-injection matrix and compares responses byte for byte.
+
+How blocking work is bridged
+----------------------------
+
+The scheduler and gateway are thread-world objects; their futures
+(:class:`~repro.service.scheduler.AlignmentRequest`, the gateway's request
+and stream-chunk tickets) block in ``result()``.  Parking an executor
+thread per in-flight request would reintroduce the thread cap, so the loop
+never blocks on them: every future exposes ``add_done_callback``, the
+handler awaits an ``asyncio`` future resolved via
+``loop.call_soon_threadsafe`` from the scheduler's worker thread, and only
+then calls ``result()`` -- which returns immediately.  Micro-batching is
+untouched: submissions still land in the scheduler's queue from many
+connections concurrently, so requests coalesce across connections exactly
+as they do under the thread front-end.  The one genuinely blocking verb,
+``REGISTER`` (it builds an index), runs in the default executor.
+
+Streaming mirrors the thread front-end's shape with asyncio parts: the
+producer is a task (not a thread), the bounded channel an
+``asyncio.Queue(maxsize=stream_channel_capacity)``, and backpressure comes
+from the queue's ``put`` plus the transport's ``drain()``.
+
+``client_timeout`` (the slow-loris guard, default off) bounds every
+``readline``/``drain`` await; a connection that trips it is counted in
+``server_client_timeouts_total`` and closed without a reply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+
+from repro.gateway.admission import GatewayBusyError
+from repro.service.protocol import (STREAM_VERBS, ClientTimeout,
+                                    ProtocolError, busy_line, chunk_header,
+                                    decode_wire_line, done_line, err_line,
+                                    exception_text, ok_header,
+                                    parse_fastq_records, parse_stream_frame,
+                                    query_options, truncated_payload_error)
+from repro.service.server import ServerStatsMixin
+
+__all__ = ["AsyncAlignmentServer"]
+
+#: StreamReader line-length bound (the thread front-end has none; asyncio
+#: needs one to bound per-connection buffering).  Generously past any real
+#: command or FASTQ line; an overflowing line is a protocol error that
+#: closes the connection, never a crash.
+LINE_LIMIT = 1 << 20
+
+#: Sentinel ending the stream-producer queue (the ``END`` frame arrived).
+_END = object()
+
+
+class _LineOverflow(ConnectionError):
+    """A line exceeded :data:`LINE_LIMIT`.
+
+    The StreamReader's buffer is desynchronized past an overflow, so this
+    is connection-fatal everywhere -- a :class:`ConnectionError` subclass
+    rides the existing close-without-reply paths (counted in
+    ``server_errors_total`` when it interrupts a command).
+    """
+
+
+class _StreamFailure:
+    """A producer-side exception forwarded through the chunk queue."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class AsyncAlignmentServer(ServerStatsMixin):
+    """Event-loop TCP front end multiplexing many clients onto one scheduler.
+
+    Constructor signature and lifecycle match
+    :class:`~repro.service.server.AlignmentServer` exactly -- bind in
+    ``__init__`` (so ``port`` is readable immediately), ``serve_forever()``
+    on a thread of the caller's choosing, ``request_shutdown()`` from
+    handlers, idempotent ``shutdown()``/``close()`` from anywhere.
+    """
+
+    def __init__(self, scheduler=None, host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: float | None = 300.0,
+                 gateway=None, stream_channel_capacity: int = 8,
+                 stream_max_inflight: int = 4,
+                 client_timeout: float | None = None) -> None:
+        from repro.obs.registry import MetricsRegistry
+        if scheduler is None:
+            if gateway is None:
+                raise ValueError("pass a scheduler, a gateway, or both")
+            scheduler = gateway.default_scheduler
+        self.scheduler = scheduler
+        self.gateway = gateway
+        self.request_timeout = request_timeout
+        self.client_timeout = client_timeout
+        self.stream_channel_capacity = stream_channel_capacity
+        self.stream_max_inflight = stream_max_inflight
+        self.metrics = getattr(scheduler, "metrics", None) or MetricsRegistry()
+
+        self._loop = asyncio.new_event_loop()
+        self._client_tasks: set[asyncio.Task] = set()
+        self._shutdown_requested = threading.Event()
+        self._serving = threading.Event()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._lifecycle_lock = threading.Lock()
+        self._started = False
+        # Bind and start listening synchronously: the OS accepts (queues)
+        # connections from here on, and `port` is immediately readable --
+        # exactly like the threading server's constructor.  The loop is not
+        # running yet, so queued connections are handled once
+        # serve_forever() starts it.
+        self._server = self._loop.run_until_complete(
+            asyncio.start_server(self._client_connected, host=host, port=port,
+                                 limit=LINE_LIMIT))
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` OS-assigned binding)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (or a client
+        ``SHUTDOWN`` command); owns teardown of every connection task."""
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+        with self._lifecycle_lock:
+            if self._stopped.is_set():
+                return
+            self._started = True
+        self._serving.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._serving.clear()
+            self._stopping.set()
+            try:
+                loop.run_until_complete(self._finalize())
+            except RuntimeError:
+                # A racing shutdown() stopped the loop mid-finalize; the
+                # process is tearing the server down either way.
+                pass
+            finally:
+                try:
+                    loop.run_until_complete(loop.shutdown_asyncgens())
+                except RuntimeError:
+                    pass
+                loop.close()
+                self._stopped.set()
+
+    async def _finalize(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+        tasks = [task for task in self._client_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    def request_shutdown(self) -> None:
+        """Trigger shutdown from a handler (or any thread) without blocking."""
+        if self._shutdown_requested.is_set():
+            return
+        self._shutdown_requested.set()
+        if not self._stopping.is_set():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
+
+    def shutdown(self) -> None:
+        """Stop the serve loop and close the listening socket (idempotent)."""
+        self._shutdown_requested.set()
+        if self._stopped.is_set():
+            return
+        with self._lifecycle_lock:
+            if not self._started:
+                # Never served: finalize inline on the caller's thread.
+                if not self._stopped.is_set():
+                    try:
+                        if not self._loop.is_closed():
+                            self._loop.run_until_complete(self._finalize())
+                            self._loop.close()
+                    finally:
+                        self._stopped.set()
+                return
+        if not self._stopping.is_set():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
+        self._stopped.wait(timeout=30.0)
+
+    def close(self) -> None:
+        self.shutdown()
+
+    def __enter__(self) -> "AsyncAlignmentServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- the thread/loop bridge -----------------------------------------------
+
+    async def _wait_done(self, fut_like) -> None:
+        """Await a thread-world future's completion without blocking the loop.
+
+        Registers an ``add_done_callback`` that resolves an asyncio future
+        via ``call_soon_threadsafe``; raises ``asyncio.TimeoutError`` past
+        ``request_timeout`` (the caller releases its ticket and reports).
+        """
+        loop = self._loop
+        waiter = loop.create_future()
+
+        def _on_done(_obj) -> None:
+            def _resolve() -> None:
+                if not waiter.done():
+                    waiter.set_result(None)
+            try:
+                loop.call_soon_threadsafe(_resolve)
+            except RuntimeError:
+                pass  # loop already closed: shutdown raced the completion
+
+        fut_like.add_done_callback(_on_done)
+        if self.request_timeout is None:
+            await waiter
+        else:
+            await asyncio.wait_for(waiter, self.request_timeout)
+
+    async def _collect(self, ticket):
+        """Await a ticket/request future and return its ``result()``.
+
+        On a request timeout the admission slot is released (abort path)
+        and a :class:`TimeoutError` is raised for the ``ERR`` reply; on
+        cancellation (server shutdown) the slot is released too.
+        """
+        try:
+            await self._wait_done(ticket)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            release = getattr(ticket, "release", None)
+            if release is not None:
+                release()
+            raise
+        return ticket.result(self.request_timeout)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        metrics = self.metrics
+        metrics.counter("server_connections_total").inc()
+        active = metrics.gauge("server_active_connections")
+        active.add(1)
+        try:
+            await self._command_loop(reader, writer, metrics)
+        except asyncio.CancelledError:
+            pass  # server shutdown mid-connection
+        except ClientTimeout:
+            # Counted exactly once, here, like the thread front-end: read
+            # and write timeouts from any depth reap the connection without
+            # a reply.
+            metrics.counter("server_client_timeouts_total").inc()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            active.add(-1)
+            if task is not None:
+                self._client_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError, OSError):
+                pass
+
+    async def _readline(self, reader: asyncio.StreamReader) -> bytes:
+        """One counted line read, under the ``client_timeout`` bound."""
+        try:
+            if self.client_timeout is None:
+                line = await reader.readline()
+            else:
+                line = await asyncio.wait_for(reader.readline(),
+                                              self.client_timeout)
+        except asyncio.TimeoutError as exc:
+            raise ClientTimeout("client read timed out") from exc
+        except ValueError as exc:
+            # StreamReader line-limit overflow: unrecoverable framing.
+            raise _LineOverflow(
+                f"request line exceeds {LINE_LIMIT} bytes") from exc
+        self.metrics.counter("server_bytes_in_total").inc(len(line))
+        return line
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    *parts: bytes) -> None:
+        """Write + drain, counting bytes; a drain timing out (stalled
+        reader, ``client_timeout`` armed) reaps the connection."""
+        for part in parts:
+            writer.write(part)
+        try:
+            if self.client_timeout is None:
+                await writer.drain()
+            else:
+                await asyncio.wait_for(writer.drain(), self.client_timeout)
+        except asyncio.TimeoutError as exc:
+            raise ClientTimeout("client write timed out") from exc
+        self.metrics.counter("server_bytes_out_total").inc(
+            sum(len(part) for part in parts))
+
+    async def _reply(self, writer, payload: bytes = b"") -> None:
+        header = ok_header(len(payload))
+        if payload:
+            await self._send(writer, header, payload)
+        else:
+            await self._send(writer, header)
+
+    async def _error(self, writer, message: str) -> None:
+        await self._send(writer, err_line(message))
+
+    async def _busy(self, writer, message: str) -> None:
+        await self._send(writer, busy_line(message))
+
+    async def _read_fastq_payload(self, reader, n_reads: int):
+        lines: list[str] = []
+        for _ in range(4 * n_reads):
+            line = await self._readline(reader)
+            if not line:
+                raise truncated_payload_error(len(lines), n_reads)
+            lines.append(decode_wire_line(line))
+        return parse_fastq_records(lines, n_reads)
+
+    def _require_gateway(self, what: str):
+        if self.gateway is None:
+            raise ProtocolError(
+                f"{what} requires a gateway-backed server "
+                "(start it through api.serve / meraligner serve)")
+        return self.gateway
+
+    async def _command_loop(self, reader, writer, metrics) -> None:
+        while True:
+            try:
+                line = await self._readline(reader)
+            except ConnectionError:
+                return
+            if not line:
+                return
+            command = line.decode("utf-8", errors="replace").strip()
+            if not command:
+                continue
+            verb = command.split()[0].upper()
+            metrics.counter("server_requests_total", verb=verb).inc()
+            try:
+                if verb == "PING" and command.upper() == "PING":
+                    await self._reply(writer)
+                elif verb == "STATS" and command.upper() == "STATS":
+                    await self._reply(writer, json.dumps(
+                        self.stats_json(), indent=2,
+                        sort_keys=True).encode("utf-8"))
+                elif verb == "METRICS":
+                    argument = command.split(None, 1)[1:] or [""]
+                    fmt = argument[0].strip().upper()
+                    if fmt in ("PROM", "?FORMAT=PROM"):
+                        await self._reply(writer,
+                                          self.metrics_text().encode("utf-8"))
+                    elif fmt == "":
+                        await self._reply(writer, json.dumps(
+                            self.metrics_json(), indent=2, sort_keys=True,
+                            ).encode("utf-8"))
+                    else:
+                        raise ProtocolError(
+                            "usage: METRICS [PROM] (got METRICS "
+                            f"{argument[0].strip()!r})")
+                elif verb == "SHUTDOWN" and command.upper() == "SHUTDOWN":
+                    await self._reply(writer)
+                    # Flush this connection before stopping the loop so the
+                    # OK line is never lost in teardown.
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+                    self.request_shutdown()
+                    return
+                elif verb in ("ALIGN", "COUNT", "SCREEN", "PAIRED"):
+                    parts = command.split()
+                    if len(parts) < 2 or not parts[1].isdigit():
+                        raise ProtocolError(
+                            f"usage: {verb} <n_reads> "
+                            "[INDEX=<name>] [TENANT=<name>]")
+                    n_reads = int(parts[1])
+                    index, tenant = query_options(verb, parts[2:])
+                    if verb == "PAIRED" and n_reads % 2 != 0:
+                        raise ProtocolError(
+                            "PAIRED needs an even interleaved read count, "
+                            f"got {n_reads}")
+                    reads = await self._read_fastq_payload(reader, n_reads)
+                    records = [record.to_read() for record in reads]
+                    text = await self._serve_query(verb.lower(), records,
+                                                   index, tenant)
+                    await self._reply(writer, text.encode("ascii"))
+                elif verb in STREAM_VERBS:
+                    if not await self._handle_stream(reader, writer, verb,
+                                                     command.split()[1:],
+                                                     metrics):
+                        return
+                elif verb == "INDICES" and command.upper() == "INDICES":
+                    gateway = self._require_gateway("INDICES")
+                    await self._reply(writer, json.dumps(
+                        gateway.indices_json(), indent=2,
+                        sort_keys=True).encode("utf-8"))
+                elif verb == "REGISTER":
+                    # split at most twice: the FASTA path may contain spaces.
+                    parts = command.split(None, 2)
+                    if len(parts) != 3:
+                        raise ProtocolError("usage: REGISTER <name> "
+                                            "<fasta-path>")
+                    gateway = self._require_gateway("REGISTER")
+                    # The one genuinely blocking verb (builds an index):
+                    # run it off-loop so other connections keep being
+                    # served meanwhile.
+                    summary = await self._loop.run_in_executor(
+                        None, gateway.register, parts[1], parts[2].strip())
+                    await self._reply(writer, json.dumps(
+                        summary, indent=2, sort_keys=True).encode("utf-8"))
+                elif verb == "EVICT":
+                    parts = command.split()
+                    if len(parts) != 2:
+                        raise ProtocolError("usage: EVICT <name>")
+                    gateway = self._require_gateway("EVICT")
+                    gateway.evict(parts[1])
+                    await self._reply(writer)
+                else:
+                    raise ProtocolError(
+                        f"unknown command {command.split()[0]!r}")
+            except ProtocolError as exc:
+                metrics.counter("server_errors_total", verb=verb).inc()
+                await self._error(writer, str(exc))
+            except GatewayBusyError as exc:
+                metrics.counter("server_busy_total", verb=verb).inc()
+                await self._busy(writer, str(exc))
+            except (ClientTimeout, asyncio.CancelledError):
+                raise
+            except ConnectionError:
+                metrics.counter("server_errors_total", verb=verb).inc()
+                return
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                metrics.counter("server_errors_total", verb=verb).inc()
+                await self._error(writer, exception_text(exc))
+
+    async def _serve_query(self, workload: str, records, index, tenant) -> str:
+        """One-shot query through the gateway (or bare scheduler) without
+        blocking the loop; returns the rendered response text."""
+        if self.gateway is not None:
+            from repro.gateway.gateway import GatewayResponse
+            outcome = self.gateway.submit_request(records, workload=workload,
+                                                  index=index, tenant=tenant)
+            if isinstance(outcome, GatewayResponse):
+                return outcome.text
+            try:
+                response = await self._collect(outcome)
+            except asyncio.TimeoutError:
+                raise TimeoutError(
+                    f"request not served within {self.request_timeout}s"
+                ) from None
+            return response.text
+        if index is not None or tenant is not None:
+            raise ProtocolError("INDEX=/TENANT= options require a "
+                                "gateway-backed server")
+        request = self.scheduler.submit(records, workload=workload)
+        try:
+            result = await self._collect(request)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"request not served within {self.request_timeout}s"
+            ) from None
+        return result.text
+
+    # -- streaming ------------------------------------------------------------
+
+    async def _stream_frame(self, writer, payload: bytes) -> None:
+        """One ``CHUNK <n_bytes>`` response frame of a streamed reply."""
+        await self._send(writer, chunk_header(len(payload)), payload)
+
+    async def _handle_stream(self, reader, writer, verb: str,
+                             options: list[str], metrics) -> bool:
+        """Serve one ``*STREAM`` request: chunked body in, framed parts out.
+
+        The event-loop mirror of the thread front-end's handler: a producer
+        *task* parses ``CHUNK``/``END`` frames into a bounded
+        ``asyncio.Queue`` (its full ``put`` is the read-ahead bound), this
+        coroutine keeps up to ``stream_max_inflight`` chunks submitted so
+        the scheduler can coalesce them, and every result is emitted as a
+        ``CHUNK <n_bytes>`` frame in order, then ``DONE``.  Returns False
+        when the connection must close (any mid-stream failure: the frame
+        protocol is no longer in sync).
+        """
+        workload = STREAM_VERBS[verb]
+        group = 2 if workload == "paired" else 1
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=max(1, self.stream_channel_capacity))
+        inflight: deque = deque()
+        producer: asyncio.Task | None = None
+        high_watermark = 0
+        try:
+            index, tenant = query_options(verb, options)
+            gateway = self.gateway
+            if gateway is None:
+                if index is not None or tenant is not None:
+                    raise ProtocolError("INDEX=/TENANT= options require a "
+                                        "gateway-backed server")
+                session = self.scheduler.session
+            else:
+                from repro.gateway.gateway import DEFAULT_INDEX
+                session = gateway.registry.get(index or DEFAULT_INDEX).session
+
+            async def produce() -> None:
+                nonlocal high_watermark
+                try:
+                    while True:
+                        line = await self._readline(reader)
+                        if not line:
+                            raise ProtocolError(
+                                "connection closed mid-stream (missing END)")
+                        frame = line.decode("utf-8", errors="replace").strip()
+                        if not frame:
+                            continue
+                        n_reads = parse_stream_frame(frame, verb, group)
+                        if n_reads is None:
+                            await queue.put(_END)
+                            return
+                        records = await self._read_fastq_payload(reader,
+                                                                 n_reads)
+                        await queue.put(
+                            [record.to_read() for record in records])
+                        high_watermark = max(high_watermark, queue.qsize())
+                except asyncio.CancelledError:
+                    raise  # consumer aborted; do not mask the cancel
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    await queue.put(_StreamFailure(exc))
+
+            producer = self._loop.create_task(produce())
+
+            from repro.core.plan import ScreenSummary, SeedCountSummary
+            from repro.service.session import merge_stream_outputs
+            depth_gauge = metrics.gauge("stream_channel_depth")
+            incremental = workload in ("align", "paired")
+            header_sent = False
+            aggregate = None
+            n_chunks = 0
+            n_reads_total = 0
+
+            async def emit_result(ticket) -> None:
+                nonlocal header_sent, aggregate
+                try:
+                    result = await self._collect(ticket)
+                except asyncio.TimeoutError:
+                    raise TimeoutError(
+                        f"request not served within {self.request_timeout}s"
+                    ) from None
+                if incremental:
+                    text = session.render_stream_part(
+                        workload, result.output,
+                        include_header=not header_sent)
+                    header_sent = True
+                    if text:
+                        await self._stream_frame(writer,
+                                                 text.encode("ascii"))
+                else:
+                    aggregate = (result.output if aggregate is None
+                                 else merge_stream_outputs(
+                                     workload, aggregate, result.output))
+                metrics.counter("stream_chunks_total",
+                                workload=workload).inc()
+
+            while True:
+                item = await queue.get()
+                if item is _END:
+                    break
+                if isinstance(item, _StreamFailure):
+                    raise item.error
+                records = item
+                depth_gauge.set(queue.qsize())
+                while len(inflight) >= self.stream_max_inflight:
+                    await emit_result(inflight.popleft())
+                if gateway is not None:
+                    _entry, ticket = gateway.submit_stream_chunk(
+                        records, workload=workload, index=index,
+                        tenant=tenant)
+                else:
+                    ticket = self.scheduler.submit(records,
+                                                   workload=workload)
+                inflight.append(ticket)
+                n_chunks += 1
+                n_reads_total += len(records)
+            while inflight:
+                await emit_result(inflight.popleft())
+
+            if incremental:
+                if not header_sent:
+                    await self._stream_frame(
+                        writer, session.render_stream_part(
+                            workload, [],
+                            include_header=True).encode("ascii"))
+            else:
+                if aggregate is None:
+                    aggregate = (SeedCountSummary() if workload == "count"
+                                 else ScreenSummary(rows=[]))
+                await self._stream_frame(
+                    writer, session.render(workload, aggregate).encode("ascii"))
+            await self._send(writer, done_line(n_chunks, n_reads_total))
+            metrics.gauge("stream_channel_high_watermark").set(high_watermark)
+            return True
+        except GatewayBusyError as exc:
+            metrics.counter("server_busy_total", verb=verb).inc()
+            await self._busy(writer, str(exc))
+            return False
+        except (ClientTimeout, asyncio.CancelledError):
+            raise
+        except ConnectionError:
+            metrics.counter("server_errors_total", verb=verb).inc()
+            return False
+        except Exception as exc:  # noqa: BLE001 - reported, then close
+            metrics.counter("server_errors_total", verb=verb).inc()
+            if isinstance(exc, ProtocolError):
+                await self._error(writer, str(exc))
+            else:
+                await self._error(writer, exception_text(exc))
+            return False
+        finally:
+            # Stop a producer still reading (or stuck on a full queue), free
+            # admission slots of results never collected, and reset the
+            # depth gauge on *every* exit so an aborted stream cannot leave
+            # a stale nonzero depth behind.
+            if producer is not None and not producer.done():
+                producer.cancel()
+                try:
+                    await producer
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+            for ticket in inflight:
+                release = getattr(ticket, "release", None)
+                if release is not None:
+                    release()
+            metrics.gauge("stream_channel_depth").set(0)

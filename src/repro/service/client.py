@@ -178,7 +178,11 @@ class SocketAlignmentClient:
                     raise ServiceError(status[3:].strip() or "server error")
                 if not status.startswith("OK"):
                     raise ServiceError(f"malformed server response {status!r}")
-                n_bytes = int(status.split()[1])
+                try:
+                    n_bytes = int(status.split()[1])
+                except (IndexError, ValueError):
+                    raise ServiceError(
+                        f"malformed server response {status!r}") from None
                 body = rfile.read(n_bytes) if n_bytes else b""
                 if len(body) != n_bytes:
                     raise ServiceError("truncated server response")
@@ -330,7 +334,8 @@ class SocketAlignmentClient:
                             raise sender_error[0]
                         raise ServiceError("connection closed mid-stream")
                     tokens = status.split()
-                    if tokens[0] == "CHUNK" and len(tokens) == 2:
+                    if tokens[0] == "CHUNK" and len(tokens) == 2 \
+                            and tokens[1].isdigit():
                         n_bytes = int(tokens[1])
                         body = rfile.read(n_bytes) if n_bytes else b""
                         if len(body) != n_bytes:

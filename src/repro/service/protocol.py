@@ -1,0 +1,190 @@
+"""The wire protocol's front-end-independent pieces.
+
+The alignment service has two connection front-ends -- the
+thread-per-connection :class:`~repro.service.server.AlignmentServer` and the
+event-loop :class:`~repro.service.async_server.AsyncAlignmentServer` -- that
+must speak **byte-identical** protocol: same verbs, same ``OK``/``ERR``/
+``BUSY``/``CHUNK``/``DONE`` framing, same error messages for the same
+malformed input (``tests/test_wire_conformance.py`` drives both front-ends
+through one fuzz matrix and compares).  Everything that defines those bytes
+lives here, once: payload parsing and validation, option parsing, stream
+frame parsing, and the status-line formatters.  The front-end modules keep
+only what genuinely differs -- how bytes are moved.
+"""
+
+from __future__ import annotations
+
+from repro.io.fastq import FastqRecord
+
+__all__ = [
+    "ClientTimeout",
+    "ProtocolError",
+    "STREAM_VERBS",
+    "busy_line",
+    "chunk_header",
+    "decode_wire_line",
+    "done_line",
+    "err_line",
+    "exception_text",
+    "fastq_payload",
+    "ok_header",
+    "parse_fastq_records",
+    "parse_stream_frame",
+    "query_options",
+    "truncated_payload_error",
+]
+
+#: Streaming query verbs and the workloads they run.  One handler serves all
+#: four; ``count``/``screen`` reply with a single TSV frame at stream end
+#: (their headers hold whole-run aggregates), ``align``/``paired`` stream a
+#: SAM frame per chunk.
+STREAM_VERBS = {
+    "ALIGNSTREAM": "align",
+    "PAIREDSTREAM": "paired",
+    "COUNTSTREAM": "count",
+    "SCREENSTREAM": "screen",
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed client command (reported as ``ERR``, not a disconnect)."""
+
+
+class ClientTimeout(OSError):
+    """A connection idled past the server's ``client_timeout``.
+
+    Deliberately *not* a :class:`ConnectionError` subclass: the reap path
+    (count ``server_client_timeouts_total``, close silently) must not be
+    shadowed by the generic disconnect handling, and a timeout must never be
+    reported to the client as an ``ERR`` -- by the time it fires the client
+    is not reading anyway.
+    """
+
+
+# -- payload parsing ------------------------------------------------------------
+
+def decode_wire_line(line: bytes) -> str:
+    """Decode one FASTQ payload line exactly as the protocol always has."""
+    return line.decode("ascii", errors="replace").rstrip("\r\n")
+
+
+def truncated_payload_error(n_lines: int, n_reads: int) -> ProtocolError:
+    """The error for a connection that died mid-FASTQ-payload."""
+    return ProtocolError(
+        f"truncated FASTQ payload ({n_lines} of {4 * n_reads} "
+        "lines received)")
+
+
+def parse_fastq_records(lines: list[str], n_reads: int) -> list[FastqRecord]:
+    """Validate and parse ``4 * n_reads`` already-decoded FASTQ lines.
+
+    The caller consumes the whole payload from its stream *before* calling
+    this, so a malformed record never leaves unread payload lines behind to
+    be misinterpreted as commands -- the connection stays usable after an
+    ``ERR`` reply (a truncated stream is the one unrecoverable case).
+    """
+    records: list[FastqRecord] = []
+    for index in range(n_reads):
+        header, sequence, separator, quality = lines[4 * index:4 * index + 4]
+        if not header.startswith("@") or not header[1:].split():
+            raise ProtocolError(f"malformed FASTQ header: {header!r}")
+        if not separator.startswith("+"):
+            raise ProtocolError(f"malformed FASTQ separator: {separator!r}")
+        if len(sequence) != len(quality):
+            raise ProtocolError(
+                f"sequence/quality length mismatch for {header!r}")
+        records.append(FastqRecord(name=header[1:].split()[0],
+                                   sequence=sequence.upper(),
+                                   quality=quality))
+    return records
+
+
+def fastq_payload(reads) -> bytes:
+    """Serialize reads (FastqRecord/ReadRecord) as FASTQ wire bytes."""
+    chunks = []
+    for read in reads:
+        quality = getattr(read, "quality", "") or "I" * len(read.sequence)
+        chunks.append(f"@{read.name}\n{read.sequence}\n+\n{quality}\n")
+    return "".join(chunks).encode("ascii")
+
+
+# -- command parsing ------------------------------------------------------------
+
+def query_options(verb: str, parts: list[str]) -> tuple[str | None,
+                                                        str | None]:
+    """Parse the optional ``INDEX=`` / ``TENANT=`` tokens of a query."""
+    index = tenant = None
+    for token in parts:
+        key, sep, value = token.partition("=")
+        if not sep or not value:
+            raise ProtocolError(
+                f"malformed {verb} option {token!r} "
+                "(expected INDEX=<name> or TENANT=<name>)")
+        key = key.upper()
+        if key == "INDEX":
+            index = value
+        elif key == "TENANT":
+            tenant = value
+        else:
+            raise ProtocolError(
+                f"unknown {verb} option {token!r} "
+                "(supported: INDEX=, TENANT=)")
+    return index, tenant
+
+
+def parse_stream_frame(frame: str, verb: str, group: int) -> int | None:
+    """Parse one request frame of a ``*STREAM`` body.
+
+    Returns the chunk's read count for a ``CHUNK <n_reads>`` frame and
+    ``None`` for the terminating ``END``; anything else is a
+    :class:`ProtocolError`.
+    """
+    tokens = frame.split()
+    if tokens[0].upper() == "END" and len(tokens) == 1:
+        return None
+    if (tokens[0].upper() != "CHUNK" or len(tokens) != 2
+            or not tokens[1].isdigit()):
+        raise ProtocolError(
+            "expected CHUNK <n_reads> or END, got "
+            f"{frame!r}")
+    n_reads = int(tokens[1])
+    if group == 2 and n_reads % 2 != 0:
+        raise ProtocolError(
+            f"{verb} chunks need an even interleaved "
+            f"read count, got {n_reads}")
+    return n_reads
+
+
+# -- status-line formatting -----------------------------------------------------
+
+def ok_header(n_bytes: int) -> bytes:
+    return f"OK {n_bytes}\n".encode("ascii")
+
+
+def err_line(message: str) -> bytes:
+    # UTF-8, not ASCII: exception messages embed user-controlled text
+    # (file paths, index names); an encoding error here would kill the
+    # connection instead of reporting the actual problem.  Newlines are
+    # flattened so the message cannot break the line protocol.
+    message = " ".join(str(message).splitlines()) or "server error"
+    return f"ERR {message}\n".encode("utf-8", errors="replace")
+
+
+def busy_line(message: str) -> bytes:
+    """The explicit admission rejection: ``BUSY``, never a drop."""
+    message = " ".join(str(message).splitlines()) or "server busy"
+    return f"BUSY {message}\n".encode("utf-8", errors="replace")
+
+
+def chunk_header(n_bytes: int) -> bytes:
+    """One ``CHUNK <n_bytes>`` response frame header of a streamed reply."""
+    return f"CHUNK {n_bytes}\n".encode("ascii")
+
+
+def done_line(n_chunks: int, n_reads: int) -> bytes:
+    return f"DONE {n_chunks} {n_reads}\n".encode("ascii")
+
+
+def exception_text(exc: BaseException) -> str:
+    """How unexpected serving exceptions render into ``ERR`` replies."""
+    return f"{type(exc).__name__}: {exc}"

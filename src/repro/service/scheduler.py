@@ -84,9 +84,26 @@ class AlignmentRequest:
         self._done = threading.Event()
         self._result: RequestResult | None = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once the request resolves (or fails).
+
+        Runs on the resolving thread -- the scheduler worker -- so callbacks
+        must be cheap and must not block; the asyncio front-end uses this to
+        wake an event-loop future (``loop.call_soon_threadsafe``) instead of
+        parking a thread per in-flight request.  A callback added after
+        completion fires immediately on the caller's thread.
+        """
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def result(self, timeout: float | None = None) -> RequestResult:
         """Block until the request is served; re-raises a serving failure."""
@@ -101,11 +118,21 @@ class AlignmentRequest:
 
     def _resolve(self, result: RequestResult) -> None:
         self._result = result
-        self._done.set()
+        self._finish()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._done.set()
+        self._finish()
+
+    def _finish(self) -> None:
+        with self._cb_lock:
+            self._done.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - a callback cannot fail a batch
+                pass
 
 
 #: Latency samples kept for the percentile estimates.  Counters cover every

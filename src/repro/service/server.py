@@ -1,4 +1,4 @@
-"""The alignment service's socket server (``meraligner serve``).
+"""The alignment service's thread-per-connection socket server.
 
 A deliberately small, line-oriented protocol over TCP -- one command per
 request, every response prefixed with a status line so clients never have to
@@ -69,59 +69,70 @@ and a full pending queue answers ``BUSY <message>`` -- an explicit
 rejection the client should retry, never a silent drop.
 
 Malformed input gets ``ERR <message>`` and the connection stays usable.
-Connections may issue any number of commands; the server is a
-``ThreadingTCPServer``, so many clients can stream requests concurrently --
-the scheduler coalesces them into micro-batches.
+Connections may issue any number of commands.  This front-end is a
+``ThreadingTCPServer`` -- one thread per connection; the event-loop
+front-end in :mod:`repro.service.async_server` speaks the exact same
+protocol (the shared pieces live in :mod:`repro.service.protocol`) and is
+the ``api.serve`` / ``meraligner serve`` default.  With ``client_timeout``
+set, a connection that stays idle past it (a slow-loris client trickling
+bytes) is reaped: counted in ``server_client_timeouts_total`` and closed
+without a reply.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 from collections import deque
 from dataclasses import asdict
 
 from repro.gateway.admission import GatewayBusyError
-from repro.io.fastq import FastqRecord
+from repro.service.protocol import (STREAM_VERBS, ClientTimeout,
+                                    ProtocolError, busy_line, chunk_header,
+                                    decode_wire_line, done_line, err_line,
+                                    exception_text, fastq_payload, ok_header,
+                                    parse_fastq_records, parse_stream_frame,
+                                    query_options, truncated_payload_error)
 from repro.service.scheduler import RequestScheduler
 from repro.stream import BoundedChannel, ChannelClosed
 
-#: Streaming query verbs and the workloads they run.  One handler serves all
-#: four; ``count``/``screen`` reply with a single TSV frame at stream end
-#: (their headers hold whole-run aggregates), ``align``/``paired`` stream a
-#: SAM frame per chunk.
-STREAM_VERBS = {
-    "ALIGNSTREAM": "align",
-    "PAIREDSTREAM": "paired",
-    "COUNTSTREAM": "count",
-    "SCREENSTREAM": "screen",
-}
+__all__ = ["AlignmentServer", "ServerStatsMixin", "ProtocolError",
+           "ClientTimeout", "STREAM_VERBS", "fastq_payload",
+           "read_fastq_payload"]
 
 
 class _CountingReader:
-    """Wraps the handler's binary read file, tallying bytes into a counter."""
+    """Wraps the handler's binary read file, tallying bytes into a counter.
+
+    A socket read timing out (``client_timeout`` armed, client idle) is
+    surfaced as :class:`~repro.service.protocol.ClientTimeout` so the reap
+    path cannot be confused with an ordinary disconnect or protocol error.
+    """
 
     def __init__(self, raw, counter) -> None:
         self._raw = raw
         self._counter = counter
 
     def readline(self, *args):
-        data = self._raw.readline(*args)
+        try:
+            data = self._raw.readline(*args)
+        except TimeoutError as exc:
+            raise ClientTimeout("client read timed out") from exc
         self._counter.inc(len(data))
         return data
 
     def read(self, *args):
-        data = self._raw.read(*args)
+        try:
+            data = self._raw.read(*args)
+        except TimeoutError as exc:
+            raise ClientTimeout("client read timed out") from exc
         self._counter.inc(len(data))
         return data
 
 
-class ProtocolError(ValueError):
-    """A malformed client command (reported as ``ERR``, not a disconnect)."""
-
-
-def read_fastq_payload(rfile, n_reads: int) -> list[FastqRecord]:
+def read_fastq_payload(rfile, n_reads: int):
     """Read and parse ``4 * n_reads`` FASTQ lines from a binary stream.
 
     The whole payload is consumed from the stream *before* validation, so a
@@ -133,33 +144,9 @@ def read_fastq_payload(rfile, n_reads: int) -> list[FastqRecord]:
     for _ in range(4 * n_reads):
         line = rfile.readline()
         if not line:
-            raise ProtocolError(
-                f"truncated FASTQ payload ({len(lines)} of {4 * n_reads} "
-                "lines received)")
-        lines.append(line.decode("ascii", errors="replace").rstrip("\r\n"))
-    records: list[FastqRecord] = []
-    for index in range(n_reads):
-        header, sequence, separator, quality = lines[4 * index:4 * index + 4]
-        if not header.startswith("@") or not header[1:].split():
-            raise ProtocolError(f"malformed FASTQ header: {header!r}")
-        if not separator.startswith("+"):
-            raise ProtocolError(f"malformed FASTQ separator: {separator!r}")
-        if len(sequence) != len(quality):
-            raise ProtocolError(
-                f"sequence/quality length mismatch for {header!r}")
-        records.append(FastqRecord(name=header[1:].split()[0],
-                                   sequence=sequence.upper(),
-                                   quality=quality))
-    return records
-
-
-def fastq_payload(reads) -> bytes:
-    """Serialize reads (FastqRecord/ReadRecord) as FASTQ wire bytes."""
-    chunks = []
-    for read in reads:
-        quality = getattr(read, "quality", "") or "I" * len(read.sequence)
-        chunks.append(f"@{read.name}\n{read.sequence}\n+\n{quality}\n")
-    return "".join(chunks).encode("ascii")
+            raise truncated_payload_error(len(lines), n_reads)
+        lines.append(decode_wire_line(line))
+    return parse_fastq_records(lines, n_reads)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -169,41 +156,49 @@ class _Handler(socketserver.StreamRequestHandler):
     shutdown hooks are attached to it by :class:`AlignmentServer`.
     """
 
-    def _reply(self, payload: bytes = b"") -> None:
-        header = f"OK {len(payload)}\n".encode("ascii")
-        self.wfile.write(header)
-        if payload:
-            self.wfile.write(payload)
-        self.wfile.flush()
+    def _send(self, *parts: bytes) -> None:
+        """Write + flush, counting bytes; a write timing out (stalled
+        reader, ``client_timeout`` armed) reaps the connection."""
+        try:
+            for part in parts:
+                self.wfile.write(part)
+            self.wfile.flush()
+        except TimeoutError as exc:
+            raise ClientTimeout("client write timed out") from exc
         self.server.metrics.counter("server_bytes_out_total").inc(
-            len(header) + len(payload))
+            sum(len(part) for part in parts))
+
+    def _reply(self, payload: bytes = b"") -> None:
+        header = ok_header(len(payload))
+        if payload:
+            self._send(header, payload)
+        else:
+            self._send(header)
 
     def _error(self, message: str) -> None:
-        # UTF-8, not ASCII: exception messages embed user-controlled text
-        # (file paths, index names); an encoding error here would kill the
-        # connection instead of reporting the actual problem.  Newlines are
-        # flattened so the message cannot break the line protocol.
-        message = " ".join(str(message).splitlines()) or "server error"
-        line = f"ERR {message}\n".encode("utf-8", errors="replace")
-        self.wfile.write(line)
-        self.wfile.flush()
-        self.server.metrics.counter("server_bytes_out_total").inc(len(line))
+        self._send(err_line(message))
 
     def _busy(self, message: str) -> None:
-        """The explicit admission rejection: ``BUSY``, never a drop."""
-        message = " ".join(str(message).splitlines()) or "server busy"
-        line = f"BUSY {message}\n".encode("utf-8", errors="replace")
-        self.wfile.write(line)
-        self.wfile.flush()
-        self.server.metrics.counter("server_bytes_out_total").inc(len(line))
+        self._send(busy_line(message))
 
     def handle(self) -> None:
         metrics = self.server.metrics
         metrics.counter("server_connections_total").inc()
         active = metrics.gauge("server_active_connections")
         active.add(1)
+        if self.server.client_timeout is not None:
+            # Per-recv idle bound: any single blocking socket read (or
+            # write) past it raises, reaping the connection.
+            self.connection.settimeout(self.server.client_timeout)
         try:
             self._command_loop(metrics)
+        except ClientTimeout:
+            # Counted exactly once, here: read and write timeouts from any
+            # depth reap the connection without a reply (the client is not
+            # reading) and without a handle_error traceback.
+            metrics.counter("server_client_timeouts_total").inc()
+        except ConnectionError:
+            pass
         finally:
             active.add(-1)
 
@@ -214,28 +209,6 @@ class _Handler(socketserver.StreamRequestHandler):
                 f"{what} requires a gateway-backed server "
                 "(start it through api.serve / meraligner serve)")
         return gateway
-
-    @staticmethod
-    def _query_options(verb: str, parts: list[str]) -> tuple[str | None,
-                                                             str | None]:
-        """Parse the optional ``INDEX=`` / ``TENANT=`` tokens of a query."""
-        index = tenant = None
-        for token in parts:
-            key, sep, value = token.partition("=")
-            if not sep or not value:
-                raise ProtocolError(
-                    f"malformed {verb} option {token!r} "
-                    "(expected INDEX=<name> or TENANT=<name>)")
-            key = key.upper()
-            if key == "INDEX":
-                index = value
-            elif key == "TENANT":
-                tenant = value
-            else:
-                raise ProtocolError(
-                    f"unknown {verb} option {token!r} "
-                    "(supported: INDEX=, TENANT=)")
-        return index, tenant
 
     def _handle_stream(self, rfile, verb: str, options: list[str],
                        metrics) -> bool:
@@ -258,7 +231,7 @@ class _Handler(socketserver.StreamRequestHandler):
         inflight: deque = deque()
         producer = None
         try:
-            index, tenant = self._query_options(verb, options)
+            index, tenant = query_options(verb, options)
             gateway = self.server.gateway
             if gateway is None:
                 if index is not None or tenant is not None:
@@ -279,20 +252,10 @@ class _Handler(socketserver.StreamRequestHandler):
                         frame = line.decode("utf-8", errors="replace").strip()
                         if not frame:
                             continue
-                        tokens = frame.split()
-                        if tokens[0].upper() == "END" and len(tokens) == 1:
+                        n_reads = parse_stream_frame(frame, verb, group)
+                        if n_reads is None:
                             channel.close()
                             return
-                        if (tokens[0].upper() != "CHUNK" or len(tokens) != 2
-                                or not tokens[1].isdigit()):
-                            raise ProtocolError(
-                                "expected CHUNK <n_reads> or END, got "
-                                f"{frame!r}")
-                        n_reads = int(tokens[1])
-                        if group == 2 and n_reads % 2 != 0:
-                            raise ProtocolError(
-                                f"{verb} chunks need an even interleaved "
-                                f"read count, got {n_reads}")
                         records = read_fastq_payload(rfile, n_reads)
                         channel.put([record.to_read() for record in records])
                 except ChannelClosed:
@@ -357,11 +320,7 @@ class _Handler(socketserver.StreamRequestHandler):
                                  else ScreenSummary(rows=[]))
                 self._stream_frame(
                     session.render(workload, aggregate).encode("ascii"))
-            done = f"DONE {n_chunks} {n_reads_total}\n".encode("ascii")
-            self.wfile.write(done)
-            self.wfile.flush()
-            metrics.counter("server_bytes_out_total").inc(len(done))
-            depth_gauge.set(0)
+            self._send(done_line(n_chunks, n_reads_total))
             metrics.gauge("stream_channel_high_watermark").set(
                 channel.high_watermark)
             return True
@@ -369,7 +328,9 @@ class _Handler(socketserver.StreamRequestHandler):
             metrics.counter("server_busy_total", verb=verb).inc()
             self._busy(str(exc))
             return False
-        except BrokenPipeError:
+        except ClientTimeout:
+            raise
+        except ConnectionError:
             metrics.counter("server_errors_total", verb=verb).inc()
             return False
         except Exception as exc:  # noqa: BLE001 - reported, then close
@@ -377,33 +338,44 @@ class _Handler(socketserver.StreamRequestHandler):
             if isinstance(exc, ProtocolError):
                 self._error(str(exc))
             else:
-                self._error(f"{type(exc).__name__}: {exc}")
+                self._error(exception_text(exc))
             return False
         finally:
             # Unblock a producer stuck in put() and free admission slots of
-            # results never collected (abort paths only).
+            # results never collected (abort paths only) -- and reset the
+            # depth gauge on *every* exit, not just success, so an aborted
+            # stream cannot leave a stale nonzero depth behind.
             channel.close()
             for ticket in inflight:
                 release = getattr(ticket, "release", None)
                 if release is not None:
                     release()
+            metrics.gauge("stream_channel_depth").set(0)
             if producer is not None:
+                if producer.is_alive():
+                    # Abort path with the producer still blocked in
+                    # readline(): it holds the rfile buffer lock, so closing
+                    # the connection would deadlock against it.  Shut the
+                    # read side down to pop it out of recv() first -- the
+                    # connection is closing either way.
+                    try:
+                        self.connection.shutdown(socket.SHUT_RD)
+                    except OSError:
+                        pass
                 producer.join(timeout=5.0)
 
     def _stream_frame(self, payload: bytes) -> None:
         """One ``CHUNK <n_bytes>`` response frame of a streamed reply."""
-        header = f"CHUNK {len(payload)}\n".encode("ascii")
-        self.wfile.write(header)
-        self.wfile.write(payload)
-        self.wfile.flush()
-        self.server.metrics.counter("server_bytes_out_total").inc(
-            len(header) + len(payload))
+        self._send(chunk_header(len(payload)), payload)
 
     def _command_loop(self, metrics) -> None:
         rfile = _CountingReader(self.rfile,
                                 metrics.counter("server_bytes_in_total"))
         while True:
-            line = rfile.readline()
+            try:
+                line = rfile.readline()
+            except ConnectionError:
+                return
             if not line:
                 return
             command = line.decode("utf-8", errors="replace").strip()
@@ -441,7 +413,7 @@ class _Handler(socketserver.StreamRequestHandler):
                             f"usage: {verb} <n_reads> "
                             "[INDEX=<name>] [TENANT=<name>]")
                     n_reads = int(parts[1])
-                    index, tenant = self._query_options(verb, parts[2:])
+                    index, tenant = query_options(verb, parts[2:])
                     if verb == "PAIRED" and n_reads % 2 != 0:
                         raise ProtocolError(
                             "PAIRED needs an even interleaved read count, "
@@ -498,71 +470,23 @@ class _Handler(socketserver.StreamRequestHandler):
             except GatewayBusyError as exc:
                 metrics.counter("server_busy_total", verb=verb).inc()
                 self._busy(str(exc))
-            except BrokenPipeError:
+            except ClientTimeout:
+                raise
+            except ConnectionError:
                 metrics.counter("server_errors_total", verb=verb).inc()
                 return
             except Exception as exc:  # noqa: BLE001 - reported to the client
                 metrics.counter("server_errors_total", verb=verb).inc()
-                self._error(f"{type(exc).__name__}: {exc}")
+                self._error(exception_text(exc))
 
 
-class AlignmentServer:
-    """TCP front end streaming SAM responses from a request scheduler."""
+class ServerStatsMixin:
+    """The ``STATS`` / ``METRICS`` documents, shared by both front-ends.
 
-    def __init__(self, scheduler: RequestScheduler | None = None,
-                 host: str = "127.0.0.1", port: int = 0,
-                 request_timeout: float | None = 300.0,
-                 gateway=None, stream_channel_capacity: int = 8,
-                 stream_max_inflight: int = 4) -> None:
-        from repro.obs.registry import MetricsRegistry
-        if scheduler is None:
-            if gateway is None:
-                raise ValueError("pass a scheduler, a gateway, or both")
-            scheduler = gateway.default_scheduler
-        self.scheduler = scheduler
-        self.gateway = gateway
-        self.request_timeout = request_timeout
-        # Record into the scheduler's registry so one snapshot spans every
-        # layer; a bare scheduler-less future server would still get one.
-        self.metrics = getattr(scheduler, "metrics", None) or MetricsRegistry()
-        self._shutdown_requested = threading.Event()
-        self._serving = threading.Event()
-
-        outer = self
-
-        class _Server(socketserver.ThreadingTCPServer):
-            allow_reuse_address = True
-            daemon_threads = True
-
-        self._server = _Server((host, port), _Handler)
-        self._server.scheduler = scheduler
-        # StreamRequestHandler reaches the AlignmentServer through the TCP
-        # server instance.
-        self._server.stats_json = outer.stats_json
-        self._server.metrics_json = outer.metrics_json
-        self._server.metrics_text = outer.metrics_text
-        self._server.metrics = outer.metrics
-        self._server.request_shutdown = outer.request_shutdown
-        self._server.request_timeout = request_timeout
-        self._server.gateway = gateway
-        # Streaming bounds: at most `capacity` parsed chunks queued (the
-        # producer's socket read backpressures beyond that) plus
-        # `max_inflight` chunks submitted to the scheduler at once.
-        self._server.stream_channel_capacity = stream_channel_capacity
-        self._server.stream_max_inflight = stream_max_inflight
-
-    # -- addressing -----------------------------------------------------------
-
-    @property
-    def host(self) -> str:
-        return self._server.server_address[0]
-
-    @property
-    def port(self) -> int:
-        """The bound port (useful with ``port=0`` OS-assigned binding)."""
-        return self._server.server_address[1]
-
-    # -- stats ----------------------------------------------------------------
+    Requires ``self.scheduler``, ``self.gateway`` and ``self.metrics`` --
+    the documents must be byte-identical whichever front-end serves them,
+    so they are built in exactly one place.
+    """
 
     def stats_json(self) -> dict:
         """The ``STATS`` payload: scheduler stats plus session summary.
@@ -621,6 +545,66 @@ class AlignmentServer:
         """The ``METRICS PROM`` payload: Prometheus text exposition."""
         return self.metrics.to_prometheus()
 
+
+class AlignmentServer(ServerStatsMixin):
+    """TCP front end streaming SAM responses from a request scheduler."""
+
+    def __init__(self, scheduler: RequestScheduler | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: float | None = 300.0,
+                 gateway=None, stream_channel_capacity: int = 8,
+                 stream_max_inflight: int = 4,
+                 client_timeout: float | None = None) -> None:
+        from repro.obs.registry import MetricsRegistry
+        if scheduler is None:
+            if gateway is None:
+                raise ValueError("pass a scheduler, a gateway, or both")
+            scheduler = gateway.default_scheduler
+        self.scheduler = scheduler
+        self.gateway = gateway
+        self.request_timeout = request_timeout
+        self.client_timeout = client_timeout
+        # Record into the scheduler's registry so one snapshot spans every
+        # layer; a bare scheduler-less future server would still get one.
+        self.metrics = getattr(scheduler, "metrics", None) or MetricsRegistry()
+        self._shutdown_requested = threading.Event()
+        self._serving = threading.Event()
+
+        outer = self
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = _Server((host, port), _Handler)
+        self._server.scheduler = scheduler
+        # StreamRequestHandler reaches the AlignmentServer through the TCP
+        # server instance.
+        self._server.stats_json = outer.stats_json
+        self._server.metrics_json = outer.metrics_json
+        self._server.metrics_text = outer.metrics_text
+        self._server.metrics = outer.metrics
+        self._server.request_shutdown = outer.request_shutdown
+        self._server.request_timeout = request_timeout
+        self._server.client_timeout = client_timeout
+        self._server.gateway = gateway
+        # Streaming bounds: at most `capacity` parsed chunks queued (the
+        # producer's socket read backpressures beyond that) plus
+        # `max_inflight` chunks submitted to the scheduler at once.
+        self._server.stream_channel_capacity = stream_channel_capacity
+        self._server.stream_max_inflight = stream_max_inflight
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` OS-assigned binding)."""
+        return self._server.server_address[1]
+
     # -- lifecycle ------------------------------------------------------------
 
     def serve_forever(self) -> None:
@@ -630,6 +614,11 @@ class AlignmentServer:
             self._server.serve_forever(poll_interval=0.05)
         finally:
             self._serving.clear()
+            # A client-driven SHUTDOWN stops the serve loop via
+            # request_shutdown() without ever reaching shutdown(); close the
+            # listening socket here so new connections are refused instead of
+            # queueing in a backlog nobody will ever accept.
+            self._server.server_close()
 
     def request_shutdown(self) -> None:
         """Trigger shutdown from a handler thread without deadlocking."""

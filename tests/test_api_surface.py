@@ -65,6 +65,7 @@ EXPECTED_EXPORTS = sorted([
     "AlignmentService",
     "AlignmentSession",
     "AlignmentServer",
+    "AsyncAlignmentServer",
     "AlignmentClient",
     "SocketAlignmentClient",
     "RequestScheduler",

@@ -1,0 +1,776 @@
+"""Wire-protocol conformance and fault injection for BOTH connection
+front-ends.
+
+The service has two front-ends -- the thread-per-connection
+``AlignmentServer`` and the event-loop ``AsyncAlignmentServer`` (the
+``api.serve`` default) -- that must speak **byte-identical** protocol.  This
+module drives both through one raw-socket harness (:class:`WireTester`, no
+client-library smarts, so it can send garbage, half-close mid-payload, or
+vanish with an RST) and pins:
+
+* the fuzz matrix: every malformed command earns a single ``ERR`` with the
+  exact shared message, increments ``server_errors_total{verb}``, and leaves
+  the connection usable (or closes it cleanly when framing is unrecoverable);
+* mid-stream fault injection: disconnects between ``CHUNK`` frames,
+  half-closes mid-payload, and stalled readers release every admission slot
+  and ticket -- the ``server_active_connections``, ``gateway_pending`` and
+  ``stream_channel_depth`` gauges all return to zero, and concurrent clients
+  complete byte-identically throughout;
+* the ``--client-timeout`` slow-loris guard: idle or stalled connections are
+  reaped and counted in ``server_client_timeouts_total``, never replied to;
+* the served byte-identity matrix: one-shot and streamed responses from the
+  asyncio front-end match the thread front-end and the offline render, for
+  all four workloads across every backend with bulk lookups on and off.
+"""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.config import AlignerConfig
+from repro.core.pipeline import MerAligner
+from repro.dna.synthetic import GenomeSpec, ReadSetSpec, make_dataset
+from repro.gateway import AlignmentGateway
+from repro.io.fastq import FastqRecord
+from repro.pgas.cost_model import EDISON_LIKE
+from repro.service import DEFAULT_FRONTEND, FRONTENDS
+from repro.service.protocol import fastq_payload
+from repro.service.scheduler import RequestScheduler
+
+MACHINE = EDISON_LIKE.with_cores_per_node(2)
+FRONTEND_NAMES = tuple(sorted(FRONTENDS))   # ("async", "thread")
+BACKENDS = ("cooperative", "threaded", "process")
+WORKLOADS = ("align", "paired", "count", "screen")
+STREAM_CHUNK_SIZES = (1, 7, 4096)
+
+
+# ---------------------------------------------------------------------------
+# The raw-socket harness
+# ---------------------------------------------------------------------------
+
+
+class WireTester:
+    """A raw-socket driver of the line protocol.
+
+    Deliberately *not* the ``SocketAlignmentClient``: conformance tests need
+    to send malformed bytes, half-close mid-payload, stall without reading,
+    and abort with an RST -- everything a well-behaved client never does.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 rcvbuf: int | None = None) -> None:
+        self.sock = socket.socket()
+        if rcvbuf is not None:
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, rcvbuf)
+        self.sock.settimeout(timeout)
+        self.sock.connect((host, port))
+        self.rfile = self.sock.makefile("rb")
+
+    # -- sending --------------------------------------------------------------
+
+    def send(self, data: bytes) -> "WireTester":
+        self.sock.sendall(data)
+        return self
+
+    def send_line(self, text: str) -> "WireTester":
+        return self.send(text.encode("utf-8") + b"\n")
+
+    # -- reading --------------------------------------------------------------
+
+    def read_line(self) -> bytes:
+        return self.rfile.readline()
+
+    def read_status(self) -> str:
+        return self.read_line().decode("utf-8").rstrip("\n")
+
+    def read_exact(self, n_bytes: int) -> bytes:
+        body = self.rfile.read(n_bytes)
+        assert len(body) == n_bytes, (
+            f"short read: {len(body)} of {n_bytes} bytes")
+        return body
+
+    def read_ok_payload(self) -> bytes:
+        status = self.read_status()
+        assert status.startswith("OK "), f"expected OK, got {status!r}"
+        return self.read_exact(int(status.split()[1]))
+
+    def roundtrip_raw(self, command: str, payload: bytes = b"") -> bytes:
+        """One command's full response (status line + any body), raw."""
+        self.send(command.encode("utf-8") + b"\n" + payload)
+        status = self.read_line()
+        body = b""
+        if status.startswith((b"OK ", b"CHUNK ")):
+            body = self.read_exact(int(status.split()[1]))
+        return status + body
+
+    def read_stream_reply(self) -> tuple[list[bytes], str]:
+        """Every ``CHUNK`` part of a streamed reply plus the final line."""
+        parts = []
+        while True:
+            status = self.read_status()
+            if status.startswith("CHUNK "):
+                parts.append(self.read_exact(int(status.split()[1])))
+            else:
+                return parts, status
+
+    def expect_err(self, command: str, payload: bytes = b"") -> str:
+        self.send(command.encode("utf-8") + b"\n" + payload)
+        status = self.read_status()
+        assert status.startswith("ERR "), f"expected ERR, got {status!r}"
+        return status
+
+    # -- misbehaving ----------------------------------------------------------
+
+    def half_close(self) -> "WireTester":
+        """Shut down the write side (the server sees EOF, can still reply)."""
+        self.sock.shutdown(socket.SHUT_WR)
+        return self
+
+    def abort(self) -> None:
+        """Vanish abruptly: SO_LINGER 0 turns close() into an RST.
+
+        Both the makefile handle and the socket must go -- the fd (and so
+        the reset) is only released once the last reference closes.
+        """
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                             struct.pack("ii", 1, 0))
+        try:
+            self.rfile.close()
+        except OSError:
+            pass
+        self.sock.close()
+
+    def close(self) -> None:
+        try:
+            self.rfile.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WireTester":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Shared stack and servers
+# ---------------------------------------------------------------------------
+
+
+def _config(bulk: bool = True) -> AlignerConfig:
+    return AlignerConfig(seed_length=21, fragment_length=600,
+                         seed_cache_bytes_per_node=256 * 1024,
+                         target_cache_bytes_per_node=256 * 1024,
+                         use_bulk_lookups=bulk, lookup_batch_size=16)
+
+
+def _make_session(backend: str = "cooperative", bulk: bool = True):
+    spec = GenomeSpec(name="wire", genome_length=5000, n_contigs=3,
+                      repeat_fraction=0.02, min_contig_length=200)
+    read_spec = ReadSetSpec(coverage=1.2, read_length=60, error_rate=0.01,
+                            reverse_strand_fraction=0.5)
+    genome, reads = make_dataset(spec, read_spec, seed=13)
+    names = [f"contig{i}" for i in range(len(genome.contigs))]
+    session = MerAligner(_config(bulk)).prepare(
+        genome.contigs, n_ranks=4, machine=MACHINE, backend=backend,
+        target_names=names)
+    records = [FastqRecord(name=f"r{i:03d}", sequence=read.sequence,
+                           quality="I" * len(read.sequence))
+               for i, read in enumerate(reads)]
+    return session, records
+
+
+def _start_server(frontend: str, scheduler=None, gateway=None, **kwargs):
+    server = FRONTENDS[frontend](scheduler, port=0, gateway=gateway, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True,
+                              name=f"wire-{frontend}")
+    thread.start()
+    return server, thread
+
+
+def _stop_server(server, thread) -> None:
+    server.shutdown()
+    thread.join(timeout=30.0)
+    assert not thread.is_alive(), "serve thread failed to exit"
+
+
+def _listen_sockets(server):
+    """The listening socket(s) of either front-end (accepted connections
+    inherit their options, e.g. a shrunken ``SO_SNDBUF``)."""
+    raw = getattr(server._server, "socket", None)
+    if raw is not None:
+        return [raw]
+    return list(server._server.sockets)
+
+
+def _await_zero(named_getters: dict, timeout: float = 15.0) -> None:
+    """Poll gauges until every one reads zero (fault paths drain async)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        values = {name: getter() for name, getter in named_getters.items()}
+        if all(value == 0 for value in values.values()):
+            return
+        if time.monotonic() > deadline:
+            pytest.fail(f"gauges did not drain to zero: {values}")
+        time.sleep(0.02)
+
+
+def _gauge_getters(server) -> dict:
+    """The gauges every fault case must drain back to zero."""
+    metrics = server.metrics
+    return {name: (lambda gauge=metrics.gauge(name): gauge.value)
+            for name in ("server_active_connections", "gateway_pending",
+                         "stream_channel_depth")}
+
+
+@pytest.fixture(scope="module")
+def wire_stack():
+    """One resident session + gateway shared by every conformance server."""
+    session, records = _make_session()
+    scheduler = RequestScheduler(session, max_wait_s=0.005)
+    gateway = AlignmentGateway(session, scheduler)
+    try:
+        yield session, scheduler, gateway, records
+    finally:
+        gateway.close()
+
+
+@pytest.fixture(scope="module", params=FRONTEND_NAMES)
+def served(request, wire_stack):
+    """One running gateway-backed server per front-end."""
+    _session, scheduler, gateway, records = wire_stack
+    server, thread = _start_server(request.param, scheduler, gateway=gateway,
+                                   stream_channel_capacity=4,
+                                   stream_max_inflight=2)
+    try:
+        yield request.param, server, records
+    finally:
+        _stop_server(server, thread)
+
+
+@pytest.fixture(scope="module")
+def both_served(wire_stack):
+    """Both front-ends over the same stack, for byte-identity comparisons."""
+    _session, scheduler, gateway, records = wire_stack
+    servers = {}
+    threads = []
+    for frontend in FRONTEND_NAMES:
+        server, thread = _start_server(frontend, scheduler, gateway=gateway)
+        servers[frontend] = server
+        threads.append((server, thread))
+    try:
+        yield servers, records
+    finally:
+        for server, thread in threads:
+            _stop_server(server, thread)
+
+
+# ---------------------------------------------------------------------------
+# The fuzz matrix (satellite 1)
+# ---------------------------------------------------------------------------
+
+#: (id, command, verb label, expected ERR line).  ``None`` expectation means
+#: prefix-match on ``ERR `` only (message embeds environment specifics).
+FUZZ_CASES = [
+    ("unknown-verb", "BOGUS",
+     "BOGUS", "ERR unknown command 'BOGUS'"),
+    ("unknown-verb-args", "FROBNICATE 12 fast",
+     "FROBNICATE", "ERR unknown command 'FROBNICATE'"),
+    ("align-no-count", "ALIGN",
+     "ALIGN", "ERR usage: ALIGN <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("align-word-count", "ALIGN seven",
+     "ALIGN", "ERR usage: ALIGN <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("align-negative-count", "ALIGN -3",
+     "ALIGN", "ERR usage: ALIGN <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("align-float-count", "ALIGN 2.5",
+     "ALIGN", "ERR usage: ALIGN <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("count-no-count", "COUNT",
+     "COUNT", "ERR usage: COUNT <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("screen-no-count", "SCREEN nope",
+     "SCREEN", "ERR usage: SCREEN <n_reads> [INDEX=<name>] [TENANT=<name>]"),
+    ("paired-odd-count", "PAIRED 3",
+     "PAIRED", "ERR PAIRED needs an even interleaved read count, got 3"),
+    ("align-unknown-option", "ALIGN 2 FROB=x",
+     "ALIGN", "ERR unknown ALIGN option 'FROB=x' "
+              "(supported: INDEX=, TENANT=)"),
+    ("align-malformed-option", "ALIGN 2 INDEX",
+     "ALIGN", "ERR malformed ALIGN option 'INDEX' "
+              "(expected INDEX=<name> or TENANT=<name>)"),
+    ("metrics-bad-arg", "METRICS JUNK",
+     "METRICS", "ERR usage: METRICS [PROM] (got METRICS 'JUNK')"),
+    ("evict-usage", "EVICT",
+     "EVICT", "ERR usage: EVICT <name>"),
+    ("register-usage", "REGISTER onlyname",
+     "REGISTER", "ERR usage: REGISTER <name> <fasta-path>"),
+    ("garbage-bytes", "\x07\x01\x02garbage",
+     None, None),
+]
+
+
+class TestFuzzMatrix:
+    @pytest.mark.parametrize(("command", "verb", "expected"),
+                             [case[1:] for case in FUZZ_CASES],
+                             ids=[case[0] for case in FUZZ_CASES])
+    def test_single_err_connection_usable_counter_bumped(
+            self, served, command, verb, expected):
+        _frontend, server, _records = served
+        if verb is None:
+            verb = command.split()[0].upper()
+        errors = server.metrics.counter("server_errors_total", verb=verb)
+        before = errors.value
+        with WireTester(server.host, server.port) as wire:
+            status = wire.expect_err(command)
+            if expected is not None:
+                assert status == expected
+            # exactly one ERR, nothing queued behind it, and the connection
+            # stays usable:
+            assert wire.roundtrip_raw("PING") == b"OK 0\n"
+        assert errors.value == before + 1
+
+    def test_empty_lines_are_skipped(self, served):
+        _frontend, server, _records = served
+        with WireTester(server.host, server.port) as wire:
+            wire.send(b"\n\r\n\n")
+            assert wire.roundtrip_raw("PING") == b"OK 0\n"
+
+    def test_malformed_fastq_payload_leaves_connection_usable(self, served):
+        """Payloads are consumed whole before validation: after the ERR no
+        stale FASTQ line can be misread as a command."""
+        _frontend, server, _records = served
+        bad = b"Xnot-a-header\nACGT\n+\nIIII\n"
+        with WireTester(server.host, server.port) as wire:
+            status = wire.expect_err("ALIGN 1", bad)
+            assert status == "ERR malformed FASTQ header: 'Xnot-a-header'"
+            status = wire.expect_err(
+                "ALIGN 1", b"@r1\nACGT\n*\nIIII\n")
+            assert status == "ERR malformed FASTQ separator: '*'"
+            status = wire.expect_err(
+                "ALIGN 1", b"@r1\nACGTT\n+\nIIII\n")
+            assert status == "ERR sequence/quality length mismatch for '@r1'"
+            assert wire.roundtrip_raw("PING") == b"OK 0\n"
+
+    def test_unknown_index_errs_and_connection_usable(self, served):
+        _frontend, server, records = served
+        payload = fastq_payload(records[:1])
+        with WireTester(server.host, server.port) as wire:
+            status = wire.expect_err("ALIGN 1 INDEX=nosuch", payload)
+            assert status.startswith("ERR KeyError: ")
+            assert "unknown index 'nosuch'" in status
+            assert wire.roundtrip_raw("PING") == b"OK 0\n"
+
+    def test_huge_read_count_truncated_payload(self, served):
+        """A huge declared count cannot wedge the server: EOF mid-payload is
+        a single ERR and a clean close."""
+        _frontend, server, _records = served
+        with WireTester(server.host, server.port) as wire:
+            wire.send_line("ALIGN 99999999").half_close()
+            assert wire.read_status() == (
+                "ERR truncated FASTQ payload (0 of 399999996 lines received)")
+            assert wire.read_line() == b""   # server closed after our EOF
+        _await_zero(_gauge_getters(server))
+
+    def test_err_replies_byte_identical_across_frontends(self, both_served):
+        servers, _records = both_served
+        for case_id, command, _verb, _expected in FUZZ_CASES:
+            replies = {}
+            for frontend, server in servers.items():
+                with WireTester(server.host, server.port) as wire:
+                    replies[frontend] = wire.roundtrip_raw(command)
+            assert replies["thread"] == replies["async"], case_id
+            assert replies["thread"].startswith(b"ERR "), case_id
+
+
+# ---------------------------------------------------------------------------
+# Mid-stream fault injection (satellite 2)
+# ---------------------------------------------------------------------------
+
+
+class TestStreamFaults:
+    def test_disconnect_between_chunks_releases_everything(self, served):
+        _frontend, server, records = served
+        chunk = records[:4]
+        with WireTester(server.host, server.port) as wire:
+            wire.send_line("ALIGNSTREAM")
+            wire.send_line(f"CHUNK {len(chunk)}").send(fastq_payload(chunk))
+            wire.abort()    # RST between frames, mid-stream
+        _await_zero(_gauge_getters(server))
+
+    def test_half_close_mid_payload_single_err(self, served):
+        _frontend, server, records = served
+        chunk = records[:4]
+        payload = fastq_payload(chunk)
+        half = payload[:len(payload) // 2]
+        with WireTester(server.host, server.port) as wire:
+            wire.send_line("ALIGNSTREAM")
+            wire.send_line(f"CHUNK {len(chunk)}").send(half).half_close()
+            parts, final = wire.read_stream_reply()
+            assert final.startswith("ERR truncated FASTQ payload")
+            assert wire.read_line() == b""   # stream faults close the conn
+        _await_zero(_gauge_getters(server))
+
+    def test_bad_stream_frame_errs_and_closes(self, served):
+        _frontend, server, records = served
+        errors = server.metrics.counter("server_errors_total",
+                                        verb="ALIGNSTREAM")
+        before = errors.value
+        with WireTester(server.host, server.port) as wire:
+            wire.send_line("ALIGNSTREAM")
+            wire.send_line("CHUNKX 4")
+            parts, final = wire.read_stream_reply()
+            assert parts == []
+            assert final == "ERR expected CHUNK <n_reads> or END, got 'CHUNKX 4'"
+            assert wire.read_line() == b""
+        assert errors.value == before + 1
+        _await_zero(_gauge_getters(server))
+
+    def test_concurrent_client_unaffected_by_faulting_stream(self, served):
+        """A stream dying mid-flight must not perturb a well-behaved peer:
+        its response stays byte-identical to a quiet-server run."""
+        _frontend, server, records = served
+        reads = records[:6]
+        payload = fastq_payload(reads)
+        with WireTester(server.host, server.port) as wire:
+            reference = wire.roundtrip_raw(f"ALIGN {len(reads)}", payload)
+        assert reference.startswith(b"OK ")
+
+        faulty = WireTester(server.host, server.port)
+        faulty.send_line("ALIGNSTREAM")
+        faulty.send_line("CHUNK 4").send(fastq_payload(records[:4]))
+        try:
+            with WireTester(server.host, server.port) as wire:
+                assert wire.roundtrip_raw(
+                    f"ALIGN {len(reads)}", payload) == reference
+            faulty.abort()
+        except BaseException:
+            faulty.close()
+            raise
+        with WireTester(server.host, server.port) as wire:
+            assert wire.roundtrip_raw(
+                f"ALIGN {len(reads)}", payload) == reference
+        _await_zero(_gauge_getters(server))
+
+    def test_abort_before_oneshot_payload(self, served):
+        """An RST racing a one-shot payload read is swallowed cleanly (the
+        pre-fix server leaked ConnectionResetError through handle_error)."""
+        _frontend, server, _records = served
+        wire = WireTester(server.host, server.port)
+        wire.send_line("ALIGN 4")
+        wire.abort()
+        _await_zero(_gauge_getters(server))
+        with WireTester(server.host, server.port) as probe:
+            assert probe.roundtrip_raw("PING") == b"OK 0\n"
+
+
+# ---------------------------------------------------------------------------
+# The slow-loris guard (satellite 3) and stalled readers
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=FRONTEND_NAMES)
+def timeout_served(request, wire_stack):
+    """A dedicated server per test with the client timeout armed and
+    deliberately tiny send buffers (so stalled readers trip it fast)."""
+    _session, scheduler, gateway, records = wire_stack
+    server, thread = _start_server(request.param, scheduler, gateway=gateway,
+                                   client_timeout=1.0)
+    for sock in _listen_sockets(server):
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+    try:
+        yield request.param, server, records
+    finally:
+        _stop_server(server, thread)
+
+
+class TestClientTimeout:
+    def test_slow_loris_is_reaped_and_counted(self, timeout_served):
+        _frontend, server, _records = timeout_served
+        reaped = server.metrics.counter("server_client_timeouts_total")
+        before = reaped.value
+        with WireTester(server.host, server.port, timeout=15.0) as wire:
+            wire.send(b"ALI")          # a trickle, never a full command
+            assert wire.read_line() == b""   # closed without any reply
+        assert reaped.value == before + 1
+        _await_zero(_gauge_getters(server))
+
+    def test_mid_payload_stall_is_reaped(self, timeout_served):
+        _frontend, server, records = timeout_served
+        reaped = server.metrics.counter("server_client_timeouts_total")
+        before = reaped.value
+        payload = fastq_payload(records[:4])
+        with WireTester(server.host, server.port, timeout=15.0) as wire:
+            wire.send_line("ALIGN 4").send(payload[:len(payload) // 2])
+            assert wire.read_line() == b""
+        assert reaped.value == before + 1
+        _await_zero(_gauge_getters(server))
+
+    def test_stalled_reader_on_streamed_reply_is_reaped(self, timeout_served):
+        """A client that streams requests but never reads the replies: the
+        write side stalls (tiny buffers), the timeout reaps it, and every
+        ticket/admission slot is released."""
+        _frontend, server, records = timeout_served
+        reaped = server.metrics.counter("server_client_timeouts_total")
+        before = reaped.value
+        # ~500 reads of SAM (~23 KiB) dwarfs the shrunken buffers.
+        reads = [FastqRecord(name=f"s{i:04d}",
+                             sequence=records[i % len(records)].sequence,
+                             quality=records[i % len(records)].quality)
+                 for i in range(500)]
+        wire = WireTester(server.host, server.port, timeout=60.0, rcvbuf=4096)
+        try:
+            wire.send_line("ALIGNSTREAM")
+            for start in range(0, len(reads), 50):
+                chunk = reads[start:start + 50]
+                wire.send_line(f"CHUNK {len(chunk)}")
+                wire.send(fastq_payload(chunk))
+            wire.send_line("END")
+            deadline = time.monotonic() + 120.0
+            while reaped.value == before:
+                assert time.monotonic() < deadline, \
+                    "stalled reader was never reaped"
+                time.sleep(0.05)
+        finally:
+            wire.close()
+        assert reaped.value == before + 1
+        _await_zero(_gauge_getters(server), timeout=30.0)
+
+    def test_peer_completes_while_loris_stalls(self, timeout_served):
+        """The reap is per-connection: a concurrent well-behaved client is
+        served normally, byte-identical, while the loris idles."""
+        _frontend, server, records = timeout_served
+        payload = fastq_payload(records[:6])
+        loris = WireTester(server.host, server.port, timeout=15.0)
+        loris.send(b"PI")    # never finishes the command
+        try:
+            with WireTester(server.host, server.port) as wire:
+                first = wire.roundtrip_raw("ALIGN 6", payload)
+                assert first.startswith(b"OK ")
+                assert wire.roundtrip_raw("ALIGN 6", payload) == first
+            assert loris.read_line() == b""   # ...and then the reap
+        finally:
+            loris.close()
+        _await_zero(_gauge_getters(server))
+
+    def test_timeout_disabled_by_default(self, served):
+        """Without --client-timeout an idle connection is never reaped."""
+        _frontend, server, _records = served
+        with WireTester(server.host, server.port) as wire:
+            time.sleep(1.2)
+            assert wire.roundtrip_raw("PING") == b"OK 0\n"
+
+
+# ---------------------------------------------------------------------------
+# BUSY conformance and connection-gauge churn
+# ---------------------------------------------------------------------------
+
+
+class TestBusyConformance:
+    @pytest.fixture(scope="class")
+    def busy_servers(self, wire_stack):
+        """Both front-ends over a gateway that rejects everything."""
+        session, _scheduler, _gateway, records = wire_stack
+        scheduler = RequestScheduler(session, max_wait_s=0.005)
+        gateway = AlignmentGateway(session, scheduler, max_pending=0)
+        servers, threads = {}, []
+        for frontend in FRONTEND_NAMES:
+            server, thread = _start_server(frontend, scheduler,
+                                           gateway=gateway)
+            servers[frontend] = server
+            threads.append((server, thread))
+        try:
+            yield servers, records
+        finally:
+            for server, thread in threads:
+                _stop_server(server, thread)
+            # Tear down only what this fixture built: the session belongs
+            # to the module stack, so no gateway.close() here.
+            gateway.admission.close()
+            scheduler.close()
+
+    def test_busy_reply_byte_identical_and_counted(self, busy_servers):
+        servers, records = busy_servers
+        payload = fastq_payload(records[:2])
+        replies = {}
+        for frontend, server in servers.items():
+            busy = server.metrics.counter("server_busy_total", verb="ALIGN")
+            before = busy.value
+            with WireTester(server.host, server.port) as wire:
+                wire.send(b"ALIGN 2\n" + payload)
+                replies[frontend] = wire.read_status()
+                # BUSY is an explicit retry signal, not a broken connection:
+                assert wire.roundtrip_raw("PING") == b"OK 0\n"
+            assert busy.value == before + 1
+        assert replies["thread"] == replies["async"]
+        assert replies["thread"] == ("BUSY gateway pending queue is full "
+                                     "(0 >= max_pending=0); retry later")
+
+    def test_stream_chunk_busy_closes_cleanly(self, busy_servers):
+        servers, records = busy_servers
+        for frontend, server in servers.items():
+            with WireTester(server.host, server.port) as wire:
+                wire.send_line("ALIGNSTREAM")
+                wire.send_line("CHUNK 2").send(fastq_payload(records[:2]))
+                parts, final = wire.read_stream_reply()
+                assert parts == [], frontend
+                assert final.startswith("BUSY "), frontend
+                assert wire.read_line() == b"", frontend
+            _await_zero(_gauge_getters(server))
+
+
+class TestConnectionGauges:
+    def test_active_connections_track_churn(self, served):
+        _frontend, server, _records = served
+        metrics = server.metrics
+        active = metrics.gauge("server_active_connections")
+        total = metrics.counter("server_connections_total")
+        _await_zero({"active": lambda: active.value})
+        before_total = total.value
+        wires = [WireTester(server.host, server.port) for _ in range(8)]
+        try:
+            for wire in wires:
+                # The PING reply proves the handler is live (and counted).
+                assert wire.roundtrip_raw("PING") == b"OK 0\n"
+            assert active.value == 8
+            assert total.value == before_total + 8
+        finally:
+            for wire in wires:
+                wire.close()
+        _await_zero({"active": lambda: active.value})
+
+
+class TestShutdownVerb:
+    @pytest.mark.parametrize("frontend", FRONTEND_NAMES)
+    def test_shutdown_replies_then_stops(self, frontend, wire_stack):
+        _session, scheduler, gateway, _records = wire_stack
+        server, thread = _start_server(frontend, scheduler, gateway=gateway)
+        try:
+            # Capture the address up front: once the listener closes the
+            # async front-end no longer has a bound socket to report.
+            host, port = server.host, server.port
+            with WireTester(host, port) as wire:
+                assert wire.roundtrip_raw("SHUTDOWN") == b"OK 0\n"
+            thread.join(timeout=15.0)
+            assert not thread.is_alive(), "SHUTDOWN did not stop the server"
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=2.0).close()
+        finally:
+            _stop_server(server, thread)
+
+
+# ---------------------------------------------------------------------------
+# The served byte-identity matrix (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _cell_id(param):
+    backend, bulk = param
+    return f"{backend}-bulk{'on' if bulk else 'off'}"
+
+
+@pytest.fixture(scope="module",
+                params=[(b, bulk) for b in BACKENDS for bulk in (False, True)],
+                ids=_cell_id)
+def matrix_cell(request):
+    """One (backend, bulk) cell: a resident session with both front-ends."""
+    backend, bulk = request.param
+    session, records = _make_session(backend=backend, bulk=bulk)
+    scheduler = RequestScheduler(session, max_wait_s=0.005)
+    servers, threads = {}, []
+    for frontend in FRONTEND_NAMES:
+        server, thread = _start_server(frontend, scheduler)
+        servers[frontend] = server
+        threads.append((server, thread))
+    try:
+        yield session, servers, records
+    finally:
+        for server, thread in threads:
+            _stop_server(server, thread)
+        scheduler.close()
+        session.close()
+
+
+def _offline_reference(session, workload, reads) -> str:
+    from repro.core.plan import normalize_reads
+    outcome = session.run_plan_many(workload, [normalize_reads(reads)])
+    return session.render(workload, outcome.per_request_outputs[0])
+
+
+class TestByteIdentityMatrix:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_oneshot_matches_offline_and_thread_frontend(
+            self, matrix_cell, workload):
+        session, servers, records = matrix_cell
+        reads = records[:24]    # even count: valid for PAIRED too
+        verb = workload.upper()
+        payload = fastq_payload(reads)
+        reference = _offline_reference(session, workload, reads)
+        expected = (f"OK {len(reference.encode('ascii'))}\n".encode("ascii")
+                    + reference.encode("ascii"))
+        replies = {}
+        for frontend, server in servers.items():
+            with WireTester(server.host, server.port) as wire:
+                replies[frontend] = wire.roundtrip_raw(
+                    f"{verb} {len(reads)}", payload)
+        assert replies["async"] == expected
+        assert replies["async"] == replies["thread"]
+
+    @pytest.mark.parametrize("chunk_reads", STREAM_CHUNK_SIZES)
+    def test_streamed_reply_matches_oneshot(self, matrix_cell, chunk_reads):
+        """ALIGNSTREAM through the asyncio front-end: at any chunk size the
+        concatenated parts are byte-identical to the one-shot reply (and to
+        the thread front-end's stream)."""
+        session, servers, records = matrix_cell
+        reads = records[:24]
+        reference = _offline_reference(session, "align", reads)
+        outcomes = {}
+        for frontend, server in servers.items():
+            with WireTester(server.host, server.port) as wire:
+                wire.send_line("ALIGNSTREAM")
+                for start in range(0, len(reads), chunk_reads):
+                    chunk = reads[start:start + chunk_reads]
+                    wire.send_line(f"CHUNK {len(chunk)}")
+                    wire.send(fastq_payload(chunk))
+                wire.send_line("END")
+                parts, final = wire.read_stream_reply()
+            assert final.startswith("DONE "), (frontend, final)
+            outcomes[frontend] = (b"".join(parts), final)
+        assert outcomes["async"][0].decode("ascii") == reference
+        assert outcomes["async"] == outcomes["thread"]
+
+
+# ---------------------------------------------------------------------------
+# Front-end selection plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestFrontendSelection:
+    def test_default_frontend_is_async(self):
+        from repro.service.async_server import AsyncAlignmentServer
+        assert DEFAULT_FRONTEND == "async"
+        assert FRONTENDS["async"] is AsyncAlignmentServer
+
+    def test_serve_rejects_unknown_frontend(self, wire_stack):
+        from repro import api
+        session, _scheduler, _gateway, _records = wire_stack
+        with pytest.raises(ValueError, match="unknown frontend 'warp'"):
+            api.serve(None, session=session, frontend="warp")
+
+    def test_stats_and_metrics_shapes_match(self, both_served):
+        """STATS/METRICS come from one shared mixin: same document keys and
+        series names from either front-end."""
+        servers, _records = both_served
+        docs = {}
+        for frontend, server in servers.items():
+            with WireTester(server.host, server.port) as wire:
+                docs[frontend] = json.loads(wire.roundtrip_raw("STATS")
+                                            .split(b"\n", 1)[1])
+        assert sorted(docs["thread"]) == sorted(docs["async"])
+        assert docs["thread"]["session"] == docs["async"]["session"]
